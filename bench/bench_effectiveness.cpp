@@ -1,0 +1,221 @@
+// Table I + §IX-B.1 — effectiveness of permission enforcement. Runs the four
+// proof-of-concept attack apps on (a) the original monolithic controller and
+// (b) SDNShield with the Scenario-1 reconciled permissions, observing the
+// attack's *actual side effect* in the simulated network / host system.
+// Claim to reproduce: 4/4 attacks succeed on the baseline, 0/4 under
+// SDNShield.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "apps/firewall.h"
+#include "apps/malicious/flow_tunneler.h"
+#include "apps/malicious/info_leaker.h"
+#include "apps/malicious/route_hijacker.h"
+#include "apps/malicious/rst_injector.h"
+#include "apps/routing.h"
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_parser.h"
+#include "core/reconcile/reconciler.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+namespace {
+
+using namespace sdnshield;
+using namespace std::chrono_literals;
+
+const of::Ipv4Address kEvilIp(203, 0, 113, 66);
+
+struct Bed {
+  Bed() : network(controller) {
+    network.buildLinear(3);
+    h1 = network.hostByIp(of::Ipv4Address(10, 0, 0, 1));
+    h2 = network.hostByIp(of::Ipv4Address(10, 0, 0, 2));
+    h3 = network.hostByIp(of::Ipv4Address(10, 0, 0, 3));
+  }
+  ctrl::Controller controller;
+  sim::SimNetwork network;
+  std::shared_ptr<sim::SimHost> h1, h2, h3;
+};
+
+of::Packet httpSyn(const sim::SimHost& src, const sim::SimHost& dst,
+                   std::uint16_t port = 80, std::uint16_t srcPort = 40000) {
+  return of::Packet::makeTcp(src.mac(), dst.mac(), src.ip(), dst.ip(), srcPort,
+                             port, of::tcpflags::kSyn);
+}
+
+/// The Scenario-1 permissions, produced by actually running the
+/// reconciliation engine on the paper's manifest + policy.
+perm::PermissionSet scenario1Permissions() {
+  auto manifest = lang::parseManifest(
+      "APP monitoring\n"
+      "PERM visible_topology LIMITING LocalTopo\n"
+      "PERM read_statistics\n"
+      "PERM network_access LIMITING AdminRange\n"
+      "PERM insert_flow\n");
+  reconcile::Reconciler reconciler(lang::parsePolicy(
+      "LET LocalTopo = {SWITCH 1,2,3 LINK {(1,2),(2,3)}}\n"
+      "LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n"
+      "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n"));
+  return reconciler.reconcile(manifest).finalPermissions;
+}
+
+bool attackRstInjection(bool shielded) {
+  Bed bed;
+  auto routing = std::make_shared<apps::ShortestPathRoutingApp>();
+  auto attacker = std::make_shared<apps::RstInjectorApp>(80);
+  std::unique_ptr<iso::BaselineRuntime> baseline;
+  std::unique_ptr<iso::ShieldRuntime> shield;
+  if (shielded) {
+    shield = std::make_unique<iso::ShieldRuntime>(bed.controller);
+    shield->loadApp(routing,
+                    lang::parsePermissions(routing->requestedManifest()));
+    shield->loadApp(attacker, scenario1Permissions());
+  } else {
+    baseline = std::make_unique<iso::BaselineRuntime>(bed.controller);
+    baseline->loadApp(routing);
+    baseline->loadApp(attacker);
+  }
+  bed.h1->send(httpSyn(*bed.h1, *bed.h3));
+  bed.h3->waitForPackets(1, 1000ms);
+  bed.h1->waitForPackets(1, shielded ? 300ms : 100ms);
+  for (const of::Packet& packet : bed.h1->received()) {
+    if (packet.tcp && (packet.tcp->flags & of::tcpflags::kRst)) return true;
+  }
+  return false;
+}
+
+bool attackInfoLeak(bool shielded) {
+  Bed bed;
+  auto attacker = std::make_shared<apps::InfoLeakerApp>(kEvilIp);
+  if (shielded) {
+    iso::ShieldRuntime shield(bed.controller);
+    of::AppId id = shield.loadApp(attacker, scenario1Permissions());
+    shield.container(id)->postAndWait([&] { attacker->leak(); });
+    return !shield.hostSystem().netMessagesTo(kEvilIp).empty();
+  }
+  iso::BaselineRuntime runtime(bed.controller);
+  runtime.loadApp(attacker);
+  attacker->leak();
+  return !runtime.hostSystem().netMessagesTo(kEvilIp).empty();
+}
+
+bool attackRouteHijack(bool shielded) {
+  Bed bed;
+  auto routing = std::make_shared<apps::ShortestPathRoutingApp>();
+  auto attacker =
+      std::make_shared<apps::RouteHijackerApp>(bed.h3->ip(), bed.h2->ip());
+  std::unique_ptr<iso::BaselineRuntime> baseline;
+  std::unique_ptr<iso::ShieldRuntime> shield;
+  if (shielded) {
+    shield = std::make_unique<iso::ShieldRuntime>(bed.controller);
+    shield->loadApp(routing,
+                    lang::parsePermissions(routing->requestedManifest()));
+    shield->loadApp(attacker, scenario1Permissions());
+  } else {
+    baseline = std::make_unique<iso::BaselineRuntime>(bed.controller);
+    baseline->loadApp(routing);
+    baseline->loadApp(attacker);
+  }
+  bed.h1->send(httpSyn(*bed.h1, *bed.h3));
+  bed.h3->waitForPackets(1, 1000ms);
+  attacker->hijack();
+  bed.h1->send(httpSyn(*bed.h1, *bed.h3, 80, 40001));
+  bed.h2->waitForPackets(1, shielded ? 300ms : 100ms);
+  // Success = traffic destined to the victim reached the attacker's host.
+  for (const of::Packet& packet : bed.h2->received()) {
+    if (packet.ipv4 && packet.ipv4->dst == bed.h3->ip()) return true;
+  }
+  return false;
+}
+
+bool attackFlowTunnel(bool shielded) {
+  Bed bed;
+  auto routing = std::make_shared<apps::ShortestPathRoutingApp>();
+  auto firewall = std::make_shared<apps::FirewallApp>();
+  auto attacker = std::make_shared<apps::FlowTunnelerApp>(23, 80);
+  std::unique_ptr<iso::BaselineRuntime> baseline;
+  std::unique_ptr<iso::ShieldRuntime> shield;
+  if (shielded) {
+    shield = std::make_unique<iso::ShieldRuntime>(bed.controller);
+    shield->loadApp(routing,
+                    lang::parsePermissions(routing->requestedManifest()));
+    shield->loadApp(firewall,
+                    lang::parsePermissions(firewall->requestedManifest()));
+    shield->loadApp(attacker, scenario1Permissions());
+  } else {
+    baseline = std::make_unique<iso::BaselineRuntime>(bed.controller);
+    baseline->loadApp(routing);
+    baseline->loadApp(firewall);
+    baseline->loadApp(attacker);
+  }
+  firewall->blockTcpDstPort(2, 23);
+  // Warm the routing path with allowed traffic.
+  bed.h1->send(httpSyn(*bed.h1, *bed.h3));
+  bed.h3->waitForPackets(1, 1000ms);
+  std::size_t before = bed.h3->receivedCount();
+  attacker->establishTunnel(bed.h1->ip(), bed.h3->ip());
+  bed.h1->send(httpSyn(*bed.h1, *bed.h3, 23, 40002));
+  bed.h3->waitForPackets(before + 1, shielded ? 300ms : 100ms);
+  // Success = blocked telnet traffic reached the destination.
+  for (const of::Packet& packet : bed.h3->received()) {
+    if (packet.tcp && packet.tcp->dstPort == 23) return true;
+  }
+  return false;
+}
+
+const char* cell(bool protectedHere) { return protectedHere ? "yes" : "no"; }
+
+}  // namespace
+
+int main() {
+  struct AttackRow {
+    const char* name;
+    bool (*run)(bool shielded);
+    // Table I's qualitative columns for the two prior approaches.
+    bool trafficIsolation;
+    bool stateAnalysis;
+  };
+  const AttackRow attacks[] = {
+      {"Class 1: data-plane intrusion (RST inject)", attackRstInjection,
+       false, false},
+      {"Class 2: information leakage", attackInfoLeak, false, false},
+      {"Class 3: rule manipulation (route hijack)", attackRouteHijack, false,
+       true},
+      {"Class 4: attacking other apps (flow tunnel)", attackFlowTunnel, false,
+       true},
+  };
+
+  std::printf("=== §IX-B.1: proof-of-concept attacks, measured ===\n");
+  std::printf("%-46s %-18s %-18s\n", "attack", "baseline", "SDNShield");
+  int baselineSuccesses = 0;
+  int shieldedSuccesses = 0;
+  bool shieldProtects[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    bool onBaseline = attacks[i].run(false);
+    bool onShield = attacks[i].run(true);
+    baselineSuccesses += onBaseline;
+    shieldedSuccesses += onShield;
+    shieldProtects[i] = !onShield;
+    std::printf("%-46s %-18s %-18s\n", attacks[i].name,
+                onBaseline ? "ATTACK SUCCEEDS" : "blocked",
+                onShield ? "ATTACK SUCCEEDS" : "blocked");
+  }
+  std::printf("\nbaseline: %d/4 attacks succeed; SDNShield: %d/4 (paper: 4/4 "
+              "and 0/4)\n",
+              baselineSuccesses, shieldedSuccesses);
+
+  std::printf("\n=== Table I: attack protection coverage ===\n");
+  std::printf("%-46s %-18s %-16s %-12s\n", "attack class",
+              "traffic isolation", "state analysis", "SDNShield");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%-46s %-18s %-16s %-12s\n", attacks[i].name,
+                cell(attacks[i].trafficIsolation),
+                cell(attacks[i].stateAnalysis), cell(shieldProtects[i]));
+  }
+  std::printf("\n(traffic-isolation / state-analysis columns follow the "
+              "paper's qualitative\nassessment; the SDNShield column is "
+              "measured above)\n");
+  return shieldedSuccesses == 0 && baselineSuccesses == 4 ? 0 : 1;
+}

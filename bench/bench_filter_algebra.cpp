@@ -1,0 +1,73 @@
+// Ablation bench — reconciliation-time filter algebra: Algorithm 1 inclusion
+// cost and CNF/DNF conversion cost as filter expressions grow. These run at
+// app installation, not on the enforcement path; the paper reports the
+// whole reconciliation never exceeding one second.
+#include <benchmark/benchmark.h>
+
+#include "core/perm/normal_form.h"
+
+namespace {
+
+using namespace sdnshield;
+using perm::FilterExpr;
+using perm::FilterExprPtr;
+using perm::FilterPtr;
+
+FilterExprPtr ipDstClause(std::uint8_t subnet, int bits) {
+  return FilterExpr::singleton(FilterPtr{new perm::FieldPredicateFilter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, subnet, 0, 0),
+                     of::Ipv4Address::prefixMask(bits)})});
+}
+
+/// OR of `clauses` conjunctions, each (IP_DST /16 AND MAX_PRIORITY).
+FilterExprPtr makeDisjunctive(int clauses) {
+  FilterExprPtr expr;
+  for (int c = 0; c < clauses; ++c) {
+    FilterExprPtr clause = FilterExpr::conj(
+        ipDstClause(static_cast<std::uint8_t>(c), 16),
+        FilterExpr::singleton(
+            FilterPtr{new perm::PriorityFilter(true, 100)}));
+    expr = expr ? FilterExpr::disj(expr, clause) : clause;
+  }
+  return expr;
+}
+
+void BM_ToCnf(benchmark::State& state) {
+  FilterExprPtr expr = makeDisjunctive(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm::toCnf(expr));
+  }
+}
+BENCHMARK(BM_ToCnf)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ToDnf(benchmark::State& state) {
+  FilterExprPtr expr = makeDisjunctive(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm::toDnf(expr));
+  }
+}
+BENCHMARK(BM_ToDnf)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Algorithm1Inclusion(benchmark::State& state) {
+  int clauses = static_cast<int>(state.range(0));
+  FilterExprPtr wide = makeDisjunctive(clauses);
+  // A narrower expression: the first clause, shrunk to /24.
+  FilterExprPtr narrow = FilterExpr::conj(
+      ipDstClause(0, 24),
+      FilterExpr::singleton(FilterPtr{new perm::PriorityFilter(true, 50)}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm::filterIncludes(wide, narrow));
+  }
+}
+BENCHMARK(BM_Algorithm1Inclusion)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Algorithm1SelfInclusion(benchmark::State& state) {
+  FilterExprPtr expr = makeDisjunctive(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm::filterIncludes(expr, expr));
+  }
+}
+BENCHMARK(BM_Algorithm1SelfInclusion)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Ablation bench — cost of the §VI-C high-level-language path: policy
+// compilation (classifier construction with ownership tracking) and
+// ownership-checked installation, as the policy's parallel width grows.
+#include <benchmark/benchmark.h>
+
+#include "core/lang/perm_parser.h"
+#include "hll/install.h"
+#include "switchsim/sim_network.h"
+
+namespace {
+
+using namespace sdnshield;
+
+of::FlowMatch tcpDst(std::uint16_t port) {
+  of::FlowMatch m;
+  m.ethType = 0x0800;
+  m.ipProto = 6;
+  m.tpDst = port;
+  return m;
+}
+
+/// width parallel lanes: match(port_i) >> fwd(i), each owned by app i%3+1.
+hll::PolicyPtr makeWide(int width) {
+  hll::PolicyPtr policy;
+  for (int i = 0; i < width; ++i) {
+    hll::PolicyPtr lane = hll::owned(
+        static_cast<of::AppId>(i % 3 + 1),
+        hll::seq(hll::match(tcpDst(static_cast<std::uint16_t>(1000 + i))),
+                 hll::fwd(static_cast<of::PortNo>(i % 4 + 1))));
+    policy = policy ? hll::par(policy, lane) : lane;
+  }
+  return policy;
+}
+
+void BM_HllCompile(benchmark::State& state) {
+  hll::PolicyPtr policy = makeWide(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hll::compile(policy));
+  }
+  state.counters["rules"] =
+      static_cast<double>(hll::compile(policy).size());
+}
+BENCHMARK(BM_HllCompile)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HllInstallChecked(benchmark::State& state) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  engine::PermissionEngine engine;
+  for (of::AppId app = 1; app <= 3; ++app) {
+    engine.install(app, lang::parsePermissions(
+                            "PERM insert_flow LIMITING ACTION FORWARD\n"));
+  }
+  hll::PolicyPtr policy = makeWide(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hll::installPolicy(engine, controller, 1, policy, 2000));
+  }
+}
+BENCHMARK(BM_HllInstallChecked)->Arg(2)->Arg(8);
+
+}  // namespace

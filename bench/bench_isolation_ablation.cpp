@@ -1,0 +1,144 @@
+// Ablation — where does the SDNShield overhead come from? (Table III
+// discussion, §VI-A.) Measures one northbound call (read_flow_table of a
+// small table) under four configurations:
+//   1. direct            — monolithic baseline (function call);
+//   2. direct + check    — permission checking only, no isolation;
+//   3. channel           — thread hand-off through the KSD pool, no check;
+//   4. channel + check   — the full SDNShield path.
+// Also shows KSD-pool scaling: parallel callers vs deputy count ("the choke
+// points do not mean serialized points").
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "controller/services.h"
+#include "core/lang/perm_parser.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+namespace {
+
+using namespace sdnshield;
+
+constexpr int kIterations = 20000;
+
+double usPerOp(const std::function<void()>& op, int iterations = kIterations) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) op();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         iterations;
+}
+
+}  // namespace
+
+int main() {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(2);
+  // A handful of rules so the read has realistic work to do.
+  for (int i = 1; i <= 8; ++i) {
+    of::FlowMod mod;
+    mod.match.tpDst = static_cast<std::uint16_t>(i);
+    mod.priority = 10;
+    mod.actions.push_back(of::OutputAction{1});
+    controller.kernelInsertFlow(of::kKernelAppId, 1, mod);
+  }
+
+  auto perms = lang::parsePermissions(
+      "PERM read_flow_table LIMITING IP_DST 10.0.0.0 MASK 255.0.0.0 OR "
+      "OWN_FLOWS OR MAX_PRIORITY 50\n");
+
+  std::printf("=== Isolation ablation: cost of one read_flow_table call ===\n");
+
+  // 1. direct (monolithic).
+  ctrl::DirectApi direct(controller, 1);
+  double directUs =
+      usPerOp([&] { direct.readFlowTable(1); });
+  std::printf("%-18s %10.3f us/call\n", "direct", directUs);
+
+  // 2. direct + check.
+  engine::PermissionEngine engine;
+  engine.install(1, perms);
+  double checkedUs = usPerOp([&] {
+    perm::ApiCall call = perm::ApiCall::readFlowTable(1, 1);
+    if (engine.check(call).allowed) direct.readFlowTable(1);
+  });
+  std::printf("%-18s %10.3f us/call  (+%.3f checking)\n", "direct+check",
+              checkedUs, checkedUs - directUs);
+
+  // 3/4. channel and channel + check via the shield runtime.
+  iso::ShieldRuntime shield(controller);
+  shield.engine().install(1, perms);
+  iso::KsdPool& ksd = shield.ksd();
+  double channelUs = usPerOp([&] {
+    ksd.call<bool>([&] {
+      controller.kernelReadFlowTable(1);
+      return true;
+    });
+  });
+  std::printf("%-18s %10.3f us/call  (+%.3f asynchronism)\n", "channel",
+              channelUs, channelUs - directUs);
+
+  double fullUs = usPerOp([&] {
+    ksd.call<bool>([&] {
+      perm::ApiCall call = perm::ApiCall::readFlowTable(1, 1);
+      if (shield.engine().check(call).allowed) {
+        controller.kernelReadFlowTable(1);
+      }
+      return true;
+    });
+  });
+  std::printf("%-18s %10.3f us/call  (total overhead %.3f us)\n",
+              "channel+check", fullUs, fullUs - directUs);
+
+  // KSD-pool parallel scaling.
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\n=== KSD pool scaling: 4 concurrent callers (%u core(s)) ===\n",
+              cores);
+  if (cores <= 1) {
+    std::printf("NOTE: single-core host — deputy parallelism cannot speed up "
+                "here; extra\ndeputies only add scheduling overhead. On "
+                "multi-core hardware throughput\ngrows with deputy count "
+                "(the paper's 'choke points are not serialized').\n");
+  }
+  std::printf("%-14s %16s\n", "deputies", "calls/sec");
+  for (std::size_t deputies : {1u, 2u, 4u}) {
+    ctrl::Controller scaleController;
+    sim::SimNetwork scaleNetwork(scaleController);
+    scaleNetwork.buildLinear(2);
+    iso::ShieldOptions options;
+    options.ksdThreads = deputies;
+    iso::ShieldRuntime scaleShield(scaleController, options);
+    scaleShield.engine().install(1, perms);
+
+    std::atomic<std::uint64_t> calls{0};
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(500);
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 4; ++c) {
+      callers.emplace_back([&] {
+        while (std::chrono::steady_clock::now() < deadline) {
+          scaleShield.ksd().call<bool>([&] {
+            perm::ApiCall call = perm::ApiCall::readFlowTable(1, 1);
+            scaleShield.engine().check(call);
+            scaleController.kernelReadFlowTable(1);
+            return true;
+          });
+          calls.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+    std::printf("%-14zu %16.0f\n", deputies,
+                static_cast<double>(calls.load()) / 0.5);
+  }
+  std::printf(
+      "\nExpected shape: checking adds well under a microsecond; the thread "
+      "hand-off\ndominates the (still small) overhead; on multi-core hosts "
+      "throughput grows\nwith deputy count.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// §IX-A — reconciliation engine pressure test. Reconciliation happens at app
+// installation time only; the paper reports that its processing time "never
+// exceeds one second during our pressure tests". This harness reconciles
+// increasingly large manifests against increasingly large policy programs
+// and reports wall-clock time per reconciliation.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_parser.h"
+#include "core/reconcile/reconciler.h"
+
+namespace {
+
+using namespace sdnshield;
+
+/// A manifest exercising every token with layered filters and two stubs.
+std::string makeManifestText(int filterClauses) {
+  std::ostringstream out;
+  out << "APP pressure\n";
+  out << "PERM visible_topology LIMITING LocalTopo\n";
+  out << "PERM network_access LIMITING AdminRange\n";
+  out << "PERM read_statistics LIMITING PORT_LEVEL OR SWITCH_LEVEL\n";
+  out << "PERM send_pkt_out LIMITING FROM_PKT_IN\n";
+  out << "PERM delete_flow LIMITING OWN_FLOWS\n";
+  out << "PERM insert_flow LIMITING ";
+  for (int i = 0; i < filterClauses; ++i) {
+    if (i > 0) out << " OR ";
+    out << "(IP_DST 10." << (i % 250) << ".0.0 MASK 255.255.0.0 AND "
+        << "MAX_PRIORITY 100 AND OWN_FLOWS)";
+  }
+  out << "\n";
+  return out.str();
+}
+
+/// A policy with stub bindings, a boundary template and exclusions.
+std::string makePolicyText(int boundaryClauses) {
+  std::ostringstream out;
+  out << "LET LocalTopo = {SWITCH 1,2,3,4 LINK {(1,2),(2,3),(3,4)}}\n";
+  out << "LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n";
+  out << "LET bound = {\n";
+  out << "PERM visible_topology\nPERM network_access\n"
+         "PERM read_statistics\nPERM send_pkt_out\nPERM delete_flow\n";
+  out << "PERM insert_flow LIMITING ";
+  for (int i = 0; i < boundaryClauses; ++i) {
+    if (i > 0) out << " OR ";
+    out << "IP_DST 10." << (i % 250) << ".0.0 MASK 255.255.0.0";
+  }
+  out << "\n}\n";
+  out << "LET appPerm = APP pressure\n";
+  out << "ASSERT appPerm <= bound\n";
+  out << "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Reconciliation engine pressure test (install-time) ===\n");
+  std::printf("%-16s %-16s %14s %12s\n", "manifest-clauses",
+              "boundary-clauses", "time(ms)", "violations");
+  for (int size : {4, 8, 16, 32, 64}) {
+    auto manifest = sdnshield::lang::parseManifest(makeManifestText(size));
+    reconcile::Reconciler reconciler(
+        sdnshield::lang::parsePolicy(makePolicyText(size)));
+    auto start = std::chrono::steady_clock::now();
+    auto result = reconciler.reconcile(manifest);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    std::printf("%-16d %-16d %14.2f %12zu\n", size, size, ms,
+                result.violations.size());
+  }
+  std::printf(
+      "\nExpected shape (paper): reconciliation completes well under one "
+      "second even\nunder pressure; it runs once per app installation, off "
+      "the critical path.\n");
+  return 0;
+}

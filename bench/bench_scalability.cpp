@@ -1,0 +1,126 @@
+// Figure 8 — scalability of the SDNShield isolation architecture: latency
+// overhead as (a) the number of concurrent apps grows and (b) the per-app
+// complexity (API calls issued per event) grows. Claim to reproduce: the
+// overhead increases linearly along both axes.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/lang/perm_parser.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+namespace {
+
+using namespace sdnshield;
+using namespace std::chrono_literals;
+
+/// A synthetic app that reacts to every packet-in with a configurable number
+/// of mediated API calls (the paper's "complexity of apps, measured by the
+/// API calls issued by the app").
+class SyntheticApp final : public ctrl::App {
+ public:
+  SyntheticApp(std::string name, std::size_t callsPerEvent,
+               std::atomic<std::uint64_t>& completions)
+      : name_(std::move(name)),
+        callsPerEvent_(callsPerEvent),
+        completions_(completions) {}
+
+  std::string name() const override { return name_; }
+  std::string requestedManifest() const override {
+    return "PERM pkt_in_event\nPERM read_flow_table\nPERM read_statistics\n";
+  }
+
+  void init(ctrl::AppContext& context) override {
+    context_ = &context;
+    context.subscribePacketIn([this](const ctrl::PacketInEvent& event) {
+      for (std::size_t i = 0; i < callsPerEvent_; ++i) {
+        if (i % 2 == 0) {
+          context_->api().readFlowTable(event.packetIn.dpid);
+        } else {
+          of::StatsRequest request;
+          request.level = of::StatsLevel::kSwitch;
+          request.dpid = event.packetIn.dpid;
+          context_->api().readStatistics(request);
+        }
+      }
+      completions_.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+ private:
+  std::string name_;
+  std::size_t callsPerEvent_;
+  std::atomic<std::uint64_t>& completions_;
+  ctrl::AppContext* context_ = nullptr;
+};
+
+/// Median time from injecting a packet-in until every app finished reacting.
+double measureUs(std::size_t apps, std::size_t callsPerEvent,
+                 std::size_t rounds = 50) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(2);
+  std::atomic<std::uint64_t> completions{0};
+  iso::ShieldOptions options;
+  options.ksdThreads = 4;
+  iso::ShieldRuntime shield(controller, options);
+  for (std::size_t i = 0; i < apps; ++i) {
+    auto app = std::make_shared<SyntheticApp>("synthetic" + std::to_string(i),
+                                              callsPerEvent, completions);
+    shield.loadApp(app, lang::parsePermissions(app->requestedManifest()));
+  }
+
+  of::PacketIn packetIn;
+  packetIn.dpid = 1;
+  packetIn.inPort = 1;
+  packetIn.packet = of::Packet::makeArpRequest(
+      of::MacAddress::fromUint64(1), of::Ipv4Address(10, 0, 0, 1),
+      of::Ipv4Address(10, 0, 0, 2));
+
+  std::vector<double> samples;
+  std::uint64_t expected = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    expected += apps;
+    auto start = std::chrono::steady_clock::now();
+    controller.onPacketIn(packetIn);
+    while (completions.load(std::memory_order_acquire) < expected) {
+      std::this_thread::yield();
+    }
+    samples.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 8a: latency vs number of concurrent apps "
+      "(4 API calls per event) ===\n");
+  std::printf("%-8s %16s\n", "apps", "median(us)");
+  for (std::size_t apps : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%-8zu %16.1f\n", apps, measureUs(apps, 4));
+  }
+
+  std::printf(
+      "\n=== Figure 8b: latency vs app complexity (1 app, API calls per "
+      "event) ===\n");
+  std::printf("%-8s %16s\n", "calls", "median(us)");
+  for (std::size_t calls : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::printf("%-8zu %16.1f\n", calls, measureUs(1, calls));
+  }
+
+  std::printf(
+      "\nExpected shape (paper): latency grows linearly with the number of "
+      "concurrent\napps and with per-app complexity — no superlinear "
+      "blow-up from the choke points.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 7 — end-to-end throughput pressure test, L2 learning switch
+// scenario, original vs SDNShield-enabled controller, varying switch count.
+// Every switch runs flow-arrival rounds back-to-back in parallel (CBench
+// pressure mode).
+//
+// Two configurations:
+//  * testbed-comparable: a 200us emulated switch<->controller control
+//    channel (the paper measures across a physical network, where this
+//    dominates). Claim to reproduce: SDNShield throughput within a few
+//    percent of baseline.
+//  * in-process stress: no channel at all — an upper bound that exposes the
+//    raw thread-hand-off cost of the isolation architecture (quantified
+//    further in bench_isolation_ablation). On a single-core host this cost
+//    cannot be amortized and the gap is large by construction.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "apps/l2_learning.h"
+#include "cbench/generator.h"
+#include "core/lang/perm_parser.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+namespace {
+
+using namespace sdnshield;
+using namespace std::chrono_literals;
+
+constexpr auto kPressureDuration = 1200ms;
+
+cbench::ThroughputStats run(std::size_t switches, bool shielded,
+                            std::chrono::microseconds channelDelay) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(switches);
+  if (channelDelay.count() > 0) {
+    for (const auto& sw : network.switches()) {
+      sw->setControlChannelDelay(channelDelay);
+    }
+  }
+  auto app = std::make_shared<apps::L2LearningSwitch>();
+
+  std::unique_ptr<iso::BaselineRuntime> baseline;
+  std::unique_ptr<iso::ShieldRuntime> shield;
+  if (shielded) {
+    iso::ShieldOptions options;
+    options.ksdThreads = 4;  // Deputies scale out (§VI-A).
+    shield = std::make_unique<iso::ShieldRuntime>(controller, options);
+    shield->loadApp(app, lang::parsePermissions(app->requestedManifest()));
+  } else {
+    baseline = std::make_unique<iso::BaselineRuntime>(controller);
+    baseline->loadApp(app);
+  }
+  cbench::Generator generator(network);
+  generator.setup();
+  return generator.runThroughput(kPressureDuration);
+}
+
+void table(const char* title, std::chrono::microseconds channelDelay) {
+  std::printf("%s\n", title);
+  std::printf("%-10s %-12s %16s %14s\n", "switches", "controller",
+              "responses/sec", "total");
+  for (std::size_t switches : {2u, 4u, 8u, 16u}) {
+    double baselineRate = 0;
+    for (bool shielded : {false, true}) {
+      cbench::ThroughputStats stats = run(switches, shielded, channelDelay);
+      if (!shielded) baselineRate = stats.responsesPerSec;
+      std::printf("%-10zu %-12s %16.0f %14llu", switches,
+                  shielded ? "SDNShield" : "baseline", stats.responsesPerSec,
+                  static_cast<unsigned long long>(stats.totalResponses));
+      if (shielded && baselineRate > 0) {
+        std::printf("   (%.1f%% of baseline)",
+                    100.0 * stats.responsesPerSec / baselineRate);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  table(
+      "=== Figure 7: L2 throughput, 200us emulated control channel "
+      "(testbed-comparable) ===",
+      200us);
+  std::printf("\n");
+  table(
+      "=== In-process stress (no control channel): raw isolation cost upper "
+      "bound ===",
+      0us);
+  std::printf(
+      "\nExpected shape (paper): with a realistic control channel SDNShield "
+      "throughput\nis within a few percent of the original controller at "
+      "every switch count. The\nin-process table deliberately removes the "
+      "channel: what remains is the thread\nhand-off cost itself.\n");
+  return 0;
+}

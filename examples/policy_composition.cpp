@@ -1,0 +1,85 @@
+// High-level policy composition with ownership-aware enforcement (paper
+// §VI-C): a firewall app and a routing app author declarative policies that
+// are composed and compiled into OpenFlow rules. The compiler tracks which
+// apps contributed to each rule; the permission engine then checks every
+// owner — rules an owner may not install are *partially denied* while the
+// rest of the classifier goes in.
+//
+// Build & run:  ./build/examples/policy_composition
+#include <cstdio>
+
+#include "core/lang/perm_parser.h"
+#include "hll/install.h"
+#include "switchsim/sim_network.h"
+
+using namespace sdnshield;
+
+int main() {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  auto server = network.addHost(1, 2, of::MacAddress::fromUint64(0xBB),
+                                of::Ipv4Address(10, 0, 0, 99));
+
+  engine::PermissionEngine engine;
+  constexpr of::AppId kFirewallApp = 7;
+  constexpr of::AppId kRoutingApp = 8;
+  // The routing app may only install forwarding rules — no header rewrites.
+  engine.install(kFirewallApp, lang::parsePermissions("PERM insert_flow\n"));
+  engine.install(kRoutingApp,
+                 lang::parsePermissions(
+                     "PERM insert_flow LIMITING ACTION FORWARD\n"));
+
+  auto tcpTo = [](std::uint16_t port) {
+    of::FlowMatch m;
+    m.ethType = 0x0800;
+    m.ipProto = 6;
+    m.tpDst = port;
+    return m;
+  };
+
+  // The firewall app decides which traffic classes exist; the routing app
+  // supplies the treatment for each class. Web traffic is delivered as-is;
+  // telnet is (sneakily) port-rewritten — which the routing app's
+  // ACTION FORWARD permission does not allow.
+  of::SetFieldAction rewrite;
+  rewrite.field = of::MatchField::kTpDst;
+  rewrite.intValue = 8080;
+  hll::PolicyPtr webLane =
+      hll::seq(hll::owned(kFirewallApp, hll::match(tcpTo(80))),
+               hll::owned(kRoutingApp, hll::fwd(2)));
+  hll::PolicyPtr telnetLane =
+      hll::seq(hll::owned(kFirewallApp, hll::match(tcpTo(23))),
+               hll::owned(kRoutingApp,
+                          hll::seq(hll::modify(rewrite), hll::fwd(2))));
+  hll::PolicyPtr composite = hll::par(webLane, telnetLane);
+
+  std::printf("== Compiled classifier (with per-rule ownership) ==\n");
+  for (const hll::CompiledRule& rule : hll::compile(composite)) {
+    std::printf("  %s\n", rule.toString().c_str());
+  }
+
+  hll::InstallReport report =
+      hll::installPolicy(engine, controller, 1, composite, 300);
+  std::printf("\ninstalled %zu rule(s); %zu partially denied\n",
+              report.installed, report.denied.size());
+  for (const auto& denied : report.denied) {
+    std::printf("  rule #%zu denied for app %u: %s\n", denied.ruleIndex,
+                denied.owner, denied.reason.c_str());
+  }
+
+  // Traffic check: web traffic flows, rewritten side-channel does not.
+  network.switchAt(1)->receivePacket(
+      1, of::Packet::makeTcp(of::MacAddress::fromUint64(1), server->mac(),
+                             of::Ipv4Address(10, 0, 0, 1), server->ip(), 40000,
+                             80, of::tcpflags::kSyn));
+  std::printf("\nweb packet delivered to server: %s\n",
+              server->receivedCount() > 0 ? "yes" : "no");
+  bool sawRewritten = false;
+  for (const of::Packet& packet : server->received()) {
+    if (packet.tcp && packet.tcp->dstPort == 8080) sawRewritten = true;
+  }
+  std::printf("rewritten (denied) variant observed: %s\n",
+              sawRewritten ? "yes (BUG)" : "no");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "apps/alto.h"
+
+#include <sstream>
+
+namespace sdnshield::apps {
+
+std::string AltoService::requestedManifest() const {
+  return "APP alto\n"
+         "PERM visible_topology\n"
+         "PERM topology_event\n"
+         "PERM read_statistics LIMITING PORT_LEVEL OR SWITCH_LEVEL\n"
+         "PERM modify_topology\n";  // Data-model publication.
+}
+
+void AltoService::init(ctrl::AppContext& context) {
+  context_ = &context;
+  // Keep the cost map fresh as the topology changes.
+  context.subscribeTopologyEvents(
+      [this](const ctrl::TopologyEvent&) { publishUpdate(); });
+}
+
+bool AltoService::publishUpdate() {
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok) return false;
+  const net::Topology& topology = topologyResponse.value;
+
+  std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>> costMap;
+  std::vector<net::Host> hosts = topology.hosts();
+  for (const net::Host& src : hosts) {
+    for (const net::Host& dst : hosts) {
+      if (src.mac == dst.mac) continue;
+      auto path = topology.shortestPath(src.dpid, dst.dpid);
+      if (!path) continue;
+      costMap.emplace_back(src.ip, dst.ip, static_cast<int>(path->size()));
+    }
+  }
+  ctrl::ApiResult result =
+      context_->api().publishData(kAltoCostMapTopic, encodeCostMap(costMap));
+  if (result.ok) published_.fetch_add(1);
+  return result.ok;
+}
+
+std::string encodeCostMap(
+    const std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>>& map) {
+  std::ostringstream out;
+  for (const auto& [src, dst, hops] : map) {
+    out << src.toString() << "," << dst.toString() << "," << hops << ";";
+  }
+  return out.str();
+}
+
+std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>> decodeCostMap(
+    const std::string& payload) {
+  std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>> out;
+  std::istringstream in(payload);
+  std::string entry;
+  while (std::getline(in, entry, ';')) {
+    if (entry.empty()) continue;
+    std::istringstream fields(entry);
+    std::string src;
+    std::string dst;
+    std::string hops;
+    if (!std::getline(fields, src, ',') || !std::getline(fields, dst, ',') ||
+        !std::getline(fields, hops, ',')) {
+      continue;
+    }
+    try {
+      out.emplace_back(of::Ipv4Address::parse(src), of::Ipv4Address::parse(dst),
+                       std::stoi(hops));
+    } catch (const std::exception&) {
+      continue;  // Skip malformed entries.
+    }
+  }
+  return out;
+}
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,40 @@
+// ALTO service app (second evaluation scenario, §IX-A): publishes real-time
+// topology and routing-cost information onto the controller's data bus for
+// upper-layer apps (the TE app) to consume.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+inline constexpr const char* kAltoCostMapTopic = "alto.costmap";
+
+class AltoService final : public ctrl::App {
+ public:
+  std::string name() const override { return "alto"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// Recomputes the host-pair hop-cost map from the current topology and
+  /// publishes it. Returns false when a permission denial blocked it.
+  bool publishUpdate();
+
+  std::uint64_t updatesPublished() const { return published_.load(); }
+
+ private:
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> published_{0};
+};
+
+/// Cost-map wire format helpers (topic payload is "srcIp,dstIp,hops;...").
+std::string encodeCostMap(
+    const std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>>& map);
+std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>> decodeCostMap(
+    const std::string& payload);
+
+}  // namespace sdnshield::apps

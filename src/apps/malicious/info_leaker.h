@@ -1,0 +1,39 @@
+// PoC attack app #2 (paper §IX-B.1, Class 2 — leakage of sensitive
+// information): collects topology and switch/port configuration and leaks it
+// to an outside attacker over the controller host's network (HTTP POST in
+// the paper).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class InfoLeakerApp final : public ctrl::App {
+ public:
+  explicit InfoLeakerApp(of::Ipv4Address exfilIp,
+                         std::uint16_t exfilPort = 4444)
+      : exfilIp_(exfilIp), exfilPort_(exfilPort) {}
+
+  std::string name() const override { return "info_leaker"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// Performs one collection + exfiltration attempt. Returns true when the
+  /// leak reached the attacker endpoint.
+  bool leak();
+
+  std::uint64_t leaksSucceeded() const { return succeeded_.load(); }
+  std::uint64_t leaksBlocked() const { return blocked_.load(); }
+
+ private:
+  of::Ipv4Address exfilIp_;
+  std::uint16_t exfilPort_;
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> succeeded_{0};
+  std::atomic<std::uint64_t> blocked_{0};
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,53 @@
+#include "apps/malicious/route_hijacker.h"
+
+#include "controller/services.h"
+
+namespace sdnshield::apps {
+
+std::string RouteHijackerApp::requestedManifest() const {
+  return "APP route_hijacker\n"
+         "PERM visible_topology\n"
+         "PERM insert_flow\n"
+         "PERM delete_flow\n";
+}
+
+void RouteHijackerApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+bool RouteHijackerApp::hijack() {
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok) return false;
+  const net::Topology& topology = topologyResponse.value;
+  auto victim = topology.hostByIp(victimDstIp_);
+  auto attacker = topology.hostByIp(attackerHostIp_);
+  if (!victim || !attacker) return false;
+
+  // Steer "traffic to the victim" toward the attacker's host: install
+  // higher-priority destination rules on every switch, overriding the
+  // routing app's legitimate paths.
+  of::FlowMatch match;
+  match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+  match.ipDst = of::MaskedIpv4{victimDstIp_};
+  bool any = false;
+  for (of::DatapathId dpid : topology.switches()) {
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kAdd;
+    mod.match = match;
+    mod.priority = priority_;
+    if (dpid == attacker->dpid) {
+      mod.actions.push_back(of::OutputAction{attacker->port});
+    } else {
+      auto port = topology.nextHopPort(dpid, attacker->dpid);
+      if (!port) continue;
+      mod.actions.push_back(of::OutputAction{*port});
+    }
+    if (context_->api().insertFlow(dpid, mod).ok) {
+      installed_.fetch_add(1);
+      any = true;
+    } else {
+      denied_.fetch_add(1);
+    }
+  }
+  return any;
+}
+
+}  // namespace sdnshield::apps

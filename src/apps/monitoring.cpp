@@ -1,0 +1,37 @@
+#include "apps/monitoring.h"
+
+#include <sstream>
+
+namespace sdnshield::apps {
+
+std::string MonitoringApp::requestedManifest() const {
+  return "APP monitoring\n"
+         "PERM visible_topology LIMITING LocalTopo\n"
+         "PERM read_statistics\n"
+         "PERM network_access LIMITING AdminRange\n"
+         "PERM insert_flow\n";
+}
+
+void MonitoringApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+bool MonitoringApp::collectAndReport() {
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok) return false;
+
+  std::ostringstream report;
+  report << "topology: " << topologyResponse.value.toString() << "\n";
+  for (of::DatapathId dpid : topologyResponse.value.switches()) {
+    of::StatsRequest request;
+    request.level = of::StatsLevel::kSwitch;
+    request.dpid = dpid;
+    auto statsResponse = context_->api().readStatistics(request);
+    if (!statsResponse.ok) continue;
+    report << "s" << dpid << ": flows="
+           << statsResponse.value.switchStats.activeFlows
+           << " lookups=" << statsResponse.value.switchStats.lookupCount
+           << "\n";
+  }
+  return context_->host().netSend(collectorIp_, collectorPort_, report.str());
+}
+
+}  // namespace sdnshield::apps

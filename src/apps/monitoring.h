@@ -1,0 +1,48 @@
+// Monitoring app (paper §VII, Scenario 1): supervises a tenant's network
+// usage, reporting topology and statistics to an administrator-run collector
+// over the controller host's network. Carries a deliberate "vulnerability"
+// hook that executes attacker-supplied code in the app's context, modelling
+// the arbitrary-code-execution compromise the scenario assumes.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class MonitoringApp final : public ctrl::App {
+ public:
+  explicit MonitoringApp(of::Ipv4Address collectorIp,
+                         std::uint16_t collectorPort = 8080)
+      : collectorIp_(collectorIp), collectorPort_(collectorPort) {}
+
+  std::string name() const override { return "monitoring"; }
+
+  /// The Scenario-1 manifest, verbatim: two stubs (LocalTopo, AdminRange)
+  /// are left for the administrator, and the over-privileged insert_flow is
+  /// what reconciliation truncates.
+  std::string requestedManifest() const override;
+
+  void init(ctrl::AppContext& context) override;
+
+  /// Legitimate behaviour: reads topology + statistics and reports to the
+  /// administrator's collector. Returns false if any step was denied.
+  bool collectAndReport();
+
+  /// The simulated vulnerability: runs attacker code with the app's
+  /// privileges (callers arrange for execution on the app's thread).
+  void onWebRequest(std::function<void(ctrl::AppContext&)> payload) {
+    if (context_ != nullptr) payload(*context_);
+  }
+
+  ctrl::AppContext* context() { return context_; }
+
+ private:
+  of::Ipv4Address collectorIp_;
+  std::uint16_t collectorPort_;
+  ctrl::AppContext* context_ = nullptr;
+};
+
+}  // namespace sdnshield::apps

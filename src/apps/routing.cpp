@@ -1,0 +1,85 @@
+#include "apps/routing.h"
+
+#include "controller/services.h"
+
+namespace sdnshield::apps {
+
+std::string ShortestPathRoutingApp::requestedManifest() const {
+  // Scenario 2's grant, plus the packet-in subscription reactive routing
+  // needs in practice.
+  return "APP routing\n"
+         "PERM visible_topology\n"
+         "PERM pkt_in_event\n"
+         "PERM flow_event\n"
+         "PERM send_pkt_out LIMITING FROM_PKT_IN\n"
+         "PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS\n";
+}
+
+void ShortestPathRoutingApp::init(ctrl::AppContext& context) {
+  context_ = &context;
+  context.subscribePacketIn(
+      [this](const ctrl::PacketInEvent& event) { onPacketIn(event); });
+}
+
+void ShortestPathRoutingApp::onPacketIn(const ctrl::PacketInEvent& event) {
+  const of::PacketIn& packetIn = event.packetIn;
+  of::HeaderFields fields = packetIn.packet.fields(packetIn.inPort);
+  if (!fields.ipDst) {
+    // Non-IP (and non-ARP) traffic: flood and move on.
+    of::PacketOut out;
+    out.dpid = packetIn.dpid;
+    out.inPort = packetIn.inPort;
+    out.packet = packetIn.packet;
+    out.fromPacketIn = true;
+    out.actions.push_back(of::OutputAction{of::ports::kFlood});
+    context_->api().sendPacketOut(out);
+    return;
+  }
+
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok) return;
+  const net::Topology& topology = topologyResponse.value;
+  std::optional<net::Host> dst = topology.hostByIp(*fields.ipDst);
+  std::optional<net::Host> src;
+  if (fields.ipSrc) src = topology.hostByIp(*fields.ipSrc);
+
+  if (!dst || !src) {
+    of::PacketOut out;
+    out.dpid = packetIn.dpid;
+    out.inPort = packetIn.inPort;
+    out.packet = packetIn.packet;
+    out.fromPacketIn = true;
+    out.actions.push_back(of::OutputAction{of::ports::kFlood});
+    context_->api().sendPacketOut(out);
+    return;
+  }
+
+  // Destination-based /32 rules along the shortest path, as one transaction.
+  of::FlowMatch match;
+  match.ethType = fields.ethType;
+  match.ipDst = of::MaskedIpv4{*fields.ipDst};
+  auto mods = ctrl::buildPathFlowMods(topology, *src, *dst, match, priority_);
+  if (!mods) return;
+  if (context_->api().commitFlowTransaction(*mods).ok) {
+    paths_.fetch_add(1);
+  }
+
+  // Release the triggering packet along the freshly installed path: the
+  // first-hop rule's output port is where it should go.
+  of::PortNo releasePort = of::ports::kFlood;
+  if (!(*mods)[0].second.actions.empty()) {
+    if (const auto* firstOut = std::get_if<of::OutputAction>(
+            &(*mods)[0].second.actions.front())) {
+      releasePort = firstOut->port;
+    }
+  }
+  of::PacketOut out;
+  out.dpid = packetIn.dpid;
+  out.inPort = packetIn.inPort;
+  out.packet = packetIn.packet;
+  out.fromPacketIn = true;
+  out.actions.push_back(of::OutputAction{releasePort});
+  context_->api().sendPacketOut(out);
+}
+
+}  // namespace sdnshield::apps

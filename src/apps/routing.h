@@ -1,0 +1,32 @@
+// Shortest-path routing app (paper §VII, Scenario 2's benign behaviour):
+// reactively routes IPv4/ARP traffic along shortest paths, installing the
+// per-hop rules transactionally.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class ShortestPathRoutingApp final : public ctrl::App {
+ public:
+  explicit ShortestPathRoutingApp(std::uint16_t rulePriority = 10)
+      : priority_(rulePriority) {}
+
+  std::string name() const override { return "routing"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  std::uint64_t pathsInstalled() const { return paths_.load(); }
+
+ private:
+  void onPacketIn(const ctrl::PacketInEvent& event);
+
+  ctrl::AppContext* context_ = nullptr;
+  std::uint16_t priority_;
+  std::atomic<std::uint64_t> paths_{0};
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,54 @@
+#include "apps/traffic_engineering.h"
+
+#include "apps/alto.h"
+#include "controller/services.h"
+
+namespace sdnshield::apps {
+
+std::string TrafficEngineeringApp::requestedManifest() const {
+  return "APP traffic_engineering\n"
+         "PERM visible_topology\n"
+         "PERM topology_event\n"  // Data-model event notification.
+         "PERM insert_flow LIMITING ACTION FORWARD\n"
+         "PERM delete_flow LIMITING OWN_FLOWS\n";
+}
+
+void TrafficEngineeringApp::init(ctrl::AppContext& context) {
+  context_ = &context;
+  context.subscribeData(kAltoCostMapTopic,
+                        [this](const ctrl::DataUpdateEvent& event) {
+                          onCostMap(event);
+                        });
+}
+
+void TrafficEngineeringApp::onCostMap(const ctrl::DataUpdateEvent& event) {
+  // processed_ is bumped at the end: observers treat it as "update fully
+  // reacted to, rules installed" (the Figure-6b measurement point).
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok) {
+    processed_.fetch_add(1);
+    return;
+  }
+  const net::Topology& topology = topologyResponse.value;
+
+  // Refresh IP-pair routing rules along the (possibly changed) best paths.
+  for (const auto& [srcIp, dstIp, hops] : decodeCostMap(event.payload)) {
+    (void)hops;
+    auto src = topology.hostByIp(srcIp);
+    auto dst = topology.hostByIp(dstIp);
+    if (!src || !dst) continue;
+    of::FlowMatch match;
+    match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+    match.ipSrc = of::MaskedIpv4{srcIp};
+    match.ipDst = of::MaskedIpv4{dstIp};
+    auto mods = ctrl::buildPathFlowMods(topology, *src, *dst, match, priority_);
+    if (!mods) continue;
+    // Path rules are semantically one unit: install transactionally.
+    if (context_->api().commitFlowTransaction(*mods).ok) {
+      installed_.fetch_add(mods->size());
+    }
+  }
+  processed_.fetch_add(1);
+}
+
+}  // namespace sdnshield::apps

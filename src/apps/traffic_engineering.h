@@ -1,0 +1,34 @@
+// Traffic engineering app (second evaluation scenario, §IX-A): listens to
+// the ALTO app's cost-map events and reacts with flow-mods that refresh the
+// routing paths for host pairs.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "controller/api.h"
+
+namespace sdnshield::apps {
+
+class TrafficEngineeringApp final : public ctrl::App {
+ public:
+  explicit TrafficEngineeringApp(std::uint16_t rulePriority = 20)
+      : priority_(rulePriority) {}
+
+  std::string name() const override { return "traffic_engineering"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  std::uint64_t updatesProcessed() const { return processed_.load(); }
+  std::uint64_t rulesInstalled() const { return installed_.load(); }
+
+ private:
+  void onCostMap(const ctrl::DataUpdateEvent& event);
+
+  ctrl::AppContext* context_ = nullptr;
+  std::uint16_t priority_;
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> installed_{0};
+};
+
+}  // namespace sdnshield::apps

@@ -1,0 +1,278 @@
+#include "cbench/generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace sdnshield::cbench {
+
+namespace {
+
+of::Packet broadcastArp(const sim::SimHost& host) {
+  return of::Packet::makeArpRequest(host.mac(), host.ip(),
+                                    of::Ipv4Address(10, 255, 255, 254));
+}
+
+}  // namespace
+
+void Generator::setup() {
+  std::vector<std::shared_ptr<sim::SimSwitch>> switches = network_.switches();
+  std::uint32_t probeIndex = 1;
+  for (const auto& sw : switches) {
+    Probe probe;
+    probe.dpid = sw->dpid();
+    for (const auto& host : network_.hosts()) {
+      if (host->descriptor().dpid == probe.dpid &&
+          host->descriptor().port == 1) {
+        probe.targetHost = host;
+        break;
+      }
+    }
+    if (!probe.targetHost) continue;  // Switch without a measurable host.
+    probe.probeHost = network_.addHost(
+        probe.dpid, 4,
+        of::MacAddress::fromUint64(0x0400000000ULL + probeIndex),
+        of::Ipv4Address(10, 9, static_cast<std::uint8_t>(probeIndex >> 8),
+                        static_cast<std::uint8_t>(probeIndex & 0xff)));
+    ++probeIndex;
+    probes_.push_back(std::move(probe));
+  }
+  if (probes_.empty()) {
+    throw std::runtime_error("Generator: no (switch, host) pairs to probe");
+  }
+  // Warm the controller's learning tables: every endpoint announces itself.
+  for (const Probe& probe : probes_) {
+    probe.targetHost->send(broadcastArp(*probe.targetHost));
+    probe.probeHost->send(broadcastArp(*probe.probeHost));
+  }
+  // Prime each switch (and absorb async warmup in the shielded deployment).
+  for (const Probe& probe : probes_) {
+    measureRound(probe.dpid, std::chrono::milliseconds(1000));
+    measureRound(probe.dpid, std::chrono::milliseconds(1000));
+  }
+}
+
+std::optional<std::chrono::nanoseconds> Generator::measureRound(
+    of::DatapathId dpid, std::chrono::milliseconds timeout) {
+  const Probe* probe = nullptr;
+  for (const Probe& candidate : probes_) {
+    if (candidate.dpid == dpid) {
+      probe = &candidate;
+      break;
+    }
+  }
+  if (probe == nullptr) return std::nullopt;
+
+  // Simulate the destination rule idling out, so the next packet is a
+  // fresh flow arrival (miss -> packet-in -> flow-mod + packet-out). This
+  // is switch-local (no control channel involved).
+  auto sw = network_.switchAt(dpid);
+  of::FlowMatch expired;
+  expired.ethDst = probe->targetHost->mac();
+  sw->expireFlows(expired);
+
+  std::size_t base = probe->targetHost->receivedCount();
+  of::Packet packet = of::Packet::makeTcp(
+      probe->probeHost->mac(), probe->targetHost->mac(),
+      probe->probeHost->ip(), probe->targetHost->ip(), 12345, 80,
+      of::tcpflags::kSyn);
+  auto start = std::chrono::steady_clock::now();
+  probe->probeHost->send(packet);
+  if (!probe->targetHost->waitForPackets(base + 1, timeout)) {
+    return std::nullopt;
+  }
+  return std::chrono::steady_clock::now() - start;
+}
+
+LatencyStats Generator::runLatency(std::size_t rounds,
+                                   std::chrono::milliseconds timeout) {
+  std::vector<double> samplesUs;
+  samplesUs.reserve(rounds);
+  LatencyStats stats;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const Probe& probe = probes_[i % probes_.size()];
+    auto sample = measureRound(probe.dpid, timeout);
+    if (!sample) {
+      ++stats.timeouts;
+      continue;
+    }
+    samplesUs.push_back(
+        std::chrono::duration<double, std::micro>(*sample).count());
+  }
+  if (samplesUs.empty()) return stats;
+  std::sort(samplesUs.begin(), samplesUs.end());
+  auto percentile = [&](double p) {
+    std::size_t index = static_cast<std::size_t>(
+        p * static_cast<double>(samplesUs.size() - 1));
+    return samplesUs[index];
+  };
+  stats.samples = samplesUs.size();
+  stats.medianUs = percentile(0.5);
+  stats.p10Us = percentile(0.1);
+  stats.p90Us = percentile(0.9);
+  double sum = 0;
+  for (double v : samplesUs) sum += v;
+  stats.meanUs = sum / static_cast<double>(samplesUs.size());
+  return stats;
+}
+
+ThroughputStats Generator::runThroughput(std::chrono::milliseconds duration) {
+  std::atomic<std::uint64_t> responses{0};
+  auto deadline = std::chrono::steady_clock::now() + duration;
+  std::vector<std::thread> drivers;
+  drivers.reserve(probes_.size());
+  for (const Probe& probe : probes_) {
+    drivers.emplace_back([this, &probe, &responses, deadline] {
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (measureRound(probe.dpid, std::chrono::milliseconds(200))) {
+          responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (std::thread& driver : drivers) driver.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ThroughputStats stats;
+  stats.totalResponses = responses.load();
+  stats.durationSec = elapsed;
+  stats.responsesPerSec =
+      elapsed > 0 ? static_cast<double>(stats.totalResponses) / elapsed : 0;
+  return stats;
+}
+
+// --- Figure 5 workload ------------------------------------------------------------
+
+namespace {
+
+using perm::FilterExpr;
+using perm::FilterExprPtr;
+using perm::FilterPtr;
+
+/// One disjunctive clause: an IP_DST /16 window plus always-satisfiable
+/// bounds, sized to reach the requested leaf count.
+FilterExprPtr makeClause(std::uint8_t subnet, std::size_t leaves) {
+  FilterExprPtr expr = FilterExpr::singleton(
+      FilterPtr{new perm::FieldPredicateFilter(
+          of::MatchField::kIpDst,
+          of::MaskedIpv4{of::Ipv4Address(10, subnet, 0, 0),
+                         of::Ipv4Address::prefixMask(16)})});
+  const FilterPtr extras[] = {
+      FilterPtr{new perm::PriorityFilter(true, 1000)},
+      FilterPtr{new perm::OwnershipFilter(false)},
+      FilterPtr{new perm::TableSizeFilter(1u << 20)},
+      FilterPtr{new perm::PriorityFilter(false, 0)},
+  };
+  for (std::size_t i = 1; i < leaves; ++i) {
+    expr = FilterExpr::conj(expr,
+                            FilterExpr::singleton(extras[(i - 1) % 4]));
+  }
+  return expr;
+}
+
+/// Builds a token filter with ~targetLeaves singleton filters (10-20 per
+/// the paper), as a disjunction of 3-4-leaf conjunctive clauses. Larger
+/// manifests carry denser filters, which is what makes per-check cost — and
+/// thus Figure 5's throughput — depend on manifest complexity.
+FilterExprPtr makeTokenFilter(std::mt19937_64& rng, std::size_t targetLeaves) {
+  // Split the leaf budget into 3-4-leaf clauses.
+  std::vector<std::size_t> clauseSizes;
+  std::size_t remaining = targetLeaves;
+  while (remaining > 0) {
+    std::size_t leaves = 3 + rng() % 2;
+    if (leaves > remaining || remaining - leaves == 1 ||
+        remaining - leaves == 2) {
+      leaves = remaining <= 5 ? remaining : remaining - 3;
+    }
+    clauseSizes.push_back(leaves);
+    remaining -= leaves;
+  }
+  // The trace's in-range destinations live in 10.{0,1,2}/16; those subnets
+  // go to the *last* clauses, so an allowed call scans the whole
+  // disjunction — per-check cost grows with manifest complexity, which is
+  // what bends Figure 5's throughput curve.
+  FilterExprPtr expr;
+  for (std::size_t c = 0; c < clauseSizes.size(); ++c) {
+    std::size_t fromEnd = clauseSizes.size() - 1 - c;
+    std::uint8_t subnet = fromEnd < 3 ? static_cast<std::uint8_t>(2 - fromEnd)
+                                      : static_cast<std::uint8_t>(100 + c);
+    FilterExprPtr clause = makeClause(subnet, clauseSizes[c]);
+    expr = expr ? FilterExpr::disj(expr, clause) : clause;
+  }
+  return expr;
+}
+
+}  // namespace
+
+perm::PermissionSet makeSyntheticManifest(std::size_t tokenCount,
+                                          std::uint64_t seed,
+                                          perm::Token primary) {
+  std::mt19937_64 rng(seed);
+  perm::PermissionSet manifest;
+  // The primary (benched) token comes first, then the other benched call
+  // type, so the small manifest grants exactly the call under measurement.
+  std::vector<perm::Token> order{primary};
+  perm::Token secondary = primary == perm::Token::kInsertFlow
+                              ? perm::Token::kReadStatistics
+                              : perm::Token::kInsertFlow;
+  order.push_back(secondary);
+  for (perm::Token token : perm::kAllTokens) {
+    if (token != primary && token != secondary) {
+      order.push_back(token);
+    }
+  }
+  // Filter density scales with manifest size within the paper's 10-20
+  // band: small=10, medium≈14, large=20 filters per token.
+  std::size_t targetLeaves = 10 + (tokenCount - 1) * 10 / 14;
+  if (targetLeaves > 20) targetLeaves = 20;
+  for (std::size_t i = 0; i < tokenCount && i < order.size(); ++i) {
+    manifest.grant(order[i], makeTokenFilter(rng, targetLeaves));
+  }
+  return manifest;
+}
+
+std::vector<perm::ApiCall> makeSyntheticTrace(
+    const perm::PermissionSet& manifest, std::size_t length,
+    double violationRatio, std::uint64_t seed) {
+  (void)manifest;  // The trace shape matches makeSyntheticManifest's clauses.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<perm::ApiCall> trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    bool violate = uniform(rng) < violationRatio;
+    bool insert = (i % 2) == 0;
+    // In-range destinations live in 10.{0..2}.x.x (always covered by the
+    // generated clauses); violations target 192.168.x.x.
+    of::Ipv4Address dst =
+        violate ? of::Ipv4Address(192, 168, static_cast<std::uint8_t>(rng()),
+                                  static_cast<std::uint8_t>(rng()))
+                : of::Ipv4Address(10, static_cast<std::uint8_t>(rng() % 3),
+                                  static_cast<std::uint8_t>(rng()),
+                                  static_cast<std::uint8_t>(rng()));
+    if (insert) {
+      of::FlowMod mod;
+      mod.command = of::FlowModCommand::kAdd;
+      mod.match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+      mod.match.ipDst = of::MaskedIpv4{dst};
+      mod.priority = static_cast<std::uint16_t>(rng() % 1000);
+      mod.actions.push_back(of::OutputAction{1});
+      perm::ApiCall call = perm::ApiCall::insertFlow(1, 1, mod);
+      call.ruleCountAfter = 16;
+      trace.push_back(std::move(call));
+    } else {
+      of::StatsRequest request;
+      request.level = of::StatsLevel::kFlow;
+      request.dpid = 1;
+      request.match.ipDst = of::MaskedIpv4{dst};
+      perm::ApiCall call = perm::ApiCall::readStatistics(1, request);
+      trace.push_back(std::move(call));
+    }
+  }
+  return trace;
+}
+
+}  // namespace sdnshield::cbench

@@ -1,0 +1,94 @@
+// CBench-style OF message generator (paper §IX-A): drives the simulated
+// switches with packet-in-producing workloads and measures control-plane
+// response latency (latency mode: one outstanding request per switch) and
+// throughput (pressure mode: back-to-back rounds on every switch in
+// parallel). Also provides the Figure-5 workload: synthetic manifests of
+// small/medium/large complexity and an API-call trace with a fixed
+// violation ratio.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/perm/api_call.h"
+#include "core/perm/permission.h"
+#include "switchsim/sim_network.h"
+
+namespace sdnshield::cbench {
+
+struct LatencyStats {
+  double medianUs = 0;
+  double p10Us = 0;
+  double p90Us = 0;
+  double meanUs = 0;
+  std::size_t samples = 0;
+  std::size_t timeouts = 0;
+};
+
+struct ThroughputStats {
+  double responsesPerSec = 0;
+  std::uint64_t totalResponses = 0;
+  double durationSec = 0;
+};
+
+/// Drives an L2-learning-switch control loop: each round simulates a flow
+/// arrival (idle-timeout-expired rule, fresh packet-in), and the response is
+/// the controller's flow-mod + packet-out reaching the destination host.
+class Generator {
+ public:
+  /// The network must have one host on port 1 of every switch (as built by
+  /// SimNetwork::buildLinear).
+  explicit Generator(sim::SimNetwork& network) : network_(network) {}
+
+  /// Attaches a probe host (port 4) per switch and warms the controller's
+  /// learning tables.
+  void setup();
+
+  /// One latency sample on one switch; empty on timeout.
+  std::optional<std::chrono::nanoseconds> measureRound(
+      of::DatapathId dpid, std::chrono::milliseconds timeout);
+
+  /// Latency mode: rounds distributed round-robin over all switches, one
+  /// outstanding request at a time.
+  LatencyStats runLatency(std::size_t rounds,
+                          std::chrono::milliseconds timeout =
+                              std::chrono::milliseconds(1000));
+
+  /// Pressure mode: every switch runs rounds back-to-back in parallel for
+  /// the given duration.
+  ThroughputStats runThroughput(std::chrono::milliseconds duration);
+
+ private:
+  struct Probe {
+    of::DatapathId dpid = 0;
+    std::shared_ptr<sim::SimHost> probeHost;   // Injector (port 4).
+    std::shared_ptr<sim::SimHost> targetHost;  // Observer (port 1).
+    std::uint16_t rulePriority = 10;
+  };
+
+  sim::SimNetwork& network_;
+  std::vector<Probe> probes_;
+};
+
+// --- Figure 5 workload ----------------------------------------------------------
+
+/// Builds a synthetic manifest with @p tokenCount permission tokens, each
+/// carrying between 10 and 20 singleton filters composed with AND/OR (the
+/// paper's small=1 / medium=5 / large=15 manifests). @p primary is the
+/// token granted first — the small (1-token) manifest grants exactly the
+/// call type under measurement. Deterministic per seed.
+perm::PermissionSet makeSyntheticManifest(
+    std::size_t tokenCount, std::uint64_t seed,
+    perm::Token primary = perm::Token::kInsertFlow);
+
+/// An app behaviour trace of flow insertions and statistics requests where
+/// @p violationRatio of the calls violate the manifest (paper: 5%).
+std::vector<perm::ApiCall> makeSyntheticTrace(const perm::PermissionSet& manifest,
+                                              std::size_t length,
+                                              double violationRatio,
+                                              std::uint64_t seed);
+
+}  // namespace sdnshield::cbench

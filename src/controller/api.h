@@ -1,0 +1,135 @@
+// The controller's northbound API and app model.
+//
+// Apps are written once against NorthboundApi/AppContext and run unchanged
+// in both deployments (the compatibility property of §VI):
+//  * baseline (monolithic): DirectApi — direct kernel calls, no mediation;
+//  * SDNShield: the isolation module's ApiProxy — calls marshal through the
+//    inter-thread channel to a Kernel Service Deputy which permission-checks
+//    and executes them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/event.h"
+#include "net/topology.h"
+#include "of/flow_mod.h"
+#include "of/messages.h"
+
+namespace sdnshield::ctrl {
+
+/// Outcome of a mutating API call.
+struct ApiResult {
+  bool ok = true;
+  std::string error;
+
+  static ApiResult success() { return {}; }
+  static ApiResult failure(std::string error) {
+    return ApiResult{false, std::move(error)};
+  }
+};
+
+/// Outcome of a reading API call.
+template <typename T>
+struct ApiResponse {
+  bool ok = true;
+  std::string error;
+  T value{};
+
+  static ApiResponse success(T value) {
+    return ApiResponse{true, {}, std::move(value)};
+  }
+  static ApiResponse failure(std::string error) {
+    return ApiResponse{false, std::move(error), T{}};
+  }
+};
+
+/// The SDN northbound interface exposed to apps.
+class NorthboundApi {
+ public:
+  virtual ~NorthboundApi() = default;
+
+  virtual ApiResult insertFlow(of::DatapathId dpid, const of::FlowMod& mod) = 0;
+  virtual ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
+                               bool strict, std::uint16_t priority) = 0;
+  /// Atomically installs a group of rules (§VI-B.2); all-or-nothing.
+  virtual ApiResult commitFlowTransaction(
+      const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) = 0;
+
+  virtual ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
+      of::DatapathId dpid) = 0;
+  virtual ApiResponse<net::Topology> readTopology() = 0;
+  virtual ApiResponse<of::StatsReply> readStatistics(
+      const of::StatsRequest& request) = 0;
+  virtual ApiResult sendPacketOut(const of::PacketOut& packetOut) = 0;
+
+  /// Publishes to the inter-app data bus (ALTO scenario).
+  virtual ApiResult publishData(const std::string& topic,
+                                const std::string& payload) = 0;
+};
+
+/// Host-system services (network/file/process) available to an app. In the
+/// SDNShield deployment these are mediated by the reference monitor; the
+/// baseline deployment passes them straight through.
+class HostServices {
+ public:
+  virtual ~HostServices() = default;
+
+  /// Sends data to a remote endpoint over the controller host's network.
+  virtual bool netSend(of::Ipv4Address remoteIp, std::uint16_t remotePort,
+                       const std::string& data) = 0;
+  virtual bool fileWrite(const std::string& path, const std::string& data) = 0;
+  virtual bool exec(const std::string& command) = 0;
+};
+
+/// Everything an app receives at init time.
+class AppContext {
+ public:
+  virtual ~AppContext() = default;
+
+  virtual of::AppId appId() const = 0;
+  virtual NorthboundApi& api() = 0;
+  virtual HostServices& host() = 0;
+
+  // Event subscriptions. In the SDNShield deployment the subscription call
+  // itself is permission-checked (event tokens) and handlers run on the
+  // app's own thread.
+  virtual ApiResult subscribePacketIn(
+      std::function<void(const PacketInEvent&)> handler) = 0;
+  /// Interceptor registration: the handler may consume the packet-in
+  /// (return true) before plain observers see it. Requires the
+  /// EVENT_INTERCEPTION callback capability under SDNShield; runs
+  /// synchronously on the dispatch path under the app's identity.
+  virtual ApiResult subscribePacketInInterceptor(
+      std::function<bool(const PacketInEvent&)> handler) = 0;
+  virtual ApiResult subscribeFlowEvents(
+      std::function<void(const FlowEvent&)> handler) = 0;
+  virtual ApiResult subscribeTopologyEvents(
+      std::function<void(const TopologyEvent&)> handler) = 0;
+  virtual ApiResult subscribeErrorEvents(
+      std::function<void(const ErrorEvent&)> handler) = 0;
+  virtual ApiResult subscribeData(
+      const std::string& topic,
+      std::function<void(const DataUpdateEvent&)> handler) = 0;
+};
+
+/// A controller application. Apps carry their requested permission manifest
+/// (permission-language text) in the release package (§III).
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The developer-authored permission manifest distributed with the app.
+  virtual std::string requestedManifest() const = 0;
+
+  /// Called once on the app's execution context. Registers listeners and
+  /// performs initial API calls.
+  virtual void init(AppContext& context) = 0;
+};
+
+}  // namespace sdnshield::ctrl

@@ -1,0 +1,245 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+
+namespace sdnshield::ctrl {
+
+void Controller::attachSwitch(std::shared_ptr<SwitchConn> conn) {
+  of::DatapathId dpid = conn->dpid();
+  {
+    std::lock_guard lock(mutex_);
+    switches_[dpid] = std::move(conn);
+    topology_.addSwitch(dpid);
+  }
+  emitTopologyEvent(TopologyEvent{TopologyChange::kSwitchUp, dpid, 0});
+}
+
+void Controller::detachSwitch(of::DatapathId dpid) {
+  {
+    std::lock_guard lock(mutex_);
+    switches_.erase(dpid);
+    topology_.removeSwitch(dpid);
+  }
+  emitTopologyEvent(TopologyEvent{TopologyChange::kSwitchDown, dpid, 0});
+}
+
+void Controller::addLink(of::DatapathId a, of::PortNo aPort, of::DatapathId b,
+                         of::PortNo bPort) {
+  {
+    std::lock_guard lock(mutex_);
+    topology_.addLink(a, aPort, b, bPort);
+  }
+  emitTopologyEvent(TopologyEvent{TopologyChange::kLinkUp, a, b});
+}
+
+void Controller::learnHost(const net::Host& host) {
+  {
+    std::lock_guard lock(mutex_);
+    topology_.attachHost(host);
+  }
+  emitTopologyEvent(TopologyEvent{TopologyChange::kHostSeen, host.dpid, 0});
+}
+
+void Controller::onPacketIn(const of::PacketIn& packetIn) {
+  std::vector<Interceptor> interceptors;
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    interceptors = packetInInterceptors_;
+    subscribers = packetInSubscribers_;
+  }
+  Event event{PacketInEvent{packetIn}};
+  for (const Interceptor& interceptor : interceptors) {
+    if (interceptor.intercept(event)) return;  // Consumed.
+  }
+  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+}
+
+void Controller::onFlowRemoved(const of::FlowRemoved& removed) {
+  // The cookie carries the issuing app id (stamped at insert time).
+  ownership_.recordDelete(removed.dpid, removed.match, removed.priority,
+                          /*strict=*/true);
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = flowSubscribers_;
+  }
+  Event event{FlowEvent{removed.dpid, FlowChange::kRemoved, removed.match,
+                        removed.priority,
+                        static_cast<of::AppId>(removed.cookie)}};
+  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+}
+
+void Controller::addPacketInInterceptor(of::AppId app,
+                                        EventInterceptor interceptor) {
+  std::lock_guard lock(mutex_);
+  packetInInterceptors_.push_back(Interceptor{app, std::move(interceptor)});
+}
+
+void Controller::onSwitchError(const of::ErrorMsg& error) {
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = errorSubscribers_;
+  }
+  Event event{ErrorEvent{error}};
+  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+}
+
+ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
+                                       const of::FlowMod& mod) {
+  std::shared_ptr<SwitchConn> conn = switchConn(dpid);
+  if (!conn) return ApiResult::failure("unknown switch");
+  of::FlowMod stamped = mod;
+  stamped.cookie = issuer;
+  if (!conn->applyFlowMod(stamped)) {
+    onSwitchError(of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
+    return ApiResult::failure("flow table full");
+  }
+  bool modify = mod.command == of::FlowModCommand::kModify ||
+                mod.command == of::FlowModCommand::kModifyStrict;
+  if (!modify) ownership_.recordInsert(issuer, dpid, mod.match, mod.priority);
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = flowSubscribers_;
+  }
+  Event event{FlowEvent{dpid,
+                        modify ? FlowChange::kModified : FlowChange::kInstalled,
+                        mod.match, mod.priority, issuer}};
+  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  return ApiResult::success();
+}
+
+ApiResult Controller::kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
+                                       const of::FlowMatch& match, bool strict,
+                                       std::uint16_t priority) {
+  std::shared_ptr<SwitchConn> conn = switchConn(dpid);
+  if (!conn) return ApiResult::failure("unknown switch");
+  of::FlowMod mod;
+  mod.command =
+      strict ? of::FlowModCommand::kDeleteStrict : of::FlowModCommand::kDelete;
+  mod.match = match;
+  mod.priority = priority;
+  mod.cookie = issuer;
+  conn->applyFlowMod(mod);
+  ownership_.recordDelete(dpid, match, priority, strict);
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = flowSubscribers_;
+  }
+  Event event{
+      FlowEvent{dpid, FlowChange::kRemoved, match, priority, issuer}};
+  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  return ApiResult::success();
+}
+
+ApiResponse<std::vector<of::FlowEntry>> Controller::kernelReadFlowTable(
+    of::DatapathId dpid) const {
+  std::shared_ptr<SwitchConn> conn = switchConn(dpid);
+  if (!conn) {
+    return ApiResponse<std::vector<of::FlowEntry>>::failure("unknown switch");
+  }
+  return ApiResponse<std::vector<of::FlowEntry>>::success(conn->dumpFlows());
+}
+
+net::Topology Controller::kernelReadTopology() const {
+  std::lock_guard lock(mutex_);
+  return topology_;
+}
+
+ApiResponse<of::StatsReply> Controller::kernelReadStatistics(
+    const of::StatsRequest& request) const {
+  std::shared_ptr<SwitchConn> conn = switchConn(request.dpid);
+  if (!conn) return ApiResponse<of::StatsReply>::failure("unknown switch");
+  return ApiResponse<of::StatsReply>::success(conn->queryStats(request));
+}
+
+ApiResult Controller::kernelSendPacketOut(const of::PacketOut& packetOut) {
+  std::shared_ptr<SwitchConn> conn = switchConn(packetOut.dpid);
+  if (!conn) return ApiResult::failure("unknown switch");
+  conn->transmitPacket(packetOut);
+  return ApiResult::success();
+}
+
+void Controller::kernelPublishData(of::AppId publisher,
+                                   const std::string& topic,
+                                   const std::string& payload) {
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = dataSubscribers_;
+  }
+  Event event{DataUpdateEvent{topic, payload, publisher}};
+  for (const Subscriber& subscriber : subscribers) {
+    if (subscriber.topic == topic) subscriber.sink(event);
+  }
+}
+
+void Controller::addPacketInSubscriber(of::AppId app, EventSink sink) {
+  std::lock_guard lock(mutex_);
+  packetInSubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+}
+
+void Controller::addFlowSubscriber(of::AppId app, EventSink sink) {
+  std::lock_guard lock(mutex_);
+  flowSubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+}
+
+void Controller::addTopologySubscriber(of::AppId app, EventSink sink) {
+  std::lock_guard lock(mutex_);
+  topologySubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+}
+
+void Controller::addErrorSubscriber(of::AppId app, EventSink sink) {
+  std::lock_guard lock(mutex_);
+  errorSubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+}
+
+void Controller::addDataSubscriber(of::AppId app, const std::string& topic,
+                                   EventSink sink) {
+  std::lock_guard lock(mutex_);
+  dataSubscribers_.push_back(Subscriber{app, std::move(sink), topic});
+}
+
+void Controller::removeSubscribers(of::AppId app) {
+  std::lock_guard lock(mutex_);
+  auto drop = [&](std::vector<Subscriber>& list) {
+    std::erase_if(list,
+                  [&](const Subscriber& sub) { return sub.app == app; });
+  };
+  drop(packetInSubscribers_);
+  std::erase_if(packetInInterceptors_,
+                [&](const Interceptor& i) { return i.app == app; });
+  drop(flowSubscribers_);
+  drop(topologySubscribers_);
+  drop(errorSubscribers_);
+  drop(dataSubscribers_);
+}
+
+std::shared_ptr<SwitchConn> Controller::switchConn(of::DatapathId dpid) const {
+  std::lock_guard lock(mutex_);
+  auto it = switches_.find(dpid);
+  return it == switches_.end() ? nullptr : it->second;
+}
+
+std::vector<of::DatapathId> Controller::switchIds() const {
+  std::lock_guard lock(mutex_);
+  std::vector<of::DatapathId> out;
+  out.reserve(switches_.size());
+  for (const auto& [dpid, _] : switches_) out.push_back(dpid);
+  return out;
+}
+
+void Controller::emitTopologyEvent(const TopologyEvent& topoEvent) {
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = topologySubscribers_;
+  }
+  Event event{topoEvent};
+  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+}
+
+}  // namespace sdnshield::ctrl

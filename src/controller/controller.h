@@ -1,0 +1,121 @@
+// The controller kernel: owns the southbound switch connections, the
+// topology database, the ownership tracker and the audit log; dispatches
+// events; and exposes *unchecked* kernel operations. Permission mediation is
+// layered on top — DirectApi (baseline) calls straight in, the isolation
+// module's Kernel Service Deputies check first (paper Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "controller/api.h"
+#include "controller/event.h"
+#include "core/engine/audit.h"
+#include "core/engine/ownership.h"
+#include "net/topology.h"
+
+namespace sdnshield::ctrl {
+
+/// Southbound connection to one switch (implemented by the simulator).
+class SwitchConn {
+ public:
+  virtual ~SwitchConn() = default;
+
+  virtual of::DatapathId dpid() const = 0;
+  virtual bool applyFlowMod(const of::FlowMod& mod) = 0;
+  virtual void transmitPacket(const of::PacketOut& packetOut) = 0;
+  virtual std::vector<of::FlowEntry> dumpFlows() const = 0;
+  virtual of::StatsReply queryStats(const of::StatsRequest& request) const = 0;
+};
+
+class Controller {
+ public:
+  using EventSink = std::function<void(const Event&)>;
+
+  // --- southbound / topology learning -------------------------------------
+  void attachSwitch(std::shared_ptr<SwitchConn> conn);
+  void detachSwitch(of::DatapathId dpid);
+  void addLink(of::DatapathId a, of::PortNo aPort, of::DatapathId b,
+               of::PortNo bPort);
+  void learnHost(const net::Host& host);
+
+  /// Entry point for packet-ins punted by switches. Interceptors (apps with
+  /// the EVENT_INTERCEPTION capability) run first, in registration order; a
+  /// consumed packet-in is not delivered to plain observers.
+  void onPacketIn(const of::PacketIn& packetIn);
+  void onSwitchError(const of::ErrorMsg& error);
+  /// Idle/hard timeout expiry notification from a switch.
+  void onFlowRemoved(const of::FlowRemoved& removed);
+
+  // --- kernel operations (no permission checks here) -----------------------
+  ApiResult kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
+                             const of::FlowMod& mod);
+  ApiResult kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
+                             const of::FlowMatch& match, bool strict,
+                             std::uint16_t priority);
+  ApiResponse<std::vector<of::FlowEntry>> kernelReadFlowTable(
+      of::DatapathId dpid) const;
+  net::Topology kernelReadTopology() const;
+  ApiResponse<of::StatsReply> kernelReadStatistics(
+      const of::StatsRequest& request) const;
+  ApiResult kernelSendPacketOut(const of::PacketOut& packetOut);
+  void kernelPublishData(of::AppId publisher, const std::string& topic,
+                         const std::string& payload);
+
+  // --- event subscription ----------------------------------------------------
+  // The sink decides the execution context: the baseline deployment invokes
+  // the app handler inline; the SDNShield deployment posts to the app thread.
+  void addPacketInSubscriber(of::AppId app, EventSink sink);
+  /// An interceptor sees packet-ins before observers and may consume them
+  /// (return true). Requires the EVENT_INTERCEPTION callback capability in
+  /// the SDNShield deployment; interceptors run synchronously on the
+  /// dispatch path (interception is inherently a synchronous decision).
+  using EventInterceptor = std::function<bool(const Event&)>;
+  void addPacketInInterceptor(of::AppId app, EventInterceptor interceptor);
+  void addFlowSubscriber(of::AppId app, EventSink sink);
+  void addTopologySubscriber(of::AppId app, EventSink sink);
+  void addErrorSubscriber(of::AppId app, EventSink sink);
+  void addDataSubscriber(of::AppId app, const std::string& topic,
+                         EventSink sink);
+  void removeSubscribers(of::AppId app);
+
+  // --- shared infrastructure ---------------------------------------------------
+  engine::OwnershipTracker& ownership() { return ownership_; }
+  engine::AuditLog& audit() { return audit_; }
+  std::shared_ptr<SwitchConn> switchConn(of::DatapathId dpid) const;
+  std::vector<of::DatapathId> switchIds() const;
+
+ private:
+  struct Subscriber {
+    of::AppId app = 0;
+    EventSink sink;
+    std::string topic;  // Data subscribers only.
+  };
+
+  std::vector<Subscriber> snapshot(const std::vector<Subscriber>& list) const;
+  void emitTopologyEvent(const TopologyEvent& event);
+
+  mutable std::mutex mutex_;
+  std::map<of::DatapathId, std::shared_ptr<SwitchConn>> switches_;
+  net::Topology topology_;
+  struct Interceptor {
+    of::AppId app = 0;
+    EventInterceptor intercept;
+  };
+
+  std::vector<Subscriber> packetInSubscribers_;
+  std::vector<Interceptor> packetInInterceptors_;
+  std::vector<Subscriber> flowSubscribers_;
+  std::vector<Subscriber> topologySubscribers_;
+  std::vector<Subscriber> errorSubscribers_;
+  std::vector<Subscriber> dataSubscribers_;
+  engine::OwnershipTracker ownership_;
+  engine::AuditLog audit_;
+};
+
+}  // namespace sdnshield::ctrl

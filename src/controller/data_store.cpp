@@ -1,0 +1,164 @@
+#include "controller/data_store.h"
+
+#include <algorithm>
+
+namespace sdnshield::ctrl {
+
+namespace {
+
+bool isPrefixOf(const std::string& prefix, const std::string& path) {
+  if (prefix.empty()) return true;
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  // Segment boundary: "topology/sw" is not under prefix "topology/s".
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix.back() == '/';
+}
+
+/// An ApiCall whose required token is @p token, so the engine evaluates the
+/// right compiled program (filters that inspect attributes the data access
+/// does not carry label true — "not applicable").
+perm::ApiCall callForToken(of::AppId app, perm::Token token) {
+  static constexpr perm::ApiCallType kAllTypes[] = {
+      perm::ApiCallType::kInsertFlow,
+      perm::ApiCallType::kDeleteFlow,
+      perm::ApiCallType::kReadFlowTable,
+      perm::ApiCallType::kSubscribeFlowEvent,
+      perm::ApiCallType::kReadTopology,
+      perm::ApiCallType::kModifyTopology,
+      perm::ApiCallType::kSubscribeTopologyEvent,
+      perm::ApiCallType::kReadStatistics,
+      perm::ApiCallType::kSubscribeErrorEvent,
+      perm::ApiCallType::kReadPayload,
+      perm::ApiCallType::kSendPacketOut,
+      perm::ApiCallType::kSubscribePacketIn,
+      perm::ApiCallType::kHostNetworkAccess,
+      perm::ApiCallType::kFileSystemAccess,
+      perm::ApiCallType::kProcessRuntimeAccess,
+  };
+  perm::ApiCall call;
+  call.app = app;
+  for (perm::ApiCallType type : kAllTypes) {
+    if (perm::requiredToken(type) == token) {
+      call.type = type;
+      return call;
+    }
+  }
+  return call;
+}
+
+}  // namespace
+
+void DataStore::defineSensitivity(std::string pathPrefix,
+                                  std::optional<perm::Token> readToken,
+                                  std::optional<perm::Token> writeToken) {
+  std::lock_guard lock(mutex_);
+  sensitivities_.push_back(
+      Sensitivity{std::move(pathPrefix), readToken, writeToken});
+}
+
+const DataStore::Sensitivity* DataStore::findSensitivity(
+    const std::string& path) const {
+  const Sensitivity* best = nullptr;
+  for (const Sensitivity& candidate : sensitivities_) {
+    if (!isPrefixOf(candidate.prefix, path)) continue;
+    if (best == nullptr || candidate.prefix.size() > best->prefix.size()) {
+      best = &candidate;
+    }
+  }
+  return best;
+}
+
+engine::Decision DataStore::check(of::AppId app, const std::string& path,
+                                  bool forWrite) const {
+  if (engine_ == nullptr || app == of::kKernelAppId) {
+    return engine::Decision::allow();
+  }
+  const Sensitivity* sensitivity = findSensitivity(path);
+  if (sensitivity == nullptr) {
+    // Undeclared subtree: fail closed for apps (only the kernel touches it).
+    return engine::Decision::deny("data node '" + path +
+                                  "' has no declared sensitivity");
+  }
+  const std::optional<perm::Token>& token =
+      forWrite ? sensitivity->writeToken : sensitivity->readToken;
+  if (!token) return engine::Decision::allow();
+  engine::Decision decision = engine_->check(callForToken(app, *token));
+  if (audit_ != nullptr) {
+    perm::ApiCall logged = callForToken(app, *token);
+    logged.path = path;
+    audit_->record(logged, decision.allowed, decision.reason);
+  }
+  return decision;
+}
+
+ApiResult DataStore::write(of::AppId app, const std::string& path,
+                           std::string value) {
+  engine::Decision decision = check(app, path, /*forWrite=*/true);
+  if (!decision.allowed) {
+    return ApiResult::failure("permission denied: " + decision.reason);
+  }
+  std::vector<Subscription> toNotify;
+  {
+    std::lock_guard lock(mutex_);
+    nodes_[path] = value;
+    for (const Subscription& subscription : subscriptions_) {
+      if (isPrefixOf(subscription.prefix, path)) {
+        toNotify.push_back(subscription);
+      }
+    }
+  }
+  for (const Subscription& subscription : toNotify) {
+    subscription.handler(path, value);
+  }
+  return ApiResult::success();
+}
+
+ApiResponse<std::string> DataStore::read(of::AppId app,
+                                         const std::string& path) const {
+  engine::Decision decision = check(app, path, /*forWrite=*/false);
+  if (!decision.allowed) {
+    return ApiResponse<std::string>::failure("permission denied: " +
+                                             decision.reason);
+  }
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return ApiResponse<std::string>::failure("no such data node: " + path);
+  }
+  return ApiResponse<std::string>::success(it->second);
+}
+
+ApiResponse<std::vector<std::string>> DataStore::list(
+    of::AppId app, const std::string& prefix) const {
+  engine::Decision decision = check(app, prefix, /*forWrite=*/false);
+  if (!decision.allowed) {
+    return ApiResponse<std::vector<std::string>>::failure(
+        "permission denied: " + decision.reason);
+  }
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [path, _] : nodes_) {
+    if (isPrefixOf(prefix, path) && path != prefix) out.push_back(path);
+  }
+  return ApiResponse<std::vector<std::string>>::success(std::move(out));
+}
+
+ApiResult DataStore::subscribe(of::AppId app, std::string prefix,
+                               ChangeHandler handler) {
+  engine::Decision decision = check(app, prefix, /*forWrite=*/false);
+  if (!decision.allowed) {
+    return ApiResult::failure("permission denied: " + decision.reason);
+  }
+  std::lock_guard lock(mutex_);
+  subscriptions_.push_back(
+      Subscription{app, std::move(prefix), std::move(handler)});
+  return ApiResult::success();
+}
+
+std::size_t DataStore::nodeCount() const {
+  std::lock_guard lock(mutex_);
+  return nodes_.size();
+}
+
+}  // namespace sdnshield::ctrl

@@ -1,0 +1,83 @@
+// Model-driven data store (paper §VIII-B): OpenDaylight's northbound is
+// largely reads/writes of a YANG data tree, so SDNShield mediates *data
+// access* — "sensitive nodes are associated with the necessary permissions
+// required to read or write it", and "all data accesses are mediated by the
+// permission engine with the associated permissions".
+//
+// This is the C++ analogue: a hierarchical path->value store where subtrees
+// are annotated with the permission token required to read / write them,
+// every access is checked against the caller's compiled permissions, and
+// change notifications are delivered only to subscribers allowed to read
+// the subtree.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controller/api.h"
+#include "core/engine/audit.h"
+#include "core/engine/permission_engine.h"
+
+namespace sdnshield::ctrl {
+
+class DataStore {
+ public:
+  /// @p engine == nullptr yields an unmediated store (monolithic baseline).
+  explicit DataStore(const engine::PermissionEngine* engine = nullptr,
+                     engine::AuditLog* audit = nullptr)
+      : engine_(engine), audit_(audit) {}
+
+  /// Annotates a subtree (longest-prefix match wins) with the tokens
+  /// required to read / write it. An empty optional means that direction
+  /// needs no token. Paths not covered by any annotation are
+  /// kernel-only (fail closed) for non-kernel principals.
+  void defineSensitivity(std::string pathPrefix,
+                         std::optional<perm::Token> readToken,
+                         std::optional<perm::Token> writeToken);
+
+  ApiResult write(of::AppId app, const std::string& path, std::string value);
+  ApiResponse<std::string> read(of::AppId app, const std::string& path) const;
+
+  /// Direct children names under @p prefix (mediated like a read).
+  ApiResponse<std::vector<std::string>> list(of::AppId app,
+                                             const std::string& prefix) const;
+
+  /// Change notifications for a subtree; the subscription itself is
+  /// mediated by the subtree's *read* token, mirroring the event-token
+  /// checks at the kernel deputy.
+  using ChangeHandler =
+      std::function<void(const std::string& path, const std::string& value)>;
+  ApiResult subscribe(of::AppId app, std::string prefix,
+                      ChangeHandler handler);
+
+  std::size_t nodeCount() const;
+
+ private:
+  struct Sensitivity {
+    std::string prefix;
+    std::optional<perm::Token> readToken;
+    std::optional<perm::Token> writeToken;
+  };
+  struct Subscription {
+    of::AppId app = 0;
+    std::string prefix;
+    ChangeHandler handler;
+  };
+
+  engine::Decision check(of::AppId app, const std::string& path,
+                         bool forWrite) const;
+  const Sensitivity* findSensitivity(const std::string& path) const;
+
+  const engine::PermissionEngine* engine_;
+  engine::AuditLog* audit_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> nodes_;
+  std::vector<Sensitivity> sensitivities_;
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace sdnshield::ctrl

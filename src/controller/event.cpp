@@ -1,0 +1,67 @@
+#include "controller/event.h"
+
+#include <sstream>
+
+namespace sdnshield::ctrl {
+
+namespace {
+
+std::string topologyChangeName(TopologyChange change) {
+  switch (change) {
+    case TopologyChange::kSwitchUp:
+      return "switch_up";
+    case TopologyChange::kSwitchDown:
+      return "switch_down";
+    case TopologyChange::kLinkUp:
+      return "link_up";
+    case TopologyChange::kLinkDown:
+      return "link_down";
+    case TopologyChange::kHostSeen:
+      return "host_seen";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string toString(const Event& event) {
+  struct Visitor {
+    std::string operator()(const PacketInEvent& e) const {
+      std::ostringstream out;
+      out << "packet_in dpid=" << e.packetIn.dpid
+          << " port=" << e.packetIn.inPort << " "
+          << e.packetIn.packet.toString();
+      return out.str();
+    }
+    std::string operator()(const FlowEvent& e) const {
+      std::ostringstream out;
+      out << "flow_event dpid=" << e.dpid << " "
+          << (e.change == FlowChange::kInstalled   ? "installed"
+              : e.change == FlowChange::kModified ? "modified"
+                                                  : "removed")
+          << " " << e.match.toString() << " by app " << e.issuer;
+      return out.str();
+    }
+    std::string operator()(const TopologyEvent& e) const {
+      std::ostringstream out;
+      out << "topology_event " << topologyChangeName(e.change) << " s"
+          << e.dpidA;
+      if (e.change == TopologyChange::kLinkUp ||
+          e.change == TopologyChange::kLinkDown) {
+        out << "<->s" << e.dpidB;
+      }
+      return out.str();
+    }
+    std::string operator()(const ErrorEvent& e) const {
+      return "error_event dpid=" + std::to_string(e.error.dpid) + " " +
+             e.error.detail;
+    }
+    std::string operator()(const DataUpdateEvent& e) const {
+      return "data_update topic=" + e.topic + " from app " +
+             std::to_string(e.publisher);
+    }
+  };
+  return std::visit(Visitor{}, event);
+}
+
+}  // namespace sdnshield::ctrl

@@ -1,0 +1,55 @@
+// Controller event model: what apps can subscribe to. Mirrors the paper's
+// event-notification permission tokens (pkt_in_event, flow_event,
+// topology_event, error_event) plus a data-publication bus used by the
+// ALTO/TE scenario (§IX-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "of/flow_mod.h"
+#include "of/messages.h"
+
+namespace sdnshield::ctrl {
+
+struct PacketInEvent {
+  of::PacketIn packetIn;
+};
+
+enum class FlowChange { kInstalled, kModified, kRemoved };
+
+struct FlowEvent {
+  of::DatapathId dpid = 0;
+  FlowChange change = FlowChange::kInstalled;
+  of::FlowMatch match;
+  std::uint16_t priority = 0;
+  of::AppId issuer = 0;
+};
+
+enum class TopologyChange { kSwitchUp, kSwitchDown, kLinkUp, kLinkDown, kHostSeen };
+
+struct TopologyEvent {
+  TopologyChange change = TopologyChange::kSwitchUp;
+  of::DatapathId dpidA = 0;
+  of::DatapathId dpidB = 0;  ///< Link events only.
+};
+
+struct ErrorEvent {
+  of::ErrorMsg error;
+};
+
+/// Inter-app data publication (the ALTO app publishes cost maps; the TE app
+/// subscribes). Mediated like any other event.
+struct DataUpdateEvent {
+  std::string topic;
+  std::string payload;
+  of::AppId publisher = 0;
+};
+
+using Event = std::variant<PacketInEvent, FlowEvent, TopologyEvent, ErrorEvent,
+                           DataUpdateEvent>;
+
+std::string toString(const Event& event);
+
+}  // namespace sdnshield::ctrl

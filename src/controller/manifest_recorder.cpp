@@ -1,0 +1,246 @@
+#include "controller/manifest_recorder.h"
+
+#include <bit>
+#include <sstream>
+
+namespace sdnshield::ctrl {
+
+using perm::Token;
+
+class RecordingContext::RecordingApi final : public NorthboundApi {
+ public:
+  RecordingApi(RecordingContext& owner, NorthboundApi& inner)
+      : owner_(owner), inner_(inner) {}
+
+  ApiResult insertFlow(of::DatapathId dpid, const of::FlowMod& mod) override {
+    owner_.noteFlowMod(mod);
+    return inner_.insertFlow(dpid, mod);
+  }
+
+  ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
+                       bool strict, std::uint16_t priority) override {
+    owner_.note(Token::kDeleteFlow);
+    return inner_.deleteFlow(dpid, match, strict, priority);
+  }
+
+  ApiResult commitFlowTransaction(
+      const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods)
+      override {
+    for (const auto& [_, mod] : mods) owner_.noteFlowMod(mod);
+    return inner_.commitFlowTransaction(mods);
+  }
+
+  ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
+      of::DatapathId dpid) override {
+    owner_.note(Token::kReadFlowTable);
+    return inner_.readFlowTable(dpid);
+  }
+
+  ApiResponse<net::Topology> readTopology() override {
+    owner_.note(Token::kVisibleTopology);
+    return inner_.readTopology();
+  }
+
+  ApiResponse<of::StatsReply> readStatistics(
+      const of::StatsRequest& request) override {
+    owner_.noteStats(request.level);
+    return inner_.readStatistics(request);
+  }
+
+  ApiResult sendPacketOut(const of::PacketOut& packetOut) override {
+    owner_.notePacketOut(packetOut);
+    return inner_.sendPacketOut(packetOut);
+  }
+
+  ApiResult publishData(const std::string& topic,
+                        const std::string& payload) override {
+    owner_.note(Token::kModifyTopology);
+    return inner_.publishData(topic, payload);
+  }
+
+ private:
+  RecordingContext& owner_;
+  NorthboundApi& inner_;
+};
+
+class RecordingContext::RecordingHost final : public HostServices {
+ public:
+  RecordingHost(RecordingContext& owner, HostServices& inner)
+      : owner_(owner), inner_(inner) {}
+
+  bool netSend(of::Ipv4Address remoteIp, std::uint16_t remotePort,
+               const std::string& data) override {
+    owner_.noteNet(remoteIp);
+    return inner_.netSend(remoteIp, remotePort, data);
+  }
+  bool fileWrite(const std::string& path, const std::string& data) override {
+    owner_.note(Token::kFileSystem);
+    return inner_.fileWrite(path, data);
+  }
+  bool exec(const std::string& command) override {
+    owner_.note(Token::kProcessRuntime);
+    return inner_.exec(command);
+  }
+
+ private:
+  RecordingContext& owner_;
+  HostServices& inner_;
+};
+
+RecordingContext::RecordingContext(AppContext& inner)
+    : inner_(inner),
+      api_(std::make_unique<RecordingApi>(*this, inner.api())),
+      host_(std::make_unique<RecordingHost>(*this, inner.host())) {}
+
+RecordingContext::~RecordingContext() = default;
+
+of::AppId RecordingContext::appId() const { return inner_.appId(); }
+NorthboundApi& RecordingContext::api() { return *api_; }
+HostServices& RecordingContext::host() { return *host_; }
+
+ApiResult RecordingContext::subscribePacketIn(
+    std::function<void(const PacketInEvent&)> handler) {
+  note(Token::kPktInEvent);
+  return inner_.subscribePacketIn(std::move(handler));
+}
+
+ApiResult RecordingContext::subscribePacketInInterceptor(
+    std::function<bool(const PacketInEvent&)> handler) {
+  note(Token::kPktInEvent);
+  return inner_.subscribePacketInInterceptor(std::move(handler));
+}
+
+ApiResult RecordingContext::subscribeFlowEvents(
+    std::function<void(const FlowEvent&)> handler) {
+  note(Token::kFlowEvent);
+  return inner_.subscribeFlowEvents(std::move(handler));
+}
+
+ApiResult RecordingContext::subscribeTopologyEvents(
+    std::function<void(const TopologyEvent&)> handler) {
+  note(Token::kTopologyEvent);
+  return inner_.subscribeTopologyEvents(std::move(handler));
+}
+
+ApiResult RecordingContext::subscribeErrorEvents(
+    std::function<void(const ErrorEvent&)> handler) {
+  note(Token::kErrorEvent);
+  return inner_.subscribeErrorEvents(std::move(handler));
+}
+
+ApiResult RecordingContext::subscribeData(
+    const std::string& topic,
+    std::function<void(const DataUpdateEvent&)> handler) {
+  note(Token::kTopologyEvent);
+  return inner_.subscribeData(topic, std::move(handler));
+}
+
+perm::PermissionSet RecordingContext::recordedPermissions() const {
+  std::lock_guard lock(mutex_);
+  using perm::FilterExpr;
+  using perm::FilterExprPtr;
+  using perm::FilterPtr;
+  perm::PermissionSet out;
+
+  for (Token token : observed_.tokens) {
+    switch (token) {
+      case Token::kInsertFlow: {
+        FilterExprPtr filter;
+        if (!observed_.sawHeaderRewrite) {
+          // Everything observed only forwards or drops: ACTION FORWARD
+          // (which admits drops) covers the run.
+          filter = FilterExpr::singleton(perm::ActionFilter::forward());
+        }
+        if (observed_.maxPriority) {
+          FilterExprPtr bound = FilterExpr::singleton(FilterPtr{
+              new perm::PriorityFilter(true, *observed_.maxPriority)});
+          filter = filter ? FilterExpr::conj(filter, bound) : bound;
+        }
+        out.grant(token, filter);
+        break;
+      }
+      case Token::kSendPktOut: {
+        FilterExprPtr filter;
+        if (!observed_.sawFabricatedPacketOut) {
+          filter = FilterExpr::singleton(FilterPtr{new perm::PktOutFilter(true)});
+        }
+        out.grant(token, filter);
+        break;
+      }
+      case Token::kReadStatistics: {
+        FilterExprPtr filter;
+        for (of::StatsLevel level : observed_.statsLevels) {
+          FilterExprPtr leaf =
+              FilterExpr::singleton(FilterPtr{new perm::StatisticsFilter(level)});
+          filter = filter ? FilterExpr::disj(filter, leaf) : leaf;
+        }
+        out.grant(token, filter);
+        break;
+      }
+      case Token::kHostNetwork: {
+        FilterExprPtr filter;
+        if (!observed_.remoteIps.empty()) {
+          // Smallest common prefix of every contacted endpoint.
+          std::uint32_t base = *observed_.remoteIps.begin();
+          std::uint32_t diff = 0;
+          for (std::uint32_t ip : observed_.remoteIps) diff |= base ^ ip;
+          int prefix = diff == 0 ? 32 : std::countl_zero(diff);
+          filter = FilterExpr::singleton(FilterPtr{new perm::FieldPredicateFilter(
+              of::MatchField::kIpDst,
+              of::MaskedIpv4{of::Ipv4Address{base},
+                             of::Ipv4Address::prefixMask(prefix)})});
+        }
+        out.grant(token, filter);
+        break;
+      }
+      default:
+        out.grant(token);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RecordingContext::manifestText(const std::string& appName) const {
+  std::ostringstream out;
+  out << "APP " << appName << "\n";
+  out << recordedPermissions().toString();
+  return out.str();
+}
+
+// --- recording hooks (called by the inner decorators) -----------------------------
+
+void RecordingContext::note(perm::Token token) {
+  std::lock_guard lock(mutex_);
+  observed_.tokens.insert(token);
+}
+
+void RecordingContext::noteFlowMod(const of::FlowMod& mod) {
+  std::lock_guard lock(mutex_);
+  observed_.tokens.insert(Token::kInsertFlow);
+  if (of::modifiesHeaders(mod.actions)) observed_.sawHeaderRewrite = true;
+  if (of::isDrop(mod.actions)) observed_.sawNonForwardDrop = true;
+  if (!observed_.maxPriority || mod.priority > *observed_.maxPriority) {
+    observed_.maxPriority = mod.priority;
+  }
+}
+
+void RecordingContext::noteStats(of::StatsLevel level) {
+  std::lock_guard lock(mutex_);
+  observed_.tokens.insert(Token::kReadStatistics);
+  observed_.statsLevels.insert(level);
+}
+
+void RecordingContext::notePacketOut(const of::PacketOut& packetOut) {
+  std::lock_guard lock(mutex_);
+  observed_.tokens.insert(Token::kSendPktOut);
+  if (!packetOut.fromPacketIn) observed_.sawFabricatedPacketOut = true;
+}
+
+void RecordingContext::noteNet(of::Ipv4Address remoteIp) {
+  std::lock_guard lock(mutex_);
+  observed_.tokens.insert(Token::kHostNetwork);
+  observed_.remoteIps.insert(remoteIp.value());
+}
+
+}  // namespace sdnshield::ctrl

@@ -1,0 +1,87 @@
+// Dynamic manifest generation (paper §III: "a permission manifest can be
+// automatically generated from app source code with static/dynamic analysis
+// tools"). RecordingContext is the dynamic-analysis half: wrap an app's
+// context during a profiling run, let the app exercise its functionality,
+// then synthesize the *minimum* permission manifest that covers the
+// observed behaviour — which the developer can refine and ship.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "controller/api.h"
+#include "core/perm/permission.h"
+
+namespace sdnshield::ctrl {
+
+class RecordingContext final : public AppContext {
+ public:
+  /// Wraps @p inner: all calls pass through (the app behaves normally while
+  /// being profiled) and are recorded.
+  explicit RecordingContext(AppContext& inner);
+  ~RecordingContext() override;
+
+  of::AppId appId() const override;
+  NorthboundApi& api() override;
+  HostServices& host() override;
+
+  ApiResult subscribePacketIn(
+      std::function<void(const PacketInEvent&)> handler) override;
+  ApiResult subscribePacketInInterceptor(
+      std::function<bool(const PacketInEvent&)> handler) override;
+  ApiResult subscribeFlowEvents(
+      std::function<void(const FlowEvent&)> handler) override;
+  ApiResult subscribeTopologyEvents(
+      std::function<void(const TopologyEvent&)> handler) override;
+  ApiResult subscribeErrorEvents(
+      std::function<void(const ErrorEvent&)> handler) override;
+  ApiResult subscribeData(
+      const std::string& topic,
+      std::function<void(const DataUpdateEvent&)> handler) override;
+
+  /// The minimum permission set covering everything observed so far:
+  ///  * only tokens that were actually exercised;
+  ///  * insert_flow narrowed to ACTION FORWARD when no rewrite was seen,
+  ///    and to the highest priority used (MAX_PRIORITY);
+  ///  * send_pkt_out narrowed to FROM_PKT_IN when every packet-out echoed
+  ///    a packet-in;
+  ///  * network_access narrowed to the smallest common prefix of the
+  ///    contacted endpoints;
+  ///  * read_statistics narrowed to the granularities requested.
+  perm::PermissionSet recordedPermissions() const;
+
+  /// The manifest in permission-language text, ready to ship.
+  std::string manifestText(const std::string& appName) const;
+
+ private:
+  class RecordingApi;
+  class RecordingHost;
+  friend class RecordingApi;
+  friend class RecordingHost;
+
+  struct Observations {
+    std::set<perm::Token> tokens;
+    bool sawHeaderRewrite = false;
+    bool sawNonForwardDrop = false;  // Explicit drop rules.
+    std::optional<std::uint16_t> maxPriority;
+    bool sawFabricatedPacketOut = false;
+    std::set<of::StatsLevel> statsLevels;
+    std::set<std::uint32_t> remoteIps;
+  };
+
+  void note(perm::Token token);
+  void noteFlowMod(const of::FlowMod& mod);
+  void noteStats(of::StatsLevel level);
+  void notePacketOut(const of::PacketOut& packetOut);
+  void noteNet(of::Ipv4Address remoteIp);
+
+  AppContext& inner_;
+  std::unique_ptr<RecordingApi> api_;
+  std::unique_ptr<RecordingHost> host_;
+  mutable std::mutex mutex_;
+  Observations observed_;
+};
+
+}  // namespace sdnshield::ctrl

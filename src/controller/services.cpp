@@ -1,0 +1,128 @@
+#include "controller/services.h"
+
+namespace sdnshield::ctrl {
+
+std::optional<std::vector<std::pair<of::DatapathId, of::FlowMod>>>
+buildPathFlowMods(const net::Topology& topology, const net::Host& src,
+                  const net::Host& dst, const of::FlowMatch& matchTemplate,
+                  std::uint16_t priority) {
+  auto path = topology.shortestPath(src.dpid, dst.dpid);
+  if (!path) return std::nullopt;
+  std::vector<std::pair<of::DatapathId, of::FlowMod>> out;
+  for (std::size_t i = 0; i < path->size(); ++i) {
+    const net::PathHop& hop = (*path)[i];
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kAdd;
+    mod.match = matchTemplate;
+    mod.match.inPort = (i == 0) ? src.port : hop.inPort;
+    mod.priority = priority;
+    bool last = i + 1 == path->size();
+    mod.actions.push_back(
+        of::OutputAction{last ? dst.port : hop.outPort});
+    out.emplace_back(hop.dpid, mod);
+  }
+  return out;
+}
+
+ApiResult DirectApi::insertFlow(of::DatapathId dpid, const of::FlowMod& mod) {
+  return controller_.kernelInsertFlow(app_, dpid, mod);
+}
+
+ApiResult DirectApi::deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
+                                bool strict, std::uint16_t priority) {
+  return controller_.kernelDeleteFlow(app_, dpid, match, strict, priority);
+}
+
+ApiResult DirectApi::commitFlowTransaction(
+    const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) {
+  // The monolithic baseline has no transaction support: execute in order and
+  // report the first failure (possibly leaving partial state, which is
+  // exactly the intermediate-state hazard §VI-B.2 describes).
+  for (const auto& [dpid, mod] : mods) {
+    ApiResult result = controller_.kernelInsertFlow(app_, dpid, mod);
+    if (!result.ok) return result;
+  }
+  return ApiResult::success();
+}
+
+ApiResponse<std::vector<of::FlowEntry>> DirectApi::readFlowTable(
+    of::DatapathId dpid) {
+  return controller_.kernelReadFlowTable(dpid);
+}
+
+ApiResponse<net::Topology> DirectApi::readTopology() {
+  return ApiResponse<net::Topology>::success(controller_.kernelReadTopology());
+}
+
+ApiResponse<of::StatsReply> DirectApi::readStatistics(
+    const of::StatsRequest& request) {
+  return controller_.kernelReadStatistics(request);
+}
+
+ApiResult DirectApi::sendPacketOut(const of::PacketOut& packetOut) {
+  return controller_.kernelSendPacketOut(packetOut);
+}
+
+ApiResult DirectApi::publishData(const std::string& topic,
+                                 const std::string& payload) {
+  controller_.kernelPublishData(app_, topic, payload);
+  return ApiResult::success();
+}
+
+namespace {
+
+template <typename EventT, typename Handler>
+Controller::EventSink makeSink(Handler handler) {
+  return [handler = std::move(handler)](const Event& event) {
+    if (const auto* typed = std::get_if<EventT>(&event)) handler(*typed);
+  };
+}
+
+}  // namespace
+
+ApiResult DirectContext::subscribePacketIn(
+    std::function<void(const PacketInEvent&)> handler) {
+  controller_.addPacketInSubscriber(app_,
+                                    makeSink<PacketInEvent>(std::move(handler)));
+  return ApiResult::success();
+}
+
+ApiResult DirectContext::subscribePacketInInterceptor(
+    std::function<bool(const PacketInEvent&)> handler) {
+  controller_.addPacketInInterceptor(
+      app_, [handler = std::move(handler)](const Event& event) {
+        const auto* typed = std::get_if<PacketInEvent>(&event);
+        return typed != nullptr && handler(*typed);
+      });
+  return ApiResult::success();
+}
+
+ApiResult DirectContext::subscribeFlowEvents(
+    std::function<void(const FlowEvent&)> handler) {
+  controller_.addFlowSubscriber(app_, makeSink<FlowEvent>(std::move(handler)));
+  return ApiResult::success();
+}
+
+ApiResult DirectContext::subscribeTopologyEvents(
+    std::function<void(const TopologyEvent&)> handler) {
+  controller_.addTopologySubscriber(
+      app_, makeSink<TopologyEvent>(std::move(handler)));
+  return ApiResult::success();
+}
+
+ApiResult DirectContext::subscribeErrorEvents(
+    std::function<void(const ErrorEvent&)> handler) {
+  controller_.addErrorSubscriber(app_,
+                                 makeSink<ErrorEvent>(std::move(handler)));
+  return ApiResult::success();
+}
+
+ApiResult DirectContext::subscribeData(
+    const std::string& topic,
+    std::function<void(const DataUpdateEvent&)> handler) {
+  controller_.addDataSubscriber(app_, topic,
+                                makeSink<DataUpdateEvent>(std::move(handler)));
+  return ApiResult::success();
+}
+
+}  // namespace sdnshield::ctrl

@@ -1,0 +1,83 @@
+// Controller-side services shared by apps: path computation into flow rules
+// (used by the routing, TE and hijack apps) and a DirectApi/DirectContext
+// implementation for the baseline monolithic deployment.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace sdnshield::ctrl {
+
+/// Builds the per-hop flow mods that realise a host-to-host path for flows
+/// matching @p matchTemplate (in_port filled per hop). Returns std::nullopt
+/// when the hosts are not attached or disconnected.
+std::optional<std::vector<std::pair<of::DatapathId, of::FlowMod>>>
+buildPathFlowMods(const net::Topology& topology, const net::Host& src,
+                  const net::Host& dst, const of::FlowMatch& matchTemplate,
+                  std::uint16_t priority);
+
+/// Baseline (monolithic) northbound API: direct, unchecked kernel calls —
+/// the original-OpenDaylight/Floodlight configuration in the paper's
+/// evaluation.
+class DirectApi final : public NorthboundApi {
+ public:
+  DirectApi(Controller& controller, of::AppId app)
+      : controller_(controller), app_(app) {}
+
+  ApiResult insertFlow(of::DatapathId dpid, const of::FlowMod& mod) override;
+  ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
+                       bool strict, std::uint16_t priority) override;
+  ApiResult commitFlowTransaction(
+      const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) override;
+  ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
+      of::DatapathId dpid) override;
+  ApiResponse<net::Topology> readTopology() override;
+  ApiResponse<of::StatsReply> readStatistics(
+      const of::StatsRequest& request) override;
+  ApiResult sendPacketOut(const of::PacketOut& packetOut) override;
+  ApiResult publishData(const std::string& topic,
+                        const std::string& payload) override;
+
+ private:
+  Controller& controller_;
+  of::AppId app_;
+};
+
+/// Baseline app context: handlers run inline on the controller's dispatch
+/// thread (the monolithic architecture's behaviour), and host services pass
+/// through unmediated.
+class DirectContext final : public AppContext {
+ public:
+  DirectContext(Controller& controller, of::AppId app, HostServices& host)
+      : controller_(controller), app_(app), api_(controller, app), host_(host) {}
+
+  of::AppId appId() const override { return app_; }
+  NorthboundApi& api() override { return api_; }
+  HostServices& host() override { return host_; }
+
+  ApiResult subscribePacketIn(
+      std::function<void(const PacketInEvent&)> handler) override;
+  ApiResult subscribePacketInInterceptor(
+      std::function<bool(const PacketInEvent&)> handler) override;
+  ApiResult subscribeFlowEvents(
+      std::function<void(const FlowEvent&)> handler) override;
+  ApiResult subscribeTopologyEvents(
+      std::function<void(const TopologyEvent&)> handler) override;
+  ApiResult subscribeErrorEvents(
+      std::function<void(const ErrorEvent&)> handler) override;
+  ApiResult subscribeData(
+      const std::string& topic,
+      std::function<void(const DataUpdateEvent&)> handler) override;
+
+ private:
+  Controller& controller_;
+  of::AppId app_;
+  DirectApi api_;
+  HostServices& host_;
+};
+
+}  // namespace sdnshield::ctrl

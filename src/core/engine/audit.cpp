@@ -1,0 +1,60 @@
+#include "core/engine/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdnshield::engine {
+
+std::string AuditEntry::toString() const {
+  std::ostringstream out;
+  out << "#" << sequence << " app=" << app << " "
+      << perm::toString(callType) << " " << (allowed ? "ALLOW" : "DENY");
+  if (!summary.empty()) out << " " << summary;
+  return out.str();
+}
+
+void AuditLog::record(const perm::ApiCall& call, bool allowed,
+                      const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  AuditEntry entry;
+  entry.sequence = nextSequence_++;
+  entry.app = call.app;
+  entry.callType = call.type;
+  entry.allowed = allowed;
+  entry.summary = allowed ? call.toString() : reason;
+  if (!allowed) ++denied_;
+  ring_.push_back(std::move(entry));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<AuditEntry> AuditLog::entries() const {
+  std::lock_guard lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<AuditEntry> AuditLog::entriesFor(of::AppId app) const {
+  std::lock_guard lock(mutex_);
+  std::vector<AuditEntry> out;
+  std::copy_if(ring_.begin(), ring_.end(), std::back_inserter(out),
+               [&](const AuditEntry& entry) { return entry.app == app; });
+  return out;
+}
+
+std::uint64_t AuditLog::totalRecorded() const {
+  std::lock_guard lock(mutex_);
+  return nextSequence_;
+}
+
+std::uint64_t AuditLog::deniedCount() const {
+  std::lock_guard lock(mutex_);
+  return denied_;
+}
+
+void AuditLog::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  nextSequence_ = 0;
+  denied_ = 0;
+}
+
+}  // namespace sdnshield::engine

@@ -1,0 +1,46 @@
+// Activity logging (paper §VII, Scenario 2): every mediated call is recorded
+// with its decision, enabling forensic analysis after an attack.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/perm/api_call.h"
+
+namespace sdnshield::engine {
+
+struct AuditEntry {
+  std::uint64_t sequence = 0;
+  of::AppId app = 0;
+  perm::ApiCallType callType = perm::ApiCallType::kReadTopology;
+  bool allowed = false;
+  std::string summary;
+
+  std::string toString() const;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void record(const perm::ApiCall& call, bool allowed,
+              const std::string& reason = {});
+
+  std::vector<AuditEntry> entries() const;
+  std::vector<AuditEntry> entriesFor(of::AppId app) const;
+  std::uint64_t totalRecorded() const;
+  std::uint64_t deniedCount() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t nextSequence_ = 0;
+  std::uint64_t denied_ = 0;
+  std::deque<AuditEntry> ring_;
+};
+
+}  // namespace sdnshield::engine

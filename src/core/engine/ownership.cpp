@@ -1,0 +1,92 @@
+#include "core/engine/ownership.h"
+
+#include <algorithm>
+
+namespace sdnshield::engine {
+
+void OwnershipTracker::recordInsert(of::AppId app, of::DatapathId dpid,
+                                    const of::FlowMatch& match,
+                                    std::uint16_t priority) {
+  std::lock_guard lock(mutex_);
+  for (Record& record : records_) {
+    if (record.dpid == dpid && record.priority == priority &&
+        record.match == match) {
+      record.owner = app;  // OF add-replaces semantics transfer ownership.
+      return;
+    }
+  }
+  records_.push_back(Record{dpid, match, priority, app});
+}
+
+void OwnershipTracker::recordDelete(of::DatapathId dpid,
+                                    const of::FlowMatch& match,
+                                    std::optional<std::uint16_t> priority,
+                                    bool strict) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(records_, [&](const Record& record) {
+    if (record.dpid != dpid) return false;
+    if (strict) {
+      return priority && record.priority == *priority &&
+             record.match == match;
+    }
+    return match.subsumes(record.match);
+  });
+}
+
+std::optional<of::AppId> OwnershipTracker::ownerOf(
+    of::DatapathId dpid, const of::FlowMatch& match,
+    std::uint16_t priority) const {
+  std::lock_guard lock(mutex_);
+  for (const Record& record : records_) {
+    if (record.dpid == dpid && record.priority == priority &&
+        record.match == match) {
+      return record.owner;
+    }
+  }
+  return std::nullopt;
+}
+
+bool OwnershipTracker::ownsAllMatching(of::AppId app, of::DatapathId dpid,
+                                       const of::FlowMatch& pattern) const {
+  std::lock_guard lock(mutex_);
+  return std::all_of(records_.begin(), records_.end(),
+                     [&](const Record& record) {
+                       if (record.dpid != dpid) return true;
+                       if (!pattern.subsumes(record.match)) return true;
+                       return record.owner == app;
+                     });
+}
+
+bool OwnershipTracker::overridesForeignFlow(of::AppId app, of::DatapathId dpid,
+                                            const of::FlowMatch& match,
+                                            std::uint16_t priority) const {
+  std::lock_guard lock(mutex_);
+  return std::any_of(records_.begin(), records_.end(),
+                     [&](const Record& record) {
+                       return record.dpid == dpid && record.owner != app &&
+                              record.priority <= priority &&
+                              record.match.overlaps(match);
+                     });
+}
+
+std::size_t OwnershipTracker::countFor(of::AppId app,
+                                       of::DatapathId dpid) const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const Record& record) {
+                      return record.owner == app && record.dpid == dpid;
+                    }));
+}
+
+std::size_t OwnershipTracker::totalTracked() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+void OwnershipTracker::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+}
+
+}  // namespace sdnshield::engine

@@ -1,0 +1,60 @@
+// Flow ownership tracking (paper §IV, ownership filter): records which app
+// issued each installed flow, so OWN_FLOWS filters can be evaluated and the
+// per-app rule count (table-size filter) maintained.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "of/flow_mod.h"
+
+namespace sdnshield::engine {
+
+class OwnershipTracker {
+ public:
+  void recordInsert(of::AppId app, of::DatapathId dpid,
+                    const of::FlowMatch& match, std::uint16_t priority);
+
+  /// Removes records matching a delete. Non-strict deletes remove every
+  /// entry whose match is subsumed by @p match (OF semantics).
+  void recordDelete(of::DatapathId dpid, const of::FlowMatch& match,
+                    std::optional<std::uint16_t> priority, bool strict);
+
+  /// Owner of the exact (dpid, match, priority) rule.
+  std::optional<of::AppId> ownerOf(of::DatapathId dpid,
+                                   const of::FlowMatch& match,
+                                   std::uint16_t priority) const;
+
+  /// True when every tracked rule on @p dpid that the (non-strict) pattern
+  /// would touch is owned by @p app. Vacuously true when none match.
+  bool ownsAllMatching(of::AppId app, of::DatapathId dpid,
+                       const of::FlowMatch& pattern) const;
+
+  /// True when any tracked rule owned by another app overlaps @p match with
+  /// priority <= @p priority — i.e. installing this rule could shadow or
+  /// rewrite another app's traffic (used for OWN_FLOWS on inserts).
+  bool overridesForeignFlow(of::AppId app, of::DatapathId dpid,
+                            const of::FlowMatch& match,
+                            std::uint16_t priority) const;
+
+  /// Number of rules @p app currently has installed on @p dpid.
+  std::size_t countFor(of::AppId app, of::DatapathId dpid) const;
+
+  std::size_t totalTracked() const;
+  void clear();
+
+ private:
+  struct Record {
+    of::DatapathId dpid = 0;
+    of::FlowMatch match;
+    std::uint16_t priority = 0;
+    of::AppId owner = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+};
+
+}  // namespace sdnshield::engine

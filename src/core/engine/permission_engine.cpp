@@ -1,0 +1,171 @@
+#include "core/engine/permission_engine.h"
+
+#include <mutex>
+
+namespace sdnshield::engine {
+
+namespace {
+
+std::size_t tokenIndex(perm::Token token) {
+  return static_cast<std::size_t>(token);
+}
+
+/// Scans positive positions of a filter expression for topology filters.
+void scanTopologyFilters(
+    const perm::FilterExprPtr& expr,
+    std::shared_ptr<const perm::PhysicalTopologyFilter>& physical,
+    std::optional<std::set<of::DatapathId>>& virtualMembers) {
+  using Op = perm::FilterExpr::Op;
+  switch (expr->op()) {
+    case Op::kSingleton: {
+      const perm::FilterPtr& filter = expr->filter();
+      if (!physical) {
+        if (auto topo =
+                std::dynamic_pointer_cast<const perm::PhysicalTopologyFilter>(
+                    filter)) {
+          physical = topo;
+        }
+      }
+      if (!virtualMembers) {
+        if (const auto* vt = dynamic_cast<const perm::VirtualTopologyFilter*>(
+                filter.get())) {
+          virtualMembers = vt->members();
+        }
+      }
+      return;
+    }
+    case Op::kAnd:
+    case Op::kOr:
+      scanTopologyFilters(expr->lhs(), physical, virtualMembers);
+      scanTopologyFilters(expr->rhs(), physical, virtualMembers);
+      return;
+    case Op::kNot:
+      return;  // Negated topology filters are not projection hints.
+  }
+}
+
+}  // namespace
+
+CompiledPermissions::CompiledPermissions(
+    const perm::PermissionSet& permissions)
+    : source_(permissions) {
+  for (const perm::Permission& grant : permissions.permissions()) {
+    TokenProgram& program = programs_[tokenIndex(grant.token)];
+    program.granted = true;
+    if (grant.filter) compileExpr(grant.filter, program);
+    if (grant.token == perm::Token::kVisibleTopology && grant.filter) {
+      scanTopologyFilters(grant.filter, topologyProjection_, virtualMembers_);
+    }
+  }
+}
+
+void CompiledPermissions::compileExpr(const perm::FilterExprPtr& expr,
+                                      TokenProgram& program) {
+  using Op = perm::FilterExpr::Op;
+  switch (expr->op()) {
+    case Op::kSingleton: {
+      program.code.push_back(
+          Instr{OpCode::kPush, static_cast<std::uint32_t>(filters_.size())});
+      filters_.push_back(expr->filter());
+      return;
+    }
+    case Op::kAnd:
+      compileExpr(expr->lhs(), program);
+      compileExpr(expr->rhs(), program);
+      program.code.push_back(Instr{OpCode::kAnd, 0});
+      return;
+    case Op::kOr:
+      compileExpr(expr->lhs(), program);
+      compileExpr(expr->rhs(), program);
+      program.code.push_back(Instr{OpCode::kOr, 0});
+      return;
+    case Op::kNot:
+      compileExpr(expr->lhs(), program);
+      program.code.push_back(Instr{OpCode::kNot, 0});
+      return;
+  }
+}
+
+bool CompiledPermissions::run(const TokenProgram& program,
+                              const perm::ApiCall& call) const {
+  if (program.code.empty()) return true;  // Unrestricted grant.
+  // Postfix evaluation over a small fixed stack: manifests are shallow, and
+  // depth is bounded by the expression tree height at compile time.
+  bool stack[64];
+  std::size_t top = 0;
+  for (const Instr& instr : program.code) {
+    switch (instr.op) {
+      case OpCode::kPush:
+        stack[top++] = filters_[instr.filterIndex]->evaluate(call);
+        break;
+      case OpCode::kAnd: {
+        bool rhs = stack[--top];
+        stack[top - 1] = stack[top - 1] && rhs;
+        break;
+      }
+      case OpCode::kOr: {
+        bool rhs = stack[--top];
+        stack[top - 1] = stack[top - 1] || rhs;
+        break;
+      }
+      case OpCode::kNot:
+        stack[top - 1] = !stack[top - 1];
+        break;
+    }
+  }
+  return stack[0];
+}
+
+Decision CompiledPermissions::check(const perm::ApiCall& call) const {
+  perm::Token token = perm::requiredToken(call.type);
+  const TokenProgram& program = programs_[tokenIndex(token)];
+  if (!program.granted) {
+    return Decision::deny("missing permission token '" +
+                          perm::toString(token) + "'");
+  }
+  if (!run(program, call)) {
+    return Decision::deny("permission filter on '" + perm::toString(token) +
+                          "' rejected " + call.toString());
+  }
+  return Decision::allow();
+}
+
+bool CompiledPermissions::hasToken(perm::Token token) const {
+  return programs_[tokenIndex(token)].granted;
+}
+
+void PermissionEngine::install(of::AppId app,
+                               const perm::PermissionSet& permissions) {
+  auto compiled = std::make_shared<const CompiledPermissions>(permissions);
+  std::unique_lock lock(mutex_);
+  apps_[app] = std::move(compiled);
+}
+
+void PermissionEngine::uninstall(of::AppId app) {
+  std::unique_lock lock(mutex_);
+  apps_.erase(app);
+}
+
+Decision PermissionEngine::check(const perm::ApiCall& call) const {
+  if (call.app == of::kKernelAppId) return Decision::allow();
+  std::shared_ptr<const CompiledPermissions> compiled;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = apps_.find(call.app);
+    if (it != apps_.end()) compiled = it->second;
+  }
+  if (!compiled) {
+    return Decision::deny("app " + std::to_string(call.app) +
+                          " has no installed permissions");
+  }
+  return compiled->check(call);
+}
+
+std::shared_ptr<const CompiledPermissions> PermissionEngine::compiled(
+    of::AppId app) const {
+  std::shared_lock lock(mutex_);
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : it->second;
+}
+
+}  // namespace sdnshield::engine

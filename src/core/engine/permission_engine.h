@@ -1,0 +1,100 @@
+// The permission engine (paper §VI-B): compiles permission manifests into
+// flat checking programs and mediates every API call on the enforcement hot
+// path. Checking is stateless, allocation-free on the allow path, and safe
+// to run from many kernel-deputy threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/perm/api_call.h"
+#include "core/perm/filter.h"
+#include "core/perm/permission.h"
+
+namespace sdnshield::engine {
+
+/// The outcome of a permission check.
+struct Decision {
+  bool allowed = false;
+  /// Populated on deny: which token was missing or which filter failed.
+  std::string reason;
+
+  static Decision allow() { return Decision{true, {}}; }
+  static Decision deny(std::string reason) {
+    return Decision{false, std::move(reason)};
+  }
+};
+
+/// A permission set compiled to per-token postfix filter programs.
+class CompiledPermissions {
+ public:
+  explicit CompiledPermissions(const perm::PermissionSet& permissions);
+
+  /// Evaluates the call against the compiled program. The required token
+  /// must be granted and its filter program must label the call true.
+  Decision check(const perm::ApiCall& call) const;
+
+  bool hasToken(perm::Token token) const;
+
+  /// First physical-topology filter granted on visible_topology, if any —
+  /// the deputy uses it to project topology reads.
+  const perm::PhysicalTopologyFilter* topologyProjection() const {
+    return topologyProjection_.get();
+  }
+
+  /// Virtual-topology members when a VIRTUAL filter is granted on
+  /// visible_topology (empty set = SINGLE_BIG_SWITCH over everything).
+  const std::optional<std::set<of::DatapathId>>& virtualTopology() const {
+    return virtualMembers_;
+  }
+
+  /// Source permissions (for introspection / reporting).
+  const perm::PermissionSet& source() const { return source_; }
+
+ private:
+  enum class OpCode : std::uint8_t { kPush, kAnd, kOr, kNot };
+  struct Instr {
+    OpCode op = OpCode::kPush;
+    std::uint32_t filterIndex = 0;  // kPush.
+  };
+  struct TokenProgram {
+    bool granted = false;
+    std::vector<Instr> code;  // Empty = unrestricted grant.
+  };
+
+  void compileExpr(const perm::FilterExprPtr& expr, TokenProgram& program);
+  bool run(const TokenProgram& program, const perm::ApiCall& call) const;
+
+  perm::PermissionSet source_;
+  TokenProgram programs_[16];  // Indexed by Token enum value.
+  std::vector<perm::FilterPtr> filters_;
+  std::shared_ptr<const perm::PhysicalTopologyFilter> topologyProjection_;
+  std::optional<std::set<of::DatapathId>> virtualMembers_;
+};
+
+/// Registry of compiled permissions per app, the controller-wide mediator.
+/// The kernel app (id 0) is always fully privileged.
+class PermissionEngine {
+ public:
+  /// Compiles and installs the permissions of an app (at app load time).
+  void install(of::AppId app, const perm::PermissionSet& permissions);
+  void uninstall(of::AppId app);
+
+  /// Checks one API call. Unknown apps are denied everything.
+  Decision check(const perm::ApiCall& call) const;
+
+  /// Compiled permissions of an app (nullptr when not installed).
+  std::shared_ptr<const CompiledPermissions> compiled(of::AppId app) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<of::AppId, std::shared_ptr<const CompiledPermissions>> apps_;
+};
+
+}  // namespace sdnshield::engine

@@ -1,0 +1,28 @@
+#include "core/engine/transaction.h"
+
+namespace sdnshield::engine {
+
+TxResult Transaction::commit(const PermissionEngine& engine) {
+  // Phase 1 — all-or-nothing permission checking: no member executes until
+  // every member is known to be allowed, so a denied call can never leave a
+  // problematic intermediate state.
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    Decision decision = engine.check(operations_[i].call);
+    if (!decision.allowed) {
+      return TxResult{false, i, decision.reason};
+    }
+  }
+  // Phase 2 — execute; on runtime failure undo what already ran.
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    bool ok = operations_[i].execute ? operations_[i].execute() : true;
+    if (!ok) {
+      for (std::size_t j = i; j-- > 0;) {
+        if (operations_[j].undo) operations_[j].undo();
+      }
+      return TxResult{false, i, "operation failed at runtime"};
+    }
+  }
+  return TxResult{true, 0, {}};
+}
+
+}  // namespace sdnshield::engine

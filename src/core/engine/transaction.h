@@ -1,0 +1,49 @@
+// Transactional API calls (paper §VI-B.2): a group of semantically related
+// API calls issued atomically. The transaction executes only when *every*
+// member passes permission checking; a failure mid-execution rolls back the
+// already-executed members, and the app is told why the group failed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine/permission_engine.h"
+#include "core/perm/api_call.h"
+
+namespace sdnshield::engine {
+
+/// One member of a transaction: the reified call plus its execute/undo
+/// thunks supplied by the controller service.
+struct TxOperation {
+  perm::ApiCall call;
+  std::function<bool()> execute;  ///< Returns false on runtime failure.
+  std::function<void()> undo;     ///< Reverses a successful execute.
+};
+
+struct TxResult {
+  bool committed = false;
+  /// Index of the failing operation (check or execute) when not committed.
+  std::size_t failedIndex = 0;
+  std::string failureReason;
+};
+
+class Transaction {
+ public:
+  void add(TxOperation operation) {
+    operations_.push_back(std::move(operation));
+  }
+
+  std::size_t size() const { return operations_.size(); }
+  bool empty() const { return operations_.empty(); }
+
+  /// Phase 1: permission-checks every member; phase 2: executes in order,
+  /// undoing executed members if one fails at runtime.
+  TxResult commit(const PermissionEngine& engine);
+
+ private:
+  std::vector<TxOperation> operations_;
+};
+
+}  // namespace sdnshield::engine

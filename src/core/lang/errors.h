@@ -1,0 +1,26 @@
+// Exceptions for the SDNShield language front end. Parse/config problems are
+// reported with source positions; the runtime checking path never throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sdnshield::lang {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+}  // namespace sdnshield::lang

@@ -1,0 +1,197 @@
+#include "core/lang/lexer.h"
+
+#include <cctype>
+
+#include "of/types.h"
+
+namespace sdnshield::lang {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::string toString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kIp:
+      return "ip-address";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kAssign:
+      return "'='";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kNewline:
+      return "end-of-line";
+    case TokenType::kEnd:
+      return "end-of-input";
+  }
+  return "?";
+}
+
+std::vector<LexToken> lex(const std::string& input) {
+  std::vector<LexToken> out;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  auto push = [&](TokenType type, std::string text) {
+    out.push_back(LexToken{type, std::move(text), 0, 0, line, column});
+  };
+  auto pushNewline = [&] {
+    // Collapse consecutive separators and avoid a leading one.
+    if (!out.empty() && out.back().type != TokenType::kNewline) {
+      push(TokenType::kNewline, "\n");
+    }
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\\') {
+      // Line continuation: swallow up to and including the newline.
+      std::size_t j = i + 1;
+      while (j < input.size() && (input[j] == ' ' || input[j] == '\t' ||
+                                  input[j] == '\r')) {
+        ++j;
+      }
+      if (j < input.size() && input[j] == '\n') {
+        i = j + 1;
+        ++line;
+        column = 1;
+        continue;
+      }
+      throw ParseError("stray '\\'", line, column);
+    }
+    if (c == '\n') {
+      pushNewline();
+      ++i;
+      ++line;
+      column = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < input.size() && input[i + 1] == '/')) {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (isIdentStart(c)) {
+      int startColumn = column;
+      std::size_t start = i;
+      while (i < input.size() && isIdentChar(input[i])) {
+        ++i;
+        ++column;
+      }
+      LexToken token{TokenType::kIdent, input.substr(start, i - start), 0, 0,
+                     line, startColumn};
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (isDigit(c)) {
+      int startColumn = column;
+      std::size_t start = i;
+      while (i < input.size() && (isDigit(input[i]) || input[i] == '.')) {
+        ++i;
+        ++column;
+      }
+      std::string text = input.substr(start, i - start);
+      LexToken token;
+      token.text = text;
+      token.line = line;
+      token.column = startColumn;
+      if (text.find('.') != std::string::npos) {
+        token.type = TokenType::kIp;
+        try {
+          token.ipValue = of::Ipv4Address::parse(text).value();
+        } catch (const std::invalid_argument&) {
+          throw ParseError("bad IP literal '" + text + "'", line, startColumn);
+        }
+      } else {
+        token.type = TokenType::kInt;
+        token.intValue = std::stoull(text);
+      }
+      out.push_back(std::move(token));
+      continue;
+    }
+    int startColumn = column;
+    auto single = [&](TokenType type) {
+      push(type, std::string(1, c));
+      out.back().column = startColumn;
+      ++i;
+      ++column;
+    };
+    switch (c) {
+      case '{':
+        single(TokenType::kLBrace);
+        continue;
+      case '}':
+        single(TokenType::kRBrace);
+        continue;
+      case '(':
+        single(TokenType::kLParen);
+        continue;
+      case ')':
+        single(TokenType::kRParen);
+        continue;
+      case ',':
+        single(TokenType::kComma);
+        continue;
+      case '=':
+        single(TokenType::kAssign);
+        continue;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=");
+          i += 2;
+          column += 2;
+        } else {
+          single(TokenType::kLt);
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=");
+          i += 2;
+          column += 2;
+        } else {
+          single(TokenType::kGt);
+        }
+        continue;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line,
+                         column);
+    }
+  }
+  if (!out.empty() && out.back().type == TokenType::kNewline) out.pop_back();
+  out.push_back(LexToken{TokenType::kEnd, "", 0, 0, line, column});
+  return out;
+}
+
+}  // namespace sdnshield::lang

@@ -1,0 +1,48 @@
+// Lexer shared by the permission language (Appendix A) and the security
+// policy language (Appendix B). Keywords are plain identifiers resolved by
+// the parsers; `\` at end of line continues a statement (as in the paper's
+// listings) and `#` or `//` start comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lang/errors.h"
+
+namespace sdnshield::lang {
+
+enum class TokenType {
+  kIdent,
+  kInt,
+  kIp,  ///< Dotted quad, e.g. 10.13.0.0.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kAssign,  ///< =
+  kLe,      ///< <=
+  kGe,      ///< >=
+  kLt,
+  kGt,
+  kNewline,  ///< Statement separator (explicit, so PERM lists need no ';').
+  kEnd,
+};
+
+struct LexToken {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  std::uint64_t intValue = 0;  ///< kInt.
+  std::uint32_t ipValue = 0;   ///< kIp, host order.
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes the whole input. Consecutive newlines are collapsed; a trailing
+/// kEnd token is always appended. Throws ParseError on bad characters.
+std::vector<LexToken> lex(const std::string& input);
+
+std::string toString(TokenType type);
+
+}  // namespace sdnshield::lang

@@ -1,0 +1,366 @@
+#include "core/lang/perm_parser.h"
+
+#include <optional>
+#include <utility>
+
+namespace sdnshield::lang {
+
+namespace detail {
+
+const LexToken& TokenCursor::peek(std::size_t lookahead) const {
+  std::size_t index = pos_ + lookahead;
+  if (index >= tokens_.size()) index = tokens_.size() - 1;  // kEnd.
+  return tokens_[index];
+}
+
+const LexToken& TokenCursor::next() {
+  const LexToken& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool TokenCursor::checkKeyword(const std::string& keyword) const {
+  const LexToken& token = peek();
+  return token.type == TokenType::kIdent && token.text == keyword;
+}
+
+bool TokenCursor::acceptKeyword(const std::string& keyword) {
+  if (!checkKeyword(keyword)) return false;
+  next();
+  return true;
+}
+
+void TokenCursor::expectKeyword(const std::string& keyword) {
+  if (!acceptKeyword(keyword)) {
+    fail("expected '" + keyword + "', found '" + peek().text + "'");
+  }
+}
+
+bool TokenCursor::accept(TokenType type) {
+  if (peek().type != type) return false;
+  next();
+  return true;
+}
+
+LexToken TokenCursor::expect(TokenType type, const std::string& what) {
+  if (peek().type != type) {
+    fail("expected " + what + ", found '" +
+         (peek().type == TokenType::kNewline ? "end-of-line" : peek().text) +
+         "'");
+  }
+  return next();
+}
+
+void TokenCursor::skipNewlines() {
+  while (peek().type == TokenType::kNewline) next();
+}
+
+void TokenCursor::fail(const std::string& message) const {
+  const LexToken& token = peek();
+  throw ParseError(message, token.line, token.column);
+}
+
+namespace {
+
+using perm::FilterExpr;
+using perm::FilterExprPtr;
+using perm::FilterPtr;
+
+std::optional<of::MatchField> fieldByName(const std::string& name) {
+  if (name == "IP_SRC") return of::MatchField::kIpSrc;
+  if (name == "IP_DST") return of::MatchField::kIpDst;
+  if (name == "TCP_SRC" || name == "UDP_SRC" || name == "TP_SRC")
+    return of::MatchField::kTpSrc;
+  if (name == "TCP_DST" || name == "UDP_DST" || name == "TP_DST")
+    return of::MatchField::kTpDst;
+  if (name == "IN_PORT") return of::MatchField::kInPort;
+  if (name == "ETH_SRC") return of::MatchField::kEthSrc;
+  if (name == "ETH_DST") return of::MatchField::kEthDst;
+  if (name == "ETH_TYPE") return of::MatchField::kEthType;
+  if (name == "VLAN_ID" || name == "VLAN") return of::MatchField::kVlanId;
+  if (name == "IP_PROTO") return of::MatchField::kIpProto;
+  return std::nullopt;
+}
+
+bool isIpMatchField(of::MatchField field) {
+  return field == of::MatchField::kIpSrc || field == of::MatchField::kIpDst;
+}
+
+/// Parses `{ a, b, ... }` or a bare comma-separated int list.
+std::set<of::DatapathId> parseSwitchSet(TokenCursor& cursor) {
+  std::set<of::DatapathId> out;
+  bool braced = cursor.accept(TokenType::kLBrace);
+  if (braced && cursor.accept(TokenType::kRBrace)) return out;
+  do {
+    out.insert(cursor.expect(TokenType::kInt, "switch id").intValue);
+  } while (cursor.accept(TokenType::kComma) &&
+           cursor.peek().type == TokenType::kInt);
+  if (braced) cursor.expect(TokenType::kRBrace, "'}'");
+  return out;
+}
+
+/// Parses `{ (a,b), ... }` or a bare list of `(a,b)` pairs.
+std::set<std::pair<of::DatapathId, of::DatapathId>> parseLinkSet(
+    TokenCursor& cursor) {
+  std::set<std::pair<of::DatapathId, of::DatapathId>> out;
+  bool braced = cursor.accept(TokenType::kLBrace);
+  if (braced && cursor.accept(TokenType::kRBrace)) return out;
+  while (cursor.peek().type == TokenType::kLParen) {
+    cursor.expect(TokenType::kLParen, "'('");
+    of::DatapathId a = cursor.expect(TokenType::kInt, "switch id").intValue;
+    cursor.expect(TokenType::kComma, "','");
+    of::DatapathId b = cursor.expect(TokenType::kInt, "switch id").intValue;
+    cursor.expect(TokenType::kRParen, "')'");
+    out.emplace(a, b);
+    if (!cursor.accept(TokenType::kComma)) break;
+  }
+  if (braced) cursor.expect(TokenType::kRBrace, "'}'");
+  return out;
+}
+
+FilterPtr parseActionFilter(TokenCursor& cursor) {
+  if (cursor.acceptKeyword("DROP")) return perm::ActionFilter::drop();
+  if (cursor.acceptKeyword("FORWARD")) return perm::ActionFilter::forward();
+  if (cursor.acceptKeyword("MODIFY")) {
+    const LexToken& token = cursor.expect(TokenType::kIdent, "field name");
+    auto field = fieldByName(token.text);
+    if (!field) {
+      throw ParseError("unknown field '" + token.text + "'", token.line,
+                       token.column);
+    }
+    return perm::ActionFilter::modify(*field);
+  }
+  cursor.fail("expected DROP, FORWARD or MODIFY");
+}
+
+/// Parses a predicate filter body after the field name.
+FilterPtr parsePredicate(TokenCursor& cursor, of::MatchField field) {
+  if (isIpMatchField(field)) {
+    of::Ipv4Address value{
+        static_cast<std::uint32_t>(cursor.peek().type == TokenType::kInt
+                                       ? cursor.next().intValue
+                                       : cursor.expect(TokenType::kIp,
+                                                       "IP value")
+                                             .ipValue)};
+    of::Ipv4Address mask{0xffffffffu};
+    if (cursor.acceptKeyword("MASK")) {
+      const LexToken& maskToken = cursor.peek().type == TokenType::kInt
+                                      ? cursor.next()
+                                      : cursor.expect(TokenType::kIp, "mask");
+      mask = of::Ipv4Address{static_cast<std::uint32_t>(
+          maskToken.type == TokenType::kIp ? maskToken.ipValue
+                                           : maskToken.intValue)};
+    }
+    return FilterPtr{
+        new perm::FieldPredicateFilter(field, of::MaskedIpv4{value, mask})};
+  }
+  const LexToken& token = cursor.expect(TokenType::kInt, "integer value");
+  return FilterPtr{new perm::FieldPredicateFilter(field, token.intValue)};
+}
+
+FilterPtr parseSingletonFilter(TokenCursor& cursor) {
+  const LexToken& token = cursor.peek();
+  if (token.type != TokenType::kIdent) {
+    cursor.fail("expected a filter, found '" + token.text + "'");
+  }
+  const std::string& name = token.text;
+
+  if (name == "WILDCARD") {
+    cursor.next();
+    const LexToken& fieldToken = cursor.expect(TokenType::kIdent, "field name");
+    auto field = fieldByName(fieldToken.text);
+    if (!field) {
+      throw ParseError("unknown field '" + fieldToken.text + "'",
+                       fieldToken.line, fieldToken.column);
+    }
+    if (isIpMatchField(*field)) {
+      const LexToken& maskToken = cursor.peek().type == TokenType::kInt
+                                      ? cursor.next()
+                                      : cursor.expect(TokenType::kIp, "mask");
+      of::Ipv4Address mask{static_cast<std::uint32_t>(
+          maskToken.type == TokenType::kIp ? maskToken.ipValue
+                                           : maskToken.intValue)};
+      return FilterPtr{new perm::WildcardFilter(*field, mask)};
+    }
+    return FilterPtr{new perm::WildcardFilter(*field)};
+  }
+  if (name == "ACTION") {
+    cursor.next();
+    return parseActionFilter(cursor);
+  }
+  if (name == "DROP" || name == "FORWARD" || name == "MODIFY") {
+    return parseActionFilter(cursor);
+  }
+  if (name == "OWN_FLOWS") {
+    cursor.next();
+    return FilterPtr{new perm::OwnershipFilter(true)};
+  }
+  if (name == "ALL_FLOWS") {
+    cursor.next();
+    return FilterPtr{new perm::OwnershipFilter(false)};
+  }
+  if (name == "MAX_PRIORITY" || name == "MIN_PRIORITY") {
+    cursor.next();
+    const LexToken& bound = cursor.expect(TokenType::kInt, "priority");
+    return FilterPtr{new perm::PriorityFilter(
+        name == "MAX_PRIORITY", static_cast<std::uint16_t>(bound.intValue))};
+  }
+  if (name == "MAX_RULE_COUNT") {
+    cursor.next();
+    const LexToken& bound = cursor.expect(TokenType::kInt, "rule count");
+    return FilterPtr{
+        new perm::TableSizeFilter(static_cast<std::size_t>(bound.intValue))};
+  }
+  if (name == "FROM_PKT_IN") {
+    cursor.next();
+    return FilterPtr{new perm::PktOutFilter(true)};
+  }
+  if (name == "ARBITRARY") {
+    cursor.next();
+    return FilterPtr{new perm::PktOutFilter(false)};
+  }
+  if (name == "SWITCH") {
+    cursor.next();
+    std::set<of::DatapathId> switches = parseSwitchSet(cursor);
+    std::set<std::pair<of::DatapathId, of::DatapathId>> links;
+    if (cursor.acceptKeyword("LINK")) links = parseLinkSet(cursor);
+    return FilterPtr{
+        new perm::PhysicalTopologyFilter(std::move(switches), std::move(links))};
+  }
+  if (name == "VIRTUAL") {
+    cursor.next();
+    std::set<of::DatapathId> members;
+    if (!cursor.acceptKeyword("SINGLE_BIG_SWITCH")) {
+      members = parseSwitchSet(cursor);
+    }
+    // Optional `LINK EXTERNAL_LINKS` / `LINK link_set` clause: the external
+    // ports are derived from the physical topology, so the clause is
+    // accepted and recorded only as syntax.
+    if (cursor.acceptKeyword("LINK")) {
+      if (!cursor.acceptKeyword("EXTERNAL_LINKS")) parseLinkSet(cursor);
+    }
+    return FilterPtr{new perm::VirtualTopologyFilter(std::move(members))};
+  }
+  if (name == "EVENT_INTERCEPTION") {
+    cursor.next();
+    return FilterPtr{new perm::CallbackFilter(
+        perm::CallbackFilter::Capability::kInterception)};
+  }
+  if (name == "MODIFY_EVENT_ORDER") {
+    cursor.next();
+    return FilterPtr{new perm::CallbackFilter(
+        perm::CallbackFilter::Capability::kModifyOrder)};
+  }
+  if (name == "FLOW_LEVEL") {
+    cursor.next();
+    return FilterPtr{new perm::StatisticsFilter(of::StatsLevel::kFlow)};
+  }
+  if (name == "PORT_LEVEL") {
+    cursor.next();
+    return FilterPtr{new perm::StatisticsFilter(of::StatsLevel::kPort)};
+  }
+  if (name == "SWITCH_LEVEL") {
+    cursor.next();
+    return FilterPtr{new perm::StatisticsFilter(of::StatsLevel::kSwitch)};
+  }
+  if (auto field = fieldByName(name)) {
+    cursor.next();
+    return parsePredicate(cursor, *field);
+  }
+  // Anything else in filter position is a customization stub macro.
+  cursor.next();
+  return FilterPtr{new perm::StubFilter(name)};
+}
+
+FilterExprPtr parseUnary(TokenCursor& cursor);
+FilterExprPtr parseAnd(TokenCursor& cursor);
+FilterExprPtr parseOr(TokenCursor& cursor);
+
+FilterExprPtr parseUnary(TokenCursor& cursor) {
+  if (cursor.acceptKeyword("NOT")) {
+    return FilterExpr::negate(parseUnary(cursor));
+  }
+  if (cursor.accept(TokenType::kLParen)) {
+    FilterExprPtr inner = parseOr(cursor);
+    cursor.expect(TokenType::kRParen, "')'");
+    return inner;
+  }
+  return FilterExpr::singleton(parseSingletonFilter(cursor));
+}
+
+FilterExprPtr parseAnd(TokenCursor& cursor) {
+  FilterExprPtr lhs = parseUnary(cursor);
+  while (cursor.acceptKeyword("AND")) {
+    lhs = FilterExpr::conj(std::move(lhs), parseUnary(cursor));
+  }
+  return lhs;
+}
+
+FilterExprPtr parseOr(TokenCursor& cursor) {
+  FilterExprPtr lhs = parseAnd(cursor);
+  while (cursor.acceptKeyword("OR")) {
+    lhs = FilterExpr::disj(std::move(lhs), parseAnd(cursor));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+perm::FilterExprPtr parseFilterExpr(TokenCursor& cursor) {
+  return parseOr(cursor);
+}
+
+perm::Permission parsePermStmt(TokenCursor& cursor) {
+  cursor.expectKeyword("PERM");
+  const LexToken& nameToken = cursor.expect(TokenType::kIdent, "token name");
+  auto token = perm::parseToken(nameToken.text);
+  if (!token) {
+    throw ParseError("unknown permission token '" + nameToken.text + "'",
+                     nameToken.line, nameToken.column);
+  }
+  perm::Permission out;
+  out.token = *token;
+  if (cursor.acceptKeyword("LIMITING")) {
+    out.filter = parseFilterExpr(cursor);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+PermissionManifest parseManifest(const std::string& text) {
+  detail::TokenCursor cursor{lex(text)};
+  PermissionManifest manifest;
+  cursor.skipNewlines();
+  if (cursor.acceptKeyword("APP")) {
+    manifest.appName =
+        cursor.expect(TokenType::kIdent, "application name").text;
+    cursor.skipNewlines();
+  }
+  while (!cursor.atEnd()) {
+    perm::Permission perm = detail::parsePermStmt(cursor);
+    manifest.permissions.grant(perm.token, perm.filter);
+    if (!cursor.atEnd()) {
+      if (!cursor.accept(TokenType::kNewline)) {
+        cursor.fail("expected end of permission statement");
+      }
+      cursor.skipNewlines();
+    }
+  }
+  return manifest;
+}
+
+perm::PermissionSet parsePermissions(const std::string& text) {
+  return parseManifest(text).permissions;
+}
+
+perm::FilterExprPtr parseFilterExpr(const std::string& text) {
+  detail::TokenCursor cursor{lex(text)};
+  cursor.skipNewlines();
+  perm::FilterExprPtr expr = detail::parseFilterExpr(cursor);
+  cursor.skipNewlines();
+  if (!cursor.atEnd()) cursor.fail("trailing input after filter expression");
+  return expr;
+}
+
+}  // namespace sdnshield::lang

@@ -1,0 +1,76 @@
+// Parser for the SDNShield permission language (paper Appendix A).
+//
+//   perm_manifest := perm_stmt*
+//   perm_stmt     := PERM token [LIMITING filter_expr]
+//   filter_expr   := filter_expr AND/OR filter | NOT filter_expr
+//                  | ( filter_expr ) | filter
+//
+// Filters cover the full Appendix A set (pred/action/owner/priority/
+// table-size/pkt-out/topology/callback/statistics); any unrecognised
+// identifier in filter position is a customization stub (§V) resolved by the
+// reconciliation preprocessor.
+#pragma once
+
+#include <string>
+
+#include "core/lang/lexer.h"
+#include "core/perm/permission.h"
+
+namespace sdnshield::lang {
+
+/// A manifest: the permission set an app release requests.
+struct PermissionManifest {
+  std::string appName;  ///< Optional `APP <name>` header; empty if absent.
+  perm::PermissionSet permissions;
+};
+
+/// Parses a full permission manifest. Throws ParseError.
+PermissionManifest parseManifest(const std::string& text);
+
+/// Parses just the permission set (no APP header allowed).
+perm::PermissionSet parsePermissions(const std::string& text);
+
+/// Parses a standalone filter expression (used by LET bindings and tests).
+perm::FilterExprPtr parseFilterExpr(const std::string& text);
+
+namespace detail {
+
+/// Cursor over a token stream, shared with the policy parser.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<LexToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const LexToken& peek(std::size_t lookahead = 0) const;
+  const LexToken& next();
+  bool atEnd() const { return peek().type == TokenType::kEnd; }
+
+  /// True (and consumes) when the current token is an identifier equal to
+  /// @p keyword (case-sensitive, as in the paper's listings).
+  bool acceptKeyword(const std::string& keyword);
+  bool checkKeyword(const std::string& keyword) const;
+  void expectKeyword(const std::string& keyword);
+  bool accept(TokenType type);
+  LexToken expect(TokenType type, const std::string& what);
+  void skipNewlines();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  /// Position save/restore for backtracking parsers (policy assertions).
+  std::size_t save() const { return pos_; }
+  void restore(std::size_t pos) { pos_ = pos; }
+
+ private:
+  std::vector<LexToken> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses one filter expression starting at the cursor (exposed for the
+/// policy parser, which embeds filter expressions in LET bindings).
+perm::FilterExprPtr parseFilterExpr(TokenCursor& cursor);
+
+/// Parses `PERM token [LIMITING filter_expr]` at the cursor.
+perm::Permission parsePermStmt(TokenCursor& cursor);
+
+}  // namespace detail
+
+}  // namespace sdnshield::lang

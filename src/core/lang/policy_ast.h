@@ -1,0 +1,92 @@
+// AST for the SDNShield security policy language (paper Appendix B):
+// LET bindings (stub macros, named permission sets, app references),
+// mutual-exclusion constraints and permission-boundary assertions over the
+// MEET/JOIN permission-set algebra.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/perm/permission.h"
+
+namespace sdnshield::lang {
+
+struct PermSetExpr;
+using PermSetExprPtr = std::shared_ptr<const PermSetExpr>;
+
+/// Permission-set expression: `perm_expr := perm_expr MEET|JOIN perm_expr
+/// | ( perm_expr ) | var | APP name | { perm* }`.
+struct PermSetExpr {
+  enum class Kind { kLiteral, kVar, kApp, kMeet, kJoin };
+
+  Kind kind = Kind::kLiteral;
+  perm::PermissionSet literal;  // kLiteral.
+  std::string name;             // kVar / kApp.
+  PermSetExprPtr lhs;           // kMeet / kJoin.
+  PermSetExprPtr rhs;
+
+  static PermSetExprPtr makeLiteral(perm::PermissionSet set);
+  static PermSetExprPtr makeVar(std::string name);
+  static PermSetExprPtr makeApp(std::string name);
+  static PermSetExprPtr makeMeet(PermSetExprPtr lhs, PermSetExprPtr rhs);
+  static PermSetExprPtr makeJoin(PermSetExprPtr lhs, PermSetExprPtr rhs);
+
+  std::string toString() const;
+};
+
+enum class CmpOp { kLe, kGe, kLt, kGt, kEq };
+
+std::string toString(CmpOp op);
+
+struct BoolExpr;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+/// Boolean assertion expression over permission-set comparisons.
+struct BoolExpr {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kCompare;
+  CmpOp op = CmpOp::kLe;  // kCompare.
+  PermSetExprPtr lhs;     // kCompare.
+  PermSetExprPtr rhs;
+  BoolExprPtr a;  // kAnd / kOr / kNot.
+  BoolExprPtr b;
+
+  static BoolExprPtr compare(PermSetExprPtr lhs, CmpOp op, PermSetExprPtr rhs);
+  static BoolExprPtr conj(BoolExprPtr a, BoolExprPtr b);
+  static BoolExprPtr disj(BoolExprPtr a, BoolExprPtr b);
+  static BoolExprPtr negate(BoolExprPtr a);
+
+  std::string toString() const;
+};
+
+/// One ASSERT statement.
+struct Constraint {
+  enum class Kind { kMutualExclusion, kAssertion };
+
+  Kind kind = Kind::kAssertion;
+  // kMutualExclusion: `ASSERT EITHER { A } OR { B }`.
+  PermSetExprPtr exclusiveA;
+  PermSetExprPtr exclusiveB;
+  // kAssertion.
+  BoolExprPtr assertion;
+
+  int line = 0;  ///< Source line, for violation reports.
+  std::string toString() const;
+};
+
+/// A parsed security policy program.
+struct PolicyProgram {
+  /// `LET name = <filter_expr>` — stub-macro definitions applied to
+  /// manifests by the reconciliation preprocessor.
+  std::map<std::string, perm::FilterExprPtr> filterBindings;
+
+  /// `LET name = <perm_set_expr>` — named permission sets (templates).
+  std::map<std::string, PermSetExprPtr> setBindings;
+
+  std::vector<Constraint> constraints;
+};
+
+}  // namespace sdnshield::lang

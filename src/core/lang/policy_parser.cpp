@@ -1,0 +1,341 @@
+#include "core/lang/policy_parser.h"
+
+#include <optional>
+#include <utility>
+
+#include "core/lang/perm_parser.h"
+
+namespace sdnshield::lang {
+
+// --- AST factories and printers ----------------------------------------------
+
+PermSetExprPtr PermSetExpr::makeLiteral(perm::PermissionSet set) {
+  auto node = std::make_shared<PermSetExpr>();
+  node->kind = Kind::kLiteral;
+  node->literal = std::move(set);
+  return node;
+}
+
+PermSetExprPtr PermSetExpr::makeVar(std::string name) {
+  auto node = std::make_shared<PermSetExpr>();
+  node->kind = Kind::kVar;
+  node->name = std::move(name);
+  return node;
+}
+
+PermSetExprPtr PermSetExpr::makeApp(std::string name) {
+  auto node = std::make_shared<PermSetExpr>();
+  node->kind = Kind::kApp;
+  node->name = std::move(name);
+  return node;
+}
+
+PermSetExprPtr PermSetExpr::makeMeet(PermSetExprPtr lhs, PermSetExprPtr rhs) {
+  auto node = std::make_shared<PermSetExpr>();
+  node->kind = Kind::kMeet;
+  node->lhs = std::move(lhs);
+  node->rhs = std::move(rhs);
+  return node;
+}
+
+PermSetExprPtr PermSetExpr::makeJoin(PermSetExprPtr lhs, PermSetExprPtr rhs) {
+  auto node = std::make_shared<PermSetExpr>();
+  node->kind = Kind::kJoin;
+  node->lhs = std::move(lhs);
+  node->rhs = std::move(rhs);
+  return node;
+}
+
+std::string PermSetExpr::toString() const {
+  switch (kind) {
+    case Kind::kLiteral: {
+      // Single-line form, so constraint texts stay readable in reports.
+      std::string out = "{";
+      for (const perm::Permission& grant : literal.permissions()) {
+        out += " " + grant.toString() + ";";
+      }
+      if (out.back() == ';') out.pop_back();
+      return out + " }";
+    }
+    case Kind::kVar:
+      return name;
+    case Kind::kApp:
+      return "APP " + name;
+    case Kind::kMeet:
+      return "(" + lhs->toString() + " MEET " + rhs->toString() + ")";
+    case Kind::kJoin:
+      return "(" + lhs->toString() + " JOIN " + rhs->toString() + ")";
+  }
+  return "?";
+}
+
+std::string toString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+BoolExprPtr BoolExpr::compare(PermSetExprPtr lhs, CmpOp op,
+                              PermSetExprPtr rhs) {
+  auto node = std::make_shared<BoolExpr>();
+  node->kind = Kind::kCompare;
+  node->op = op;
+  node->lhs = std::move(lhs);
+  node->rhs = std::move(rhs);
+  return node;
+}
+
+BoolExprPtr BoolExpr::conj(BoolExprPtr a, BoolExprPtr b) {
+  auto node = std::make_shared<BoolExpr>();
+  node->kind = Kind::kAnd;
+  node->a = std::move(a);
+  node->b = std::move(b);
+  return node;
+}
+
+BoolExprPtr BoolExpr::disj(BoolExprPtr a, BoolExprPtr b) {
+  auto node = std::make_shared<BoolExpr>();
+  node->kind = Kind::kOr;
+  node->a = std::move(a);
+  node->b = std::move(b);
+  return node;
+}
+
+BoolExprPtr BoolExpr::negate(BoolExprPtr a) {
+  auto node = std::make_shared<BoolExpr>();
+  node->kind = Kind::kNot;
+  node->a = std::move(a);
+  return node;
+}
+
+std::string BoolExpr::toString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return lhs->toString() + " " + lang::toString(op) + " " +
+             rhs->toString();
+    case Kind::kAnd:
+      return "(" + a->toString() + " AND " + b->toString() + ")";
+    case Kind::kOr:
+      return "(" + a->toString() + " OR " + b->toString() + ")";
+    case Kind::kNot:
+      return "NOT (" + a->toString() + ")";
+  }
+  return "?";
+}
+
+std::string Constraint::toString() const {
+  if (kind == Kind::kMutualExclusion) {
+    return "ASSERT EITHER " + exclusiveA->toString() + " OR " +
+           exclusiveB->toString();
+  }
+  return "ASSERT " + assertion->toString();
+}
+
+// --- parser --------------------------------------------------------------------
+
+namespace {
+
+using detail::TokenCursor;
+
+bool isStatementKeyword(const TokenCursor& cursor) {
+  return cursor.checkKeyword("LET") || cursor.checkKeyword("ASSERT");
+}
+
+/// Parses `{ PERM ... (newline PERM ...)* }` with the opening brace already
+/// consumed.
+perm::PermissionSet parsePermSetLiteralBody(TokenCursor& cursor) {
+  perm::PermissionSet set;
+  cursor.skipNewlines();
+  if (cursor.accept(TokenType::kRBrace)) return set;  // `{ }`: empty set.
+  while (cursor.checkKeyword("PERM")) {
+    perm::Permission permStmt = detail::parsePermStmt(cursor);
+    set.grant(permStmt.token, permStmt.filter);
+    cursor.skipNewlines();
+  }
+  cursor.expect(TokenType::kRBrace, "'}'");
+  return set;
+}
+
+PermSetExprPtr parsePermSetExpr(TokenCursor& cursor);
+
+PermSetExprPtr parsePermSetPrimary(TokenCursor& cursor) {
+  if (cursor.accept(TokenType::kLBrace)) {
+    return PermSetExpr::makeLiteral(parsePermSetLiteralBody(cursor));
+  }
+  if (cursor.acceptKeyword("APP")) {
+    return PermSetExpr::makeApp(
+        cursor.expect(TokenType::kIdent, "application name").text);
+  }
+  if (cursor.accept(TokenType::kLParen)) {
+    PermSetExprPtr inner = parsePermSetExpr(cursor);
+    cursor.expect(TokenType::kRParen, "')'");
+    return inner;
+  }
+  return PermSetExpr::makeVar(
+      cursor.expect(TokenType::kIdent, "permission-set variable").text);
+}
+
+PermSetExprPtr parsePermSetExpr(TokenCursor& cursor) {
+  PermSetExprPtr lhs = parsePermSetPrimary(cursor);
+  while (true) {
+    if (cursor.acceptKeyword("MEET")) {
+      lhs = PermSetExpr::makeMeet(std::move(lhs), parsePermSetPrimary(cursor));
+    } else if (cursor.acceptKeyword("JOIN")) {
+      lhs = PermSetExpr::makeJoin(std::move(lhs), parsePermSetPrimary(cursor));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+std::optional<CmpOp> acceptCmpOp(TokenCursor& cursor) {
+  switch (cursor.peek().type) {
+    case TokenType::kLe:
+      cursor.next();
+      return CmpOp::kLe;
+    case TokenType::kGe:
+      cursor.next();
+      return CmpOp::kGe;
+    case TokenType::kLt:
+      cursor.next();
+      return CmpOp::kLt;
+    case TokenType::kGt:
+      cursor.next();
+      return CmpOp::kGt;
+    case TokenType::kAssign:
+      cursor.next();
+      return CmpOp::kEq;
+    default:
+      return std::nullopt;
+  }
+}
+
+BoolExprPtr parseBoolOr(TokenCursor& cursor);
+
+BoolExprPtr parseBoolUnary(TokenCursor& cursor) {
+  if (cursor.acceptKeyword("NOT")) {
+    return BoolExpr::negate(parseBoolUnary(cursor));
+  }
+  if (cursor.peek().type == TokenType::kLParen) {
+    // Ambiguous: `( assert_expr )` or a parenthesised perm-set expression
+    // starting a comparison. Try the boolean reading first and backtrack.
+    std::size_t mark = cursor.save();
+    cursor.next();  // '('.
+    try {
+      BoolExprPtr inner = parseBoolOr(cursor);
+      cursor.expect(TokenType::kRParen, "')'");
+      return inner;
+    } catch (const ParseError&) {
+      cursor.restore(mark);
+    }
+  }
+  PermSetExprPtr lhs = parsePermSetExpr(cursor);
+  auto op = acceptCmpOp(cursor);
+  if (!op) cursor.fail("expected a comparison operator");
+  PermSetExprPtr rhs = parsePermSetExpr(cursor);
+  return BoolExpr::compare(std::move(lhs), *op, std::move(rhs));
+}
+
+BoolExprPtr parseBoolAnd(TokenCursor& cursor) {
+  BoolExprPtr lhs = parseBoolUnary(cursor);
+  while (cursor.checkKeyword("AND")) {
+    cursor.next();
+    lhs = BoolExpr::conj(std::move(lhs), parseBoolUnary(cursor));
+  }
+  return lhs;
+}
+
+BoolExprPtr parseBoolOr(TokenCursor& cursor) {
+  BoolExprPtr lhs = parseBoolAnd(cursor);
+  while (cursor.checkKeyword("OR")) {
+    cursor.next();
+    lhs = BoolExpr::disj(std::move(lhs), parseBoolAnd(cursor));
+  }
+  return lhs;
+}
+
+void parseLet(TokenCursor& cursor, PolicyProgram& program) {
+  cursor.expectKeyword("LET");
+  std::string name = cursor.expect(TokenType::kIdent, "binding name").text;
+  cursor.expect(TokenType::kAssign, "'='");
+  if (cursor.accept(TokenType::kLBrace)) {
+    cursor.skipNewlines();
+    if (cursor.accept(TokenType::kRBrace)) {
+      program.setBindings[name] =
+          PermSetExpr::makeLiteral(perm::PermissionSet{});
+      return;
+    }
+    if (cursor.checkKeyword("PERM")) {
+      program.setBindings[name] =
+          PermSetExpr::makeLiteral(parsePermSetLiteralBody(cursor));
+      return;
+    }
+    // Filter-expression binding (stub macro definition).
+    perm::FilterExprPtr filter = detail::parseFilterExpr(cursor);
+    cursor.skipNewlines();
+    cursor.expect(TokenType::kRBrace, "'}'");
+    program.filterBindings[name] = std::move(filter);
+    return;
+  }
+  if (cursor.checkKeyword("APP")) {
+    cursor.next();
+    program.setBindings[name] = PermSetExpr::makeApp(
+        cursor.expect(TokenType::kIdent, "application name").text);
+    return;
+  }
+  program.setBindings[name] = parsePermSetExpr(cursor);
+}
+
+void parseAssert(TokenCursor& cursor, PolicyProgram& program) {
+  int line = cursor.peek().line;
+  cursor.expectKeyword("ASSERT");
+  Constraint constraint;
+  constraint.line = line;
+  if (cursor.acceptKeyword("EITHER")) {
+    constraint.kind = Constraint::Kind::kMutualExclusion;
+    constraint.exclusiveA = parsePermSetExpr(cursor);
+    cursor.expectKeyword("OR");
+    constraint.exclusiveB = parsePermSetExpr(cursor);
+  } else {
+    constraint.kind = Constraint::Kind::kAssertion;
+    constraint.assertion = parseBoolOr(cursor);
+  }
+  program.constraints.push_back(std::move(constraint));
+}
+
+}  // namespace
+
+PolicyProgram parsePolicy(const std::string& text) {
+  TokenCursor cursor{lex(text)};
+  PolicyProgram program;
+  cursor.skipNewlines();
+  while (!cursor.atEnd()) {
+    if (cursor.checkKeyword("LET")) {
+      parseLet(cursor, program);
+    } else if (cursor.checkKeyword("ASSERT")) {
+      parseAssert(cursor, program);
+    } else {
+      cursor.fail("expected LET or ASSERT, found '" + cursor.peek().text +
+                  "'");
+    }
+    if (!cursor.atEnd()) {
+      if (!cursor.accept(TokenType::kNewline) && !isStatementKeyword(cursor)) {
+        cursor.fail("expected end of statement");
+      }
+      cursor.skipNewlines();
+    }
+  }
+  return program;
+}
+
+}  // namespace sdnshield::lang

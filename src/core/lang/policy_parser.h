@@ -1,0 +1,23 @@
+// Parser for the SDNShield security policy language (paper Appendix B).
+//
+//   expr       := binding | constraint
+//   binding    := LET var = { perm_expr } | LET var = APP name
+//               | LET var = perm_expr | LET var = { filter_expr }
+//   constraint := ASSERT EITHER perm_expr OR perm_expr
+//               | ASSERT assert_expr
+//
+// A braced LET body starting with PERM is a permission-set literal; any
+// other braced body is a filter expression (the form stub macros take in the
+// paper's Scenario 1: `LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}`).
+#pragma once
+
+#include <string>
+
+#include "core/lang/policy_ast.h"
+
+namespace sdnshield::lang {
+
+/// Parses a full policy program. Throws ParseError.
+PolicyProgram parsePolicy(const std::string& text);
+
+}  // namespace sdnshield::lang

@@ -1,0 +1,32 @@
+#include "core/lang/printer.h"
+
+#include <sstream>
+
+namespace sdnshield::lang {
+
+std::string formatPermissions(const perm::PermissionSet& permissions) {
+  return permissions.toString();
+}
+
+std::string formatManifest(const PermissionManifest& manifest) {
+  std::ostringstream out;
+  if (!manifest.appName.empty()) out << "APP " << manifest.appName << "\n";
+  out << formatPermissions(manifest.permissions);
+  return out.str();
+}
+
+std::string formatPolicy(const PolicyProgram& program) {
+  std::ostringstream out;
+  for (const auto& [name, filter] : program.filterBindings) {
+    out << "LET " << name << " = { " << filter->toString() << " }\n";
+  }
+  for (const auto& [name, expr] : program.setBindings) {
+    out << "LET " << name << " = " << expr->toString() << "\n";
+  }
+  for (const Constraint& constraint : program.constraints) {
+    out << constraint.toString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sdnshield::lang

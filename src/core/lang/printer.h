@@ -1,0 +1,21 @@
+// Canonical pretty-printers for manifests and policies. The printed form
+// re-parses to an equivalent object (round-trip property, covered by tests).
+#pragma once
+
+#include <string>
+
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_ast.h"
+
+namespace sdnshield::lang {
+
+/// Prints a manifest in permission-language syntax.
+std::string formatManifest(const PermissionManifest& manifest);
+
+/// Prints a permission set (one PERM statement per line).
+std::string formatPermissions(const perm::PermissionSet& permissions);
+
+/// Prints a policy program in security-policy-language syntax.
+std::string formatPolicy(const PolicyProgram& program);
+
+}  // namespace sdnshield::lang

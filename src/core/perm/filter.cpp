@@ -1,0 +1,495 @@
+#include "core/perm/filter.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace sdnshield::perm {
+
+namespace {
+
+bool isFlowCall(const ApiCall& call) {
+  switch (call.type) {
+    case ApiCallType::kInsertFlow:
+    case ApiCallType::kModifyFlow:
+    case ApiCallType::kDeleteFlow:
+    case ApiCallType::kReadFlowTable:
+      return true;
+    case ApiCallType::kReadStatistics:
+      return call.statsLevel == of::StatsLevel::kFlow;
+    default:
+      return false;
+  }
+}
+
+bool isRuleIssuingCall(const ApiCall& call) {
+  return call.type == ApiCallType::kInsertFlow ||
+         call.type == ApiCallType::kModifyFlow ||
+         call.type == ApiCallType::kDeleteFlow;
+}
+
+/// The (possibly wildcarded) predicate a flow call places on @p field,
+/// expressed as a MaskedIpv4 for IP fields.
+const std::optional<of::MaskedIpv4>& ipField(const of::FlowMatch& match,
+                                             of::MatchField field) {
+  static const std::optional<of::MaskedIpv4> kNone;
+  switch (field) {
+    case of::MatchField::kIpSrc:
+      return match.ipSrc;
+    case of::MatchField::kIpDst:
+      return match.ipDst;
+    default:
+      return kNone;
+  }
+}
+
+std::optional<std::uint64_t> intField(const of::FlowMatch& match,
+                                      of::MatchField field) {
+  switch (field) {
+    case of::MatchField::kInPort:
+      if (match.inPort) return *match.inPort;
+      return std::nullopt;
+    case of::MatchField::kEthSrc:
+      if (match.ethSrc) return match.ethSrc->toUint64();
+      return std::nullopt;
+    case of::MatchField::kEthDst:
+      if (match.ethDst) return match.ethDst->toUint64();
+      return std::nullopt;
+    case of::MatchField::kEthType:
+      if (match.ethType) return *match.ethType;
+      return std::nullopt;
+    case of::MatchField::kVlanId:
+      if (match.vlanId) return *match.vlanId;
+      return std::nullopt;
+    case of::MatchField::kIpProto:
+      if (match.ipProto) return *match.ipProto;
+      return std::nullopt;
+    case of::MatchField::kTpSrc:
+      if (match.tpSrc) return *match.tpSrc;
+      return std::nullopt;
+    case of::MatchField::kTpDst:
+      if (match.tpDst) return *match.tpDst;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+// --- FieldPredicateFilter ----------------------------------------------------
+
+FieldPredicateFilter::FieldPredicateFilter(of::MatchField field,
+                                           of::MaskedIpv4 range)
+    : field_(field), range_(range) {}
+
+FieldPredicateFilter::FieldPredicateFilter(of::MatchField field,
+                                           std::uint64_t value)
+    : field_(field), value_(value) {}
+
+bool FieldPredicateFilter::isIpField() const {
+  return field_ == of::MatchField::kIpSrc || field_ == of::MatchField::kIpDst;
+}
+
+std::uint32_t FieldPredicateFilter::dimension() const {
+  return (static_cast<std::uint32_t>(kind()) << 16) |
+         static_cast<std::uint32_t>(field_);
+}
+
+bool FieldPredicateFilter::evaluate(const ApiCall& call) const {
+  // Host-system calls: IP_DST / TP_DST bound the remote endpoint.
+  if (call.type == ApiCallType::kHostNetworkAccess) {
+    if (field_ == of::MatchField::kIpDst) {
+      return call.remoteIp && range_.matches(*call.remoteIp);
+    }
+    if (field_ == of::MatchField::kTpDst) {
+      return call.remotePort && *call.remotePort == value_;
+    }
+    return true;  // Other fields do not apply to host calls.
+  }
+  if (!isFlowCall(call)) return true;  // Attribute category not applicable.
+  // A flow call without a predicate addresses *all* flows — wider than any
+  // bound, so it fails the narrower-than test.
+  if (!call.match) return false;
+  if (isIpField()) {
+    const auto& pred = ipField(*call.match, field_);
+    return pred && range_.subsumes(*pred);
+  }
+  auto pred = intField(*call.match, field_);
+  return pred && *pred == value_;
+}
+
+bool FieldPredicateFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const FieldPredicateFilter*>(&other);
+  if (o == nullptr || o->field_ != field_) return false;
+  if (isIpField()) return range_.subsumes(o->range_);
+  return value_ == o->value_;
+}
+
+bool FieldPredicateFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const FieldPredicateFilter*>(&other);
+  if (o == nullptr || o->field_ != field_) return false;
+  return isIpField() ? range_ == o->range_ : value_ == o->value_;
+}
+
+std::string FieldPredicateFilter::toString() const {
+  if (isIpField()) return of::toString(field_) + " " + range_.toString();
+  return of::toString(field_) + " " + std::to_string(value_);
+}
+
+// --- WildcardFilter ----------------------------------------------------------
+
+WildcardFilter::WildcardFilter(of::MatchField field,
+                               of::Ipv4Address mustWildcardBits)
+    : field_(field), mustWildcard_(mustWildcardBits) {}
+
+WildcardFilter::WildcardFilter(of::MatchField field) : field_(field) {}
+
+bool WildcardFilter::isIpField() const {
+  return field_ == of::MatchField::kIpSrc || field_ == of::MatchField::kIpDst;
+}
+
+std::uint32_t WildcardFilter::dimension() const {
+  return (static_cast<std::uint32_t>(kind()) << 16) |
+         static_cast<std::uint32_t>(field_);
+}
+
+bool WildcardFilter::evaluate(const ApiCall& call) const {
+  if (!isRuleIssuingCall(call)) return true;
+  if (!call.match) return true;  // Fully wildcarded rule trivially complies.
+  if (isIpField()) {
+    const auto& pred = ipField(*call.match, field_);
+    if (!pred) return true;
+    return (pred->mask.value() & mustWildcard_.value()) == 0;
+  }
+  return !intField(*call.match, field_).has_value();
+}
+
+bool WildcardFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const WildcardFilter*>(&other);
+  if (o == nullptr || o->field_ != field_) return false;
+  // Fewer forced-wildcard bits allow more rules.
+  return (mustWildcard_.value() & o->mustWildcard_.value()) ==
+         mustWildcard_.value();
+}
+
+bool WildcardFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const WildcardFilter*>(&other);
+  return o != nullptr && o->field_ == field_ &&
+         o->mustWildcard_ == mustWildcard_;
+}
+
+std::string WildcardFilter::toString() const {
+  return "WILDCARD " + of::toString(field_) + " " + mustWildcard_.toString();
+}
+
+// --- ActionFilter ------------------------------------------------------------
+
+FilterPtr ActionFilter::drop() {
+  return FilterPtr{new ActionFilter(Mode::kDrop, of::MatchField::kIpDst)};
+}
+FilterPtr ActionFilter::forward() {
+  return FilterPtr{new ActionFilter(Mode::kForward, of::MatchField::kIpDst)};
+}
+FilterPtr ActionFilter::modify(of::MatchField field) {
+  return FilterPtr{new ActionFilter(Mode::kModify, field)};
+}
+
+bool ActionFilter::evaluate(const ApiCall& call) const {
+  if (!call.actions) return true;
+  switch (mode_) {
+    case Mode::kDrop:
+      return of::isDrop(*call.actions);
+    case Mode::kForward:
+      return !of::modifiesHeaders(*call.actions);
+    case Mode::kModify:
+      for (const of::Action& action : *call.actions) {
+        const auto* set = std::get_if<of::SetFieldAction>(&action);
+        if (set != nullptr && set->field != field_) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool ActionFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const ActionFilter*>(&other);
+  if (o == nullptr) return false;
+  auto rank = [](Mode m) { return static_cast<int>(m); };
+  if (mode_ == Mode::kModify && o->mode_ == Mode::kModify) {
+    return field_ == o->field_;
+  }
+  return rank(mode_) >= rank(o->mode_);
+}
+
+bool ActionFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const ActionFilter*>(&other);
+  if (o == nullptr || o->mode_ != mode_) return false;
+  return mode_ != Mode::kModify || o->field_ == field_;
+}
+
+std::string ActionFilter::toString() const {
+  switch (mode_) {
+    case Mode::kDrop:
+      return "ACTION DROP";
+    case Mode::kForward:
+      return "ACTION FORWARD";
+    case Mode::kModify:
+      return "ACTION MODIFY " + of::toString(field_);
+  }
+  return "ACTION ?";
+}
+
+// --- OwnershipFilter ---------------------------------------------------------
+
+bool OwnershipFilter::evaluate(const ApiCall& call) const {
+  return !ownOnly_ || call.ownFlow;
+}
+
+bool OwnershipFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const OwnershipFilter*>(&other);
+  if (o == nullptr) return false;
+  return !ownOnly_ || o->ownOnly_;  // ALL ⊇ {ALL, OWN}; OWN ⊇ OWN.
+}
+
+bool OwnershipFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const OwnershipFilter*>(&other);
+  return o != nullptr && o->ownOnly_ == ownOnly_;
+}
+
+std::string OwnershipFilter::toString() const {
+  return ownOnly_ ? "OWN_FLOWS" : "ALL_FLOWS";
+}
+
+// --- PriorityFilter ----------------------------------------------------------
+
+bool PriorityFilter::evaluate(const ApiCall& call) const {
+  if (!call.priority) return true;
+  return isMax_ ? *call.priority <= bound_ : *call.priority >= bound_;
+}
+
+bool PriorityFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const PriorityFilter*>(&other);
+  if (o == nullptr || o->isMax_ != isMax_) return false;
+  return isMax_ ? bound_ >= o->bound_ : bound_ <= o->bound_;
+}
+
+bool PriorityFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const PriorityFilter*>(&other);
+  return o != nullptr && o->isMax_ == isMax_ && o->bound_ == bound_;
+}
+
+std::string PriorityFilter::toString() const {
+  return (isMax_ ? "MAX_PRIORITY " : "MIN_PRIORITY ") + std::to_string(bound_);
+}
+
+// --- TableSizeFilter ---------------------------------------------------------
+
+bool TableSizeFilter::evaluate(const ApiCall& call) const {
+  if (!call.ruleCountAfter) return true;
+  return *call.ruleCountAfter <= maxRules_;
+}
+
+bool TableSizeFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const TableSizeFilter*>(&other);
+  return o != nullptr && maxRules_ >= o->maxRules_;
+}
+
+bool TableSizeFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const TableSizeFilter*>(&other);
+  return o != nullptr && o->maxRules_ == maxRules_;
+}
+
+std::string TableSizeFilter::toString() const {
+  return "MAX_RULE_COUNT " + std::to_string(maxRules_);
+}
+
+// --- PktOutFilter ------------------------------------------------------------
+
+bool PktOutFilter::evaluate(const ApiCall& call) const {
+  if (call.type != ApiCallType::kSendPacketOut) return true;
+  return !fromPktInOnly_ || call.pktOutFromPacketIn;
+}
+
+bool PktOutFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const PktOutFilter*>(&other);
+  if (o == nullptr) return false;
+  return !fromPktInOnly_ || o->fromPktInOnly_;
+}
+
+bool PktOutFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const PktOutFilter*>(&other);
+  return o != nullptr && o->fromPktInOnly_ == fromPktInOnly_;
+}
+
+std::string PktOutFilter::toString() const {
+  return fromPktInOnly_ ? "FROM_PKT_IN" : "ARBITRARY";
+}
+
+// --- PhysicalTopologyFilter ----------------------------------------------------
+
+PhysicalTopologyFilter::PhysicalTopologyFilter(
+    std::set<of::DatapathId> switches, std::set<LinkPair> links)
+    : switches_(std::move(switches)) {
+  for (LinkPair link : links) {
+    if (link.first > link.second) std::swap(link.first, link.second);
+    links_.insert(link);
+  }
+}
+
+bool PhysicalTopologyFilter::evaluate(const ApiCall& call) const {
+  if (call.dpid && !switches_.contains(*call.dpid)) return false;
+  for (of::DatapathId dpid : call.topoSwitches) {
+    if (!switches_.contains(dpid)) return false;
+  }
+  for (LinkPair link : call.topoLinks) {
+    if (link.first > link.second) std::swap(link.first, link.second);
+    if (!links_.contains(link)) return false;
+  }
+  return true;
+}
+
+bool PhysicalTopologyFilter::includes(const Filter& other) const {
+  const auto* o = dynamic_cast<const PhysicalTopologyFilter*>(&other);
+  if (o == nullptr) return false;
+  return std::includes(switches_.begin(), switches_.end(),
+                       o->switches_.begin(), o->switches_.end()) &&
+         std::includes(links_.begin(), links_.end(), o->links_.begin(),
+                       o->links_.end());
+}
+
+bool PhysicalTopologyFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const PhysicalTopologyFilter*>(&other);
+  return o != nullptr && o->switches_ == switches_ && o->links_ == links_;
+}
+
+std::string PhysicalTopologyFilter::toString() const {
+  std::ostringstream out;
+  out << "SWITCH {";
+  bool first = true;
+  for (of::DatapathId dpid : switches_) {
+    if (!first) out << ",";
+    first = false;
+    out << dpid;
+  }
+  out << "} LINK {";
+  first = true;
+  for (const LinkPair& link : links_) {
+    if (!first) out << ",";
+    first = false;
+    out << "(" << link.first << "," << link.second << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+// --- VirtualTopologyFilter -----------------------------------------------------
+
+VirtualTopologyFilter::VirtualTopologyFilter(
+    std::set<of::DatapathId> memberSwitches)
+    : members_(std::move(memberSwitches)) {}
+
+bool VirtualTopologyFilter::evaluate(const ApiCall&) const {
+  // Translation marker: the kernel deputy rewrites the call through the
+  // virtual mapping; the label itself is permissive.
+  return true;
+}
+
+bool VirtualTopologyFilter::includes(const Filter& other) const {
+  return equals(other);
+}
+
+bool VirtualTopologyFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const VirtualTopologyFilter*>(&other);
+  return o != nullptr && o->members_ == members_;
+}
+
+std::string VirtualTopologyFilter::toString() const {
+  if (isSingleBigSwitch()) return "VIRTUAL SINGLE_BIG_SWITCH";
+  std::ostringstream out;
+  out << "VIRTUAL {";
+  bool first = true;
+  for (of::DatapathId dpid : members_) {
+    if (!first) out << ",";
+    first = false;
+    out << dpid;
+  }
+  out << "}";
+  return out.str();
+}
+
+// --- CallbackFilter ------------------------------------------------------------
+
+std::uint32_t CallbackFilter::dimension() const {
+  return (static_cast<std::uint32_t>(kind()) << 16) |
+         static_cast<std::uint32_t>(capability_);
+}
+
+bool CallbackFilter::evaluate(const ApiCall& call) const {
+  if (!call.callbackOp) return true;
+  switch (*call.callbackOp) {
+    case CallbackOp::kObserve:
+      return true;
+    case CallbackOp::kIntercept:
+      return capability_ == Capability::kInterception;
+    case CallbackOp::kReorder:
+      return capability_ == Capability::kModifyOrder;
+  }
+  return false;
+}
+
+bool CallbackFilter::includes(const Filter& other) const {
+  return equals(other);
+}
+
+bool CallbackFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const CallbackFilter*>(&other);
+  return o != nullptr && o->capability_ == capability_;
+}
+
+std::string CallbackFilter::toString() const {
+  return capability_ == Capability::kInterception ? "EVENT_INTERCEPTION"
+                                                  : "MODIFY_EVENT_ORDER";
+}
+
+// --- StatisticsFilter ----------------------------------------------------------
+
+bool StatisticsFilter::evaluate(const ApiCall& call) const {
+  if (!call.statsLevel) return true;
+  return *call.statsLevel == level_;
+}
+
+bool StatisticsFilter::includes(const Filter& other) const {
+  return equals(other);
+}
+
+bool StatisticsFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const StatisticsFilter*>(&other);
+  return o != nullptr && o->level_ == level_;
+}
+
+std::string StatisticsFilter::toString() const { return of::toString(level_); }
+
+// --- StubFilter ----------------------------------------------------------------
+
+std::uint32_t StubFilter::dimension() const {
+  // Distinct stubs are distinct (incomparable) dimensions.
+  return (static_cast<std::uint32_t>(kind()) << 16) |
+         (static_cast<std::uint32_t>(std::hash<std::string>{}(name_)) &
+          0xffffu);
+}
+
+bool StubFilter::evaluate(const ApiCall&) const {
+  return false;  // Unresolved customization point: fail closed.
+}
+
+bool StubFilter::includes(const Filter& other) const { return equals(other); }
+
+bool StubFilter::equals(const Filter& other) const {
+  const auto* o = dynamic_cast<const StubFilter*>(&other);
+  return o != nullptr && o->name_ == name_;
+}
+
+std::string StubFilter::toString() const { return name_; }
+
+}  // namespace sdnshield::perm

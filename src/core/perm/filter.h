@@ -1,0 +1,333 @@
+// Singleton permission filters (paper §IV): the fine-grained second level of
+// the permission abstraction. A singleton filter labels an API call
+// true/false by inspecting one attribute dimension. Filters on different
+// dimensions are independent (the key property behind Algorithm 1).
+//
+// Filters are immutable values shared via shared_ptr<const Filter>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/perm/api_call.h"
+#include "of/match.h"
+#include "of/messages.h"
+#include "of/types.h"
+
+namespace sdnshield::perm {
+
+enum class FilterKind : std::uint8_t {
+  kFieldPredicate,
+  kWildcard,
+  kAction,
+  kOwnership,
+  kMaxPriority,
+  kMinPriority,
+  kTableSize,
+  kPktOut,
+  kPhysicalTopology,
+  kVirtualTopology,
+  kCallback,
+  kStatistics,
+  kStub,  ///< Unresolved customization macro (§V, permission customization).
+};
+
+class Filter;
+using FilterPtr = std::shared_ptr<const Filter>;
+
+/// Abstract singleton filter.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  virtual FilterKind kind() const = 0;
+
+  /// Dimension identity: filters with different dimensions are independent
+  /// and can never include one another. Encodes (kind, sub-dimension).
+  virtual std::uint32_t dimension() const {
+    return static_cast<std::uint32_t>(kind()) << 16;
+  }
+
+  /// Labels the API call. "Not applicable" attributes (the call carries no
+  /// attribute of this filter's category) label true; attributes of the
+  /// right category that are *wider* than the filter allows label false.
+  virtual bool evaluate(const ApiCall& call) const = 0;
+
+  /// True when every call this->evaluate()s true on, @p other does too is
+  /// implied — i.e. allowed(*this) ⊇ allowed(other). Only meaningful within
+  /// one dimension; callers must check dimension() equality first.
+  virtual bool includes(const Filter& other) const = 0;
+
+  virtual bool equals(const Filter& other) const = 0;
+
+  virtual std::string toString() const = 0;
+};
+
+// --- flow filters -----------------------------------------------------------
+
+/// Predicate filter: the call's flow predicate on `field` must be at least
+/// as narrow as the filter's value range (paper: "only allows API calls with
+/// narrower predicates to pass through"). For host-network calls, IP_DST /
+/// TP_DST constrain the remote endpoint instead.
+class FieldPredicateFilter final : public Filter {
+ public:
+  /// IPv4 range form: `IP_DST 10.13.0.0 MASK 255.255.0.0`.
+  FieldPredicateFilter(of::MatchField field, of::MaskedIpv4 range);
+  /// Exact integer form for non-IP fields: `TP_DST 80`.
+  FieldPredicateFilter(of::MatchField field, std::uint64_t value);
+
+  FilterKind kind() const override { return FilterKind::kFieldPredicate; }
+  std::uint32_t dimension() const override;
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  of::MatchField field() const { return field_; }
+  const of::MaskedIpv4& range() const { return range_; }
+
+ private:
+  bool isIpField() const;
+
+  of::MatchField field_;
+  of::MaskedIpv4 range_;     // IP fields.
+  std::uint64_t value_ = 0;  // non-IP fields.
+};
+
+/// Wildcard filter: forces the listed bits of `field` to be wildcarded in
+/// issued rules (`WILDCARD IP_DST 255.255.255.0` = the app may only
+/// discriminate flows on the unlisted bits).
+class WildcardFilter final : public Filter {
+ public:
+  /// IP form with explicit bit mask of must-be-wildcard bits.
+  WildcardFilter(of::MatchField field, of::Ipv4Address mustWildcardBits);
+  /// Non-IP form: the whole field must be wildcarded.
+  explicit WildcardFilter(of::MatchField field);
+
+  FilterKind kind() const override { return FilterKind::kWildcard; }
+  std::uint32_t dimension() const override;
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+ private:
+  bool isIpField() const;
+
+  of::MatchField field_;
+  of::Ipv4Address mustWildcard_{0xffffffffu};
+};
+
+/// Action filter: bounds what rule/packet-out actions may do.
+/// DROP < FORWARD < MODIFY(field): DROP allows only dropping, FORWARD allows
+/// outputs but no header rewriting, MODIFY f additionally allows rewriting
+/// field f.
+class ActionFilter final : public Filter {
+ public:
+  enum class Mode { kDrop, kForward, kModify };
+
+  static FilterPtr drop();
+  static FilterPtr forward();
+  static FilterPtr modify(of::MatchField field);
+
+  FilterKind kind() const override { return FilterKind::kAction; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  Mode mode() const { return mode_; }
+
+ private:
+  ActionFilter(Mode mode, of::MatchField field) : mode_(mode), field_(field) {}
+
+  Mode mode_;
+  of::MatchField field_;  // Only for kModify.
+};
+
+/// Ownership filter: OWN_FLOWS restricts flow visibility/manipulation to
+/// flows previously issued by the app; ALL_FLOWS is unrestricted.
+class OwnershipFilter final : public Filter {
+ public:
+  explicit OwnershipFilter(bool ownOnly) : ownOnly_(ownOnly) {}
+
+  FilterKind kind() const override { return FilterKind::kOwnership; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  bool ownOnly() const { return ownOnly_; }
+
+ private:
+  bool ownOnly_;
+};
+
+/// Priority bound filter: MAX_PRIORITY n / MIN_PRIORITY n.
+class PriorityFilter final : public Filter {
+ public:
+  PriorityFilter(bool isMax, std::uint16_t bound)
+      : isMax_(isMax), bound_(bound) {}
+
+  FilterKind kind() const override {
+    return isMax_ ? FilterKind::kMaxPriority : FilterKind::kMinPriority;
+  }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  std::uint16_t bound() const { return bound_; }
+
+ private:
+  bool isMax_;
+  std::uint16_t bound_;
+};
+
+/// Table size filter: MAX_RULE_COUNT n — caps the rules an app may keep
+/// installed on one switch.
+class TableSizeFilter final : public Filter {
+ public:
+  explicit TableSizeFilter(std::size_t maxRules) : maxRules_(maxRules) {}
+
+  FilterKind kind() const override { return FilterKind::kTableSize; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  std::size_t maxRules() const { return maxRules_; }
+
+ private:
+  std::size_t maxRules_;
+};
+
+/// Packet-out provenance filter: FROM_PKT_IN restricts packet-outs to
+/// re-emissions of buffered packet-ins; ARBITRARY allows fabricated packets.
+class PktOutFilter final : public Filter {
+ public:
+  explicit PktOutFilter(bool fromPktInOnly) : fromPktInOnly_(fromPktInOnly) {}
+
+  FilterKind kind() const override { return FilterKind::kPktOut; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  bool fromPktInOnly() const { return fromPktInOnly_; }
+
+ private:
+  bool fromPktInOnly_;
+};
+
+// --- topology filters --------------------------------------------------------
+
+/// Physical topology filter: exposes/permits only the listed switches and
+/// links (`SWITCH {0,1} LINK {(0,1)}`).
+class PhysicalTopologyFilter final : public Filter {
+ public:
+  using LinkPair = std::pair<of::DatapathId, of::DatapathId>;
+
+  PhysicalTopologyFilter(std::set<of::DatapathId> switches,
+                         std::set<LinkPair> links);
+
+  FilterKind kind() const override { return FilterKind::kPhysicalTopology; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  const std::set<of::DatapathId>& switches() const { return switches_; }
+  const std::set<LinkPair>& links() const { return links_; }
+
+ private:
+  std::set<of::DatapathId> switches_;
+  std::set<LinkPair> links_;  // Canonicalised with first <= second.
+};
+
+/// Virtual topology filter: VIRTUAL SINGLE_BIG_SWITCH (or an explicit switch
+/// map). A translation marker — the permission engine's deputy rewrites API
+/// calls/responses through the virtual mapping, so evaluation itself passes.
+class VirtualTopologyFilter final : public Filter {
+ public:
+  /// Empty memberSwitches means SINGLE_BIG_SWITCH over the whole topology.
+  explicit VirtualTopologyFilter(std::set<of::DatapathId> memberSwitches = {});
+
+  FilterKind kind() const override { return FilterKind::kVirtualTopology; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  bool isSingleBigSwitch() const { return members_.empty(); }
+  const std::set<of::DatapathId>& members() const { return members_; }
+
+ private:
+  std::set<of::DatapathId> members_;
+};
+
+// --- event & statistics filters ----------------------------------------------
+
+/// Event callback capability filter: EVENT_INTERCEPTION /
+/// MODIFY_EVENT_ORDER. Pure observation is always allowed by the event
+/// token; the stronger callback interactions need the capability.
+class CallbackFilter final : public Filter {
+ public:
+  enum class Capability { kInterception, kModifyOrder };
+
+  explicit CallbackFilter(Capability capability) : capability_(capability) {}
+
+  FilterKind kind() const override { return FilterKind::kCallback; }
+  std::uint32_t dimension() const override;
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  Capability capability() const { return capability_; }
+
+ private:
+  Capability capability_;
+};
+
+/// Statistics granularity filter: FLOW_LEVEL / PORT_LEVEL / SWITCH_LEVEL.
+class StatisticsFilter final : public Filter {
+ public:
+  explicit StatisticsFilter(of::StatsLevel level) : level_(level) {}
+
+  FilterKind kind() const override { return FilterKind::kStatistics; }
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  of::StatsLevel level() const { return level_; }
+
+ private:
+  of::StatsLevel level_;
+};
+
+/// Unresolved customization stub (macro name left by the developer for the
+/// administrator, e.g. `LIMITING AdminRange`). Denies everything until the
+/// reconciliation preprocessor substitutes it.
+class StubFilter final : public Filter {
+ public:
+  explicit StubFilter(std::string name) : name_(std::move(name)) {}
+
+  FilterKind kind() const override { return FilterKind::kStub; }
+  std::uint32_t dimension() const override;
+  bool evaluate(const ApiCall& call) const override;
+  bool includes(const Filter& other) const override;
+  bool equals(const Filter& other) const override;
+  std::string toString() const override;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sdnshield::perm

@@ -1,0 +1,131 @@
+#include "core/perm/filter_expr.h"
+
+#include <stdexcept>
+
+namespace sdnshield::perm {
+
+FilterExprPtr FilterExpr::singleton(FilterPtr filter) {
+  if (!filter) throw std::invalid_argument("singleton: null filter");
+  return FilterExprPtr{
+      new FilterExpr(Op::kSingleton, std::move(filter), nullptr, nullptr)};
+}
+
+FilterExprPtr FilterExpr::conj(FilterExprPtr lhs, FilterExprPtr rhs) {
+  if (!lhs || !rhs) throw std::invalid_argument("conj: null operand");
+  return FilterExprPtr{
+      new FilterExpr(Op::kAnd, nullptr, std::move(lhs), std::move(rhs))};
+}
+
+FilterExprPtr FilterExpr::disj(FilterExprPtr lhs, FilterExprPtr rhs) {
+  if (!lhs || !rhs) throw std::invalid_argument("disj: null operand");
+  return FilterExprPtr{
+      new FilterExpr(Op::kOr, nullptr, std::move(lhs), std::move(rhs))};
+}
+
+FilterExprPtr FilterExpr::negate(FilterExprPtr operand) {
+  if (!operand) throw std::invalid_argument("negate: null operand");
+  return FilterExprPtr{
+      new FilterExpr(Op::kNot, nullptr, std::move(operand), nullptr)};
+}
+
+bool FilterExpr::evaluate(const ApiCall& call) const {
+  switch (op_) {
+    case Op::kSingleton:
+      return filter_->evaluate(call);
+    case Op::kAnd:
+      return lhs_->evaluate(call) && rhs_->evaluate(call);
+    case Op::kOr:
+      return lhs_->evaluate(call) || rhs_->evaluate(call);
+    case Op::kNot:
+      return !lhs_->evaluate(call);
+  }
+  return false;
+}
+
+std::size_t FilterExpr::leafCount() const {
+  switch (op_) {
+    case Op::kSingleton:
+      return 1;
+    case Op::kAnd:
+    case Op::kOr:
+      return lhs_->leafCount() + rhs_->leafCount();
+    case Op::kNot:
+      return lhs_->leafCount();
+  }
+  return 0;
+}
+
+bool FilterExpr::structurallyEquals(const FilterExpr& other) const {
+  if (op_ != other.op_) return false;
+  switch (op_) {
+    case Op::kSingleton:
+      return filter_->equals(*other.filter_);
+    case Op::kAnd:
+    case Op::kOr:
+      return lhs_->structurallyEquals(*other.lhs_) &&
+             rhs_->structurallyEquals(*other.rhs_);
+    case Op::kNot:
+      return lhs_->structurallyEquals(*other.lhs_);
+  }
+  return false;
+}
+
+void FilterExpr::collectStubs(std::vector<std::string>& out) const {
+  switch (op_) {
+    case Op::kSingleton:
+      if (const auto* stub = dynamic_cast<const StubFilter*>(filter_.get())) {
+        out.push_back(stub->name());
+      }
+      return;
+    case Op::kAnd:
+    case Op::kOr:
+      lhs_->collectStubs(out);
+      rhs_->collectStubs(out);
+      return;
+    case Op::kNot:
+      lhs_->collectStubs(out);
+      return;
+  }
+}
+
+FilterExprPtr FilterExpr::substituteStubs(
+    const FilterExprPtr& expr,
+    const std::map<std::string, FilterExprPtr>& bindings) {
+  switch (expr->op_) {
+    case Op::kSingleton: {
+      const auto* stub = dynamic_cast<const StubFilter*>(expr->filter_.get());
+      if (stub == nullptr) return expr;
+      auto it = bindings.find(stub->name());
+      return it == bindings.end() ? expr : it->second;
+    }
+    case Op::kAnd:
+    case Op::kOr: {
+      FilterExprPtr lhs = substituteStubs(expr->lhs_, bindings);
+      FilterExprPtr rhs = substituteStubs(expr->rhs_, bindings);
+      if (lhs == expr->lhs_ && rhs == expr->rhs_) return expr;
+      return expr->op_ == Op::kAnd ? conj(std::move(lhs), std::move(rhs))
+                                   : disj(std::move(lhs), std::move(rhs));
+    }
+    case Op::kNot: {
+      FilterExprPtr operand = substituteStubs(expr->lhs_, bindings);
+      return operand == expr->lhs_ ? expr : negate(std::move(operand));
+    }
+  }
+  return expr;
+}
+
+std::string FilterExpr::toString() const {
+  switch (op_) {
+    case Op::kSingleton:
+      return filter_->toString();
+    case Op::kAnd:
+      return "(" + lhs_->toString() + " AND " + rhs_->toString() + ")";
+    case Op::kOr:
+      return "(" + lhs_->toString() + " OR " + rhs_->toString() + ")";
+    case Op::kNot:
+      return "NOT (" + lhs_->toString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace sdnshield::perm

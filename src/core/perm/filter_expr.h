@@ -1,0 +1,67 @@
+// Filter composition (paper §IV-b): logical expressions over singleton
+// filters with conjunction, disjunction and negation. Expressions are
+// immutable trees shared by shared_ptr; composition never mutates operands.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/perm/filter.h"
+
+namespace sdnshield::perm {
+
+class FilterExpr;
+using FilterExprPtr = std::shared_ptr<const FilterExpr>;
+
+class FilterExpr {
+ public:
+  enum class Op { kSingleton, kAnd, kOr, kNot };
+
+  // --- constructors ---------------------------------------------------------
+  static FilterExprPtr singleton(FilterPtr filter);
+  static FilterExprPtr conj(FilterExprPtr lhs, FilterExprPtr rhs);
+  static FilterExprPtr disj(FilterExprPtr lhs, FilterExprPtr rhs);
+  static FilterExprPtr negate(FilterExprPtr operand);
+
+  // --- structure -------------------------------------------------------------
+  Op op() const { return op_; }
+  const FilterPtr& filter() const { return filter_; }       // kSingleton.
+  const FilterExprPtr& lhs() const { return lhs_; }          // kAnd/kOr/kNot.
+  const FilterExprPtr& rhs() const { return rhs_; }          // kAnd/kOr.
+
+  /// Labels the API call by recursive evaluation.
+  bool evaluate(const ApiCall& call) const;
+
+  /// Total number of singleton leaves (complexity measure for Figure 5's
+  /// small/medium/large manifests).
+  std::size_t leafCount() const;
+
+  bool structurallyEquals(const FilterExpr& other) const;
+
+  /// Collects the names of unresolved stub filters.
+  void collectStubs(std::vector<std::string>& out) const;
+
+  /// Returns a tree with stub filters replaced per @p bindings; stubs
+  /// without a binding are kept. Shares untouched subtrees.
+  static FilterExprPtr substituteStubs(
+      const FilterExprPtr& expr,
+      const std::map<std::string, FilterExprPtr>& bindings);
+
+  std::string toString() const;
+
+ private:
+  FilterExpr(Op op, FilterPtr filter, FilterExprPtr lhs, FilterExprPtr rhs)
+      : op_(op),
+        filter_(std::move(filter)),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  Op op_;
+  FilterPtr filter_;
+  FilterExprPtr lhs_;
+  FilterExprPtr rhs_;
+};
+
+}  // namespace sdnshield::perm

@@ -1,0 +1,237 @@
+#include "core/perm/normal_form.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdnshield::perm {
+
+namespace {
+
+bool literalEquals(const Literal& a, const Literal& b) {
+  return a.negated == b.negated && a.filter->equals(*b.filter);
+}
+
+/// True when the clause contains both l and ¬l for the same filter.
+bool hasContradiction(const Clause& clause) {
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    for (std::size_t j = i + 1; j < clause.size(); ++j) {
+      if (clause[i].negated != clause[j].negated &&
+          clause[i].filter->equals(*clause[j].filter)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Clause dedupLiterals(Clause clause) {
+  Clause out;
+  for (Literal& lit : clause) {
+    bool dup = std::any_of(out.begin(), out.end(), [&](const Literal& seen) {
+      return literalEquals(seen, lit);
+    });
+    if (!dup) out.push_back(std::move(lit));
+  }
+  return out;
+}
+
+std::vector<Clause> dedupClauses(std::vector<Clause> clauses) {
+  std::vector<Clause> out;
+  for (Clause& clause : clauses) {
+    bool dup = std::any_of(out.begin(), out.end(), [&](const Clause& seen) {
+      if (seen.size() != clause.size()) return false;
+      return std::all_of(seen.begin(), seen.end(), [&](const Literal& a) {
+        return std::any_of(clause.begin(), clause.end(), [&](const Literal& b) {
+          return literalEquals(a, b);
+        });
+      });
+    });
+    if (!dup) out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+/// Cross product: conjunction of two clause-disjunctions (for CNF) or
+/// disjunction of two clause-conjunctions (for DNF) distributes into
+/// pairwise-merged clauses.
+std::vector<Clause> crossMerge(const std::vector<Clause>& lhs,
+                               const std::vector<Clause>& rhs) {
+  std::vector<Clause> out;
+  out.reserve(lhs.size() * rhs.size());
+  for (const Clause& a : lhs) {
+    for (const Clause& b : rhs) {
+      Clause merged = a;
+      merged.insert(merged.end(), b.begin(), b.end());
+      out.push_back(dedupLiterals(std::move(merged)));
+    }
+  }
+  return out;
+}
+
+// Builds DNF clauses of `expr` under an odd/even number of enclosing
+// negations. In DNF a clause is a conjunction; disjunction concatenates
+// clause lists and conjunction cross-merges them.
+std::vector<Clause> dnfClauses(const FilterExprPtr& expr, bool negated) {
+  switch (expr->op()) {
+    case FilterExpr::Op::kSingleton:
+      return {{Literal{expr->filter(), negated}}};
+    case FilterExpr::Op::kNot:
+      return dnfClauses(expr->lhs(), !negated);
+    case FilterExpr::Op::kAnd: {
+      auto lhs = dnfClauses(expr->lhs(), negated);
+      auto rhs = dnfClauses(expr->rhs(), negated);
+      if (!negated) return crossMerge(lhs, rhs);
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      return lhs;
+    }
+    case FilterExpr::Op::kOr: {
+      auto lhs = dnfClauses(expr->lhs(), negated);
+      auto rhs = dnfClauses(expr->rhs(), negated);
+      if (negated) return crossMerge(lhs, rhs);
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      return lhs;
+    }
+  }
+  return {};
+}
+
+// Dual construction for CNF (clause = disjunction).
+std::vector<Clause> cnfClauses(const FilterExprPtr& expr, bool negated) {
+  switch (expr->op()) {
+    case FilterExpr::Op::kSingleton:
+      return {{Literal{expr->filter(), negated}}};
+    case FilterExpr::Op::kNot:
+      return cnfClauses(expr->lhs(), !negated);
+    case FilterExpr::Op::kAnd: {
+      auto lhs = cnfClauses(expr->lhs(), negated);
+      auto rhs = cnfClauses(expr->rhs(), negated);
+      if (negated) return crossMerge(lhs, rhs);
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      return lhs;
+    }
+    case FilterExpr::Op::kOr: {
+      auto lhs = cnfClauses(expr->lhs(), negated);
+      auto rhs = cnfClauses(expr->rhs(), negated);
+      if (!negated) return crossMerge(lhs, rhs);
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      return lhs;
+    }
+  }
+  return {};
+}
+
+std::string clauseToString(const Clause& clause, const char* joiner) {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    if (i > 0) out << joiner;
+    out << clause[i].toString();
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::string Literal::toString() const {
+  return negated ? "NOT " + filter->toString() : filter->toString();
+}
+
+bool Cnf::evaluate(const ApiCall& call) const {
+  for (const Clause& clause : clauses) {
+    bool any = std::any_of(clause.begin(), clause.end(), [&](const Literal& l) {
+      return l.evaluate(call);
+    });
+    if (!any) return false;
+  }
+  return true;  // Empty CNF is true.
+}
+
+bool Dnf::evaluate(const ApiCall& call) const {
+  for (const Clause& clause : clauses) {
+    bool all = std::all_of(clause.begin(), clause.end(), [&](const Literal& l) {
+      return l.evaluate(call);
+    });
+    if (all) return true;
+  }
+  return false;  // Empty DNF is false.
+}
+
+std::string Cnf::toString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out << " AND ";
+    out << clauseToString(clauses[i], " OR ");
+  }
+  return out.str();
+}
+
+std::string Dnf::toString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out << " OR ";
+    out << clauseToString(clauses[i], " AND ");
+  }
+  return out.str();
+}
+
+Cnf toCnf(const FilterExprPtr& expr) {
+  std::vector<Clause> clauses = cnfClauses(expr, false);
+  // A disjunctive clause containing l OR ¬l is a tautology: drop it.
+  std::erase_if(clauses, hasContradiction);
+  return Cnf{dedupClauses(std::move(clauses))};
+}
+
+Dnf toDnf(const FilterExprPtr& expr) {
+  std::vector<Clause> clauses = dnfClauses(expr, false);
+  // A conjunctive clause containing l AND ¬l is unsatisfiable: drop it.
+  std::erase_if(clauses, hasContradiction);
+  return Dnf{dedupClauses(std::move(clauses))};
+}
+
+bool literalIncludes(const Literal& a, const Literal& b) {
+  if (a.filter->dimension() != b.filter->dimension()) return false;
+  if (!a.negated && !b.negated) return a.filter->includes(*b.filter);
+  if (a.negated && b.negated) return b.filter->includes(*a.filter);
+  return false;  // Mixed polarity: conservatively unknown.
+}
+
+bool filterIncludes(const FilterExprPtr& superset,
+                    const FilterExprPtr& subset) {
+  if (!superset) return true;  // Unrestricted includes everything.
+  if (!subset) {
+    // subset is allow-all; only an (effectively) allow-all expression
+    // includes it — undecidable in general, so answer conservatively.
+    return false;
+  }
+  // Step 1 of Algorithm 1: superset -> CNF, subset -> DNF.
+  Cnf a = toCnf(superset);
+  Dnf b = toDnf(subset);
+  if (b.clauses.empty()) return true;  // Subset is unsatisfiable.
+  // Step 2: every conjunctive clause of B must be included in every
+  // disjunctive clause of A; a disjunctive clause includes a conjunctive
+  // clause when some literal pair (same dimension) is in inclusion relation.
+  for (const Clause& ca : a.clauses) {
+    for (const Clause& cb : b.clauses) {
+      bool included = false;
+      for (const Literal& la : ca) {
+        for (const Literal& lb : cb) {
+          if (literalIncludes(la, lb)) {
+            included = true;
+            break;
+          }
+        }
+        if (included) break;
+      }
+      if (!included) return false;
+    }
+  }
+  return true;
+}
+
+bool filterEquivalent(const FilterExprPtr& a, const FilterExprPtr& b) {
+  if (!a && !b) return true;
+  return filterIncludes(a, b) && filterIncludes(b, a);
+}
+
+}  // namespace sdnshield::perm

@@ -1,0 +1,66 @@
+// Normal forms and the paper's Algorithm 1: deciding the inclusion relation
+// between composite filter expressions by converting the candidate superset
+// to CNF, the candidate subset to DNF, and scanning clause pairs, matching
+// singleton filters per attribute dimension.
+//
+// The decision is *sound* for security: includes() == true implies genuine
+// set inclusion of allowed behaviours; a false answer may occasionally be a
+// conservative under-approximation (e.g. for mixed-polarity literals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/perm/filter_expr.h"
+
+namespace sdnshield::perm {
+
+/// A possibly negated singleton filter.
+struct Literal {
+  FilterPtr filter;
+  bool negated = false;
+
+  bool evaluate(const ApiCall& call) const {
+    return filter->evaluate(call) != negated;
+  }
+  std::string toString() const;
+};
+
+/// In CNF a clause is a disjunction of literals; in DNF a conjunction.
+using Clause = std::vector<Literal>;
+
+/// CNF: conjunction of (disjunctive) clauses. DNF: disjunction of
+/// (conjunctive) clauses. An empty clause list means "true" for CNF and
+/// "false" for DNF; kept distinct by the callers.
+struct Cnf {
+  std::vector<Clause> clauses;
+  bool evaluate(const ApiCall& call) const;
+  std::string toString() const;
+};
+
+struct Dnf {
+  std::vector<Clause> clauses;
+  bool evaluate(const ApiCall& call) const;
+  std::string toString() const;
+};
+
+/// Converts an expression to CNF / DNF (negation-normal form first, then
+/// distribution). Exponential in the worst case, as in the paper; these run
+/// at reconciliation time, not on the enforcement hot path.
+Cnf toCnf(const FilterExprPtr& expr);
+Dnf toDnf(const FilterExprPtr& expr);
+
+/// Literal-level inclusion: allowed(a) ⊇ allowed(b)?
+///  * pos ⊇ pos  iff  a.filter ⊇ b.filter (same dimension),
+///  * ¬a ⊇ ¬b    iff  b.filter ⊇ a.filter,
+///  * mixed polarity: conservatively false.
+bool literalIncludes(const Literal& a, const Literal& b);
+
+/// Algorithm 1. True when allowed(superset) ⊇ allowed(subset).
+/// Null expressions denote the unrestricted filter (allow-all).
+bool filterIncludes(const FilterExprPtr& superset, const FilterExprPtr& subset);
+
+/// Semantic equality via mutual inclusion.
+bool filterEquivalent(const FilterExprPtr& a, const FilterExprPtr& b);
+
+}  // namespace sdnshield::perm

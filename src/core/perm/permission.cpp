@@ -1,0 +1,125 @@
+#include "core/perm/permission.h"
+
+#include <sstream>
+
+namespace sdnshield::perm {
+
+std::string Permission::toString() const {
+  std::string out = "PERM " + perm::toString(token);
+  if (filter) out += " LIMITING " + filter->toString();
+  return out;
+}
+
+void PermissionSet::grant(Token token, FilterExprPtr filter) {
+  auto it = grants_.find(token);
+  if (it == grants_.end()) {
+    grants_.emplace(token, std::move(filter));
+    return;
+  }
+  if (!it->second || !filter) {
+    it->second = nullptr;  // Unrestricted absorbs any filter.
+    return;
+  }
+  it->second = FilterExpr::disj(it->second, std::move(filter));
+}
+
+void PermissionSet::restrict(Token token, FilterExprPtr filter) {
+  auto it = grants_.find(token);
+  if (it == grants_.end() || !filter) return;
+  it->second =
+      it->second ? FilterExpr::conj(it->second, std::move(filter)) : filter;
+}
+
+void PermissionSet::revoke(Token token) { grants_.erase(token); }
+
+std::optional<FilterExprPtr> PermissionSet::filterFor(Token token) const {
+  auto it = grants_.find(token);
+  if (it == grants_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Permission> PermissionSet::permissions() const {
+  std::vector<Permission> out;
+  out.reserve(grants_.size());
+  for (const auto& [token, filter] : grants_) {
+    out.push_back(Permission{token, filter});
+  }
+  return out;
+}
+
+bool PermissionSet::includes(const PermissionSet& other) const {
+  for (const auto& [token, otherFilter] : other.grants_) {
+    auto it = grants_.find(token);
+    if (it == grants_.end()) return false;
+    if (!filterIncludes(it->second, otherFilter)) return false;
+  }
+  return true;
+}
+
+bool PermissionSet::equivalent(const PermissionSet& other) const {
+  return includes(other) && other.includes(*this);
+}
+
+PermissionSet PermissionSet::meet(const PermissionSet& a,
+                                  const PermissionSet& b) {
+  PermissionSet out;
+  for (const auto& [token, filterA] : a.grants_) {
+    auto it = b.grants_.find(token);
+    if (it == b.grants_.end()) continue;
+    const FilterExprPtr& filterB = it->second;
+    if (!filterA && !filterB) {
+      out.grants_.emplace(token, nullptr);
+    } else if (!filterA) {
+      out.grants_.emplace(token, filterB);
+    } else if (!filterB) {
+      out.grants_.emplace(token, filterA);
+    } else if (filterIncludes(filterA, filterB)) {
+      // Keep the narrower operand verbatim when inclusion is provable: the
+      // reconciled permission stays readable instead of growing conjuncts.
+      out.grants_.emplace(token, filterB);
+    } else if (filterIncludes(filterB, filterA)) {
+      out.grants_.emplace(token, filterA);
+    } else {
+      out.grants_.emplace(token, FilterExpr::conj(filterA, filterB));
+    }
+  }
+  return out;
+}
+
+PermissionSet PermissionSet::join(const PermissionSet& a,
+                                  const PermissionSet& b) {
+  PermissionSet out;
+  out.grants_ = a.grants_;
+  for (const auto& [token, filterB] : b.grants_) {
+    out.grant(token, filterB);
+  }
+  return out;
+}
+
+std::vector<std::string> PermissionSet::collectStubs() const {
+  std::vector<std::string> out;
+  for (const auto& [_, filter] : grants_) {
+    if (filter) filter->collectStubs(out);
+  }
+  return out;
+}
+
+PermissionSet PermissionSet::substituteStubs(
+    const std::map<std::string, FilterExprPtr>& bindings) const {
+  PermissionSet out;
+  for (const auto& [token, filter] : grants_) {
+    out.grants_.emplace(
+        token, filter ? FilterExpr::substituteStubs(filter, bindings) : nullptr);
+  }
+  return out;
+}
+
+std::string PermissionSet::toString() const {
+  std::ostringstream out;
+  for (const auto& [token, filter] : grants_) {
+    out << Permission{token, filter}.toString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sdnshield::perm

@@ -1,0 +1,83 @@
+// Permissions and permission sets. A permission is a token optionally
+// refined by a filter expression; a PermissionSet is the unit of granting,
+// comparison and reconciliation. Permission sets form a lattice under the
+// MEET/JOIN operations of the security policy language (§V).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/perm/filter_expr.h"
+#include "core/perm/normal_form.h"
+#include "core/perm/token.h"
+
+namespace sdnshield::perm {
+
+/// One granted privilege: `PERM <token> [LIMITING <filter_expr>]`.
+/// A null filter means the token is unrestricted.
+struct Permission {
+  Token token = Token::kReadStatistics;
+  FilterExprPtr filter;
+
+  std::string toString() const;
+};
+
+class PermissionSet {
+ public:
+  PermissionSet() = default;
+
+  /// Grants a token. When the token is already present the grant widens it
+  /// (disjunction of filters; an unrestricted grant absorbs filtered ones).
+  void grant(Token token, FilterExprPtr filter = nullptr);
+
+  /// Narrows an existing grant by conjoining @p filter (permission
+  /// customization, §V). No-op when the token is not granted.
+  void restrict(Token token, FilterExprPtr filter);
+
+  void revoke(Token token);
+
+  bool has(Token token) const { return grants_.contains(token); }
+
+  /// The filter of a granted token (null = unrestricted). Empty optional
+  /// when the token is not granted at all.
+  std::optional<FilterExprPtr> filterFor(Token token) const;
+
+  std::vector<Permission> permissions() const;
+  std::size_t size() const { return grants_.size(); }
+  bool empty() const { return grants_.empty(); }
+
+  /// Set inclusion of allowed behaviours: every grant of @p other is covered
+  /// by a grant here (token present, filter includes per Algorithm 1).
+  bool includes(const PermissionSet& other) const;
+
+  /// Semantic equality via mutual inclusion.
+  bool equivalent(const PermissionSet& other) const;
+
+  /// Lattice meet: behaviours allowed by both sets.
+  static PermissionSet meet(const PermissionSet& a, const PermissionSet& b);
+
+  /// Lattice join: behaviours allowed by either set.
+  static PermissionSet join(const PermissionSet& a, const PermissionSet& b);
+
+  /// All stub macro names appearing anywhere in the set.
+  std::vector<std::string> collectStubs() const;
+
+  /// Substitutes stub macros per @p bindings (in-place copy semantics).
+  PermissionSet substituteStubs(
+      const std::map<std::string, FilterExprPtr>& bindings) const;
+
+  /// Pretty-prints in the permission language.
+  std::string toString() const;
+
+  friend bool operator==(const PermissionSet& a, const PermissionSet& b) {
+    return a.equivalent(b);
+  }
+
+ private:
+  // nullptr value = unrestricted token.
+  std::map<Token, FilterExprPtr> grants_;
+};
+
+}  // namespace sdnshield::perm

@@ -1,0 +1,104 @@
+#include "core/perm/token.h"
+
+namespace sdnshield::perm {
+
+ResourceClass resourceOf(Token token) {
+  switch (token) {
+    case Token::kReadFlowTable:
+    case Token::kInsertFlow:
+    case Token::kDeleteFlow:
+    case Token::kFlowEvent:
+      return ResourceClass::kFlowTable;
+    case Token::kVisibleTopology:
+    case Token::kModifyTopology:
+    case Token::kTopologyEvent:
+      return ResourceClass::kTopology;
+    case Token::kReadStatistics:
+    case Token::kErrorEvent:
+      return ResourceClass::kStatistics;
+    case Token::kReadPayload:
+    case Token::kSendPktOut:
+    case Token::kPktInEvent:
+      return ResourceClass::kPacketIo;
+    case Token::kHostNetwork:
+    case Token::kFileSystem:
+    case Token::kProcessRuntime:
+      return ResourceClass::kHostSystem;
+  }
+  return ResourceClass::kHostSystem;
+}
+
+ActionClass actionOf(Token token) {
+  switch (token) {
+    case Token::kReadFlowTable:
+    case Token::kVisibleTopology:
+    case Token::kReadStatistics:
+    case Token::kReadPayload:
+      return ActionClass::kRead;
+    case Token::kInsertFlow:
+    case Token::kDeleteFlow:
+    case Token::kModifyTopology:
+    case Token::kSendPktOut:
+    case Token::kHostNetwork:
+    case Token::kFileSystem:
+    case Token::kProcessRuntime:
+      return ActionClass::kWrite;
+    case Token::kFlowEvent:
+    case Token::kTopologyEvent:
+    case Token::kErrorEvent:
+    case Token::kPktInEvent:
+      return ActionClass::kEvent;
+  }
+  return ActionClass::kRead;
+}
+
+std::string toString(Token token) {
+  switch (token) {
+    case Token::kReadFlowTable:
+      return "read_flow_table";
+    case Token::kInsertFlow:
+      return "insert_flow";
+    case Token::kDeleteFlow:
+      return "delete_flow";
+    case Token::kFlowEvent:
+      return "flow_event";
+    case Token::kVisibleTopology:
+      return "visible_topology";
+    case Token::kModifyTopology:
+      return "modify_topology";
+    case Token::kTopologyEvent:
+      return "topology_event";
+    case Token::kReadStatistics:
+      return "read_statistics";
+    case Token::kErrorEvent:
+      return "error_event";
+    case Token::kReadPayload:
+      return "read_payload";
+    case Token::kSendPktOut:
+      return "send_pkt_out";
+    case Token::kPktInEvent:
+      return "pkt_in_event";
+    case Token::kHostNetwork:
+      return "host_network";
+    case Token::kFileSystem:
+      return "file_system";
+    case Token::kProcessRuntime:
+      return "process_runtime";
+  }
+  return "unknown_token";
+}
+
+std::optional<Token> parseToken(const std::string& name) {
+  for (Token token : kAllTokens) {
+    if (toString(token) == name) return token;
+  }
+  // Aliases used in the paper's own examples.
+  if (name == "network_access") return Token::kHostNetwork;
+  if (name == "send_packet_out") return Token::kSendPktOut;
+  if (name == "read_topology") return Token::kVisibleTopology;
+  if (name == "pkt_in_event" || name == "packet_in_event")
+    return Token::kPktInEvent;
+  return std::nullopt;
+}
+
+}  // namespace sdnshield::perm

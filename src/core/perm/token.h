@@ -1,0 +1,66 @@
+// Coarse-grained permission tokens (paper Table II): the first level of the
+// two-level permission abstraction. Tokens are orthogonal privileges on an
+// (SDN resource, action) pair; the second level — filters — refines them.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sdnshield::perm {
+
+enum class Token {
+  // Flow table resource.
+  kReadFlowTable,
+  kInsertFlow,  ///< Covers insert and modify (Table II note).
+  kDeleteFlow,
+  kFlowEvent,
+  // Topology resource.
+  kVisibleTopology,
+  kModifyTopology,
+  kTopologyEvent,
+  // Statistics & errors.
+  kReadStatistics,
+  kErrorEvent,
+  // Packet-in / packet-out.
+  kReadPayload,
+  kSendPktOut,
+  kPktInEvent,
+  // Host system.
+  kHostNetwork,
+  kFileSystem,
+  kProcessRuntime,
+};
+
+inline constexpr Token kAllTokens[] = {
+    Token::kReadFlowTable,   Token::kInsertFlow,   Token::kDeleteFlow,
+    Token::kFlowEvent,       Token::kVisibleTopology,
+    Token::kModifyTopology,  Token::kTopologyEvent,
+    Token::kReadStatistics,  Token::kErrorEvent,   Token::kReadPayload,
+    Token::kSendPktOut,      Token::kPktInEvent,   Token::kHostNetwork,
+    Token::kFileSystem,      Token::kProcessRuntime,
+};
+
+/// Which class of SDN resource a token guards.
+enum class ResourceClass {
+  kFlowTable,
+  kTopology,
+  kStatistics,
+  kPacketIo,
+  kHostSystem,
+};
+
+/// What the app does with the resource.
+enum class ActionClass { kRead, kWrite, kEvent };
+
+ResourceClass resourceOf(Token token);
+ActionClass actionOf(Token token);
+
+/// Canonical permission-language spelling, e.g. "insert_flow".
+std::string toString(Token token);
+
+/// Parses a token name. Accepts the canonical names plus the aliases the
+/// paper itself uses interchangeably ("network_access" == host_network,
+/// "send_packet_out" == send_pkt_out, "read_topology" == visible_topology).
+std::optional<Token> parseToken(const std::string& name);
+
+}  // namespace sdnshield::perm

@@ -1,0 +1,108 @@
+#include "core/reconcile/policy_templates.h"
+
+#include <sstream>
+
+namespace sdnshield::reconcile::templates {
+
+namespace {
+
+/// A boundary set covering every token, with the listed tokens restricted
+/// per @p limits ("token LIMITING ..." lines). Tokens not mentioned stay
+/// unrestricted so the boundary only bites where intended.
+std::string fullBoundaryExcept(const std::string& limits) {
+  std::ostringstream out;
+  out << "{\n";
+  const char* unrestricted[] = {
+      "read_flow_table", "flow_event",    "visible_topology",
+      "modify_topology", "topology_event", "read_statistics",
+      "error_event",     "read_payload",   "send_pkt_out",
+      "pkt_in_event",    "file_system",    "process_runtime",
+  };
+  for (const char* token : unrestricted) {
+    if (limits.find(token) == std::string::npos) {
+      out << "PERM " << token << "\n";
+    }
+  }
+  if (limits.find("insert_flow") == std::string::npos) {
+    out << "PERM insert_flow\n";
+  }
+  if (limits.find("delete_flow") == std::string::npos) {
+    out << "PERM delete_flow\n";
+  }
+  if (limits.find("network_access") == std::string::npos) {
+    out << "PERM network_access\n";
+  }
+  out << limits;
+  out << "}";
+  return out.str();
+}
+
+std::string flowWriteBoundary(const std::string& insertLimit,
+                              const std::string& deleteLimit) {
+  std::ostringstream limits;
+  limits << "PERM insert_flow LIMITING " << insertLimit << "\n";
+  limits << "PERM delete_flow LIMITING " << deleteLimit << "\n";
+  return fullBoundaryExcept(limits.str());
+}
+
+}  // namespace
+
+std::string class1DataPlaneIntrusion() {
+  return
+      // Sniffing + outside channel => remote traffic interception.
+      "ASSERT EITHER { PERM pkt_in_event\nPERM read_payload } "
+      "OR { PERM network_access }\n"
+      // Injection + outside channel => remote packet injection.
+      "ASSERT EITHER { PERM send_pkt_out } OR { PERM network_access }\n";
+}
+
+std::string class2InformationLeakage(const std::string& appName,
+                                     of::Ipv4Address adminSubnet,
+                                     int prefixBits) {
+  std::string range = "IP_DST " + adminSubnet.toString() + " MASK " +
+                      of::Ipv4Address::prefixMask(prefixBits).toString();
+  std::ostringstream out;
+  out << "LET AdminRange = {" << range << "}\n";
+  // Host-network egress is confined to the administrator's collectors.
+  out << "LET " << appName << "_c2_bound = "
+      << fullBoundaryExcept("PERM network_access LIMITING " + range + "\n")
+      << "\n";
+  out << "LET " << appName << "_c2_perm = APP " << appName << "\n";
+  out << "ASSERT " << appName << "_c2_perm <= " << appName << "_c2_bound\n";
+  // Network-state visibility must not coexist with uncontrolled host
+  // escape hatches (files and subprocesses are classic side channels).
+  out << "ASSERT EITHER { PERM visible_topology\nPERM read_statistics\n"
+         "PERM read_flow_table } OR { PERM file_system\n"
+         "PERM process_runtime }\n";
+  return out.str();
+}
+
+std::string class3RuleManipulation(const std::string& appName) {
+  std::ostringstream out;
+  out << "LET " << appName << "_c3_bound = "
+      << flowWriteBoundary("OWN_FLOWS AND ACTION FORWARD", "OWN_FLOWS")
+      << "\n";
+  out << "LET " << appName << "_c3_perm = APP " << appName << "\n";
+  out << "ASSERT " << appName << "_c3_perm <= " << appName << "_c3_bound\n";
+  return out.str();
+}
+
+std::string class4AppInterference(const std::string& appName) {
+  std::ostringstream out;
+  // Header rewriting is the dynamic-flow-tunneling mechanism; FORWARD-only
+  // actions rule it out, and OWN_FLOWS deletes stop rule removal attacks.
+  out << "LET " << appName << "_c4_bound = "
+      << flowWriteBoundary("ACTION FORWARD", "OWN_FLOWS") << "\n";
+  out << "LET " << appName << "_c4_perm = APP " << appName << "\n";
+  out << "ASSERT " << appName << "_c4_perm <= " << appName << "_c4_bound\n";
+  return out.str();
+}
+
+std::string baselineProfile(const std::string& appName,
+                            of::Ipv4Address adminSubnet, int prefixBits) {
+  return class1DataPlaneIntrusion() +
+         class2InformationLeakage(appName, adminSubnet, prefixBits) +
+         class3RuleManipulation(appName) + class4AppInterference(appName);
+}
+
+}  // namespace sdnshield::reconcile::templates

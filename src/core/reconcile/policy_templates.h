@@ -1,0 +1,41 @@
+// Distributable security-policy templates (paper §III): canned policy
+// snippets, one per threat class of §II, that administrators can apply
+// as-is to get baseline protection, then customize. Each returns security
+// policy language text for parsePolicy(); templates compose by
+// concatenation.
+#pragma once
+
+#include <string>
+
+#include "of/types.h"
+
+namespace sdnshield::reconcile::templates {
+
+/// Class 1 (intrusion to data plane): an app must not combine data-plane
+/// sniffing/injection with an outside communication channel — the
+/// combination lets a remote attacker puppet the data plane (§III's own
+/// example defence).
+std::string class1DataPlaneIntrusion();
+
+/// Class 2 (information leakage): @p appName's host-network egress is
+/// bounded to the administrator's collector range, and file-system /
+/// process escape hatches are excluded alongside network-state visibility.
+/// Also binds the conventional `AdminRange` stub macro.
+std::string class2InformationLeakage(const std::string& appName,
+                                     of::Ipv4Address adminSubnet,
+                                     int prefixBits);
+
+/// Class 3 (manipulation of rules): @p appName's flow writes bounded to its
+/// own flows and to forwarding actions — no overriding or rewriting of
+/// other apps' rules.
+std::string class3RuleManipulation(const std::string& appName);
+
+/// Class 4 (attacking other apps): @p appName cannot rewrite packet headers
+/// (the dynamic-flow-tunneling mechanism) nor delete foreign rules.
+std::string class4AppInterference(const std::string& appName);
+
+/// All four, parameterized, concatenated — the "basic protection" profile.
+std::string baselineProfile(const std::string& appName,
+                            of::Ipv4Address adminSubnet, int prefixBits);
+
+}  // namespace sdnshield::reconcile::templates

@@ -1,0 +1,259 @@
+#include "core/reconcile/reconciler.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdnshield::reconcile {
+
+std::string Violation::toString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kUnresolvedStub:
+      out << "unresolved stub macro";
+      break;
+    case Kind::kMutualExclusion:
+      out << "mutual exclusion violation";
+      break;
+    case Kind::kBoundary:
+      out << "permission boundary violation";
+      break;
+    case Kind::kAssertionFailed:
+      out << "assertion failed";
+      break;
+  }
+  out << " [" << constraintText << "]";
+  if (!detail.empty()) out << ": " << detail;
+  if (!truncatedTokens.empty()) {
+    out << " (truncated:";
+    for (perm::Token token : truncatedTokens) {
+      out << " " << perm::toString(token);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+struct Reconciler::EvalContext {
+  std::string currentApp;
+  const perm::PermissionSet* currentPerms = nullptr;
+  const std::map<std::string, perm::PermissionSet>* otherApps = nullptr;
+  std::set<std::string> inProgress;   // Cycle detection for LET chains.
+  bool touchedCurrentApp = false;     // Set when APP <current> was read.
+};
+
+perm::PermissionSet Reconciler::evalSet(const lang::PermSetExprPtr& expr,
+                                        EvalContext& ctx) const {
+  using Kind = lang::PermSetExpr::Kind;
+  switch (expr->kind) {
+    case Kind::kLiteral:
+      // Templates may use stub macros too; expand with the same bindings.
+      return expr->literal.substituteStubs(policy_.filterBindings);
+    case Kind::kVar: {
+      auto it = policy_.setBindings.find(expr->name);
+      if (it == policy_.setBindings.end()) {
+        throw std::invalid_argument("undefined permission-set variable '" +
+                                    expr->name + "'");
+      }
+      if (!ctx.inProgress.insert(expr->name).second) {
+        throw std::invalid_argument("cyclic LET binding '" + expr->name + "'");
+      }
+      perm::PermissionSet out = evalSet(it->second, ctx);
+      ctx.inProgress.erase(expr->name);
+      return out;
+    }
+    case Kind::kApp: {
+      if (expr->name == ctx.currentApp) {
+        ctx.touchedCurrentApp = true;
+        return *ctx.currentPerms;
+      }
+      auto it = ctx.otherApps->find(expr->name);
+      return it == ctx.otherApps->end() ? perm::PermissionSet{} : it->second;
+    }
+    case Kind::kMeet:
+      return perm::PermissionSet::meet(evalSet(expr->lhs, ctx),
+                                       evalSet(expr->rhs, ctx));
+    case Kind::kJoin:
+      return perm::PermissionSet::join(evalSet(expr->lhs, ctx),
+                                       evalSet(expr->rhs, ctx));
+  }
+  return {};
+}
+
+bool Reconciler::evalBool(const lang::BoolExprPtr& expr,
+                          EvalContext& ctx) const {
+  using Kind = lang::BoolExpr::Kind;
+  switch (expr->kind) {
+    case Kind::kCompare: {
+      perm::PermissionSet lhs = evalSet(expr->lhs, ctx);
+      perm::PermissionSet rhs = evalSet(expr->rhs, ctx);
+      switch (expr->op) {
+        case lang::CmpOp::kLe:
+          return rhs.includes(lhs);
+        case lang::CmpOp::kGe:
+          return lhs.includes(rhs);
+        case lang::CmpOp::kLt:
+          return rhs.includes(lhs) && !lhs.includes(rhs);
+        case lang::CmpOp::kGt:
+          return lhs.includes(rhs) && !rhs.includes(lhs);
+        case lang::CmpOp::kEq:
+          return lhs.equivalent(rhs);
+      }
+      return false;
+    }
+    case Kind::kAnd:
+      return evalBool(expr->a, ctx) && evalBool(expr->b, ctx);
+    case Kind::kOr:
+      return evalBool(expr->a, ctx) || evalBool(expr->b, ctx);
+    case Kind::kNot:
+      return !evalBool(expr->a, ctx);
+  }
+  return false;
+}
+
+namespace {
+
+/// True when every grant of @p perms that overlaps @p side is unrestricted
+/// (no filter) — the heuristic for choosing which exclusive side to
+/// truncate: prefer dropping the wider, unfiltered privilege.
+bool overlapUnrestricted(const perm::PermissionSet& perms,
+                         const perm::PermissionSet& side) {
+  for (const perm::Permission& grant : perms.permissions()) {
+    if (side.has(grant.token) && grant.filter) return false;
+  }
+  return true;
+}
+
+std::vector<perm::Token> overlapTokens(const perm::PermissionSet& perms,
+                                       const perm::PermissionSet& side) {
+  std::vector<perm::Token> out;
+  for (const perm::Permission& grant : perms.permissions()) {
+    if (side.has(grant.token)) out.push_back(grant.token);
+  }
+  return out;
+}
+
+/// Finds boundary comparisons of the shape `APP <=/< bound` (or reversed)
+/// inside a failing assertion, for auto-repair by intersection.
+void collectBoundaryRepairs(const lang::BoolExprPtr& expr,
+                            std::vector<const lang::BoolExpr*>& out) {
+  using Kind = lang::BoolExpr::Kind;
+  switch (expr->kind) {
+    case Kind::kCompare:
+      if (expr->op == lang::CmpOp::kLe || expr->op == lang::CmpOp::kLt ||
+          expr->op == lang::CmpOp::kGe || expr->op == lang::CmpOp::kGt) {
+        out.push_back(expr.get());
+      }
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      collectBoundaryRepairs(expr->a, out);
+      collectBoundaryRepairs(expr->b, out);
+      return;
+    case Kind::kNot:
+      return;  // Repair under negation would widen, never narrow: skip.
+  }
+}
+
+}  // namespace
+
+ReconcileResult Reconciler::reconcile(
+    const lang::PermissionManifest& manifest,
+    const std::map<std::string, perm::PermissionSet>& otherApps) const {
+  ReconcileResult result;
+
+  // Step 1 — preprocessor: expand stub macros with the LET filter bindings.
+  result.finalPermissions =
+      manifest.permissions.substituteStubs(policy_.filterBindings);
+  for (const std::string& stub : result.finalPermissions.collectStubs()) {
+    Violation violation;
+    violation.kind = Violation::Kind::kUnresolvedStub;
+    violation.constraintText = stub;
+    violation.detail =
+        "no LET binding supplies '" + stub + "'; the stub fails closed";
+    result.violations.push_back(std::move(violation));
+  }
+
+  // Step 2 — verify and repair each constraint in order.
+  for (const lang::Constraint& constraint : policy_.constraints) {
+    EvalContext ctx;
+    ctx.currentApp = manifest.appName;
+    ctx.currentPerms = &result.finalPermissions;
+    ctx.otherApps = &otherApps;
+
+    if (constraint.kind == lang::Constraint::Kind::kMutualExclusion) {
+      perm::PermissionSet sideA = evalSet(constraint.exclusiveA, ctx);
+      perm::PermissionSet sideB = evalSet(constraint.exclusiveB, ctx);
+      std::vector<perm::Token> inA =
+          overlapTokens(result.finalPermissions, sideA);
+      std::vector<perm::Token> inB =
+          overlapTokens(result.finalPermissions, sideB);
+      if (inA.empty() || inB.empty()) continue;
+      // Violation: both exclusive sides are (partially) possessed. Truncate
+      // the side whose grants are unrestricted; ties truncate the second.
+      bool truncateA = overlapUnrestricted(result.finalPermissions, sideA) &&
+                       !overlapUnrestricted(result.finalPermissions, sideB);
+      const std::vector<perm::Token>& drop = truncateA ? inA : inB;
+      const std::vector<perm::Token>& keepInstead = truncateA ? inB : inA;
+      Violation violation;
+      violation.kind = Violation::Kind::kMutualExclusion;
+      violation.constraintText = constraint.toString();
+      violation.truncatedTokens = drop;
+      std::ostringstream detail;
+      detail << "app holds both exclusive sides; truncating the "
+             << (truncateA ? "first" : "second") << " side";
+      violation.detail = detail.str();
+      // Both truncation choices are offered; the applied one comes first.
+      perm::PermissionSet applied = result.finalPermissions;
+      for (perm::Token token : drop) applied.revoke(token);
+      perm::PermissionSet other = result.finalPermissions;
+      for (perm::Token token : keepInstead) other.revoke(token);
+      violation.alternatives = {applied, other};
+      result.finalPermissions = std::move(applied);
+      result.violations.push_back(std::move(violation));
+      continue;
+    }
+
+    // Boundary / general assertion.
+    if (evalBool(constraint.assertion, ctx)) continue;
+
+    // Attempt intersection repair on boundary-shaped comparisons that
+    // reference this app.
+    std::vector<const lang::BoolExpr*> candidates;
+    collectBoundaryRepairs(constraint.assertion, candidates);
+    bool repaired = false;
+    for (const lang::BoolExpr* cmp : candidates) {
+      bool appOnLeft =
+          cmp->op == lang::CmpOp::kLe || cmp->op == lang::CmpOp::kLt;
+      const lang::PermSetExprPtr& appSide = appOnLeft ? cmp->lhs : cmp->rhs;
+      const lang::PermSetExprPtr& boundSide = appOnLeft ? cmp->rhs : cmp->lhs;
+      // The app side must actually be (derived from) this app's manifest.
+      EvalContext probe = ctx;
+      probe.touchedCurrentApp = false;
+      perm::PermissionSet appPerms = evalSet(appSide, probe);
+      if (!probe.touchedCurrentApp) continue;
+      perm::PermissionSet bound = evalSet(boundSide, probe);
+      if (bound.includes(appPerms)) continue;  // This comparison holds.
+      result.finalPermissions =
+          perm::PermissionSet::meet(result.finalPermissions, bound);
+      repaired = true;
+    }
+
+    EvalContext recheck = ctx;
+    bool holdsNow = repaired && evalBool(constraint.assertion, recheck);
+    Violation violation;
+    violation.kind = holdsNow ? Violation::Kind::kBoundary
+                              : Violation::Kind::kAssertionFailed;
+    violation.constraintText = constraint.toString();
+    violation.detail =
+        holdsNow
+            ? "manifest exceeded the boundary; intersected with the boundary"
+            : "assertion does not hold and could not be auto-repaired";
+    if (holdsNow) violation.alternatives = {result.finalPermissions};
+    result.violations.push_back(std::move(violation));
+  }
+  return result;
+}
+
+}  // namespace sdnshield::reconcile

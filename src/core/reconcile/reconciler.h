@@ -1,0 +1,74 @@
+// Security policy reconciliation (paper §V): verifies an app's requested
+// permission manifest against the administrator's policy program, alerts on
+// violations, and produces repaired ("reconciled") permissions —
+//  * stub macros are expanded by the preprocessor (LET filter bindings),
+//  * mutual-exclusion violations are repaired by truncating one of the
+//    exclusive permissions,
+//  * permission-boundary violations are repaired by intersecting the
+//    manifest with the boundary (lattice meet).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_ast.h"
+
+namespace sdnshield::reconcile {
+
+struct Violation {
+  enum class Kind {
+    kUnresolvedStub,
+    kMutualExclusion,
+    kBoundary,
+    kAssertionFailed,  ///< Composite assertion that could not be auto-repaired.
+  };
+
+  Kind kind = Kind::kAssertionFailed;
+  std::string constraintText;  ///< The offending constraint / stub name.
+  std::string detail;          ///< Human-readable explanation.
+  /// Tokens removed (mutual exclusion) by the repair, if any.
+  std::vector<perm::Token> truncatedTokens;
+  /// Alternative repaired permission sets offered for the administrator's
+  /// consideration (§III): for a mutual exclusion, *both* truncation
+  /// choices; for a boundary, the intersection. The first alternative is
+  /// the one the engine applied.
+  std::vector<perm::PermissionSet> alternatives;
+
+  std::string toString() const;
+};
+
+struct ReconcileResult {
+  /// The final, repaired permissions offered for the administrator's
+  /// consideration.
+  perm::PermissionSet finalPermissions;
+  std::vector<Violation> violations;
+  bool clean() const { return violations.empty(); }
+};
+
+class Reconciler {
+ public:
+  explicit Reconciler(lang::PolicyProgram policy)
+      : policy_(std::move(policy)) {}
+
+  const lang::PolicyProgram& policy() const { return policy_; }
+
+  /// Reconciles one app manifest. @p otherApps supplies the permission sets
+  /// of already-deployed apps for APP references in the policy.
+  ReconcileResult reconcile(
+      const lang::PermissionManifest& manifest,
+      const std::map<std::string, perm::PermissionSet>& otherApps = {}) const;
+
+ private:
+  struct EvalContext;
+
+  perm::PermissionSet evalSet(const lang::PermSetExprPtr& expr,
+                              EvalContext& ctx) const;
+  bool evalBool(const lang::BoolExprPtr& expr, EvalContext& ctx) const;
+
+  lang::PolicyProgram policy_;
+};
+
+}  // namespace sdnshield::reconcile

@@ -1,0 +1,41 @@
+// Permission-checked installation of compiled high-level policies
+// (paper §VI-C): the compiler's per-rule ownership information is fed to the
+// SDNShield permission engine — every contributing app must be allowed to
+// install the rule — and a rule some owner may not install is *partially
+// denied*: skipped, while the rest of the classifier goes in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/engine/permission_engine.h"
+#include "hll/policy.h"
+
+namespace sdnshield::hll {
+
+struct InstallReport {
+  std::size_t installed = 0;
+  /// Indexes (into the compiled classifier) of partially denied rules, with
+  /// the owner and reason that blocked each.
+  struct DeniedRule {
+    std::size_t ruleIndex = 0;
+    of::AppId owner = 0;
+    std::string reason;
+  };
+  std::vector<DeniedRule> denied;
+
+  bool fullyInstalled() const { return denied.empty(); }
+};
+
+/// Compiles @p policy and installs it on @p dpid with priorities descending
+/// from @p topPriority. Each rule is checked once per owner (the compiler's
+/// ownership tracking); ownerless rules (no `owned` annotation anywhere)
+/// are attributed to the kernel and always pass.
+InstallReport installPolicy(engine::PermissionEngine& engine,
+                            ctrl::Controller& controller, of::DatapathId dpid,
+                            const PolicyPtr& policy,
+                            std::uint16_t topPriority);
+
+}  // namespace sdnshield::hll

@@ -1,0 +1,464 @@
+#include "hll/policy.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdnshield::hll {
+
+// --- policy tree -----------------------------------------------------------------
+
+class Policy {
+ public:
+  enum class Kind { kMatch, kIdentity, kDrop, kFwd, kModify, kSeq, kPar, kOwned };
+
+  Kind kind = Kind::kIdentity;
+  of::FlowMatch match;
+  of::PortNo port = 0;
+  of::SetFieldAction rewrite;
+  PolicyPtr a;
+  PolicyPtr b;
+  of::AppId owner = 0;
+};
+
+namespace {
+
+PolicyPtr makeNode(Policy node) {
+  return std::make_shared<const Policy>(std::move(node));
+}
+
+}  // namespace
+
+PolicyPtr match(of::FlowMatch m) {
+  Policy node;
+  node.kind = Policy::Kind::kMatch;
+  node.match = std::move(m);
+  return makeNode(std::move(node));
+}
+
+PolicyPtr identity() {
+  Policy node;
+  node.kind = Policy::Kind::kIdentity;
+  return makeNode(std::move(node));
+}
+
+PolicyPtr drop() {
+  Policy node;
+  node.kind = Policy::Kind::kDrop;
+  return makeNode(std::move(node));
+}
+
+PolicyPtr fwd(of::PortNo port) {
+  Policy node;
+  node.kind = Policy::Kind::kFwd;
+  node.port = port;
+  return makeNode(std::move(node));
+}
+
+PolicyPtr modify(of::SetFieldAction rewrite) {
+  Policy node;
+  node.kind = Policy::Kind::kModify;
+  node.rewrite = rewrite;
+  return makeNode(std::move(node));
+}
+
+PolicyPtr seq(PolicyPtr a, PolicyPtr b) {
+  if (!a || !b) throw std::invalid_argument("seq: null operand");
+  Policy node;
+  node.kind = Policy::Kind::kSeq;
+  node.a = std::move(a);
+  node.b = std::move(b);
+  return makeNode(std::move(node));
+}
+
+PolicyPtr par(PolicyPtr a, PolicyPtr b) {
+  if (!a || !b) throw std::invalid_argument("par: null operand");
+  Policy node;
+  node.kind = Policy::Kind::kPar;
+  node.a = std::move(a);
+  node.b = std::move(b);
+  return makeNode(std::move(node));
+}
+
+PolicyPtr owned(of::AppId app, PolicyPtr p) {
+  if (!p) throw std::invalid_argument("owned: null operand");
+  Policy node;
+  node.kind = Policy::Kind::kOwned;
+  node.owner = app;
+  node.a = std::move(p);
+  return makeNode(std::move(node));
+}
+
+// --- compilation ------------------------------------------------------------------
+
+namespace {
+
+/// Internal classifier rule.
+///  * emitActions — the interleaved rewrite/output sequence realised when
+///    the rule fires (what the OF action list will contain);
+///  * contSets — rewrites applied to the packet that *continues* into the
+///    right-hand side of a sequential composition;
+///  * pass — whether a continuing packet exists at all.
+struct Rule {
+  of::FlowMatch match;
+  of::ActionList emitActions;
+  std::vector<of::SetFieldAction> contSets;
+  bool pass = false;
+  /// Both parallel branches continued: a single OF rule cannot represent
+  /// two continuations, so sequencing after this rule is rejected.
+  bool dualPass = false;
+  std::set<of::AppId> owners;
+};
+
+using Classifier = std::vector<Rule>;
+
+bool emits(const Rule& rule) {
+  return std::any_of(rule.emitActions.begin(), rule.emitActions.end(),
+                     [](const of::Action& action) {
+                       return std::holds_alternative<of::OutputAction>(action);
+                     });
+}
+
+/// Does the rewritten value of @p set satisfy the constraint @p m places on
+/// that field? Returns: satisfied (constraint can be erased), violated
+/// (rules incompatible) or untouched (field not rewritten).
+enum class PullbackVerdict { kErase, kIncompatible, kUntouched };
+
+PullbackVerdict pullbackField(of::FlowMatch& m, const of::SetFieldAction& set) {
+  auto exactCheck = [&](auto& field, auto value) {
+    using FieldT = typename std::decay_t<decltype(field)>::value_type;
+    if (!field) return PullbackVerdict::kErase;  // Unconstrained: fine.
+    if (*field != static_cast<FieldT>(value)) {
+      return PullbackVerdict::kIncompatible;
+    }
+    field.reset();
+    return PullbackVerdict::kErase;
+  };
+  switch (set.field) {
+    case of::MatchField::kEthSrc:
+      return exactCheck(m.ethSrc, set.macValue);
+    case of::MatchField::kEthDst:
+      return exactCheck(m.ethDst, set.macValue);
+    case of::MatchField::kTpSrc:
+      return exactCheck(m.tpSrc, static_cast<std::uint16_t>(set.intValue));
+    case of::MatchField::kTpDst:
+      return exactCheck(m.tpDst, static_cast<std::uint16_t>(set.intValue));
+    case of::MatchField::kIpSrc:
+    case of::MatchField::kIpDst: {
+      auto& field = set.field == of::MatchField::kIpSrc ? m.ipSrc : m.ipDst;
+      if (!field) return PullbackVerdict::kErase;
+      if (!field->matches(set.ipValue)) return PullbackVerdict::kIncompatible;
+      field.reset();
+      return PullbackVerdict::kErase;
+    }
+    default:
+      return PullbackVerdict::kUntouched;
+  }
+}
+
+/// Drops rules made unreachable by an earlier, wider rule.
+Classifier pruneShadowed(Classifier rules) {
+  Classifier out;
+  for (Rule& rule : rules) {
+    bool shadowed = std::any_of(out.begin(), out.end(), [&](const Rule& prior) {
+      return prior.match.subsumes(rule.match);
+    });
+    if (!shadowed) out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+Classifier compileRec(const PolicyPtr& policy) {
+  switch (policy->kind) {
+    case Policy::Kind::kMatch: {
+      Rule hit;
+      hit.match = policy->match;
+      hit.pass = true;
+      Rule miss;  // Catch-all drop keeps the classifier total.
+      return pruneShadowed({hit, miss});
+    }
+    case Policy::Kind::kIdentity: {
+      Rule all;
+      all.pass = true;
+      return {all};
+    }
+    case Policy::Kind::kDrop: {
+      return {Rule{}};
+    }
+    case Policy::Kind::kFwd: {
+      Rule all;
+      all.emitActions.push_back(of::OutputAction{policy->port});
+      return {all};
+    }
+    case Policy::Kind::kModify: {
+      Rule all;
+      all.contSets.push_back(policy->rewrite);
+      all.pass = true;
+      return {all};
+    }
+    case Policy::Kind::kSeq: {
+      Classifier lhs = compileRec(policy->a);
+      Classifier rhs = compileRec(policy->b);
+      Classifier out;
+      for (const Rule& ra : lhs) {
+        if (emits(ra)) {
+          throw std::invalid_argument(
+              "seq: forwarding on the left of >> is not supported "
+              "(emission is terminal)");
+        }
+        if (ra.dualPass) {
+          throw std::invalid_argument(
+              "seq: left operand has ambiguous parallel continuations");
+        }
+        if (!ra.pass) {
+          out.push_back(ra);  // Dead branch: stays a drop.
+          continue;
+        }
+        for (const Rule& rb : rhs) {
+          // Pull rb's match back through ra's continuation rewrites.
+          of::FlowMatch pulled = rb.match;
+          bool compatible = true;
+          for (const of::SetFieldAction& set : ra.contSets) {
+            if (pullbackField(pulled, set) == PullbackVerdict::kIncompatible) {
+              compatible = false;
+              break;
+            }
+          }
+          if (!compatible) continue;
+          auto merged = ra.match.intersect(pulled);
+          if (!merged) continue;
+          Rule product;
+          product.match = *merged;
+          // The continuing packet carries ra's rewrites into rb's actions.
+          for (const of::SetFieldAction& set : ra.contSets) {
+            product.emitActions.push_back(set);
+          }
+          product.emitActions.insert(product.emitActions.end(),
+                                     rb.emitActions.begin(),
+                                     rb.emitActions.end());
+          product.contSets = ra.contSets;
+          product.contSets.insert(product.contSets.end(), rb.contSets.begin(),
+                                  rb.contSets.end());
+          product.pass = rb.pass;
+          product.owners = ra.owners;
+          product.owners.insert(rb.owners.begin(), rb.owners.end());
+          out.push_back(std::move(product));
+        }
+      }
+      return pruneShadowed(std::move(out));
+    }
+    case Policy::Kind::kPar: {
+      Classifier lhs = compileRec(policy->a);
+      Classifier rhs = compileRec(policy->b);
+      Classifier out;
+      // Row-major cross product preserves first-match semantics of both
+      // operands (the first matching product pairs each operand's first
+      // matching rule).
+      for (const Rule& ra : lhs) {
+        for (const Rule& rb : rhs) {
+          auto merged = ra.match.intersect(rb.match);
+          if (!merged) continue;
+          Rule product;
+          product.match = *merged;
+          // Branch A's action sequence, then branch B's. In a single OF
+          // action list, B's emissions see A's trailing rewrites unless B
+          // overwrites them — the OF 1.0 approximation of packet copies.
+          product.emitActions = ra.emitActions;
+          product.emitActions.insert(product.emitActions.end(),
+                                     rb.emitActions.begin(),
+                                     rb.emitActions.end());
+          product.contSets = ra.contSets;
+          product.contSets.insert(product.contSets.end(), rb.contSets.begin(),
+                                  rb.contSets.end());
+          product.pass = ra.pass || rb.pass;
+          product.dualPass =
+              (ra.pass && rb.pass) || ra.dualPass || rb.dualPass;
+          product.owners = ra.owners;
+          product.owners.insert(rb.owners.begin(), rb.owners.end());
+          out.push_back(std::move(product));
+        }
+      }
+      return pruneShadowed(std::move(out));
+    }
+    case Policy::Kind::kOwned: {
+      Classifier inner = compileRec(policy->a);
+      for (Rule& rule : inner) rule.owners.insert(policy->owner);
+      return inner;
+    }
+  }
+  return {};
+}
+
+of::ActionList ruleActions(const Rule& rule) {
+  // A surviving-but-never-emitted packet is observationally dropped: the
+  // lowered rule keeps nothing.
+  if (!emits(rule)) return {};
+  return rule.emitActions;
+}
+
+of::Packet applyRewrite(of::Packet packet, const of::SetFieldAction& set) {
+  switch (set.field) {
+    case of::MatchField::kEthSrc:
+      packet.eth.src = set.macValue;
+      break;
+    case of::MatchField::kEthDst:
+      packet.eth.dst = set.macValue;
+      break;
+    case of::MatchField::kIpSrc:
+      if (packet.ipv4) packet.ipv4->src = set.ipValue;
+      break;
+    case of::MatchField::kIpDst:
+      if (packet.ipv4) packet.ipv4->dst = set.ipValue;
+      break;
+    case of::MatchField::kTpSrc:
+      if (packet.tcp) {
+        packet.tcp->srcPort = static_cast<std::uint16_t>(set.intValue);
+      } else if (packet.udp) {
+        packet.udp->srcPort = static_cast<std::uint16_t>(set.intValue);
+      }
+      break;
+    case of::MatchField::kTpDst:
+      if (packet.tcp) {
+        packet.tcp->dstPort = static_cast<std::uint16_t>(set.intValue);
+      } else if (packet.udp) {
+        packet.udp->dstPort = static_cast<std::uint16_t>(set.intValue);
+      }
+      break;
+    default:
+      break;
+  }
+  return packet;
+}
+
+}  // namespace
+
+std::string CompiledRule::toString() const {
+  std::ostringstream out;
+  out << match.toString() << " -> " << of::toString(actions) << " owners={";
+  bool first = true;
+  for (of::AppId owner : owners) {
+    if (!first) out << ",";
+    first = false;
+    out << owner;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::vector<CompiledRule> compile(const PolicyPtr& policy) {
+  if (!policy) throw std::invalid_argument("compile: null policy");
+  Classifier internal = compileRec(policy);
+  std::vector<CompiledRule> out;
+  out.reserve(internal.size());
+  for (const Rule& rule : internal) {
+    out.push_back(CompiledRule{rule.match, ruleActions(rule), rule.owners});
+  }
+  return out;
+}
+
+std::vector<of::FlowMod> toFlowMods(const std::vector<CompiledRule>& rules,
+                                    std::uint16_t topPriority) {
+  if (rules.size() > topPriority) {
+    throw std::invalid_argument("toFlowMods: not enough priority space");
+  }
+  std::vector<of::FlowMod> out;
+  out.reserve(rules.size());
+  std::uint16_t priority = topPriority;
+  for (const CompiledRule& rule : rules) {
+    of::FlowMod mod;
+    mod.command = of::FlowModCommand::kAdd;
+    mod.match = rule.match;
+    mod.priority = priority--;
+    mod.actions = rule.actions;
+    if (mod.actions.empty()) mod.actions.push_back(of::DropAction{});
+    out.push_back(std::move(mod));
+  }
+  return out;
+}
+
+// --- reference semantics --------------------------------------------------------------
+
+namespace {
+
+struct EvalResult {
+  std::vector<LocatedPacket> continuations;
+  std::vector<LocatedPacket> emissions;
+};
+
+EvalResult evalRec(const PolicyPtr& policy, const LocatedPacket& input) {
+  switch (policy->kind) {
+    case Policy::Kind::kMatch:
+      if (policy->match.matches(input.packet.fields(input.port))) {
+        return EvalResult{{input}, {}};
+      }
+      return {};
+    case Policy::Kind::kIdentity:
+      return EvalResult{{input}, {}};
+    case Policy::Kind::kDrop:
+      return {};
+    case Policy::Kind::kFwd: {
+      LocatedPacket out = input;
+      out.port = policy->port;
+      return EvalResult{{}, {out}};
+    }
+    case Policy::Kind::kModify: {
+      LocatedPacket out = input;
+      out.packet = applyRewrite(out.packet, policy->rewrite);
+      return EvalResult{{out}, {}};
+    }
+    case Policy::Kind::kSeq: {
+      EvalResult lhs = evalRec(policy->a, input);
+      EvalResult out;
+      out.emissions = lhs.emissions;
+      for (const LocatedPacket& mid : lhs.continuations) {
+        EvalResult rhs = evalRec(policy->b, mid);
+        out.continuations.insert(out.continuations.end(),
+                                 rhs.continuations.begin(),
+                                 rhs.continuations.end());
+        out.emissions.insert(out.emissions.end(), rhs.emissions.begin(),
+                             rhs.emissions.end());
+      }
+      return out;
+    }
+    case Policy::Kind::kPar: {
+      EvalResult lhs = evalRec(policy->a, input);
+      EvalResult rhs = evalRec(policy->b, input);
+      lhs.continuations.insert(lhs.continuations.end(),
+                               rhs.continuations.begin(),
+                               rhs.continuations.end());
+      lhs.emissions.insert(lhs.emissions.end(), rhs.emissions.begin(),
+                           rhs.emissions.end());
+      return lhs;
+    }
+    case Policy::Kind::kOwned:
+      return evalRec(policy->a, input);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<LocatedPacket> evaluate(const PolicyPtr& policy,
+                                    const LocatedPacket& input) {
+  return evalRec(policy, input).emissions;
+}
+
+std::vector<LocatedPacket> runClassifier(const std::vector<CompiledRule>& rules,
+                                         const LocatedPacket& input) {
+  for (const CompiledRule& rule : rules) {
+    if (!rule.match.matches(input.packet.fields(input.port))) continue;
+    std::vector<LocatedPacket> emissions;
+    of::Packet current = input.packet;
+    for (const of::Action& action : rule.actions) {
+      if (const auto* set = std::get_if<of::SetFieldAction>(&action)) {
+        current = applyRewrite(current, *set);
+      } else if (const auto* output = std::get_if<of::OutputAction>(&action)) {
+        emissions.push_back(LocatedPacket{current, output->port});
+      }
+    }
+    return emissions;  // First match wins.
+  }
+  return {};
+}
+
+}  // namespace sdnshield::hll

@@ -1,0 +1,90 @@
+// High-level SDN policy language (paper §VI-C): a Pyretic-flavoured
+// composition algebra — match / modify / forward atoms composed with
+// sequential (>>) and parallel (+) operators — that compiles to prioritized
+// OpenFlow classifiers while tracking, per compiled rule, *which apps'
+// policies contributed to it*. That ownership information is what lets
+// SDNShield enforce permissions on compiler-generated rules, including the
+// partial-denial extension (see hll/install.h).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "of/actions.h"
+#include "of/flow_mod.h"
+#include "of/match.h"
+#include "of/packet.h"
+
+namespace sdnshield::hll {
+
+class Policy;
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+// --- atoms --------------------------------------------------------------------
+/// Passes packets matching @p m unchanged; drops the rest.
+PolicyPtr match(of::FlowMatch m);
+/// Passes every packet unchanged.
+PolicyPtr identity();
+/// Drops everything.
+PolicyPtr drop();
+/// Emits the (possibly rewritten) packet out @p port.
+PolicyPtr fwd(of::PortNo port);
+/// Rewrites a header field, then continues.
+PolicyPtr modify(of::SetFieldAction rewrite);
+
+// --- composition ----------------------------------------------------------------
+/// Sequential composition: b processes a's output. a must not emit (no fwd)
+/// — forwarding is terminal, as in Pyretic's `match >> modify >> fwd` idiom.
+PolicyPtr seq(PolicyPtr a, PolicyPtr b);
+/// Parallel composition: both policies apply (to copies of the packet).
+PolicyPtr par(PolicyPtr a, PolicyPtr b);
+/// Ownership annotation: rules derived from @p p are attributed to @p app
+/// (owners accumulate through composition — a rule built from two apps'
+/// policies carries both).
+PolicyPtr owned(of::AppId app, PolicyPtr p);
+
+// --- compilation ----------------------------------------------------------------
+
+/// One entry of the compiled classifier (first match wins, top down).
+/// Empty actions == drop.
+struct CompiledRule {
+  of::FlowMatch match;
+  of::ActionList actions;
+  std::set<of::AppId> owners;
+
+  std::string toString() const;
+};
+
+/// Compiles a policy to a total classifier (the last rule is a catch-all).
+/// Throws std::invalid_argument for unsupported shapes (emission on the
+/// left of a seq).
+std::vector<CompiledRule> compile(const PolicyPtr& policy);
+
+/// Lowers a classifier to flow mods with descending priorities starting at
+/// @p topPriority. Trailing catch-all drop rules are kept (explicit drop).
+std::vector<of::FlowMod> toFlowMods(const std::vector<CompiledRule>& rules,
+                                    std::uint16_t topPriority);
+
+// --- reference semantics -----------------------------------------------------------
+
+/// A located packet: what policies consume and produce.
+struct LocatedPacket {
+  of::Packet packet;
+  of::PortNo port = 0;  ///< Ingress for inputs, egress for outputs.
+  friend bool operator==(const LocatedPacket&, const LocatedPacket&) = default;
+};
+
+/// Reference interpreter: the set of packets the policy *emits* for one
+/// input. Used by property tests to validate the compiler.
+std::vector<LocatedPacket> evaluate(const PolicyPtr& policy,
+                                    const LocatedPacket& input);
+
+/// Simulates a compiled classifier on one input (first-match-wins, actions
+/// applied in order). Used to cross-check compile() against evaluate().
+std::vector<LocatedPacket> runClassifier(const std::vector<CompiledRule>& rules,
+                                         const LocatedPacket& input);
+
+}  // namespace sdnshield::hll

@@ -1,0 +1,703 @@
+#include "isolation/api_proxy.h"
+
+#include <sstream>
+#include <string_view>
+
+#include "core/engine/transaction.h"
+#include "core/lang/perm_parser.h"
+#include "core/perm/normal_form.h"
+
+namespace sdnshield::iso {
+
+// --- RecentPacketIns ----------------------------------------------------------
+
+std::size_t RecentPacketIns::hashOf(const of::Packet& packet) {
+  of::Bytes wire = packet.serialize();
+  return std::hash<std::string_view>{}(std::string_view(
+      reinterpret_cast<const char*>(wire.data()), wire.size()));
+}
+
+void RecentPacketIns::remember(const of::Packet& packet) {
+  std::size_t hash = hashOf(packet);
+  std::lock_guard lock(mutex_);
+  order_.push_back(hash);
+  hashes_.insert(hash);
+  if (order_.size() > capacity_) {
+    hashes_.erase(hashes_.find(order_.front()));
+    order_.pop_front();
+  }
+}
+
+bool RecentPacketIns::seen(const of::Packet& packet) const {
+  std::size_t hash = hashOf(packet);
+  std::lock_guard lock(mutex_);
+  return hashes_.contains(hash);
+}
+
+// --- ShieldedApi ----------------------------------------------------------------
+
+namespace {
+
+/// Shared deny shape for ApiResult-returning calls.
+ctrl::ApiResult denied(const engine::Decision& decision) {
+  return ctrl::ApiResult::failure("permission denied: " + decision.reason);
+}
+
+}  // namespace
+
+ctrl::ApiResult ShieldedApi::doInsertFlow(of::DatapathId dpid,
+                                          const of::FlowMod& mod) {
+  auto compiled = runtime_.engine().compiled(app_);
+  if (!compiled) {
+    return ctrl::ApiResult::failure("permission denied: app not installed");
+  }
+  engine::OwnershipTracker& ownership = runtime_.controller().ownership();
+  perm::ApiCall call = perm::ApiCall::insertFlow(app_, dpid, mod);
+  bool isModify = mod.command == of::FlowModCommand::kModify ||
+                  mod.command == of::FlowModCommand::kModifyStrict;
+  // OWN_FLOWS semantics: a *modify* targets existing rules (all of them
+  // must be the caller's); an *add* must not shadow/override a foreign rule.
+  call.ownFlow =
+      isModify
+          ? ownership.ownsAllMatching(app_, dpid, mod.match)
+          : !ownership.overridesForeignFlow(app_, dpid, mod.match,
+                                            mod.priority);
+  call.ruleCountAfter = ownership.countFor(app_, dpid) + (isModify ? 0 : 1);
+  engine::Decision decision = compiled->check(call);
+  runtime_.controller().audit().record(call, decision.allowed, decision.reason);
+  if (!decision.allowed) return denied(decision);
+
+  // Abstract-topology translation (§VI-B.1): a rule addressed to the
+  // virtual big switch expands into physical rules along shortest paths.
+  if (dpid == kVirtualDpid) {
+    auto vtopo = runtime_.virtualTopologyFor(app_);
+    if (!vtopo) {
+      return ctrl::ApiResult::failure("no virtual topology granted");
+    }
+    std::vector<std::pair<of::DatapathId, of::FlowMod>> physical;
+    try {
+      physical = vtopo->translateFlowMod(mod);
+    } catch (const std::invalid_argument& error) {
+      return ctrl::ApiResult::failure(error.what());
+    }
+    for (const auto& [physDpid, physMod] : physical) {
+      ctrl::ApiResult result =
+          runtime_.controller().kernelInsertFlow(app_, physDpid, physMod);
+      if (!result.ok) return result;
+    }
+    return ctrl::ApiResult::success();
+  }
+  return runtime_.controller().kernelInsertFlow(app_, dpid, mod);
+}
+
+ctrl::ApiResult ShieldedApi::insertFlow(of::DatapathId dpid,
+                                        const of::FlowMod& mod) {
+  return runtime_.ksd().call<ctrl::ApiResult>(
+      [this, dpid, mod] { return doInsertFlow(dpid, mod); });
+}
+
+ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
+                                        const of::FlowMatch& match,
+                                        bool strict, std::uint16_t priority) {
+  return runtime_.ksd().call<ctrl::ApiResult>([this, dpid, match, strict,
+                                               priority] {
+    auto compiled = runtime_.engine().compiled(app_);
+    if (!compiled) {
+      return ctrl::ApiResult::failure("permission denied: app not installed");
+    }
+    perm::ApiCall call = perm::ApiCall::deleteFlow(
+        app_, dpid, match,
+        runtime_.controller().ownership().ownsAllMatching(app_, dpid, match));
+    call.priority = priority;
+    engine::Decision decision = compiled->check(call);
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) return denied(decision);
+    // Virtual big switch: the delete addresses every member shard the
+    // corresponding insert was realised on (§VI-B.1).
+    if (dpid == kVirtualDpid) {
+      auto vtopo = runtime_.virtualTopologyFor(app_);
+      if (!vtopo) {
+        return ctrl::ApiResult::failure("no virtual topology granted");
+      }
+      of::FlowMod vdelete;
+      vdelete.command = strict ? of::FlowModCommand::kDeleteStrict
+                               : of::FlowModCommand::kDelete;
+      vdelete.match = match;
+      vdelete.priority = priority;
+      std::vector<std::pair<of::DatapathId, of::FlowMod>> shards;
+      try {
+        shards = vtopo->translateFlowMod(vdelete);
+      } catch (const std::invalid_argument& error) {
+        return ctrl::ApiResult::failure(error.what());
+      }
+      for (const auto& [shardDpid, shardMod] : shards) {
+        runtime_.controller().kernelDeleteFlow(app_, shardDpid, shardMod.match,
+                                               strict, priority);
+      }
+      return ctrl::ApiResult::success();
+    }
+    return runtime_.controller().kernelDeleteFlow(app_, dpid, match, strict,
+                                                  priority);
+  });
+}
+
+ctrl::ApiResult ShieldedApi::commitFlowTransaction(
+    const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) {
+  return runtime_.ksd().call<ctrl::ApiResult>([this, mods] {
+    engine::OwnershipTracker& ownership = runtime_.controller().ownership();
+    engine::Transaction transaction;
+    std::map<of::DatapathId, std::size_t> pendingPerSwitch;
+    for (const auto& [dpid, mod] : mods) {
+      perm::ApiCall call = perm::ApiCall::insertFlow(app_, dpid, mod);
+      call.ownFlow =
+          !ownership.overridesForeignFlow(app_, dpid, mod.match, mod.priority);
+      call.ruleCountAfter =
+          ownership.countFor(app_, dpid) + (++pendingPerSwitch[dpid]);
+      of::DatapathId capturedDpid = dpid;
+      of::FlowMod capturedMod = mod;
+      transaction.add(engine::TxOperation{
+          std::move(call),
+          [this, capturedDpid, capturedMod] {
+            return runtime_.controller()
+                .kernelInsertFlow(app_, capturedDpid, capturedMod)
+                .ok;
+          },
+          [this, capturedDpid, capturedMod] {
+            runtime_.controller().kernelDeleteFlow(
+                app_, capturedDpid, capturedMod.match, /*strict=*/true,
+                capturedMod.priority);
+          }});
+    }
+    engine::TxResult result = transaction.commit(runtime_.engine());
+    if (!result.committed) {
+      return ctrl::ApiResult::failure(
+          "transaction aborted at operation " +
+          std::to_string(result.failedIndex) + ": " + result.failureReason);
+    }
+    return ctrl::ApiResult::success();
+  });
+}
+
+ctrl::ApiResponse<std::vector<of::FlowEntry>> ShieldedApi::readFlowTable(
+    of::DatapathId dpid) {
+  using Response = ctrl::ApiResponse<std::vector<of::FlowEntry>>;
+  return runtime_.ksd().call<Response>([this, dpid]() -> Response {
+    auto compiled = runtime_.engine().compiled(app_);
+    perm::ApiCall call = perm::ApiCall::readFlowTable(app_, dpid);
+    bool tokenOk =
+        compiled && compiled->hasToken(perm::Token::kReadFlowTable);
+    runtime_.controller().audit().record(call, tokenOk,
+                                         tokenOk ? "" : "missing token");
+    if (!tokenOk) {
+      return Response::failure("permission denied: read_flow_table");
+    }
+    auto response = runtime_.controller().kernelReadFlowTable(dpid);
+    if (!response.ok) return response;
+    // Entry-level visibility filtering: each entry is labelled by the same
+    // compiled filter program, with its own match/ownership attributes.
+    engine::OwnershipTracker& ownership = runtime_.controller().ownership();
+    std::vector<of::FlowEntry> visible;
+    for (of::FlowEntry& entry : response.value) {
+      perm::ApiCall entryCall = perm::ApiCall::readFlowTable(app_, dpid);
+      entryCall.match = entry.match;
+      entryCall.priority = entry.priority;
+      auto owner = ownership.ownerOf(dpid, entry.match, entry.priority);
+      entryCall.ownFlow = owner && *owner == app_;
+      if (compiled->check(entryCall).allowed) {
+        visible.push_back(std::move(entry));
+      }
+    }
+    return Response::success(std::move(visible));
+  });
+}
+
+ctrl::ApiResponse<net::Topology> ShieldedApi::readTopology() {
+  using Response = ctrl::ApiResponse<net::Topology>;
+  return runtime_.ksd().call<Response>([this]() -> Response {
+    auto compiled = runtime_.engine().compiled(app_);
+    perm::ApiCall call = perm::ApiCall::readTopology(app_);
+    engine::Decision decision =
+        compiled ? compiled->check(call)
+                 : engine::Decision::deny("app not installed");
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) {
+      return Response::failure("permission denied: " + decision.reason);
+    }
+    net::Topology topology = runtime_.controller().kernelReadTopology();
+    // Virtual abstraction wins over plain projection when both are present.
+    if (compiled->virtualTopology()) {
+      auto vtopo = runtime_.virtualTopologyFor(app_);
+      if (vtopo) return Response::success(vtopo->abstractView());
+    }
+    if (const auto* projection = compiled->topologyProjection()) {
+      net::Topology restricted = topology.restrictTo(projection->switches());
+      if (!projection->links().empty()) {
+        for (const net::Link& link : restricted.links()) {
+          auto key = std::minmax(link.a.dpid, link.b.dpid);
+          if (!projection->links().contains({key.first, key.second})) {
+            restricted.removeLink(link.a.dpid, link.b.dpid);
+          }
+        }
+      }
+      return Response::success(std::move(restricted));
+    }
+    return Response::success(std::move(topology));
+  });
+}
+
+ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
+    const of::StatsRequest& request) {
+  using Response = ctrl::ApiResponse<of::StatsReply>;
+  return runtime_.ksd().call<Response>([this, request]() -> Response {
+    auto compiled = runtime_.engine().compiled(app_);
+    perm::ApiCall call = perm::ApiCall::readStatistics(app_, request);
+    // Flow-level requests are checked per returned entry (projection), so
+    // the call-level check omits the match attribute.
+    call.match.reset();
+    engine::Decision decision =
+        compiled ? compiled->check(call)
+                 : engine::Decision::deny("app not installed");
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) {
+      return Response::failure("permission denied: " + decision.reason);
+    }
+
+    // Virtual big switch: query members and aggregate (§VI-B.1).
+    if (request.dpid == kVirtualDpid) {
+      auto vtopo = runtime_.virtualTopologyFor(app_);
+      if (!vtopo) return Response::failure("no virtual topology granted");
+      of::StatsReply aggregate;
+      aggregate.level = request.level;
+      aggregate.dpid = kVirtualDpid;
+      std::vector<of::SwitchStats> memberStats;
+      std::vector<of::FlowStatsEntry> memberFlows;
+      for (of::DatapathId member : vtopo->virtualSwitch().members) {
+        of::StatsRequest memberRequest = request;
+        memberRequest.dpid = member;
+        auto response =
+            runtime_.controller().kernelReadStatistics(memberRequest);
+        if (!response.ok) continue;
+        memberStats.push_back(response.value.switchStats);
+        memberFlows.insert(memberFlows.end(), response.value.flows.begin(),
+                           response.value.flows.end());
+        aggregate.ports.insert(aggregate.ports.end(),
+                               response.value.ports.begin(),
+                               response.value.ports.end());
+      }
+      aggregate.switchStats = vtopo->aggregateSwitchStats(memberStats);
+      aggregate.flows = vtopo->aggregateFlowStats(memberFlows);
+      return Response::success(std::move(aggregate));
+    }
+
+    auto response = runtime_.controller().kernelReadStatistics(request);
+    if (!response.ok || request.level != of::StatsLevel::kFlow) {
+      return response;
+    }
+    // Flow-level: project the reply through the per-entry filter.
+    engine::OwnershipTracker& ownership = runtime_.controller().ownership();
+    std::vector<of::FlowStatsEntry> visible;
+    for (of::FlowStatsEntry& entry : response.value.flows) {
+      perm::ApiCall entryCall = call;
+      entryCall.match = entry.match;
+      entryCall.priority = entry.priority;
+      auto owner = ownership.ownerOf(request.dpid, entry.match, entry.priority);
+      entryCall.ownFlow = owner && *owner == app_;
+      if (compiled->check(entryCall).allowed) {
+        visible.push_back(std::move(entry));
+      }
+    }
+    response.value.flows = std::move(visible);
+    return response;
+  });
+}
+
+ctrl::ApiResult ShieldedApi::sendPacketOut(const of::PacketOut& packetOut) {
+  return runtime_.ksd().call<ctrl::ApiResult>([this, packetOut] {
+    auto compiled = runtime_.engine().compiled(app_);
+    if (!compiled) {
+      return ctrl::ApiResult::failure("permission denied: app not installed");
+    }
+    of::PacketOut verified = packetOut;
+    // Provenance is established by the deputy, not trusted from the app: the
+    // packet must byte-match one recently delivered to this app as a
+    // packet-in (FROM_PKT_IN filter input).
+    verified.fromPacketIn = recent_ && recent_->seen(packetOut.packet);
+    perm::ApiCall call = perm::ApiCall::sendPacketOut(app_, verified);
+    engine::Decision decision = compiled->check(call);
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) return denied(decision);
+    if (verified.dpid == kVirtualDpid) {
+      auto vtopo = runtime_.virtualTopologyFor(app_);
+      if (!vtopo) {
+        return ctrl::ApiResult::failure("no virtual topology granted");
+      }
+      try {
+        auto [physDpid, physOut] = vtopo->translatePacketOut(verified);
+        return runtime_.controller().kernelSendPacketOut(physOut);
+      } catch (const std::invalid_argument& error) {
+        return ctrl::ApiResult::failure(error.what());
+      }
+    }
+    return runtime_.controller().kernelSendPacketOut(verified);
+  });
+}
+
+ctrl::ApiResult ShieldedApi::publishData(const std::string& topic,
+                                         const std::string& payload) {
+  return runtime_.ksd().call<ctrl::ApiResult>([this, topic, payload] {
+    // Data-model publication writes the controller's network view: mediated
+    // under modify_topology (cf. the YANG data-broker mediation, §VIII-B).
+    auto compiled = runtime_.engine().compiled(app_);
+    perm::ApiCall call;
+    call.type = perm::ApiCallType::kModifyTopology;
+    call.app = app_;
+    engine::Decision decision =
+        compiled ? compiled->check(call)
+                 : engine::Decision::deny("app not installed");
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) return denied(decision);
+    runtime_.controller().kernelPublishData(app_, topic, payload);
+    return ctrl::ApiResult::success();
+  });
+}
+
+// --- ShieldedContext --------------------------------------------------------------
+
+ShieldedContext::ShieldedContext(ShieldRuntime& runtime, of::AppId app,
+                                 std::shared_ptr<ThreadContainer> container)
+    : runtime_(runtime),
+      app_(app),
+      container_(std::move(container)),
+      recent_(std::make_shared<RecentPacketIns>()),
+      api_(runtime, app, recent_) {}
+
+ctrl::HostServices& ShieldedContext::host() {
+  return runtime_.referenceMonitor();
+}
+
+namespace {
+
+/// Checks an event-subscription call on a deputy and records it.
+ctrl::ApiResult checkSubscribe(ShieldRuntime& runtime, of::AppId app,
+                               perm::ApiCallType type) {
+  return runtime.ksd().call<ctrl::ApiResult>([&runtime, app, type] {
+    perm::ApiCall call = perm::ApiCall::subscribe(app, type);
+    engine::Decision decision = runtime.engine().check(call);
+    runtime.controller().audit().record(call, decision.allowed,
+                                        decision.reason);
+    if (!decision.allowed) return denied(decision);
+    return ctrl::ApiResult::success();
+  });
+}
+
+}  // namespace
+
+ctrl::ApiResult ShieldedContext::subscribePacketIn(
+    std::function<void(const ctrl::PacketInEvent&)> handler) {
+  ctrl::ApiResult checked = checkSubscribe(
+      runtime_, app_, perm::ApiCallType::kSubscribePacketIn);
+  if (!checked.ok) return checked;
+  ShieldRuntime& runtime = runtime_;
+  of::AppId app = app_;
+  auto container = container_;
+  auto recent = recent_;
+  runtime_.controller().addPacketInSubscriber(
+      app_, [&runtime, app, container, recent,
+             handler = std::move(handler)](const ctrl::Event& event) {
+        const auto* typed = std::get_if<ctrl::PacketInEvent>(&event);
+        if (typed == nullptr) return;
+        ctrl::PacketInEvent delivered = *typed;
+        auto compiled = runtime.engine().compiled(app);
+        // Payload in pkt-in messages is a separate privilege (read_payload,
+        // Table II): strip it for apps that only hold pkt_in_event.
+        if (!compiled || !compiled->hasToken(perm::Token::kReadPayload)) {
+          delivered.packetIn.packet.payload.clear();
+        }
+        recent->remember(delivered.packetIn.packet);
+        container->post(
+            [handler, delivered = std::move(delivered)] { handler(delivered); });
+      });
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult ShieldedContext::subscribePacketInInterceptor(
+    std::function<bool(const ctrl::PacketInEvent&)> handler) {
+  // Interception is a stronger privilege than observation: the subscribe
+  // call carries CallbackOp::kIntercept, which the EVENT_INTERCEPTION
+  // callback filter must admit.
+  ctrl::ApiResult checked =
+      runtime_.ksd().call<ctrl::ApiResult>([this] {
+        perm::ApiCall call = perm::ApiCall::subscribe(
+            app_, perm::ApiCallType::kSubscribePacketIn,
+            perm::CallbackOp::kIntercept);
+        engine::Decision decision = runtime_.engine().check(call);
+        runtime_.controller().audit().record(call, decision.allowed,
+                                             decision.reason);
+        if (!decision.allowed) return denied(decision);
+        return ctrl::ApiResult::success();
+      });
+  if (!checked.ok) return checked;
+  ShieldRuntime& runtime = runtime_;
+  of::AppId app = app_;
+  auto recent = recent_;
+  // Interception is inherently synchronous (the consume/forward decision
+  // gates delivery to other apps), so the handler runs on the dispatch
+  // thread — under the app's ambient identity, so host calls made from it
+  // are still attributed and mediated correctly.
+  runtime_.controller().addPacketInInterceptor(
+      app_, [&runtime, app, recent,
+             handler = std::move(handler)](const ctrl::Event& event) {
+        const auto* typed = std::get_if<ctrl::PacketInEvent>(&event);
+        if (typed == nullptr) return false;
+        ctrl::PacketInEvent delivered = *typed;
+        auto compiled = runtime.engine().compiled(app);
+        if (!compiled || !compiled->hasToken(perm::Token::kReadPayload)) {
+          delivered.packetIn.packet.payload.clear();
+        }
+        recent->remember(delivered.packetIn.packet);
+        ScopedIdentity identity(app);
+        return handler(delivered);
+      });
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult ShieldedContext::subscribeFlowEvents(
+    std::function<void(const ctrl::FlowEvent&)> handler) {
+  ctrl::ApiResult checked = checkSubscribe(
+      runtime_, app_, perm::ApiCallType::kSubscribeFlowEvent);
+  if (!checked.ok) return checked;
+  ShieldRuntime& runtime = runtime_;
+  of::AppId app = app_;
+  auto container = container_;
+  runtime_.controller().addFlowSubscriber(
+      app_, [&runtime, app, container,
+             handler = std::move(handler)](const ctrl::Event& event) {
+        const auto* typed = std::get_if<ctrl::FlowEvent>(&event);
+        if (typed == nullptr) return;
+        // Per-event filtering: a flow_event grant with e.g. OWN_FLOWS or a
+        // predicate filter only sees matching notifications.
+        auto compiled = runtime.engine().compiled(app);
+        if (compiled) {
+          perm::ApiCall eventCall = perm::ApiCall::subscribe(
+              app, perm::ApiCallType::kSubscribeFlowEvent);
+          eventCall.dpid = typed->dpid;
+          eventCall.match = typed->match;
+          eventCall.priority = typed->priority;
+          eventCall.ownFlow = typed->issuer == app;
+          if (!compiled->check(eventCall).allowed) return;
+        }
+        ctrl::FlowEvent delivered = *typed;
+        container->post([handler, delivered] { handler(delivered); });
+      });
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult ShieldedContext::subscribeTopologyEvents(
+    std::function<void(const ctrl::TopologyEvent&)> handler) {
+  ctrl::ApiResult checked = checkSubscribe(
+      runtime_, app_, perm::ApiCallType::kSubscribeTopologyEvent);
+  if (!checked.ok) return checked;
+  ShieldRuntime& runtime = runtime_;
+  of::AppId app = app_;
+  auto container = container_;
+  runtime_.controller().addTopologySubscriber(
+      app_, [&runtime, app, container,
+             handler = std::move(handler)](const ctrl::Event& event) {
+        const auto* typed = std::get_if<ctrl::TopologyEvent>(&event);
+        if (typed == nullptr) return;
+        auto compiled = runtime.engine().compiled(app);
+        if (compiled) {
+          perm::ApiCall eventCall = perm::ApiCall::subscribe(
+              app, perm::ApiCallType::kSubscribeTopologyEvent);
+          eventCall.topoSwitches.push_back(typed->dpidA);
+          if (typed->change == ctrl::TopologyChange::kLinkUp ||
+              typed->change == ctrl::TopologyChange::kLinkDown) {
+            eventCall.topoSwitches.push_back(typed->dpidB);
+            eventCall.topoLinks.emplace_back(typed->dpidA, typed->dpidB);
+          }
+          if (!compiled->check(eventCall).allowed) return;
+        }
+        ctrl::TopologyEvent delivered = *typed;
+        container->post([handler, delivered] { handler(delivered); });
+      });
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult ShieldedContext::subscribeErrorEvents(
+    std::function<void(const ctrl::ErrorEvent&)> handler) {
+  ctrl::ApiResult checked = checkSubscribe(
+      runtime_, app_, perm::ApiCallType::kSubscribeErrorEvent);
+  if (!checked.ok) return checked;
+  auto container = container_;
+  runtime_.controller().addErrorSubscriber(
+      app_, [container, handler = std::move(handler)](const ctrl::Event& event) {
+        const auto* typed = std::get_if<ctrl::ErrorEvent>(&event);
+        if (typed == nullptr) return;
+        ctrl::ErrorEvent delivered = *typed;
+        container->post([handler, delivered] { handler(delivered); });
+      });
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult ShieldedContext::subscribeData(
+    const std::string& topic,
+    std::function<void(const ctrl::DataUpdateEvent&)> handler) {
+  // Data-model event notification is mediated under topology_event (the
+  // published data is network-view data; see publishData).
+  ctrl::ApiResult checked = checkSubscribe(
+      runtime_, app_, perm::ApiCallType::kSubscribeTopologyEvent);
+  if (!checked.ok) return checked;
+  auto container = container_;
+  runtime_.controller().addDataSubscriber(
+      app_, topic,
+      [container, handler = std::move(handler)](const ctrl::Event& event) {
+        const auto* typed = std::get_if<ctrl::DataUpdateEvent>(&event);
+        if (typed == nullptr) return;
+        ctrl::DataUpdateEvent delivered = *typed;
+        container->post([handler, delivered] { handler(delivered); });
+      });
+  return ctrl::ApiResult::success();
+}
+
+// --- ShieldRuntime -------------------------------------------------------------
+
+ShieldRuntime::ShieldRuntime(ctrl::Controller& controller,
+                             ShieldOptions options)
+    : controller_(controller),
+      ksd_(options.ksdThreads),
+      monitor_(host_, &engine_, &controller.audit()) {
+  ksd_.start();
+}
+
+ShieldRuntime::~ShieldRuntime() { shutdown(); }
+
+of::AppId ShieldRuntime::loadApp(std::shared_ptr<ctrl::App> app,
+                                 const perm::PermissionSet& granted) {
+  of::AppId id;
+  std::shared_ptr<ThreadContainer> container;
+  std::shared_ptr<ShieldedContext> context;
+  {
+    std::lock_guard lock(mutex_);
+    id = nextAppId_++;
+    engine_.install(id, granted);
+    container = std::make_shared<ThreadContainer>(id, app->name());
+    container->start();
+    context = std::make_shared<ShieldedContext>(*this, id, container);
+    apps_[id] = LoadedApp{app, container, context};
+  }
+  // App initiation code runs inside the sandbox (paper §VIII-B).
+  container->postAndWait([app, context] { app->init(*context); });
+  return id;
+}
+
+std::string ShieldRuntime::LoadReport::toString() const {
+  std::ostringstream out;
+  out << "app " << appId << ": ";
+  if (fullyGranted()) {
+    out << "all requested permissions granted";
+    return out.str();
+  }
+  if (!deniedTokens.empty()) {
+    out << "statically denied:";
+    for (perm::Token token : deniedTokens) out << " " << perm::toString(token);
+    out << "; ";
+  }
+  if (!narrowedTokens.empty()) {
+    out << "narrowed (runtime filters):";
+    for (perm::Token token : narrowedTokens) {
+      out << " " << perm::toString(token);
+    }
+  }
+  return out.str();
+}
+
+ShieldRuntime::LoadReport ShieldRuntime::loadAppChecked(
+    std::shared_ptr<ctrl::App> app, const perm::PermissionSet& granted) {
+  LoadReport report;
+  // The loading-time pass mirrors OSGi's link-time security: requested API
+  // families with no grant at all need no runtime mediation hooks; granted-
+  // but-narrowed ones are flagged for the administrator.
+  perm::PermissionSet requested =
+      lang::parseManifest(app->requestedManifest()).permissions;
+  for (const perm::Permission& want : requested.permissions()) {
+    auto grant = granted.filterFor(want.token);
+    if (!grant) {
+      report.deniedTokens.push_back(want.token);
+    } else if (!perm::filterIncludes(*grant, want.filter)) {
+      report.narrowedTokens.push_back(want.token);
+    }
+  }
+  report.appId = loadApp(std::move(app), granted);
+  return report;
+}
+
+void ShieldRuntime::unloadApp(of::AppId app) {
+  LoadedApp loaded;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = apps_.find(app);
+    if (it == apps_.end()) return;
+    loaded = std::move(it->second);
+    apps_.erase(it);
+  }
+  controller_.removeSubscribers(app);
+  loaded.container->stop();
+  engine_.uninstall(app);
+}
+
+void ShieldRuntime::shutdown() {
+  std::map<of::AppId, LoadedApp> apps;
+  {
+    std::lock_guard lock(mutex_);
+    apps.swap(apps_);
+  }
+  for (auto& [id, loaded] : apps) {
+    controller_.removeSubscribers(id);
+    loaded.container->stop();
+    engine_.uninstall(id);
+  }
+  ksd_.stop();
+}
+
+std::shared_ptr<ThreadContainer> ShieldRuntime::container(
+    of::AppId app) const {
+  std::lock_guard lock(mutex_);
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : it->second.container;
+}
+
+std::optional<net::VirtualTopology> ShieldRuntime::virtualTopologyFor(
+    of::AppId app) const {
+  auto compiled = engine_.compiled(app);
+  if (!compiled || !compiled->virtualTopology()) return std::nullopt;
+  net::Topology physical = controller_.kernelReadTopology();
+  const std::set<of::DatapathId>& members = *compiled->virtualTopology();
+  if (members.empty()) {
+    return net::VirtualTopology::singleBigSwitch(physical, kVirtualDpid);
+  }
+  return net::VirtualTopology::bigSwitch(physical, members, kVirtualDpid);
+}
+
+// --- BaselineRuntime -------------------------------------------------------------
+
+of::AppId BaselineRuntime::loadApp(std::shared_ptr<ctrl::App> app) {
+  of::AppId id = nextAppId_++;
+  auto context =
+      std::make_unique<ctrl::DirectContext>(controller_, id, monitor_);
+  // Monolithic architecture: init runs inline, handlers run on the
+  // controller's dispatch thread — no privilege boundary at all. The scoped
+  // identity only attributes host records for observation.
+  {
+    ScopedIdentity identity(id);
+    app->init(*context);
+  }
+  apps_.push_back(LoadedApp{std::move(app), std::move(context)});
+  return id;
+}
+
+}  // namespace sdnshield::iso

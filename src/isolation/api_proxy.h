@@ -1,0 +1,219 @@
+// The SDNShield deployment glue (paper Figure 4):
+//  * ShieldedApi — the auto-generated-wrapper analogue: every northbound
+//    call marshals through the channel to a Kernel Service Deputy, which
+//    permission-checks (with ownership / provenance / rule-count context
+//    filled in), applies abstract-topology translation, and executes the
+//    kernel operation on the app's behalf;
+//  * ShieldedContext — the app-side AppContext whose event subscriptions are
+//    themselves checked and whose handlers run on the app's thread container
+//    (with payload stripping and per-event filtering);
+//  * ShieldRuntime — app lifecycle: installs compiled permissions, starts
+//    containers, runs init in the sandbox;
+//  * BaselineRuntime — the original monolithic deployment for comparison.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "controller/controller.h"
+#include "controller/services.h"
+#include "core/engine/permission_engine.h"
+#include "isolation/host_system.h"
+#include "isolation/ksd.h"
+#include "isolation/reference_monitor.h"
+#include "isolation/thread_container.h"
+#include "net/virtual_topology.h"
+
+namespace sdnshield::iso {
+
+/// Datapath id apps use to address the virtual big switch.
+inline constexpr of::DatapathId kVirtualDpid = 0xbf00000000000001ULL;
+
+/// Bounded memory of packets recently delivered to an app as packet-ins;
+/// backs the FROM_PKT_IN provenance check on packet-outs.
+class RecentPacketIns {
+ public:
+  explicit RecentPacketIns(std::size_t capacity = 1024)
+      : capacity_(capacity) {}
+
+  void remember(const of::Packet& packet);
+  bool seen(const of::Packet& packet) const;
+
+ private:
+  static std::size_t hashOf(const of::Packet& packet);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<std::size_t> order_;
+  std::unordered_multiset<std::size_t> hashes_;
+};
+
+class ShieldRuntime;
+
+class ShieldedApi final : public ctrl::NorthboundApi {
+ public:
+  ShieldedApi(ShieldRuntime& runtime, of::AppId app,
+              std::shared_ptr<RecentPacketIns> recent)
+      : runtime_(runtime), app_(app), recent_(std::move(recent)) {}
+
+  ctrl::ApiResult insertFlow(of::DatapathId dpid,
+                             const of::FlowMod& mod) override;
+  ctrl::ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
+                             bool strict, std::uint16_t priority) override;
+  ctrl::ApiResult commitFlowTransaction(
+      const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) override;
+  ctrl::ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
+      of::DatapathId dpid) override;
+  ctrl::ApiResponse<net::Topology> readTopology() override;
+  ctrl::ApiResponse<of::StatsReply> readStatistics(
+      const of::StatsRequest& request) override;
+  ctrl::ApiResult sendPacketOut(const of::PacketOut& packetOut) override;
+  ctrl::ApiResult publishData(const std::string& topic,
+                              const std::string& payload) override;
+
+ private:
+  friend class ShieldRuntime;
+
+  /// Deputy-side bodies (run with kernel privilege on a KSD thread).
+  ctrl::ApiResult doInsertFlow(of::DatapathId dpid, const of::FlowMod& mod);
+
+  ShieldRuntime& runtime_;
+  of::AppId app_;
+  std::shared_ptr<RecentPacketIns> recent_;
+};
+
+class ShieldedContext final : public ctrl::AppContext {
+ public:
+  ShieldedContext(ShieldRuntime& runtime, of::AppId app,
+                  std::shared_ptr<ThreadContainer> container);
+
+  of::AppId appId() const override { return app_; }
+  ctrl::NorthboundApi& api() override { return api_; }
+  ctrl::HostServices& host() override;
+
+  ctrl::ApiResult subscribePacketIn(
+      std::function<void(const ctrl::PacketInEvent&)> handler) override;
+  ctrl::ApiResult subscribePacketInInterceptor(
+      std::function<bool(const ctrl::PacketInEvent&)> handler) override;
+  ctrl::ApiResult subscribeFlowEvents(
+      std::function<void(const ctrl::FlowEvent&)> handler) override;
+  ctrl::ApiResult subscribeTopologyEvents(
+      std::function<void(const ctrl::TopologyEvent&)> handler) override;
+  ctrl::ApiResult subscribeErrorEvents(
+      std::function<void(const ctrl::ErrorEvent&)> handler) override;
+  ctrl::ApiResult subscribeData(
+      const std::string& topic,
+      std::function<void(const ctrl::DataUpdateEvent&)> handler) override;
+
+ private:
+  ShieldRuntime& runtime_;
+  of::AppId app_;
+  std::shared_ptr<ThreadContainer> container_;
+  std::shared_ptr<RecentPacketIns> recent_;
+  ShieldedApi api_;
+};
+
+struct ShieldOptions {
+  std::size_t ksdThreads = 2;
+};
+
+class ShieldRuntime {
+ public:
+  explicit ShieldRuntime(ctrl::Controller& controller,
+                         ShieldOptions options = {});
+  ~ShieldRuntime();
+
+  ShieldRuntime(const ShieldRuntime&) = delete;
+  ShieldRuntime& operator=(const ShieldRuntime&) = delete;
+
+  /// Loads an app under the given (reconciled) permissions: installs the
+  /// compiled permissions, starts the thread container and runs init inside
+  /// the sandbox. Returns the assigned app id.
+  of::AppId loadApp(std::shared_ptr<ctrl::App> app,
+                    const perm::PermissionSet& granted);
+
+  /// Loading-time access control (§VIII-B, the OSGi-security analogue):
+  /// compares the app's *requested* manifest against the granted
+  /// permissions before wiring anything up, so wholly-ungranted API
+  /// families are known to be statically unavailable (no runtime checking
+  /// ever needed for them).
+  struct LoadReport {
+    of::AppId appId = 0;
+    /// Tokens the manifest requested that the grant lacks entirely.
+    std::vector<perm::Token> deniedTokens;
+    /// Tokens granted but narrower than requested (runtime filters apply).
+    std::vector<perm::Token> narrowedTokens;
+    bool fullyGranted() const {
+      return deniedTokens.empty() && narrowedTokens.empty();
+    }
+    std::string toString() const;
+  };
+
+  /// Parses the manifest shipped inside the app, performs the loading-time
+  /// check against @p granted, then loads the app (denied tokens stay
+  /// denied — the report is for the administrator's eyes).
+  LoadReport loadAppChecked(std::shared_ptr<ctrl::App> app,
+                            const perm::PermissionSet& granted);
+  void unloadApp(of::AppId app);
+  void shutdown();
+
+  ctrl::Controller& controller() { return controller_; }
+  engine::PermissionEngine& engine() { return engine_; }
+  KsdPool& ksd() { return ksd_; }
+  HostSystem& hostSystem() { return host_; }
+  ReferenceMonitor& referenceMonitor() { return monitor_; }
+  std::shared_ptr<ThreadContainer> container(of::AppId app) const;
+
+  /// Builds the virtual big switch for an app whose visible_topology grant
+  /// carries a VIRTUAL filter (nullopt otherwise).
+  std::optional<net::VirtualTopology> virtualTopologyFor(of::AppId app) const;
+
+ private:
+  struct LoadedApp {
+    std::shared_ptr<ctrl::App> app;
+    std::shared_ptr<ThreadContainer> container;
+    std::shared_ptr<ShieldedContext> context;
+  };
+
+  ctrl::Controller& controller_;
+  engine::PermissionEngine engine_;
+  KsdPool ksd_;
+  HostSystem host_;
+  ReferenceMonitor monitor_;
+  mutable std::mutex mutex_;
+  std::map<of::AppId, LoadedApp> apps_;
+  of::AppId nextAppId_ = 1;
+};
+
+/// The original monolithic deployment: direct API, inline event dispatch,
+/// unmediated host access — the baseline of Figures 6-8.
+class BaselineRuntime {
+ public:
+  explicit BaselineRuntime(ctrl::Controller& controller)
+      : controller_(controller), monitor_(host_, nullptr) {}
+
+  of::AppId loadApp(std::shared_ptr<ctrl::App> app);
+
+  ctrl::Controller& controller() { return controller_; }
+  HostSystem& hostSystem() { return host_; }
+
+ private:
+  struct LoadedApp {
+    std::shared_ptr<ctrl::App> app;
+    std::unique_ptr<ctrl::DirectContext> context;
+  };
+
+  ctrl::Controller& controller_;
+  HostSystem host_;
+  ReferenceMonitor monitor_;
+  std::vector<LoadedApp> apps_;
+  of::AppId nextAppId_ = 1;
+};
+
+}  // namespace sdnshield::iso

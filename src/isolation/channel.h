@@ -1,0 +1,93 @@
+// Bounded MPMC queue: the inter-thread communication utility (paper
+// §VIII-B) that carries API requests from app threads to the Kernel Service
+// Deputy pool and event deliveries to app threads. Blocking, closeable,
+// condition-variable based.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sdnshield::iso {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks while full. Returns false when the queue is (or becomes) closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    notFull_.wait(lock,
+                  [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when full or closed.
+  bool tryPush(T item) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Empty optional when closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // Closed and drained.
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> tryPop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Closing wakes all waiters; pending items can still be drained by pop().
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace sdnshield::iso

@@ -1,0 +1,55 @@
+#include "isolation/host_system.h"
+
+#include <algorithm>
+
+namespace sdnshield::iso {
+
+void HostSystem::deliverNet(NetMessage message) {
+  std::lock_guard lock(mutex_);
+  net_.push_back(std::move(message));
+}
+
+void HostSystem::deliverFile(FileRecord record) {
+  std::lock_guard lock(mutex_);
+  files_.push_back(std::move(record));
+}
+
+void HostSystem::deliverExec(ExecRecord record) {
+  std::lock_guard lock(mutex_);
+  execs_.push_back(std::move(record));
+}
+
+std::vector<HostSystem::NetMessage> HostSystem::netMessages() const {
+  std::lock_guard lock(mutex_);
+  return net_;
+}
+
+std::vector<HostSystem::NetMessage> HostSystem::netMessagesTo(
+    of::Ipv4Address remoteIp) const {
+  std::lock_guard lock(mutex_);
+  std::vector<NetMessage> out;
+  std::copy_if(net_.begin(), net_.end(), std::back_inserter(out),
+               [&](const NetMessage& message) {
+                 return message.remoteIp == remoteIp;
+               });
+  return out;
+}
+
+std::vector<HostSystem::FileRecord> HostSystem::fileRecords() const {
+  std::lock_guard lock(mutex_);
+  return files_;
+}
+
+std::vector<HostSystem::ExecRecord> HostSystem::execRecords() const {
+  std::lock_guard lock(mutex_);
+  return execs_;
+}
+
+void HostSystem::clear() {
+  std::lock_guard lock(mutex_);
+  net_.clear();
+  files_.clear();
+  execs_.clear();
+}
+
+}  // namespace sdnshield::iso

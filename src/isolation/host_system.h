@@ -1,0 +1,55 @@
+// Simulated host operating system. The paper's host resources (network
+// outside the control channel, file system, process runtime) are modelled as
+// recording sinks so tests and the effectiveness benchmark can *observe*
+// whether an attack's side effects actually happened (e.g. did the leaked
+// topology reach the attacker's collector?).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "of/flow_mod.h"
+#include "of/types.h"
+
+namespace sdnshield::iso {
+
+class HostSystem {
+ public:
+  struct NetMessage {
+    of::AppId app = 0;
+    of::Ipv4Address remoteIp;
+    std::uint16_t remotePort = 0;
+    std::string data;
+  };
+  struct FileRecord {
+    of::AppId app = 0;
+    std::string path;
+    std::string data;
+  };
+  struct ExecRecord {
+    of::AppId app = 0;
+    std::string command;
+  };
+
+  // Called by the reference monitor after a permitted operation.
+  void deliverNet(NetMessage message);
+  void deliverFile(FileRecord record);
+  void deliverExec(ExecRecord record);
+
+  std::vector<NetMessage> netMessages() const;
+  /// Messages that reached a specific remote endpoint (attack observation).
+  std::vector<NetMessage> netMessagesTo(of::Ipv4Address remoteIp) const;
+  std::vector<FileRecord> fileRecords() const;
+  std::vector<ExecRecord> execRecords() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<NetMessage> net_;
+  std::vector<FileRecord> files_;
+  std::vector<ExecRecord> execs_;
+};
+
+}  // namespace sdnshield::iso

@@ -1,0 +1,33 @@
+#include "isolation/ksd.h"
+
+#include "isolation/thread_container.h"
+
+namespace sdnshield::iso {
+
+void KsdPool::start() {
+  if (started_) return;
+  started_ = true;
+  threads_.reserve(threadCount_);
+  for (std::size_t i = 0; i < threadCount_; ++i) {
+    threads_.emplace_back([this] { run(); });
+  }
+}
+
+void KsdPool::stop() {
+  queue_.close();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+void KsdPool::run() {
+  // Deputies are trusted kernel threads: full privilege.
+  ScopedIdentity identity(of::kKernelAppId);
+  while (auto work = queue_.pop()) {
+    (*work)();
+    processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sdnshield::iso

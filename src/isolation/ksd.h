@@ -1,0 +1,66 @@
+// Kernel Service Deputy pool (paper §VI-A): privileged threads that receive
+// app API requests over the inter-thread channel, permission-check them and
+// execute them on the app's behalf. Multiple deputies run in parallel —
+// "the choke points do not mean serialized points".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "isolation/channel.h"
+
+namespace sdnshield::iso {
+
+class KsdPool {
+ public:
+  explicit KsdPool(std::size_t threads = 2) : threadCount_(threads) {}
+  ~KsdPool() { stop(); }
+
+  KsdPool(const KsdPool&) = delete;
+  KsdPool& operator=(const KsdPool&) = delete;
+
+  void start();
+  void stop();
+
+  /// Enqueues work for a deputy. Returns false after stop().
+  bool submit(std::function<void()> work) {
+    return queue_.push(std::move(work));
+  }
+
+  /// Enqueues work and blocks the calling (app) thread for the result —
+  /// the synchronous API-call shape apps see through the wrappers.
+  template <typename R>
+  R call(std::function<R()> work) {
+    std::promise<R> promise;
+    std::future<R> future = promise.get_future();
+    bool posted = submit([work = std::move(work), &promise] {
+      try {
+        promise.set_value(work());
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    });
+    if (!posted) throw std::runtime_error("KSD pool is stopped");
+    return future.get();
+  }
+
+  std::size_t threadCount() const { return threadCount_; }
+  std::uint64_t processedCount() const { return processed_.load(); }
+  std::size_t queueDepth() const { return queue_.size(); }
+
+ private:
+  void run();
+
+  std::size_t threadCount_;
+  BoundedMpmcQueue<std::function<void()>> queue_{65536};
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> processed_{0};
+  bool started_ = false;
+};
+
+}  // namespace sdnshield::iso

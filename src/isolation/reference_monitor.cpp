@@ -1,0 +1,40 @@
+#include "isolation/reference_monitor.h"
+
+#include "isolation/thread_container.h"
+
+namespace sdnshield::iso {
+
+bool ReferenceMonitor::mediate(const perm::ApiCall& call) {
+  if (engine_ == nullptr) return true;  // Baseline: unmediated.
+  engine::Decision decision = engine_->check(call);
+  if (audit_ != nullptr) audit_->record(call, decision.allowed, decision.reason);
+  return decision.allowed;
+}
+
+bool ReferenceMonitor::netSend(of::Ipv4Address remoteIp,
+                               std::uint16_t remotePort,
+                               const std::string& data) {
+  of::AppId app = currentAppId();
+  if (!mediate(perm::ApiCall::hostNetwork(app, remoteIp, remotePort))) {
+    return false;
+  }
+  host_.deliverNet(HostSystem::NetMessage{app, remoteIp, remotePort, data});
+  return true;
+}
+
+bool ReferenceMonitor::fileWrite(const std::string& path,
+                                 const std::string& data) {
+  of::AppId app = currentAppId();
+  if (!mediate(perm::ApiCall::fileSystem(app, path))) return false;
+  host_.deliverFile(HostSystem::FileRecord{app, path, data});
+  return true;
+}
+
+bool ReferenceMonitor::exec(const std::string& command) {
+  of::AppId app = currentAppId();
+  if (!mediate(perm::ApiCall::processRuntime(app, command))) return false;
+  host_.deliverExec(HostSystem::ExecRecord{app, command});
+  return true;
+}
+
+}  // namespace sdnshield::iso

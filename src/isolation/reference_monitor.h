@@ -1,0 +1,37 @@
+// Reference monitor for host system calls — the C++ analogue of the
+// customised Java SecurityManager (paper §VI-A): every host operation an app
+// performs is attributed to the calling thread's ambient identity and
+// checked against the app's host_network / file_system / process_runtime
+// permissions before it reaches the (simulated) host OS.
+#pragma once
+
+#include "controller/api.h"
+#include "core/engine/audit.h"
+#include "core/engine/permission_engine.h"
+#include "isolation/host_system.h"
+
+namespace sdnshield::iso {
+
+class ReferenceMonitor final : public ctrl::HostServices {
+ public:
+  /// @p engine == nullptr yields an unmediated pass-through (the baseline
+  /// monolithic deployment, where apps get the controller's full host
+  /// privileges).
+  ReferenceMonitor(HostSystem& host, const engine::PermissionEngine* engine,
+                   engine::AuditLog* audit = nullptr)
+      : host_(host), engine_(engine), audit_(audit) {}
+
+  bool netSend(of::Ipv4Address remoteIp, std::uint16_t remotePort,
+               const std::string& data) override;
+  bool fileWrite(const std::string& path, const std::string& data) override;
+  bool exec(const std::string& command) override;
+
+ private:
+  bool mediate(const perm::ApiCall& call);
+
+  HostSystem& host_;
+  const engine::PermissionEngine* engine_;
+  engine::AuditLog* audit_;
+};
+
+}  // namespace sdnshield::iso

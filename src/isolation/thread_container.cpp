@@ -1,0 +1,66 @@
+#include "isolation/thread_container.h"
+
+#include <future>
+
+namespace sdnshield::iso {
+
+namespace {
+thread_local of::AppId tlsAppId = of::kKernelAppId;
+}  // namespace
+
+of::AppId currentAppId() { return tlsAppId; }
+
+ScopedIdentity::ScopedIdentity(of::AppId app) : previous_(tlsAppId) {
+  tlsAppId = app;
+}
+
+ScopedIdentity::~ScopedIdentity() { tlsAppId = previous_; }
+
+std::thread spawnInheriting(std::function<void()> body) {
+  of::AppId inherited = tlsAppId;
+  return std::thread([inherited, body = std::move(body)] {
+    ScopedIdentity identity(inherited);
+    body();
+  });
+}
+
+ThreadContainer::ThreadContainer(of::AppId app, std::string name)
+    : app_(app), name_(std::move(name)) {}
+
+ThreadContainer::~ThreadContainer() { stop(); }
+
+void ThreadContainer::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ThreadContainer::stop() {
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool ThreadContainer::post(std::function<void()> task) {
+  return queue_.push(std::move(task));
+}
+
+void ThreadContainer::postAndWait(std::function<void()> task) {
+  std::promise<void> done;
+  std::future<void> future = done.get_future();
+  bool posted = post([task = std::move(task), &done] {
+    task();
+    done.set_value();
+  });
+  if (!posted) return;  // Container stopped; nothing will run.
+  future.wait();
+}
+
+void ThreadContainer::run() {
+  ScopedIdentity identity(app_);
+  while (auto task = queue_.pop()) {
+    (*task)();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sdnshield::iso

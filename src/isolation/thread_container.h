@@ -1,0 +1,78 @@
+// Thread containers: the unit of sandboxing (paper §VI-A). App code runs on
+// an unprivileged thread whose ambient identity is the app id; the trusted
+// kernel runs on privileged threads (identity kKernelAppId). Identity is
+// thread-local and inherited by threads an app spawns, mirroring the Java
+// design where children inherit the parent's protection domain.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "isolation/channel.h"
+#include "of/flow_mod.h"
+
+namespace sdnshield::iso {
+
+/// Ambient per-thread principal. Kernel threads (and the main thread) carry
+/// kKernelAppId.
+of::AppId currentAppId();
+
+/// RAII: runs the enclosing scope under @p app's identity. Used by thread
+/// containers; tests may use it to simulate call contexts.
+class ScopedIdentity {
+ public:
+  explicit ScopedIdentity(of::AppId app);
+  ~ScopedIdentity();
+
+  ScopedIdentity(const ScopedIdentity&) = delete;
+  ScopedIdentity& operator=(const ScopedIdentity&) = delete;
+
+ private:
+  of::AppId previous_;
+};
+
+/// Spawns a thread inheriting the *calling* thread's identity — the rule
+/// that stops an app laundering privileges through a fresh thread.
+std::thread spawnInheriting(std::function<void()> body);
+
+/// A single app's sandboxed execution context: one worker thread with a task
+/// queue. Event handlers and init code are posted here; everything posted
+/// runs under the app's identity.
+class ThreadContainer {
+ public:
+  ThreadContainer(of::AppId app, std::string name);
+  ~ThreadContainer();
+
+  ThreadContainer(const ThreadContainer&) = delete;
+  ThreadContainer& operator=(const ThreadContainer&) = delete;
+
+  void start();
+  /// Closes the queue, drains remaining tasks and joins.
+  void stop();
+
+  /// Enqueues a task for the app thread. Returns false after stop().
+  bool post(std::function<void()> task);
+
+  /// Posts and blocks until the task has run (used for app init).
+  void postAndWait(std::function<void()> task);
+
+  of::AppId appId() const { return app_; }
+  const std::string& name() const { return name_; }
+  std::size_t pendingTasks() const { return queue_.size(); }
+  std::uint64_t executedTasks() const { return executed_.load(); }
+
+ private:
+  void run();
+
+  of::AppId app_;
+  std::string name_;
+  BoundedMpmcQueue<std::function<void()>> queue_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> executed_{0};
+  bool started_ = false;
+};
+
+}  // namespace sdnshield::iso

@@ -1,0 +1,191 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdnshield::net {
+
+std::string Link::toString() const {
+  std::ostringstream out;
+  out << "s" << a.dpid << ":" << a.port << "<->s" << b.dpid << ":" << b.port;
+  return out.str();
+}
+
+void Topology::addSwitch(DatapathId dpid) { adjacency_.try_emplace(dpid); }
+
+void Topology::removeSwitch(DatapathId dpid) {
+  adjacency_.erase(dpid);
+  for (auto& [_, portMap] : adjacency_) {
+    std::erase_if(portMap,
+                  [&](const auto& kv) { return kv.second.dpid == dpid; });
+  }
+  std::erase_if(hostsByMac_,
+                [&](const auto& kv) { return kv.second.dpid == dpid; });
+}
+
+void Topology::addLink(DatapathId a, PortNo aPort, DatapathId b, PortNo bPort) {
+  auto itA = adjacency_.find(a);
+  auto itB = adjacency_.find(b);
+  if (itA == adjacency_.end() || itB == adjacency_.end()) {
+    throw std::invalid_argument("addLink: unknown switch");
+  }
+  itA->second[aPort] = LinkEnd{b, bPort};
+  itB->second[bPort] = LinkEnd{a, aPort};
+}
+
+void Topology::removeLink(DatapathId a, DatapathId b) {
+  auto prune = [&](DatapathId self, DatapathId other) {
+    auto it = adjacency_.find(self);
+    if (it == adjacency_.end()) return;
+    std::erase_if(it->second,
+                  [&](const auto& kv) { return kv.second.dpid == other; });
+  };
+  prune(a, b);
+  prune(b, a);
+}
+
+void Topology::attachHost(const Host& host) {
+  if (!hasSwitch(host.dpid)) {
+    throw std::invalid_argument("attachHost: unknown switch");
+  }
+  hostsByMac_[host.mac] = host;
+}
+
+void Topology::detachHost(MacAddress mac) { hostsByMac_.erase(mac); }
+
+bool Topology::hasSwitch(DatapathId dpid) const {
+  return adjacency_.contains(dpid);
+}
+
+bool Topology::hasLink(DatapathId a, DatapathId b) const {
+  auto it = adjacency_.find(a);
+  if (it == adjacency_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const auto& kv) { return kv.second.dpid == b; });
+}
+
+std::vector<DatapathId> Topology::switches() const {
+  std::vector<DatapathId> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [dpid, _] : adjacency_) out.push_back(dpid);
+  return out;
+}
+
+std::vector<Link> Topology::links() const {
+  std::vector<Link> out;
+  for (const auto& [dpid, portMap] : adjacency_) {
+    for (const auto& [port, remote] : portMap) {
+      if (dpid < remote.dpid ||
+          (dpid == remote.dpid && port < remote.port)) {
+        out.push_back(Link{LinkEnd{dpid, port}, remote});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Host> Topology::hosts() const {
+  std::vector<Host> out;
+  out.reserve(hostsByMac_.size());
+  for (const auto& [_, host] : hostsByMac_) out.push_back(host);
+  return out;
+}
+
+std::vector<Topology::Neighbor> Topology::neighbors(DatapathId dpid) const {
+  std::vector<Neighbor> out;
+  auto it = adjacency_.find(dpid);
+  if (it == adjacency_.end()) return out;
+  for (const auto& [port, remote] : it->second) {
+    out.push_back(Neighbor{remote.dpid, port, remote.port});
+  }
+  return out;
+}
+
+std::optional<Host> Topology::hostByMac(MacAddress mac) const {
+  auto it = hostsByMac_.find(mac);
+  if (it == hostsByMac_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Host> Topology::hostByIp(Ipv4Address ip) const {
+  for (const auto& [_, host] : hostsByMac_) {
+    if (host.ip == ip) return host;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<PathHop>> Topology::shortestPath(
+    DatapathId from, DatapathId to) const {
+  if (!hasSwitch(from) || !hasSwitch(to)) return std::nullopt;
+  if (from == to) {
+    return std::vector<PathHop>{PathHop{from, of::ports::kNone,
+                                        of::ports::kNone}};
+  }
+  // BFS keeping the (localPort, remotePort) used to reach each switch.
+  struct Visit {
+    DatapathId prev;
+    PortNo prevOutPort;
+    PortNo inPort;
+  };
+  std::map<DatapathId, Visit> visited;
+  std::deque<DatapathId> queue{from};
+  visited[from] = Visit{from, of::ports::kNone, of::ports::kNone};
+  while (!queue.empty()) {
+    DatapathId cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    for (const Neighbor& nb : neighbors(cur)) {
+      if (visited.contains(nb.dpid)) continue;
+      visited[nb.dpid] = Visit{cur, nb.localPort, nb.remotePort};
+      queue.push_back(nb.dpid);
+    }
+  }
+  if (!visited.contains(to)) return std::nullopt;
+  // Reconstruct backwards.
+  std::vector<PathHop> rev;
+  DatapathId cur = to;
+  PortNo exitPort = of::ports::kNone;
+  while (true) {
+    const Visit& v = visited.at(cur);
+    rev.push_back(PathHop{cur, v.inPort, exitPort});
+    if (cur == from) break;
+    exitPort = v.prevOutPort;
+    cur = v.prev;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::optional<PortNo> Topology::nextHopPort(DatapathId from,
+                                            DatapathId to) const {
+  auto path = shortestPath(from, to);
+  if (!path || path->size() < 2) return std::nullopt;
+  return (*path)[0].outPort;
+}
+
+Topology Topology::restrictTo(const std::set<DatapathId>& keep) const {
+  Topology out;
+  for (const auto& [dpid, _] : adjacency_) {
+    if (keep.contains(dpid)) out.addSwitch(dpid);
+  }
+  for (const Link& link : links()) {
+    if (keep.contains(link.a.dpid) && keep.contains(link.b.dpid)) {
+      out.addLink(link.a.dpid, link.a.port, link.b.dpid, link.b.port);
+    }
+  }
+  for (const auto& [_, host] : hostsByMac_) {
+    if (keep.contains(host.dpid)) out.attachHost(host);
+  }
+  return out;
+}
+
+std::string Topology::toString() const {
+  std::ostringstream out;
+  out << "switches=" << adjacency_.size() << " links=" << links().size()
+      << " hosts=" << hostsByMac_.size();
+  return out.str();
+}
+
+}  // namespace sdnshield::net

@@ -1,0 +1,110 @@
+// Network topology model: switches, inter-switch links, host attachment
+// points, and shortest-path computation. This is the controller's view of
+// the network and the substrate for the topology permission filters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "of/types.h"
+
+namespace sdnshield::net {
+
+using of::DatapathId;
+using of::Ipv4Address;
+using of::MacAddress;
+using of::PortNo;
+
+/// One end of an inter-switch link.
+struct LinkEnd {
+  DatapathId dpid = 0;
+  PortNo port = 0;
+  friend auto operator<=>(const LinkEnd&, const LinkEnd&) = default;
+};
+
+/// A bidirectional inter-switch link. Canonical form keeps a <= b by dpid.
+struct Link {
+  LinkEnd a;
+  LinkEnd b;
+  friend auto operator<=>(const Link&, const Link&) = default;
+  std::string toString() const;
+};
+
+/// A host attached at a switch port.
+struct Host {
+  MacAddress mac;
+  Ipv4Address ip;
+  DatapathId dpid = 0;
+  PortNo port = 0;
+  friend bool operator==(const Host&, const Host&) = default;
+};
+
+/// One hop of a switch-level path: enter at inPort, leave at outPort.
+/// The first hop's inPort and the last hop's outPort are host-facing and
+/// filled by the caller's context (ports::kNone when unknown).
+struct PathHop {
+  DatapathId dpid = 0;
+  PortNo inPort = of::ports::kNone;
+  PortNo outPort = of::ports::kNone;
+  friend bool operator==(const PathHop&, const PathHop&) = default;
+};
+
+class Topology {
+ public:
+  // --- mutation -----------------------------------------------------------
+  void addSwitch(DatapathId dpid);
+  void removeSwitch(DatapathId dpid);
+  /// Adds a bidirectional link. Both switches must already exist.
+  void addLink(DatapathId a, PortNo aPort, DatapathId b, PortNo bPort);
+  void removeLink(DatapathId a, DatapathId b);
+  void attachHost(const Host& host);
+  void detachHost(MacAddress mac);
+
+  // --- queries ------------------------------------------------------------
+  bool hasSwitch(DatapathId dpid) const;
+  bool hasLink(DatapathId a, DatapathId b) const;
+  std::vector<DatapathId> switches() const;
+  std::vector<Link> links() const;
+  std::vector<Host> hosts() const;
+  std::size_t switchCount() const { return adjacency_.size(); }
+
+  /// (neighbor dpid, local out port, neighbor in port) triples.
+  struct Neighbor {
+    DatapathId dpid = 0;
+    PortNo localPort = 0;
+    PortNo remotePort = 0;
+  };
+  std::vector<Neighbor> neighbors(DatapathId dpid) const;
+
+  std::optional<Host> hostByMac(MacAddress mac) const;
+  std::optional<Host> hostByIp(Ipv4Address ip) const;
+
+  /// BFS shortest path between two switches, inclusive of endpoints, with
+  /// inter-switch ports filled in. Empty optional when disconnected.
+  std::optional<std::vector<PathHop>> shortestPath(DatapathId from,
+                                                   DatapathId to) const;
+
+  /// Next-hop output port at @p from toward @p to (for per-switch
+  /// destination-based rule installation). Empty when unreachable.
+  std::optional<PortNo> nextHopPort(DatapathId from, DatapathId to) const;
+
+  /// Restriction to a subset of switches; links with either end outside the
+  /// subset are dropped, hosts on dropped switches are dropped.
+  Topology restrictTo(const std::set<DatapathId>& keep) const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+
+  std::string toString() const;
+
+ private:
+  // adjacency_[dpid] maps local port -> (remote dpid, remote port).
+  std::map<DatapathId, std::map<PortNo, LinkEnd>> adjacency_;
+  std::map<MacAddress, Host> hostsByMac_;
+};
+
+}  // namespace sdnshield::net

@@ -1,0 +1,228 @@
+#include "net/virtual_topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdnshield::net {
+
+namespace {
+
+/// Host-facing / external ports of @p members: any port of a member switch
+/// that is not an inter-switch port *within* the member set.
+std::vector<LinkEnd> externalEndpoints(const Topology& physical,
+                                       const std::set<DatapathId>& members) {
+  std::vector<LinkEnd> out;
+  for (DatapathId dpid : members) {
+    std::set<PortNo> internal;
+    for (const auto& nb : physical.neighbors(dpid)) {
+      if (members.contains(nb.dpid)) internal.insert(nb.localPort);
+    }
+    // Ports facing switches outside the member set are external.
+    for (const auto& nb : physical.neighbors(dpid)) {
+      if (!members.contains(nb.dpid)) out.push_back(LinkEnd{dpid, nb.localPort});
+    }
+    // Host attachment ports are external.
+    for (const Host& host : physical.hosts()) {
+      if (host.dpid == dpid && !internal.contains(host.port)) {
+        LinkEnd end{dpid, host.port};
+        if (std::find(out.begin(), out.end(), end) == out.end()) {
+          out.push_back(end);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+VirtualTopology VirtualTopology::singleBigSwitch(const Topology& physical,
+                                                 DatapathId vdpid) {
+  std::set<DatapathId> members;
+  for (DatapathId dpid : physical.switches()) members.insert(dpid);
+  return bigSwitch(physical, members, vdpid);
+}
+
+VirtualTopology VirtualTopology::bigSwitch(const Topology& physical,
+                                           const std::set<DatapathId>& members,
+                                           DatapathId vdpid) {
+  for (DatapathId dpid : members) {
+    if (!physical.hasSwitch(dpid)) {
+      throw std::invalid_argument("bigSwitch: unknown member switch");
+    }
+  }
+  VirtualSwitch vswitch;
+  vswitch.vdpid = vdpid;
+  vswitch.members = members;
+  PortNo nextPort = 1;
+  for (const LinkEnd& end : externalEndpoints(physical, members)) {
+    vswitch.ports.push_back(VirtualPortBinding{nextPort++, end});
+  }
+  return VirtualTopology{physical, std::move(vswitch)};
+}
+
+Topology VirtualTopology::abstractView() const {
+  Topology view;
+  view.addSwitch(vswitch_.vdpid);
+  for (const Host& host : physical_.hosts()) {
+    auto vport = virtualPortFor(LinkEnd{host.dpid, host.port});
+    if (!vport) continue;
+    Host mapped = host;
+    mapped.dpid = vswitch_.vdpid;
+    mapped.port = *vport;
+    view.attachHost(mapped);
+  }
+  return view;
+}
+
+std::optional<LinkEnd> VirtualTopology::physicalEndpoint(
+    PortNo virtualPort) const {
+  for (const auto& binding : vswitch_.ports) {
+    if (binding.virtualPort == virtualPort) return binding.physical;
+  }
+  return std::nullopt;
+}
+
+std::optional<PortNo> VirtualTopology::virtualPortFor(
+    const LinkEnd& physical) const {
+  for (const auto& binding : vswitch_.ports) {
+    if (binding.physical == physical) return binding.virtualPort;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<DatapathId, of::FlowMod>>
+VirtualTopology::translateFlowMod(const of::FlowMod& vmod) const {
+  std::vector<std::pair<DatapathId, of::FlowMod>> out;
+
+  // Split actions into header rewrites and the final output.
+  std::optional<PortNo> outVPort;
+  of::ActionList rewrites;
+  for (const of::Action& action : vmod.actions) {
+    if (const auto* output = std::get_if<of::OutputAction>(&action)) {
+      if (output->port == of::ports::kFlood ||
+          output->port == of::ports::kController) {
+        throw std::invalid_argument(
+            "virtual flow mod: FLOOD/CONTROLLER outputs are not translatable");
+      }
+      outVPort = output->port;
+    } else if (std::holds_alternative<of::SetFieldAction>(action)) {
+      rewrites.push_back(action);
+    }
+  }
+
+  // Drop rule: realised on the member switches it applies to.
+  if (!outVPort) {
+    of::FlowMod pmod = vmod;
+    if (vmod.match.inPort) {
+      auto ingress = physicalEndpoint(*vmod.match.inPort);
+      if (!ingress) throw std::invalid_argument("unknown virtual in_port");
+      pmod.match.inPort = ingress->port;
+      out.emplace_back(ingress->dpid, pmod);
+    } else {
+      pmod.match.inPort.reset();
+      for (DatapathId member : vswitch_.members) out.emplace_back(member, pmod);
+    }
+    return out;
+  }
+
+  auto egress = physicalEndpoint(*outVPort);
+  if (!egress) throw std::invalid_argument("unknown virtual output port");
+
+  if (vmod.match.inPort) {
+    // Explicit ingress: install along the shortest physical path.
+    auto ingress = physicalEndpoint(*vmod.match.inPort);
+    if (!ingress) throw std::invalid_argument("unknown virtual in_port");
+    auto path = physical_.shortestPath(ingress->dpid, egress->dpid);
+    if (!path) throw std::invalid_argument("virtual ports are disconnected");
+    for (std::size_t i = 0; i < path->size(); ++i) {
+      const PathHop& hop = (*path)[i];
+      of::FlowMod pmod = vmod;
+      pmod.match.inPort = (i == 0) ? ingress->port : hop.inPort;
+      pmod.actions.clear();
+      bool last = i + 1 == path->size();
+      if (last) {
+        // Header rewrites happen at the egress hop so intermediate matches
+        // keep seeing the original headers.
+        pmod.actions = rewrites;
+        pmod.actions.push_back(of::OutputAction{egress->port});
+      } else {
+        pmod.actions.push_back(of::OutputAction{hop.outPort});
+      }
+      out.emplace_back(hop.dpid, pmod);
+    }
+    return out;
+  }
+
+  // No ingress constraint: destination-based realisation — every member
+  // forwards toward the egress switch.
+  for (DatapathId member : vswitch_.members) {
+    of::FlowMod pmod = vmod;
+    pmod.match.inPort.reset();
+    pmod.actions.clear();
+    if (member == egress->dpid) {
+      pmod.actions = rewrites;
+      pmod.actions.push_back(of::OutputAction{egress->port});
+    } else {
+      auto port = physical_.nextHopPort(member, egress->dpid);
+      if (!port) continue;  // Unreachable members simply get no rule.
+      pmod.actions.push_back(of::OutputAction{*port});
+    }
+    out.emplace_back(member, pmod);
+  }
+  return out;
+}
+
+std::pair<DatapathId, of::PacketOut> VirtualTopology::translatePacketOut(
+    const of::PacketOut& vout) const {
+  of::PacketOut pout = vout;
+  // Resolve the first concrete output action.
+  for (of::Action& action : pout.actions) {
+    if (auto* output = std::get_if<of::OutputAction>(&action)) {
+      auto endpoint = physicalEndpoint(output->port);
+      if (!endpoint) throw std::invalid_argument("unknown virtual output port");
+      output->port = endpoint->port;
+      pout.dpid = endpoint->dpid;
+      return {endpoint->dpid, pout};
+    }
+  }
+  throw std::invalid_argument("virtual packet-out without output action");
+}
+
+of::SwitchStats VirtualTopology::aggregateSwitchStats(
+    const std::vector<of::SwitchStats>& memberStats) const {
+  of::SwitchStats agg;
+  agg.dpid = vswitch_.vdpid;
+  for (const of::SwitchStats& stats : memberStats) {
+    agg.activeFlows += stats.activeFlows;
+    agg.lookupCount += stats.lookupCount;
+    agg.matchedCount += stats.matchedCount;
+  }
+  return agg;
+}
+
+std::vector<of::FlowStatsEntry> VirtualTopology::aggregateFlowStats(
+    const std::vector<of::FlowStatsEntry>& memberFlows) const {
+  // Shards of one virtual rule share cookie and priority and differ only in
+  // in_port / actions. A packet traversing k member switches is counted k
+  // times, so the per-group maximum is the faithful virtual-rule counter.
+  using Key = std::pair<std::uint64_t, std::uint16_t>;  // (cookie, priority)
+  std::map<Key, of::FlowStatsEntry> groups;
+  for (const of::FlowStatsEntry& flow : memberFlows) {
+    Key key{flow.cookie, flow.priority};
+    auto [it, inserted] = groups.try_emplace(key, flow);
+    if (!inserted) {
+      it->second.packetCount = std::max(it->second.packetCount, flow.packetCount);
+      it->second.byteCount = std::max(it->second.byteCount, flow.byteCount);
+    }
+    it->second.match.inPort.reset();  // in_port is a physical artifact.
+  }
+  std::vector<of::FlowStatsEntry> out;
+  out.reserve(groups.size());
+  for (auto& [_, entry] : groups) out.push_back(entry);
+  return out;
+}
+
+}  // namespace sdnshield::net

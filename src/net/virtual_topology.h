@@ -1,0 +1,87 @@
+// Virtual (abstract) topology support for SDNShield's virtual-topology
+// filters (§VI-B.1): a mapping between virtual big switches and the physical
+// switches they aggregate, plus on-the-fly translation of flow rules,
+// topology views and statistics between the two levels.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/topology.h"
+#include "of/flow_mod.h"
+#include "of/messages.h"
+
+namespace sdnshield::net {
+
+/// A virtual port of a big switch maps onto a concrete physical endpoint
+/// (typically a host-facing or external-link port of a member switch).
+struct VirtualPortBinding {
+  PortNo virtualPort = 0;
+  LinkEnd physical;
+  friend bool operator==(const VirtualPortBinding&,
+                         const VirtualPortBinding&) = default;
+};
+
+/// One virtual switch aggregating a set of physical member switches.
+struct VirtualSwitch {
+  DatapathId vdpid = 0;
+  std::set<DatapathId> members;
+  std::vector<VirtualPortBinding> ports;
+};
+
+class VirtualTopology {
+ public:
+  /// Builds the SINGLE_BIG_SWITCH abstraction over the whole physical
+  /// topology: every host-facing (i.e. not inter-switch) port used by a host
+  /// becomes an external virtual port.
+  static VirtualTopology singleBigSwitch(const Topology& physical,
+                                         DatapathId vdpid = 1);
+
+  /// Builds a big switch over a subset of physical switches; ports facing
+  /// outside the subset (plus host ports) become the external virtual ports.
+  static VirtualTopology bigSwitch(const Topology& physical,
+                                   const std::set<DatapathId>& members,
+                                   DatapathId vdpid = 1);
+
+  const VirtualSwitch& virtualSwitch() const { return vswitch_; }
+  const Topology& physical() const { return physical_; }
+
+  /// The abstract topology view exposed to the app: one switch, hosts
+  /// re-attached at their virtual ports.
+  Topology abstractView() const;
+
+  std::optional<LinkEnd> physicalEndpoint(PortNo virtualPort) const;
+  std::optional<PortNo> virtualPortFor(const LinkEnd& physical) const;
+
+  /// Translates one virtual-switch flow mod into the physical rules that
+  /// realise it along shortest paths (§VI-B.1). Supported shapes:
+  ///  * output to a concrete virtual port (with or without in_port match);
+  ///  * drop rules (installed on every member switch).
+  /// Throws std::invalid_argument for unsupported shapes (e.g. FLOOD).
+  std::vector<std::pair<DatapathId, of::FlowMod>> translateFlowMod(
+      const of::FlowMod& vmod) const;
+
+  /// Translates a packet-out on a virtual port into the physical injection.
+  std::pair<DatapathId, of::PacketOut> translatePacketOut(
+      const of::PacketOut& vout) const;
+
+  /// Aggregates per-member switch stats into one virtual switch-level reply.
+  of::SwitchStats aggregateSwitchStats(
+      const std::vector<of::SwitchStats>& memberStats) const;
+
+  /// Aggregates flow stats from members, merging counters of the rule shards
+  /// produced by translateFlowMod (identified by cookie + original match).
+  std::vector<of::FlowStatsEntry> aggregateFlowStats(
+      const std::vector<of::FlowStatsEntry>& memberFlows) const;
+
+ private:
+  VirtualTopology(Topology physical, VirtualSwitch vswitch)
+      : physical_(std::move(physical)), vswitch_(std::move(vswitch)) {}
+
+  Topology physical_;
+  VirtualSwitch vswitch_;
+};
+
+}  // namespace sdnshield::net

@@ -1,0 +1,76 @@
+#include "of/actions.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdnshield::of {
+
+std::string toString(const Action& action) {
+  struct Visitor {
+    std::string operator()(const OutputAction& a) const {
+      switch (a.port) {
+        case ports::kFlood:
+          return "output(FLOOD)";
+        case ports::kController:
+          return "output(CONTROLLER)";
+        default:
+          return "output(" + std::to_string(a.port) + ")";
+      }
+    }
+    std::string operator()(const SetFieldAction& a) const {
+      std::string value;
+      switch (a.field) {
+        case MatchField::kEthSrc:
+        case MatchField::kEthDst:
+          value = a.macValue.toString();
+          break;
+        case MatchField::kIpSrc:
+        case MatchField::kIpDst:
+          value = a.ipValue.toString();
+          break;
+        default:
+          value = std::to_string(a.intValue);
+          break;
+      }
+      return "set(" + toString(a.field) + "=" + value + ")";
+    }
+    std::string operator()(const DropAction&) const { return "drop"; }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+std::string toString(const ActionList& actions) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << toString(actions[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+bool hasOutput(const ActionList& actions) {
+  return std::any_of(actions.begin(), actions.end(), [](const Action& a) {
+    return std::holds_alternative<OutputAction>(a);
+  });
+}
+
+bool modifiesHeaders(const ActionList& actions) {
+  return std::any_of(actions.begin(), actions.end(), [](const Action& a) {
+    return std::holds_alternative<SetFieldAction>(a);
+  });
+}
+
+bool modifiesField(const ActionList& actions, MatchField field) {
+  return std::any_of(actions.begin(), actions.end(), [&](const Action& a) {
+    const auto* set = std::get_if<SetFieldAction>(&a);
+    return set != nullptr && set->field == field;
+  });
+}
+
+bool isDrop(const ActionList& actions) {
+  return !hasOutput(actions) && !modifiesHeaders(actions);
+}
+
+}  // namespace sdnshield::of

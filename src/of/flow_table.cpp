@@ -1,0 +1,170 @@
+#include "of/flow_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdnshield::of {
+
+std::string toString(FlowModCommand command) {
+  switch (command) {
+    case FlowModCommand::kAdd:
+      return "add";
+    case FlowModCommand::kModify:
+      return "modify";
+    case FlowModCommand::kModifyStrict:
+      return "modify_strict";
+    case FlowModCommand::kDelete:
+      return "delete";
+    case FlowModCommand::kDeleteStrict:
+      return "delete_strict";
+  }
+  return "unknown";
+}
+
+std::string FlowMod::toString() const {
+  std::ostringstream out;
+  out << sdnshield::of::toString(command) << " prio=" << priority << " "
+      << match.toString() << " actions=" << sdnshield::of::toString(actions);
+  return out.str();
+}
+
+std::string FlowEntry::toString() const {
+  std::ostringstream out;
+  out << "prio=" << priority << " " << match.toString()
+      << " actions=" << sdnshield::of::toString(actions) << " pkts=" << packetCount;
+  return out.str();
+}
+
+bool FlowTable::apply(const FlowMod& mod) {
+  switch (mod.command) {
+    case FlowModCommand::kAdd: {
+      // OF 1.0: add replaces an entry with identical match and priority.
+      auto it = std::find_if(entries_.begin(), entries_.end(),
+                             [&](const FlowEntry& e) {
+                               return e.priority == mod.priority &&
+                                      e.match == mod.match;
+                             });
+      if (it != entries_.end()) {
+        it->actions = mod.actions;
+        it->cookie = mod.cookie;
+        it->idleTimeout = mod.idleTimeout;
+        it->hardTimeout = mod.hardTimeout;
+        return true;
+      }
+      if (entries_.size() >= maxEntries_) return false;
+      add(mod);
+      return true;
+    }
+    case FlowModCommand::kModify: {
+      for (FlowEntry& e : entries_) {
+        if (mod.match.subsumes(e.match)) {
+          e.actions = mod.actions;
+          e.cookie = mod.cookie;
+        }
+      }
+      return true;
+    }
+    case FlowModCommand::kModifyStrict: {
+      for (FlowEntry& e : entries_) {
+        if (e.priority == mod.priority && e.match == mod.match) {
+          e.actions = mod.actions;
+          e.cookie = mod.cookie;
+        }
+      }
+      return true;
+    }
+    case FlowModCommand::kDelete: {
+      std::erase_if(entries_, [&](const FlowEntry& e) {
+        return mod.match.subsumes(e.match);
+      });
+      return true;
+    }
+    case FlowModCommand::kDeleteStrict: {
+      std::erase_if(entries_, [&](const FlowEntry& e) {
+        return e.priority == mod.priority && e.match == mod.match;
+      });
+      return true;
+    }
+  }
+  return false;
+}
+
+void FlowTable::add(const FlowMod& mod) {
+  FlowEntry entry;
+  entry.match = mod.match;
+  entry.priority = mod.priority;
+  entry.actions = mod.actions;
+  entry.cookie = mod.cookie;
+  entry.idleTimeout = mod.idleTimeout;
+  entry.hardTimeout = mod.hardTimeout;
+  // Keep entries sorted by priority descending; stable position for equal
+  // priorities (earlier-installed wins on lookup, as in practice).
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [&](const FlowEntry& e) {
+                            return e.priority < entry.priority;
+                          });
+  entries_.insert(pos, std::move(entry));
+}
+
+const FlowEntry* FlowTable::lookup(const HeaderFields& pkt,
+                                   std::size_t packetBytes) {
+  ++lookups_;
+  for (FlowEntry& e : entries_) {
+    if (e.match.matches(pkt)) {
+      ++matches_;
+      ++e.packetCount;
+      e.byteCount += packetBytes;
+      e.idleSeconds = 0;  // Traffic keeps the entry alive.
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<FlowEntry> FlowTable::tick(std::uint32_t seconds) {
+  std::vector<FlowEntry> expired;
+  for (FlowEntry& e : entries_) {
+    e.ageSeconds += seconds;
+    e.idleSeconds += seconds;
+  }
+  auto isExpired = [](const FlowEntry& e) {
+    return (e.idleTimeout != 0 && e.idleSeconds >= e.idleTimeout) ||
+           (e.hardTimeout != 0 && e.ageSeconds >= e.hardTimeout);
+  };
+  for (const FlowEntry& e : entries_) {
+    if (isExpired(e)) expired.push_back(e);
+  }
+  std::erase_if(entries_, isExpired);
+  return expired;
+}
+
+const FlowEntry* FlowTable::peek(const HeaderFields& pkt) const {
+  for (const FlowEntry& e : entries_) {
+    if (e.match.matches(pkt)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<FlowEntry> FlowTable::select(const FlowMatch& pattern) const {
+  std::vector<FlowEntry> out;
+  for (const FlowEntry& e : entries_) {
+    if (pattern.subsumes(e.match)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<FlowEntry> FlowTable::selectByCookie(std::uint64_t cookie) const {
+  std::vector<FlowEntry> out;
+  for (const FlowEntry& e : entries_) {
+    if (e.cookie == cookie) out.push_back(e);
+  }
+  return out;
+}
+
+TableStats FlowTable::stats() const {
+  return TableStats{.activeEntries = entries_.size(),
+                    .lookupCount = lookups_,
+                    .matchedCount = matches_};
+}
+
+}  // namespace sdnshield::of

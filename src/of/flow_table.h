@@ -1,0 +1,63 @@
+// A priority-ordered OpenFlow flow table with OF 1.0 add/modify/delete
+// semantics and per-entry counters.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "of/flow_mod.h"
+
+namespace sdnshield::of {
+
+/// Summary counters for one table.
+struct TableStats {
+  std::size_t activeEntries = 0;
+  std::uint64_t lookupCount = 0;
+  std::uint64_t matchedCount = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t maxEntries = 65536)
+      : maxEntries_(maxEntries) {}
+
+  /// Applies a flow-mod. Returns false when an add is rejected because the
+  /// table is full; all other commands succeed (possibly as no-ops).
+  bool apply(const FlowMod& mod);
+
+  /// Looks up the highest-priority matching entry and updates its counters.
+  /// Returns nullptr on table miss.
+  const FlowEntry* lookup(const HeaderFields& pkt, std::size_t packetBytes);
+
+  /// Lookup without touching counters (used for read-only inspection).
+  const FlowEntry* peek(const HeaderFields& pkt) const;
+
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+  /// Entries whose match is subsumed by @p pattern (non-strict select).
+  std::vector<FlowEntry> select(const FlowMatch& pattern) const;
+
+  /// Entries issued with the given cookie (app id).
+  std::vector<FlowEntry> selectByCookie(std::uint64_t cookie) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return maxEntries_; }
+  TableStats stats() const;
+  void clear() { entries_.clear(); }
+
+  /// Advances virtual time by @p seconds and removes entries whose idle or
+  /// hard timeout elapsed. Returns the expired entries (for FlowRemoved
+  /// notifications). Lookups reset an entry's idle age.
+  std::vector<FlowEntry> tick(std::uint32_t seconds);
+
+ private:
+  void add(const FlowMod& mod);
+
+  std::vector<FlowEntry> entries_;  // Sorted by priority descending.
+  std::size_t maxEntries_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+}  // namespace sdnshield::of

@@ -1,0 +1,196 @@
+#include "of/match.h"
+
+#include <sstream>
+
+namespace sdnshield::of {
+
+std::string toString(MatchField field) {
+  switch (field) {
+    case MatchField::kInPort:
+      return "IN_PORT";
+    case MatchField::kEthSrc:
+      return "ETH_SRC";
+    case MatchField::kEthDst:
+      return "ETH_DST";
+    case MatchField::kEthType:
+      return "ETH_TYPE";
+    case MatchField::kVlanId:
+      return "VLAN_ID";
+    case MatchField::kIpSrc:
+      return "IP_SRC";
+    case MatchField::kIpDst:
+      return "IP_DST";
+    case MatchField::kIpProto:
+      return "IP_PROTO";
+    case MatchField::kTpSrc:
+      return "TP_SRC";
+    case MatchField::kTpDst:
+      return "TP_DST";
+  }
+  return "FIELD_UNKNOWN";
+}
+
+std::string MaskedIpv4::toString() const {
+  if (mask.value() == 0xffffffffu) return value.toString();
+  return value.toString() + " MASK " + mask.toString();
+}
+
+namespace {
+
+template <typename T>
+bool exactMatches(const std::optional<T>& want, const std::optional<T>& got) {
+  if (!want) return true;
+  return got && *got == *want;
+}
+
+template <typename T>
+bool exactMatches(const std::optional<T>& want, const T& got) {
+  return !want || *want == got;
+}
+
+// Wider-or-equal test for exact-or-wildcard fields.
+template <typename T>
+bool exactSubsumes(const std::optional<T>& wide, const std::optional<T>& narrow) {
+  if (!wide) return true;           // wildcard subsumes everything
+  return narrow && *narrow == *wide;
+}
+
+template <typename T>
+bool exactOverlaps(const std::optional<T>& a, const std::optional<T>& b) {
+  if (!a || !b) return true;
+  return *a == *b;
+}
+
+}  // namespace
+
+bool FlowMatch::matches(const HeaderFields& pkt) const {
+  if (!exactMatches(inPort, pkt.inPort)) return false;
+  if (!exactMatches(ethSrc, pkt.ethSrc)) return false;
+  if (!exactMatches(ethDst, pkt.ethDst)) return false;
+  if (!exactMatches(ethType, pkt.ethType)) return false;
+  if (!exactMatches(vlanId, pkt.vlanId)) return false;
+  if (ipSrc && (!pkt.ipSrc || !ipSrc->matches(*pkt.ipSrc))) return false;
+  if (ipDst && (!pkt.ipDst || !ipDst->matches(*pkt.ipDst))) return false;
+  if (!exactMatches(ipProto, pkt.ipProto)) return false;
+  if (!exactMatches(tpSrc, pkt.tpSrc)) return false;
+  if (!exactMatches(tpDst, pkt.tpDst)) return false;
+  return true;
+}
+
+bool FlowMatch::subsumes(const FlowMatch& other) const {
+  if (!exactSubsumes(inPort, other.inPort)) return false;
+  if (!exactSubsumes(ethSrc, other.ethSrc)) return false;
+  if (!exactSubsumes(ethDst, other.ethDst)) return false;
+  if (!exactSubsumes(ethType, other.ethType)) return false;
+  if (!exactSubsumes(vlanId, other.vlanId)) return false;
+  if (ipSrc && (!other.ipSrc || !ipSrc->subsumes(*other.ipSrc))) return false;
+  if (ipDst && (!other.ipDst || !ipDst->subsumes(*other.ipDst))) return false;
+  if (!exactSubsumes(ipProto, other.ipProto)) return false;
+  if (!exactSubsumes(tpSrc, other.tpSrc)) return false;
+  if (!exactSubsumes(tpDst, other.tpDst)) return false;
+  return true;
+}
+
+bool FlowMatch::overlaps(const FlowMatch& other) const {
+  if (!exactOverlaps(inPort, other.inPort)) return false;
+  if (!exactOverlaps(ethSrc, other.ethSrc)) return false;
+  if (!exactOverlaps(ethDst, other.ethDst)) return false;
+  if (!exactOverlaps(ethType, other.ethType)) return false;
+  if (!exactOverlaps(vlanId, other.vlanId)) return false;
+  if (ipSrc && other.ipSrc && !ipSrc->overlaps(*other.ipSrc)) return false;
+  if (ipDst && other.ipDst && !ipDst->overlaps(*other.ipDst)) return false;
+  if (!exactOverlaps(ipProto, other.ipProto)) return false;
+  if (!exactOverlaps(tpSrc, other.tpSrc)) return false;
+  if (!exactOverlaps(tpDst, other.tpDst)) return false;
+  return true;
+}
+
+namespace {
+
+template <typename T>
+bool mergeExact(const std::optional<T>& a, const std::optional<T>& b,
+                std::optional<T>& out) {
+  if (a && b) {
+    if (*a != *b) return false;
+    out = a;
+  } else {
+    out = a ? a : b;
+  }
+  return true;
+}
+
+bool mergeMasked(const std::optional<MaskedIpv4>& a,
+                 const std::optional<MaskedIpv4>& b,
+                 std::optional<MaskedIpv4>& out) {
+  if (a && b) {
+    if (!a->overlaps(*b)) return false;
+    // Union of the constrained bits; values agree on the common bits.
+    std::uint32_t mask = a->mask.value() | b->mask.value();
+    std::uint32_t value = (a->value.value() & a->mask.value()) |
+                          (b->value.value() & b->mask.value());
+    out = MaskedIpv4{Ipv4Address{value}, Ipv4Address{mask}};
+  } else {
+    out = a ? a : b;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FlowMatch> FlowMatch::intersect(const FlowMatch& other) const {
+  FlowMatch out;
+  if (!mergeExact(inPort, other.inPort, out.inPort)) return std::nullopt;
+  if (!mergeExact(ethSrc, other.ethSrc, out.ethSrc)) return std::nullopt;
+  if (!mergeExact(ethDst, other.ethDst, out.ethDst)) return std::nullopt;
+  if (!mergeExact(ethType, other.ethType, out.ethType)) return std::nullopt;
+  if (!mergeExact(vlanId, other.vlanId, out.vlanId)) return std::nullopt;
+  if (!mergeMasked(ipSrc, other.ipSrc, out.ipSrc)) return std::nullopt;
+  if (!mergeMasked(ipDst, other.ipDst, out.ipDst)) return std::nullopt;
+  if (!mergeExact(ipProto, other.ipProto, out.ipProto)) return std::nullopt;
+  if (!mergeExact(tpSrc, other.tpSrc, out.tpSrc)) return std::nullopt;
+  if (!mergeExact(tpDst, other.tpDst, out.tpDst)) return std::nullopt;
+  return out;
+}
+
+bool FlowMatch::isWildcardAll() const { return constrainedFieldCount() == 0; }
+
+int FlowMatch::constrainedFieldCount() const {
+  int n = 0;
+  n += inPort.has_value();
+  n += ethSrc.has_value();
+  n += ethDst.has_value();
+  n += ethType.has_value();
+  n += vlanId.has_value();
+  n += ipSrc.has_value();
+  n += ipDst.has_value();
+  n += ipProto.has_value();
+  n += tpSrc.has_value();
+  n += tpDst.has_value();
+  return n;
+}
+
+std::string FlowMatch::toString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  auto emit = [&](const std::string& name, const std::string& value) {
+    if (!first) out << ", ";
+    first = false;
+    out << name << "=" << value;
+  };
+  if (inPort) emit("in_port", std::to_string(*inPort));
+  if (ethSrc) emit("eth_src", ethSrc->toString());
+  if (ethDst) emit("eth_dst", ethDst->toString());
+  if (ethType) emit("eth_type", std::to_string(*ethType));
+  if (vlanId) emit("vlan", std::to_string(*vlanId));
+  if (ipSrc) emit("ip_src", ipSrc->toString());
+  if (ipDst) emit("ip_dst", ipDst->toString());
+  if (ipProto) emit("ip_proto", std::to_string(*ipProto));
+  if (tpSrc) emit("tp_src", std::to_string(*tpSrc));
+  if (tpDst) emit("tp_dst", std::to_string(*tpDst));
+  if (first) out << "*";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sdnshield::of

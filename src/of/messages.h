@@ -1,0 +1,103 @@
+// Controller <-> switch message types (the OF southbound vocabulary).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "of/flow_mod.h"
+#include "of/packet.h"
+
+namespace sdnshield::of {
+
+enum class PacketInReason { kNoMatch, kAction };
+
+/// Packet punted from a switch to the controller.
+struct PacketIn {
+  DatapathId dpid = 0;
+  PortNo inPort = ports::kNone;
+  PacketInReason reason = PacketInReason::kNoMatch;
+  std::uint32_t bufferId = 0;
+  Packet packet;
+};
+
+/// Packet pushed from the controller out of a switch port.
+struct PacketOut {
+  DatapathId dpid = 0;
+  PortNo inPort = ports::kNone;  ///< Logical ingress (for FLOOD semantics).
+  ActionList actions;
+  Packet packet;
+  /// True when the packet echoes a buffered packet-in (vs. fabricated by the
+  /// app). The pkt-out permission filter keys on this provenance bit.
+  bool fromPacketIn = false;
+};
+
+/// Entry removed notification (idle/hard timeout or delete).
+struct FlowRemoved {
+  DatapathId dpid = 0;
+  FlowMatch match;
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+};
+
+enum class StatsLevel { kFlow, kPort, kSwitch };
+
+inline std::string toString(StatsLevel level) {
+  switch (level) {
+    case StatsLevel::kFlow:
+      return "FLOW_LEVEL";
+    case StatsLevel::kPort:
+      return "PORT_LEVEL";
+    case StatsLevel::kSwitch:
+      return "SWITCH_LEVEL";
+  }
+  return "LEVEL_UNKNOWN";
+}
+
+struct StatsRequest {
+  StatsLevel level = StatsLevel::kSwitch;
+  DatapathId dpid = 0;
+  FlowMatch match;  ///< Flow-level selector.
+};
+
+struct FlowStatsEntry {
+  FlowMatch match;
+  std::uint16_t priority = 0;
+  std::uint64_t packetCount = 0;
+  std::uint64_t byteCount = 0;
+  std::uint64_t cookie = 0;
+};
+
+struct PortStats {
+  PortNo port = 0;
+  std::uint64_t rxPackets = 0;
+  std::uint64_t txPackets = 0;
+  std::uint64_t rxBytes = 0;
+  std::uint64_t txBytes = 0;
+};
+
+struct SwitchStats {
+  DatapathId dpid = 0;
+  std::size_t activeFlows = 0;
+  std::uint64_t lookupCount = 0;
+  std::uint64_t matchedCount = 0;
+};
+
+struct StatsReply {
+  StatsLevel level = StatsLevel::kSwitch;
+  DatapathId dpid = 0;
+  std::vector<FlowStatsEntry> flows;
+  std::vector<PortStats> ports;
+  SwitchStats switchStats;
+};
+
+enum class ErrorType { kBadRequest, kBadMatch, kBadAction, kTableFull, kPermError };
+
+struct ErrorMsg {
+  DatapathId dpid = 0;
+  ErrorType type = ErrorType::kBadRequest;
+  std::string detail;
+};
+
+}  // namespace sdnshield::of

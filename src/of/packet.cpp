@@ -1,0 +1,298 @@
+#include "of/packet.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sdnshield::of {
+
+namespace {
+
+void put8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+void put16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+void put32(Bytes& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+void putMac(Bytes& out, const MacAddress& mac) {
+  for (auto octet : mac.octets()) out.push_back(octet);
+}
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t get8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t get16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t get32() {
+    std::uint32_t high = get16();
+    return (high << 16) | get16();
+  }
+  MacAddress getMac() {
+    need(6);
+    std::array<std::uint8_t, 6> octets{};
+    for (auto& o : octets) o = data_[pos_++];
+    return MacAddress{octets};
+  }
+  Bytes rest() {
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+    pos_ = data_.size();
+    return out;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::invalid_argument("truncated packet");
+    }
+  }
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes Packet::serialize() const {
+  Bytes out;
+  putMac(out, eth.dst);
+  putMac(out, eth.src);
+  put16(out, eth.etherType);
+  if (arp) {
+    put16(out, 1);       // htype: ethernet
+    put16(out, 0x0800);  // ptype: ipv4
+    put8(out, 6);        // hlen
+    put8(out, 4);        // plen
+    put16(out, arp->op);
+    putMac(out, arp->senderMac);
+    put32(out, arp->senderIp.value());
+    putMac(out, arp->targetMac);
+    put32(out, arp->targetIp.value());
+  } else if (ipv4) {
+    put8(out, 0x45);  // version 4, ihl 5
+    put8(out, 0);     // dscp
+    // Total length patched below; reserve position.
+    std::size_t lenPos = out.size();
+    put16(out, 0);
+    put16(out, 0);  // identification
+    put16(out, 0);  // flags/fragment
+    put8(out, ipv4->ttl);
+    put8(out, ipv4->proto);
+    put16(out, 0);  // checksum (not modelled)
+    put32(out, ipv4->src.value());
+    put32(out, ipv4->dst.value());
+    std::size_t ipStart = lenPos - 2;
+    if (tcp) {
+      put16(out, tcp->srcPort);
+      put16(out, tcp->dstPort);
+      put32(out, tcp->seq);
+      put32(out, tcp->ack);
+      put8(out, 0x50);  // data offset 5
+      put8(out, tcp->flags);
+      put16(out, 0xffff);  // window
+      put16(out, 0);       // checksum
+      put16(out, 0);       // urgent
+    } else if (udp) {
+      put16(out, udp->srcPort);
+      put16(out, udp->dstPort);
+      put16(out, static_cast<std::uint16_t>(8 + payload.size()));
+      put16(out, 0);  // checksum
+    }
+    out.insert(out.end(), payload.begin(), payload.end());
+    std::uint16_t totalLen = static_cast<std::uint16_t>(out.size() - ipStart);
+    out[lenPos] = static_cast<std::uint8_t>(totalLen >> 8);
+    out[lenPos + 1] = static_cast<std::uint8_t>(totalLen & 0xff);
+    return out;
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Packet Packet::parse(const Bytes& wire) {
+  Reader reader(wire);
+  Packet pkt;
+  pkt.eth.dst = reader.getMac();
+  pkt.eth.src = reader.getMac();
+  pkt.eth.etherType = reader.get16();
+  if (pkt.eth.etherType == static_cast<std::uint16_t>(EtherType::kArp)) {
+    ArpHeader arp;
+    reader.get16();  // htype
+    reader.get16();  // ptype
+    reader.get8();   // hlen
+    reader.get8();   // plen
+    arp.op = reader.get16();
+    arp.senderMac = reader.getMac();
+    arp.senderIp = Ipv4Address{reader.get32()};
+    arp.targetMac = reader.getMac();
+    arp.targetIp = Ipv4Address{reader.get32()};
+    pkt.arp = arp;
+    pkt.payload = reader.rest();
+    return pkt;
+  }
+  if (pkt.eth.etherType == static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    std::uint8_t verIhl = reader.get8();
+    if ((verIhl >> 4) != 4) throw std::invalid_argument("not IPv4");
+    reader.get8();   // dscp
+    reader.get16();  // total length (trust framing instead)
+    reader.get16();  // identification
+    reader.get16();  // flags/fragment
+    Ipv4Header ip;
+    ip.ttl = reader.get8();
+    ip.proto = reader.get8();
+    reader.get16();  // checksum
+    ip.src = Ipv4Address{reader.get32()};
+    ip.dst = Ipv4Address{reader.get32()};
+    // Skip IPv4 options if ihl > 5.
+    for (int i = 5; i < (verIhl & 0x0f); ++i) reader.get32();
+    pkt.ipv4 = ip;
+    if (ip.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+      TcpHeader tcp;
+      tcp.srcPort = reader.get16();
+      tcp.dstPort = reader.get16();
+      tcp.seq = reader.get32();
+      tcp.ack = reader.get32();
+      std::uint8_t offset = reader.get8();
+      tcp.flags = reader.get8();
+      reader.get16();  // window
+      reader.get16();  // checksum
+      reader.get16();  // urgent
+      for (int i = 5; i < (offset >> 4); ++i) reader.get32();
+      pkt.tcp = tcp;
+    } else if (ip.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+      UdpHeader udp;
+      udp.srcPort = reader.get16();
+      udp.dstPort = reader.get16();
+      reader.get16();  // length
+      reader.get16();  // checksum
+      pkt.udp = udp;
+    }
+    pkt.payload = reader.rest();
+    return pkt;
+  }
+  pkt.payload = reader.rest();
+  return pkt;
+}
+
+HeaderFields Packet::fields(PortNo inPort) const {
+  HeaderFields f;
+  f.inPort = inPort;
+  f.ethSrc = eth.src;
+  f.ethDst = eth.dst;
+  f.ethType = eth.etherType;
+  if (ipv4) {
+    f.ipSrc = ipv4->src;
+    f.ipDst = ipv4->dst;
+    f.ipProto = ipv4->proto;
+    if (tcp) {
+      f.tpSrc = tcp->srcPort;
+      f.tpDst = tcp->dstPort;
+    } else if (udp) {
+      f.tpSrc = udp->srcPort;
+      f.tpDst = udp->dstPort;
+    }
+  } else if (arp) {
+    // OF 1.0 convention: ARP sender/target IPs are exposed via the nw fields.
+    f.ipSrc = arp->senderIp;
+    f.ipDst = arp->targetIp;
+  }
+  return f;
+}
+
+std::string Packet::toString() const {
+  std::ostringstream out;
+  out << eth.src.toString() << " -> " << eth.dst.toString();
+  if (arp) {
+    out << " arp(" << (arp->op == 1 ? "req" : "rep") << " "
+        << arp->senderIp.toString() << " -> " << arp->targetIp.toString()
+        << ")";
+  } else if (ipv4) {
+    out << " ip(" << ipv4->src.toString() << " -> " << ipv4->dst.toString();
+    if (tcp) {
+      out << " tcp " << tcp->srcPort << "->" << tcp->dstPort;
+      if (tcp->flags & tcpflags::kSyn) out << " SYN";
+      if (tcp->flags & tcpflags::kAck) out << " ACK";
+      if (tcp->flags & tcpflags::kRst) out << " RST";
+      if (tcp->flags & tcpflags::kFin) out << " FIN";
+    } else if (udp) {
+      out << " udp " << udp->srcPort << "->" << udp->dstPort;
+    }
+    out << ")";
+  }
+  if (!payload.empty()) out << " +" << payload.size() << "B";
+  return out.str();
+}
+
+Packet Packet::makeArpRequest(MacAddress senderMac, Ipv4Address senderIp,
+                              Ipv4Address targetIp) {
+  Packet pkt;
+  pkt.eth.src = senderMac;
+  pkt.eth.dst = MacAddress::fromUint64(0xffffffffffffULL);
+  pkt.eth.etherType = static_cast<std::uint16_t>(EtherType::kArp);
+  pkt.arp = ArpHeader{.op = 1,
+                      .senderMac = senderMac,
+                      .senderIp = senderIp,
+                      .targetMac = MacAddress{},
+                      .targetIp = targetIp};
+  return pkt;
+}
+
+Packet Packet::makeArpReply(MacAddress senderMac, Ipv4Address senderIp,
+                            MacAddress targetMac, Ipv4Address targetIp) {
+  Packet pkt;
+  pkt.eth.src = senderMac;
+  pkt.eth.dst = targetMac;
+  pkt.eth.etherType = static_cast<std::uint16_t>(EtherType::kArp);
+  pkt.arp = ArpHeader{.op = 2,
+                      .senderMac = senderMac,
+                      .senderIp = senderIp,
+                      .targetMac = targetMac,
+                      .targetIp = targetIp};
+  return pkt;
+}
+
+Packet Packet::makeTcp(MacAddress srcMac, MacAddress dstMac, Ipv4Address src,
+                       Ipv4Address dst, std::uint16_t srcPort,
+                       std::uint16_t dstPort, std::uint8_t flags,
+                       Bytes payload) {
+  Packet pkt;
+  pkt.eth.src = srcMac;
+  pkt.eth.dst = dstMac;
+  pkt.eth.etherType = static_cast<std::uint16_t>(EtherType::kIpv4);
+  pkt.ipv4 = Ipv4Header{.src = src,
+                        .dst = dst,
+                        .proto = static_cast<std::uint8_t>(IpProto::kTcp),
+                        .ttl = 64};
+  pkt.tcp = TcpHeader{
+      .srcPort = srcPort, .dstPort = dstPort, .seq = 0, .ack = 0, .flags = flags};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+Packet Packet::makeUdp(MacAddress srcMac, MacAddress dstMac, Ipv4Address src,
+                       Ipv4Address dst, std::uint16_t srcPort,
+                       std::uint16_t dstPort, Bytes payload) {
+  Packet pkt;
+  pkt.eth.src = srcMac;
+  pkt.eth.dst = dstMac;
+  pkt.eth.etherType = static_cast<std::uint16_t>(EtherType::kIpv4);
+  pkt.ipv4 = Ipv4Header{.src = src,
+                        .dst = dst,
+                        .proto = static_cast<std::uint8_t>(IpProto::kUdp),
+                        .ttl = 64};
+  pkt.udp = UdpHeader{.srcPort = srcPort, .dstPort = dstPort};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+}  // namespace sdnshield::of

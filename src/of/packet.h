@@ -1,0 +1,105 @@
+// A small packet model with real wire (de)serialisation for Ethernet, ARP,
+// IPv4, TCP and UDP — enough for the simulated data plane to carry the
+// paper's workloads (ARP learning, HTTP sessions, RST injection, header
+// rewriting for dynamic-flow tunnels).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "of/match.h"
+#include "of/types.h"
+
+namespace sdnshield::of {
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t etherType = 0;
+  friend bool operator==(const EthernetHeader&,
+                         const EthernetHeader&) = default;
+};
+
+struct ArpHeader {
+  std::uint16_t op = 1;  ///< 1 = request, 2 = reply.
+  MacAddress senderMac;
+  Ipv4Address senderIp;
+  MacAddress targetMac;
+  Ipv4Address targetIp;
+  friend bool operator==(const ArpHeader&, const ArpHeader&) = default;
+};
+
+struct Ipv4Header {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t proto = 0;
+  std::uint8_t ttl = 64;
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+namespace tcpflags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflags
+
+struct TcpHeader {
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+struct UdpHeader {
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+/// Parsed packet. Layers above Ethernet are optional; at most one of
+/// arp / ipv4 is set, and at most one of tcp / udp (only when ipv4 is set).
+struct Packet {
+  EthernetHeader eth;
+  std::optional<ArpHeader> arp;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  Bytes payload;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+
+  /// Serialises to wire bytes.
+  Bytes serialize() const;
+
+  /// Parses from wire bytes. Throws std::invalid_argument on truncation.
+  static Packet parse(const Bytes& wire);
+
+  /// Extracts the match-relevant header fields; @p inPort is supplied by the
+  /// receiving switch.
+  HeaderFields fields(PortNo inPort) const;
+
+  std::string toString() const;
+
+  // --- convenience constructors used by apps and tests -------------------
+  static Packet makeArpRequest(MacAddress senderMac, Ipv4Address senderIp,
+                               Ipv4Address targetIp);
+  static Packet makeArpReply(MacAddress senderMac, Ipv4Address senderIp,
+                             MacAddress targetMac, Ipv4Address targetIp);
+  static Packet makeTcp(MacAddress srcMac, MacAddress dstMac, Ipv4Address src,
+                        Ipv4Address dst, std::uint16_t srcPort,
+                        std::uint16_t dstPort, std::uint8_t flags,
+                        Bytes payload = {});
+  static Packet makeUdp(MacAddress srcMac, MacAddress dstMac, Ipv4Address src,
+                        Ipv4Address dst, std::uint16_t srcPort,
+                        std::uint16_t dstPort, Bytes payload = {});
+};
+
+}  // namespace sdnshield::of

@@ -1,0 +1,84 @@
+#include "of/types.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sdnshield::of {
+
+MacAddress MacAddress::parse(const std::string& text) {
+  std::array<unsigned, 6> parts{};
+  char extra = 0;
+  int got = std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x%c", &parts[0],
+                        &parts[1], &parts[2], &parts[3], &parts[4], &parts[5],
+                        &extra);
+  if (got != 6) {
+    throw std::invalid_argument("bad MAC address: " + text);
+  }
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i] > 0xff) {
+      throw std::invalid_argument("bad MAC address octet: " + text);
+    }
+    octets[i] = static_cast<std::uint8_t>(parts[i]);
+  }
+  return MacAddress{octets};
+}
+
+std::string MacAddress::toString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  std::array<unsigned, 4> parts{};
+  char extra = 0;
+  int got = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &parts[0], &parts[1],
+                        &parts[2], &parts[3], &extra);
+  if (got != 4) {
+    throw std::invalid_argument("bad IPv4 address: " + text);
+  }
+  for (unsigned part : parts) {
+    if (part > 255) {
+      throw std::invalid_argument("bad IPv4 address octet: " + text);
+    }
+  }
+  return Ipv4Address{static_cast<std::uint8_t>(parts[0]),
+                     static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]),
+                     static_cast<std::uint8_t>(parts[3])};
+}
+
+std::string Ipv4Address::toString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string toString(EtherType type) {
+  switch (type) {
+    case EtherType::kIpv4:
+      return "ipv4";
+    case EtherType::kArp:
+      return "arp";
+    case EtherType::kVlan:
+      return "vlan";
+  }
+  return "ethertype(unknown)";
+}
+
+std::string toString(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp:
+      return "icmp";
+    case IpProto::kTcp:
+      return "tcp";
+    case IpProto::kUdp:
+      return "udp";
+  }
+  return "ipproto(unknown)";
+}
+
+}  // namespace sdnshield::of

@@ -1,0 +1,757 @@
+#include "of/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace sdnshield::of::wire {
+
+namespace {
+
+// ofp_flow_wildcards (OF 1.0 §5.2.3).
+constexpr std::uint32_t kWildInPort = 1u << 0;
+constexpr std::uint32_t kWildDlVlan = 1u << 1;
+constexpr std::uint32_t kWildDlSrc = 1u << 2;
+constexpr std::uint32_t kWildDlDst = 1u << 3;
+constexpr std::uint32_t kWildDlType = 1u << 4;
+constexpr std::uint32_t kWildNwProto = 1u << 5;
+constexpr std::uint32_t kWildTpSrc = 1u << 6;
+constexpr std::uint32_t kWildTpDst = 1u << 7;
+constexpr std::uint32_t kWildNwSrcShift = 8;
+constexpr std::uint32_t kWildNwDstShift = 14;
+constexpr std::uint32_t kWildDlVlanPcp = 1u << 20;
+constexpr std::uint32_t kWildNwTos = 1u << 21;
+
+constexpr std::uint16_t kOfppNone = 0xffff;
+constexpr std::uint32_t kNoBuffer = 0xffffffffu;
+
+// ofp_action_type.
+constexpr std::uint16_t kActOutput = 0;
+constexpr std::uint16_t kActSetVlanVid = 1;
+constexpr std::uint16_t kActSetDlSrc = 4;
+constexpr std::uint16_t kActSetDlDst = 5;
+constexpr std::uint16_t kActSetNwSrc = 6;
+constexpr std::uint16_t kActSetNwDst = 7;
+constexpr std::uint16_t kActSetTpSrc = 9;
+constexpr std::uint16_t kActSetTpDst = 10;
+
+// ofp_stats_types.
+constexpr std::uint16_t kStatsFlow = 1;
+constexpr std::uint16_t kStatsTable = 3;
+constexpr std::uint16_t kStatsPort = 4;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v & 0xffffffffu));
+  }
+  void mac(const MacAddress& address) {
+    for (auto octet : address.octets()) out_.push_back(octet);
+  }
+  void pad(std::size_t n) { out_.insert(out_.end(), n, 0); }
+  void raw(const Bytes& bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  void patchU16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+  }
+  std::size_t size() const { return out_.size(); }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data, std::size_t offset = 0)
+      : data_(data), pos_(offset) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t high = u16();
+    return (high << 16) | u16();
+  }
+  std::uint64_t u64() {
+    std::uint64_t high = u32();
+    return (high << 32) | u32();
+  }
+  MacAddress mac() {
+    need(6);
+    std::array<std::uint8_t, 6> octets{};
+    for (auto& octet : octets) octet = data_[pos_++];
+    return MacAddress{octets};
+  }
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+  Bytes rest() {
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+    pos_ = data_.size();
+    return out;
+  }
+  Bytes take(std::size_t n) {
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw DecodeError("truncated message");
+  }
+  const Bytes& data_;
+  std::size_t pos_;
+};
+
+/// Prefix length of an IPv4 mask, or -1 when not a prefix mask.
+int prefixLength(Ipv4Address mask) {
+  std::uint32_t inv = ~mask.value();
+  if ((inv & (inv + 1)) != 0) return -1;  // Not of the form 0...01...1.
+  return std::popcount(mask.value());
+}
+
+void writeMatch(Writer& writer, const FlowMatch& match) {
+  std::uint32_t wildcards = kWildDlVlanPcp | kWildNwTos;  // Never modelled.
+  if (!match.inPort) wildcards |= kWildInPort;
+  if (!match.vlanId) wildcards |= kWildDlVlan;
+  if (!match.ethSrc) wildcards |= kWildDlSrc;
+  if (!match.ethDst) wildcards |= kWildDlDst;
+  if (!match.ethType) wildcards |= kWildDlType;
+  if (!match.ipProto) wildcards |= kWildNwProto;
+  if (!match.tpSrc) wildcards |= kWildTpSrc;
+  if (!match.tpDst) wildcards |= kWildTpDst;
+  auto ipWildBits = [](const std::optional<MaskedIpv4>& field,
+                       const char* name) -> std::uint32_t {
+    if (!field) return 32;
+    int prefix = prefixLength(field->mask);
+    if (prefix < 0) {
+      throw EncodeError(std::string(name) +
+                        ": OF 1.0 supports prefix masks only");
+    }
+    return static_cast<std::uint32_t>(32 - prefix);
+  };
+  wildcards |= ipWildBits(match.ipSrc, "nw_src") << kWildNwSrcShift;
+  wildcards |= ipWildBits(match.ipDst, "nw_dst") << kWildNwDstShift;
+
+  writer.u32(wildcards);
+  writer.u16(static_cast<std::uint16_t>(match.inPort.value_or(0)));
+  writer.mac(match.ethSrc.value_or(MacAddress{}));
+  writer.mac(match.ethDst.value_or(MacAddress{}));
+  writer.u16(match.vlanId.value_or(0));
+  writer.u8(0);  // dl_vlan_pcp.
+  writer.pad(1);
+  writer.u16(match.ethType.value_or(0));
+  writer.u8(0);  // nw_tos.
+  writer.u8(match.ipProto.value_or(0));
+  writer.pad(2);
+  writer.u32(match.ipSrc ? match.ipSrc->value.value() : 0);
+  writer.u32(match.ipDst ? match.ipDst->value.value() : 0);
+  writer.u16(match.tpSrc.value_or(0));
+  writer.u16(match.tpDst.value_or(0));
+}
+
+FlowMatch readMatch(Reader& reader) {
+  FlowMatch match;
+  std::uint32_t wildcards = reader.u32();
+  std::uint16_t inPort = reader.u16();
+  MacAddress ethSrc = reader.mac();
+  MacAddress ethDst = reader.mac();
+  std::uint16_t vlan = reader.u16();
+  reader.u8();  // dl_vlan_pcp.
+  reader.skip(1);
+  std::uint16_t ethType = reader.u16();
+  reader.u8();  // nw_tos.
+  std::uint8_t nwProto = reader.u8();
+  reader.skip(2);
+  std::uint32_t nwSrc = reader.u32();
+  std::uint32_t nwDst = reader.u32();
+  std::uint16_t tpSrc = reader.u16();
+  std::uint16_t tpDst = reader.u16();
+
+  if (!(wildcards & kWildInPort)) match.inPort = inPort;
+  if (!(wildcards & kWildDlVlan)) match.vlanId = vlan;
+  if (!(wildcards & kWildDlSrc)) match.ethSrc = ethSrc;
+  if (!(wildcards & kWildDlDst)) match.ethDst = ethDst;
+  if (!(wildcards & kWildDlType)) match.ethType = ethType;
+  if (!(wildcards & kWildNwProto)) match.ipProto = nwProto;
+  if (!(wildcards & kWildTpSrc)) match.tpSrc = tpSrc;
+  if (!(wildcards & kWildTpDst)) match.tpDst = tpDst;
+  auto ipField = [](std::uint32_t value, std::uint32_t wildBits)
+      -> std::optional<MaskedIpv4> {
+    if (wildBits >= 32) return std::nullopt;
+    return MaskedIpv4{Ipv4Address{value},
+                      Ipv4Address::prefixMask(static_cast<int>(32 - wildBits))};
+  };
+  match.ipSrc = ipField(nwSrc, (wildcards >> kWildNwSrcShift) & 0x3f);
+  match.ipDst = ipField(nwDst, (wildcards >> kWildNwDstShift) & 0x3f);
+  return match;
+}
+
+void writeActions(Writer& writer, const ActionList& actions) {
+  for (const Action& action : actions) {
+    if (const auto* output = std::get_if<OutputAction>(&action)) {
+      writer.u16(kActOutput);
+      writer.u16(8);
+      writer.u16(static_cast<std::uint16_t>(output->port));
+      writer.u16(output->port == ports::kController ? 0xffff : 0);
+    } else if (const auto* set = std::get_if<SetFieldAction>(&action)) {
+      switch (set->field) {
+        case MatchField::kEthSrc:
+        case MatchField::kEthDst:
+          writer.u16(set->field == MatchField::kEthSrc ? kActSetDlSrc
+                                                       : kActSetDlDst);
+          writer.u16(16);
+          writer.mac(set->macValue);
+          writer.pad(6);
+          break;
+        case MatchField::kIpSrc:
+        case MatchField::kIpDst:
+          writer.u16(set->field == MatchField::kIpSrc ? kActSetNwSrc
+                                                      : kActSetNwDst);
+          writer.u16(8);
+          writer.u32(set->ipValue.value());
+          break;
+        case MatchField::kTpSrc:
+        case MatchField::kTpDst:
+          writer.u16(set->field == MatchField::kTpSrc ? kActSetTpSrc
+                                                      : kActSetTpDst);
+          writer.u16(8);
+          writer.u16(static_cast<std::uint16_t>(set->intValue));
+          writer.pad(2);
+          break;
+        case MatchField::kVlanId:
+          writer.u16(kActSetVlanVid);
+          writer.u16(8);
+          writer.u16(static_cast<std::uint16_t>(set->intValue));
+          writer.pad(2);
+          break;
+        default:
+          throw EncodeError("set-field on " + of::toString(set->field) +
+                            " has no OF 1.0 action");
+      }
+    }
+    // DropAction: OF 1.0 expresses drop as an empty action list.
+  }
+}
+
+ActionList readActions(Reader& reader, std::size_t byteLength) {
+  ActionList actions;
+  std::size_t end = reader.position() + byteLength;
+  while (reader.position() < end) {
+    std::uint16_t type = reader.u16();
+    std::uint16_t length = reader.u16();
+    if (length < 8 || reader.position() + (length - 4) >
+                          end) {
+      throw DecodeError("bad action length");
+    }
+    switch (type) {
+      case kActOutput: {
+        OutputAction output;
+        output.port = reader.u16();
+        reader.u16();  // max_len.
+        actions.push_back(output);
+        break;
+      }
+      case kActSetDlSrc:
+      case kActSetDlDst: {
+        SetFieldAction set;
+        set.field = type == kActSetDlSrc ? MatchField::kEthSrc
+                                         : MatchField::kEthDst;
+        set.macValue = reader.mac();
+        reader.skip(6);
+        actions.push_back(set);
+        break;
+      }
+      case kActSetNwSrc:
+      case kActSetNwDst: {
+        SetFieldAction set;
+        set.field = type == kActSetNwSrc ? MatchField::kIpSrc
+                                         : MatchField::kIpDst;
+        set.ipValue = Ipv4Address{reader.u32()};
+        actions.push_back(set);
+        break;
+      }
+      case kActSetTpSrc:
+      case kActSetTpDst: {
+        SetFieldAction set;
+        set.field = type == kActSetTpSrc ? MatchField::kTpSrc
+                                         : MatchField::kTpDst;
+        set.intValue = reader.u16();
+        reader.skip(2);
+        actions.push_back(set);
+        break;
+      }
+      case kActSetVlanVid: {
+        SetFieldAction set;
+        set.field = MatchField::kVlanId;
+        set.intValue = reader.u16();
+        reader.skip(2);
+        actions.push_back(set);
+        break;
+      }
+      default:
+        throw DecodeError("unsupported action type " + std::to_string(type));
+    }
+  }
+  return actions;
+}
+
+/// Writes the 8-byte ofp_header with a placeholder length, returning the
+/// offset to patch once the body is complete.
+std::size_t writeHeader(Writer& writer, MsgType type, std::uint32_t xid) {
+  writer.u8(kVersion);
+  writer.u8(static_cast<std::uint8_t>(type));
+  std::size_t lengthOffset = writer.size();
+  writer.u16(0);
+  writer.u32(xid);
+  return lengthOffset;
+}
+
+Bytes finish(Writer& writer, std::size_t lengthOffset) {
+  writer.patchU16(lengthOffset, static_cast<std::uint16_t>(writer.size()));
+  return writer.take();
+}
+
+std::pair<std::uint16_t, std::uint16_t> errorCodeFor(ErrorType type) {
+  switch (type) {
+    case ErrorType::kBadRequest:
+      return {1, 0};  // OFPET_BAD_REQUEST / OFPBRC_BAD_VERSION-ish generic.
+    case ErrorType::kBadAction:
+      return {2, 0};  // OFPET_BAD_ACTION.
+    case ErrorType::kBadMatch:
+      return {3, 5};  // OFPET_FLOW_MOD_FAILED / OFPFMFC_UNSUPPORTED.
+    case ErrorType::kTableFull:
+      return {3, 0};  // OFPET_FLOW_MOD_FAILED / OFPFMFC_ALL_TABLES_FULL.
+    case ErrorType::kPermError:
+      return {1, 5};  // OFPET_BAD_REQUEST / OFPBRC_EPERM.
+  }
+  return {1, 0};
+}
+
+ErrorType errorTypeFor(std::uint16_t type, std::uint16_t code) {
+  if (type == 1 && code == 5) return ErrorType::kPermError;
+  if (type == 2) return ErrorType::kBadAction;
+  if (type == 3 && code == 0) return ErrorType::kTableFull;
+  if (type == 3) return ErrorType::kBadMatch;
+  return ErrorType::kBadRequest;
+}
+
+}  // namespace
+
+bool isEncodable(const FlowMatch& match) {
+  auto prefixOk = [](const std::optional<MaskedIpv4>& field) {
+    return !field || prefixLength(field->mask) >= 0;
+  };
+  return prefixOk(match.ipSrc) && prefixOk(match.ipDst);
+}
+
+Bytes encodeHello(std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kHello, xid);
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeEcho(const Echo& echo) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(
+      writer, echo.isReply ? MsgType::kEchoReply : MsgType::kEchoRequest,
+      echo.xid);
+  writer.raw(echo.payload);
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeFlowMod(const FlowMod& mod, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kFlowMod, xid);
+  writeMatch(writer, mod.match);
+  writer.u64(mod.cookie);
+  writer.u16(static_cast<std::uint16_t>(mod.command));
+  writer.u16(static_cast<std::uint16_t>(mod.idleTimeout));
+  writer.u16(static_cast<std::uint16_t>(mod.hardTimeout));
+  writer.u16(mod.priority);
+  writer.u32(kNoBuffer);
+  writer.u16(kOfppNone);  // out_port (delete filter; unused).
+  writer.u16(1);          // flags: OFPFF_SEND_FLOW_REM.
+  writeActions(writer, mod.actions);
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodePacketIn(const PacketIn& packetIn, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kPacketIn, xid);
+  Bytes data = packetIn.packet.serialize();
+  writer.u32(packetIn.bufferId);
+  writer.u16(static_cast<std::uint16_t>(data.size()));
+  writer.u16(static_cast<std::uint16_t>(packetIn.inPort));
+  writer.u8(packetIn.reason == PacketInReason::kNoMatch ? 0 : 1);
+  writer.pad(1);
+  writer.raw(data);
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodePacketOut(const PacketOut& packetOut, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kPacketOut, xid);
+  writer.u32(kNoBuffer);
+  writer.u16(packetOut.inPort == ports::kNone
+                 ? kOfppNone
+                 : static_cast<std::uint16_t>(packetOut.inPort));
+  std::size_t actionsLenOffset = writer.size();
+  writer.u16(0);
+  std::size_t before = writer.size();
+  writeActions(writer, packetOut.actions);
+  writer.patchU16(actionsLenOffset,
+                  static_cast<std::uint16_t>(writer.size() - before));
+  writer.raw(packetOut.packet.serialize());
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeFlowRemoved(const FlowRemoved& removed, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kFlowRemoved, xid);
+  writeMatch(writer, removed.match);
+  writer.u64(removed.cookie);
+  writer.u16(removed.priority);
+  writer.u8(0);  // reason: OFPRR_IDLE_TIMEOUT.
+  writer.pad(1);
+  writer.u32(0);  // duration_sec.
+  writer.u32(0);  // duration_nsec.
+  writer.u16(0);  // idle_timeout.
+  writer.pad(2);
+  writer.u64(0);  // packet_count.
+  writer.u64(0);  // byte_count.
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeError(const ErrorMsg& error, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kError, xid);
+  auto [type, code] = errorCodeFor(error.type);
+  writer.u16(type);
+  writer.u16(code);
+  writer.raw(Bytes(error.detail.begin(), error.detail.end()));
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeStatsRequest(const StatsRequest& request, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kStatsRequest, xid);
+  switch (request.level) {
+    case StatsLevel::kFlow:
+      writer.u16(kStatsFlow);
+      writer.u16(0);  // flags.
+      writeMatch(writer, request.match);
+      writer.u8(0xff);  // table_id: all.
+      writer.pad(1);
+      writer.u16(kOfppNone);
+      break;
+    case StatsLevel::kPort:
+      writer.u16(kStatsPort);
+      writer.u16(0);
+      writer.u16(kOfppNone);  // All ports.
+      writer.pad(6);
+      break;
+    case StatsLevel::kSwitch:
+      writer.u16(kStatsTable);
+      writer.u16(0);
+      break;
+  }
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeStatsReply(const StatsReply& reply, std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset = writeHeader(writer, MsgType::kStatsReply, xid);
+  switch (reply.level) {
+    case StatsLevel::kFlow: {
+      writer.u16(kStatsFlow);
+      writer.u16(0);
+      for (const FlowStatsEntry& entry : reply.flows) {
+        writer.u16(88);  // Entry length (no actions carried).
+        writer.u8(0);    // table_id.
+        writer.pad(1);
+        writeMatch(writer, entry.match);
+        writer.u32(0);  // duration_sec.
+        writer.u32(0);  // duration_nsec.
+        writer.u16(entry.priority);
+        writer.u16(0);  // idle_timeout.
+        writer.u16(0);  // hard_timeout.
+        writer.pad(6);
+        writer.u64(entry.cookie);
+        writer.u64(entry.packetCount);
+        writer.u64(entry.byteCount);
+      }
+      break;
+    }
+    case StatsLevel::kPort: {
+      writer.u16(kStatsPort);
+      writer.u16(0);
+      for (const PortStats& port : reply.ports) {
+        writer.u16(static_cast<std::uint16_t>(port.port));
+        writer.pad(6);
+        writer.u64(port.rxPackets);
+        writer.u64(port.txPackets);
+        writer.u64(port.rxBytes);
+        writer.u64(port.txBytes);
+        for (int i = 0; i < 8; ++i) writer.u64(0);  // Unmodelled counters.
+      }
+      break;
+    }
+    case StatsLevel::kSwitch: {
+      writer.u16(kStatsTable);
+      writer.u16(0);
+      writer.u8(0);  // table_id.
+      writer.pad(3);
+      const char name[32] = "table0";
+      writer.raw(Bytes(name, name + 32));
+      writer.u32((1u << 22) - 1);  // wildcards: OFPFW_ALL.
+      writer.u32(0);               // max_entries (not modelled).
+      writer.u32(static_cast<std::uint32_t>(reply.switchStats.activeFlows));
+      writer.u64(reply.switchStats.lookupCount);
+      writer.u64(reply.switchStats.matchedCount);
+      break;
+    }
+  }
+  return finish(writer, lengthOffset);
+}
+
+Bytes encode(const Message& message, std::uint32_t xid) {
+  struct Visitor {
+    std::uint32_t xid;
+    Bytes operator()(const Hello& hello) const {
+      return encodeHello(hello.xid != 0 ? hello.xid : xid);
+    }
+    Bytes operator()(const Echo& echo) const { return encodeEcho(echo); }
+    Bytes operator()(const FlowMod& mod) const {
+      return encodeFlowMod(mod, xid);
+    }
+    Bytes operator()(const PacketIn& packetIn) const {
+      return encodePacketIn(packetIn, xid);
+    }
+    Bytes operator()(const PacketOut& packetOut) const {
+      return encodePacketOut(packetOut, xid);
+    }
+    Bytes operator()(const FlowRemoved& removed) const {
+      return encodeFlowRemoved(removed, xid);
+    }
+    Bytes operator()(const ErrorMsg& error) const {
+      return encodeError(error, xid);
+    }
+    Bytes operator()(const StatsRequest& request) const {
+      return encodeStatsRequest(request, xid);
+    }
+    Bytes operator()(const StatsReply& reply) const {
+      return encodeStatsReply(reply, xid);
+    }
+  };
+  return std::visit(Visitor{xid}, message);
+}
+
+std::size_t frameLength(const Bytes& buffer) {
+  if (buffer.size() < 8) return 0;
+  if (buffer[0] != kVersion) throw DecodeError("unsupported OF version");
+  std::size_t length = (std::size_t{buffer[2]} << 8) | buffer[3];
+  if (length < 8) throw DecodeError("bad header length");
+  return buffer.size() >= length ? length : 0;
+}
+
+MsgType messageType(const Bytes& wireBytes) {
+  if (wireBytes.size() < 8) throw DecodeError("truncated header");
+  return static_cast<MsgType>(wireBytes[1]);
+}
+
+std::uint32_t transactionId(const Bytes& wireBytes) {
+  if (wireBytes.size() < 8) throw DecodeError("truncated header");
+  return (std::uint32_t{wireBytes[4]} << 24) |
+         (std::uint32_t{wireBytes[5]} << 16) |
+         (std::uint32_t{wireBytes[6]} << 8) | wireBytes[7];
+}
+
+Message decode(const Bytes& wireBytes) {
+  Reader reader(wireBytes);
+  std::uint8_t version = reader.u8();
+  if (version != kVersion) throw DecodeError("unsupported OF version");
+  MsgType type = static_cast<MsgType>(reader.u8());
+  std::uint16_t length = reader.u16();
+  std::uint32_t xid = reader.u32();
+  if (length != wireBytes.size()) {
+    throw DecodeError("header length does not match buffer");
+  }
+  switch (type) {
+    case MsgType::kHello:
+      return Hello{xid};
+    case MsgType::kEchoRequest:
+    case MsgType::kEchoReply:
+      return Echo{type == MsgType::kEchoReply, xid, reader.rest()};
+    case MsgType::kFlowMod: {
+      FlowMod mod;
+      mod.match = readMatch(reader);
+      mod.cookie = reader.u64();
+      std::uint16_t command = reader.u16();
+      if (command > 4) throw DecodeError("bad flow-mod command");
+      mod.command = static_cast<FlowModCommand>(command);
+      mod.idleTimeout = reader.u16();
+      mod.hardTimeout = reader.u16();
+      mod.priority = reader.u16();
+      reader.u32();  // buffer_id.
+      reader.u16();  // out_port.
+      reader.u16();  // flags.
+      mod.actions = readActions(reader, reader.remaining());
+      return mod;
+    }
+    case MsgType::kPacketIn: {
+      PacketIn packetIn;
+      packetIn.bufferId = reader.u32();
+      reader.u16();  // total_len (trust framing).
+      packetIn.inPort = reader.u16();
+      packetIn.reason = reader.u8() == 0 ? PacketInReason::kNoMatch
+                                         : PacketInReason::kAction;
+      reader.skip(1);
+      try {
+        packetIn.packet = Packet::parse(reader.rest());
+      } catch (const std::invalid_argument& error) {
+        throw DecodeError(std::string("bad packet-in payload: ") +
+                          error.what());
+      }
+      return packetIn;
+    }
+    case MsgType::kPacketOut: {
+      PacketOut packetOut;
+      reader.u32();  // buffer_id.
+      std::uint16_t inPort = reader.u16();
+      packetOut.inPort = inPort == kOfppNone ? ports::kNone : inPort;
+      std::uint16_t actionsLength = reader.u16();
+      packetOut.actions = readActions(reader, actionsLength);
+      try {
+        packetOut.packet = Packet::parse(reader.rest());
+      } catch (const std::invalid_argument& error) {
+        throw DecodeError(std::string("bad packet-out payload: ") +
+                          error.what());
+      }
+      return packetOut;
+    }
+    case MsgType::kFlowRemoved: {
+      FlowRemoved removed;
+      removed.match = readMatch(reader);
+      removed.cookie = reader.u64();
+      removed.priority = reader.u16();
+      reader.u8();   // reason.
+      reader.skip(1);
+      reader.u32();  // duration_sec.
+      reader.u32();  // duration_nsec.
+      reader.u16();  // idle_timeout.
+      reader.skip(2);
+      reader.u64();  // packet_count.
+      reader.u64();  // byte_count.
+      return removed;
+    }
+    case MsgType::kError: {
+      ErrorMsg error;
+      std::uint16_t errType = reader.u16();
+      std::uint16_t errCode = reader.u16();
+      error.type = errorTypeFor(errType, errCode);
+      Bytes detail = reader.rest();
+      error.detail.assign(detail.begin(), detail.end());
+      return error;
+    }
+    case MsgType::kStatsRequest: {
+      StatsRequest request;
+      std::uint16_t statsType = reader.u16();
+      reader.u16();  // flags.
+      if (statsType == kStatsFlow) {
+        request.level = StatsLevel::kFlow;
+        request.match = readMatch(reader);
+      } else if (statsType == kStatsPort) {
+        request.level = StatsLevel::kPort;
+      } else if (statsType == kStatsTable) {
+        request.level = StatsLevel::kSwitch;
+      } else {
+        throw DecodeError("unsupported stats type");
+      }
+      return request;
+    }
+    case MsgType::kStatsReply: {
+      StatsReply reply;
+      std::uint16_t statsType = reader.u16();
+      reader.u16();  // flags.
+      if (statsType == kStatsFlow) {
+        reply.level = StatsLevel::kFlow;
+        while (reader.remaining() >= 88) {
+          std::uint16_t entryLength = reader.u16();
+          if (entryLength < 88) throw DecodeError("bad flow stats entry");
+          reader.u8();  // table_id.
+          reader.skip(1);
+          FlowStatsEntry entry;
+          entry.match = readMatch(reader);
+          reader.u32();  // duration_sec.
+          reader.u32();  // duration_nsec.
+          entry.priority = reader.u16();
+          reader.u16();  // idle.
+          reader.u16();  // hard.
+          reader.skip(6);
+          entry.cookie = reader.u64();
+          entry.packetCount = reader.u64();
+          entry.byteCount = reader.u64();
+          reader.skip(entryLength - 88);  // Actions, if any.
+          reply.flows.push_back(std::move(entry));
+        }
+      } else if (statsType == kStatsPort) {
+        reply.level = StatsLevel::kPort;
+        while (reader.remaining() >= 104) {
+          PortStats port;
+          port.port = reader.u16();
+          reader.skip(6);
+          port.rxPackets = reader.u64();
+          port.txPackets = reader.u64();
+          port.rxBytes = reader.u64();
+          port.txBytes = reader.u64();
+          reader.skip(8 * 8);
+          reply.ports.push_back(port);
+        }
+      } else if (statsType == kStatsTable) {
+        reply.level = StatsLevel::kSwitch;
+        reader.u8();  // table_id.
+        reader.skip(3);
+        reader.skip(32);  // name.
+        reader.u32();     // wildcards.
+        reader.u32();     // max_entries.
+        reply.switchStats.activeFlows = reader.u32();
+        reply.switchStats.lookupCount = reader.u64();
+        reply.switchStats.matchedCount = reader.u64();
+      } else {
+        throw DecodeError("unsupported stats type");
+      }
+      return reply;
+    }
+  }
+  throw DecodeError("unsupported message type " +
+                    std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace sdnshield::of::wire

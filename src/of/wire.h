@@ -1,0 +1,102 @@
+// OpenFlow 1.0 wire codec: binary (de)serialisation of the southbound
+// messages this library models — flow-mods, packet-in/out, flow-removed,
+// stats, errors and echo — per the OpenFlow 1.0.0 specification (big-endian,
+// 8-byte ofp_header framing, 40-byte ofp_match).
+//
+// The in-process simulator does not need wire framing, but a
+// controller-independent permission engine does: this is what lets the
+// library sit in front of a real OF 1.0 control channel.
+//
+// Encoding restriction inherited from OF 1.0: IPv4 matches support prefix
+// masks only; encoding a non-prefix MaskedIpv4 throws EncodeError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "of/flow_mod.h"
+#include "of/messages.h"
+
+namespace sdnshield::of::wire {
+
+inline constexpr std::uint8_t kVersion = 0x01;  // OpenFlow 1.0.
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kStatsRequest = 16,
+  kStatsReply = 17,
+};
+
+class EncodeError : public std::runtime_error {
+ public:
+  explicit EncodeError(const std::string& message)
+      : std::runtime_error("OF encode error: " + message) {}
+};
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& message)
+      : std::runtime_error("OF decode error: " + message) {}
+};
+
+struct Hello {
+  std::uint32_t xid = 0;
+};
+
+struct Echo {
+  bool isReply = false;
+  std::uint32_t xid = 0;
+  Bytes payload;
+};
+
+/// Any message this codec understands. DatapathId is carried out-of-band by
+/// the connection (as in real OF), so dpid fields of decoded messages are 0.
+using Message = std::variant<Hello, Echo, FlowMod, PacketIn, PacketOut,
+                             FlowRemoved, ErrorMsg, StatsRequest, StatsReply>;
+
+// --- encoding ------------------------------------------------------------------
+
+Bytes encodeHello(std::uint32_t xid = 0);
+Bytes encodeEcho(const Echo& echo);
+Bytes encodeFlowMod(const FlowMod& mod, std::uint32_t xid = 0);
+Bytes encodePacketIn(const PacketIn& packetIn, std::uint32_t xid = 0);
+Bytes encodePacketOut(const PacketOut& packetOut, std::uint32_t xid = 0);
+Bytes encodeFlowRemoved(const FlowRemoved& removed, std::uint32_t xid = 0);
+Bytes encodeError(const ErrorMsg& error, std::uint32_t xid = 0);
+Bytes encodeStatsRequest(const StatsRequest& request, std::uint32_t xid = 0);
+Bytes encodeStatsReply(const StatsReply& reply, std::uint32_t xid = 0);
+
+/// Encodes any message.
+Bytes encode(const Message& message, std::uint32_t xid = 0);
+
+// --- decoding -------------------------------------------------------------------
+
+/// Decodes exactly one message. Throws DecodeError on truncation, bad
+/// version, unknown type, or malformed bodies.
+Message decode(const Bytes& wireBytes);
+
+/// Frame splitter for a byte stream: returns the length of the first
+/// complete message in @p buffer, or 0 when more bytes are needed.
+/// Throws DecodeError when the header is malformed.
+std::size_t frameLength(const Bytes& buffer);
+
+/// Introspection helpers.
+MsgType messageType(const Bytes& wireBytes);
+std::uint32_t transactionId(const Bytes& wireBytes);
+
+// --- ofp_match <-> FlowMatch -----------------------------------------------------
+
+/// True when the match is representable in OF 1.0 (prefix IPv4 masks only).
+bool isEncodable(const FlowMatch& match);
+
+}  // namespace sdnshield::of::wire

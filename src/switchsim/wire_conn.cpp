@@ -1,0 +1,54 @@
+#include "switchsim/wire_conn.h"
+
+namespace sdnshield::sim {
+
+namespace wire = of::wire;
+
+WireSwitchConn::WireSwitchConn(std::shared_ptr<SimSwitch> sw,
+                               ctrl::Controller* controller)
+    : sw_(std::move(sw)) {
+  of::DatapathId dpid = sw_->dpid();
+  sw_->setPacketInSink([this, controller, dpid](const of::PacketIn& packetIn) {
+    // Switch -> controller direction: OFPT_PACKET_IN over the wire.
+    of::Bytes frame = wire::encodePacketIn(packetIn);
+    bytesFromSwitch_.fetch_add(frame.size(), std::memory_order_relaxed);
+    auto decoded = std::get<of::PacketIn>(wire::decode(frame));
+    decoded.dpid = dpid;  // Connection identity, as in real OF.
+    if (controller != nullptr) controller->onPacketIn(decoded);
+  });
+}
+
+bool WireSwitchConn::applyFlowMod(const of::FlowMod& mod) {
+  of::Bytes frame = wire::encodeFlowMod(mod);
+  bytesToSwitch_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return sw_->applyFlowMod(std::get<of::FlowMod>(wire::decode(frame)));
+}
+
+void WireSwitchConn::transmitPacket(const of::PacketOut& packetOut) {
+  of::Bytes frame = wire::encodePacketOut(packetOut);
+  bytesToSwitch_.fetch_add(frame.size(), std::memory_order_relaxed);
+  sw_->transmitPacket(std::get<of::PacketOut>(wire::decode(frame)));
+}
+
+std::vector<of::FlowEntry> WireSwitchConn::dumpFlows() const {
+  return sw_->dumpFlows();
+}
+
+of::StatsReply WireSwitchConn::queryStats(
+    const of::StatsRequest& request) const {
+  of::Bytes requestFrame = wire::encodeStatsRequest(request);
+  bytesToSwitch_.fetch_add(requestFrame.size(), std::memory_order_relaxed);
+  auto decodedRequest =
+      std::get<of::StatsRequest>(wire::decode(requestFrame));
+  decodedRequest.dpid = sw_->dpid();
+  of::StatsReply reply = sw_->queryStats(decodedRequest);
+  of::Bytes replyFrame = wire::encodeStatsReply(reply);
+  bytesFromSwitch_.fetch_add(replyFrame.size(), std::memory_order_relaxed);
+  auto decodedReply = std::get<of::StatsReply>(wire::decode(replyFrame));
+  // Datapath identity is connection state, not wire payload (real OF too).
+  decodedReply.dpid = sw_->dpid();
+  decodedReply.switchStats.dpid = sw_->dpid();
+  return decodedReply;
+}
+
+}  // namespace sdnshield::sim

@@ -1,0 +1,310 @@
+// Effectiveness tests (paper §IX-B.1): the four proof-of-concept attacks
+// succeed on the baseline monolithic controller and are all blocked under
+// SDNShield with the Scenario-1-style reconciled permissions.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "apps/firewall.h"
+#include "apps/malicious/flow_tunneler.h"
+#include "apps/malicious/info_leaker.h"
+#include "apps/malicious/route_hijacker.h"
+#include "apps/malicious/rst_injector.h"
+#include "apps/routing.h"
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_parser.h"
+#include "core/reconcile/reconciler.h"
+#include "isolation/api_proxy.h"
+#include "switchsim/sim_network.h"
+
+namespace sdnshield::apps {
+namespace {
+
+using namespace std::chrono_literals;
+
+const of::Ipv4Address kEvilIp(203, 0, 113, 66);
+
+/// The Scenario-1 permissions after reconciliation (§VII): limited topology
+/// view, statistics, network access to the admin range only — and no
+/// insert_flow, pkt-in or pkt-out privileges at all.
+perm::PermissionSet scenario1Permissions() {
+  return lang::parsePermissions(
+      "PERM visible_topology LIMITING SWITCH {1,2,3} LINK {(1,2),(2,3)}\n"
+      "PERM read_statistics\n"
+      "PERM network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0\n");
+}
+
+struct Testbed {
+  Testbed() : network(controller) {
+    network.buildLinear(3);
+    h1 = network.hostByIp(of::Ipv4Address(10, 0, 0, 1));
+    h2 = network.hostByIp(of::Ipv4Address(10, 0, 0, 2));
+    h3 = network.hostByIp(of::Ipv4Address(10, 0, 0, 3));
+  }
+
+  ctrl::Controller controller;
+  sim::SimNetwork network;
+  std::shared_ptr<sim::SimHost> h1, h2, h3;
+};
+
+// --- Class 1: RST injection -----------------------------------------------------
+
+TEST(Attack1RstInjection, SucceedsOnBaseline) {
+  Testbed bed;
+  iso::BaselineRuntime runtime(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  auto attacker = std::make_shared<RstInjectorApp>(80);
+  runtime.loadApp(routing);
+  runtime.loadApp(attacker);
+
+  // h1 opens an HTTP session to h3: the first packet punts, the attacker
+  // sees it and injects a RST back at h1.
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  EXPECT_GE(attacker->rstsSent(), 1u);
+  bool rstDelivered = false;
+  for (const of::Packet& packet : bed.h1->received()) {
+    if (packet.tcp && (packet.tcp->flags & of::tcpflags::kRst)) {
+      rstDelivered = true;
+    }
+  }
+  EXPECT_TRUE(rstDelivered);
+}
+
+TEST(Attack1RstInjection, BlockedBySdnShield) {
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  shield.loadApp(routing, lang::parsePermissions(routing->requestedManifest()));
+  auto attacker = std::make_shared<RstInjectorApp>(80);
+  shield.loadApp(attacker, scenario1Permissions());
+
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  ASSERT_TRUE(bed.h3->waitForPackets(1, 2000ms));  // Legit traffic flows.
+  // The attacker could not even subscribe to packet-ins, let alone inject.
+  EXPECT_EQ(attacker->rstsSent(), 0u);
+  for (const of::Packet& packet : bed.h1->received()) {
+    EXPECT_FALSE(packet.tcp && (packet.tcp->flags & of::tcpflags::kRst));
+  }
+}
+
+TEST(Attack1RstInjection, FromPktInFilterAloneStopsFabrication) {
+  // Even with pkt-in visibility granted, the FROM_PKT_IN pkt-out filter
+  // stops the forged RST (defence in depth).
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto attacker = std::make_shared<RstInjectorApp>(80);
+  shield.loadApp(attacker, lang::parsePermissions(
+                               "PERM pkt_in_event\nPERM read_payload\n"
+                               "PERM send_pkt_out LIMITING FROM_PKT_IN\n"));
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  // Drain the attacker's event processing.
+  auto container = shield.container(1);
+  ASSERT_NE(container, nullptr);
+  container->postAndWait([] {});
+  EXPECT_EQ(attacker->rstsSent(), 0u);
+  EXPECT_GE(attacker->sendsDenied(), 1u);
+}
+
+// --- Class 2: information leakage --------------------------------------------------
+
+TEST(Attack2InfoLeak, SucceedsOnBaseline) {
+  Testbed bed;
+  iso::BaselineRuntime runtime(bed.controller);
+  auto attacker = std::make_shared<InfoLeakerApp>(kEvilIp);
+  runtime.loadApp(attacker);
+  EXPECT_TRUE(attacker->leak());
+  auto leaked = runtime.hostSystem().netMessagesTo(kEvilIp);
+  ASSERT_EQ(leaked.size(), 1u);
+  // The stolen payload really contains network internals.
+  EXPECT_NE(leaked[0].data.find("links:"), std::string::npos);
+  EXPECT_NE(leaked[0].data.find("hosts:"), std::string::npos);
+}
+
+TEST(Attack2InfoLeak, BlockedBySdnShield) {
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto attacker = std::make_shared<InfoLeakerApp>(kEvilIp);
+  of::AppId id = shield.loadApp(attacker, scenario1Permissions());
+  // Run the leak inside the sandbox, as the compromised app would.
+  shield.container(id)->postAndWait([&] { attacker->leak(); });
+  EXPECT_EQ(attacker->leaksSucceeded(), 0u);
+  EXPECT_EQ(attacker->leaksBlocked(), 1u);
+  EXPECT_TRUE(shield.hostSystem().netMessagesTo(kEvilIp).empty());
+}
+
+TEST(Attack2InfoLeak, AdminRangeReportingStillWorks) {
+  // The same permissions allow the legitimate admin-range reporting path —
+  // minimum privilege, not total lockdown.
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto attacker = std::make_shared<InfoLeakerApp>(of::Ipv4Address(10, 1, 0, 9));
+  of::AppId id = shield.loadApp(attacker, scenario1Permissions());
+  shield.container(id)->postAndWait([&] { attacker->leak(); });
+  EXPECT_EQ(attacker->leaksSucceeded(), 1u);
+}
+
+// --- Class 3: route hijacking -------------------------------------------------------
+
+TEST(Attack3RouteHijack, SucceedsOnBaseline) {
+  Testbed bed;
+  iso::BaselineRuntime runtime(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  runtime.loadApp(routing);
+  // Attacker controls h2 (middle); victims talk h1 -> h3.
+  auto attacker =
+      std::make_shared<RouteHijackerApp>(bed.h3->ip(), bed.h2->ip());
+  runtime.loadApp(attacker);
+
+  // Legitimate path first.
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  ASSERT_EQ(bed.h3->receivedCount(), 1u);
+
+  ASSERT_TRUE(attacker->hijack());
+  EXPECT_GT(attacker->rulesInstalled(), 0u);
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40001, 80, of::tcpflags::kSyn));
+  // The packet destined to h3 was delivered to the attacker's host instead.
+  ASSERT_EQ(bed.h2->receivedCount(), 1u);
+  EXPECT_EQ(bed.h2->received()[0].ipv4->dst, bed.h3->ip());
+  EXPECT_EQ(bed.h3->receivedCount(), 1u);  // No new delivery to the victim.
+}
+
+TEST(Attack3RouteHijack, BlockedBySdnShield) {
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  shield.loadApp(routing, lang::parsePermissions(routing->requestedManifest()));
+  auto attacker =
+      std::make_shared<RouteHijackerApp>(bed.h3->ip(), bed.h2->ip());
+  shield.loadApp(attacker, scenario1Permissions());
+
+  EXPECT_FALSE(attacker->hijack());
+  EXPECT_EQ(attacker->rulesInstalled(), 0u);
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  ASSERT_TRUE(bed.h3->waitForPackets(1, 2000ms));
+  EXPECT_EQ(bed.h2->receivedCount(), 0u);  // Nothing diverted.
+}
+
+TEST(Attack3RouteHijack, OwnFlowsFilterAloneStopsOverride) {
+  // Even granted insert_flow, an OWN_FLOWS filter stops rewriting the
+  // routing app's paths.
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  shield.loadApp(routing, lang::parsePermissions(routing->requestedManifest()));
+  auto attacker =
+      std::make_shared<RouteHijackerApp>(bed.h3->ip(), bed.h2->ip());
+  shield.loadApp(attacker,
+                 lang::parsePermissions(
+                     "PERM visible_topology\n"
+                     "PERM insert_flow LIMITING OWN_FLOWS\n"));
+
+  // Establish the legitimate route first.
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  ASSERT_TRUE(bed.h3->waitForPackets(1, 2000ms));
+  // The hijack rules overlap the routing app's rules at higher priority:
+  // every one of them is rejected by the ownership filter.
+  EXPECT_FALSE(attacker->hijack());
+  EXPECT_EQ(attacker->rulesInstalled(), 0u);
+  EXPECT_GT(attacker->rulesDenied(), 0u);
+}
+
+// --- Class 4: dynamic-flow tunneling ---------------------------------------------------
+
+struct TunnelBed : Testbed {
+  TunnelBed() {
+    // Routing + firewall: TCP/23 blocked at the chokepoint s2.
+  }
+};
+
+TEST(Attack4FlowTunnel, SucceedsOnBaseline) {
+  Testbed bed;
+  iso::BaselineRuntime runtime(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  auto firewall = std::make_shared<FirewallApp>();
+  runtime.loadApp(routing);
+  runtime.loadApp(firewall);
+  ASSERT_TRUE(firewall->blockTcpDstPort(2, 23));
+
+  // Warm the routing path with allowed traffic.
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40000, 80, of::tcpflags::kSyn));
+  ASSERT_EQ(bed.h3->receivedCount(), 1u);
+  // Telnet is blocked by the firewall.
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40001, 23, of::tcpflags::kSyn));
+  ASSERT_EQ(bed.h3->receivedCount(), 1u);
+
+  // The tunneler rewrites 23 -> 80 at s1 and back at s3: firewall evaded.
+  auto attacker = std::make_shared<FlowTunnelerApp>(23, 80);
+  runtime.loadApp(attacker);
+  ASSERT_TRUE(attacker->establishTunnel(bed.h1->ip(), bed.h3->ip()));
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40002, 23, of::tcpflags::kSyn));
+  ASSERT_EQ(bed.h3->receivedCount(), 2u);
+  EXPECT_EQ(bed.h3->received()[1].tcp->dstPort, 23);  // Restored at egress.
+}
+
+TEST(Attack4FlowTunnel, BlockedBySdnShield) {
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto routing = std::make_shared<ShortestPathRoutingApp>();
+  auto firewall = std::make_shared<FirewallApp>();
+  shield.loadApp(routing, lang::parsePermissions(routing->requestedManifest()));
+  shield.loadApp(firewall, lang::parsePermissions(firewall->requestedManifest()));
+  ASSERT_TRUE(firewall->blockTcpDstPort(2, 23));
+
+  auto attacker = std::make_shared<FlowTunnelerApp>(23, 80);
+  shield.loadApp(attacker, scenario1Permissions());
+  EXPECT_FALSE(attacker->establishTunnel(bed.h1->ip(), bed.h3->ip()));
+  EXPECT_EQ(attacker->rulesInstalled(), 0u);
+
+  bed.h1->send(of::Packet::makeTcp(bed.h1->mac(), bed.h3->mac(), bed.h1->ip(),
+                                   bed.h3->ip(), 40001, 23, of::tcpflags::kSyn));
+  // Give the async pipeline time: the packet must NOT arrive.
+  EXPECT_FALSE(bed.h3->waitForPackets(1, 300ms));
+}
+
+TEST(Attack4FlowTunnel, ActionForwardFilterAloneStopsRewriting) {
+  // Scenario 2's ACTION FORWARD filter: even with insert_flow, header
+  // rewriting (the tunnel's mechanism) is rejected.
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto attacker = std::make_shared<FlowTunnelerApp>(23, 80);
+  shield.loadApp(attacker,
+                 lang::parsePermissions(
+                     "PERM visible_topology\n"
+                     "PERM insert_flow LIMITING ACTION FORWARD\n"));
+  EXPECT_FALSE(attacker->establishTunnel(bed.h1->ip(), bed.h3->ip()));
+  EXPECT_EQ(attacker->rulesInstalled(), 0u);
+  EXPECT_EQ(attacker->rulesDenied(), 2u);
+}
+
+// --- Forensics --------------------------------------------------------------------------
+
+TEST(Forensics, DeniedAttackCallsAreAudited) {
+  Testbed bed;
+  iso::ShieldRuntime shield(bed.controller);
+  auto attacker = std::make_shared<InfoLeakerApp>(kEvilIp);
+  of::AppId id = shield.loadApp(attacker, scenario1Permissions());
+  shield.container(id)->postAndWait([&] { attacker->leak(); });
+  auto entries = bed.controller.audit().entriesFor(id);
+  ASSERT_FALSE(entries.empty());
+  bool sawDeniedHostCall = false;
+  for (const auto& entry : entries) {
+    if (!entry.allowed &&
+        entry.callType == perm::ApiCallType::kHostNetworkAccess) {
+      sawDeniedHostCall = true;
+    }
+  }
+  EXPECT_TRUE(sawDeniedHostCall);
+}
+
+}  // namespace
+}  // namespace sdnshield::apps

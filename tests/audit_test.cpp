@@ -1,0 +1,87 @@
+#include "core/engine/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sdnshield::engine {
+namespace {
+
+using perm::ApiCall;
+
+TEST(AuditLog, RecordsAllowAndDeny) {
+  AuditLog log;
+  log.record(ApiCall::readTopology(1), true);
+  log.record(ApiCall::fileSystem(2, "/etc/shadow"), false, "missing token");
+  auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].allowed);
+  EXPECT_EQ(entries[0].app, 1u);
+  EXPECT_FALSE(entries[1].allowed);
+  EXPECT_EQ(entries[1].summary, "missing token");
+  EXPECT_EQ(log.deniedCount(), 1u);
+  EXPECT_EQ(log.totalRecorded(), 2u);
+}
+
+TEST(AuditLog, SequenceNumbersAreMonotonic) {
+  AuditLog log;
+  for (int i = 0; i < 5; ++i) log.record(ApiCall::readTopology(1), true);
+  auto entries = log.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].sequence, entries[i - 1].sequence + 1);
+  }
+}
+
+TEST(AuditLog, RingCapacityBoundsMemory) {
+  AuditLog log(10);
+  for (int i = 0; i < 25; ++i) log.record(ApiCall::readTopology(1), true);
+  EXPECT_EQ(log.entries().size(), 10u);
+  EXPECT_EQ(log.totalRecorded(), 25u);
+  // The surviving entries are the most recent ones.
+  EXPECT_EQ(log.entries().front().sequence, 15u);
+}
+
+TEST(AuditLog, FiltersByApp) {
+  AuditLog log;
+  log.record(ApiCall::readTopology(1), true);
+  log.record(ApiCall::readTopology(2), true);
+  log.record(ApiCall::readTopology(1), false, "x");
+  EXPECT_EQ(log.entriesFor(1).size(), 2u);
+  EXPECT_EQ(log.entriesFor(2).size(), 1u);
+  EXPECT_EQ(log.entriesFor(3).size(), 0u);
+}
+
+TEST(AuditLog, ForensicToStringMentionsDecision) {
+  AuditLog log;
+  log.record(ApiCall::fileSystem(7, "/tmp/x"), false, "denied by policy");
+  std::string text = log.entries()[0].toString();
+  EXPECT_NE(text.find("DENY"), std::string::npos);
+  EXPECT_NE(text.find("app=7"), std::string::npos);
+}
+
+TEST(AuditLog, ClearResetsCounters) {
+  AuditLog log;
+  log.record(ApiCall::readTopology(1), false, "x");
+  log.clear();
+  EXPECT_EQ(log.totalRecorded(), 0u);
+  EXPECT_EQ(log.deniedCount(), 0u);
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(AuditLog, ConcurrentRecordingIsSafe) {
+  AuditLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < 1000; ++i) {
+        log.record(ApiCall::readTopology(1), i % 2 == 0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(log.totalRecorded(), 4000u);
+  EXPECT_EQ(log.deniedCount(), 2000u);
+}
+
+}  // namespace
+}  // namespace sdnshield::engine

@@ -1,0 +1,124 @@
+// CBench-style generator: the measurement harness itself must behave —
+// rounds produce responses on both deployments, and the Figure-5 synthetic
+// workload has the advertised shape (token counts, filter counts, violation
+// ratio).
+#include "cbench/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/l2_learning.h"
+#include "core/engine/permission_engine.h"
+#include "core/lang/perm_parser.h"
+#include "isolation/api_proxy.h"
+
+namespace sdnshield::cbench {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Generator, LatencyRoundsRespondOnBaseline) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(2);
+  iso::BaselineRuntime runtime(controller);
+  runtime.loadApp(std::make_shared<apps::L2LearningSwitch>());
+
+  Generator generator(network);
+  generator.setup();
+  LatencyStats stats = generator.runLatency(20, 1000ms);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.samples, 20u);
+  EXPECT_GT(stats.medianUs, 0.0);
+  EXPECT_LE(stats.p10Us, stats.medianUs);
+  EXPECT_LE(stats.medianUs, stats.p90Us);
+}
+
+TEST(Generator, LatencyRoundsRespondUnderShield) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(2);
+  iso::ShieldRuntime shield(controller);
+  auto app = std::make_shared<apps::L2LearningSwitch>();
+  shield.loadApp(app, lang::parsePermissions(app->requestedManifest()));
+
+  Generator generator(network);
+  generator.setup();
+  LatencyStats stats = generator.runLatency(20, 2000ms);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.samples, 20u);
+}
+
+TEST(Generator, ThroughputModeCountsResponses) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(2);
+  iso::BaselineRuntime runtime(controller);
+  runtime.loadApp(std::make_shared<apps::L2LearningSwitch>());
+
+  Generator generator(network);
+  generator.setup();
+  ThroughputStats stats = generator.runThroughput(200ms);
+  EXPECT_GT(stats.totalResponses, 0u);
+  EXPECT_GT(stats.responsesPerSec, 0.0);
+}
+
+TEST(Fig5Workload, ManifestSizesMatchThePaper) {
+  for (std::size_t tokens : {1u, 5u, 15u}) {
+    perm::PermissionSet manifest = makeSyntheticManifest(tokens, 42);
+    EXPECT_EQ(manifest.size(), tokens);
+    EXPECT_TRUE(manifest.has(perm::Token::kInsertFlow));
+    if (tokens >= 2) {
+      EXPECT_TRUE(manifest.has(perm::Token::kReadStatistics));
+    }
+    for (const perm::Permission& grant : manifest.permissions()) {
+      ASSERT_NE(grant.filter, nullptr);
+      EXPECT_GE(grant.filter->leafCount(), 10u);
+      EXPECT_LE(grant.filter->leafCount(), 20u);
+    }
+  }
+}
+
+TEST(Fig5Workload, ManifestIsDeterministicPerSeed) {
+  auto a = makeSyntheticManifest(5, 7);
+  auto b = makeSyntheticManifest(5, 7);
+  EXPECT_TRUE(a.equivalent(b));
+}
+
+TEST(Fig5Workload, TraceViolationRatioIsHonoured) {
+  perm::PermissionSet manifest = makeSyntheticManifest(5, 42);
+  engine::CompiledPermissions compiled(manifest);
+  auto trace = makeSyntheticTrace(manifest, 4000, 0.05, 1);
+  ASSERT_EQ(trace.size(), 4000u);
+  std::size_t denied = 0;
+  std::size_t inserts = 0;
+  for (const perm::ApiCall& call : trace) {
+    if (!compiled.check(call).allowed) ++denied;
+    if (call.type == perm::ApiCallType::kInsertFlow) ++inserts;
+  }
+  double ratio = static_cast<double>(denied) / static_cast<double>(trace.size());
+  EXPECT_NEAR(ratio, 0.05, 0.02);
+  EXPECT_NEAR(static_cast<double>(inserts), 2000.0, 1.0);
+}
+
+TEST(Fig5Workload, InRangeCallsPassAllManifestSizes) {
+  // The small (1-token) manifest grants exactly the benched call type, so
+  // test each call type against a manifest built for it.
+  const std::pair<perm::Token, perm::ApiCallType> benched[] = {
+      {perm::Token::kInsertFlow, perm::ApiCallType::kInsertFlow},
+      {perm::Token::kReadStatistics, perm::ApiCallType::kReadStatistics},
+  };
+  for (const auto& [primary, callType] : benched) {
+    for (std::size_t tokens : {1u, 5u, 15u}) {
+      perm::PermissionSet manifest = makeSyntheticManifest(tokens, 42, primary);
+      engine::CompiledPermissions compiled(manifest);
+      auto trace = makeSyntheticTrace(manifest, 500, 0.0, 2);
+      for (const perm::ApiCall& call : trace) {
+        if (call.type != callType) continue;
+        EXPECT_TRUE(compiled.check(call).allowed) << call.toString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdnshield::cbench

@@ -1,0 +1,206 @@
+// Controller kernel: southbound attachment, topology learning, kernel ops,
+// ownership stamping, event dispatch and the data bus.
+#include "controller/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "controller/services.h"
+#include "switchsim/sim_switch.h"
+
+namespace sdnshield::ctrl {
+namespace {
+
+std::shared_ptr<sim::SimSwitch> makeSwitch(Controller& controller,
+                                           of::DatapathId dpid) {
+  auto sw = std::make_shared<sim::SimSwitch>(dpid);
+  sw->setController(&controller);
+  controller.attachSwitch(sw);
+  return sw;
+}
+
+of::FlowMod modTo(const char* ipDst, std::uint16_t priority = 10) {
+  of::FlowMod mod;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ipDst)};
+  mod.priority = priority;
+  mod.actions.push_back(of::OutputAction{1});
+  return mod;
+}
+
+TEST(Controller, AttachDetachMaintainsTopology) {
+  Controller controller;
+  makeSwitch(controller, 1);
+  makeSwitch(controller, 2);
+  controller.addLink(1, 2, 2, 3);
+  net::Topology topo = controller.kernelReadTopology();
+  EXPECT_EQ(topo.switchCount(), 2u);
+  EXPECT_TRUE(topo.hasLink(1, 2));
+  controller.detachSwitch(2);
+  topo = controller.kernelReadTopology();
+  EXPECT_EQ(topo.switchCount(), 1u);
+  EXPECT_FALSE(topo.hasLink(1, 2));
+  EXPECT_EQ(controller.switchIds().size(), 1u);
+}
+
+TEST(Controller, TopologyEventsFireOnChanges) {
+  Controller controller;
+  std::vector<TopologyChange> seen;
+  controller.addTopologySubscriber(1, [&](const Event& event) {
+    seen.push_back(std::get<TopologyEvent>(event).change);
+  });
+  makeSwitch(controller, 1);
+  makeSwitch(controller, 2);
+  controller.addLink(1, 2, 2, 3);
+  controller.learnHost(net::Host{of::MacAddress::fromUint64(1),
+                                 of::Ipv4Address(10, 0, 0, 1), 1, 1});
+  controller.detachSwitch(2);
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen[0], TopologyChange::kSwitchUp);
+  EXPECT_EQ(seen[2], TopologyChange::kLinkUp);
+  EXPECT_EQ(seen[3], TopologyChange::kHostSeen);
+  EXPECT_EQ(seen[4], TopologyChange::kSwitchDown);
+}
+
+TEST(Controller, KernelInsertFlowStampsCookieAndTracksOwnership) {
+  Controller controller;
+  auto sw = makeSwitch(controller, 1);
+  ASSERT_TRUE(controller.kernelInsertFlow(7, 1, modTo("10.0.0.1")).ok);
+  auto flows = sw->dumpFlows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].cookie, 7u);
+  EXPECT_EQ(controller.ownership().countFor(7, 1), 1u);
+}
+
+TEST(Controller, KernelInsertToUnknownSwitchFails) {
+  Controller controller;
+  ApiResult result = controller.kernelInsertFlow(7, 99, modTo("10.0.0.1"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Controller, FlowEventsCarryIssuerAndChange) {
+  Controller controller;
+  makeSwitch(controller, 1);
+  std::vector<FlowEvent> events;
+  controller.addFlowSubscriber(1, [&](const Event& event) {
+    events.push_back(std::get<FlowEvent>(event));
+  });
+  controller.kernelInsertFlow(7, 1, modTo("10.0.0.1"));
+  controller.kernelDeleteFlow(7, 1, modTo("10.0.0.1").match, true, 10);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].change, FlowChange::kInstalled);
+  EXPECT_EQ(events[0].issuer, 7u);
+  EXPECT_EQ(events[1].change, FlowChange::kRemoved);
+}
+
+TEST(Controller, KernelDeleteRemovesFromSwitchAndTracker) {
+  Controller controller;
+  auto sw = makeSwitch(controller, 1);
+  controller.kernelInsertFlow(7, 1, modTo("10.0.0.1"));
+  controller.kernelDeleteFlow(7, 1, modTo("10.0.0.1").match, true, 10);
+  EXPECT_TRUE(sw->dumpFlows().empty());
+  EXPECT_EQ(controller.ownership().countFor(7, 1), 0u);
+}
+
+TEST(Controller, ReadFlowTableReturnsInstalledRules) {
+  Controller controller;
+  makeSwitch(controller, 1);
+  controller.kernelInsertFlow(7, 1, modTo("10.0.0.1"));
+  controller.kernelInsertFlow(8, 1, modTo("10.0.0.2", 20));
+  auto response = controller.kernelReadFlowTable(1);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.value.size(), 2u);
+  EXPECT_FALSE(controller.kernelReadFlowTable(42).ok);
+}
+
+TEST(Controller, ReadStatisticsRoutesToSwitch) {
+  Controller controller;
+  makeSwitch(controller, 1);
+  controller.kernelInsertFlow(7, 1, modTo("10.0.0.1"));
+  of::StatsRequest request;
+  request.level = of::StatsLevel::kSwitch;
+  request.dpid = 1;
+  auto response = controller.kernelReadStatistics(request);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.value.switchStats.activeFlows, 1u);
+}
+
+TEST(Controller, PacketInDispatchReachesAllSubscribers) {
+  Controller controller;
+  int countA = 0;
+  int countB = 0;
+  controller.addPacketInSubscriber(1, [&](const Event&) { ++countA; });
+  controller.addPacketInSubscriber(2, [&](const Event&) { ++countB; });
+  controller.onPacketIn(of::PacketIn{1, 1, of::PacketInReason::kNoMatch, 0, {}});
+  EXPECT_EQ(countA, 1);
+  EXPECT_EQ(countB, 1);
+}
+
+TEST(Controller, DataBusRoutesByTopic) {
+  Controller controller;
+  std::vector<std::string> received;
+  controller.addDataSubscriber(1, "alto.costmap", [&](const Event& event) {
+    received.push_back(std::get<DataUpdateEvent>(event).payload);
+  });
+  controller.addDataSubscriber(2, "other.topic", [&](const Event&) {
+    FAIL() << "wrong topic delivered";
+  });
+  controller.kernelPublishData(9, "alto.costmap", "payload1");
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "payload1");
+}
+
+TEST(Controller, RemoveSubscribersSilencesApp) {
+  Controller controller;
+  int count = 0;
+  controller.addPacketInSubscriber(5, [&](const Event&) { ++count; });
+  controller.removeSubscribers(5);
+  controller.onPacketIn(of::PacketIn{1, 1, of::PacketInReason::kNoMatch, 0, {}});
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Controller, ErrorEventsReachSubscribers) {
+  Controller controller;
+  std::vector<of::ErrorType> seen;
+  controller.addErrorSubscriber(1, [&](const Event& event) {
+    seen.push_back(std::get<ErrorEvent>(event).error.type);
+  });
+  controller.onSwitchError(of::ErrorMsg{1, of::ErrorType::kTableFull, "full"});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], of::ErrorType::kTableFull);
+}
+
+TEST(BuildPathFlowMods, InstallsPerHopRulesWithPorts) {
+  net::Topology topo;
+  topo.addSwitch(1);
+  topo.addSwitch(2);
+  topo.addLink(1, 2, 2, 3);
+  net::Host src{of::MacAddress::fromUint64(1), of::Ipv4Address(10, 0, 0, 1), 1, 1};
+  net::Host dst{of::MacAddress::fromUint64(2), of::Ipv4Address(10, 0, 0, 2), 2, 1};
+  topo.attachHost(src);
+  topo.attachHost(dst);
+  of::FlowMatch match;
+  match.ipDst = of::MaskedIpv4{dst.ip};
+  auto mods = buildPathFlowMods(topo, src, dst, match, 30);
+  ASSERT_TRUE(mods.has_value());
+  ASSERT_EQ(mods->size(), 2u);
+  EXPECT_EQ((*mods)[0].first, 1u);
+  EXPECT_EQ((*mods)[0].second.match.inPort, 1u);  // Host-facing ingress.
+  EXPECT_EQ(std::get<of::OutputAction>((*mods)[0].second.actions[0]).port, 2u);
+  EXPECT_EQ((*mods)[1].first, 2u);
+  EXPECT_EQ(std::get<of::OutputAction>((*mods)[1].second.actions[0]).port, 1u);
+}
+
+TEST(BuildPathFlowMods, DisconnectedHostsYieldNothing) {
+  net::Topology topo;
+  topo.addSwitch(1);
+  topo.addSwitch(2);  // No link.
+  net::Host src{of::MacAddress::fromUint64(1), of::Ipv4Address(10, 0, 0, 1), 1, 1};
+  net::Host dst{of::MacAddress::fromUint64(2), of::Ipv4Address(10, 0, 0, 2), 2, 1};
+  topo.attachHost(src);
+  topo.attachHost(dst);
+  EXPECT_FALSE(
+      buildPathFlowMods(topo, src, dst, of::FlowMatch::any(), 30).has_value());
+}
+
+}  // namespace
+}  // namespace sdnshield::ctrl

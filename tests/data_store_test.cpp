@@ -1,0 +1,134 @@
+// Model-driven data store (§VIII-B): per-subtree sensitivity annotations,
+// mediated reads/writes/lists/subscriptions, longest-prefix resolution,
+// kernel bypass and fail-closed behaviour for undeclared nodes.
+#include "controller/data_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lang/perm_parser.h"
+
+namespace sdnshield::ctrl {
+namespace {
+
+using lang::parsePermissions;
+using perm::Token;
+
+class DataStoreTest : public ::testing::Test {
+ protected:
+  DataStoreTest() : store_(&engine_, &audit_) {
+    engine_.install(1, parsePermissions("PERM visible_topology\n"
+                                        "PERM read_statistics\n"));
+    engine_.install(2, parsePermissions("PERM modify_topology\n"
+                                        "PERM visible_topology\n"));
+    engine_.install(3, parsePermissions("PERM read_statistics\n"));
+    // The YANG-extension analogue: annotate subtrees with required tokens.
+    store_.defineSensitivity("topology", Token::kVisibleTopology,
+                             Token::kModifyTopology);
+    store_.defineSensitivity("statistics", Token::kReadStatistics,
+                             std::nullopt);
+    // Kernel seeds the tree.
+    store_.write(of::kKernelAppId, "topology/switches", "1,2,3");
+    store_.write(of::kKernelAppId, "statistics/s1", "lookups=10");
+  }
+
+  engine::PermissionEngine engine_;
+  engine::AuditLog audit_;
+  DataStore store_;
+};
+
+TEST_F(DataStoreTest, ReadRequiresTheSubtreeReadToken) {
+  auto allowed = store_.read(1, "topology/switches");
+  ASSERT_TRUE(allowed.ok);
+  EXPECT_EQ(allowed.value, "1,2,3");
+  auto deniedApp = store_.read(3, "topology/switches");  // No topo token.
+  EXPECT_FALSE(deniedApp.ok);
+  EXPECT_NE(deniedApp.error.find("permission denied"), std::string::npos);
+}
+
+TEST_F(DataStoreTest, WriteRequiresTheSubtreeWriteToken) {
+  EXPECT_FALSE(store_.write(1, "topology/links", "x").ok);  // Read-only app.
+  EXPECT_TRUE(store_.write(2, "topology/links", "(1,2)").ok);
+  EXPECT_EQ(store_.read(2, "topology/links").value, "(1,2)");
+}
+
+TEST_F(DataStoreTest, NoWriteTokenMeansSubtreeIsAppWritable) {
+  // statistics has no write token declared: any installed app may publish.
+  EXPECT_TRUE(store_.write(3, "statistics/s2", "lookups=0").ok);
+}
+
+TEST_F(DataStoreTest, UndeclaredSubtreesFailClosedForApps) {
+  ASSERT_TRUE(store_.write(of::kKernelAppId, "secrets/key", "hunter2").ok);
+  EXPECT_FALSE(store_.read(1, "secrets/key").ok);
+  EXPECT_FALSE(store_.write(2, "secrets/key", "x").ok);
+  // Kernel is unrestricted.
+  EXPECT_TRUE(store_.read(of::kKernelAppId, "secrets/key").ok);
+}
+
+TEST_F(DataStoreTest, LongestPrefixAnnotationWins) {
+  // A nested, stricter annotation overrides the parent's.
+  store_.defineSensitivity("topology/secrets", Token::kProcessRuntime,
+                           Token::kProcessRuntime);
+  store_.write(of::kKernelAppId, "topology/secrets/inventory", "x");
+  EXPECT_TRUE(store_.read(1, "topology/switches").ok);
+  EXPECT_FALSE(store_.read(1, "topology/secrets/inventory").ok);
+}
+
+TEST_F(DataStoreTest, PrefixMatchingRespectsSegmentBoundaries) {
+  store_.defineSensitivity("stat", Token::kProcessRuntime,
+                           Token::kProcessRuntime);
+  // "statistics/s1" is NOT under the "stat" subtree.
+  EXPECT_TRUE(store_.read(1, "statistics/s1").ok);
+}
+
+TEST_F(DataStoreTest, ListIsMediatedAndScoped) {
+  store_.write(of::kKernelAppId, "topology/hosts", "h1");
+  auto listing = store_.list(1, "topology");
+  ASSERT_TRUE(listing.ok);
+  EXPECT_EQ(listing.value.size(), 2u);
+  EXPECT_FALSE(store_.list(3, "topology").ok);
+}
+
+TEST_F(DataStoreTest, ReadOfMissingNodeFailsAfterPassingTheCheck) {
+  auto missing = store_.read(1, "topology/nope");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_NE(missing.error.find("no such data node"), std::string::npos);
+}
+
+TEST_F(DataStoreTest, SubscriptionsAreMediatedAndNotified) {
+  std::vector<std::string> seen;
+  // App 3 lacks the topology read token: subscription rejected.
+  EXPECT_FALSE(store_
+                   .subscribe(3, "topology",
+                              [&](const std::string&, const std::string&) {})
+                   .ok);
+  // App 1 may subscribe; it sees subsequent writes under the prefix.
+  ASSERT_TRUE(store_
+                  .subscribe(1, "topology",
+                             [&](const std::string& path, const std::string&) {
+                               seen.push_back(path);
+                             })
+                  .ok);
+  store_.write(2, "topology/links", "(1,2)");
+  store_.write(of::kKernelAppId, "statistics/s1", "lookups=11");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "topology/links");
+}
+
+TEST_F(DataStoreTest, DeniedAccessesAreAudited) {
+  store_.read(3, "topology/switches");
+  bool sawDenied = false;
+  for (const auto& entry : audit_.entriesFor(3)) {
+    if (!entry.allowed) sawDenied = true;
+  }
+  EXPECT_TRUE(sawDenied);
+}
+
+TEST(DataStoreBaseline, NullEngineIsPassThrough) {
+  DataStore store;  // Monolithic: no mediation.
+  EXPECT_TRUE(store.write(42, "anything/goes", "x").ok);
+  EXPECT_TRUE(store.read(42, "anything/goes").ok);
+  EXPECT_EQ(store.nodeCount(), 1u);
+}
+
+}  // namespace
+}  // namespace sdnshield::ctrl

@@ -1,0 +1,94 @@
+// Compiled-checker fidelity: the permission engine's flat postfix programs
+// must agree with direct AST evaluation of the same filter expressions, for
+// every token, on randomized manifests and call traces. This pins the
+// engine's compilation step (the part the Figure-5 hot path rides on).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "cbench/generator.h"
+#include "core/engine/permission_engine.h"
+
+namespace sdnshield::engine {
+namespace {
+
+/// Direct (uncompiled) check: token lookup + AST evaluation.
+Decision referenceCheck(const perm::PermissionSet& permissions,
+                        const perm::ApiCall& call) {
+  perm::Token token = perm::requiredToken(call.type);
+  auto filter = permissions.filterFor(token);
+  if (!filter) return Decision::deny("missing token");
+  if (*filter && !(*filter)->evaluate(call)) {
+    return Decision::deny("filter rejected");
+  }
+  return Decision::allow();
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EquivalenceTest, CompiledProgramsMatchAstEvaluation) {
+  std::uint64_t seed = GetParam();
+  perm::PermissionSet manifest = cbench::makeSyntheticManifest(15, seed);
+  CompiledPermissions compiled(manifest);
+  auto trace = cbench::makeSyntheticTrace(manifest, 500, 0.3, seed + 1);
+  for (const perm::ApiCall& call : trace) {
+    EXPECT_EQ(compiled.check(call).allowed,
+              referenceCheck(manifest, call).allowed)
+        << call.toString();
+  }
+}
+
+TEST_P(EquivalenceTest, HoldsForRandomHandWrittenExpressions) {
+  std::mt19937 rng(GetParam());
+  using perm::FilterExpr;
+  using perm::FilterExprPtr;
+  using perm::FilterPtr;
+
+  // Random expression over priority/ownership/pkt-out filters (attributes
+  // every call below carries).
+  std::function<FilterExprPtr(int)> build = [&](int depth) -> FilterExprPtr {
+    if (depth == 0 || rng() % 3 == 0) {
+      switch (rng() % 3) {
+        case 0:
+          return FilterExpr::singleton(FilterPtr{new perm::PriorityFilter(
+              rng() % 2 == 0, static_cast<std::uint16_t>(rng() % 100))});
+        case 1:
+          return FilterExpr::singleton(
+              FilterPtr{new perm::OwnershipFilter(rng() % 2 == 0)});
+        default:
+          return FilterExpr::singleton(FilterPtr{new perm::TableSizeFilter(
+              static_cast<std::size_t>(rng() % 20))});
+      }
+    }
+    switch (rng() % 3) {
+      case 0:
+        return FilterExpr::conj(build(depth - 1), build(depth - 1));
+      case 1:
+        return FilterExpr::disj(build(depth - 1), build(depth - 1));
+      default:
+        return FilterExpr::negate(build(depth - 1));
+    }
+  };
+  FilterExprPtr expr = build(5);
+  perm::PermissionSet manifest;
+  manifest.grant(perm::Token::kInsertFlow, expr);
+  CompiledPermissions compiled(manifest);
+
+  for (int i = 0; i < 300; ++i) {
+    of::FlowMod mod;
+    mod.match.tpDst = 80;
+    mod.priority = static_cast<std::uint16_t>(rng() % 100);
+    mod.actions.push_back(of::OutputAction{1});
+    perm::ApiCall call = perm::ApiCall::insertFlow(1, 1, mod);
+    call.ownFlow = rng() % 2 == 0;
+    call.ruleCountAfter = rng() % 20;
+    EXPECT_EQ(compiled.check(call).allowed, expr->evaluate(call))
+        << expr->toString() << " on " << call.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest, ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace sdnshield::engine

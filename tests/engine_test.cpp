@@ -1,0 +1,181 @@
+// Permission engine: compiled checking, token gating, filter programs,
+// topology-projection extraction, kernel bypass and concurrent checking.
+#include "core/engine/permission_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/lang/perm_parser.h"
+
+namespace sdnshield::engine {
+namespace {
+
+using lang::parsePermissions;
+using perm::ApiCall;
+using perm::Token;
+
+of::FlowMod modTo(const char* ipDst, std::uint16_t priority = 10) {
+  of::FlowMod mod;
+  mod.match.ethType = 0x0800;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ipDst)};
+  mod.priority = priority;
+  mod.actions.push_back(of::OutputAction{1});
+  return mod;
+}
+
+TEST(CompiledPermissions, MissingTokenIsDenied) {
+  CompiledPermissions compiled(parsePermissions("PERM read_statistics\n"));
+  Decision decision = compiled.check(ApiCall::insertFlow(1, 1, modTo("10.0.0.1")));
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_NE(decision.reason.find("insert_flow"), std::string::npos);
+}
+
+TEST(CompiledPermissions, UnrestrictedGrantAllows) {
+  CompiledPermissions compiled(parsePermissions("PERM insert_flow\n"));
+  EXPECT_TRUE(compiled.check(ApiCall::insertFlow(1, 1, modTo("10.0.0.1"))).allowed);
+}
+
+TEST(CompiledPermissions, FilterProgramEnforcesPredicates) {
+  CompiledPermissions compiled(parsePermissions(
+      "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0 "
+      "AND MAX_PRIORITY 100\n"));
+  EXPECT_TRUE(
+      compiled.check(ApiCall::insertFlow(1, 1, modTo("10.13.2.3", 50))).allowed);
+  EXPECT_FALSE(
+      compiled.check(ApiCall::insertFlow(1, 1, modTo("10.14.2.3", 50))).allowed);
+  Decision denied =
+      compiled.check(ApiCall::insertFlow(1, 1, modTo("10.13.2.3", 200)));
+  EXPECT_FALSE(denied.allowed);
+  EXPECT_NE(denied.reason.find("filter"), std::string::npos);
+}
+
+TEST(CompiledPermissions, DisjunctionAndNegationPrograms) {
+  CompiledPermissions compiled(parsePermissions(
+      "PERM insert_flow LIMITING NOT OWN_FLOWS OR MAX_PRIORITY 10\n"));
+  ApiCall lowPriority = ApiCall::insertFlow(1, 1, modTo("10.0.0.1", 5));
+  lowPriority.ownFlow = true;
+  EXPECT_TRUE(compiled.check(lowPriority).allowed);
+  ApiCall highOwned = ApiCall::insertFlow(1, 1, modTo("10.0.0.1", 50));
+  highOwned.ownFlow = true;
+  EXPECT_FALSE(compiled.check(highOwned).allowed);
+  ApiCall highForeign = ApiCall::insertFlow(1, 1, modTo("10.0.0.1", 50));
+  highForeign.ownFlow = false;
+  EXPECT_TRUE(compiled.check(highForeign).allowed);
+}
+
+TEST(CompiledPermissions, HasTokenReflectsGrants) {
+  CompiledPermissions compiled(
+      parsePermissions("PERM pkt_in_event\nPERM read_payload\n"));
+  EXPECT_TRUE(compiled.hasToken(Token::kPktInEvent));
+  EXPECT_TRUE(compiled.hasToken(Token::kReadPayload));
+  EXPECT_FALSE(compiled.hasToken(Token::kSendPktOut));
+}
+
+TEST(CompiledPermissions, ExtractsTopologyProjection) {
+  CompiledPermissions compiled(parsePermissions(
+      "PERM visible_topology LIMITING SWITCH {1,2} LINK {(1,2)}\n"));
+  ASSERT_NE(compiled.topologyProjection(), nullptr);
+  EXPECT_EQ(compiled.topologyProjection()->switches().size(), 2u);
+  EXPECT_FALSE(compiled.virtualTopology().has_value());
+}
+
+TEST(CompiledPermissions, ExtractsVirtualTopologyMarker) {
+  CompiledPermissions compiled(parsePermissions(
+      "PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH\n"));
+  ASSERT_TRUE(compiled.virtualTopology().has_value());
+  EXPECT_TRUE(compiled.virtualTopology()->empty());  // Whole network.
+}
+
+TEST(CompiledPermissions, EventSubscriptionGatedByEventTokens) {
+  CompiledPermissions compiled(parsePermissions("PERM pkt_in_event\n"));
+  EXPECT_TRUE(
+      compiled
+          .check(ApiCall::subscribe(1, perm::ApiCallType::kSubscribePacketIn))
+          .allowed);
+  EXPECT_FALSE(
+      compiled
+          .check(ApiCall::subscribe(1, perm::ApiCallType::kSubscribeFlowEvent))
+          .allowed);
+}
+
+TEST(CompiledPermissions, HostCallsGatedByHostTokens) {
+  CompiledPermissions compiled(parsePermissions(
+      "PERM network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0\n"));
+  EXPECT_TRUE(
+      compiled.check(ApiCall::hostNetwork(1, of::Ipv4Address(10, 1, 5, 5), 80))
+          .allowed);
+  EXPECT_FALSE(
+      compiled.check(ApiCall::hostNetwork(1, of::Ipv4Address(8, 8, 8, 8), 80))
+          .allowed);
+  EXPECT_FALSE(compiled.check(ApiCall::fileSystem(1, "/etc/passwd")).allowed);
+}
+
+TEST(PermissionEngine, KernelAppBypassesChecks) {
+  PermissionEngine engine;
+  ApiCall call = ApiCall::insertFlow(of::kKernelAppId, 1, modTo("10.0.0.1"));
+  EXPECT_TRUE(engine.check(call).allowed);
+}
+
+TEST(PermissionEngine, UnknownAppIsDeniedEverything) {
+  PermissionEngine engine;
+  EXPECT_FALSE(engine.check(ApiCall::readTopology(7)).allowed);
+}
+
+TEST(PermissionEngine, InstallUninstallLifecycle) {
+  PermissionEngine engine;
+  engine.install(3, parsePermissions("PERM visible_topology\n"));
+  EXPECT_TRUE(engine.check(ApiCall::readTopology(3)).allowed);
+  ASSERT_NE(engine.compiled(3), nullptr);
+  engine.uninstall(3);
+  EXPECT_FALSE(engine.check(ApiCall::readTopology(3)).allowed);
+  EXPECT_EQ(engine.compiled(3), nullptr);
+}
+
+TEST(PermissionEngine, ReinstallReplacesPermissions) {
+  PermissionEngine engine;
+  engine.install(3, parsePermissions("PERM visible_topology\n"));
+  engine.install(3, parsePermissions("PERM read_statistics\n"));
+  EXPECT_FALSE(engine.check(ApiCall::readTopology(3)).allowed);
+  of::StatsRequest request;
+  EXPECT_TRUE(engine.check(ApiCall::readStatistics(3, request)).allowed);
+}
+
+TEST(PermissionEngine, PerAppIsolationOfGrants) {
+  PermissionEngine engine;
+  engine.install(1, parsePermissions("PERM insert_flow\n"));
+  engine.install(2, parsePermissions("PERM read_statistics\n"));
+  EXPECT_TRUE(engine.check(ApiCall::insertFlow(1, 1, modTo("10.0.0.1"))).allowed);
+  EXPECT_FALSE(engine.check(ApiCall::insertFlow(2, 1, modTo("10.0.0.1"))).allowed);
+}
+
+TEST(PermissionEngine, ConcurrentChecksAreSafe) {
+  PermissionEngine engine;
+  engine.install(1, parsePermissions(
+                        "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK "
+                        "255.255.0.0\n"));
+  std::atomic<int> denials{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&engine, &denials, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const char* ip = (t % 2 == 0) ? "10.13.0.5" : "10.99.0.5";
+        Decision decision =
+            engine.check(ApiCall::insertFlow(1, 1, modTo(ip)));
+        if (!decision.allowed) denials.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(denials.load(), 4 * 2000);  // Odd threads always denied.
+}
+
+TEST(PermissionEngine, SourcePermissionsAreIntrospectable) {
+  PermissionEngine engine;
+  auto perms = parsePermissions("PERM insert_flow\nPERM read_statistics\n");
+  engine.install(9, perms);
+  EXPECT_TRUE(engine.compiled(9)->source().equivalent(perms));
+}
+
+}  // namespace
+}  // namespace sdnshield::engine

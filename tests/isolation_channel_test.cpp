@@ -1,0 +1,119 @@
+#include "isolation/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace sdnshield::iso {
+namespace {
+
+TEST(BoundedMpmcQueue, FifoOrderSingleThread) {
+  BoundedMpmcQueue<int> queue;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedMpmcQueue, TryPushRespectsCapacity) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.tryPush(1));
+  EXPECT_TRUE(queue.tryPush(2));
+  EXPECT_FALSE(queue.tryPush(3));
+  queue.pop();
+  EXPECT_TRUE(queue.tryPush(3));
+}
+
+TEST(BoundedMpmcQueue, TryPopReturnsEmptyWhenDrained) {
+  BoundedMpmcQueue<int> queue;
+  EXPECT_FALSE(queue.tryPop().has_value());
+  queue.push(7);
+  EXPECT_EQ(queue.tryPop(), 7);
+}
+
+TEST(BoundedMpmcQueue, CloseWakesBlockedConsumer) {
+  BoundedMpmcQueue<int> queue;
+  std::atomic<bool> gotEmpty{false};
+  std::thread consumer([&] {
+    auto item = queue.pop();  // Blocks until close.
+    gotEmpty = !item.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(gotEmpty.load());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedMpmcQueue, CloseWakesBlockedProducer) {
+  BoundedMpmcQueue<int> queue(1);
+  queue.push(1);
+  std::atomic<bool> pushRejected{false};
+  std::thread producer([&] { pushRejected = !queue.push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(pushRejected.load());
+}
+
+TEST(BoundedMpmcQueue, DrainsRemainingItemsAfterClose) {
+  BoundedMpmcQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedMpmcQueue, MpmcStressDeliversEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedMpmcQueue<int> queue(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item);
+        received.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.close();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  constexpr long long kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(BoundedMpmcQueue, MoveOnlyPayloadsWork) {
+  BoundedMpmcQueue<std::unique_ptr<int>> queue;
+  queue.push(std::make_unique<int>(42));
+  auto item = queue.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 42);
+}
+
+}  // namespace
+}  // namespace sdnshield::iso

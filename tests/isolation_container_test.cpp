@@ -1,0 +1,145 @@
+// Thread containers and ambient identity: the control-flow-isolation
+// properties of §VI-A (privilege is per thread, inherited by children, and
+// cannot leak across containers).
+#include "isolation/thread_container.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+namespace sdnshield::iso {
+namespace {
+
+TEST(Identity, DefaultIsKernel) {
+  EXPECT_EQ(currentAppId(), of::kKernelAppId);
+}
+
+TEST(Identity, ScopedIdentitySetsAndRestores) {
+  EXPECT_EQ(currentAppId(), of::kKernelAppId);
+  {
+    ScopedIdentity identity(7);
+    EXPECT_EQ(currentAppId(), 7u);
+    {
+      ScopedIdentity nested(9);
+      EXPECT_EQ(currentAppId(), 9u);
+    }
+    EXPECT_EQ(currentAppId(), 7u);
+  }
+  EXPECT_EQ(currentAppId(), of::kKernelAppId);
+}
+
+TEST(Identity, SpawnInheritingCarriesCallerIdentity) {
+  std::promise<of::AppId> observed;
+  std::thread child;
+  {
+    ScopedIdentity identity(5);
+    child = spawnInheriting([&observed] { observed.set_value(currentAppId()); });
+  }
+  child.join();
+  EXPECT_EQ(observed.get_future().get(), 5u);
+}
+
+TEST(Identity, PlainThreadsDoNotInherit) {
+  std::promise<of::AppId> observed;
+  std::thread child;
+  {
+    ScopedIdentity identity(5);
+    child = std::thread([&observed] { observed.set_value(currentAppId()); });
+  }
+  child.join();
+  // A raw std::thread starts with the default (kernel) identity — the
+  // shield runtime only hands apps spawnInheriting.
+  EXPECT_EQ(observed.get_future().get(), of::kKernelAppId);
+}
+
+TEST(ThreadContainer, TasksRunUnderAppIdentity) {
+  ThreadContainer container(7, "app7");
+  container.start();
+  std::promise<of::AppId> observed;
+  container.post([&observed] { observed.set_value(currentAppId()); });
+  EXPECT_EQ(observed.get_future().get(), 7u);
+  container.stop();
+}
+
+TEST(ThreadContainer, PostAndWaitBlocksUntilTaskRan) {
+  ThreadContainer container(7, "app7");
+  container.start();
+  std::atomic<int> value{0};
+  container.postAndWait([&value] { value = 42; });
+  EXPECT_EQ(value.load(), 42);
+  container.stop();
+}
+
+TEST(ThreadContainer, TasksExecuteInOrder) {
+  ThreadContainer container(7, "app7");
+  container.start();
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    container.post([&order, i] { order.push_back(i); });
+  }
+  container.postAndWait([] {});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_GE(container.executedTasks(), 10u);
+  container.stop();
+}
+
+TEST(ThreadContainer, StopDrainsPendingTasks) {
+  ThreadContainer container(7, "app7");
+  container.start();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    container.post([&count] { count.fetch_add(1); });
+  }
+  container.stop();  // close() lets queued tasks drain before join.
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadContainer, PostAfterStopIsRejected) {
+  ThreadContainer container(7, "app7");
+  container.start();
+  container.stop();
+  EXPECT_FALSE(container.post([] {}));
+  container.postAndWait([] { FAIL() << "must not run"; });  // Returns at once.
+}
+
+TEST(ThreadContainer, ThreadsSpawnedFromTasksInheritAppIdentity) {
+  ThreadContainer container(11, "app11");
+  container.start();
+  std::promise<of::AppId> observed;
+  container.postAndWait([&observed] {
+    std::thread child =
+        spawnInheriting([&observed] { observed.set_value(currentAppId()); });
+    child.join();
+  });
+  EXPECT_EQ(observed.get_future().get(), 11u);
+  container.stop();
+}
+
+TEST(ThreadContainer, TwoContainersHaveIndependentIdentities) {
+  ThreadContainer a(1, "a");
+  ThreadContainer b(2, "b");
+  a.start();
+  b.start();
+  std::promise<of::AppId> fromA;
+  std::promise<of::AppId> fromB;
+  a.post([&fromA] { fromA.set_value(currentAppId()); });
+  b.post([&fromB] { fromB.set_value(currentAppId()); });
+  EXPECT_EQ(fromA.get_future().get(), 1u);
+  EXPECT_EQ(fromB.get_future().get(), 2u);
+  a.stop();
+  b.stop();
+}
+
+TEST(ThreadContainer, DestructorStopsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadContainer container(3, "temp");
+    container.start();
+    container.post([&count] { count.fetch_add(1); });
+  }  // Destructor joins.
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace sdnshield::iso

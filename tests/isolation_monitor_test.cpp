@@ -1,0 +1,106 @@
+// Reference monitor (the SecurityManager analogue): host system calls are
+// attributed to the ambient thread identity and gated by host permissions.
+#include "isolation/reference_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lang/perm_parser.h"
+#include "isolation/thread_container.h"
+
+namespace sdnshield::iso {
+namespace {
+
+using lang::parsePermissions;
+
+class ReferenceMonitorTest : public ::testing::Test {
+ protected:
+  ReferenceMonitorTest() : monitor_(host_, &engine_, &audit_) {
+    engine_.install(1, parsePermissions(
+                           "PERM network_access LIMITING IP_DST 10.1.0.0 "
+                           "MASK 255.255.0.0\n"));
+    engine_.install(2, parsePermissions("PERM file_system\n"
+                                        "PERM process_runtime\n"));
+  }
+
+  HostSystem host_;
+  engine::PermissionEngine engine_;
+  engine::AuditLog audit_;
+  ReferenceMonitor monitor_;
+};
+
+TEST_F(ReferenceMonitorTest, AllowsNetSendWithinGrantedRange) {
+  ScopedIdentity identity(1);
+  EXPECT_TRUE(monitor_.netSend(of::Ipv4Address(10, 1, 2, 3), 8080, "report"));
+  auto messages = host_.netMessages();
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].app, 1u);
+  EXPECT_EQ(messages[0].data, "report");
+}
+
+TEST_F(ReferenceMonitorTest, BlocksNetSendOutsideRange) {
+  ScopedIdentity identity(1);
+  EXPECT_FALSE(
+      monitor_.netSend(of::Ipv4Address(203, 0, 113, 66), 4444, "stolen"));
+  EXPECT_TRUE(host_.netMessages().empty());
+  EXPECT_EQ(audit_.deniedCount(), 1u);
+}
+
+TEST_F(ReferenceMonitorTest, BlocksAppsWithoutHostTokens) {
+  ScopedIdentity identity(1);  // App 1 has only network_access.
+  EXPECT_FALSE(monitor_.fileWrite("/tmp/x", "data"));
+  EXPECT_FALSE(monitor_.exec("curl evil.example"));
+  EXPECT_TRUE(host_.fileRecords().empty());
+  EXPECT_TRUE(host_.execRecords().empty());
+}
+
+TEST_F(ReferenceMonitorTest, FileAndExecTokensGateThoseCalls) {
+  ScopedIdentity identity(2);
+  EXPECT_TRUE(monitor_.fileWrite("/var/log/app.log", "line"));
+  EXPECT_TRUE(monitor_.exec("logrotate"));
+  EXPECT_FALSE(monitor_.netSend(of::Ipv4Address(10, 1, 1, 1), 80, "x"));
+  EXPECT_EQ(host_.fileRecords().size(), 1u);
+  EXPECT_EQ(host_.execRecords().size(), 1u);
+}
+
+TEST_F(ReferenceMonitorTest, UnknownAppIsDenied) {
+  ScopedIdentity identity(42);
+  EXPECT_FALSE(monitor_.netSend(of::Ipv4Address(10, 1, 1, 1), 80, "x"));
+}
+
+TEST_F(ReferenceMonitorTest, KernelThreadsAreUnrestricted) {
+  // Default identity is the kernel: full privilege.
+  EXPECT_TRUE(monitor_.netSend(of::Ipv4Address(8, 8, 8, 8), 53, "query"));
+  EXPECT_TRUE(monitor_.fileWrite("/etc/controller.conf", "cfg"));
+}
+
+TEST_F(ReferenceMonitorTest, DecisionsAreAudited) {
+  ScopedIdentity identity(1);
+  monitor_.netSend(of::Ipv4Address(10, 1, 2, 3), 80, "ok");
+  monitor_.netSend(of::Ipv4Address(9, 9, 9, 9), 80, "bad");
+  EXPECT_EQ(audit_.entriesFor(1).size(), 2u);
+  EXPECT_EQ(audit_.deniedCount(), 1u);
+}
+
+TEST(ReferenceMonitorBaseline, NullEngineIsPassThrough) {
+  HostSystem host;
+  ReferenceMonitor passthrough(host, nullptr);
+  ScopedIdentity identity(99);  // Nothing installed anywhere.
+  EXPECT_TRUE(passthrough.netSend(of::Ipv4Address(203, 0, 113, 66), 4444, "x"));
+  EXPECT_TRUE(passthrough.fileWrite("/any", "y"));
+  EXPECT_TRUE(passthrough.exec("anything"));
+  EXPECT_EQ(host.netMessages().size(), 1u);
+  EXPECT_EQ(host.netMessages()[0].app, 99u);  // Still attributed.
+}
+
+TEST(HostSystem, RecordsAreQueryableByEndpoint) {
+  HostSystem host;
+  host.deliverNet({1, of::Ipv4Address(10, 1, 1, 1), 80, "a"});
+  host.deliverNet({2, of::Ipv4Address(10, 2, 2, 2), 80, "b"});
+  EXPECT_EQ(host.netMessagesTo(of::Ipv4Address(10, 1, 1, 1)).size(), 1u);
+  EXPECT_EQ(host.netMessagesTo(of::Ipv4Address(10, 3, 3, 3)).size(), 0u);
+  host.clear();
+  EXPECT_TRUE(host.netMessages().empty());
+}
+
+}  // namespace
+}  // namespace sdnshield::iso

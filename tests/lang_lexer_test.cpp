@@ -1,0 +1,101 @@
+#include "core/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "of/types.h"
+
+namespace sdnshield::lang {
+namespace {
+
+std::vector<TokenType> types(const std::string& input) {
+  std::vector<TokenType> out;
+  for (const LexToken& token : lex(input)) out.push_back(token.type);
+  return out;
+}
+
+TEST(Lexer, TokenizesIdentifiersIntsAndIps) {
+  auto tokens = lex("PERM insert_flow 42 10.13.0.0");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 tokens + end.
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "PERM");
+  EXPECT_EQ(tokens[1].text, "insert_flow");
+  EXPECT_EQ(tokens[2].type, TokenType::kInt);
+  EXPECT_EQ(tokens[2].intValue, 42u);
+  EXPECT_EQ(tokens[3].type, TokenType::kIp);
+  EXPECT_EQ(tokens[3].ipValue, of::Ipv4Address(10, 13, 0, 0).value());
+  EXPECT_EQ(tokens[4].type, TokenType::kEnd);
+}
+
+TEST(Lexer, PunctuationAndComparisons) {
+  auto tokenTypes = types("{ } ( ) , = <= >= < >");
+  std::vector<TokenType> expected{
+      TokenType::kLBrace, TokenType::kRBrace, TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma,  TokenType::kAssign,
+      TokenType::kLe,     TokenType::kGe,     TokenType::kLt,
+      TokenType::kGt,     TokenType::kEnd};
+  EXPECT_EQ(tokenTypes, expected);
+}
+
+TEST(Lexer, NewlinesSeparateStatementsAndCollapse) {
+  auto tokenTypes = types("a\n\n\nb");
+  std::vector<TokenType> expected{TokenType::kIdent, TokenType::kNewline,
+                                  TokenType::kIdent, TokenType::kEnd};
+  EXPECT_EQ(tokenTypes, expected);
+}
+
+TEST(Lexer, LeadingAndTrailingNewlinesAreDropped) {
+  auto tokenTypes = types("\n\na\n\n");
+  std::vector<TokenType> expected{TokenType::kIdent, TokenType::kEnd};
+  EXPECT_EQ(tokenTypes, expected);
+}
+
+TEST(Lexer, BackslashContinuesTheLine) {
+  // The paper's listings wrap statements with a trailing backslash.
+  auto tokenTypes = types("PERM read_flow_table LIMITING \\\n  IP_DST 10.13.0.0");
+  for (TokenType type : tokenTypes) EXPECT_NE(type, TokenType::kNewline);
+}
+
+TEST(Lexer, StrayBackslashIsAnError) {
+  EXPECT_THROW(lex("a \\ b"), ParseError);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  auto tokens = lex("a # comment with PERM tokens\nb // another\nc");
+  std::vector<std::string> idents;
+  for (const LexToken& token : tokens) {
+    if (token.type == TokenType::kIdent) idents.push_back(token.text);
+  }
+  EXPECT_EQ(idents, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto tokens = lex("first\n  second");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  // tokens[1] is the newline separator; tokens[2] is "second".
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(lex("a $ b"), ParseError);
+  EXPECT_THROW(lex("a @"), ParseError);
+}
+
+TEST(Lexer, RejectsMalformedIpLiterals) {
+  EXPECT_THROW(lex("10.13.0"), ParseError);
+  EXPECT_THROW(lex("1.2.3.4.5"), ParseError);
+}
+
+TEST(Lexer, ParseErrorCarriesPosition) {
+  try {
+    lex("good\nbad $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 2);
+    EXPECT_GT(error.column(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace sdnshield::lang

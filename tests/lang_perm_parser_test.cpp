@@ -1,0 +1,191 @@
+// Permission-language parser tests, anchored on the paper's own example
+// listings (§IV, §VII) plus round-trip properties through the printer.
+#include "core/lang/perm_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lang/printer.h"
+
+namespace sdnshield::lang {
+namespace {
+
+using perm::Token;
+
+TEST(PermParser, PaperPredicateFilterExample) {
+  // §IV-a: read the flow entries targeting 10.13.0.0/16.
+  auto set = parsePermissions(
+      "PERM read_flow_table LIMITING \\\n"
+      "IP_DST 10.13.0.0 MASK 255.255.0.0\n");
+  ASSERT_TRUE(set.has(Token::kReadFlowTable));
+  perm::FilterExprPtr filter = *set.filterFor(Token::kReadFlowTable);
+  ASSERT_NE(filter, nullptr);
+  of::FlowMod mod;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 13, 9, 9)};
+  EXPECT_TRUE(filter->evaluate(perm::ApiCall::insertFlow(1, 1, mod)));
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 14, 9, 9)};
+  EXPECT_FALSE(filter->evaluate(perm::ApiCall::insertFlow(1, 1, mod)));
+}
+
+TEST(PermParser, PaperWildcardExample) {
+  // §IV-a: load balancer shuffling on the lower 8 bits of IP_dst.
+  auto set = parsePermissions(
+      "PERM insert_flow LIMITING \\\n"
+      "WILDCARD IP_DST 255.255.255.0\n");
+  ASSERT_TRUE(set.has(Token::kInsertFlow));
+  perm::FilterExprPtr filter = *set.filterFor(Token::kInsertFlow);
+  of::FlowMod lower8;
+  lower8.match.ipDst =
+      of::MaskedIpv4{of::Ipv4Address(0, 0, 0, 9),
+                     of::Ipv4Address::parse("0.0.0.255")};
+  EXPECT_TRUE(filter->evaluate(perm::ApiCall::insertFlow(1, 1, lower8)));
+  of::FlowMod exact;
+  exact.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 1, 2, 3)};
+  EXPECT_FALSE(filter->evaluate(perm::ApiCall::insertFlow(1, 1, exact)));
+}
+
+TEST(PermParser, PaperCompositionExample) {
+  // §IV-b: own flows OR src/dst in 10.13.0.0/16.
+  auto set = parsePermissions(
+      "PERM read_flow_table LIMITING OWN_FLOWS OR \\\n"
+      "IP_SRC 10.13.0.0 MASK 255.255.0.0 OR \\\n"
+      "IP_DST 10.13.0.0 MASK 255.255.0.0\n");
+  perm::FilterExprPtr filter = *set.filterFor(Token::kReadFlowTable);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->leafCount(), 3u);
+}
+
+TEST(PermParser, PaperVirtualTopologyExample) {
+  auto set = parsePermissions(
+      "PERM visible_topology LIMITING \\\n"
+      "VIRTUAL SINGLE_BIG_SWITCH LINK EXTERNAL_LINKS\n");
+  perm::FilterExprPtr filter = *set.filterFor(Token::kVisibleTopology);
+  ASSERT_NE(filter, nullptr);
+  const auto* vt =
+      dynamic_cast<const perm::VirtualTopologyFilter*>(filter->filter().get());
+  ASSERT_NE(vt, nullptr);
+  EXPECT_TRUE(vt->isSingleBigSwitch());
+}
+
+TEST(PermParser, PaperScenario2Manifest) {
+  auto set = parsePermissions(
+      "PERM visible_topology\n"
+      "PERM flow_event\n"
+      "PERM send_pkt_out\n"
+      "PERM insert_flow LIMITING \\\n"
+      "ACTION FORWARD AND OWN_FLOWS\n");
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.has(Token::kVisibleTopology));
+  EXPECT_TRUE(set.has(Token::kSendPktOut));
+  perm::FilterExprPtr filter = *set.filterFor(Token::kInsertFlow);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->op(), perm::FilterExpr::Op::kAnd);
+}
+
+TEST(PermParser, TokenAliasesFromThePaperText) {
+  auto set = parsePermissions(
+      "PERM network_access\n"
+      "PERM send_packet_out\n"
+      "PERM read_topology\n");
+  EXPECT_TRUE(set.has(Token::kHostNetwork));
+  EXPECT_TRUE(set.has(Token::kSendPktOut));
+  EXPECT_TRUE(set.has(Token::kVisibleTopology));
+}
+
+TEST(PermParser, AppHeaderNamesTheManifest) {
+  PermissionManifest manifest =
+      parseManifest("APP monitoring\nPERM read_statistics\n");
+  EXPECT_EQ(manifest.appName, "monitoring");
+  EXPECT_TRUE(manifest.permissions.has(Token::kReadStatistics));
+}
+
+TEST(PermParser, UnknownIdentifierInFilterPositionBecomesStub) {
+  auto set = parsePermissions("PERM network_access LIMITING AdminRange\n");
+  auto stubs = set.collectStubs();
+  ASSERT_EQ(stubs.size(), 1u);
+  EXPECT_EQ(stubs[0], "AdminRange");
+}
+
+TEST(PermParser, PhysicalTopologyFilterWithSwitchAndLinkSets) {
+  auto expr = parseFilterExpr("SWITCH {1,2,3} LINK {(1,2),(2,3)}");
+  const auto* topo =
+      dynamic_cast<const perm::PhysicalTopologyFilter*>(expr->filter().get());
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->switches().size(), 3u);
+  EXPECT_EQ(topo->links().size(), 2u);
+}
+
+TEST(PermParser, BareSwitchListWithoutBraces) {
+  // The paper writes "SWITCH 0,1 LINK ..." without braces in Scenario 1.
+  auto expr = parseFilterExpr("SWITCH 0,1 LINK {(0,1)}");
+  const auto* topo =
+      dynamic_cast<const perm::PhysicalTopologyFilter*>(expr->filter().get());
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->switches().size(), 2u);
+}
+
+TEST(PermParser, PriorityTableSizeAndPktOutFilters) {
+  auto set = parsePermissions(
+      "PERM insert_flow LIMITING MAX_PRIORITY 100 AND MIN_PRIORITY 5 "
+      "AND MAX_RULE_COUNT 1000\n"
+      "PERM send_pkt_out LIMITING FROM_PKT_IN\n");
+  EXPECT_EQ((*set.filterFor(Token::kInsertFlow))->leafCount(), 3u);
+  EXPECT_EQ((*set.filterFor(Token::kSendPktOut))->leafCount(), 1u);
+}
+
+TEST(PermParser, StatisticsAndCallbackFilters) {
+  auto set = parsePermissions(
+      "PERM read_statistics LIMITING PORT_LEVEL OR SWITCH_LEVEL\n"
+      "PERM pkt_in_event LIMITING EVENT_INTERCEPTION\n");
+  EXPECT_TRUE(set.has(Token::kReadStatistics));
+  EXPECT_TRUE(set.has(Token::kPktInEvent));
+}
+
+TEST(PermParser, ParenthesesAndNotCompose) {
+  auto expr = parseFilterExpr(
+      "NOT (OWN_FLOWS AND MAX_PRIORITY 10) OR FROM_PKT_IN");
+  EXPECT_EQ(expr->op(), perm::FilterExpr::Op::kOr);
+  EXPECT_EQ(expr->leafCount(), 3u);
+}
+
+TEST(PermParser, OperatorPrecedenceAndBindsTighterThanOr) {
+  auto expr = parseFilterExpr("OWN_FLOWS OR ALL_FLOWS AND MAX_PRIORITY 5");
+  ASSERT_EQ(expr->op(), perm::FilterExpr::Op::kOr);
+  EXPECT_EQ(expr->rhs()->op(), perm::FilterExpr::Op::kAnd);
+}
+
+TEST(PermParser, ErrorsCarryUsefulMessages) {
+  EXPECT_THROW(parsePermissions("PERM not_a_token\n"), ParseError);
+  EXPECT_THROW(parsePermissions("PERM insert_flow LIMITING MAX_PRIORITY\n"),
+               ParseError);
+  EXPECT_THROW(parsePermissions("insert_flow\n"), ParseError);
+  EXPECT_THROW(parseFilterExpr("OWN_FLOWS trailing"), ParseError);
+}
+
+TEST(PermParser, MultipleStatementsOfSameTokenJoin) {
+  auto set = parsePermissions(
+      "PERM insert_flow LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0\n"
+      "PERM insert_flow LIMITING IP_DST 10.2.0.0 MASK 255.255.0.0\n");
+  perm::FilterExprPtr filter = *set.filterFor(Token::kInsertFlow);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->op(), perm::FilterExpr::Op::kOr);
+}
+
+TEST(PermParser, PrintedManifestReparsesEquivalently) {
+  const char* sources[] = {
+      "PERM read_flow_table LIMITING OWN_FLOWS OR IP_DST 10.13.0.0 MASK "
+      "255.255.0.0\n",
+      "PERM insert_flow LIMITING ACTION FORWARD AND OWN_FLOWS\n"
+      "PERM send_pkt_out LIMITING FROM_PKT_IN\n",
+      "PERM visible_topology LIMITING SWITCH {1,2} LINK {(1,2)}\n"
+      "PERM read_statistics LIMITING PORT_LEVEL\n",
+      "PERM insert_flow LIMITING NOT OWN_FLOWS OR MAX_PRIORITY 9\n",
+  };
+  for (const char* source : sources) {
+    auto original = parsePermissions(source);
+    auto reparsed = parsePermissions(formatPermissions(original));
+    EXPECT_TRUE(original.equivalent(reparsed)) << source;
+  }
+}
+
+}  // namespace
+}  // namespace sdnshield::lang

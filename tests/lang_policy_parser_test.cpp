@@ -1,0 +1,152 @@
+// Security-policy-language parser tests, anchored on the paper's §V and §VII
+// listings.
+#include "core/lang/policy_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lang/printer.h"
+
+namespace sdnshield::lang {
+namespace {
+
+TEST(PolicyParser, PaperMutualExclusionExample) {
+  // §V: ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }.
+  PolicyProgram program = parsePolicy(
+      "ASSERT EITHER { PERM network_access } OR { PERM send_packet_out }\n");
+  ASSERT_EQ(program.constraints.size(), 1u);
+  const Constraint& constraint = program.constraints[0];
+  EXPECT_EQ(constraint.kind, Constraint::Kind::kMutualExclusion);
+  ASSERT_EQ(constraint.exclusiveA->kind, PermSetExpr::Kind::kLiteral);
+  EXPECT_TRUE(constraint.exclusiveA->literal.has(perm::Token::kHostNetwork));
+  EXPECT_TRUE(constraint.exclusiveB->literal.has(perm::Token::kSendPktOut));
+}
+
+TEST(PolicyParser, PaperBoundaryTemplateExample) {
+  // §V: monitoring apps bounded by a template permission set.
+  PolicyProgram program = parsePolicy(
+      "LET templatePerm = {\n"
+      "PERM read_topology\n"
+      "PERM read_statistics LIMITING PORT_LEVEL\n"
+      "PERM network_access LIMITING \\\n"
+      "IP_DST 192.168.0.0 MASK 255.255.0.0\n"
+      "}\n"
+      "ASSERT monitorAppPerm <= templatePerm\n");
+  ASSERT_TRUE(program.setBindings.contains("templatePerm"));
+  const PermSetExprPtr& binding = program.setBindings.at("templatePerm");
+  EXPECT_EQ(binding->kind, PermSetExpr::Kind::kLiteral);
+  EXPECT_EQ(binding->literal.size(), 3u);
+  ASSERT_EQ(program.constraints.size(), 1u);
+  const Constraint& constraint = program.constraints[0];
+  EXPECT_EQ(constraint.kind, Constraint::Kind::kAssertion);
+  EXPECT_EQ(constraint.assertion->kind, BoolExpr::Kind::kCompare);
+  EXPECT_EQ(constraint.assertion->op, CmpOp::kLe);
+  EXPECT_EQ(constraint.assertion->lhs->kind, PermSetExpr::Kind::kVar);
+  EXPECT_EQ(constraint.assertion->lhs->name, "monitorAppPerm");
+}
+
+TEST(PolicyParser, PaperScenario1Policy) {
+  // §VII Scenario 1: stub bindings + mutual exclusion.
+  PolicyProgram program = parsePolicy(
+      "LET LocalTopo = {SWITCH 0,1 LINK {(0,1)}}\n"
+      "LET AdminRange = {IP_DST 10.1.0.0 \\\n"
+      "MASK 255.255.0.0}\n"
+      "ASSERT EITHER { PERM network_access } \\\n"
+      "OR { PERM insert_flow }\n");
+  EXPECT_TRUE(program.filterBindings.contains("LocalTopo"));
+  EXPECT_TRUE(program.filterBindings.contains("AdminRange"));
+  ASSERT_EQ(program.constraints.size(), 1u);
+  EXPECT_EQ(program.constraints[0].kind, Constraint::Kind::kMutualExclusion);
+}
+
+TEST(PolicyParser, LetBindingToAppReference) {
+  PolicyProgram program = parsePolicy("LET monitorAppPerm = APP monitoring\n");
+  const PermSetExprPtr& binding = program.setBindings.at("monitorAppPerm");
+  EXPECT_EQ(binding->kind, PermSetExpr::Kind::kApp);
+  EXPECT_EQ(binding->name, "monitoring");
+}
+
+TEST(PolicyParser, MeetAndJoinExpressions) {
+  PolicyProgram program = parsePolicy(
+      "LET a = { PERM insert_flow }\n"
+      "LET b = { PERM delete_flow }\n"
+      "LET c = a MEET b JOIN { PERM read_statistics }\n");
+  const PermSetExprPtr& c = program.setBindings.at("c");
+  // Left-associative: (a MEET b) JOIN {...}.
+  EXPECT_EQ(c->kind, PermSetExpr::Kind::kJoin);
+  EXPECT_EQ(c->lhs->kind, PermSetExpr::Kind::kMeet);
+}
+
+TEST(PolicyParser, BooleanAssertionsWithAndOrNot) {
+  PolicyProgram program = parsePolicy(
+      "LET a = { PERM insert_flow }\n"
+      "LET b = { PERM delete_flow }\n"
+      "ASSERT a <= b AND NOT b <= a\n");
+  ASSERT_EQ(program.constraints.size(), 1u);
+  const BoolExprPtr& expr = program.constraints[0].assertion;
+  EXPECT_EQ(expr->kind, BoolExpr::Kind::kAnd);
+  EXPECT_EQ(expr->b->kind, BoolExpr::Kind::kNot);
+}
+
+TEST(PolicyParser, ParenthesisedBooleanAssertion) {
+  PolicyProgram program = parsePolicy(
+      "LET a = { PERM insert_flow }\n"
+      "ASSERT (a <= a OR a < a) AND a = a\n");
+  const BoolExprPtr& expr = program.constraints[0].assertion;
+  EXPECT_EQ(expr->kind, BoolExpr::Kind::kAnd);
+  EXPECT_EQ(expr->a->kind, BoolExpr::Kind::kOr);
+  EXPECT_EQ(expr->b->op, CmpOp::kEq);
+}
+
+TEST(PolicyParser, AllComparisonOperators) {
+  PolicyProgram program = parsePolicy(
+      "LET a = { PERM insert_flow }\n"
+      "ASSERT a <= a\n"
+      "ASSERT a >= a\n"
+      "ASSERT a < a\n"
+      "ASSERT a > a\n"
+      "ASSERT a = a\n");
+  ASSERT_EQ(program.constraints.size(), 5u);
+  EXPECT_EQ(program.constraints[0].assertion->op, CmpOp::kLe);
+  EXPECT_EQ(program.constraints[1].assertion->op, CmpOp::kGe);
+  EXPECT_EQ(program.constraints[2].assertion->op, CmpOp::kLt);
+  EXPECT_EQ(program.constraints[3].assertion->op, CmpOp::kGt);
+  EXPECT_EQ(program.constraints[4].assertion->op, CmpOp::kEq);
+}
+
+TEST(PolicyParser, EmptyPermSetLiteral) {
+  PolicyProgram program = parsePolicy("LET none = { }\n");
+  EXPECT_EQ(program.setBindings.at("none")->literal.size(), 0u);
+}
+
+TEST(PolicyParser, ConstraintLineNumbersAreRecorded) {
+  PolicyProgram program = parsePolicy(
+      "LET a = { PERM insert_flow }\n"
+      "\n"
+      "ASSERT a <= a\n");
+  ASSERT_EQ(program.constraints.size(), 1u);
+  EXPECT_EQ(program.constraints[0].line, 3);
+}
+
+TEST(PolicyParser, RejectsMalformedStatements) {
+  EXPECT_THROW(parsePolicy("FOO bar\n"), ParseError);
+  EXPECT_THROW(parsePolicy("LET a\n"), ParseError);
+  EXPECT_THROW(parsePolicy("ASSERT EITHER { PERM insert_flow }\n"),
+               ParseError);
+  EXPECT_THROW(parsePolicy("LET a = { PERM insert_flow }\nASSERT a\n"),
+               ParseError);
+}
+
+TEST(PolicyParser, PrintedPolicyReparses) {
+  PolicyProgram program = parsePolicy(
+      "LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n"
+      "LET tmpl = { PERM read_statistics LIMITING PORT_LEVEL }\n"
+      "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n"
+      "ASSERT appPerm <= tmpl\n");
+  PolicyProgram reparsed = parsePolicy(formatPolicy(program));
+  EXPECT_EQ(reparsed.filterBindings.size(), program.filterBindings.size());
+  EXPECT_EQ(reparsed.setBindings.size(), program.setBindings.size());
+  EXPECT_EQ(reparsed.constraints.size(), program.constraints.size());
+}
+
+}  // namespace
+}  // namespace sdnshield::lang

@@ -1,0 +1,150 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::net {
+namespace {
+
+/// s1 -(2,3)- s2 -(2,3)- s3, host h_k on port 1 of s_k.
+Topology linear3() {
+  Topology topo;
+  topo.addSwitch(1);
+  topo.addSwitch(2);
+  topo.addSwitch(3);
+  topo.addLink(1, 2, 2, 3);
+  topo.addLink(2, 2, 3, 3);
+  for (of::DatapathId dpid = 1; dpid <= 3; ++dpid) {
+    topo.attachHost(Host{of::MacAddress::fromUint64(dpid),
+                         of::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(dpid)),
+                         dpid, 1});
+  }
+  return topo;
+}
+
+TEST(Topology, AddAndQuerySwitchesLinksHosts) {
+  Topology topo = linear3();
+  EXPECT_EQ(topo.switchCount(), 3u);
+  EXPECT_EQ(topo.links().size(), 2u);
+  EXPECT_EQ(topo.hosts().size(), 3u);
+  EXPECT_TRUE(topo.hasSwitch(2));
+  EXPECT_FALSE(topo.hasSwitch(9));
+  EXPECT_TRUE(topo.hasLink(1, 2));
+  EXPECT_TRUE(topo.hasLink(2, 1));
+  EXPECT_FALSE(topo.hasLink(1, 3));
+}
+
+TEST(Topology, AddLinkToUnknownSwitchThrows) {
+  Topology topo;
+  topo.addSwitch(1);
+  EXPECT_THROW(topo.addLink(1, 2, 9, 3), std::invalid_argument);
+}
+
+TEST(Topology, AttachHostToUnknownSwitchThrows) {
+  Topology topo;
+  EXPECT_THROW(topo.attachHost(Host{{}, {}, 4, 1}), std::invalid_argument);
+}
+
+TEST(Topology, NeighborsReportPortsBothWays) {
+  Topology topo = linear3();
+  auto neighbors = topo.neighbors(2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  // Port 3 of s2 faces s1, port 2 faces s3.
+  for (const auto& nb : neighbors) {
+    if (nb.dpid == 1) {
+      EXPECT_EQ(nb.localPort, 3u);
+      EXPECT_EQ(nb.remotePort, 2u);
+    } else {
+      EXPECT_EQ(nb.dpid, 3u);
+      EXPECT_EQ(nb.localPort, 2u);
+      EXPECT_EQ(nb.remotePort, 3u);
+    }
+  }
+}
+
+TEST(Topology, ShortestPathEndpointsAndPorts) {
+  Topology topo = linear3();
+  auto path = topo.shortestPath(1, 3);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[0].dpid, 1u);
+  EXPECT_EQ((*path)[0].outPort, 2u);
+  EXPECT_EQ((*path)[1].dpid, 2u);
+  EXPECT_EQ((*path)[1].inPort, 3u);
+  EXPECT_EQ((*path)[1].outPort, 2u);
+  EXPECT_EQ((*path)[2].dpid, 3u);
+  EXPECT_EQ((*path)[2].inPort, 3u);
+}
+
+TEST(Topology, ShortestPathToSelfIsSingleHop) {
+  Topology topo = linear3();
+  auto path = topo.shortestPath(2, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(Topology, ShortestPathPicksFewerHops) {
+  Topology topo = linear3();
+  // Add a shortcut s1 - s3.
+  topo.addLink(1, 5, 3, 5);
+  auto path = topo.shortestPath(1, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(Topology, DisconnectedPathIsEmpty) {
+  Topology topo = linear3();
+  topo.removeLink(2, 3);
+  EXPECT_FALSE(topo.shortestPath(1, 3).has_value());
+  EXPECT_FALSE(topo.nextHopPort(1, 3).has_value());
+}
+
+TEST(Topology, NextHopPortIsFirstPathEgress) {
+  Topology topo = linear3();
+  EXPECT_EQ(topo.nextHopPort(1, 3), 2u);
+  EXPECT_EQ(topo.nextHopPort(3, 1), 3u);
+  EXPECT_FALSE(topo.nextHopPort(1, 1).has_value());
+}
+
+TEST(Topology, HostLookupByMacAndIp) {
+  Topology topo = linear3();
+  auto host = topo.hostByIp(of::Ipv4Address(10, 0, 0, 2));
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->dpid, 2u);
+  EXPECT_TRUE(topo.hostByMac(of::MacAddress::fromUint64(3)).has_value());
+  EXPECT_FALSE(topo.hostByIp(of::Ipv4Address(10, 0, 0, 99)).has_value());
+}
+
+TEST(Topology, RemoveSwitchDropsLinksAndHosts) {
+  Topology topo = linear3();
+  topo.removeSwitch(2);
+  EXPECT_EQ(topo.switchCount(), 2u);
+  EXPECT_EQ(topo.links().size(), 0u);
+  EXPECT_EQ(topo.hosts().size(), 2u);
+  EXPECT_FALSE(topo.hasLink(1, 2));
+}
+
+TEST(Topology, DetachHost) {
+  Topology topo = linear3();
+  topo.detachHost(of::MacAddress::fromUint64(1));
+  EXPECT_EQ(topo.hosts().size(), 2u);
+}
+
+TEST(Topology, RestrictToKeepsOnlySubsetAndInternalLinks) {
+  Topology topo = linear3();
+  Topology restricted = topo.restrictTo({1, 2});
+  EXPECT_EQ(restricted.switchCount(), 2u);
+  EXPECT_EQ(restricted.links().size(), 1u);
+  EXPECT_EQ(restricted.hosts().size(), 2u);
+  EXPECT_TRUE(restricted.hasLink(1, 2));
+  EXPECT_FALSE(restricted.hasSwitch(3));
+}
+
+TEST(Topology, EqualityIsStructural) {
+  EXPECT_EQ(linear3(), linear3());
+  Topology modified = linear3();
+  modified.removeLink(1, 2);
+  EXPECT_NE(modified, linear3());
+}
+
+}  // namespace
+}  // namespace sdnshield::net

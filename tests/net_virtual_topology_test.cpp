@@ -1,0 +1,191 @@
+#include "net/virtual_topology.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::net {
+namespace {
+
+/// s1 -(2,3)- s2 -(2,3)- s3 with hosts on port 1 of s1 and s3.
+Topology edgeHostsTopology() {
+  Topology topo;
+  topo.addSwitch(1);
+  topo.addSwitch(2);
+  topo.addSwitch(3);
+  topo.addLink(1, 2, 2, 3);
+  topo.addLink(2, 2, 3, 3);
+  topo.attachHost(Host{of::MacAddress::fromUint64(0xA1),
+                       of::Ipv4Address(10, 0, 0, 1), 1, 1});
+  topo.attachHost(Host{of::MacAddress::fromUint64(0xA3),
+                       of::Ipv4Address(10, 0, 0, 3), 3, 1});
+  return topo;
+}
+
+TEST(VirtualTopology, SingleBigSwitchExposesHostPortsOnly) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  const VirtualSwitch& vsw = vtopo.virtualSwitch();
+  EXPECT_EQ(vsw.vdpid, 99u);
+  EXPECT_EQ(vsw.members.size(), 3u);
+  ASSERT_EQ(vsw.ports.size(), 2u);  // Two host-facing endpoints.
+  EXPECT_TRUE(vtopo.virtualPortFor(LinkEnd{1, 1}).has_value());
+  EXPECT_TRUE(vtopo.virtualPortFor(LinkEnd{3, 1}).has_value());
+  EXPECT_FALSE(vtopo.virtualPortFor(LinkEnd{1, 2}).has_value());  // Internal.
+}
+
+TEST(VirtualTopology, AbstractViewIsOneSwitchWithRemappedHosts) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  Topology view = vtopo.abstractView();
+  EXPECT_EQ(view.switchCount(), 1u);
+  EXPECT_TRUE(view.hasSwitch(99));
+  EXPECT_EQ(view.links().size(), 0u);
+  ASSERT_EQ(view.hosts().size(), 2u);
+  for (const Host& host : view.hosts()) EXPECT_EQ(host.dpid, 99u);
+}
+
+TEST(VirtualTopology, BigSwitchOverSubsetExposesBorderPorts) {
+  auto vtopo = VirtualTopology::bigSwitch(edgeHostsTopology(), {1, 2}, 50);
+  // External endpoints: host port (1,1) and the border port (2,2) toward s3.
+  EXPECT_TRUE(vtopo.virtualPortFor(LinkEnd{1, 1}).has_value());
+  EXPECT_TRUE(vtopo.virtualPortFor(LinkEnd{2, 2}).has_value());
+  EXPECT_FALSE(vtopo.virtualPortFor(LinkEnd{3, 1}).has_value());
+}
+
+TEST(VirtualTopology, BigSwitchRejectsUnknownMember) {
+  EXPECT_THROW(VirtualTopology::bigSwitch(edgeHostsTopology(), {1, 9}, 50),
+               std::invalid_argument);
+}
+
+TEST(VirtualTopology, TranslateWithIngressInstallsAlongPath) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::PortNo vIn = *vtopo.virtualPortFor(LinkEnd{1, 1});
+  of::PortNo vOut = *vtopo.virtualPortFor(LinkEnd{3, 1});
+
+  of::FlowMod vmod;
+  vmod.command = of::FlowModCommand::kAdd;
+  vmod.match.inPort = vIn;
+  vmod.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 3)};
+  vmod.priority = 7;
+  vmod.actions.push_back(of::OutputAction{vOut});
+
+  auto physical = vtopo.translateFlowMod(vmod);
+  ASSERT_EQ(physical.size(), 3u);  // One rule per hop s1, s2, s3.
+  EXPECT_EQ(physical[0].first, 1u);
+  EXPECT_EQ(physical[0].second.match.inPort, 1u);  // Physical host port.
+  EXPECT_EQ(std::get<of::OutputAction>(physical[0].second.actions[0]).port, 2u);
+  EXPECT_EQ(physical[1].first, 2u);
+  EXPECT_EQ(physical[2].first, 3u);
+  EXPECT_EQ(std::get<of::OutputAction>(physical[2].second.actions.back()).port,
+            1u);  // Physical egress host port.
+  for (const auto& [dpid, mod] : physical) {
+    EXPECT_EQ(mod.priority, 7);  // Priority preserved on shards.
+  }
+}
+
+TEST(VirtualTopology, TranslateDestinationBasedInstallsOnAllMembers) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::PortNo vOut = *vtopo.virtualPortFor(LinkEnd{3, 1});
+  of::FlowMod vmod;
+  vmod.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 3)};
+  vmod.actions.push_back(of::OutputAction{vOut});
+  auto physical = vtopo.translateFlowMod(vmod);
+  ASSERT_EQ(physical.size(), 3u);
+  for (const auto& [dpid, mod] : physical) {
+    ASSERT_FALSE(mod.actions.empty());
+    of::PortNo port = std::get<of::OutputAction>(mod.actions.back()).port;
+    if (dpid == 3) {
+      EXPECT_EQ(port, 1u);  // Egress to host.
+    } else {
+      EXPECT_EQ(port, 2u);  // Toward s3 in the chain.
+    }
+  }
+}
+
+TEST(VirtualTopology, TranslateAppliesRewritesAtEgressOnly) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::PortNo vIn = *vtopo.virtualPortFor(LinkEnd{1, 1});
+  of::PortNo vOut = *vtopo.virtualPortFor(LinkEnd{3, 1});
+  of::FlowMod vmod;
+  vmod.match.inPort = vIn;
+  of::SetFieldAction rewrite;
+  rewrite.field = of::MatchField::kIpDst;
+  rewrite.ipValue = of::Ipv4Address(10, 0, 0, 3);
+  vmod.actions.push_back(rewrite);
+  vmod.actions.push_back(of::OutputAction{vOut});
+  auto physical = vtopo.translateFlowMod(vmod);
+  ASSERT_EQ(physical.size(), 3u);
+  EXPECT_EQ(physical[0].second.actions.size(), 1u);  // Forward only.
+  EXPECT_EQ(physical[2].second.actions.size(), 2u);  // Rewrite + output.
+  EXPECT_TRUE(
+      std::holds_alternative<of::SetFieldAction>(physical[2].second.actions[0]));
+}
+
+TEST(VirtualTopology, TranslateDropInstallsEverywhere) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::FlowMod drop;
+  drop.match.tpDst = 23;
+  drop.actions.push_back(of::DropAction{});
+  auto physical = vtopo.translateFlowMod(drop);
+  EXPECT_EQ(physical.size(), 3u);
+}
+
+TEST(VirtualTopology, TranslateRejectsFloodAndUnknownPorts) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::FlowMod flood;
+  flood.actions.push_back(of::OutputAction{of::ports::kFlood});
+  EXPECT_THROW(vtopo.translateFlowMod(flood), std::invalid_argument);
+  of::FlowMod bad;
+  bad.actions.push_back(of::OutputAction{12345});
+  EXPECT_THROW(vtopo.translateFlowMod(bad), std::invalid_argument);
+}
+
+TEST(VirtualTopology, TranslatePacketOutResolvesPhysicalEndpoint) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::PortNo vOut = *vtopo.virtualPortFor(LinkEnd{3, 1});
+  of::PacketOut vout;
+  vout.dpid = 99;
+  vout.actions.push_back(of::OutputAction{vOut});
+  auto [dpid, pout] = vtopo.translatePacketOut(vout);
+  EXPECT_EQ(dpid, 3u);
+  EXPECT_EQ(std::get<of::OutputAction>(pout.actions[0]).port, 1u);
+}
+
+TEST(VirtualTopology, TranslatePacketOutWithoutOutputThrows) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::PacketOut vout;
+  EXPECT_THROW(vtopo.translatePacketOut(vout), std::invalid_argument);
+}
+
+TEST(VirtualTopology, SwitchStatsAggregateSums) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  std::vector<of::SwitchStats> members{
+      {1, 5, 100, 90}, {2, 3, 50, 40}, {3, 2, 10, 10}};
+  of::SwitchStats agg = vtopo.aggregateSwitchStats(members);
+  EXPECT_EQ(agg.dpid, 99u);
+  EXPECT_EQ(agg.activeFlows, 10u);
+  EXPECT_EQ(agg.lookupCount, 160u);
+  EXPECT_EQ(agg.matchedCount, 140u);
+}
+
+TEST(VirtualTopology, FlowStatsAggregateTakesMaxAcrossShards) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::FlowMatch match;
+  match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 3)};
+  // The same virtual rule counted on three member switches: a packet
+  // traversing all three must not be triple-counted.
+  std::vector<of::FlowStatsEntry> shards{
+      {match, 7, 10, 1000, 42}, {match, 7, 10, 1000, 42}, {match, 7, 9, 900, 42}};
+  auto aggregated = vtopo.aggregateFlowStats(shards);
+  ASSERT_EQ(aggregated.size(), 1u);
+  EXPECT_EQ(aggregated[0].packetCount, 10u);
+  EXPECT_EQ(aggregated[0].byteCount, 1000u);
+}
+
+TEST(VirtualTopology, FlowStatsAggregateKeepsDistinctRulesApart) {
+  auto vtopo = VirtualTopology::singleBigSwitch(edgeHostsTopology(), 99);
+  of::FlowMatch match;
+  std::vector<of::FlowStatsEntry> shards{
+      {match, 7, 10, 0, 42}, {match, 8, 3, 0, 42}, {match, 7, 5, 0, 43}};
+  EXPECT_EQ(vtopo.aggregateFlowStats(shards).size(), 3u);
+}
+
+}  // namespace
+}  // namespace sdnshield::net

@@ -1,0 +1,232 @@
+#include "of/flow_table.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::of {
+namespace {
+
+FlowMod addRule(std::uint16_t priority, std::optional<std::uint16_t> tpDst,
+                PortNo outPort) {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.priority = priority;
+  if (tpDst) mod.match.tpDst = *tpDst;
+  mod.actions.push_back(OutputAction{outPort});
+  return mod;
+}
+
+HeaderFields tcpTo(std::uint16_t tpDst) {
+  HeaderFields f;
+  f.inPort = 1;
+  f.ethType = 0x0800;
+  f.ipSrc = Ipv4Address::parse("10.0.0.1");
+  f.ipDst = Ipv4Address::parse("10.0.0.2");
+  f.ipProto = 6;
+  f.tpSrc = 1234;
+  f.tpDst = tpDst;
+  return f;
+}
+
+TEST(FlowTable, LookupPrefersHighestPriority) {
+  FlowTable table;
+  ASSERT_TRUE(table.apply(addRule(10, std::nullopt, 1)));
+  ASSERT_TRUE(table.apply(addRule(100, 80, 2)));
+  const FlowEntry* hit = table.lookup(tcpTo(80), 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 100);
+  hit = table.lookup(tcpTo(443), 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 10);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  EXPECT_EQ(table.lookup(tcpTo(443), 64), nullptr);
+}
+
+TEST(FlowTable, AddReplacesIdenticalMatchAndPriority) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.apply(addRule(10, 80, 2));
+  EXPECT_EQ(table.size(), 1u);
+  const FlowEntry* hit = table.lookup(tcpTo(80), 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<OutputAction>(hit->actions[0]).port, 2u);
+}
+
+TEST(FlowTable, AddKeepsDistinctPrioritiesSeparate) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.apply(addRule(20, 80, 2));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTable, CountersAccumulatePacketsAndBytes) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.lookup(tcpTo(80), 100);
+  table.lookup(tcpTo(80), 50);
+  const FlowEntry& entry = table.entries()[0];
+  EXPECT_EQ(entry.packetCount, 2u);
+  EXPECT_EQ(entry.byteCount, 150u);
+  TableStats stats = table.stats();
+  EXPECT_EQ(stats.lookupCount, 2u);
+  EXPECT_EQ(stats.matchedCount, 2u);
+}
+
+TEST(FlowTable, PeekDoesNotTouchCounters) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  EXPECT_NE(table.peek(tcpTo(80)), nullptr);
+  EXPECT_EQ(table.entries()[0].packetCount, 0u);
+  EXPECT_EQ(table.stats().lookupCount, 0u);
+}
+
+TEST(FlowTable, NonStrictDeleteRemovesSubsumedEntries) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.apply(addRule(20, 443, 2));
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  del.match.tpDst = 80;
+  table.apply(del);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.entries()[0].priority, 20);
+  // Wildcard delete clears everything.
+  FlowMod delAll;
+  delAll.command = FlowModCommand::kDelete;
+  table.apply(delAll);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, StrictDeleteRequiresExactMatchAndPriority) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  FlowMod del;
+  del.command = FlowModCommand::kDeleteStrict;
+  del.match.tpDst = 80;
+  del.priority = 20;  // Wrong priority: no-op.
+  table.apply(del);
+  EXPECT_EQ(table.size(), 1u);
+  del.priority = 10;
+  table.apply(del);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, ModifyRewritesActionsOfOverlappingEntries) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.apply(addRule(10, 443, 2));
+  FlowMod mod;
+  mod.command = FlowModCommand::kModify;
+  mod.match.tpDst = 80;
+  mod.actions.push_back(OutputAction{9});
+  table.apply(mod);
+  EXPECT_EQ(std::get<OutputAction>(table.lookup(tcpTo(80), 1)->actions[0]).port,
+            9u);
+  EXPECT_EQ(std::get<OutputAction>(table.lookup(tcpTo(443), 1)->actions[0]).port,
+            2u);
+}
+
+TEST(FlowTable, ModifyStrictOnlyTouchesExactEntry) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.apply(addRule(20, 80, 2));
+  FlowMod mod;
+  mod.command = FlowModCommand::kModifyStrict;
+  mod.match.tpDst = 80;
+  mod.priority = 20;
+  mod.actions.push_back(OutputAction{9});
+  table.apply(mod);
+  auto entries = table.entries();
+  EXPECT_EQ(std::get<OutputAction>(entries[0].actions[0]).port, 9u);  // prio 20.
+  EXPECT_EQ(std::get<OutputAction>(entries[1].actions[0]).port, 1u);  // prio 10.
+}
+
+TEST(FlowTable, CapacityRejectsNewAddsButAllowsReplace) {
+  FlowTable table(2);
+  EXPECT_TRUE(table.apply(addRule(10, 80, 1)));
+  EXPECT_TRUE(table.apply(addRule(10, 443, 1)));
+  EXPECT_FALSE(table.apply(addRule(10, 22, 1)));
+  EXPECT_TRUE(table.apply(addRule(10, 80, 5)));  // Replacement still fits.
+}
+
+TEST(FlowTable, SelectFindsEntriesUnderPattern) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  table.apply(addRule(10, 443, 1));
+  FlowMatch pattern;  // Wildcard: selects all.
+  EXPECT_EQ(table.select(pattern).size(), 2u);
+  pattern.tpDst = 443;
+  auto selected = table.select(pattern);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].match.tpDst, 443);
+}
+
+TEST(FlowTable, SelectByCookieFiltersOwner) {
+  FlowTable table;
+  FlowMod mod = addRule(10, 80, 1);
+  mod.cookie = 42;
+  table.apply(mod);
+  mod = addRule(10, 443, 1);
+  mod.cookie = 43;
+  table.apply(mod);
+  EXPECT_EQ(table.selectByCookie(42).size(), 1u);
+  EXPECT_EQ(table.selectByCookie(99).size(), 0u);
+}
+
+TEST(FlowTable, IdleTimeoutExpiresQuietEntries) {
+  FlowTable table;
+  FlowMod mod = addRule(10, 80, 1);
+  mod.idleTimeout = 5;
+  table.apply(mod);
+  EXPECT_TRUE(table.tick(4).empty());
+  auto expired = table.tick(1);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].match.tpDst, 80);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, TrafficResetsIdleAge) {
+  FlowTable table;
+  FlowMod mod = addRule(10, 80, 1);
+  mod.idleTimeout = 5;
+  table.apply(mod);
+  table.tick(4);
+  table.lookup(tcpTo(80), 64);  // Hit: idle age resets.
+  EXPECT_TRUE(table.tick(4).empty());
+  EXPECT_EQ(table.tick(1).size(), 1u);
+}
+
+TEST(FlowTable, HardTimeoutExpiresRegardlessOfTraffic) {
+  FlowTable table;
+  FlowMod mod = addRule(10, 80, 1);
+  mod.hardTimeout = 5;
+  table.apply(mod);
+  table.tick(4);
+  table.lookup(tcpTo(80), 64);  // Traffic does not help.
+  EXPECT_EQ(table.tick(1).size(), 1u);
+}
+
+TEST(FlowTable, ZeroTimeoutsNeverExpire) {
+  FlowTable table;
+  table.apply(addRule(10, 80, 1));
+  EXPECT_TRUE(table.tick(100000).empty());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, EqualPrioritiesKeepInsertionOrderOnLookup) {
+  FlowTable table;
+  FlowMod first = addRule(10, std::nullopt, 1);
+  first.match.ipProto = 6;
+  FlowMod second = addRule(10, std::nullopt, 2);
+  table.apply(first);
+  table.apply(second);
+  const FlowEntry* hit = table.lookup(tcpTo(80), 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<OutputAction>(hit->actions[0]).port, 1u);
+}
+
+}  // namespace
+}  // namespace sdnshield::of

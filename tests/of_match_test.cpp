@@ -1,0 +1,185 @@
+#include "of/match.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sdnshield::of {
+namespace {
+
+HeaderFields tcpFields(PortNo inPort, const char* src, const char* dst,
+                       std::uint16_t tpSrc, std::uint16_t tpDst) {
+  HeaderFields f;
+  f.inPort = inPort;
+  f.ethSrc = MacAddress::fromUint64(0x0a);
+  f.ethDst = MacAddress::fromUint64(0x0b);
+  f.ethType = 0x0800;
+  f.ipSrc = Ipv4Address::parse(src);
+  f.ipDst = Ipv4Address::parse(dst);
+  f.ipProto = 6;
+  f.tpSrc = tpSrc;
+  f.tpDst = tpDst;
+  return f;
+}
+
+TEST(MaskedIpv4, ExactMatchOnlyAcceptsEqualAddress) {
+  MaskedIpv4 exact{Ipv4Address::parse("10.0.0.1")};
+  EXPECT_TRUE(exact.matches(Ipv4Address::parse("10.0.0.1")));
+  EXPECT_FALSE(exact.matches(Ipv4Address::parse("10.0.0.2")));
+}
+
+TEST(MaskedIpv4, PrefixMatchAcceptsWholeSubnet) {
+  MaskedIpv4 subnet{Ipv4Address::parse("10.13.0.0"),
+                    Ipv4Address::prefixMask(16)};
+  EXPECT_TRUE(subnet.matches(Ipv4Address::parse("10.13.200.9")));
+  EXPECT_FALSE(subnet.matches(Ipv4Address::parse("10.14.0.1")));
+}
+
+TEST(MaskedIpv4, SubsumesRequiresWiderMaskAndAgreement) {
+  MaskedIpv4 wide{Ipv4Address::parse("10.13.0.0"), Ipv4Address::prefixMask(16)};
+  MaskedIpv4 narrow{Ipv4Address::parse("10.13.7.0"),
+                    Ipv4Address::prefixMask(24)};
+  EXPECT_TRUE(wide.subsumes(narrow));
+  EXPECT_FALSE(narrow.subsumes(wide));
+  MaskedIpv4 disjoint{Ipv4Address::parse("10.14.0.0"),
+                      Ipv4Address::prefixMask(24)};
+  EXPECT_FALSE(wide.subsumes(disjoint));
+}
+
+TEST(MaskedIpv4, SubsumesIsReflexive) {
+  MaskedIpv4 m{Ipv4Address::parse("10.13.0.0"), Ipv4Address::prefixMask(16)};
+  EXPECT_TRUE(m.subsumes(m));
+}
+
+TEST(MaskedIpv4, OverlapsDetectsSharedAddresses) {
+  MaskedIpv4 a{Ipv4Address::parse("10.13.0.0"), Ipv4Address::prefixMask(16)};
+  MaskedIpv4 b{Ipv4Address::parse("10.13.7.0"), Ipv4Address::prefixMask(24)};
+  MaskedIpv4 c{Ipv4Address::parse("10.14.0.0"), Ipv4Address::prefixMask(16)};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(MaskedIpv4, EqualityIgnoresUnmaskedBits) {
+  MaskedIpv4 a{Ipv4Address::parse("10.13.0.0"), Ipv4Address::prefixMask(16)};
+  MaskedIpv4 b{Ipv4Address::parse("10.13.99.99"), Ipv4Address::prefixMask(16)};
+  EXPECT_EQ(a, b);
+}
+
+TEST(FlowMatch, WildcardAllMatchesEverything) {
+  FlowMatch any = FlowMatch::any();
+  EXPECT_TRUE(any.matches(tcpFields(1, "10.0.0.1", "10.0.0.2", 80, 443)));
+  EXPECT_TRUE(any.isWildcardAll());
+  EXPECT_EQ(any.constrainedFieldCount(), 0);
+}
+
+TEST(FlowMatch, ExactFieldsMustAllAgree) {
+  FlowMatch match;
+  match.inPort = 1;
+  match.ipDst = MaskedIpv4{Ipv4Address::parse("10.0.0.2")};
+  match.tpDst = 443;
+  EXPECT_TRUE(match.matches(tcpFields(1, "10.0.0.1", "10.0.0.2", 80, 443)));
+  EXPECT_FALSE(match.matches(tcpFields(2, "10.0.0.1", "10.0.0.2", 80, 443)));
+  EXPECT_FALSE(match.matches(tcpFields(1, "10.0.0.1", "10.0.0.3", 80, 443)));
+  EXPECT_FALSE(match.matches(tcpFields(1, "10.0.0.1", "10.0.0.2", 80, 80)));
+}
+
+TEST(FlowMatch, ConstrainedFieldAbsentFromPacketFailsMatch) {
+  FlowMatch match;
+  match.tpDst = 80;
+  HeaderFields arpLike;
+  arpLike.inPort = 1;
+  arpLike.ethType = 0x0806;
+  EXPECT_FALSE(match.matches(arpLike));
+}
+
+TEST(FlowMatch, SubsumptionWiderCoversNarrower) {
+  FlowMatch wide;
+  wide.ipDst = MaskedIpv4{Ipv4Address::parse("10.13.0.0"),
+                          Ipv4Address::prefixMask(16)};
+  FlowMatch narrow = wide;
+  narrow.tpDst = 80;
+  narrow.ipDst = MaskedIpv4{Ipv4Address::parse("10.13.4.0"),
+                            Ipv4Address::prefixMask(24)};
+  EXPECT_TRUE(wide.subsumes(narrow));
+  EXPECT_FALSE(narrow.subsumes(wide));
+  EXPECT_TRUE(FlowMatch::any().subsumes(wide));
+}
+
+TEST(FlowMatch, OverlapRequiresCompatibleConstraints) {
+  FlowMatch a;
+  a.tpDst = 80;
+  FlowMatch b;
+  b.tpDst = 443;
+  EXPECT_FALSE(a.overlaps(b));
+  FlowMatch c;
+  c.ipProto = 6;
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(a.overlaps(FlowMatch::any()));
+}
+
+TEST(FlowMatch, ToStringListsConstrainedFields) {
+  FlowMatch match;
+  match.inPort = 3;
+  match.tpDst = 80;
+  std::string text = match.toString();
+  EXPECT_NE(text.find("in_port=3"), std::string::npos);
+  EXPECT_NE(text.find("tp_dst=80"), std::string::npos);
+}
+
+// --- property tests -----------------------------------------------------------
+
+class MatchPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+FlowMatch randomMatch(std::mt19937& rng) {
+  FlowMatch match;
+  auto coin = [&] { return rng() % 2 == 0; };
+  if (coin()) match.inPort = rng() % 4 + 1;
+  if (coin()) match.ethType = 0x0800;
+  if (coin()) {
+    int bits = static_cast<int>(rng() % 4) * 8;  // 0/8/16/24.
+    match.ipDst = MaskedIpv4{
+        Ipv4Address(10, static_cast<std::uint8_t>(rng() % 4),
+                    static_cast<std::uint8_t>(rng() % 4), 0),
+        Ipv4Address::prefixMask(bits)};
+  }
+  if (coin()) match.ipProto = 6;
+  if (coin()) match.tpDst = (rng() % 2) ? 80 : 443;
+  return match;
+}
+
+HeaderFields randomFields(std::mt19937& rng) {
+  std::string dst = "10." + std::to_string(rng() % 4) + "." +
+                    std::to_string(rng() % 4) + ".5";
+  return tcpFields(static_cast<PortNo>(rng() % 4 + 1), "10.0.0.1", dst.c_str(),
+                   1000, (rng() % 2) ? 80 : 443);
+}
+
+TEST_P(MatchPropertyTest, SubsumptionImpliesMatchContainment) {
+  std::mt19937 rng(GetParam());
+  FlowMatch a = randomMatch(rng);
+  FlowMatch b = randomMatch(rng);
+  if (!a.subsumes(b)) GTEST_SKIP() << "pair not in subsumption relation";
+  for (int i = 0; i < 50; ++i) {
+    HeaderFields fields = randomFields(rng);
+    if (b.matches(fields)) {
+      EXPECT_TRUE(a.matches(fields))
+          << "a=" << a.toString() << " b=" << b.toString();
+    }
+  }
+}
+
+TEST_P(MatchPropertyTest, MutualSubsumptionOfDisjointPairsNeverHolds) {
+  std::mt19937 rng(GetParam() + 1000);
+  FlowMatch a = randomMatch(rng);
+  FlowMatch b = randomMatch(rng);
+  if (!a.overlaps(b)) {
+    EXPECT_FALSE(a.subsumes(b) && b.subsumes(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchPropertyTest,
+                         ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace sdnshield::of

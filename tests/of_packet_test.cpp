@@ -1,0 +1,113 @@
+#include "of/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::of {
+namespace {
+
+MacAddress macA() { return MacAddress::parse("0a:00:00:00:00:01"); }
+MacAddress macB() { return MacAddress::parse("0a:00:00:00:00:02"); }
+Ipv4Address ipA() { return Ipv4Address::parse("10.0.0.1"); }
+Ipv4Address ipB() { return Ipv4Address::parse("10.0.0.2"); }
+
+TEST(Packet, ArpRequestRoundTrip) {
+  Packet pkt = Packet::makeArpRequest(macA(), ipA(), ipB());
+  Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_EQ(parsed, pkt);
+  ASSERT_TRUE(parsed.arp.has_value());
+  EXPECT_EQ(parsed.arp->op, 1);
+  EXPECT_EQ(parsed.arp->senderIp, ipA());
+  EXPECT_EQ(parsed.arp->targetIp, ipB());
+  EXPECT_TRUE(parsed.eth.dst.isBroadcast());
+}
+
+TEST(Packet, ArpReplyRoundTrip) {
+  Packet pkt = Packet::makeArpReply(macB(), ipB(), macA(), ipA());
+  Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_EQ(parsed, pkt);
+  ASSERT_TRUE(parsed.arp.has_value());
+  EXPECT_EQ(parsed.arp->op, 2);
+}
+
+TEST(Packet, TcpRoundTripWithPayload) {
+  Bytes payload{'G', 'E', 'T', ' ', '/'};
+  Packet pkt = Packet::makeTcp(macA(), macB(), ipA(), ipB(), 49152, 80,
+                               tcpflags::kSyn | tcpflags::kAck, payload);
+  pkt.tcp->seq = 0xdeadbeef;
+  pkt.tcp->ack = 0x12345678;
+  Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_EQ(parsed, pkt);
+  ASSERT_TRUE(parsed.tcp.has_value());
+  EXPECT_EQ(parsed.tcp->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed.tcp->ack, 0x12345678u);
+  EXPECT_EQ(parsed.payload, payload);
+}
+
+TEST(Packet, UdpRoundTrip) {
+  Packet pkt = Packet::makeUdp(macA(), macB(), ipA(), ipB(), 5353, 53,
+                               Bytes{1, 2, 3});
+  Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_EQ(parsed, pkt);
+  ASSERT_TRUE(parsed.udp.has_value());
+  EXPECT_EQ(parsed.udp->dstPort, 53);
+}
+
+TEST(Packet, ParseRejectsTruncatedInput) {
+  Packet pkt = Packet::makeTcp(macA(), macB(), ipA(), ipB(), 1, 2, 0);
+  Bytes wire = pkt.serialize();
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(Packet::parse(wire), std::invalid_argument);
+  EXPECT_THROW(Packet::parse(Bytes{0x01, 0x02}), std::invalid_argument);
+}
+
+TEST(Packet, FieldsExtractTcpFiveTuple) {
+  Packet pkt = Packet::makeTcp(macA(), macB(), ipA(), ipB(), 49152, 80,
+                               tcpflags::kSyn);
+  HeaderFields fields = pkt.fields(7);
+  EXPECT_EQ(fields.inPort, 7u);
+  EXPECT_EQ(fields.ethSrc, macA());
+  EXPECT_EQ(fields.ethDst, macB());
+  EXPECT_EQ(fields.ethType, 0x0800);
+  EXPECT_EQ(fields.ipSrc, ipA());
+  EXPECT_EQ(fields.ipDst, ipB());
+  EXPECT_EQ(fields.ipProto, 6);
+  EXPECT_EQ(fields.tpSrc, 49152);
+  EXPECT_EQ(fields.tpDst, 80);
+}
+
+TEST(Packet, FieldsExposeArpAddressesAsNwFields) {
+  Packet pkt = Packet::makeArpRequest(macA(), ipA(), ipB());
+  HeaderFields fields = pkt.fields(1);
+  EXPECT_EQ(fields.ethType, 0x0806);
+  EXPECT_EQ(fields.ipSrc, ipA());
+  EXPECT_EQ(fields.ipDst, ipB());
+  EXPECT_FALSE(fields.tpDst.has_value());
+}
+
+TEST(Packet, TtlSurvivesRoundTrip) {
+  Packet pkt = Packet::makeUdp(macA(), macB(), ipA(), ipB(), 1, 2);
+  pkt.ipv4->ttl = 3;
+  EXPECT_EQ(Packet::parse(pkt.serialize()).ipv4->ttl, 3);
+}
+
+TEST(Packet, ToStringDescribesTcpFlags) {
+  Packet pkt = Packet::makeTcp(macA(), macB(), ipA(), ipB(), 1, 80,
+                               tcpflags::kRst | tcpflags::kAck);
+  std::string text = pkt.toString();
+  EXPECT_NE(text.find("RST"), std::string::npos);
+  EXPECT_NE(text.find("ACK"), std::string::npos);
+}
+
+TEST(Packet, NonIpNonArpPayloadPassesThrough) {
+  Packet pkt;
+  pkt.eth.src = macA();
+  pkt.eth.dst = macB();
+  pkt.eth.etherType = 0x88cc;  // LLDP-ish.
+  pkt.payload = Bytes{9, 9, 9};
+  Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_EQ(parsed, pkt);
+  EXPECT_FALSE(parsed.fields(1).ipDst.has_value());
+}
+
+}  // namespace
+}  // namespace sdnshield::of

@@ -1,0 +1,81 @@
+#include "of/types.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::of {
+namespace {
+
+TEST(MacAddress, RoundTripsThroughString) {
+  MacAddress mac = MacAddress::parse("0a:1b:2c:3d:4e:5f");
+  EXPECT_EQ(mac.toString(), "0a:1b:2c:3d:4e:5f");
+  EXPECT_EQ(MacAddress::parse(mac.toString()), mac);
+}
+
+TEST(MacAddress, FromUint64PreservesLow48Bits) {
+  MacAddress mac = MacAddress::fromUint64(0x0a1b2c3d4e5fULL);
+  EXPECT_EQ(mac.toUint64(), 0x0a1b2c3d4e5fULL);
+  EXPECT_EQ(mac.toString(), "0a:1b:2c:3d:4e:5f");
+}
+
+TEST(MacAddress, FromUint64TruncatesHighBits) {
+  EXPECT_EQ(MacAddress::fromUint64(0xff0a1b2c3d4e5fULL).toUint64(),
+            0x0a1b2c3d4e5fULL);
+}
+
+TEST(MacAddress, ParseRejectsMalformedInput) {
+  EXPECT_THROW(MacAddress::parse("not-a-mac"), std::invalid_argument);
+  EXPECT_THROW(MacAddress::parse("0a:1b:2c:3d:4e"), std::invalid_argument);
+  EXPECT_THROW(MacAddress::parse(""), std::invalid_argument);
+}
+
+TEST(MacAddress, BroadcastAndMulticastDetection) {
+  EXPECT_TRUE(MacAddress::fromUint64(0xffffffffffffULL).isBroadcast());
+  EXPECT_TRUE(MacAddress::parse("01:00:5e:00:00:01").isMulticast());
+  EXPECT_FALSE(MacAddress::parse("0a:00:00:00:00:01").isBroadcast());
+  EXPECT_FALSE(MacAddress::parse("0a:00:00:00:00:01").isMulticast());
+}
+
+TEST(MacAddress, OrderingFollowsNumericValue) {
+  EXPECT_LT(MacAddress::fromUint64(1), MacAddress::fromUint64(2));
+  EXPECT_EQ(MacAddress::fromUint64(7), MacAddress::fromUint64(7));
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  Ipv4Address ip = Ipv4Address::parse("10.13.0.1");
+  EXPECT_EQ(ip.toString(), "10.13.0.1");
+  EXPECT_EQ(Ipv4Address::parse(ip.toString()), ip);
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Address(192, 168, 1, 42), Ipv4Address::parse("192.168.1.42"));
+}
+
+TEST(Ipv4Address, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Ipv4Address::parse("10.13.0"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("10.13.0.256"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("banana"), std::invalid_argument);
+}
+
+TEST(Ipv4Address, PrefixMaskBuildsCanonicalMasks) {
+  EXPECT_EQ(Ipv4Address::prefixMask(0).value(), 0u);
+  EXPECT_EQ(Ipv4Address::prefixMask(8), Ipv4Address::parse("255.0.0.0"));
+  EXPECT_EQ(Ipv4Address::prefixMask(16), Ipv4Address::parse("255.255.0.0"));
+  EXPECT_EQ(Ipv4Address::prefixMask(24), Ipv4Address::parse("255.255.255.0"));
+  EXPECT_EQ(Ipv4Address::prefixMask(32).value(), 0xffffffffu);
+}
+
+TEST(Ipv4Address, PrefixMaskClampsOutOfRange) {
+  EXPECT_EQ(Ipv4Address::prefixMask(-4).value(), 0u);
+  EXPECT_EQ(Ipv4Address::prefixMask(64).value(), 0xffffffffu);
+}
+
+TEST(EnumNames, EtherTypeAndIpProto) {
+  EXPECT_EQ(toString(EtherType::kIpv4), "ipv4");
+  EXPECT_EQ(toString(EtherType::kArp), "arp");
+  EXPECT_EQ(toString(IpProto::kTcp), "tcp");
+  EXPECT_EQ(toString(IpProto::kUdp), "udp");
+  EXPECT_EQ(toString(IpProto::kIcmp), "icmp");
+}
+
+}  // namespace
+}  // namespace sdnshield::of

@@ -1,0 +1,291 @@
+// OpenFlow 1.0 wire codec: header framing, per-message round trips,
+// wildcard/prefix-mask encoding rules, action codecs and malformed-input
+// rejection.
+#include "of/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::of::wire {
+namespace {
+
+FlowMatch richMatch() {
+  FlowMatch match;
+  match.inPort = 3;
+  match.ethSrc = MacAddress::parse("0a:00:00:00:00:01");
+  match.ethDst = MacAddress::parse("0a:00:00:00:00:02");
+  match.ethType = 0x0800;
+  match.vlanId = 42;
+  match.ipSrc = MaskedIpv4{Ipv4Address::parse("10.1.0.0"),
+                           Ipv4Address::prefixMask(16)};
+  match.ipDst = MaskedIpv4{Ipv4Address::parse("10.2.3.4")};
+  match.ipProto = 6;
+  match.tpSrc = 1234;
+  match.tpDst = 80;
+  return match;
+}
+
+TEST(WireHeader, VersionTypeLengthXid) {
+  Bytes hello = encodeHello(0xdeadbeef);
+  ASSERT_EQ(hello.size(), 8u);
+  EXPECT_EQ(hello[0], kVersion);
+  EXPECT_EQ(messageType(hello), MsgType::kHello);
+  EXPECT_EQ(transactionId(hello), 0xdeadbeefu);
+  EXPECT_EQ(frameLength(hello), 8u);
+}
+
+TEST(WireHeader, FrameLengthNeedsFullMessage) {
+  Bytes hello = encodeHello(1);
+  Bytes partial(hello.begin(), hello.begin() + 4);
+  EXPECT_EQ(frameLength(partial), 0u);
+  // Stream with trailing bytes of the next message still frames correctly.
+  Bytes stream = hello;
+  stream.push_back(0x01);
+  EXPECT_EQ(frameLength(stream), 8u);
+}
+
+TEST(WireHeader, RejectsWrongVersion) {
+  Bytes hello = encodeHello(1);
+  hello[0] = 0x04;  // OF 1.3.
+  EXPECT_THROW(frameLength(hello), DecodeError);
+  EXPECT_THROW(decode(hello), DecodeError);
+}
+
+TEST(WireEcho, RoundTripsPayload) {
+  Echo echo{true, 7, Bytes{1, 2, 3}};
+  Message decoded = decode(encodeEcho(echo));
+  const auto& out = std::get<Echo>(decoded);
+  EXPECT_TRUE(out.isReply);
+  EXPECT_EQ(out.xid, 7u);
+  EXPECT_EQ(out.payload, (Bytes{1, 2, 3}));
+}
+
+TEST(WireFlowMod, FullRoundTrip) {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.match = richMatch();
+  mod.priority = 77;
+  mod.cookie = 0x0123456789abcdefULL;
+  mod.idleTimeout = 30;
+  mod.hardTimeout = 300;
+  SetFieldAction rewrite;
+  rewrite.field = MatchField::kTpDst;
+  rewrite.intValue = 8080;
+  mod.actions.push_back(rewrite);
+  mod.actions.push_back(OutputAction{9});
+
+  Bytes wireBytes = encodeFlowMod(mod, 5);
+  EXPECT_EQ(messageType(wireBytes), MsgType::kFlowMod);
+  FlowMod decoded = std::get<FlowMod>(decode(wireBytes));
+  EXPECT_EQ(decoded, mod);
+}
+
+TEST(WireFlowMod, AllCommandsRoundTrip) {
+  for (FlowModCommand command :
+       {FlowModCommand::kAdd, FlowModCommand::kModify,
+        FlowModCommand::kModifyStrict, FlowModCommand::kDelete,
+        FlowModCommand::kDeleteStrict}) {
+    FlowMod mod;
+    mod.command = command;
+    mod.match.tpDst = 80;
+    FlowMod decoded = std::get<FlowMod>(decode(encodeFlowMod(mod)));
+    EXPECT_EQ(decoded.command, command);
+  }
+}
+
+TEST(WireFlowMod, WildcardAllMatchRoundTrips) {
+  FlowMod mod;
+  mod.actions.push_back(OutputAction{1});
+  FlowMod decoded = std::get<FlowMod>(decode(encodeFlowMod(mod)));
+  EXPECT_TRUE(decoded.match.isWildcardAll());
+}
+
+TEST(WireFlowMod, AllSetFieldActionsRoundTrip) {
+  FlowMod mod;
+  mod.match.tpDst = 1;
+  SetFieldAction setMac;
+  setMac.field = MatchField::kEthDst;
+  setMac.macValue = MacAddress::parse("0a:0b:0c:0d:0e:0f");
+  SetFieldAction setIp;
+  setIp.field = MatchField::kIpSrc;
+  setIp.ipValue = Ipv4Address::parse("192.168.1.1");
+  SetFieldAction setVlan;
+  setVlan.field = MatchField::kVlanId;
+  setVlan.intValue = 7;
+  mod.actions = {setMac, setIp, setVlan, OutputAction{2}};
+  FlowMod decoded = std::get<FlowMod>(decode(encodeFlowMod(mod)));
+  EXPECT_EQ(decoded.actions, mod.actions);
+}
+
+TEST(WireFlowMod, DropIsEmptyActionList) {
+  FlowMod mod;
+  mod.match.tpDst = 23;
+  mod.actions.push_back(DropAction{});
+  FlowMod decoded = std::get<FlowMod>(decode(encodeFlowMod(mod)));
+  EXPECT_TRUE(decoded.actions.empty());
+  EXPECT_TRUE(isDrop(decoded.actions));
+}
+
+TEST(WireMatch, NonPrefixMaskIsRejected) {
+  FlowMod mod;
+  mod.match.ipDst = MaskedIpv4{Ipv4Address::parse("10.0.0.0"),
+                               Ipv4Address::parse("255.0.255.0")};
+  EXPECT_FALSE(isEncodable(mod.match));
+  EXPECT_THROW(encodeFlowMod(mod), EncodeError);
+  mod.match.ipDst = MaskedIpv4{Ipv4Address::parse("10.0.0.0"),
+                               Ipv4Address::prefixMask(12)};
+  EXPECT_TRUE(isEncodable(mod.match));
+  EXPECT_NO_THROW(encodeFlowMod(mod));
+}
+
+TEST(WireMatch, UnsupportedSetFieldIsRejected) {
+  FlowMod mod;
+  SetFieldAction setEthType;
+  setEthType.field = MatchField::kEthType;
+  mod.actions.push_back(setEthType);
+  EXPECT_THROW(encodeFlowMod(mod), EncodeError);
+}
+
+TEST(WirePacketIn, RoundTripsPacketAndMetadata) {
+  PacketIn packetIn;
+  packetIn.bufferId = 99;
+  packetIn.inPort = 4;
+  packetIn.reason = PacketInReason::kAction;
+  packetIn.packet = Packet::makeTcp(
+      MacAddress::fromUint64(1), MacAddress::fromUint64(2),
+      Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 40000, 80,
+      tcpflags::kSyn, Bytes{'h', 'i'});
+  PacketIn decoded = std::get<PacketIn>(decode(encodePacketIn(packetIn, 3)));
+  EXPECT_EQ(decoded.bufferId, 99u);
+  EXPECT_EQ(decoded.inPort, 4u);
+  EXPECT_EQ(decoded.reason, PacketInReason::kAction);
+  EXPECT_EQ(decoded.packet, packetIn.packet);
+}
+
+TEST(WirePacketOut, RoundTripsActionsAndPayload) {
+  PacketOut packetOut;
+  packetOut.inPort = ports::kNone;
+  packetOut.actions.push_back(OutputAction{ports::kFlood});
+  packetOut.packet = Packet::makeArpRequest(MacAddress::fromUint64(1),
+                                            Ipv4Address(10, 0, 0, 1),
+                                            Ipv4Address(10, 0, 0, 2));
+  PacketOut decoded =
+      std::get<PacketOut>(decode(encodePacketOut(packetOut, 11)));
+  EXPECT_EQ(decoded.inPort, ports::kNone);
+  EXPECT_EQ(decoded.actions, packetOut.actions);
+  EXPECT_EQ(decoded.packet, packetOut.packet);
+}
+
+TEST(WireFlowRemoved, RoundTripsIdentityFields) {
+  FlowRemoved removed;
+  removed.match = richMatch();
+  removed.priority = 55;
+  removed.cookie = 1234;
+  FlowRemoved decoded =
+      std::get<FlowRemoved>(decode(encodeFlowRemoved(removed)));
+  EXPECT_EQ(decoded.match, removed.match);
+  EXPECT_EQ(decoded.priority, 55);
+  EXPECT_EQ(decoded.cookie, 1234u);
+}
+
+TEST(WireError, AllErrorTypesRoundTrip) {
+  for (ErrorType type : {ErrorType::kBadRequest, ErrorType::kBadAction,
+                         ErrorType::kBadMatch, ErrorType::kTableFull,
+                         ErrorType::kPermError}) {
+    ErrorMsg error;
+    error.type = type;
+    error.detail = "details here";
+    ErrorMsg decoded = std::get<ErrorMsg>(decode(encodeError(error)));
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_EQ(decoded.detail, "details here");
+  }
+}
+
+TEST(WireStats, FlowRequestAndReplyRoundTrip) {
+  StatsRequest request;
+  request.level = StatsLevel::kFlow;
+  request.match.tpDst = 80;
+  StatsRequest decodedRequest =
+      std::get<StatsRequest>(decode(encodeStatsRequest(request)));
+  EXPECT_EQ(decodedRequest.level, StatsLevel::kFlow);
+  EXPECT_EQ(decodedRequest.match.tpDst, 80);
+
+  StatsReply reply;
+  reply.level = StatsLevel::kFlow;
+  reply.flows.push_back(FlowStatsEntry{richMatch(), 7, 100, 6400, 42});
+  reply.flows.push_back(FlowStatsEntry{FlowMatch{}, 8, 1, 64, 43});
+  StatsReply decodedReply =
+      std::get<StatsReply>(decode(encodeStatsReply(reply)));
+  ASSERT_EQ(decodedReply.flows.size(), 2u);
+  EXPECT_EQ(decodedReply.flows[0].match, richMatch());
+  EXPECT_EQ(decodedReply.flows[0].packetCount, 100u);
+  EXPECT_EQ(decodedReply.flows[1].cookie, 43u);
+}
+
+TEST(WireStats, PortReplyRoundTripsCounters) {
+  StatsReply reply;
+  reply.level = StatsLevel::kPort;
+  reply.ports.push_back(PortStats{1, 10, 20, 1000, 2000});
+  reply.ports.push_back(PortStats{2, 1, 2, 3, 4});
+  StatsReply decoded = std::get<StatsReply>(decode(encodeStatsReply(reply)));
+  ASSERT_EQ(decoded.ports.size(), 2u);
+  EXPECT_EQ(decoded.ports[0].rxPackets, 10u);
+  EXPECT_EQ(decoded.ports[1].txBytes, 4u);
+}
+
+TEST(WireStats, TableReplyCarriesSwitchStats) {
+  StatsReply reply;
+  reply.level = StatsLevel::kSwitch;
+  reply.switchStats = SwitchStats{0, 12, 3456, 3000};
+  StatsReply decoded = std::get<StatsReply>(decode(encodeStatsReply(reply)));
+  EXPECT_EQ(decoded.switchStats.activeFlows, 12u);
+  EXPECT_EQ(decoded.switchStats.lookupCount, 3456u);
+  EXPECT_EQ(decoded.switchStats.matchedCount, 3000u);
+}
+
+TEST(WireDecode, RejectsMalformedInput) {
+  EXPECT_THROW(decode(Bytes{0x01, 0x00}), DecodeError);  // Truncated header.
+  Bytes hello = encodeHello(1);
+  hello[2] = 0;
+  hello[3] = 20;  // Header claims more bytes than present.
+  EXPECT_THROW(decode(hello), DecodeError);
+  // Unknown message type.
+  Bytes unknown = encodeHello(1);
+  unknown[1] = 99;
+  EXPECT_THROW(decode(unknown), DecodeError);
+  // Flow-mod body cut short.
+  FlowMod mod;
+  mod.actions.push_back(OutputAction{1});
+  Bytes wireBytes = encodeFlowMod(mod);
+  Bytes truncated(wireBytes.begin(), wireBytes.begin() + 20);
+  truncated[2] = 0;
+  truncated[3] = 20;
+  EXPECT_THROW(decode(truncated), DecodeError);
+}
+
+TEST(WireDecode, RejectsBadActionLengths) {
+  FlowMod mod;
+  mod.match.tpDst = 80;
+  mod.actions.push_back(OutputAction{1});
+  Bytes wireBytes = encodeFlowMod(mod);
+  // Corrupt the action length field (last action starts 8 bytes from end).
+  wireBytes[wireBytes.size() - 6] = 0;
+  wireBytes[wireBytes.size() - 5] = 3;  // len 3 < 8.
+  EXPECT_THROW(decode(wireBytes), DecodeError);
+}
+
+TEST(WireEncode, GenericEncodeDispatches) {
+  Message messages[] = {
+      Hello{1},
+      Echo{false, 2, {}},
+      FlowMod{},
+      ErrorMsg{0, ErrorType::kPermError, "no"},
+  };
+  for (const Message& message : messages) {
+    Bytes wireBytes = encode(message, 9);
+    EXPECT_GE(wireBytes.size(), 8u);
+    EXPECT_NO_THROW(decode(wireBytes));
+  }
+}
+
+}  // namespace
+}  // namespace sdnshield::of::wire

@@ -1,0 +1,125 @@
+#include "core/engine/ownership.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sdnshield::engine {
+namespace {
+
+of::FlowMatch dstMatch(const char* ip) {
+  of::FlowMatch match;
+  match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ip)};
+  return match;
+}
+
+TEST(OwnershipTracker, RecordsAndLooksUpOwner) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  EXPECT_EQ(tracker.ownerOf(1, dstMatch("10.0.0.1"), 10), 7u);
+  EXPECT_FALSE(tracker.ownerOf(1, dstMatch("10.0.0.2"), 10).has_value());
+  EXPECT_FALSE(tracker.ownerOf(2, dstMatch("10.0.0.1"), 10).has_value());
+  EXPECT_FALSE(tracker.ownerOf(1, dstMatch("10.0.0.1"), 11).has_value());
+}
+
+TEST(OwnershipTracker, ReinsertTransfersOwnership) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  tracker.recordInsert(8, 1, dstMatch("10.0.0.1"), 10);
+  EXPECT_EQ(tracker.ownerOf(1, dstMatch("10.0.0.1"), 10), 8u);
+  EXPECT_EQ(tracker.totalTracked(), 1u);
+}
+
+TEST(OwnershipTracker, StrictDeleteRemovesExactEntry) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  tracker.recordDelete(1, dstMatch("10.0.0.1"), 11, /*strict=*/true);
+  EXPECT_EQ(tracker.totalTracked(), 1u);  // Wrong priority: kept.
+  tracker.recordDelete(1, dstMatch("10.0.0.1"), 10, /*strict=*/true);
+  EXPECT_EQ(tracker.totalTracked(), 0u);
+}
+
+TEST(OwnershipTracker, NonStrictDeleteRemovesSubsumed) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.2"), 20);
+  tracker.recordInsert(7, 2, dstMatch("10.0.0.1"), 10);
+  tracker.recordDelete(1, of::FlowMatch::any(), std::nullopt, false);
+  EXPECT_EQ(tracker.totalTracked(), 1u);  // Only dpid 2 survives.
+  EXPECT_EQ(tracker.countFor(7, 2), 1u);
+}
+
+TEST(OwnershipTracker, OwnsAllMatchingSemantics) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  tracker.recordInsert(8, 1, dstMatch("10.0.0.2"), 10);
+  of::FlowMatch all = of::FlowMatch::any();
+  EXPECT_FALSE(tracker.ownsAllMatching(7, 1, all));
+  EXPECT_TRUE(tracker.ownsAllMatching(7, 1, dstMatch("10.0.0.1")));
+  EXPECT_FALSE(tracker.ownsAllMatching(7, 1, dstMatch("10.0.0.2")));
+  // Vacuously true when nothing matches.
+  EXPECT_TRUE(tracker.ownsAllMatching(7, 1, dstMatch("10.0.0.9")));
+  EXPECT_TRUE(tracker.ownsAllMatching(7, 9, all));
+}
+
+TEST(OwnershipTracker, OverridesForeignFlowDetection) {
+  OwnershipTracker tracker;
+  // Firewall (app 2) drops TCP:23 at priority 100.
+  of::FlowMatch fw;
+  fw.ipProto = 6;
+  fw.tpDst = 23;
+  tracker.recordInsert(2, 1, fw, 100);
+  // A same-or-higher-priority overlapping insert by app 3 overrides it.
+  of::FlowMatch overlap;
+  overlap.tpDst = 23;
+  EXPECT_TRUE(tracker.overridesForeignFlow(3, 1, overlap, 120));
+  // Lower priority does not shadow the firewall rule.
+  EXPECT_FALSE(tracker.overridesForeignFlow(3, 1, overlap, 50));
+  // Disjoint traffic does not override.
+  of::FlowMatch disjoint;
+  disjoint.tpDst = 80;
+  EXPECT_FALSE(tracker.overridesForeignFlow(3, 1, disjoint, 120));
+  // The firewall app itself may refresh its own rule.
+  EXPECT_FALSE(tracker.overridesForeignFlow(2, 1, overlap, 120));
+  // Other switches are unaffected.
+  EXPECT_FALSE(tracker.overridesForeignFlow(3, 2, overlap, 120));
+}
+
+TEST(OwnershipTracker, CountsPerAppPerSwitch) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.2"), 10);
+  tracker.recordInsert(7, 2, dstMatch("10.0.0.3"), 10);
+  tracker.recordInsert(8, 1, dstMatch("10.0.0.4"), 10);
+  EXPECT_EQ(tracker.countFor(7, 1), 2u);
+  EXPECT_EQ(tracker.countFor(7, 2), 1u);
+  EXPECT_EQ(tracker.countFor(8, 1), 1u);
+  EXPECT_EQ(tracker.countFor(9, 1), 0u);
+}
+
+TEST(OwnershipTracker, ClearResets) {
+  OwnershipTracker tracker;
+  tracker.recordInsert(7, 1, dstMatch("10.0.0.1"), 10);
+  tracker.clear();
+  EXPECT_EQ(tracker.totalTracked(), 0u);
+}
+
+TEST(OwnershipTracker, ConcurrentInsertsAndQueries) {
+  OwnershipTracker tracker;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker, t] {
+      for (int i = 0; i < 500; ++i) {
+        of::FlowMatch match;
+        match.tpDst = static_cast<std::uint16_t>(t * 1000 + i);
+        tracker.recordInsert(static_cast<of::AppId>(t + 1), 1, match, 10);
+        tracker.countFor(static_cast<of::AppId>(t + 1), 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracker.totalTracked(), 2000u);
+}
+
+}  // namespace
+}  // namespace sdnshield::engine

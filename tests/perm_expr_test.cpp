@@ -1,0 +1,147 @@
+#include "core/perm/filter_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::perm {
+namespace {
+
+FilterExprPtr ipDstFilter(const char* ip, int bits) {
+  return FilterExpr::singleton(FilterPtr{new FieldPredicateFilter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address::parse(ip),
+                     of::Ipv4Address::prefixMask(bits)})});
+}
+
+FilterExprPtr maxPriority(std::uint16_t bound) {
+  return FilterExpr::singleton(FilterPtr{new PriorityFilter(true, bound)});
+}
+
+ApiCall call(const char* ipDst, std::uint16_t priority) {
+  of::FlowMod mod;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ipDst)};
+  mod.priority = priority;
+  mod.actions.push_back(of::OutputAction{1});
+  return ApiCall::insertFlow(1, 1, mod);
+}
+
+TEST(FilterExpr, SingletonEvaluatesUnderlyingFilter) {
+  FilterExprPtr expr = ipDstFilter("10.13.0.0", 16);
+  EXPECT_TRUE(expr->evaluate(call("10.13.1.1", 5)));
+  EXPECT_FALSE(expr->evaluate(call("10.14.1.1", 5)));
+  EXPECT_EQ(expr->leafCount(), 1u);
+}
+
+TEST(FilterExpr, ConjunctionRequiresBothOperands) {
+  FilterExprPtr expr =
+      FilterExpr::conj(ipDstFilter("10.13.0.0", 16), maxPriority(100));
+  EXPECT_TRUE(expr->evaluate(call("10.13.1.1", 100)));
+  EXPECT_FALSE(expr->evaluate(call("10.13.1.1", 101)));
+  EXPECT_FALSE(expr->evaluate(call("10.14.1.1", 100)));
+  EXPECT_EQ(expr->leafCount(), 2u);
+}
+
+TEST(FilterExpr, DisjunctionRequiresEitherOperand) {
+  FilterExprPtr expr = FilterExpr::disj(ipDstFilter("10.13.0.0", 16),
+                                        ipDstFilter("10.14.0.0", 16));
+  EXPECT_TRUE(expr->evaluate(call("10.13.1.1", 5)));
+  EXPECT_TRUE(expr->evaluate(call("10.14.1.1", 5)));
+  EXPECT_FALSE(expr->evaluate(call("10.15.1.1", 5)));
+}
+
+TEST(FilterExpr, NegationInverts) {
+  FilterExprPtr expr = FilterExpr::negate(ipDstFilter("10.13.0.0", 16));
+  EXPECT_FALSE(expr->evaluate(call("10.13.1.1", 5)));
+  EXPECT_TRUE(expr->evaluate(call("10.14.1.1", 5)));
+}
+
+TEST(FilterExpr, ConstructorsRejectNullOperands) {
+  EXPECT_THROW(FilterExpr::singleton(nullptr), std::invalid_argument);
+  EXPECT_THROW(FilterExpr::conj(nullptr, maxPriority(1)),
+               std::invalid_argument);
+  EXPECT_THROW(FilterExpr::negate(nullptr), std::invalid_argument);
+}
+
+TEST(FilterExpr, StructuralEqualityComparesShapeAndFilters) {
+  FilterExprPtr a =
+      FilterExpr::conj(ipDstFilter("10.13.0.0", 16), maxPriority(100));
+  FilterExprPtr b =
+      FilterExpr::conj(ipDstFilter("10.13.0.0", 16), maxPriority(100));
+  FilterExprPtr c =
+      FilterExpr::conj(maxPriority(100), ipDstFilter("10.13.0.0", 16));
+  EXPECT_TRUE(a->structurallyEquals(*b));
+  EXPECT_FALSE(a->structurallyEquals(*c));  // Structural, not semantic.
+}
+
+TEST(FilterExpr, CollectStubsFindsAllUnresolvedMacros) {
+  FilterExprPtr expr = FilterExpr::conj(
+      FilterExpr::singleton(FilterPtr{new StubFilter("AdminRange")}),
+      FilterExpr::disj(
+          ipDstFilter("10.0.0.0", 8),
+          FilterExpr::singleton(FilterPtr{new StubFilter("LocalTopo")})));
+  std::vector<std::string> stubs;
+  expr->collectStubs(stubs);
+  ASSERT_EQ(stubs.size(), 2u);
+  EXPECT_EQ(stubs[0], "AdminRange");
+  EXPECT_EQ(stubs[1], "LocalTopo");
+}
+
+TEST(FilterExpr, SubstituteStubsReplacesBoundMacros) {
+  FilterExprPtr expr = FilterExpr::conj(
+      FilterExpr::singleton(FilterPtr{new StubFilter("AdminRange")}),
+      maxPriority(100));
+  std::map<std::string, FilterExprPtr> bindings{
+      {"AdminRange", ipDstFilter("10.1.0.0", 16)}};
+  FilterExprPtr substituted = FilterExpr::substituteStubs(expr, bindings);
+  EXPECT_TRUE(substituted->evaluate(call("10.1.2.3", 50)));
+  EXPECT_FALSE(substituted->evaluate(call("10.2.2.3", 50)));
+  std::vector<std::string> stubs;
+  substituted->collectStubs(stubs);
+  EXPECT_TRUE(stubs.empty());
+}
+
+TEST(FilterExpr, SubstituteStubsKeepsUnboundMacrosAndSharesSubtrees) {
+  FilterExprPtr unchangedBranch = maxPriority(100);
+  FilterExprPtr expr = FilterExpr::conj(
+      FilterExpr::singleton(FilterPtr{new StubFilter("Missing")}),
+      unchangedBranch);
+  FilterExprPtr substituted = FilterExpr::substituteStubs(expr, {});
+  EXPECT_EQ(substituted, expr);  // Nothing bound: same tree shared.
+  std::vector<std::string> stubs;
+  substituted->collectStubs(stubs);
+  EXPECT_EQ(stubs.size(), 1u);
+}
+
+TEST(FilterExpr, UnresolvedStubFailsClosedInEvaluation) {
+  FilterExprPtr expr = FilterExpr::disj(
+      FilterExpr::singleton(FilterPtr{new StubFilter("Missing")}),
+      ipDstFilter("10.13.0.0", 16));
+  // The stub contributes false; the disjunction can still pass via the
+  // other branch.
+  EXPECT_TRUE(expr->evaluate(call("10.13.1.1", 5)));
+  EXPECT_FALSE(expr->evaluate(call("10.14.1.1", 5)));
+}
+
+TEST(FilterExpr, ToStringShowsOperatorsAndParens) {
+  FilterExprPtr expr = FilterExpr::negate(
+      FilterExpr::conj(ipDstFilter("10.13.0.0", 16), maxPriority(100)));
+  std::string text = expr->toString();
+  EXPECT_NE(text.find("NOT"), std::string::npos);
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_NE(text.find("MAX_PRIORITY 100"), std::string::npos);
+}
+
+TEST(FilterExpr, DeepCompositionEvaluates) {
+  // OR-chain of 32 disjoint /24 windows: only the last matches.
+  FilterExprPtr expr;
+  for (int i = 0; i < 32; ++i) {
+    std::string prefix = "10.50." + std::to_string(i) + ".0";
+    FilterExprPtr clause = ipDstFilter(prefix.c_str(), 24);
+    expr = expr ? FilterExpr::disj(expr, clause) : clause;
+  }
+  EXPECT_EQ(expr->leafCount(), 32u);
+  EXPECT_TRUE(expr->evaluate(call("10.50.31.7", 5)));
+  EXPECT_FALSE(expr->evaluate(call("10.51.0.7", 5)));
+}
+
+}  // namespace
+}  // namespace sdnshield::perm

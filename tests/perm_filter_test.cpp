@@ -1,0 +1,356 @@
+#include "core/perm/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace sdnshield::perm {
+namespace {
+
+of::FlowMod makeMod(const char* ipDst, int maskBits, std::uint16_t priority,
+                    of::ActionList actions) {
+  of::FlowMod mod;
+  mod.command = of::FlowModCommand::kAdd;
+  mod.match.ethType = 0x0800;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ipDst),
+                                   of::Ipv4Address::prefixMask(maskBits)};
+  mod.priority = priority;
+  mod.actions = std::move(actions);
+  return mod;
+}
+
+ApiCall insertCall(const char* ipDst, int maskBits = 32,
+                   std::uint16_t priority = 10) {
+  return ApiCall::insertFlow(
+      1, 1, makeMod(ipDst, maskBits, priority, {of::OutputAction{1}}));
+}
+
+// --- FieldPredicateFilter ----------------------------------------------------
+
+TEST(FieldPredicateFilter, NarrowerPredicatePasses) {
+  FieldPredicateFilter filter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 13, 0, 0),
+                     of::Ipv4Address::prefixMask(16)});
+  EXPECT_TRUE(filter.evaluate(insertCall("10.13.7.1")));
+  EXPECT_TRUE(filter.evaluate(insertCall("10.13.0.0", 24)));
+}
+
+TEST(FieldPredicateFilter, WiderOrDisjointPredicateFails) {
+  FieldPredicateFilter filter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 13, 0, 0),
+                     of::Ipv4Address::prefixMask(16)});
+  EXPECT_FALSE(filter.evaluate(insertCall("10.0.0.0", 8)));   // Wider.
+  EXPECT_FALSE(filter.evaluate(insertCall("10.14.0.1")));     // Disjoint.
+}
+
+TEST(FieldPredicateFilter, UnconstrainedFieldFailsTheNarrownessTest) {
+  FieldPredicateFilter filter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 13, 0, 0),
+                     of::Ipv4Address::prefixMask(16)});
+  of::FlowMod mod;  // No ip_dst at all: addresses every flow.
+  mod.actions.push_back(of::OutputAction{1});
+  EXPECT_FALSE(filter.evaluate(ApiCall::insertFlow(1, 1, mod)));
+}
+
+TEST(FieldPredicateFilter, NotApplicableCallPasses) {
+  FieldPredicateFilter filter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 13, 0, 0),
+                     of::Ipv4Address::prefixMask(16)});
+  EXPECT_TRUE(filter.evaluate(ApiCall::readTopology(1)));
+}
+
+TEST(FieldPredicateFilter, BoundsHostNetworkRemoteEndpoint) {
+  FieldPredicateFilter filter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(192, 168, 0, 0),
+                     of::Ipv4Address::prefixMask(16)});
+  EXPECT_TRUE(
+      filter.evaluate(ApiCall::hostNetwork(1, of::Ipv4Address(192, 168, 3, 4), 80)));
+  EXPECT_FALSE(
+      filter.evaluate(ApiCall::hostNetwork(1, of::Ipv4Address(203, 0, 113, 66), 80)));
+}
+
+TEST(FieldPredicateFilter, TpDstBoundsHostNetworkPort) {
+  FieldPredicateFilter filter(of::MatchField::kTpDst, 8080);
+  EXPECT_TRUE(
+      filter.evaluate(ApiCall::hostNetwork(1, of::Ipv4Address(1, 2, 3, 4), 8080)));
+  EXPECT_FALSE(
+      filter.evaluate(ApiCall::hostNetwork(1, of::Ipv4Address(1, 2, 3, 4), 443)));
+}
+
+TEST(FieldPredicateFilter, IntegerFieldRequiresExactValue) {
+  FieldPredicateFilter filter(of::MatchField::kTpDst, 80);
+  of::FlowMod mod = makeMod("10.0.0.1", 32, 10, {of::OutputAction{1}});
+  mod.match.tpDst = 80;
+  EXPECT_TRUE(filter.evaluate(ApiCall::insertFlow(1, 1, mod)));
+  mod.match.tpDst = 443;
+  EXPECT_FALSE(filter.evaluate(ApiCall::insertFlow(1, 1, mod)));
+}
+
+TEST(FieldPredicateFilter, InclusionFollowsRangeSubsumption) {
+  FieldPredicateFilter wide(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 0), of::Ipv4Address::prefixMask(8)});
+  FieldPredicateFilter narrow(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 13, 0, 0),
+                     of::Ipv4Address::prefixMask(16)});
+  EXPECT_TRUE(wide.includes(narrow));
+  EXPECT_FALSE(narrow.includes(wide));
+  EXPECT_TRUE(wide.includes(wide));
+}
+
+TEST(FieldPredicateFilter, DifferentFieldsAreIndependentDimensions) {
+  FieldPredicateFilter dst(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 0), of::Ipv4Address::prefixMask(8)});
+  FieldPredicateFilter src(
+      of::MatchField::kIpSrc,
+      of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 0), of::Ipv4Address::prefixMask(8)});
+  EXPECT_NE(dst.dimension(), src.dimension());
+  EXPECT_FALSE(dst.includes(src));
+}
+
+// --- WildcardFilter ------------------------------------------------------------
+
+TEST(WildcardFilter, ForcesBitsToBeWildcarded) {
+  // Paper example: upper 24 bits of IP_DST must stay wildcarded.
+  WildcardFilter filter(of::MatchField::kIpDst,
+                        of::Ipv4Address::parse("255.255.255.0"));
+  of::FlowMod lower8 = makeMod("0.0.0.7", 32, 10, {of::OutputAction{1}});
+  lower8.match.ipDst->mask = of::Ipv4Address::parse("0.0.0.255");
+  EXPECT_TRUE(filter.evaluate(ApiCall::insertFlow(1, 1, lower8)));
+
+  of::FlowMod full = makeMod("10.1.2.3", 32, 10, {of::OutputAction{1}});
+  EXPECT_FALSE(filter.evaluate(ApiCall::insertFlow(1, 1, full)));
+}
+
+TEST(WildcardFilter, AbsentFieldTriviallyComplies) {
+  WildcardFilter filter(of::MatchField::kIpDst,
+                        of::Ipv4Address::parse("255.255.255.0"));
+  of::FlowMod mod;
+  mod.actions.push_back(of::OutputAction{1});
+  EXPECT_TRUE(filter.evaluate(ApiCall::insertFlow(1, 1, mod)));
+}
+
+TEST(WildcardFilter, NonIpFieldFormRequiresFullWildcard) {
+  WildcardFilter filter(of::MatchField::kTpDst);
+  of::FlowMod mod = makeMod("10.0.0.1", 32, 10, {of::OutputAction{1}});
+  EXPECT_TRUE(filter.evaluate(ApiCall::insertFlow(1, 1, mod)));
+  mod.match.tpDst = 80;
+  EXPECT_FALSE(filter.evaluate(ApiCall::insertFlow(1, 1, mod)));
+}
+
+TEST(WildcardFilter, InclusionByForcedBitSubset) {
+  WildcardFilter fewBits(of::MatchField::kIpDst,
+                         of::Ipv4Address::parse("255.0.0.0"));
+  WildcardFilter moreBits(of::MatchField::kIpDst,
+                          of::Ipv4Address::parse("255.255.0.0"));
+  EXPECT_TRUE(fewBits.includes(moreBits));   // Fewer forced bits = wider.
+  EXPECT_FALSE(moreBits.includes(fewBits));
+}
+
+// --- ActionFilter ---------------------------------------------------------------
+
+TEST(ActionFilter, DropOnlyAllowsDrops) {
+  FilterPtr drop = ActionFilter::drop();
+  of::FlowMod dropMod = makeMod("10.0.0.1", 32, 10, {of::DropAction{}});
+  EXPECT_TRUE(drop->evaluate(ApiCall::insertFlow(1, 1, dropMod)));
+  EXPECT_FALSE(drop->evaluate(insertCall("10.0.0.1")));
+}
+
+TEST(ActionFilter, ForwardAllowsOutputsButNotRewrites) {
+  FilterPtr forward = ActionFilter::forward();
+  EXPECT_TRUE(forward->evaluate(insertCall("10.0.0.1")));
+  of::SetFieldAction rewrite;
+  rewrite.field = of::MatchField::kTpDst;
+  rewrite.intValue = 80;
+  of::FlowMod mod = makeMod("10.0.0.1", 32, 10,
+                            {rewrite, of::OutputAction{1}});
+  EXPECT_FALSE(forward->evaluate(ApiCall::insertFlow(1, 1, mod)));
+}
+
+TEST(ActionFilter, ModifyAllowsOnlyTheNamedField) {
+  FilterPtr modifyTp = ActionFilter::modify(of::MatchField::kTpDst);
+  of::SetFieldAction rewriteTp;
+  rewriteTp.field = of::MatchField::kTpDst;
+  of::SetFieldAction rewriteIp;
+  rewriteIp.field = of::MatchField::kIpDst;
+  of::FlowMod tpMod =
+      makeMod("10.0.0.1", 32, 10, {rewriteTp, of::OutputAction{1}});
+  of::FlowMod ipMod =
+      makeMod("10.0.0.1", 32, 10, {rewriteIp, of::OutputAction{1}});
+  EXPECT_TRUE(modifyTp->evaluate(ApiCall::insertFlow(1, 1, tpMod)));
+  EXPECT_FALSE(modifyTp->evaluate(ApiCall::insertFlow(1, 1, ipMod)));
+}
+
+TEST(ActionFilter, InclusionLadderDropForwardModify) {
+  FilterPtr drop = ActionFilter::drop();
+  FilterPtr forward = ActionFilter::forward();
+  FilterPtr modify = ActionFilter::modify(of::MatchField::kTpDst);
+  EXPECT_TRUE(forward->includes(*drop));
+  EXPECT_TRUE(modify->includes(*forward));
+  EXPECT_TRUE(modify->includes(*drop));
+  EXPECT_FALSE(drop->includes(*forward));
+  EXPECT_FALSE(forward->includes(*modify));
+  FilterPtr modifyOther = ActionFilter::modify(of::MatchField::kIpDst);
+  EXPECT_FALSE(modify->includes(*modifyOther));
+}
+
+// --- OwnershipFilter -------------------------------------------------------------
+
+TEST(OwnershipFilter, OwnFlowsGateByCallAttribute) {
+  OwnershipFilter own(true);
+  OwnershipFilter all(false);
+  ApiCall owned = insertCall("10.0.0.1");
+  owned.ownFlow = true;
+  ApiCall foreign = insertCall("10.0.0.1");
+  foreign.ownFlow = false;
+  EXPECT_TRUE(own.evaluate(owned));
+  EXPECT_FALSE(own.evaluate(foreign));
+  EXPECT_TRUE(all.evaluate(foreign));
+  EXPECT_TRUE(all.includes(own));
+  EXPECT_FALSE(own.includes(all));
+}
+
+// --- PriorityFilter ---------------------------------------------------------------
+
+TEST(PriorityFilter, MaxAndMinBounds) {
+  PriorityFilter max(true, 100);
+  PriorityFilter min(false, 10);
+  EXPECT_TRUE(max.evaluate(insertCall("10.0.0.1", 32, 100)));
+  EXPECT_FALSE(max.evaluate(insertCall("10.0.0.1", 32, 101)));
+  EXPECT_TRUE(min.evaluate(insertCall("10.0.0.1", 32, 10)));
+  EXPECT_FALSE(min.evaluate(insertCall("10.0.0.1", 32, 9)));
+}
+
+TEST(PriorityFilter, PassesCallsWithoutPriority) {
+  PriorityFilter max(true, 100);
+  EXPECT_TRUE(max.evaluate(ApiCall::readTopology(1)));
+}
+
+TEST(PriorityFilter, InclusionAndDimensions) {
+  PriorityFilter max100(true, 100);
+  PriorityFilter max50(true, 50);
+  PriorityFilter min10(false, 10);
+  PriorityFilter min20(false, 20);
+  EXPECT_TRUE(max100.includes(max50));
+  EXPECT_FALSE(max50.includes(max100));
+  EXPECT_TRUE(min10.includes(min20));
+  EXPECT_FALSE(min20.includes(min10));
+  EXPECT_NE(max100.dimension(), min10.dimension());
+}
+
+// --- TableSizeFilter --------------------------------------------------------------
+
+TEST(TableSizeFilter, CapsRuleCount) {
+  TableSizeFilter cap(5);
+  ApiCall call = insertCall("10.0.0.1");
+  call.ruleCountAfter = 5;
+  EXPECT_TRUE(cap.evaluate(call));
+  call.ruleCountAfter = 6;
+  EXPECT_FALSE(cap.evaluate(call));
+  call.ruleCountAfter.reset();
+  EXPECT_TRUE(cap.evaluate(call));
+  EXPECT_TRUE(TableSizeFilter(10).includes(cap));
+  EXPECT_FALSE(cap.includes(TableSizeFilter(10)));
+}
+
+// --- PktOutFilter -----------------------------------------------------------------
+
+TEST(PktOutFilter, FromPktInRequiresProvenance) {
+  PktOutFilter fromPktIn(true);
+  PktOutFilter arbitrary(false);
+  of::PacketOut out;
+  out.fromPacketIn = false;
+  ApiCall fabricated = ApiCall::sendPacketOut(1, out);
+  out.fromPacketIn = true;
+  ApiCall echoed = ApiCall::sendPacketOut(1, out);
+  EXPECT_FALSE(fromPktIn.evaluate(fabricated));
+  EXPECT_TRUE(fromPktIn.evaluate(echoed));
+  EXPECT_TRUE(arbitrary.evaluate(fabricated));
+  EXPECT_TRUE(arbitrary.includes(fromPktIn));
+  EXPECT_FALSE(fromPktIn.includes(arbitrary));
+}
+
+// --- PhysicalTopologyFilter --------------------------------------------------------
+
+TEST(PhysicalTopologyFilter, BoundsSwitchesAndLinks) {
+  PhysicalTopologyFilter filter({1, 2}, {{1, 2}});
+  ApiCall inside = insertCall("10.0.0.1");
+  inside.dpid = 2;
+  EXPECT_TRUE(filter.evaluate(inside));
+  ApiCall outside = insertCall("10.0.0.1");
+  outside.dpid = 3;
+  EXPECT_FALSE(filter.evaluate(outside));
+
+  ApiCall topoCall = ApiCall::readTopology(1);
+  topoCall.topoSwitches = {1, 2};
+  topoCall.topoLinks = {{2, 1}};  // Canonicalised to (1,2).
+  EXPECT_TRUE(filter.evaluate(topoCall));
+  topoCall.topoLinks = {{2, 3}};
+  EXPECT_FALSE(filter.evaluate(topoCall));
+}
+
+TEST(PhysicalTopologyFilter, InclusionBySubset) {
+  PhysicalTopologyFilter big({1, 2, 3}, {{1, 2}, {2, 3}});
+  PhysicalTopologyFilter small({1, 2}, {{1, 2}});
+  EXPECT_TRUE(big.includes(small));
+  EXPECT_FALSE(small.includes(big));
+}
+
+// --- VirtualTopologyFilter / CallbackFilter / StatisticsFilter ---------------------
+
+TEST(VirtualTopologyFilter, MarkerSemantics) {
+  VirtualTopologyFilter single;
+  VirtualTopologyFilter subset({1, 2});
+  EXPECT_TRUE(single.isSingleBigSwitch());
+  EXPECT_FALSE(subset.isSingleBigSwitch());
+  EXPECT_TRUE(single.evaluate(ApiCall::readTopology(1)));
+  EXPECT_TRUE(single.includes(single));
+  EXPECT_FALSE(single.includes(subset));
+}
+
+TEST(CallbackFilter, CapabilitiesGateCallbackOps) {
+  CallbackFilter interception(CallbackFilter::Capability::kInterception);
+  CallbackFilter reorder(CallbackFilter::Capability::kModifyOrder);
+  ApiCall observe = ApiCall::subscribe(1, ApiCallType::kSubscribePacketIn,
+                                       CallbackOp::kObserve);
+  ApiCall intercept = ApiCall::subscribe(1, ApiCallType::kSubscribePacketIn,
+                                         CallbackOp::kIntercept);
+  ApiCall reorderCall = ApiCall::subscribe(1, ApiCallType::kSubscribePacketIn,
+                                           CallbackOp::kReorder);
+  EXPECT_TRUE(interception.evaluate(observe));
+  EXPECT_TRUE(interception.evaluate(intercept));
+  EXPECT_FALSE(interception.evaluate(reorderCall));
+  EXPECT_TRUE(reorder.evaluate(reorderCall));
+  EXPECT_FALSE(reorder.evaluate(intercept));
+  EXPECT_NE(interception.dimension(), reorder.dimension());
+}
+
+TEST(StatisticsFilter, ExactLevelMatch) {
+  StatisticsFilter port(of::StatsLevel::kPort);
+  of::StatsRequest request;
+  request.level = of::StatsLevel::kPort;
+  EXPECT_TRUE(port.evaluate(ApiCall::readStatistics(1, request)));
+  request.level = of::StatsLevel::kFlow;
+  EXPECT_FALSE(port.evaluate(ApiCall::readStatistics(1, request)));
+  EXPECT_TRUE(port.evaluate(ApiCall::readTopology(1)));  // Not applicable.
+}
+
+// --- StubFilter -------------------------------------------------------------------
+
+TEST(StubFilter, FailsClosedAndComparesByName) {
+  StubFilter a("AdminRange");
+  StubFilter b("AdminRange");
+  StubFilter c("LocalTopo");
+  EXPECT_FALSE(a.evaluate(ApiCall::readTopology(1)));
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_NE(a.dimension(), c.dimension());
+}
+
+}  // namespace
+}  // namespace sdnshield::perm

@@ -1,0 +1,232 @@
+// PermissionSet: grant/revoke/restrict semantics and the MEET/JOIN lattice
+// the reconciliation engine relies on.
+#include "core/perm/permission.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sdnshield::perm {
+namespace {
+
+FilterExprPtr ipDst(std::uint8_t b, int bits) {
+  return FilterExpr::singleton(FilterPtr{new FieldPredicateFilter(
+      of::MatchField::kIpDst,
+      of::MaskedIpv4{of::Ipv4Address(10, b, 0, 0),
+                     of::Ipv4Address::prefixMask(bits)})});
+}
+
+FilterExprPtr maxPriority(std::uint16_t bound) {
+  return FilterExpr::singleton(FilterPtr{new PriorityFilter(true, bound)});
+}
+
+TEST(PermissionSet, GrantAndQuery) {
+  PermissionSet set;
+  EXPECT_TRUE(set.empty());
+  set.grant(Token::kInsertFlow, ipDst(1, 16));
+  set.grant(Token::kReadStatistics);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.has(Token::kInsertFlow));
+  EXPECT_FALSE(set.has(Token::kDeleteFlow));
+  ASSERT_TRUE(set.filterFor(Token::kInsertFlow).has_value());
+  EXPECT_NE(*set.filterFor(Token::kInsertFlow), nullptr);
+  EXPECT_EQ(*set.filterFor(Token::kReadStatistics), nullptr);  // Unrestricted.
+  EXPECT_FALSE(set.filterFor(Token::kDeleteFlow).has_value());
+}
+
+TEST(PermissionSet, RegrantWidensByDisjunction) {
+  PermissionSet set;
+  set.grant(Token::kInsertFlow, ipDst(1, 16));
+  set.grant(Token::kInsertFlow, ipDst(2, 16));
+  PermissionSet either;
+  either.grant(Token::kInsertFlow,
+               FilterExpr::disj(ipDst(1, 16), ipDst(2, 16)));
+  EXPECT_TRUE(set.equivalent(either));
+}
+
+TEST(PermissionSet, UnrestrictedGrantAbsorbsFilters) {
+  PermissionSet set;
+  set.grant(Token::kInsertFlow, ipDst(1, 16));
+  set.grant(Token::kInsertFlow);  // Now unrestricted.
+  EXPECT_EQ(*set.filterFor(Token::kInsertFlow), nullptr);
+}
+
+TEST(PermissionSet, RestrictConjoins) {
+  PermissionSet set;
+  set.grant(Token::kInsertFlow, ipDst(1, 16));
+  set.restrict(Token::kInsertFlow, maxPriority(100));
+  PermissionSet expected;
+  expected.grant(Token::kInsertFlow,
+                 FilterExpr::conj(ipDst(1, 16), maxPriority(100)));
+  EXPECT_TRUE(set.equivalent(expected));
+  // Restricting an unrestricted grant installs the filter.
+  PermissionSet open;
+  open.grant(Token::kReadFlowTable);
+  open.restrict(Token::kReadFlowTable, ipDst(1, 16));
+  EXPECT_NE(*open.filterFor(Token::kReadFlowTable), nullptr);
+  // Restricting an absent token is a no-op.
+  open.restrict(Token::kDeleteFlow, ipDst(1, 16));
+  EXPECT_FALSE(open.has(Token::kDeleteFlow));
+}
+
+TEST(PermissionSet, RevokeRemovesToken) {
+  PermissionSet set;
+  set.grant(Token::kInsertFlow);
+  set.revoke(Token::kInsertFlow);
+  EXPECT_FALSE(set.has(Token::kInsertFlow));
+}
+
+TEST(PermissionSet, IncludesRequiresTokenCoverage) {
+  PermissionSet big;
+  big.grant(Token::kInsertFlow);
+  big.grant(Token::kReadStatistics);
+  PermissionSet small;
+  small.grant(Token::kInsertFlow, ipDst(1, 16));
+  EXPECT_TRUE(big.includes(small));
+  EXPECT_FALSE(small.includes(big));  // Missing read_statistics + narrower.
+}
+
+TEST(PermissionSet, IncludesComparesFiltersPerToken) {
+  PermissionSet wide;
+  wide.grant(Token::kInsertFlow, ipDst(1, 8));
+  PermissionSet narrow;
+  narrow.grant(Token::kInsertFlow, ipDst(1, 16));
+  // 10.1/8? Note ipDst(1,8) is 10.0.0.0/8 canonically; includes 10.1/16.
+  EXPECT_TRUE(wide.includes(narrow));
+  EXPECT_FALSE(narrow.includes(wide));
+}
+
+TEST(PermissionSet, MeetKeepsCommonTokensWithNarrowerFilter) {
+  PermissionSet a;
+  a.grant(Token::kInsertFlow, ipDst(1, 8));
+  a.grant(Token::kReadStatistics);
+  PermissionSet b;
+  b.grant(Token::kInsertFlow, ipDst(1, 16));
+  b.grant(Token::kDeleteFlow);
+  PermissionSet met = PermissionSet::meet(a, b);
+  EXPECT_EQ(met.size(), 1u);
+  ASSERT_TRUE(met.has(Token::kInsertFlow));
+  // Provable inclusion keeps the narrower operand verbatim.
+  EXPECT_TRUE(filterEquivalent(*met.filterFor(Token::kInsertFlow), ipDst(1, 16)));
+}
+
+TEST(PermissionSet, MeetOfIncomparableFiltersConjoins) {
+  PermissionSet a;
+  a.grant(Token::kInsertFlow, ipDst(1, 16));
+  PermissionSet b;
+  b.grant(Token::kInsertFlow, maxPriority(100));
+  PermissionSet met = PermissionSet::meet(a, b);
+  PermissionSet expected;
+  expected.grant(Token::kInsertFlow,
+                 FilterExpr::conj(ipDst(1, 16), maxPriority(100)));
+  EXPECT_TRUE(met.equivalent(expected));
+}
+
+TEST(PermissionSet, MeetWithUnrestrictedKeepsOtherFilter) {
+  PermissionSet a;
+  a.grant(Token::kInsertFlow);
+  PermissionSet b;
+  b.grant(Token::kInsertFlow, ipDst(1, 16));
+  PermissionSet met = PermissionSet::meet(a, b);
+  EXPECT_TRUE(filterEquivalent(*met.filterFor(Token::kInsertFlow), ipDst(1, 16)));
+}
+
+TEST(PermissionSet, JoinUnionsTokensAndWidensFilters) {
+  PermissionSet a;
+  a.grant(Token::kInsertFlow, ipDst(1, 16));
+  PermissionSet b;
+  b.grant(Token::kInsertFlow, ipDst(2, 16));
+  b.grant(Token::kDeleteFlow);
+  PermissionSet joined = PermissionSet::join(a, b);
+  EXPECT_EQ(joined.size(), 2u);
+  EXPECT_TRUE(joined.includes(a));
+  EXPECT_TRUE(joined.includes(b));
+}
+
+TEST(PermissionSet, StubCollectionAndSubstitution) {
+  PermissionSet set;
+  set.grant(Token::kHostNetwork,
+            FilterExpr::singleton(FilterPtr{new StubFilter("AdminRange")}));
+  EXPECT_EQ(set.collectStubs().size(), 1u);
+  std::map<std::string, FilterExprPtr> bindings{
+      {"AdminRange", ipDst(1, 16)}};
+  PermissionSet substituted = set.substituteStubs(bindings);
+  EXPECT_TRUE(substituted.collectStubs().empty());
+  EXPECT_TRUE(
+      filterEquivalent(*substituted.filterFor(Token::kHostNetwork), ipDst(1, 16)));
+}
+
+TEST(PermissionSet, ToStringUsesPermissionLanguage) {
+  PermissionSet set;
+  set.grant(Token::kInsertFlow, ipDst(1, 16));
+  set.grant(Token::kReadStatistics);
+  std::string text = set.toString();
+  EXPECT_NE(text.find("PERM insert_flow LIMITING"), std::string::npos);
+  EXPECT_NE(text.find("PERM read_statistics"), std::string::npos);
+}
+
+// --- lattice property tests ------------------------------------------------------
+
+class LatticePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+PermissionSet randomSet(std::mt19937& rng) {
+  PermissionSet set;
+  const Token tokens[] = {Token::kInsertFlow, Token::kDeleteFlow,
+                          Token::kReadStatistics, Token::kHostNetwork};
+  for (Token token : tokens) {
+    switch (rng() % 3) {
+      case 0:
+        break;  // Not granted.
+      case 1:
+        set.grant(token);
+        break;
+      default:
+        set.grant(token, ipDst(static_cast<std::uint8_t>(rng() % 3),
+                               (rng() % 2) ? 8 : 16));
+        break;
+    }
+  }
+  return set;
+}
+
+TEST_P(LatticePropertyTest, MeetIsLowerBound) {
+  std::mt19937 rng(GetParam());
+  PermissionSet a = randomSet(rng);
+  PermissionSet b = randomSet(rng);
+  PermissionSet met = PermissionSet::meet(a, b);
+  EXPECT_TRUE(a.includes(met));
+  EXPECT_TRUE(b.includes(met));
+}
+
+TEST_P(LatticePropertyTest, JoinIsUpperBound) {
+  std::mt19937 rng(GetParam() + 100);
+  PermissionSet a = randomSet(rng);
+  PermissionSet b = randomSet(rng);
+  PermissionSet joined = PermissionSet::join(a, b);
+  EXPECT_TRUE(joined.includes(a));
+  EXPECT_TRUE(joined.includes(b));
+}
+
+TEST_P(LatticePropertyTest, MeetJoinCommute) {
+  std::mt19937 rng(GetParam() + 200);
+  PermissionSet a = randomSet(rng);
+  PermissionSet b = randomSet(rng);
+  EXPECT_TRUE(
+      PermissionSet::meet(a, b).equivalent(PermissionSet::meet(b, a)));
+  EXPECT_TRUE(
+      PermissionSet::join(a, b).equivalent(PermissionSet::join(b, a)));
+}
+
+TEST_P(LatticePropertyTest, IncludesIsReflexiveAndAbsorbs) {
+  std::mt19937 rng(GetParam() + 300);
+  PermissionSet a = randomSet(rng);
+  EXPECT_TRUE(a.includes(a));
+  EXPECT_TRUE(a.includes(PermissionSet::meet(a, a)));
+  EXPECT_TRUE(PermissionSet::join(a, a).includes(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticePropertyTest,
+                         ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace sdnshield::perm

@@ -1,0 +1,337 @@
+// Reconciliation engine tests: the paper's Scenario 1 end-to-end, mutual
+// exclusion truncation heuristics, boundary intersection repair, stub
+// handling and the MEET/JOIN + APP-reference machinery.
+#include "core/reconcile/reconciler.h"
+
+#include <gtest/gtest.h>
+
+#include "cbench/generator.h"
+#include "core/lang/policy_parser.h"
+#include "core/lang/printer.h"
+
+namespace sdnshield::reconcile {
+namespace {
+
+using lang::parseManifest;
+using lang::parsePolicy;
+using perm::Token;
+
+Reconciler makeReconciler(const std::string& policyText) {
+  return Reconciler(parsePolicy(policyText));
+}
+
+TEST(Reconciler, PaperScenario1EndToEnd) {
+  // The monitoring app's manifest (§VII Scenario 1), verbatim.
+  auto manifest = parseManifest(
+      "APP monitoring\n"
+      "PERM visible_topology LIMITING LocalTopo\n"
+      "PERM read_statistics\n"
+      "PERM network_access LIMITING AdminRange\n"
+      "PERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "LET LocalTopo = {SWITCH 0,1 LINK {(0,1)}}\n"
+      "LET AdminRange = {IP_DST 10.1.0.0 \\\n"
+      "MASK 255.255.0.0}\n"
+      "ASSERT EITHER { PERM network_access } \\\n"
+      "OR { PERM insert_flow }\n");
+
+  ReconcileResult result = reconciler.reconcile(manifest);
+
+  // The paper's final permissions: insert_flow truncated, stubs expanded.
+  EXPECT_FALSE(result.finalPermissions.has(Token::kInsertFlow));
+  EXPECT_TRUE(result.finalPermissions.has(Token::kVisibleTopology));
+  EXPECT_TRUE(result.finalPermissions.has(Token::kReadStatistics));
+  EXPECT_TRUE(result.finalPermissions.has(Token::kHostNetwork));
+  EXPECT_TRUE(result.finalPermissions.collectStubs().empty());
+
+  // The network grant is now bounded to the admin range.
+  perm::FilterExprPtr netFilter =
+      *result.finalPermissions.filterFor(Token::kHostNetwork);
+  ASSERT_NE(netFilter, nullptr);
+  EXPECT_TRUE(netFilter->evaluate(
+      perm::ApiCall::hostNetwork(1, of::Ipv4Address(10, 1, 2, 3), 80)));
+  EXPECT_FALSE(netFilter->evaluate(
+      perm::ApiCall::hostNetwork(1, of::Ipv4Address(203, 0, 113, 66), 80)));
+
+  // Exactly one violation: the mutual exclusion, repaired by truncation.
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, Violation::Kind::kMutualExclusion);
+  ASSERT_EQ(result.violations[0].truncatedTokens.size(), 1u);
+  EXPECT_EQ(result.violations[0].truncatedTokens[0], Token::kInsertFlow);
+}
+
+TEST(Reconciler, MutualExclusionPrefersTruncatingUnfilteredSide) {
+  // Here the *first* side is the unrestricted one: it gets truncated.
+  auto manifest = parseManifest(
+      "APP app\n"
+      "PERM send_pkt_out\n"
+      "PERM network_access LIMITING IP_DST 10.1.0.0 MASK 255.255.0.0\n");
+  auto reconciler = makeReconciler(
+      "ASSERT EITHER { PERM send_pkt_out } OR { PERM network_access }\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  EXPECT_FALSE(result.finalPermissions.has(Token::kSendPktOut));
+  EXPECT_TRUE(result.finalPermissions.has(Token::kHostNetwork));
+}
+
+TEST(Reconciler, MutualExclusionTieTruncatesSecondSide) {
+  auto manifest = parseManifest(
+      "APP app\nPERM send_pkt_out\nPERM network_access\n");
+  auto reconciler = makeReconciler(
+      "ASSERT EITHER { PERM network_access } OR { PERM send_pkt_out }\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  EXPECT_TRUE(result.finalPermissions.has(Token::kHostNetwork));
+  EXPECT_FALSE(result.finalPermissions.has(Token::kSendPktOut));
+}
+
+TEST(Reconciler, MutualExclusionNotViolatedWhenOneSideAbsent) {
+  auto manifest = parseManifest("APP app\nPERM network_access\n");
+  auto reconciler = makeReconciler(
+      "ASSERT EITHER { PERM network_access } OR { PERM send_pkt_out }\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.finalPermissions.has(Token::kHostNetwork));
+}
+
+TEST(Reconciler, BoundaryViolationRepairedByIntersection) {
+  // The paper's monitoring-template boundary (§V).
+  auto manifest = parseManifest(
+      "APP monitor\n"
+      "PERM read_topology\n"
+      "PERM read_statistics\n"  // Broader than the PORT_LEVEL template.
+      "PERM insert_flow\n");    // Not in the template at all.
+  auto reconciler = makeReconciler(
+      "LET templatePerm = {\n"
+      "PERM read_topology\n"
+      "PERM read_statistics LIMITING PORT_LEVEL\n"
+      "PERM network_access LIMITING IP_DST 192.168.0.0 MASK 255.255.0.0\n"
+      "}\n"
+      "LET monitorAppPerm = APP monitor\n"
+      "ASSERT monitorAppPerm <= templatePerm\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, Violation::Kind::kBoundary);
+  // insert_flow is outside the boundary: gone after intersection.
+  EXPECT_FALSE(result.finalPermissions.has(Token::kInsertFlow));
+  // read_statistics survives but is narrowed to PORT_LEVEL.
+  ASSERT_TRUE(result.finalPermissions.has(Token::kReadStatistics));
+  perm::FilterExprPtr statsFilter =
+      *result.finalPermissions.filterFor(Token::kReadStatistics);
+  ASSERT_NE(statsFilter, nullptr);
+  of::StatsRequest port;
+  port.level = of::StatsLevel::kPort;
+  of::StatsRequest flow;
+  flow.level = of::StatsLevel::kFlow;
+  EXPECT_TRUE(statsFilter->evaluate(perm::ApiCall::readStatistics(1, port)));
+  EXPECT_FALSE(statsFilter->evaluate(perm::ApiCall::readStatistics(1, flow)));
+}
+
+TEST(Reconciler, BoundarySatisfiedIsClean) {
+  auto manifest = parseManifest(
+      "APP monitor\n"
+      "PERM read_statistics LIMITING PORT_LEVEL\n");
+  auto reconciler = makeReconciler(
+      "LET tmpl = { PERM read_statistics LIMITING PORT_LEVEL "
+      "OR SWITCH_LEVEL }\n"
+      "LET appPerm = APP monitor\n"
+      "ASSERT appPerm <= tmpl\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.finalPermissions.has(Token::kReadStatistics));
+}
+
+TEST(Reconciler, UnresolvedStubIsReportedAndFailsClosed) {
+  auto manifest = parseManifest(
+      "APP app\nPERM network_access LIMITING AdminRange\n");
+  auto reconciler = makeReconciler("");  // No bindings at all.
+  ReconcileResult result = reconciler.reconcile(manifest);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, Violation::Kind::kUnresolvedStub);
+  // The stub stays in place and denies (fail closed).
+  perm::FilterExprPtr filter =
+      *result.finalPermissions.filterFor(Token::kHostNetwork);
+  EXPECT_FALSE(filter->evaluate(
+      perm::ApiCall::hostNetwork(1, of::Ipv4Address(10, 1, 1, 1), 80)));
+}
+
+TEST(Reconciler, DirectCustomizationViaRestrictBinding) {
+  // §V permission customization: the admin appends filters to a grant by
+  // writing the boundary as a template around the app.
+  auto manifest = parseManifest("APP tenant\nPERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "LET tenantBound = { PERM insert_flow LIMITING "
+      "IP_DST 10.7.0.0 MASK 255.255.0.0 }\n"
+      "LET tenantPerm = APP tenant\n"
+      "ASSERT tenantPerm <= tenantBound\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, Violation::Kind::kBoundary);
+  perm::FilterExprPtr filter =
+      *result.finalPermissions.filterFor(Token::kInsertFlow);
+  ASSERT_NE(filter, nullptr);
+  of::FlowMod inside;
+  inside.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 7, 1, 1)};
+  inside.actions.push_back(of::OutputAction{1});
+  of::FlowMod outside;
+  outside.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 8, 1, 1)};
+  outside.actions.push_back(of::OutputAction{1});
+  EXPECT_TRUE(filter->evaluate(perm::ApiCall::insertFlow(1, 1, inside)));
+  EXPECT_FALSE(filter->evaluate(perm::ApiCall::insertFlow(1, 1, outside)));
+}
+
+TEST(Reconciler, GeneralAssertionWithoutRepairIsReported) {
+  auto manifest = parseManifest("APP app\nPERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "LET needed = { PERM read_statistics }\n"
+      "LET appPerm = APP app\n"
+      "ASSERT appPerm >= needed\n");  // App lacks the required grant.
+  ReconcileResult result = reconciler.reconcile(manifest);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, Violation::Kind::kAssertionFailed);
+}
+
+TEST(Reconciler, MeetJoinTemplatesCombine) {
+  auto manifest = parseManifest(
+      "APP app\nPERM insert_flow\nPERM read_statistics\n");
+  auto reconciler = makeReconciler(
+      "LET flows = { PERM insert_flow\nPERM delete_flow }\n"
+      "LET reads = { PERM read_statistics\nPERM insert_flow }\n"
+      "LET bound = flows JOIN reads\n"
+      "LET appPerm = APP app\n"
+      "ASSERT appPerm <= bound\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(Reconciler, AppReferencesOtherDeployedApps) {
+  auto manifest = parseManifest("APP newapp\nPERM insert_flow\n");
+  perm::PermissionSet existing;
+  existing.grant(Token::kInsertFlow);
+  existing.grant(Token::kReadStatistics);
+  auto reconciler = makeReconciler(
+      "LET other = APP existing\n"
+      "LET appPerm = APP newapp\n"
+      "ASSERT appPerm <= other\n");
+  ReconcileResult result =
+      reconciler.reconcile(manifest, {{"existing", existing}});
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(Reconciler, UndefinedVariableThrows) {
+  auto manifest = parseManifest("APP app\nPERM insert_flow\n");
+  auto reconciler = makeReconciler("ASSERT nope <= nope\n");
+  EXPECT_THROW(reconciler.reconcile(manifest), std::invalid_argument);
+}
+
+TEST(Reconciler, CyclicBindingThrows) {
+  auto manifest = parseManifest("APP app\nPERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "LET a = b\nLET b = a\nASSERT a <= a\n");
+  EXPECT_THROW(reconciler.reconcile(manifest), std::invalid_argument);
+}
+
+TEST(Reconciler, ConstraintsApplyInOrderAndCompose) {
+  // First the boundary narrows network_access, then the exclusion drops
+  // insert_flow.
+  auto manifest = parseManifest(
+      "APP app\n"
+      "PERM network_access\n"
+      "PERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "LET bound = { PERM network_access LIMITING IP_DST 10.1.0.0 MASK "
+      "255.255.0.0\nPERM insert_flow }\n"
+      "LET appPerm = APP app\n"
+      "ASSERT appPerm <= bound\n"
+      "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  EXPECT_EQ(result.violations.size(), 2u);
+  EXPECT_TRUE(result.finalPermissions.has(Token::kHostNetwork));
+  EXPECT_FALSE(result.finalPermissions.has(Token::kInsertFlow));
+}
+
+TEST(Reconciler, MutualExclusionOffersBothTruncationAlternatives) {
+  auto manifest = parseManifest(
+      "APP app\nPERM network_access\nPERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  ASSERT_EQ(result.violations.size(), 1u);
+  const auto& alternatives = result.violations[0].alternatives;
+  ASSERT_EQ(alternatives.size(), 2u);
+  // First alternative is the applied repair.
+  EXPECT_TRUE(alternatives[0].equivalent(result.finalPermissions));
+  // The other keeps the opposite side.
+  EXPECT_TRUE(alternatives[1].has(Token::kInsertFlow));
+  EXPECT_FALSE(alternatives[1].has(Token::kHostNetwork));
+  EXPECT_TRUE(alternatives[0].has(Token::kHostNetwork));
+  EXPECT_FALSE(alternatives[0].has(Token::kInsertFlow));
+}
+
+TEST(Reconciler, BoundaryViolationOffersTheIntersection) {
+  auto manifest = parseManifest("APP app\nPERM insert_flow\n");
+  auto reconciler = makeReconciler(
+      "LET bound = { PERM insert_flow LIMITING OWN_FLOWS }\n"
+      "LET appPerm = APP app\n"
+      "ASSERT appPerm <= bound\n");
+  ReconcileResult result = reconciler.reconcile(manifest);
+  ASSERT_EQ(result.violations.size(), 1u);
+  ASSERT_EQ(result.violations[0].alternatives.size(), 1u);
+  EXPECT_TRUE(result.violations[0].alternatives[0].equivalent(
+      result.finalPermissions));
+}
+
+// --- property tests ----------------------------------------------------------------
+
+class ReconcilerPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReconcilerPropertyTest, BoundaryRepairOnlyNarrowsAndLandsInBounds) {
+  std::uint64_t seed = GetParam();
+  lang::PermissionManifest manifest;
+  manifest.appName = "app";
+  manifest.permissions = cbench::makeSyntheticManifest(5, seed);
+  perm::PermissionSet boundary = cbench::makeSyntheticManifest(3, seed + 100);
+  std::string policyText = "LET bound = {\n" +
+                           lang::formatPermissions(boundary) +
+                           "}\nLET appPerm = APP app\n"
+                           "ASSERT appPerm <= bound\n";
+  Reconciler reconciler(parsePolicy(policyText));
+  ReconcileResult result = reconciler.reconcile(manifest);
+  // Repairs never widen the app's privileges...
+  EXPECT_TRUE(manifest.permissions.includes(result.finalPermissions))
+      << "seed " << seed;
+  // ...and the repaired set always sits inside the boundary.
+  EXPECT_TRUE(boundary.includes(result.finalPermissions)) << "seed " << seed;
+}
+
+TEST_P(ReconcilerPropertyTest, MutualExclusionNeverLeavesBothSides) {
+  std::uint64_t seed = GetParam() + 500;
+  lang::PermissionManifest manifest;
+  manifest.appName = "app";
+  manifest.permissions = cbench::makeSyntheticManifest(8, seed);
+  Reconciler reconciler(parsePolicy(
+      "ASSERT EITHER { PERM insert_flow\nPERM delete_flow } "
+      "OR { PERM network_access\nPERM read_statistics }\n"));
+  ReconcileResult result = reconciler.reconcile(manifest);
+  bool holdsA = result.finalPermissions.has(Token::kInsertFlow) ||
+                result.finalPermissions.has(Token::kDeleteFlow);
+  bool holdsB = result.finalPermissions.has(Token::kHostNetwork) ||
+                result.finalPermissions.has(Token::kReadStatistics);
+  EXPECT_FALSE(holdsA && holdsB) << "seed " << seed;
+  EXPECT_TRUE(manifest.permissions.includes(result.finalPermissions));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconcilerPropertyTest,
+                         ::testing::Range(0u, 20u));
+
+TEST(Reconciler, ViolationToStringIsReadable) {
+  Violation violation;
+  violation.kind = Violation::Kind::kMutualExclusion;
+  violation.constraintText = "ASSERT EITHER A OR B";
+  violation.detail = "both sides held";
+  violation.truncatedTokens = {Token::kInsertFlow};
+  std::string text = violation.toString();
+  EXPECT_NE(text.find("mutual exclusion"), std::string::npos);
+  EXPECT_NE(text.find("insert_flow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdnshield::reconcile

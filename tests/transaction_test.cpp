@@ -1,0 +1,104 @@
+// API-call transactions (§VI-B.2): all-or-nothing permission checking and
+// rollback of partially executed groups.
+#include "core/engine/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lang/perm_parser.h"
+
+namespace sdnshield::engine {
+namespace {
+
+using lang::parsePermissions;
+using perm::ApiCall;
+
+of::FlowMod modTo(const char* ipDst) {
+  of::FlowMod mod;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ipDst)};
+  mod.actions.push_back(of::OutputAction{1});
+  return mod;
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() {
+    engine_.install(1, parsePermissions(
+                           "PERM insert_flow LIMITING IP_DST 10.13.0.0 MASK "
+                           "255.255.0.0\n"));
+  }
+
+  TxOperation op(const char* ip, bool execOk = true) {
+    return TxOperation{
+        ApiCall::insertFlow(1, 1, modTo(ip)),
+        [this, execOk] {
+          executed_.push_back(true);
+          return execOk;
+        },
+        [this] { undone_.push_back(true); }};
+  }
+
+  PermissionEngine engine_;
+  std::vector<bool> executed_;
+  std::vector<bool> undone_;
+};
+
+TEST_F(TransactionTest, AllAllowedCommits) {
+  Transaction tx;
+  tx.add(op("10.13.0.1"));
+  tx.add(op("10.13.0.2"));
+  TxResult result = tx.commit(engine_);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(executed_.size(), 2u);
+  EXPECT_TRUE(undone_.empty());
+}
+
+TEST_F(TransactionTest, OneDeniedCallAbortsBeforeAnyExecution) {
+  Transaction tx;
+  tx.add(op("10.13.0.1"));
+  tx.add(op("10.99.0.1"));  // Violates the filter.
+  tx.add(op("10.13.0.2"));
+  TxResult result = tx.commit(engine_);
+  EXPECT_FALSE(result.committed);
+  EXPECT_EQ(result.failedIndex, 1u);
+  EXPECT_FALSE(result.failureReason.empty());
+  // Key property: the allowed first call never executed — no problematic
+  // intermediate state.
+  EXPECT_TRUE(executed_.empty());
+  EXPECT_TRUE(undone_.empty());
+}
+
+TEST_F(TransactionTest, RuntimeFailureRollsBackExecutedPrefix) {
+  Transaction tx;
+  tx.add(op("10.13.0.1"));
+  tx.add(op("10.13.0.2"));
+  tx.add(op("10.13.0.3", /*execOk=*/false));  // Fails at runtime.
+  TxResult result = tx.commit(engine_);
+  EXPECT_FALSE(result.committed);
+  EXPECT_EQ(result.failedIndex, 2u);
+  EXPECT_EQ(executed_.size(), 3u);  // All three attempted up to the failure.
+  EXPECT_EQ(undone_.size(), 2u);    // The two successful ones undone.
+}
+
+TEST_F(TransactionTest, EmptyTransactionCommitsTrivially) {
+  Transaction tx;
+  EXPECT_TRUE(tx.empty());
+  EXPECT_TRUE(tx.commit(engine_).committed);
+}
+
+TEST_F(TransactionTest, MissingThunksAreTolerated) {
+  Transaction tx;
+  tx.add(TxOperation{ApiCall::insertFlow(1, 1, modTo("10.13.0.1")), nullptr,
+                     nullptr});
+  EXPECT_TRUE(tx.commit(engine_).committed);
+}
+
+TEST_F(TransactionTest, KernelTransactionsSkipPermissionDenials) {
+  Transaction tx;
+  TxOperation kernelOp = op("10.99.0.1");
+  kernelOp.call.app = of::kKernelAppId;
+  tx.add(std::move(kernelOp));
+  EXPECT_TRUE(tx.commit(engine_).committed);
+}
+
+}  // namespace
+}  // namespace sdnshield::engine
