@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filter_algebra.dir/bench_filter_algebra.cpp.o"
+  "CMakeFiles/bench_filter_algebra.dir/bench_filter_algebra.cpp.o.d"
+  "bench_filter_algebra"
+  "bench_filter_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perm_engine.dir/bench_perm_engine.cpp.o"
+  "CMakeFiles/bench_perm_engine.dir/bench_perm_engine.cpp.o.d"
+  "bench_perm_engine"
+  "bench_perm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

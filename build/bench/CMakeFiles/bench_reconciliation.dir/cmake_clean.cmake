@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconciliation.dir/bench_reconciliation.cpp.o"
+  "CMakeFiles/bench_reconciliation.dir/bench_reconciliation.cpp.o.d"
+  "bench_reconciliation"
+  "bench_reconciliation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconciliation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

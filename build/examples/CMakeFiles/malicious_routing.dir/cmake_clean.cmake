@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_routing.dir/malicious_routing.cpp.o"
+  "CMakeFiles/malicious_routing.dir/malicious_routing.cpp.o.d"
+  "malicious_routing"
+  "malicious_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

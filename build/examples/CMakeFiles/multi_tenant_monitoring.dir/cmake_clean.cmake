@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_monitoring.dir/multi_tenant_monitoring.cpp.o"
+  "CMakeFiles/multi_tenant_monitoring.dir/multi_tenant_monitoring.cpp.o.d"
+  "multi_tenant_monitoring"
+  "multi_tenant_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

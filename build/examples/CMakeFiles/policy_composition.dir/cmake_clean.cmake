@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_composition.dir/policy_composition.cpp.o"
+  "CMakeFiles/policy_composition.dir/policy_composition.cpp.o.d"
+  "policy_composition"
+  "policy_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

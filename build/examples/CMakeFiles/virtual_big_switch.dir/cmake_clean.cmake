@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_big_switch.dir/virtual_big_switch.cpp.o"
+  "CMakeFiles/virtual_big_switch.dir/virtual_big_switch.cpp.o.d"
+  "virtual_big_switch"
+  "virtual_big_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_big_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

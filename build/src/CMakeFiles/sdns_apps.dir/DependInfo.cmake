@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alto.cpp" "src/CMakeFiles/sdns_apps.dir/apps/alto.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/alto.cpp.o.d"
+  "/root/repo/src/apps/firewall.cpp" "src/CMakeFiles/sdns_apps.dir/apps/firewall.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/firewall.cpp.o.d"
+  "/root/repo/src/apps/l2_learning.cpp" "src/CMakeFiles/sdns_apps.dir/apps/l2_learning.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/l2_learning.cpp.o.d"
+  "/root/repo/src/apps/malicious/flow_tunneler.cpp" "src/CMakeFiles/sdns_apps.dir/apps/malicious/flow_tunneler.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/malicious/flow_tunneler.cpp.o.d"
+  "/root/repo/src/apps/malicious/info_leaker.cpp" "src/CMakeFiles/sdns_apps.dir/apps/malicious/info_leaker.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/malicious/info_leaker.cpp.o.d"
+  "/root/repo/src/apps/malicious/route_hijacker.cpp" "src/CMakeFiles/sdns_apps.dir/apps/malicious/route_hijacker.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/malicious/route_hijacker.cpp.o.d"
+  "/root/repo/src/apps/malicious/rst_injector.cpp" "src/CMakeFiles/sdns_apps.dir/apps/malicious/rst_injector.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/malicious/rst_injector.cpp.o.d"
+  "/root/repo/src/apps/monitoring.cpp" "src/CMakeFiles/sdns_apps.dir/apps/monitoring.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/monitoring.cpp.o.d"
+  "/root/repo/src/apps/routing.cpp" "src/CMakeFiles/sdns_apps.dir/apps/routing.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/routing.cpp.o.d"
+  "/root/repo/src/apps/traffic_engineering.cpp" "src/CMakeFiles/sdns_apps.dir/apps/traffic_engineering.cpp.o" "gcc" "src/CMakeFiles/sdns_apps.dir/apps/traffic_engineering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_apps.dir/apps/alto.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/alto.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/firewall.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/firewall.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/l2_learning.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/l2_learning.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/flow_tunneler.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/flow_tunneler.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/info_leaker.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/info_leaker.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/route_hijacker.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/route_hijacker.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/rst_injector.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/malicious/rst_injector.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/monitoring.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/monitoring.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/routing.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/routing.cpp.o.d"
+  "CMakeFiles/sdns_apps.dir/apps/traffic_engineering.cpp.o"
+  "CMakeFiles/sdns_apps.dir/apps/traffic_engineering.cpp.o.d"
+  "libsdns_apps.a"
+  "libsdns_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_cbench.dir/cbench/generator.cpp.o"
+  "CMakeFiles/sdns_cbench.dir/cbench/generator.cpp.o.d"
+  "libsdns_cbench.a"
+  "libsdns_cbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_cbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

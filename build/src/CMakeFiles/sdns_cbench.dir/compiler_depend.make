@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdns_cbench.
+# This may be replaced when dependencies are built.

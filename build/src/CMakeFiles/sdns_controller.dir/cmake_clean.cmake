@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_controller.dir/controller/controller.cpp.o"
+  "CMakeFiles/sdns_controller.dir/controller/controller.cpp.o.d"
+  "CMakeFiles/sdns_controller.dir/controller/data_store.cpp.o"
+  "CMakeFiles/sdns_controller.dir/controller/data_store.cpp.o.d"
+  "CMakeFiles/sdns_controller.dir/controller/event.cpp.o"
+  "CMakeFiles/sdns_controller.dir/controller/event.cpp.o.d"
+  "CMakeFiles/sdns_controller.dir/controller/manifest_recorder.cpp.o"
+  "CMakeFiles/sdns_controller.dir/controller/manifest_recorder.cpp.o.d"
+  "CMakeFiles/sdns_controller.dir/controller/services.cpp.o"
+  "CMakeFiles/sdns_controller.dir/controller/services.cpp.o.d"
+  "libsdns_controller.a"
+  "libsdns_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

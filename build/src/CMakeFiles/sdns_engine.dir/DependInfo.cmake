@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine/audit.cpp" "src/CMakeFiles/sdns_engine.dir/core/engine/audit.cpp.o" "gcc" "src/CMakeFiles/sdns_engine.dir/core/engine/audit.cpp.o.d"
+  "/root/repo/src/core/engine/ownership.cpp" "src/CMakeFiles/sdns_engine.dir/core/engine/ownership.cpp.o" "gcc" "src/CMakeFiles/sdns_engine.dir/core/engine/ownership.cpp.o.d"
+  "/root/repo/src/core/engine/permission_engine.cpp" "src/CMakeFiles/sdns_engine.dir/core/engine/permission_engine.cpp.o" "gcc" "src/CMakeFiles/sdns_engine.dir/core/engine/permission_engine.cpp.o.d"
+  "/root/repo/src/core/engine/transaction.cpp" "src/CMakeFiles/sdns_engine.dir/core/engine/transaction.cpp.o" "gcc" "src/CMakeFiles/sdns_engine.dir/core/engine/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_engine.dir/core/engine/audit.cpp.o"
+  "CMakeFiles/sdns_engine.dir/core/engine/audit.cpp.o.d"
+  "CMakeFiles/sdns_engine.dir/core/engine/ownership.cpp.o"
+  "CMakeFiles/sdns_engine.dir/core/engine/ownership.cpp.o.d"
+  "CMakeFiles/sdns_engine.dir/core/engine/permission_engine.cpp.o"
+  "CMakeFiles/sdns_engine.dir/core/engine/permission_engine.cpp.o.d"
+  "CMakeFiles/sdns_engine.dir/core/engine/transaction.cpp.o"
+  "CMakeFiles/sdns_engine.dir/core/engine/transaction.cpp.o.d"
+  "libsdns_engine.a"
+  "libsdns_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_hll.dir/hll/install.cpp.o"
+  "CMakeFiles/sdns_hll.dir/hll/install.cpp.o.d"
+  "CMakeFiles/sdns_hll.dir/hll/policy.cpp.o"
+  "CMakeFiles/sdns_hll.dir/hll/policy.cpp.o.d"
+  "libsdns_hll.a"
+  "libsdns_hll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_hll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isolation/api_proxy.cpp" "src/CMakeFiles/sdns_isolation.dir/isolation/api_proxy.cpp.o" "gcc" "src/CMakeFiles/sdns_isolation.dir/isolation/api_proxy.cpp.o.d"
+  "/root/repo/src/isolation/host_system.cpp" "src/CMakeFiles/sdns_isolation.dir/isolation/host_system.cpp.o" "gcc" "src/CMakeFiles/sdns_isolation.dir/isolation/host_system.cpp.o.d"
+  "/root/repo/src/isolation/ksd.cpp" "src/CMakeFiles/sdns_isolation.dir/isolation/ksd.cpp.o" "gcc" "src/CMakeFiles/sdns_isolation.dir/isolation/ksd.cpp.o.d"
+  "/root/repo/src/isolation/reference_monitor.cpp" "src/CMakeFiles/sdns_isolation.dir/isolation/reference_monitor.cpp.o" "gcc" "src/CMakeFiles/sdns_isolation.dir/isolation/reference_monitor.cpp.o.d"
+  "/root/repo/src/isolation/thread_container.cpp" "src/CMakeFiles/sdns_isolation.dir/isolation/thread_container.cpp.o" "gcc" "src/CMakeFiles/sdns_isolation.dir/isolation/thread_container.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_isolation.dir/isolation/api_proxy.cpp.o"
+  "CMakeFiles/sdns_isolation.dir/isolation/api_proxy.cpp.o.d"
+  "CMakeFiles/sdns_isolation.dir/isolation/host_system.cpp.o"
+  "CMakeFiles/sdns_isolation.dir/isolation/host_system.cpp.o.d"
+  "CMakeFiles/sdns_isolation.dir/isolation/ksd.cpp.o"
+  "CMakeFiles/sdns_isolation.dir/isolation/ksd.cpp.o.d"
+  "CMakeFiles/sdns_isolation.dir/isolation/reference_monitor.cpp.o"
+  "CMakeFiles/sdns_isolation.dir/isolation/reference_monitor.cpp.o.d"
+  "CMakeFiles/sdns_isolation.dir/isolation/thread_container.cpp.o"
+  "CMakeFiles/sdns_isolation.dir/isolation/thread_container.cpp.o.d"
+  "libsdns_isolation.a"
+  "libsdns_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/lang/lexer.cpp" "src/CMakeFiles/sdns_lang.dir/core/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/sdns_lang.dir/core/lang/lexer.cpp.o.d"
+  "/root/repo/src/core/lang/perm_parser.cpp" "src/CMakeFiles/sdns_lang.dir/core/lang/perm_parser.cpp.o" "gcc" "src/CMakeFiles/sdns_lang.dir/core/lang/perm_parser.cpp.o.d"
+  "/root/repo/src/core/lang/policy_parser.cpp" "src/CMakeFiles/sdns_lang.dir/core/lang/policy_parser.cpp.o" "gcc" "src/CMakeFiles/sdns_lang.dir/core/lang/policy_parser.cpp.o.d"
+  "/root/repo/src/core/lang/printer.cpp" "src/CMakeFiles/sdns_lang.dir/core/lang/printer.cpp.o" "gcc" "src/CMakeFiles/sdns_lang.dir/core/lang/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

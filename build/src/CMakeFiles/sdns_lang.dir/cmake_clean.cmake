@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_lang.dir/core/lang/lexer.cpp.o"
+  "CMakeFiles/sdns_lang.dir/core/lang/lexer.cpp.o.d"
+  "CMakeFiles/sdns_lang.dir/core/lang/perm_parser.cpp.o"
+  "CMakeFiles/sdns_lang.dir/core/lang/perm_parser.cpp.o.d"
+  "CMakeFiles/sdns_lang.dir/core/lang/policy_parser.cpp.o"
+  "CMakeFiles/sdns_lang.dir/core/lang/policy_parser.cpp.o.d"
+  "CMakeFiles/sdns_lang.dir/core/lang/printer.cpp.o"
+  "CMakeFiles/sdns_lang.dir/core/lang/printer.cpp.o.d"
+  "libsdns_lang.a"
+  "libsdns_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

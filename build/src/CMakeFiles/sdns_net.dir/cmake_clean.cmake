@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_net.dir/net/topology.cpp.o"
+  "CMakeFiles/sdns_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/sdns_net.dir/net/virtual_topology.cpp.o"
+  "CMakeFiles/sdns_net.dir/net/virtual_topology.cpp.o.d"
+  "libsdns_net.a"
+  "libsdns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/of/actions.cpp" "src/CMakeFiles/sdns_of.dir/of/actions.cpp.o" "gcc" "src/CMakeFiles/sdns_of.dir/of/actions.cpp.o.d"
+  "/root/repo/src/of/flow_table.cpp" "src/CMakeFiles/sdns_of.dir/of/flow_table.cpp.o" "gcc" "src/CMakeFiles/sdns_of.dir/of/flow_table.cpp.o.d"
+  "/root/repo/src/of/match.cpp" "src/CMakeFiles/sdns_of.dir/of/match.cpp.o" "gcc" "src/CMakeFiles/sdns_of.dir/of/match.cpp.o.d"
+  "/root/repo/src/of/packet.cpp" "src/CMakeFiles/sdns_of.dir/of/packet.cpp.o" "gcc" "src/CMakeFiles/sdns_of.dir/of/packet.cpp.o.d"
+  "/root/repo/src/of/types.cpp" "src/CMakeFiles/sdns_of.dir/of/types.cpp.o" "gcc" "src/CMakeFiles/sdns_of.dir/of/types.cpp.o.d"
+  "/root/repo/src/of/wire.cpp" "src/CMakeFiles/sdns_of.dir/of/wire.cpp.o" "gcc" "src/CMakeFiles/sdns_of.dir/of/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_of.dir/of/actions.cpp.o"
+  "CMakeFiles/sdns_of.dir/of/actions.cpp.o.d"
+  "CMakeFiles/sdns_of.dir/of/flow_table.cpp.o"
+  "CMakeFiles/sdns_of.dir/of/flow_table.cpp.o.d"
+  "CMakeFiles/sdns_of.dir/of/match.cpp.o"
+  "CMakeFiles/sdns_of.dir/of/match.cpp.o.d"
+  "CMakeFiles/sdns_of.dir/of/packet.cpp.o"
+  "CMakeFiles/sdns_of.dir/of/packet.cpp.o.d"
+  "CMakeFiles/sdns_of.dir/of/types.cpp.o"
+  "CMakeFiles/sdns_of.dir/of/types.cpp.o.d"
+  "CMakeFiles/sdns_of.dir/of/wire.cpp.o"
+  "CMakeFiles/sdns_of.dir/of/wire.cpp.o.d"
+  "libsdns_of.a"
+  "libsdns_of.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_of.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

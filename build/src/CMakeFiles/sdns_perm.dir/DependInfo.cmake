@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/perm/api_call.cpp" "src/CMakeFiles/sdns_perm.dir/core/perm/api_call.cpp.o" "gcc" "src/CMakeFiles/sdns_perm.dir/core/perm/api_call.cpp.o.d"
+  "/root/repo/src/core/perm/filter.cpp" "src/CMakeFiles/sdns_perm.dir/core/perm/filter.cpp.o" "gcc" "src/CMakeFiles/sdns_perm.dir/core/perm/filter.cpp.o.d"
+  "/root/repo/src/core/perm/filter_expr.cpp" "src/CMakeFiles/sdns_perm.dir/core/perm/filter_expr.cpp.o" "gcc" "src/CMakeFiles/sdns_perm.dir/core/perm/filter_expr.cpp.o.d"
+  "/root/repo/src/core/perm/normal_form.cpp" "src/CMakeFiles/sdns_perm.dir/core/perm/normal_form.cpp.o" "gcc" "src/CMakeFiles/sdns_perm.dir/core/perm/normal_form.cpp.o.d"
+  "/root/repo/src/core/perm/permission.cpp" "src/CMakeFiles/sdns_perm.dir/core/perm/permission.cpp.o" "gcc" "src/CMakeFiles/sdns_perm.dir/core/perm/permission.cpp.o.d"
+  "/root/repo/src/core/perm/token.cpp" "src/CMakeFiles/sdns_perm.dir/core/perm/token.cpp.o" "gcc" "src/CMakeFiles/sdns_perm.dir/core/perm/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_perm.dir/core/perm/api_call.cpp.o"
+  "CMakeFiles/sdns_perm.dir/core/perm/api_call.cpp.o.d"
+  "CMakeFiles/sdns_perm.dir/core/perm/filter.cpp.o"
+  "CMakeFiles/sdns_perm.dir/core/perm/filter.cpp.o.d"
+  "CMakeFiles/sdns_perm.dir/core/perm/filter_expr.cpp.o"
+  "CMakeFiles/sdns_perm.dir/core/perm/filter_expr.cpp.o.d"
+  "CMakeFiles/sdns_perm.dir/core/perm/normal_form.cpp.o"
+  "CMakeFiles/sdns_perm.dir/core/perm/normal_form.cpp.o.d"
+  "CMakeFiles/sdns_perm.dir/core/perm/permission.cpp.o"
+  "CMakeFiles/sdns_perm.dir/core/perm/permission.cpp.o.d"
+  "CMakeFiles/sdns_perm.dir/core/perm/token.cpp.o"
+  "CMakeFiles/sdns_perm.dir/core/perm/token.cpp.o.d"
+  "libsdns_perm.a"
+  "libsdns_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_reconcile.dir/core/reconcile/policy_templates.cpp.o"
+  "CMakeFiles/sdns_reconcile.dir/core/reconcile/policy_templates.cpp.o.d"
+  "CMakeFiles/sdns_reconcile.dir/core/reconcile/reconciler.cpp.o"
+  "CMakeFiles/sdns_reconcile.dir/core/reconcile/reconciler.cpp.o.d"
+  "libsdns_reconcile.a"
+  "libsdns_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

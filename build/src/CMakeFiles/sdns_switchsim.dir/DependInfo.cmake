@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/sim_network.cpp" "src/CMakeFiles/sdns_switchsim.dir/switchsim/sim_network.cpp.o" "gcc" "src/CMakeFiles/sdns_switchsim.dir/switchsim/sim_network.cpp.o.d"
+  "/root/repo/src/switchsim/sim_switch.cpp" "src/CMakeFiles/sdns_switchsim.dir/switchsim/sim_switch.cpp.o" "gcc" "src/CMakeFiles/sdns_switchsim.dir/switchsim/sim_switch.cpp.o.d"
+  "/root/repo/src/switchsim/wire_conn.cpp" "src/CMakeFiles/sdns_switchsim.dir/switchsim/wire_conn.cpp.o" "gcc" "src/CMakeFiles/sdns_switchsim.dir/switchsim/wire_conn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_switchsim.dir/switchsim/sim_network.cpp.o"
+  "CMakeFiles/sdns_switchsim.dir/switchsim/sim_network.cpp.o.d"
+  "CMakeFiles/sdns_switchsim.dir/switchsim/sim_switch.cpp.o"
+  "CMakeFiles/sdns_switchsim.dir/switchsim/sim_switch.cpp.o.d"
+  "CMakeFiles/sdns_switchsim.dir/switchsim/wire_conn.cpp.o"
+  "CMakeFiles/sdns_switchsim.dir/switchsim/wire_conn.cpp.o.d"
+  "libsdns_switchsim.a"
+  "libsdns_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbench_test.dir/cbench_test.cpp.o"
+  "CMakeFiles/cbench_test.dir/cbench_test.cpp.o.d"
+  "cbench_test"
+  "cbench_test.pdb"
+  "cbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

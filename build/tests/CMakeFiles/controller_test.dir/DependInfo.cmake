@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/controller_test.cpp" "tests/CMakeFiles/controller_test.dir/controller_test.cpp.o" "gcc" "tests/CMakeFiles/controller_test.dir/controller_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdns_reconcile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_cbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_hll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdns_of.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_channel_test.dir/isolation_channel_test.cpp.o"
+  "CMakeFiles/isolation_channel_test.dir/isolation_channel_test.cpp.o.d"
+  "isolation_channel_test"
+  "isolation_channel_test.pdb"
+  "isolation_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

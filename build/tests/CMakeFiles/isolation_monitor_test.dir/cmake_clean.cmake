@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_monitor_test.dir/isolation_monitor_test.cpp.o"
+  "CMakeFiles/isolation_monitor_test.dir/isolation_monitor_test.cpp.o.d"
+  "isolation_monitor_test"
+  "isolation_monitor_test.pdb"
+  "isolation_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

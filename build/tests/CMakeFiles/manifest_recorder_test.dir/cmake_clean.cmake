@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_recorder_test.dir/manifest_recorder_test.cpp.o"
+  "CMakeFiles/manifest_recorder_test.dir/manifest_recorder_test.cpp.o.d"
+  "manifest_recorder_test"
+  "manifest_recorder_test.pdb"
+  "manifest_recorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

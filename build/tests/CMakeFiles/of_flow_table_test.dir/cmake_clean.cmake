@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/of_flow_table_test.dir/of_flow_table_test.cpp.o"
+  "CMakeFiles/of_flow_table_test.dir/of_flow_table_test.cpp.o.d"
+  "of_flow_table_test"
+  "of_flow_table_test.pdb"
+  "of_flow_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/of_flow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

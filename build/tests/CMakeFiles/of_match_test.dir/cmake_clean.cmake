@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/of_match_test.dir/of_match_test.cpp.o"
+  "CMakeFiles/of_match_test.dir/of_match_test.cpp.o.d"
+  "of_match_test"
+  "of_match_test.pdb"
+  "of_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/of_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/of_packet_test.dir/of_packet_test.cpp.o"
+  "CMakeFiles/of_packet_test.dir/of_packet_test.cpp.o.d"
+  "of_packet_test"
+  "of_packet_test.pdb"
+  "of_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/of_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

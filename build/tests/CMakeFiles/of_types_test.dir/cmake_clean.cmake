@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/of_types_test.dir/of_types_test.cpp.o"
+  "CMakeFiles/of_types_test.dir/of_types_test.cpp.o.d"
+  "of_types_test"
+  "of_types_test.pdb"
+  "of_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/of_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/of_wire_test.dir/of_wire_test.cpp.o"
+  "CMakeFiles/of_wire_test.dir/of_wire_test.cpp.o.d"
+  "of_wire_test"
+  "of_wire_test.pdb"
+  "of_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/of_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perm_expr_test.dir/perm_expr_test.cpp.o"
+  "CMakeFiles/perm_expr_test.dir/perm_expr_test.cpp.o.d"
+  "perm_expr_test"
+  "perm_expr_test.pdb"
+  "perm_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perm_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

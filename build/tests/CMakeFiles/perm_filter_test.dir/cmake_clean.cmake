@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perm_filter_test.dir/perm_filter_test.cpp.o"
+  "CMakeFiles/perm_filter_test.dir/perm_filter_test.cpp.o.d"
+  "perm_filter_test"
+  "perm_filter_test.pdb"
+  "perm_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perm_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perm_normal_form_test.dir/perm_normal_form_test.cpp.o"
+  "CMakeFiles/perm_normal_form_test.dir/perm_normal_form_test.cpp.o.d"
+  "perm_normal_form_test"
+  "perm_normal_form_test.pdb"
+  "perm_normal_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perm_normal_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perm_permission_test.dir/perm_permission_test.cpp.o"
+  "CMakeFiles/perm_permission_test.dir/perm_permission_test.cpp.o.d"
+  "perm_permission_test"
+  "perm_permission_test.pdb"
+  "perm_permission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perm_permission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

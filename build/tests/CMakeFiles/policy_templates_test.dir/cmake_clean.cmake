@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_templates_test.dir/policy_templates_test.cpp.o"
+  "CMakeFiles/policy_templates_test.dir/policy_templates_test.cpp.o.d"
+  "policy_templates_test"
+  "policy_templates_test.pdb"
+  "policy_templates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_templates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

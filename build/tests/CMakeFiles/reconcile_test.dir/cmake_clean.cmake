@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_test.dir/reconcile_test.cpp.o"
+  "CMakeFiles/reconcile_test.dir/reconcile_test.cpp.o.d"
+  "reconcile_test"
+  "reconcile_test.pdb"
+  "reconcile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchsim_test.dir/switchsim_test.cpp.o"
+  "CMakeFiles/switchsim_test.dir/switchsim_test.cpp.o.d"
+  "switchsim_test"
+  "switchsim_test.pdb"
+  "switchsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
