@@ -6,6 +6,16 @@
 //
 // Paper's claim to reproduce: per-check latency < 1 microsecond at every
 // complexity level; throughput decreases with manifest complexity.
+//
+// Hot-path layers measured separately (run with --benchmark_format=json to
+// land the numbers in BENCH_perm_engine.json):
+//   * BM_Fig5_*            — optimized compiled program, no memo (the
+//                            paper's Figure 5 workload, unchanged);
+//   * BM_EngineCheck_Memo* — full PermissionEngine::check including the
+//                            thread-local decision memo, on a recurring-flow
+//                            trace (Hot, ~100% hit rate) and the Figure-5
+//                            mostly-distinct trace (Cold). Counters report
+//                            memo_hit_rate and ns_per_check.
 #include <benchmark/benchmark.h>
 
 #include "cbench/generator.h"
@@ -16,6 +26,7 @@ namespace {
 using sdnshield::cbench::makeSyntheticManifest;
 using sdnshield::cbench::makeSyntheticTrace;
 using sdnshield::engine::CompiledPermissions;
+using sdnshield::engine::PermissionEngine;
 using sdnshield::perm::ApiCall;
 using sdnshield::perm::ApiCallType;
 
@@ -67,6 +78,53 @@ void BM_Fig5_ReadStatisticsCheck(benchmark::State& state) {
 // Small / medium / large manifests: 1 / 5 / 15 tokens (paper §IX-B.2).
 BENCHMARK(BM_Fig5_InsertFlowCheck)->Arg(1)->Arg(5)->Arg(15);
 BENCHMARK(BM_Fig5_ReadStatisticsCheck)->Arg(1)->Arg(5)->Arg(15);
+
+/// Full mediator path (PermissionEngine::check): app-table snapshot load +
+/// decision memo + compiled program on miss. `hotFlows` bounds the number
+/// of distinct calls cycled; a small working set models recurring flows and
+/// keeps the memo hot, the full Figure-5 trace is the cold/adversarial
+/// case.
+void engineCheckThroughput(benchmark::State& state, std::size_t hotFlows) {
+  std::size_t tokens = static_cast<std::size_t>(state.range(0));
+  constexpr sdnshield::of::AppId kApp = 7;
+  PermissionEngine engine;
+  auto manifest =
+      makeSyntheticManifest(tokens, 42, sdnshield::perm::Token::kInsertFlow);
+  engine.install(kApp, manifest);
+  std::vector<ApiCall> trace =
+      makeSyntheticTrace(manifest, kTraceLength, kViolationRatio, 7);
+  if (hotFlows > 0 && trace.size() > hotFlows) trace.resize(hotFlows);
+  for (ApiCall& call : trace) call.app = kApp;
+
+  PermissionEngine::resetMemoStats();
+  std::size_t index = 0;
+  std::uint64_t denied = 0;
+  for (auto _ : state) {
+    const ApiCall& call = trace[index];
+    index = (index + 1) % trace.size();
+    bool allowed = engine.check(call).allowed;
+    if (!allowed) ++denied;
+    benchmark::DoNotOptimize(allowed);
+  }
+  auto memo = PermissionEngine::memoStats();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["checks_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["memo_hit_rate"] = memo.hitRate();
+  state.counters["denied_ratio"] =
+      static_cast<double>(denied) / static_cast<double>(state.iterations());
+}
+
+void BM_EngineCheck_MemoHot(benchmark::State& state) {
+  engineCheckThroughput(state, 256);  // Recurring flows: memo serves ~100%.
+}
+
+void BM_EngineCheck_MemoCold(benchmark::State& state) {
+  engineCheckThroughput(state, 0);  // Full mostly-distinct Figure-5 trace.
+}
+
+BENCHMARK(BM_EngineCheck_MemoHot)->Arg(1)->Arg(5)->Arg(15);
+BENCHMARK(BM_EngineCheck_MemoCold)->Arg(1)->Arg(5)->Arg(15);
 
 /// Compilation cost (manifest -> checking program), for context: the paper
 /// compiles at app load time, off the critical path.

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI driver: release tests, then the sanitizer matrix.
+#
+#   1. Release build, full ctest suite (tier-1 gate).
+#   2. ASan+UBSan build, full ctest suite — any finding fails the run
+#      (UBSan is non-recoverable via SDNSHIELD_SANITIZE wiring).
+#   3. TSan build, the concurrency suites (engine_concurrency_test plus the
+#      pre-existing threaded engine tests) — data races in the lock-free
+#      check path fail the run.
+#
+# Usage: scripts/ci.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+echo "=== [1/3] Release build + full test suite ==="
+run_suite build
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+  echo "=== Sanitizer stages skipped ==="
+  exit 0
+fi
+
+echo "=== [2/3] ASan+UBSan build + full test suite ==="
+run_suite build-asan -DSDNSHIELD_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+(cd build-asan && ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure -j "$JOBS")
+
+echo "=== [3/3] TSan build + concurrency suites ==="
+run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+    -R 'EngineConcurrencyTest|ConcurrentChecksAreSafe')
+
+echo "=== CI passed ==="

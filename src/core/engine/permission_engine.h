@@ -2,14 +2,30 @@
 // flat checking programs and mediates every API call on the enforcement hot
 // path. Checking is stateless, allocation-free on the allow path, and safe
 // to run from many kernel-deputy threads concurrently.
+//
+// Hot-path design (three layers, see DESIGN.md "Permission hot path"):
+//  1. Singleton filters are interned (core/perm/interner.h) so duplicate
+//     literals across programs share one slot and one evaluation.
+//  2. Filter expressions are optimized before compilation — constant
+//     folding (stubs always deny, virtual-topology markers always pass),
+//     duplicate-operand elimination, complement detection (X AND NOT X),
+//     cheap-filters-first reordering — and compiled to a branch program
+//     with short-circuit jumps evaluated by a single-register VM (no
+//     evaluation stack to overflow).
+//  3. PermissionEngine::check memoizes decisions per (app, canonical call
+//     key) in a thread-local direct-mapped cache, and resolves the app's
+//     compiled set through a per-thread epoch cache validated by a single
+//     version-counter load, touching the shared table only when the table
+//     actually changed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,9 +47,34 @@ struct Decision {
   }
 };
 
-/// A permission set compiled to per-token postfix filter programs.
+/// Process-wide counters of the decision memo caches (see
+/// PermissionEngine::check). The caches themselves are thread-local; the
+/// counters aggregate across threads so end-to-end harnesses can report a
+/// hit rate for checks performed on deputy threads.
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double hitRate() const {
+    std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// A permission set compiled to per-token short-circuit branch programs.
 class CompiledPermissions {
  public:
+  /// Nesting depth bound of one compiled filter program (after
+  /// optimization, which flattens AND/OR chains and folds NOT-chains, so
+  /// only pathologically alternating expressions hit it). Deeper
+  /// expressions make the constructor throw std::length_error.
+  static constexpr std::size_t kMaxProgramDepth = 64;
+
+  /// Recursion guard for the optimizer/compiler on raw (pre-flattening)
+  /// trees; parser- or algebra-built chains beyond this are rejected with
+  /// std::length_error before any recursive pass runs.
+  static constexpr std::size_t kMaxExpressionDepth = 4096;
+
   explicit CompiledPermissions(const perm::PermissionSet& permissions);
 
   /// Evaluates the call against the compiled program. The required token
@@ -57,11 +98,30 @@ class CompiledPermissions {
   /// Source permissions (for introspection / reporting).
   const perm::PermissionSet& source() const { return source_; }
 
+  /// Instructions in a token's compiled program (0 = unrestricted grant or
+  /// token absent); introspection for tests and benches — the optimizer's
+  /// folds show up as shorter programs.
+  std::size_t programLength(perm::Token token) const;
+
+  /// Process-unique identity of this compiled set; memo-cache entries are
+  /// keyed on it, so a recompiled (reinstalled) set never aliases a stale
+  /// decision.
+  std::uint64_t instanceId() const { return instanceId_; }
+
  private:
-  enum class OpCode : std::uint8_t { kPush, kAnd, kOr, kNot };
+  // One-register branch VM. kPush loads a filter label into the register;
+  // kJumpIfFalse/kJumpIfTrue short-circuit AND/OR: taken, the register
+  // already holds the result; not taken, the right operand overwrites it.
+  enum class OpCode : std::uint8_t {
+    kPush,         ///< reg = filters_[arg]->evaluate(call)
+    kNot,          ///< reg = !reg
+    kJumpIfFalse,  ///< if (!reg) goto arg
+    kJumpIfTrue,   ///< if (reg) goto arg
+    kConst,        ///< reg = (arg != 0)
+  };
   struct Instr {
     OpCode op = OpCode::kPush;
-    std::uint32_t filterIndex = 0;  // kPush.
+    std::uint32_t arg = 0;  // Filter index, jump target, or constant.
   };
   struct TokenProgram {
     bool granted = false;
@@ -69,19 +129,35 @@ class CompiledPermissions {
   };
 
   void compileExpr(const perm::FilterExprPtr& expr, TokenProgram& program);
+  std::uint32_t filterSlot(const perm::FilterPtr& filter);
   bool run(const TokenProgram& program, const perm::ApiCall& call) const;
 
   perm::PermissionSet source_;
   TokenProgram programs_[16];  // Indexed by Token enum value.
-  std::vector<perm::FilterPtr> filters_;
+  std::vector<perm::FilterPtr> filters_;  // Interned + deduplicated.
+  std::map<const perm::Filter*, std::uint32_t> filterSlots_;
   std::shared_ptr<const perm::PhysicalTopologyFilter> topologyProjection_;
   std::optional<std::set<of::DatapathId>> virtualMembers_;
+  std::uint64_t instanceId_ = 0;
 };
 
 /// Registry of compiled permissions per app, the controller-wide mediator.
 /// The kernel app (id 0) is always fully privileged.
+///
+/// check() never blocks on writers in the common case: each thread caches
+/// its last (app -> compiled) resolution, validated by one acquire load of
+/// a version counter, and repeated decisions are served from a thread-local
+/// memo cache keyed on the canonicalized call attributes (exact key
+/// comparison — a hash collision can never flip a decision). Only a cold
+/// resolution copies the table snapshot under a micro-mutex held for two
+/// shared_ptr copies. (libstdc++'s std::atomic<std::shared_ptr> is the
+/// same thing — an embedded spinlock — but its GCC 12 implementation
+/// unlocks with a relaxed RMW in load(), a formal data race that TSan
+/// reports; the plain mutex is equivalent in cost and standard-clean.)
 class PermissionEngine {
  public:
+  PermissionEngine();
+
   /// Compiles and installs the permissions of an app (at app load time).
   void install(of::AppId app, const perm::PermissionSet& permissions);
   void uninstall(of::AppId app);
@@ -92,9 +168,33 @@ class PermissionEngine {
   /// Compiled permissions of an app (nullptr when not installed).
   std::shared_ptr<const CompiledPermissions> compiled(of::AppId app) const;
 
+  /// Process-wide decision memo counters (hits/misses recorded by any
+  /// engine on any thread since the last reset).
+  static MemoStats memoStats();
+  static void resetMemoStats();
+
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<of::AppId, std::shared_ptr<const CompiledPermissions>> apps_;
+  using AppMap = std::map<of::AppId, std::shared_ptr<const CompiledPermissions>>;
+
+  std::shared_ptr<const AppMap> snapshot() const {
+    std::lock_guard lock(snapshotMutex_);
+    return apps_;
+  }
+
+  /// Guards only the apps_ pointer itself (held for a shared_ptr copy, not
+  /// for compilation or map copying).
+  mutable std::mutex snapshotMutex_;
+  std::shared_ptr<const AppMap> apps_;
+  std::mutex writeMutex_;  // Serializes install/uninstall copy-and-swap.
+
+  /// Process-unique engine identity + monotonic table version. check()
+  /// threads cache their last (app -> compiled) resolution keyed on
+  /// (engineId_, version_): a relaxed-cost version compare replaces the
+  /// snapshot copy + map lookup on the hot path, and any
+  /// install/uninstall bumps the version, invalidating every thread's
+  /// cached resolution at its next check.
+  std::uint64_t engineId_ = 0;
+  std::atomic<std::uint64_t> version_{1};
 };
 
 }  // namespace sdnshield::engine

@@ -180,6 +180,10 @@ bool WildcardFilter::equals(const Filter& other) const {
 }
 
 std::string WildcardFilter::toString() const {
+  // The mask operand exists only for IP fields in the grammar; printing it
+  // for integer fields would produce text the parser rejects (round-trip
+  // property of core/lang, covered by lang_roundtrip_test).
+  if (!isIpField()) return "WILDCARD " + of::toString(field_);
   return "WILDCARD " + of::toString(field_) + " " + mustWildcard_.toString();
 }
 

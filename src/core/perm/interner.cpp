@@ -1,0 +1,94 @@
+#include "core/perm/interner.h"
+
+#include <functional>
+#include <string>
+
+namespace sdnshield::perm {
+
+namespace {
+
+inline std::size_t hashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::size_t filterHash(const Filter& filter) {
+  // toString() is the canonical spelling of each filter, so it captures the
+  // state equals() compares — with one exception: MaskedIpv4 equality
+  // ignores unmasked value bits ("10.2.3.0 MASK 255.0.0.0" equals
+  // "10.0.0.0 MASK 255.0.0.0") while toString prints them verbatim. Hash
+  // the masked-out canonical form there so equal filters always land in the
+  // same bucket; everywhere else hash the spelling, which keeps this
+  // independent of subclass layout. Only runs at intern time, never per
+  // check.
+  std::size_t seed = static_cast<std::size_t>(filter.kind()) * 0x100000001b3ULL;
+  seed = hashCombine(seed, filter.dimension());
+  const auto* pred = dynamic_cast<const FieldPredicateFilter*>(&filter);
+  if (pred != nullptr && (pred->field() == of::MatchField::kIpSrc ||
+                          pred->field() == of::MatchField::kIpDst)) {
+    const of::MaskedIpv4& range = pred->range();
+    of::MaskedIpv4 canonical{
+        of::Ipv4Address{range.value.value() & range.mask.value()}, range.mask};
+    return hashCombine(
+        seed, std::hash<std::string>{}(of::toString(pred->field()) + " " +
+                                       canonical.toString()));
+  }
+  return hashCombine(seed, std::hash<std::string>{}(filter.toString()));
+}
+
+FilterInterner& FilterInterner::global() {
+  static FilterInterner* interner = new FilterInterner();  // Never destroyed.
+  return *interner;
+}
+
+FilterPtr FilterInterner::intern(FilterPtr filter) {
+  if (!filter) return filter;
+  std::size_t hash = filterHash(*filter);
+  std::lock_guard lock(mutex_);
+  std::vector<FilterPtr>& bucket = buckets_[hash];
+  for (const FilterPtr& candidate : bucket) {
+    if (candidate.get() == filter.get() || candidate->equals(*filter)) {
+      ++hits_;
+      return candidate;
+    }
+  }
+  ++misses_;
+  ++count_;
+  bucket.push_back(filter);
+  return filter;
+}
+
+FilterInterner::Stats FilterInterner::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{count_, hits_, misses_};
+}
+
+FilterExprPtr internFilters(const FilterExprPtr& expr) {
+  if (!expr) return expr;
+  using Op = FilterExpr::Op;
+  switch (expr->op()) {
+    case Op::kSingleton: {
+      FilterPtr interned = FilterInterner::global().intern(expr->filter());
+      if (interned.get() == expr->filter().get()) return expr;
+      return FilterExpr::singleton(std::move(interned));
+    }
+    case Op::kAnd:
+    case Op::kOr: {
+      FilterExprPtr lhs = internFilters(expr->lhs());
+      FilterExprPtr rhs = internFilters(expr->rhs());
+      if (lhs == expr->lhs() && rhs == expr->rhs()) return expr;
+      return expr->op() == Op::kAnd
+                 ? FilterExpr::conj(std::move(lhs), std::move(rhs))
+                 : FilterExpr::disj(std::move(lhs), std::move(rhs));
+    }
+    case Op::kNot: {
+      FilterExprPtr operand = internFilters(expr->lhs());
+      if (operand == expr->lhs()) return expr;
+      return FilterExpr::negate(std::move(operand));
+    }
+  }
+  return expr;
+}
+
+}  // namespace sdnshield::perm

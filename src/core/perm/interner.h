@@ -1,0 +1,57 @@
+// Filter interner (hash-consing): canonicalizes Filter objects so that
+// semantically equal filters share one FilterPtr and equality degrades to
+// pointer comparison. Interning runs at manifest-compile / normal-form time,
+// off the enforcement hot path; the win is that the O(n²) equals() scans in
+// CNF/DNF dedup and contradiction checks become hashed-set lookups on
+// pointers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/perm/filter_expr.h"
+
+namespace sdnshield::perm {
+
+/// Structural hash of a filter. Filters that equals() agree on hash equally;
+/// different filters may collide (resolved by equals() in the interner).
+std::size_t filterHash(const Filter& filter);
+
+/// Hash-consing table for singleton filters. Thread-safe; filters are
+/// immutable so an interned pointer stays canonical for the table's
+/// lifetime.
+class FilterInterner {
+ public:
+  /// The process-wide interner used by normal forms and the permission
+  /// engine. Never torn down (filters from it may be cached anywhere).
+  static FilterInterner& global();
+
+  /// Canonical representative of @p filter: the first equal filter ever
+  /// interned. After interning, `a->equals(*b)` iff `a == b` for any two
+  /// interned pointers.
+  FilterPtr intern(FilterPtr filter);
+
+  struct Stats {
+    std::size_t uniqueFilters = 0;
+    std::uint64_t hits = 0;    ///< intern() calls answered by an existing entry.
+    std::uint64_t misses = 0;  ///< intern() calls that inserted a new entry.
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Bucketed by structural hash; equals() resolves collisions.
+  std::unordered_map<std::size_t, std::vector<FilterPtr>> buckets_;
+  std::size_t count_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Rebuilds @p expr with every singleton leaf replaced by its interned
+/// representative. Untouched subtrees are shared, as in substituteStubs.
+FilterExprPtr internFilters(const FilterExprPtr& expr);
+
+}  // namespace sdnshield::perm

@@ -1,52 +1,81 @@
 #include "core/perm/normal_form.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/perm/interner.h"
 
 namespace sdnshield::perm {
 
 namespace {
 
-bool literalEquals(const Literal& a, const Literal& b) {
-  return a.negated == b.negated && a.filter->equals(*b.filter);
+// All literals below come out of cnfClauses/dnfClauses, which intern every
+// filter, so semantic filter equality is pointer equality. A literal packs
+// into one word: the canonical filter pointer with the polarity in bit 0
+// (heap objects are at least 8-byte aligned).
+using LitKey = std::uintptr_t;
+
+LitKey litKey(const Literal& lit) {
+  return reinterpret_cast<std::uintptr_t>(lit.filter.get()) |
+         static_cast<std::uintptr_t>(lit.negated);
 }
 
 /// True when the clause contains both l and ¬l for the same filter.
 bool hasContradiction(const Clause& clause) {
-  for (std::size_t i = 0; i < clause.size(); ++i) {
-    for (std::size_t j = i + 1; j < clause.size(); ++j) {
-      if (clause[i].negated != clause[j].negated &&
-          clause[i].filter->equals(*clause[j].filter)) {
-        return true;
-      }
-    }
+  std::unordered_set<LitKey> seen;
+  seen.reserve(clause.size());
+  for (const Literal& lit : clause) {
+    LitKey key = litKey(lit);
+    if (seen.contains(key ^ 1u)) return true;  // Opposite polarity present.
+    seen.insert(key);
   }
   return false;
 }
 
 Clause dedupLiterals(Clause clause) {
+  std::unordered_set<LitKey> seen;
+  seen.reserve(clause.size());
   Clause out;
   for (Literal& lit : clause) {
-    bool dup = std::any_of(out.begin(), out.end(), [&](const Literal& seen) {
-      return literalEquals(seen, lit);
-    });
-    if (!dup) out.push_back(std::move(lit));
+    if (seen.insert(litKey(lit)).second) out.push_back(std::move(lit));
   }
   return out;
 }
 
+/// Order-independent clause signature: the sorted literal keys.
+std::vector<LitKey> clauseSignature(const Clause& clause) {
+  std::vector<LitKey> sig;
+  sig.reserve(clause.size());
+  for (const Literal& lit : clause) sig.push_back(litKey(lit));
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+std::size_t signatureHash(const std::vector<LitKey>& sig) {
+  std::size_t seed = sig.size();
+  for (LitKey key : sig) {
+    seed ^= key + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
 std::vector<Clause> dedupClauses(std::vector<Clause> clauses) {
+  std::unordered_map<std::size_t, std::vector<std::vector<LitKey>>> seen;
+  seen.reserve(clauses.size());
   std::vector<Clause> out;
   for (Clause& clause : clauses) {
-    bool dup = std::any_of(out.begin(), out.end(), [&](const Clause& seen) {
-      if (seen.size() != clause.size()) return false;
-      return std::all_of(seen.begin(), seen.end(), [&](const Literal& a) {
-        return std::any_of(clause.begin(), clause.end(), [&](const Literal& b) {
-          return literalEquals(a, b);
-        });
-      });
-    });
-    if (!dup) out.push_back(std::move(clause));
+    std::vector<LitKey> sig = clauseSignature(clause);
+    std::vector<std::vector<LitKey>>& bucket = seen[signatureHash(sig)];
+    bool dup = std::any_of(
+        bucket.begin(), bucket.end(),
+        [&](const std::vector<LitKey>& other) { return other == sig; });
+    if (dup) continue;
+    bucket.push_back(std::move(sig));
+    out.push_back(std::move(clause));
   }
   return out;
 }
@@ -74,7 +103,8 @@ std::vector<Clause> crossMerge(const std::vector<Clause>& lhs,
 std::vector<Clause> dnfClauses(const FilterExprPtr& expr, bool negated) {
   switch (expr->op()) {
     case FilterExpr::Op::kSingleton:
-      return {{Literal{expr->filter(), negated}}};
+      return {{Literal{FilterInterner::global().intern(expr->filter()),
+                       negated}}};
     case FilterExpr::Op::kNot:
       return dnfClauses(expr->lhs(), !negated);
     case FilterExpr::Op::kAnd: {
@@ -99,7 +129,8 @@ std::vector<Clause> dnfClauses(const FilterExprPtr& expr, bool negated) {
 std::vector<Clause> cnfClauses(const FilterExprPtr& expr, bool negated) {
   switch (expr->op()) {
     case FilterExpr::Op::kSingleton:
-      return {{Literal{expr->filter(), negated}}};
+      return {{Literal{FilterInterner::global().intern(expr->filter()),
+                       negated}}};
     case FilterExpr::Op::kNot:
       return cnfClauses(expr->lhs(), !negated);
     case FilterExpr::Op::kAnd: {
@@ -190,6 +221,9 @@ Dnf toDnf(const FilterExprPtr& expr) {
 }
 
 bool literalIncludes(const Literal& a, const Literal& b) {
+  // Interned literals make the reflexive case a pointer test (inclusion is
+  // reflexive for every filter kind).
+  if (a.filter.get() == b.filter.get()) return a.negated == b.negated;
   if (a.filter->dimension() != b.filter->dimension()) return false;
   if (!a.negated && !b.negated) return a.filter->includes(*b.filter);
   if (a.negated && b.negated) return b.filter->includes(*a.filter);

@@ -648,6 +648,8 @@ void ShieldRuntime::unloadApp(of::AppId app) {
   controller_.removeSubscribers(app);
   loaded.container->stop();
   engine_.uninstall(app);
+  std::lock_guard lock(mutex_);
+  retired_.push_back(std::move(loaded));
 }
 
 void ShieldRuntime::shutdown() {
@@ -662,6 +664,8 @@ void ShieldRuntime::shutdown() {
     engine_.uninstall(id);
   }
   ksd_.stop();
+  std::lock_guard lock(mutex_);
+  for (auto& [id, loaded] : apps) retired_.push_back(std::move(loaded));
 }
 
 std::shared_ptr<ThreadContainer> ShieldRuntime::container(

@@ -188,6 +188,11 @@ class ShieldRuntime {
   ReferenceMonitor monitor_;
   mutable std::mutex mutex_;
   std::map<of::AppId, LoadedApp> apps_;
+  /// Unloaded/shut-down apps are parked here instead of destroyed: app code
+  /// holds raw AppContext pointers handed out at init, and calls through
+  /// them after shutdown must throw (the KSD is stopped), not fault on a
+  /// freed context. Freed when the runtime itself is destroyed.
+  std::vector<LoadedApp> retired_;
   of::AppId nextAppId_ = 1;
 };
 

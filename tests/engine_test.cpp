@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "core/lang/perm_parser.h"
@@ -175,6 +176,80 @@ TEST(PermissionEngine, SourcePermissionsAreIntrospectable) {
   auto perms = parsePermissions("PERM insert_flow\nPERM read_statistics\n");
   engine.install(9, perms);
   EXPECT_TRUE(engine.compiled(9)->source().equivalent(perms));
+}
+
+// --- depth bounds (regression for the former unchecked stack[64]) ----------
+
+perm::FilterExprPtr tpDstLeaf(std::uint16_t port) {
+  return perm::FilterExpr::singleton(perm::FilterPtr{
+      new perm::FieldPredicateFilter(of::MatchField::kTpDst, port)});
+}
+
+TEST(CompiledPermissions, AlternatingDepth70ExpressionIsRejectedNotOverflowed) {
+  // Alternating AND/OR with distinct leaves cannot be flattened, so the
+  // program would need ~70 nesting levels — beyond kMaxProgramDepth. The
+  // seed engine indexed past its fixed stack[64] here (UB); now the
+  // constructor must refuse cleanly.
+  perm::FilterExprPtr expr = tpDstLeaf(0);
+  for (std::uint16_t i = 1; i <= 70; ++i) {
+    expr = i % 2 == 0 ? perm::FilterExpr::conj(tpDstLeaf(i), expr)
+                      : perm::FilterExpr::disj(tpDstLeaf(i), expr);
+  }
+  perm::PermissionSet set;
+  set.grant(perm::Token::kInsertFlow, expr);
+  EXPECT_THROW(CompiledPermissions{set}, std::length_error);
+}
+
+TEST(CompiledPermissions, SameOpDepth70ChainFlattensAndEvaluates) {
+  // A right-leaning 70-deep OR chain (what repeated FilterExpr::disj in a
+  // loop builds) also overflowed the seed's stack. The optimizer flattens
+  // and rebalances it, so it must compile and answer correctly.
+  perm::FilterExprPtr expr = tpDstLeaf(0);
+  for (std::uint16_t i = 1; i <= 70; ++i) {
+    expr = perm::FilterExpr::disj(tpDstLeaf(i), expr);
+  }
+  perm::PermissionSet set;
+  set.grant(perm::Token::kInsertFlow, expr);
+  CompiledPermissions compiled(set);
+
+  auto callWithTpDst = [](std::uint16_t port) {
+    ApiCall call;
+    call.type = perm::ApiCallType::kInsertFlow;
+    call.app = 1;
+    of::FlowMatch match;
+    match.tpDst = port;
+    call.match = match;
+    return call;
+  };
+  EXPECT_TRUE(compiled.check(callWithTpDst(0)).allowed);
+  EXPECT_TRUE(compiled.check(callWithTpDst(35)).allowed);
+  EXPECT_TRUE(compiled.check(callWithTpDst(70)).allowed);
+  EXPECT_FALSE(compiled.check(callWithTpDst(71)).allowed);
+}
+
+TEST(CompiledPermissions, AbsurdlyDeepExpressionIsRejectedBeforeRecursing) {
+  // 5000 stacked NOTs exceed kMaxExpressionDepth; the guard must fire from
+  // an iterative scan, before any recursive optimizer pass can blow the
+  // real call stack.
+  perm::FilterExprPtr expr = tpDstLeaf(80);
+  for (int i = 0; i < 5000; ++i) expr = perm::FilterExpr::negate(expr);
+  perm::PermissionSet set;
+  set.grant(perm::Token::kInsertFlow, expr);
+  EXPECT_THROW(CompiledPermissions{set}, std::length_error);
+}
+
+TEST(CompiledPermissions, OptimizerFoldsConstantsAndDuplicates) {
+  // STUB literals are constant-false, duplicated literals collapse: the
+  // whole program folds to a single constant instruction.
+  perm::FilterExprPtr stub = perm::FilterExpr::singleton(
+      perm::FilterPtr{new perm::StubFilter("X")});
+  perm::PermissionSet set;
+  set.grant(perm::Token::kInsertFlow,
+            perm::FilterExpr::conj(tpDstLeaf(80),
+                                   perm::FilterExpr::conj(stub, tpDstLeaf(80))));
+  CompiledPermissions compiled(set);
+  EXPECT_EQ(compiled.programLength(perm::Token::kInsertFlow), 1u);
+  EXPECT_FALSE(compiled.check(ApiCall::insertFlow(1, 1, modTo("10.0.0.1"))).allowed);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// Parser/printer round-trip property (ISSUE 1 satellite): for randomized
+// permission sets drawn from the full parser-supported grammar,
+// parse(print(set)) must be semantically equal to the original (mutual
+// PermissionSet::includes), and the printed form must be a fixed point of
+// print∘parse. This covers core/lang against the interner-backed normal
+// forms: Algorithm 1 now compares interned literals by pointer, and a
+// re-parsed set holds freshly built filters, so any interner/equality skew
+// would break the mutual inclusion here.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "core/lang/perm_parser.h"
+#include "core/lang/printer.h"
+#include "core/perm/permission.h"
+
+namespace sdnshield::lang {
+namespace {
+
+using Rng = std::mt19937;
+
+// Emits one random filter in permission-language syntax, spanning every
+// grammar production parseFilter understands.
+std::string randomFilterText(Rng& rng) {
+  switch (rng() % 12) {
+    case 0: {
+      std::ostringstream out;
+      out << (rng() % 2 == 0 ? "IP_DST " : "IP_SRC ") << "10." << rng() % 4
+          << "." << rng() % 4 << ".0 MASK 255.255.255.0";
+      return out.str();
+    }
+    case 1:
+      return "TP_DST " + std::to_string(20 + rng() % 5);
+    case 2:
+      return rng() % 2 == 0 ? "WILDCARD TP_SRC"
+                            : "WILDCARD IP_DST 0.0.0.255";
+    case 3:
+      switch (rng() % 3) {
+        case 0:
+          return "ACTION DROP";
+        case 1:
+          return "ACTION FORWARD";
+        default:
+          return "ACTION MODIFY IP_DST";
+      }
+    case 4:
+      return rng() % 2 == 0 ? "OWN_FLOWS" : "ALL_FLOWS";
+    case 5:
+      return (rng() % 2 == 0 ? "MAX_PRIORITY " : "MIN_PRIORITY ") +
+             std::to_string((rng() % 5) * 50);
+    case 6:
+      return "MAX_RULE_COUNT " + std::to_string(1 + rng() % 8);
+    case 7:
+      return rng() % 2 == 0 ? "FROM_PKT_IN" : "ARBITRARY";
+    case 8: {
+      std::ostringstream out;
+      out << "SWITCH { 1, 2, " << 3 + rng() % 2 << " }";
+      if (rng() % 2 == 0) out << " LINK { (1, 2) }";
+      return out.str();
+    }
+    case 9:
+      return rng() % 2 == 0 ? "EVENT_INTERCEPTION" : "MODIFY_EVENT_ORDER";
+    case 10:
+      switch (rng() % 3) {
+        case 0:
+          return "FLOW_LEVEL";
+        case 1:
+          return "PORT_LEVEL";
+        default:
+          return "SWITCH_LEVEL";
+      }
+    default:
+      return "ETH_TYPE " + std::to_string(rng() % 2 == 0 ? 2048 : 2054);
+  }
+}
+
+std::string randomFilterExprText(Rng& rng, int depth) {
+  if (depth == 0 || rng() % 3 == 0) return randomFilterText(rng);
+  switch (rng() % 4) {
+    case 0:
+      return "(" + randomFilterExprText(rng, depth - 1) + " AND " +
+             randomFilterExprText(rng, depth - 1) + ")";
+    case 1:
+      return "(" + randomFilterExprText(rng, depth - 1) + " OR " +
+             randomFilterExprText(rng, depth - 1) + ")";
+    case 2:
+      return "NOT (" + randomFilterExprText(rng, depth - 1) + ")";
+    default:
+      return randomFilterText(rng);
+  }
+}
+
+std::string randomManifestText(Rng& rng) {
+  std::ostringstream out;
+  std::size_t grants = 1 + rng() % 5;
+  for (std::size_t i = 0; i < grants; ++i) {
+    perm::Token token =
+        perm::kAllTokens[rng() % std::size(perm::kAllTokens)];
+    out << "PERM " << perm::toString(token);
+    if (rng() % 8 != 0) {
+      out << " LIMITING " << randomFilterExprText(rng, 3);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+class LangRoundTripTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LangRoundTripTest, PrintedPermissionsReparseToEquivalentSet) {
+  Rng rng(GetParam());
+  for (int sample = 0; sample < 40; ++sample) {
+    std::string text = randomManifestText(rng);
+    perm::PermissionSet original = parsePermissions(text);
+    std::string printed = formatPermissions(original);
+    perm::PermissionSet reparsed = parsePermissions(printed);
+
+    EXPECT_TRUE(original.includes(reparsed))
+        << "original does not cover reparse\ninput:\n"
+        << text << "printed:\n"
+        << printed;
+    EXPECT_TRUE(reparsed.includes(original))
+        << "reparse does not cover original\ninput:\n"
+        << text << "printed:\n"
+        << printed;
+  }
+}
+
+TEST_P(LangRoundTripTest, PrintingIsAFixedPointOfParsing) {
+  Rng rng(GetParam() + 1'000);
+  for (int sample = 0; sample < 40; ++sample) {
+    std::string printed = formatPermissions(
+        parsePermissions(randomManifestText(rng)));
+    EXPECT_EQ(formatPermissions(parsePermissions(printed)), printed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LangRoundTripTest, ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace sdnshield::lang
