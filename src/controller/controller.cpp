@@ -4,6 +4,35 @@
 
 namespace sdnshield::ctrl {
 
+namespace {
+
+/// what() of the in-flight exception (for fault audit records). Must be
+/// called from inside a catch block.
+std::string currentExceptionWhat() {
+  try {
+    throw;
+  } catch (const std::exception& error) {
+    return error.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+void Controller::deliver(const Subscriber& subscriber, const Event& event) {
+  // Fault containment on the dispatch path: a throwing handler (inline in
+  // the baseline deployment, or a failing sink wrapper in the shielded one)
+  // must not unwind into the controller or starve later subscribers.
+  try {
+    subscriber.sink(event);
+  } catch (...) {
+    dispatchFaults_.fetch_add(1, std::memory_order_relaxed);
+    audit_.recordFault(subscriber.app,
+                       "event handler threw: " + currentExceptionWhat());
+  }
+}
+
 void Controller::attachSwitch(std::shared_ptr<SwitchConn> conn) {
   of::DatapathId dpid = conn->dpid();
   {
@@ -50,9 +79,17 @@ void Controller::onPacketIn(const of::PacketIn& packetIn) {
   }
   Event event{PacketInEvent{packetIn}};
   for (const Interceptor& interceptor : interceptors) {
-    if (interceptor.intercept(event)) return;  // Consumed.
+    try {
+      if (interceptor.intercept(event)) return;  // Consumed.
+    } catch (...) {
+      // A faulting interceptor forfeits its consume decision; observers
+      // still see the packet.
+      dispatchFaults_.fetch_add(1, std::memory_order_relaxed);
+      audit_.recordFault(interceptor.app,
+                         "interceptor threw: " + currentExceptionWhat());
+    }
   }
-  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
 }
 
 void Controller::onFlowRemoved(const of::FlowRemoved& removed) {
@@ -67,7 +104,7 @@ void Controller::onFlowRemoved(const of::FlowRemoved& removed) {
   Event event{FlowEvent{removed.dpid, FlowChange::kRemoved, removed.match,
                         removed.priority,
                         static_cast<of::AppId>(removed.cookie)}};
-  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
 }
 
 void Controller::addPacketInInterceptor(of::AppId app,
@@ -83,7 +120,7 @@ void Controller::onSwitchError(const of::ErrorMsg& error) {
     subscribers = errorSubscribers_;
   }
   Event event{ErrorEvent{error}};
-  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
 }
 
 ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
@@ -107,7 +144,7 @@ ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
   Event event{FlowEvent{dpid,
                         modify ? FlowChange::kModified : FlowChange::kInstalled,
                         mod.match, mod.priority, issuer}};
-  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
   return ApiResult::success();
 }
 
@@ -131,7 +168,7 @@ ApiResult Controller::kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
   }
   Event event{
       FlowEvent{dpid, FlowChange::kRemoved, match, priority, issuer}};
-  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
   return ApiResult::success();
 }
 
@@ -173,7 +210,7 @@ void Controller::kernelPublishData(of::AppId publisher,
   }
   Event event{DataUpdateEvent{topic, payload, publisher}};
   for (const Subscriber& subscriber : subscribers) {
-    if (subscriber.topic == topic) subscriber.sink(event);
+    if (subscriber.topic == topic) deliver(subscriber, event);
   }
 }
 
@@ -239,7 +276,7 @@ void Controller::emitTopologyEvent(const TopologyEvent& topoEvent) {
     subscribers = topologySubscribers_;
   }
   Event event{topoEvent};
-  for (const Subscriber& subscriber : subscribers) subscriber.sink(event);
+  for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
 }
 
 }  // namespace sdnshield::ctrl

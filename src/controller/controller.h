@@ -5,6 +5,7 @@
 // module's Kernel Service Deputies check first (paper Figure 4).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -90,6 +91,13 @@ class Controller {
   std::shared_ptr<SwitchConn> switchConn(of::DatapathId dpid) const;
   std::vector<of::DatapathId> switchIds() const;
 
+  /// Handler exceptions contained on the dispatch path (a throwing inline
+  /// subscriber or interceptor must not take down the controller or starve
+  /// the remaining subscribers).
+  std::uint64_t dispatchFaultCount() const {
+    return dispatchFaults_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Subscriber {
     of::AppId app = 0;
@@ -99,6 +107,8 @@ class Controller {
 
   std::vector<Subscriber> snapshot(const std::vector<Subscriber>& list) const;
   void emitTopologyEvent(const TopologyEvent& event);
+  /// Invokes a subscriber sink with fault containment.
+  void deliver(const Subscriber& subscriber, const Event& event);
 
   mutable std::mutex mutex_;
   std::map<of::DatapathId, std::shared_ptr<SwitchConn>> switches_;
@@ -116,6 +126,7 @@ class Controller {
   std::vector<Subscriber> dataSubscribers_;
   engine::OwnershipTracker ownership_;
   engine::AuditLog audit_;
+  std::atomic<std::uint64_t> dispatchFaults_{0};
 };
 
 }  // namespace sdnshield::ctrl

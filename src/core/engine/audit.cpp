@@ -7,24 +7,57 @@ namespace sdnshield::engine {
 
 std::string AuditEntry::toString() const {
   std::ostringstream out;
-  out << "#" << sequence << " app=" << app << " "
-      << perm::toString(callType) << " " << (allowed ? "ALLOW" : "DENY");
+  out << "#" << sequence << " app=" << app << " ";
+  switch (kind) {
+    case AuditKind::kApiCall:
+      out << perm::toString(callType) << " " << (allowed ? "ALLOW" : "DENY");
+      break;
+    case AuditKind::kFault:
+      out << "FAULT";
+      break;
+    case AuditKind::kSupervision:
+      out << "SUPERVISION";
+      break;
+  }
   if (!summary.empty()) out << " " << summary;
   return out.str();
+}
+
+void AuditLog::push(AuditEntry entry) {
+  entry.sequence = nextSequence_++;
+  ring_.push_back(std::move(entry));
+  if (ring_.size() > capacity_) ring_.pop_front();
 }
 
 void AuditLog::record(const perm::ApiCall& call, bool allowed,
                       const std::string& reason) {
   std::lock_guard lock(mutex_);
   AuditEntry entry;
-  entry.sequence = nextSequence_++;
   entry.app = call.app;
   entry.callType = call.type;
   entry.allowed = allowed;
   entry.summary = allowed ? call.toString() : reason;
   if (!allowed) ++denied_;
-  ring_.push_back(std::move(entry));
-  if (ring_.size() > capacity_) ring_.pop_front();
+  push(std::move(entry));
+}
+
+void AuditLog::recordFault(of::AppId app, const std::string& what) {
+  std::lock_guard lock(mutex_);
+  AuditEntry entry;
+  entry.kind = AuditKind::kFault;
+  entry.app = app;
+  entry.summary = what;
+  ++faults_;
+  push(std::move(entry));
+}
+
+void AuditLog::recordSupervision(of::AppId app, const std::string& what) {
+  std::lock_guard lock(mutex_);
+  AuditEntry entry;
+  entry.kind = AuditKind::kSupervision;
+  entry.app = app;
+  entry.summary = what;
+  push(std::move(entry));
 }
 
 std::vector<AuditEntry> AuditLog::entries() const {
@@ -50,11 +83,17 @@ std::uint64_t AuditLog::deniedCount() const {
   return denied_;
 }
 
+std::uint64_t AuditLog::faultCount() const {
+  std::lock_guard lock(mutex_);
+  return faults_;
+}
+
 void AuditLog::clear() {
   std::lock_guard lock(mutex_);
   ring_.clear();
   nextSequence_ = 0;
   denied_ = 0;
+  faults_ = 0;
 }
 
 }  // namespace sdnshield::engine

@@ -1,5 +1,8 @@
 // Activity logging (paper §VII, Scenario 2): every mediated call is recorded
-// with its decision, enabling forensic analysis after an attack.
+// with its decision, enabling forensic analysis after an attack. Besides API
+// calls the log carries fault records (contained app crashes/hangs) and
+// supervision records (health transitions, quarantines) so degraded-mode
+// behaviour is forensically reconstructible too.
 #pragma once
 
 #include <cstdint>
@@ -12,8 +15,16 @@
 
 namespace sdnshield::engine {
 
+/// What an audit entry describes.
+enum class AuditKind {
+  kApiCall,      ///< A mediated API call and its decision.
+  kFault,        ///< A contained app fault (exception, dropped task...).
+  kSupervision,  ///< A supervisor action (suspect, quarantine, drop batch).
+};
+
 struct AuditEntry {
   std::uint64_t sequence = 0;
+  AuditKind kind = AuditKind::kApiCall;
   of::AppId app = 0;
   perm::ApiCallType callType = perm::ApiCallType::kReadTopology;
   bool allowed = false;
@@ -28,18 +39,27 @@ class AuditLog {
 
   void record(const perm::ApiCall& call, bool allowed,
               const std::string& reason = {});
+  /// Records a contained app fault (never a permission decision).
+  void recordFault(of::AppId app, const std::string& what);
+  /// Records a supervisor action taken against @p app.
+  void recordSupervision(of::AppId app, const std::string& what);
 
   std::vector<AuditEntry> entries() const;
   std::vector<AuditEntry> entriesFor(of::AppId app) const;
   std::uint64_t totalRecorded() const;
   std::uint64_t deniedCount() const;
+  /// Contained-fault entries recorded (not counted as denials).
+  std::uint64_t faultCount() const;
   void clear();
 
  private:
+  void push(AuditEntry entry);
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::uint64_t nextSequence_ = 0;
   std::uint64_t denied_ = 0;
+  std::uint64_t faults_ = 0;
   std::deque<AuditEntry> ring_;
 };
 

@@ -43,6 +43,26 @@ ctrl::ApiResult denied(const engine::Decision& decision) {
   return ctrl::ApiResult::failure("permission denied: " + decision.reason);
 }
 
+/// Runs @p work on a deputy under the runtime's call deadline, converting
+/// channel failures (hung deputy, stopped or saturated pool, dropped call)
+/// into failed API responses instead of letting exceptions escape into app
+/// code. Deadline misses are audited as faults against the calling app.
+template <typename R>
+R viaDeputy(ShieldRuntime& runtime, of::AppId app, std::function<R()> work) {
+  try {
+    return runtime.ksd().call<R>(std::move(work),
+                                 runtime.options().ksdCallTimeout);
+  } catch (const PoolStopped&) {
+    throw;  // Calls after shutdown() keep the historical throwing contract.
+  } catch (const DeadlineExceeded& error) {
+    runtime.controller().audit().recordFault(
+        app, std::string("api call: ") + error.what());
+    return R::failure(std::string("deputy unavailable: ") + error.what());
+  } catch (const std::exception& error) {
+    return R::failure(std::string("deputy unavailable: ") + error.what());
+  }
+}
+
 }  // namespace
 
 ctrl::ApiResult ShieldedApi::doInsertFlow(of::DatapathId dpid,
@@ -92,15 +112,15 @@ ctrl::ApiResult ShieldedApi::doInsertFlow(of::DatapathId dpid,
 
 ctrl::ApiResult ShieldedApi::insertFlow(of::DatapathId dpid,
                                         const of::FlowMod& mod) {
-  return runtime_.ksd().call<ctrl::ApiResult>(
-      [this, dpid, mod] { return doInsertFlow(dpid, mod); });
+  return viaDeputy<ctrl::ApiResult>(
+      runtime_, app_, [this, dpid, mod] { return doInsertFlow(dpid, mod); });
 }
 
 ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
                                         const of::FlowMatch& match,
                                         bool strict, std::uint16_t priority) {
-  return runtime_.ksd().call<ctrl::ApiResult>([this, dpid, match, strict,
-                                               priority] {
+  return viaDeputy<ctrl::ApiResult>(runtime_, app_, [this, dpid, match,
+                                                     strict, priority] {
     auto compiled = runtime_.engine().compiled(app_);
     if (!compiled) {
       return ctrl::ApiResult::failure("permission denied: app not installed");
@@ -144,7 +164,7 @@ ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
 
 ctrl::ApiResult ShieldedApi::commitFlowTransaction(
     const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) {
-  return runtime_.ksd().call<ctrl::ApiResult>([this, mods] {
+  return viaDeputy<ctrl::ApiResult>(runtime_, app_, [this, mods] {
     engine::OwnershipTracker& ownership = runtime_.controller().ownership();
     engine::Transaction transaction;
     std::map<of::DatapathId, std::size_t> pendingPerSwitch;
@@ -182,7 +202,7 @@ ctrl::ApiResult ShieldedApi::commitFlowTransaction(
 ctrl::ApiResponse<std::vector<of::FlowEntry>> ShieldedApi::readFlowTable(
     of::DatapathId dpid) {
   using Response = ctrl::ApiResponse<std::vector<of::FlowEntry>>;
-  return runtime_.ksd().call<Response>([this, dpid]() -> Response {
+  return viaDeputy<Response>(runtime_, app_, [this, dpid]() -> Response {
     auto compiled = runtime_.engine().compiled(app_);
     perm::ApiCall call = perm::ApiCall::readFlowTable(app_, dpid);
     bool tokenOk =
@@ -214,7 +234,7 @@ ctrl::ApiResponse<std::vector<of::FlowEntry>> ShieldedApi::readFlowTable(
 
 ctrl::ApiResponse<net::Topology> ShieldedApi::readTopology() {
   using Response = ctrl::ApiResponse<net::Topology>;
-  return runtime_.ksd().call<Response>([this]() -> Response {
+  return viaDeputy<Response>(runtime_, app_, [this]() -> Response {
     auto compiled = runtime_.engine().compiled(app_);
     perm::ApiCall call = perm::ApiCall::readTopology(app_);
     engine::Decision decision =
@@ -250,7 +270,7 @@ ctrl::ApiResponse<net::Topology> ShieldedApi::readTopology() {
 ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
     const of::StatsRequest& request) {
   using Response = ctrl::ApiResponse<of::StatsReply>;
-  return runtime_.ksd().call<Response>([this, request]() -> Response {
+  return viaDeputy<Response>(runtime_, app_, [this, request]() -> Response {
     auto compiled = runtime_.engine().compiled(app_);
     perm::ApiCall call = perm::ApiCall::readStatistics(app_, request);
     // Flow-level requests are checked per returned entry (projection), so
@@ -315,7 +335,7 @@ ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
 }
 
 ctrl::ApiResult ShieldedApi::sendPacketOut(const of::PacketOut& packetOut) {
-  return runtime_.ksd().call<ctrl::ApiResult>([this, packetOut] {
+  return viaDeputy<ctrl::ApiResult>(runtime_, app_, [this, packetOut] {
     auto compiled = runtime_.engine().compiled(app_);
     if (!compiled) {
       return ctrl::ApiResult::failure("permission denied: app not installed");
@@ -348,7 +368,7 @@ ctrl::ApiResult ShieldedApi::sendPacketOut(const of::PacketOut& packetOut) {
 
 ctrl::ApiResult ShieldedApi::publishData(const std::string& topic,
                                          const std::string& payload) {
-  return runtime_.ksd().call<ctrl::ApiResult>([this, topic, payload] {
+  return viaDeputy<ctrl::ApiResult>(runtime_, app_, [this, topic, payload] {
     // Data-model publication writes the controller's network view: mediated
     // under modify_topology (cf. the YANG data-broker mediation, §VIII-B).
     auto compiled = runtime_.engine().compiled(app_);
@@ -385,7 +405,7 @@ namespace {
 /// Checks an event-subscription call on a deputy and records it.
 ctrl::ApiResult checkSubscribe(ShieldRuntime& runtime, of::AppId app,
                                perm::ApiCallType type) {
-  return runtime.ksd().call<ctrl::ApiResult>([&runtime, app, type] {
+  return viaDeputy<ctrl::ApiResult>(runtime, app, [&runtime, app, type] {
     perm::ApiCall call = perm::ApiCall::subscribe(app, type);
     engine::Decision decision = runtime.engine().check(call);
     runtime.controller().audit().record(call, decision.allowed,
@@ -419,8 +439,11 @@ ctrl::ApiResult ShieldedContext::subscribePacketIn(
           delivered.packetIn.packet.payload.clear();
         }
         recent->remember(delivered.packetIn.packet);
-        container->post(
-            [handler, delivered = std::move(delivered)] { handler(delivered); });
+        if (!container->tryPost([handler, delivered = std::move(delivered)] {
+              handler(delivered);
+            })) {
+          runtime.supervisor().recordEventDrop(app);
+        }
       });
   return ctrl::ApiResult::success();
 }
@@ -431,7 +454,7 @@ ctrl::ApiResult ShieldedContext::subscribePacketInInterceptor(
   // call carries CallbackOp::kIntercept, which the EVENT_INTERCEPTION
   // callback filter must admit.
   ctrl::ApiResult checked =
-      runtime_.ksd().call<ctrl::ApiResult>([this] {
+      viaDeputy<ctrl::ApiResult>(runtime_, app_, [this] {
         perm::ApiCall call = perm::ApiCall::subscribe(
             app_, perm::ApiCallType::kSubscribePacketIn,
             perm::CallbackOp::kIntercept);
@@ -492,7 +515,9 @@ ctrl::ApiResult ShieldedContext::subscribeFlowEvents(
           if (!compiled->check(eventCall).allowed) return;
         }
         ctrl::FlowEvent delivered = *typed;
-        container->post([handler, delivered] { handler(delivered); });
+        if (!container->tryPost([handler, delivered] { handler(delivered); })) {
+          runtime.supervisor().recordEventDrop(app);
+        }
       });
   return ctrl::ApiResult::success();
 }
@@ -523,7 +548,9 @@ ctrl::ApiResult ShieldedContext::subscribeTopologyEvents(
           if (!compiled->check(eventCall).allowed) return;
         }
         ctrl::TopologyEvent delivered = *typed;
-        container->post([handler, delivered] { handler(delivered); });
+        if (!container->tryPost([handler, delivered] { handler(delivered); })) {
+          runtime.supervisor().recordEventDrop(app);
+        }
       });
   return ctrl::ApiResult::success();
 }
@@ -533,13 +560,18 @@ ctrl::ApiResult ShieldedContext::subscribeErrorEvents(
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribeErrorEvent);
   if (!checked.ok) return checked;
+  ShieldRuntime& runtime = runtime_;
+  of::AppId app = app_;
   auto container = container_;
   runtime_.controller().addErrorSubscriber(
-      app_, [container, handler = std::move(handler)](const ctrl::Event& event) {
+      app_, [&runtime, app, container,
+             handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::ErrorEvent>(&event);
         if (typed == nullptr) return;
         ctrl::ErrorEvent delivered = *typed;
-        container->post([handler, delivered] { handler(delivered); });
+        if (!container->tryPost([handler, delivered] { handler(delivered); })) {
+          runtime.supervisor().recordEventDrop(app);
+        }
       });
   return ctrl::ApiResult::success();
 }
@@ -552,14 +584,19 @@ ctrl::ApiResult ShieldedContext::subscribeData(
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribeTopologyEvent);
   if (!checked.ok) return checked;
+  ShieldRuntime& runtime = runtime_;
+  of::AppId app = app_;
   auto container = container_;
   runtime_.controller().addDataSubscriber(
       app_, topic,
-      [container, handler = std::move(handler)](const ctrl::Event& event) {
+      [&runtime, app, container,
+       handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::DataUpdateEvent>(&event);
         if (typed == nullptr) return;
         ctrl::DataUpdateEvent delivered = *typed;
-        container->post([handler, delivered] { handler(delivered); });
+        if (!container->tryPost([handler, delivered] { handler(delivered); })) {
+          runtime.supervisor().recordEventDrop(app);
+        }
       });
   return ctrl::ApiResult::success();
 }
@@ -569,9 +606,16 @@ ctrl::ApiResult ShieldedContext::subscribeData(
 ShieldRuntime::ShieldRuntime(ctrl::Controller& controller,
                              ShieldOptions options)
     : controller_(controller),
-      ksd_(options.ksdThreads),
+      options_(options),
+      ksd_(options.ksdThreads, options.ksdCallTimeout),
+      supervisor_(options.supervisor),
       monitor_(host_, &engine_, &controller.audit()) {
+  supervisor_.setQuarantineHook(
+      [this](of::AppId app, const std::string& reason) {
+        quarantineApp(app, reason);
+      });
   ksd_.start();
+  if (options_.supervise) supervisor_.start();
 }
 
 ShieldRuntime::~ShieldRuntime() { shutdown(); }
@@ -585,13 +629,28 @@ of::AppId ShieldRuntime::loadApp(std::shared_ptr<ctrl::App> app,
     std::lock_guard lock(mutex_);
     id = nextAppId_++;
     engine_.install(id, granted);
-    container = std::make_shared<ThreadContainer>(id, app->name());
+    container = std::make_shared<ThreadContainer>(id, app->name(),
+                                                  options_.appQueueCapacity);
+    // Contained faults are audited and feed the supervisor's health state.
+    container->setFaultHandler(
+        [this, id](std::exception_ptr, const std::string& what) {
+          controller_.audit().recordFault(id, what);
+          supervisor_.recordFault(id, what);
+        });
     container->start();
     context = std::make_shared<ShieldedContext>(*this, id, container);
     apps_[id] = LoadedApp{app, container, context};
   }
-  // App initiation code runs inside the sandbox (paper §VIII-B).
-  container->postAndWait([app, context] { app->init(*context); });
+  supervisor_.watch(id, container);
+  // App initiation code runs inside the sandbox (paper §VIII-B). A
+  // throwing init is contained: the app stays loaded but flagged faulty.
+  try {
+    container->postAndWait([app, context] { app->init(*context); });
+  } catch (...) {
+    std::string what = describeException(std::current_exception());
+    controller_.audit().recordFault(id, "init threw: " + what);
+    supervisor_.recordFault(id, "init threw: " + what);
+  }
   return id;
 }
 
@@ -645,6 +704,7 @@ void ShieldRuntime::unloadApp(of::AppId app) {
     loaded = std::move(it->second);
     apps_.erase(it);
   }
+  supervisor_.forget(app);
   controller_.removeSubscribers(app);
   loaded.container->stop();
   engine_.uninstall(app);
@@ -652,13 +712,35 @@ void ShieldRuntime::unloadApp(of::AppId app) {
   retired_.push_back(std::move(loaded));
 }
 
+void ShieldRuntime::quarantineApp(of::AppId app, const std::string& reason) {
+  std::shared_ptr<ThreadContainer> container;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = apps_.find(app);
+    if (it == apps_.end()) return;
+    container = it->second.container;
+  }
+  // Order matters: cut event delivery first, then revoke privileges, then
+  // seal the container (pending tasks are discarded — their waiters see
+  // broken promises rather than hanging). The container thread itself is
+  // left to exit on its own; if it is truly hung, a later stop() abandons
+  // it without blocking shutdown.
+  controller_.removeSubscribers(app);
+  engine_.uninstall(app);
+  container->quarantine();
+  controller_.audit().recordSupervision(app, "quarantined: " + reason);
+}
+
 void ShieldRuntime::shutdown() {
+  // Stop the watchdog first so no quarantine races the teardown.
+  supervisor_.stop();
   std::map<of::AppId, LoadedApp> apps;
   {
     std::lock_guard lock(mutex_);
     apps.swap(apps_);
   }
   for (auto& [id, loaded] : apps) {
+    supervisor_.forget(id);
     controller_.removeSubscribers(id);
     loaded.container->stop();
     engine_.uninstall(id);

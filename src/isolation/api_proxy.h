@@ -27,6 +27,7 @@
 #include "isolation/host_system.h"
 #include "isolation/ksd.h"
 #include "isolation/reference_monitor.h"
+#include "isolation/supervisor.h"
 #include "isolation/thread_container.h"
 #include "net/virtual_topology.h"
 
@@ -121,6 +122,14 @@ class ShieldedContext final : public ctrl::AppContext {
 
 struct ShieldOptions {
   std::size_t ksdThreads = 2;
+  /// Deadline for one app-blocking API call through the deputy channel; a
+  /// hung deputy surfaces as a failed ApiResult, never an indefinite stall.
+  std::chrono::milliseconds ksdCallTimeout = KsdPool::kDefaultCallTimeout;
+  /// Per-app event/task queue bound (backpressure horizon).
+  std::size_t appQueueCapacity = 4096;
+  /// Starts the supervision watchdog (health states + hang detection).
+  bool supervise = true;
+  SupervisorOptions supervisor;
 };
 
 class ShieldRuntime {
@@ -163,9 +172,17 @@ class ShieldRuntime {
   void unloadApp(of::AppId app);
   void shutdown();
 
+  /// Supervisor action (also callable by the administrator): removes the
+  /// app's subscriptions, uninstalls its permissions and seals its thread
+  /// container (pending tasks discarded). Sibling apps are untouched. Safe
+  /// to invoke from the watchdog, the dispatcher, or the app's own thread.
+  void quarantineApp(of::AppId app, const std::string& reason);
+
   ctrl::Controller& controller() { return controller_; }
   engine::PermissionEngine& engine() { return engine_; }
   KsdPool& ksd() { return ksd_; }
+  Supervisor& supervisor() { return supervisor_; }
+  const ShieldOptions& options() const { return options_; }
   HostSystem& hostSystem() { return host_; }
   ReferenceMonitor& referenceMonitor() { return monitor_; }
   std::shared_ptr<ThreadContainer> container(of::AppId app) const;
@@ -182,8 +199,10 @@ class ShieldRuntime {
   };
 
   ctrl::Controller& controller_;
+  ShieldOptions options_;
   engine::PermissionEngine engine_;
   KsdPool ksd_;
+  Supervisor supervisor_;
   HostSystem host_;
   ReferenceMonitor monitor_;
   mutable std::mutex mutex_;

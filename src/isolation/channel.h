@@ -4,6 +4,7 @@
 // condition-variable based.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -42,10 +43,41 @@ class BoundedMpmcQueue {
     return true;
   }
 
+  /// Timed push: blocks at most @p timeout while full. Returns false when
+  /// the deadline passes or the queue is closed — a producer can never be
+  /// wedged forever on a saturated consumer.
+  bool pushFor(T item, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!notFull_.wait_for(lock, timeout, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Empty optional when closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // Closed and drained.
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Timed pop: blocks at most @p timeout while empty. Empty optional when
+  /// the deadline passes or the queue is closed and drained.
+  std::optional<T> popFor(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!notEmpty_.wait_for(lock, timeout,
+                            [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
     if (items_.empty()) return std::nullopt;  // Closed and drained.
     T item = std::move(items_.front());
     items_.pop_front();
@@ -69,6 +101,20 @@ class BoundedMpmcQueue {
     closed_ = true;
     notEmpty_.notify_all();
     notFull_.notify_all();
+  }
+
+  /// Quarantine shape of close(): pending items are discarded, not drained.
+  /// Dropping queued tasks destroys any promises they hold, so waiters
+  /// observe a broken promise instead of hanging.
+  void closeAndDiscard() {
+    std::deque<T> discarded;
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+      discarded.swap(items_);  // Destroy outside the lock.
+      notEmpty_.notify_all();
+      notFull_.notify_all();
+    }
   }
 
   bool closed() const {

@@ -1,0 +1,80 @@
+#include "isolation/fault_injector.h"
+
+#include <thread>
+
+namespace sdnshield::iso {
+
+FaultInjector& FaultInjector::instance() {
+  // Leaked: detached (abandoned) container threads may consult the injector
+  // arbitrarily late; a static-storage instance could be destroyed first.
+  static FaultInjector* injector = new FaultInjector;
+  return *injector;
+}
+
+void FaultInjector::arm(std::string_view site, Fault fault, int times,
+                        std::chrono::milliseconds delay) {
+  if (times == 0) return;
+  std::lock_guard lock(mutex_);
+  armed_.insert_or_assign(std::string(site), Armed{fault, times, delay});
+  armedCount_.store(static_cast<int>(armed_.size()),
+                    std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  std::lock_guard lock(mutex_);
+  auto it = armed_.find(site);
+  if (it == armed_.end()) return;
+  armed_.erase(it);
+  armedCount_.store(static_cast<int>(armed_.size()),
+                    std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock(mutex_);
+  armed_.clear();
+  fired_.clear();
+  armedCount_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  auto it = fired_.find(site);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+bool FaultInjector::take(std::string_view site, bool matchQueueFull,
+                         Armed* out) {
+  std::lock_guard lock(mutex_);
+  auto it = armed_.find(site);
+  if (it == armed_.end()) return false;
+  if ((it->second.fault == Fault::kQueueFull) != matchQueueFull) return false;
+  *out = it->second;
+  auto firedIt = fired_.find(site);
+  if (firedIt == fired_.end()) {
+    fired_.emplace(std::string(site), 1);
+  } else {
+    ++firedIt->second;
+  }
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    armed_.erase(it);
+    armedCount_.store(static_cast<int>(armed_.size()),
+                      std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void FaultInjector::inject(std::string_view site) {
+  if (armedCount_.load(std::memory_order_relaxed) == 0) return;
+  Armed armed;
+  if (!take(site, /*matchQueueFull=*/false, &armed)) return;
+  if (armed.fault == Fault::kThrow) throw FaultInjected(site);
+  std::this_thread::sleep_for(armed.delay);
+}
+
+bool FaultInjector::injectQueueFull(std::string_view site) {
+  if (armedCount_.load(std::memory_order_relaxed) == 0) return false;
+  Armed armed;
+  return take(site, /*matchQueueFull=*/true, &armed);
+}
+
+}  // namespace sdnshield::iso

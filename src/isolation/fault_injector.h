@@ -1,0 +1,87 @@
+// Deterministic fault injection for the isolation layer. Tests and benches
+// arm faults (throw / delay / queue-full) at named sites inside the API
+// proxy, the KSD pool and the thread containers, so every failure mode the
+// supervisor must contain — crashing, hanging and flooding apps — can be
+// driven on demand instead of waiting for a real misbehaving app.
+//
+// The disarmed fast path is one relaxed atomic load; production code pays
+// nothing for carrying the hooks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sdnshield::iso {
+
+/// The exception type thrown by armed kThrow sites; catchable by tests to
+/// distinguish injected faults from real ones.
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(std::string_view site)
+      : std::runtime_error("injected fault at " + std::string(site)) {}
+};
+
+/// Canonical site names (arbitrary strings are accepted; these are the ones
+/// wired into the runtime).
+namespace sites {
+inline constexpr std::string_view kContainerTask = "container.task";
+inline constexpr std::string_view kContainerPost = "container.post";
+inline constexpr std::string_view kKsdCall = "ksd.call";
+inline constexpr std::string_view kKsdQueue = "ksd.queue";
+inline constexpr std::string_view kKsdTask = "ksd.task";
+}  // namespace sites
+
+class FaultInjector {
+ public:
+  enum class Fault {
+    kThrow,      ///< inject() throws FaultInjected.
+    kDelay,      ///< inject() sleeps for the armed delay (simulated hang).
+    kQueueFull,  ///< injectQueueFull() reports the queue as saturated.
+  };
+
+  /// Process-wide registry (leaked on purpose so detached worker threads can
+  /// touch it safely during shutdown).
+  static FaultInjector& instance();
+
+  /// Arms @p site. @p times limits how often the fault fires (-1 = until
+  /// disarmed); an exhausted site disarms itself.
+  void arm(std::string_view site, Fault fault, int times = -1,
+           std::chrono::milliseconds delay = std::chrono::milliseconds{50});
+  void disarm(std::string_view site);
+  /// Disarms every site and clears the fired counters.
+  void reset();
+
+  /// How many times @p site has actually fired since the last reset().
+  std::uint64_t fired(std::string_view site) const;
+
+  /// Site hook for kThrow / kDelay faults. No-op unless armed.
+  void inject(std::string_view site);
+  /// Site hook for kQueueFull faults: true means "behave as if the queue
+  /// were full". No-op (false) unless armed.
+  bool injectQueueFull(std::string_view site);
+
+ private:
+  struct Armed {
+    Fault fault = Fault::kThrow;
+    int remaining = -1;
+    std::chrono::milliseconds delay{50};
+  };
+
+  FaultInjector() = default;
+
+  /// Consumes one firing of @p site if armed with a fault in @p matchQueueFull
+  /// mode; fills @p out on success.
+  bool take(std::string_view site, bool matchQueueFull, Armed* out);
+
+  std::atomic<int> armedCount_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, Armed, std::less<>> armed_;
+  std::map<std::string, std::uint64_t, std::less<>> fired_;
+};
+
+}  // namespace sdnshield::iso

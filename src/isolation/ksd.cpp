@@ -25,7 +25,15 @@ void KsdPool::run() {
   // Deputies are trusted kernel threads: full privilege.
   ScopedIdentity identity(of::kKernelAppId);
   while (auto work = queue_.pop()) {
-    (*work)();
+    try {
+      FaultInjector::instance().inject(sites::kKsdTask);
+      (*work)();
+    } catch (...) {
+      // Contained: call() wraps its work in a promise, so only raw submit()
+      // tasks and injected faults land here. A deputy must survive them —
+      // it serves every app.
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
     processed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

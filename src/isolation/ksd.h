@@ -2,23 +2,48 @@
 // app API requests over the inter-thread channel, permission-check them and
 // execute them on the app's behalf. Multiple deputies run in parallel —
 // "the choke points do not mean serialized points".
+//
+// Availability: call() carries a deadline so a hung or saturated deputy can
+// only stall the calling app for a bounded time (DeadlineExceeded), never
+// forever. Results travel through a shared-ownership promise: an abandoned
+// timed call leaves nothing dangling for the deputy to scribble on. Deputy
+// task faults are contained and counted instead of terminating the process.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "isolation/channel.h"
+#include "isolation/fault_injector.h"
 
 namespace sdnshield::iso {
 
+/// Thrown to the calling app thread when a deputy misses the call deadline.
+struct DeadlineExceeded : std::runtime_error {
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown on calls issued after stop(): the runtime is gone, there is no
+/// degraded mode to fall back to (distinct from transient saturation).
+struct PoolStopped : std::runtime_error {
+  explicit PoolStopped(const std::string& what) : std::runtime_error(what) {}
+};
+
 class KsdPool {
  public:
-  explicit KsdPool(std::size_t threads = 2) : threadCount_(threads) {}
+  static constexpr std::chrono::milliseconds kDefaultCallTimeout{10000};
+
+  explicit KsdPool(std::size_t threads = 2,
+                   std::chrono::milliseconds callTimeout = kDefaultCallTimeout)
+      : threadCount_(threads), callTimeout_(callTimeout) {}
   ~KsdPool() { stop(); }
 
   KsdPool(const KsdPool&) = delete;
@@ -27,39 +52,72 @@ class KsdPool {
   void start();
   void stop();
 
-  /// Enqueues work for a deputy. Returns false after stop().
+  /// Enqueues work for a deputy. Returns false after stop() or when the
+  /// channel stays saturated past the pool deadline.
   bool submit(std::function<void()> work) {
-    return queue_.push(std::move(work));
+    if (FaultInjector::instance().injectQueueFull(sites::kKsdQueue)) {
+      return false;
+    }
+    return queue_.pushFor(std::move(work), callTimeout_);
   }
 
   /// Enqueues work and blocks the calling (app) thread for the result —
-  /// the synchronous API-call shape apps see through the wrappers.
+  /// the synchronous API-call shape apps see through the wrappers. Throws
+  /// DeadlineExceeded when the deputy misses @p timeout and
+  /// std::runtime_error when the pool is stopped/saturated or the deputy
+  /// dropped the call. The promise is shared with the queued task, so a
+  /// caller that gives up leaves no dangling reference behind.
   template <typename R>
-  R call(std::function<R()> work) {
-    std::promise<R> promise;
-    std::future<R> future = promise.get_future();
-    bool posted = submit([work = std::move(work), &promise] {
+  R call(std::function<R()> work, std::chrono::milliseconds timeout) {
+    FaultInjector::instance().inject(sites::kKsdCall);
+    auto result = std::make_shared<std::promise<R>>();
+    std::future<R> future = result->get_future();
+    bool posted = submit([work = std::move(work), result] {
       try {
-        promise.set_value(work());
+        result->set_value(work());
       } catch (...) {
-        promise.set_exception(std::current_exception());
+        result->set_exception(std::current_exception());
       }
     });
-    if (!posted) throw std::runtime_error("KSD pool is stopped");
-    return future.get();
+    if (!posted) {
+      if (queue_.closed()) throw PoolStopped("KSD pool is stopped");
+      throw std::runtime_error("KSD channel saturated past the deadline");
+    }
+    // Leave the queued task as the promise's only owner so a dropped task
+    // (queue torn down with work still queued) breaks the promise and wakes
+    // the wait instead of running out the deadline.
+    result.reset();
+    if (future.wait_for(timeout) != std::future_status::ready) {
+      throw DeadlineExceeded("KSD call missed its deadline");
+    }
+    try {
+      return future.get();
+    } catch (const std::future_error&) {
+      throw std::runtime_error("KSD deputy dropped the call");
+    }
+  }
+
+  template <typename R>
+  R call(std::function<R()> work) {
+    return call<R>(std::move(work), callTimeout_);
   }
 
   std::size_t threadCount() const { return threadCount_; }
+  std::chrono::milliseconds callTimeout() const { return callTimeout_; }
   std::uint64_t processedCount() const { return processed_.load(); }
+  /// Deputy tasks that threw (contained, not fatal).
+  std::uint64_t faultCount() const { return faults_.load(); }
   std::size_t queueDepth() const { return queue_.size(); }
 
  private:
   void run();
 
   std::size_t threadCount_;
+  std::chrono::milliseconds callTimeout_;
   BoundedMpmcQueue<std::function<void()>> queue_{65536};
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> faults_{0};
   bool started_ = false;
 };
 

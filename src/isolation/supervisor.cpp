@@ -1,0 +1,194 @@
+#include "isolation/supervisor.h"
+
+#include <utility>
+
+#include "isolation/thread_container.h"
+
+namespace sdnshield::iso {
+
+std::string toString(AppHealth health) {
+  switch (health) {
+    case AppHealth::kHealthy:
+      return "healthy";
+    case AppHealth::kSuspected:
+      return "suspected";
+    case AppHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+Supervisor::Supervisor(SupervisorOptions options) : options_(options) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::setQuarantineHook(QuarantineHook hook) {
+  std::lock_guard lock(mutex_);
+  hook_ = std::move(hook);
+}
+
+void Supervisor::start() {
+  {
+    std::lock_guard lock(wakeMutex_);
+    if (running_) return;
+    running_ = true;
+    stopRequested_ = false;
+  }
+  watchdog_ = std::thread([this] { heartbeat(); });
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard lock(wakeMutex_);
+    if (!running_) return;
+    stopRequested_ = true;
+  }
+  wakeCv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  std::lock_guard lock(wakeMutex_);
+  running_ = false;
+}
+
+void Supervisor::watch(of::AppId app,
+                       std::shared_ptr<ThreadContainer> container) {
+  std::lock_guard lock(mutex_);
+  AppRecord& record = apps_[app];
+  record.container = std::move(container);
+}
+
+void Supervisor::forget(of::AppId app) {
+  std::lock_guard lock(mutex_);
+  apps_.erase(app);
+}
+
+bool Supervisor::transitionLocked(AppRecord& record, AppHealth target) {
+  if (record.health == AppHealth::kQuarantined) return false;  // Terminal.
+  if (target == AppHealth::kQuarantined) {
+    record.health = AppHealth::kQuarantined;
+    ++quarantinedTotal_;
+    return true;
+  }
+  if (target == AppHealth::kSuspected &&
+      record.health == AppHealth::kHealthy) {
+    record.health = AppHealth::kSuspected;
+  }
+  return false;
+}
+
+void Supervisor::recordFault(of::AppId app, const std::string& what) {
+  QuarantineHook hook;
+  bool quarantine = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = apps_.find(app);
+    if (it == apps_.end()) return;
+    AppRecord& record = it->second;
+    ++record.faults;
+    if (record.faults >= options_.faultQuarantineThreshold) {
+      quarantine = transitionLocked(record, AppHealth::kQuarantined);
+    } else if (record.faults >= options_.faultSuspectThreshold) {
+      transitionLocked(record, AppHealth::kSuspected);
+    }
+    hook = hook_;
+  }
+  if (quarantine && hook) {
+    hook(app, "fault threshold exceeded (last: " + what + ")");
+  }
+}
+
+void Supervisor::recordEventDrop(of::AppId app) {
+  QuarantineHook hook;
+  bool quarantine = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = apps_.find(app);
+    if (it == apps_.end()) return;
+    AppRecord& record = it->second;
+    ++record.drops;
+    if (record.drops >= options_.dropQuarantineThreshold) {
+      quarantine = transitionLocked(record, AppHealth::kQuarantined);
+    } else {
+      transitionLocked(record, AppHealth::kSuspected);
+    }
+    hook = hook_;
+  }
+  if (quarantine && hook) hook(app, "event queue overflow");
+}
+
+AppHealth Supervisor::health(of::AppId app) const {
+  std::lock_guard lock(mutex_);
+  auto it = apps_.find(app);
+  return it == apps_.end() ? AppHealth::kHealthy : it->second.health;
+}
+
+std::uint64_t Supervisor::faultCount(of::AppId app) const {
+  std::lock_guard lock(mutex_);
+  auto it = apps_.find(app);
+  return it == apps_.end() ? 0 : it->second.faults;
+}
+
+std::uint64_t Supervisor::dropCount(of::AppId app) const {
+  std::lock_guard lock(mutex_);
+  auto it = apps_.find(app);
+  return it == apps_.end() ? 0 : it->second.drops;
+}
+
+std::uint64_t Supervisor::deadlineOverruns(of::AppId app) const {
+  std::lock_guard lock(mutex_);
+  auto it = apps_.find(app);
+  return it == apps_.end() ? 0 : it->second.overruns;
+}
+
+std::uint64_t Supervisor::quarantinedTotal() const {
+  std::lock_guard lock(mutex_);
+  return quarantinedTotal_;
+}
+
+void Supervisor::heartbeat() {
+  for (;;) {
+    {
+      std::unique_lock lock(wakeMutex_);
+      if (wakeCv_.wait_for(lock, options_.heartbeatInterval,
+                           [&] { return stopRequested_; })) {
+        return;
+      }
+    }
+    // Scan containers for task-deadline overruns. Decisions are taken under
+    // the lock; hooks fire after it is released.
+    struct Pending {
+      of::AppId app;
+      std::string reason;
+    };
+    std::vector<Pending> quarantines;
+    QuarantineHook hook;
+    {
+      std::lock_guard lock(mutex_);
+      hook = hook_;
+      for (auto& [app, record] : apps_) {
+        if (record.health == AppHealth::kQuarantined || !record.container) {
+          continue;
+        }
+        auto running = record.container->currentTaskRuntime();
+        if (running <= std::chrono::milliseconds::zero()) continue;
+        if (running >= options_.taskHangDeadline) {
+          ++record.overruns;
+          if (transitionLocked(record, AppHealth::kQuarantined)) {
+            auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          running)
+                          .count();
+            quarantines.push_back(
+                {app, "task hung for " + std::to_string(ms) + "ms"});
+          }
+        } else if (running >= options_.taskDeadline) {
+          ++record.overruns;
+          transitionLocked(record, AppHealth::kSuspected);
+        }
+      }
+    }
+    for (Pending& pending : quarantines) {
+      if (hook) hook(pending.app, pending.reason);
+    }
+  }
+}
+
+}  // namespace sdnshield::iso

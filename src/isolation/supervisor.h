@@ -1,0 +1,112 @@
+// App supervision (runtime availability enforcement). The paper's isolation
+// argument (§VI) is that a misbehaving app cannot compromise the controller;
+// the supervisor closes the availability half of that claim: per-app health
+// (Healthy → Suspected → Quarantined) driven by contained task faults, a
+// heartbeat watchdog that detects task-deadline overruns (hung handlers),
+// and event-queue overflow accounting from the non-blocking dispatch path.
+// Quarantine is delegated to a hook (the ShieldRuntime) which removes the
+// app's subscriptions, uninstalls its permissions and seals its container —
+// sibling apps keep running.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "of/flow_mod.h"
+
+namespace sdnshield::iso {
+
+class ThreadContainer;
+
+enum class AppHealth { kHealthy, kSuspected, kQuarantined };
+
+std::string toString(AppHealth health);
+
+struct SupervisorOptions {
+  /// Contained task faults before the app is marked Suspected.
+  std::uint32_t faultSuspectThreshold = 3;
+  /// Contained task faults before the app is quarantined.
+  std::uint32_t faultQuarantineThreshold = 8;
+  /// Event-queue drops (dispatcher backpressure) before quarantine.
+  std::uint32_t dropQuarantineThreshold = 256;
+  /// A task running longer than this marks the app Suspected.
+  std::chrono::milliseconds taskDeadline{2000};
+  /// A task running longer than this is treated as hung: quarantine.
+  std::chrono::milliseconds taskHangDeadline{5000};
+  /// Watchdog scan period.
+  std::chrono::milliseconds heartbeatInterval{100};
+};
+
+class Supervisor {
+ public:
+  /// Invoked (at most once per app, off the supervisor lock) when an app
+  /// transitions to Quarantined. May be called from the watchdog thread,
+  /// the dispatch thread, or the faulting app's own container thread.
+  using QuarantineHook =
+      std::function<void(of::AppId app, const std::string& reason)>;
+
+  explicit Supervisor(SupervisorOptions options = {});
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  void setQuarantineHook(QuarantineHook hook);
+
+  /// Starts / stops the heartbeat (watchdog) thread.
+  void start();
+  void stop();
+
+  void watch(of::AppId app, std::shared_ptr<ThreadContainer> container);
+  void forget(of::AppId app);
+
+  /// Reports a contained task fault (called from the app's container).
+  void recordFault(of::AppId app, const std::string& what);
+  /// Reports an event dropped by dispatcher backpressure (queue full).
+  void recordEventDrop(of::AppId app);
+
+  AppHealth health(of::AppId app) const;
+  std::uint64_t faultCount(of::AppId app) const;
+  std::uint64_t dropCount(of::AppId app) const;
+  std::uint64_t deadlineOverruns(of::AppId app) const;
+  /// Total apps ever quarantined.
+  std::uint64_t quarantinedTotal() const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  struct AppRecord {
+    std::shared_ptr<ThreadContainer> container;
+    std::uint64_t faults = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t overruns = 0;
+    AppHealth health = AppHealth::kHealthy;
+  };
+
+  void heartbeat();
+  /// Applies a state transition under the lock; returns true when the app
+  /// just entered quarantine (the caller then fires the hook unlocked).
+  bool transitionLocked(AppRecord& record, AppHealth target);
+
+  SupervisorOptions options_;
+  QuarantineHook hook_;
+  mutable std::mutex mutex_;
+  std::map<of::AppId, AppRecord> apps_;
+  std::uint64_t quarantinedTotal_ = 0;
+
+  std::thread watchdog_;
+  std::mutex wakeMutex_;
+  std::condition_variable wakeCv_;
+  bool running_ = false;
+  bool stopRequested_ = false;
+};
+
+}  // namespace sdnshield::iso

@@ -2,13 +2,34 @@
 
 #include <future>
 
+#include "isolation/fault_injector.h"
+
 namespace sdnshield::iso {
 
 namespace {
+
 thread_local of::AppId tlsAppId = of::kKernelAppId;
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             ThreadContainer::Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 of::AppId currentAppId() { return tlsAppId; }
+
+std::string describeException(std::exception_ptr error) {
+  if (!error) return "no exception";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
 
 ScopedIdentity::ScopedIdentity(of::AppId app) : previous_(tlsAppId) {
   tlsAppId = app;
@@ -24,43 +45,118 @@ std::thread spawnInheriting(std::function<void()> body) {
   });
 }
 
-ThreadContainer::ThreadContainer(of::AppId app, std::string name)
-    : app_(app), name_(std::move(name)) {}
+ThreadContainer::ThreadContainer(of::AppId app, std::string name,
+                                 std::size_t queueCapacity)
+    : state_(std::make_shared<State>(app, std::move(name), queueCapacity)) {}
 
 ThreadContainer::~ThreadContainer() { stop(); }
+
+void ThreadContainer::setFaultHandler(FaultHandler handler) {
+  state_->onFault = std::move(handler);
+}
 
 void ThreadContainer::start() {
   if (started_) return;
   started_ = true;
-  thread_ = std::thread([this] { run(); });
+  thread_ = std::thread([state = state_] { runLoop(state); });
 }
 
-void ThreadContainer::stop() {
-  queue_.close();
-  if (thread_.joinable()) thread_.join();
+void ThreadContainer::stop(std::chrono::milliseconds joinTimeout) {
+  state_->queue.close();
+  if (!thread_.joinable()) return;
+  std::unique_lock lock(state_->exitMutex);
+  bool exited = state_->exitCv.wait_for(lock, joinTimeout,
+                                        [&] { return state_->exited; });
+  lock.unlock();
+  if (exited) {
+    thread_.join();
+  } else {
+    // The worker is wedged inside an app task. Abandon it: the thread owns
+    // the container state via shared_ptr, so this cannot dangle, and the
+    // closed queue guarantees it exits if the task ever returns.
+    state_->quarantined.store(true);
+    thread_.detach();
+  }
+}
+
+void ThreadContainer::quarantine() {
+  state_->quarantined.store(true);
+  state_->queue.closeAndDiscard();
 }
 
 bool ThreadContainer::post(std::function<void()> task) {
-  return queue_.push(std::move(task));
+  return state_->queue.push(std::move(task));
 }
 
-void ThreadContainer::postAndWait(std::function<void()> task) {
-  std::promise<void> done;
-  std::future<void> future = done.get_future();
-  bool posted = post([task = std::move(task), &done] {
-    task();
-    done.set_value();
-  });
-  if (!posted) return;  // Container stopped; nothing will run.
-  future.wait();
-}
-
-void ThreadContainer::run() {
-  ScopedIdentity identity(app_);
-  while (auto task = queue_.pop()) {
-    (*task)();
-    executed_.fetch_add(1, std::memory_order_relaxed);
+bool ThreadContainer::tryPost(std::function<void()> task) {
+  if (FaultInjector::instance().injectQueueFull(sites::kContainerPost) ||
+      !state_->queue.tryPush(std::move(task))) {
+    state_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
+  return true;
+}
+
+bool ThreadContainer::postAndWait(std::function<void()> task,
+                                  std::chrono::milliseconds timeout) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> future = done->get_future();
+  bool posted = post([task = std::move(task), done] {
+    try {
+      task();
+      done->set_value();
+    } catch (...) {
+      done->set_exception(std::current_exception());
+    }
+  });
+  if (!posted) return false;  // Container stopped; nothing will run.
+  // The queued wrapper must be the promise's only owner: if quarantine
+  // discards it, destroying the promise is what wakes the wait below with
+  // a broken_promise instead of letting it run out the full timeout.
+  done.reset();
+  if (future.wait_for(timeout) != std::future_status::ready) return false;
+  try {
+    future.get();  // Rethrows the task's exception to the waiter.
+  } catch (const std::future_error&) {
+    return false;  // Task discarded (quarantine) — broken promise.
+  }
+  return true;
+}
+
+ThreadContainer::Clock::duration ThreadContainer::currentTaskRuntime() const {
+  std::int64_t start = state_->taskStartNs.load(std::memory_order_relaxed);
+  if (start == 0) return {};
+  return std::chrono::nanoseconds(nowNs() - start);
+}
+
+void ThreadContainer::runLoop(const std::shared_ptr<State>& state) {
+  ScopedIdentity identity(state->app);
+  while (auto task = state->queue.pop()) {
+    state->taskStartNs.store(nowNs(), std::memory_order_relaxed);
+    try {
+      FaultInjector::instance().inject(sites::kContainerTask);
+      (*task)();
+    } catch (...) {
+      // Containment: an app fault must never escape the container thread
+      // (it would std::terminate the whole controller).
+      state->faults.fetch_add(1, std::memory_order_relaxed);
+      if (state->onFault) {
+        std::exception_ptr error = std::current_exception();
+        try {
+          state->onFault(error, describeException(error));
+        } catch (...) {
+          // Fault handlers are trusted kernel code; swallow defensively.
+        }
+      }
+    }
+    state->taskStartNs.store(0, std::memory_order_relaxed);
+    state->executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(state->exitMutex);
+    state->exited = true;
+  }
+  state->exitCv.notify_all();
 }
 
 }  // namespace sdnshield::iso

@@ -1,0 +1,512 @@
+// Fault containment and app supervision: crashing, hanging and flooding
+// apps must degrade into audited faults, drops and quarantines — never into
+// controller crashes or stalls. Exercises the FaultInjector sites, the
+// container/KSD deadlines and the supervisor health state machine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/lang/perm_parser.h"
+#include "isolation/api_proxy.h"
+#include "isolation/channel.h"
+#include "isolation/fault_injector.h"
+#include "isolation/ksd.h"
+#include "isolation/supervisor.h"
+#include "isolation/thread_container.h"
+#include "switchsim/sim_network.h"
+
+namespace sdnshield::iso {
+namespace {
+
+using namespace std::chrono_literals;
+using lang::parsePermissions;
+
+/// Polls @p predicate until it holds or @p timeout elapses.
+bool waitFor(const std::function<bool()>& predicate,
+             std::chrono::milliseconds timeout = 5000ms) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return predicate();
+}
+
+/// A one-shot gate a hung handler blocks on until the test releases it.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+class TestApp final : public ctrl::App {
+ public:
+  explicit TestApp(std::string name = "sup_app") : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  std::string requestedManifest() const override { return ""; }
+  void init(ctrl::AppContext& context) override { context_ = &context; }
+
+  ctrl::AppContext& context() { return *context_; }
+
+ private:
+  std::string name_;
+  ctrl::AppContext* context_ = nullptr;
+};
+
+class ThrowingInitApp final : public ctrl::App {
+ public:
+  std::string name() const override { return "bad_init"; }
+  std::string requestedManifest() const override { return ""; }
+  void init(ctrl::AppContext&) override {
+    throw std::runtime_error("init exploded");
+  }
+};
+
+of::PacketIn anyPacketIn() {
+  return of::PacketIn{1, 1, of::PacketInReason::kNoMatch, 0, {}};
+}
+
+class SupervisionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+// --- FaultInjector -------------------------------------------------------------
+
+TEST_F(SupervisionTest, InjectorFiresArmedCountThenDisarms) {
+  auto& injector = FaultInjector::instance();
+  injector.arm(sites::kContainerTask, FaultInjector::Fault::kThrow, 2);
+  EXPECT_THROW(injector.inject(sites::kContainerTask), FaultInjected);
+  EXPECT_THROW(injector.inject(sites::kContainerTask), FaultInjected);
+  EXPECT_NO_THROW(injector.inject(sites::kContainerTask));  // Exhausted.
+  EXPECT_EQ(injector.fired(sites::kContainerTask), 2u);
+  // Other sites stay silent.
+  EXPECT_NO_THROW(injector.inject(sites::kKsdTask));
+  EXPECT_FALSE(injector.injectQueueFull(sites::kKsdQueue));
+}
+
+TEST_F(SupervisionTest, InjectorQueueFullSiteOnlyAffectsQueuePushes) {
+  auto& injector = FaultInjector::instance();
+  injector.arm(sites::kContainerPost, FaultInjector::Fault::kQueueFull, 1);
+  EXPECT_TRUE(injector.injectQueueFull(sites::kContainerPost));
+  EXPECT_FALSE(injector.injectQueueFull(sites::kContainerPost));
+}
+
+// --- channel deadlines ---------------------------------------------------------
+
+TEST_F(SupervisionTest, PushForTimesOutOnAFullQueue) {
+  BoundedMpmcQueue<int> queue(1);
+  ASSERT_TRUE(queue.pushFor(1, 10ms));
+  auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pushFor(2, 20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - before, 20ms);
+}
+
+TEST_F(SupervisionTest, PopForTimesOutOnAnEmptyQueue) {
+  BoundedMpmcQueue<int> queue(1);
+  EXPECT_FALSE(queue.popFor(20ms).has_value());
+  queue.push(7);
+  auto item = queue.popFor(20ms);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+}
+
+// --- thread container ----------------------------------------------------------
+
+TEST_F(SupervisionTest, PostAndWaitRethrowsTheTaskException) {
+  ThreadContainer container(1, "thrower");
+  container.start();
+  EXPECT_THROW(
+      container.postAndWait([] { throw std::runtime_error("task boom"); }),
+      std::runtime_error);
+  // The worker survived and keeps executing.
+  std::atomic<bool> ran{false};
+  EXPECT_TRUE(container.postAndWait([&] { ran = true; }));
+  EXPECT_TRUE(ran.load());
+  container.stop();
+}
+
+TEST_F(SupervisionTest, PostAndWaitTimesOutInsteadOfHangingForever) {
+  ThreadContainer container(1, "hanger");
+  container.start();
+  Gate gate;
+  EXPECT_FALSE(container.postAndWait([&] { gate.wait(); }, 50ms));
+  gate.open();
+  container.stop();
+}
+
+TEST_F(SupervisionTest, StopAbandonsAHungWorkerInsteadOfWedging) {
+  auto container = std::make_shared<ThreadContainer>(1, "wedged");
+  container->start();
+  auto gate = std::make_shared<Gate>();
+  container->post([gate] { gate->wait(); });
+  auto before = std::chrono::steady_clock::now();
+  container->stop(50ms);  // Must return promptly, not join forever.
+  EXPECT_LT(std::chrono::steady_clock::now() - before, 5s);
+  EXPECT_TRUE(container->quarantined());
+  gate->open();  // Let the detached worker run off the shared state.
+}
+
+TEST_F(SupervisionTest, QuarantineBreaksPendingWaitersPromises) {
+  ThreadContainer container(1, "sealed");
+  container.start();
+  Gate gate;
+  container.post([&] { gate.wait(); });  // Occupy the worker.
+  std::atomic<bool> waiterDone{false};
+  std::atomic<bool> waiterResult{true};
+  std::thread waiter([&] {
+    waiterResult = container.postAndWait([] {});
+    waiterDone = true;
+  });
+  ASSERT_TRUE(waitFor([&] { return container.pendingTasks() >= 1; }));
+  container.quarantine();  // Discards the queued task: broken promise.
+  ASSERT_TRUE(waitFor([&] { return waiterDone.load(); }));
+  EXPECT_FALSE(waiterResult.load());
+  gate.open();
+  waiter.join();
+  container.stop();
+  // Post after quarantine is refused and counted.
+  EXPECT_FALSE(container.tryPost([] {}));
+  EXPECT_GE(container.droppedTasks(), 1u);
+}
+
+TEST_F(SupervisionTest, ContainerFaultHandlerSeesInjectedFaults) {
+  ThreadContainer container(1, "injected");
+  std::atomic<int> reported{0};
+  container.setFaultHandler(
+      [&](std::exception_ptr, const std::string&) { ++reported; });
+  container.start();
+  FaultInjector::instance().arm(sites::kContainerTask,
+                                FaultInjector::Fault::kThrow, 3);
+  for (int i = 0; i < 5; ++i) container.post([] {});
+  ASSERT_TRUE(waitFor([&] { return container.executedTasks() >= 5; }));
+  EXPECT_EQ(container.faultCount(), 3u);
+  EXPECT_EQ(reported.load(), 3);
+  container.stop();
+}
+
+// --- KSD deadlines -------------------------------------------------------------
+
+TEST_F(SupervisionTest, KsdCallMissesDeadlineWhenDeputyIsDelayed) {
+  KsdPool pool(1, /*callTimeout=*/50ms);
+  pool.start();
+  FaultInjector::instance().arm(sites::kKsdTask, FaultInjector::Fault::kDelay,
+                                1, /*delay=*/300ms);
+  EXPECT_THROW(pool.call<int>([] { return 1; }), DeadlineExceeded);
+  // The deputy thread survived the abandoned call; later calls succeed.
+  ASSERT_TRUE(waitFor([&] { return pool.processedCount() >= 1; }));
+  EXPECT_EQ(pool.call<int>([] { return 42; }, 2000ms), 42);
+  pool.stop();
+}
+
+TEST_F(SupervisionTest, DeputyThrowIsContainedAndCounted) {
+  KsdPool pool(1, /*callTimeout=*/100ms);
+  pool.start();
+  // The injected throw fires before the queued work runs; the dropped task
+  // breaks its promise, so the caller learns immediately (no deadline wait)
+  // while the deputy survives.
+  FaultInjector::instance().arm(sites::kKsdTask, FaultInjector::Fault::kThrow,
+                                1);
+  EXPECT_THROW(pool.call<int>([] { return 1; }), std::runtime_error);
+  EXPECT_EQ(pool.faultCount(), 1u);
+  EXPECT_EQ(pool.call<int>([] { return 7; }, 2000ms), 7);
+  pool.stop();
+}
+
+TEST_F(SupervisionTest, SaturatedKsdQueueFailsTheSubmit) {
+  KsdPool pool(1, /*callTimeout=*/30ms);
+  pool.start();
+  FaultInjector::instance().arm(sites::kKsdQueue,
+                                FaultInjector::Fault::kQueueFull, 1);
+  EXPECT_FALSE(pool.submit([] {}));
+  EXPECT_TRUE(pool.submit([] {}));
+  pool.stop();
+}
+
+// --- supervisor state machine --------------------------------------------------
+
+TEST_F(SupervisionTest, FaultsEscalateHealthyToSuspectedToQuarantined) {
+  SupervisorOptions options;
+  options.faultSuspectThreshold = 2;
+  options.faultQuarantineThreshold = 4;
+  Supervisor supervisor(options);
+  std::atomic<int> quarantines{0};
+  supervisor.setQuarantineHook(
+      [&](of::AppId, const std::string&) { ++quarantines; });
+  supervisor.watch(9, nullptr);
+  EXPECT_EQ(supervisor.health(9), AppHealth::kHealthy);
+  supervisor.recordFault(9, "boom 1");
+  EXPECT_EQ(supervisor.health(9), AppHealth::kHealthy);
+  supervisor.recordFault(9, "boom 2");
+  EXPECT_EQ(supervisor.health(9), AppHealth::kSuspected);
+  supervisor.recordFault(9, "boom 3");
+  supervisor.recordFault(9, "boom 4");
+  EXPECT_EQ(supervisor.health(9), AppHealth::kQuarantined);
+  // Terminal: further faults never re-fire the hook.
+  supervisor.recordFault(9, "boom 5");
+  EXPECT_EQ(quarantines.load(), 1);
+  EXPECT_EQ(supervisor.faultCount(9), 5u);
+  EXPECT_EQ(supervisor.quarantinedTotal(), 1u);
+}
+
+TEST_F(SupervisionTest, EventDropsPastThresholdQuarantine) {
+  SupervisorOptions options;
+  options.dropQuarantineThreshold = 3;
+  Supervisor supervisor(options);
+  std::atomic<int> quarantines{0};
+  supervisor.setQuarantineHook(
+      [&](of::AppId, const std::string&) { ++quarantines; });
+  supervisor.watch(4, nullptr);
+  supervisor.recordEventDrop(4);
+  EXPECT_EQ(supervisor.health(4), AppHealth::kSuspected);
+  supervisor.recordEventDrop(4);
+  supervisor.recordEventDrop(4);
+  EXPECT_EQ(supervisor.health(4), AppHealth::kQuarantined);
+  EXPECT_EQ(quarantines.load(), 1);
+  EXPECT_EQ(supervisor.dropCount(4), 3u);
+}
+
+TEST_F(SupervisionTest, WatchdogQuarantinesAHungContainer) {
+  SupervisorOptions options;
+  options.taskDeadline = 20ms;
+  options.taskHangDeadline = 60ms;
+  options.heartbeatInterval = 5ms;
+  Supervisor supervisor(options);
+  std::atomic<int> quarantines{0};
+  supervisor.setQuarantineHook(
+      [&](of::AppId, const std::string&) { ++quarantines; });
+  auto container = std::make_shared<ThreadContainer>(3, "hung");
+  container->start();
+  supervisor.watch(3, container);
+  supervisor.start();
+  auto gate = std::make_shared<Gate>();
+  container->post([gate] { gate->wait(); });
+  EXPECT_TRUE(waitFor(
+      [&] { return supervisor.health(3) == AppHealth::kQuarantined; }));
+  EXPECT_GE(supervisor.deadlineOverruns(3), 1u);
+  EXPECT_EQ(quarantines.load(), 1);
+  supervisor.stop();
+  gate->open();
+  container->stop();
+}
+
+// --- runtime end to end --------------------------------------------------------
+
+TEST_F(SupervisionTest, ThrowingHandlerDoesNotKillSiblings) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldOptions options;
+  options.supervisor.faultQuarantineThreshold = 1000;  // Containment only.
+  ShieldRuntime shield(controller, options);
+
+  auto faulty = std::make_shared<TestApp>("faulty");
+  auto healthy = std::make_shared<TestApp>("healthy");
+  shield.loadApp(faulty, parsePermissions("PERM pkt_in_event\n"));
+  shield.loadApp(healthy, parsePermissions("PERM pkt_in_event\n"));
+  std::atomic<int> healthyEvents{0};
+  faulty->context().subscribePacketIn([](const ctrl::PacketInEvent&) {
+    throw std::runtime_error("handler crash");
+  });
+  healthy->context().subscribePacketIn(
+      [&](const ctrl::PacketInEvent&) { ++healthyEvents; });
+
+  for (int i = 0; i < 8; ++i) controller.onPacketIn(anyPacketIn());
+  EXPECT_TRUE(waitFor([&] { return healthyEvents.load() >= 8; }));
+  EXPECT_TRUE(waitFor([&] { return controller.audit().faultCount() >= 8; }));
+  // The faulty app's faults were contained, counted and audited.
+  EXPECT_GE(shield.supervisor().faultCount(1), 8u);
+  EXPECT_EQ(shield.supervisor().health(2), AppHealth::kHealthy);
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, RepeatedFaultsQuarantineTheAppAndRevokeItsAccess) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldOptions options;
+  options.supervisor.faultSuspectThreshold = 2;
+  options.supervisor.faultQuarantineThreshold = 3;
+  ShieldRuntime shield(controller, options);
+
+  auto faulty = std::make_shared<TestApp>("faulty");
+  of::AppId id =
+      shield.loadApp(faulty, parsePermissions("PERM pkt_in_event\n"));
+  std::atomic<int> delivered{0};
+  faulty->context().subscribePacketIn([&](const ctrl::PacketInEvent&) {
+    ++delivered;
+    throw std::runtime_error("handler crash");
+  });
+
+  for (int i = 0; i < 6; ++i) controller.onPacketIn(anyPacketIn());
+  EXPECT_TRUE(waitFor(
+      [&] { return shield.supervisor().health(id) == AppHealth::kQuarantined; }));
+  // Quarantine revoked the permissions and cut the subscriptions.
+  EXPECT_EQ(shield.engine().compiled(id), nullptr);
+  int seen = delivered.load();
+  for (int i = 0; i < 4; ++i) controller.onPacketIn(anyPacketIn());
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(delivered.load(), seen);
+  // The quarantine is on the audit trail.
+  bool audited = false;
+  for (const auto& entry : controller.audit().entriesFor(id)) {
+    if (entry.kind == engine::AuditKind::kSupervision) audited = true;
+  }
+  EXPECT_TRUE(audited);
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, HungHandlerTripsTheWatchdogIntoQuarantine) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldOptions options;
+  options.supervisor.taskDeadline = 20ms;
+  options.supervisor.taskHangDeadline = 80ms;
+  options.supervisor.heartbeatInterval = 5ms;
+  ShieldRuntime shield(controller, options);
+
+  auto hung = std::make_shared<TestApp>("hung");
+  of::AppId id = shield.loadApp(hung, parsePermissions("PERM pkt_in_event\n"));
+  auto gate = std::make_shared<Gate>();
+  hung->context().subscribePacketIn(
+      [gate](const ctrl::PacketInEvent&) { gate->wait(); });
+  controller.onPacketIn(anyPacketIn());
+  EXPECT_TRUE(waitFor(
+      [&] { return shield.supervisor().health(id) == AppHealth::kQuarantined; }));
+  EXPECT_EQ(shield.engine().compiled(id), nullptr);
+  gate->open();
+  // Shutdown with the (released) worker must not wedge.
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, EventFloodIsSheddedNotStalled) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldOptions options;
+  options.appQueueCapacity = 8;
+  options.supervisor.dropQuarantineThreshold = 1u << 30;  // Drops only.
+  ShieldRuntime shield(controller, options);
+
+  auto slow = std::make_shared<TestApp>("slow");
+  of::AppId id = shield.loadApp(slow, parsePermissions("PERM pkt_in_event\n"));
+  auto gate = std::make_shared<Gate>();
+  slow->context().subscribePacketIn(
+      [gate](const ctrl::PacketInEvent&) { gate->wait(); });
+
+  // Flood: dispatch must keep returning promptly even though the app's
+  // queue (capacity 8) fills after the first few events.
+  auto before = std::chrono::steady_clock::now();
+  for (int i = 0; i < 256; ++i) controller.onPacketIn(anyPacketIn());
+  EXPECT_LT(std::chrono::steady_clock::now() - before, 5s);
+  EXPECT_GE(shield.supervisor().dropCount(id), 200u);
+  auto container = shield.container(id);
+  ASSERT_NE(container, nullptr);
+  EXPECT_GE(container->droppedTasks(), 200u);
+  gate->open();
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, FloodPastDropThresholdQuarantines) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldOptions options;
+  options.appQueueCapacity = 4;
+  options.supervisor.dropQuarantineThreshold = 16;
+  ShieldRuntime shield(controller, options);
+
+  auto slow = std::make_shared<TestApp>("slow");
+  of::AppId id = shield.loadApp(slow, parsePermissions("PERM pkt_in_event\n"));
+  auto gate = std::make_shared<Gate>();
+  slow->context().subscribePacketIn(
+      [gate](const ctrl::PacketInEvent&) { gate->wait(); });
+  for (int i = 0; i < 64; ++i) controller.onPacketIn(anyPacketIn());
+  EXPECT_TRUE(waitFor(
+      [&] { return shield.supervisor().health(id) == AppHealth::kQuarantined; }));
+  gate->open();
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, ThrowingInitIsContainedAndAudited) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldRuntime shield(controller);
+  of::AppId id = shield.loadApp(std::make_shared<ThrowingInitApp>(),
+                                parsePermissions("PERM pkt_in_event\n"));
+  EXPECT_GE(id, 1u);
+  EXPECT_GE(controller.audit().faultCount(), 1u);
+  EXPECT_GE(shield.supervisor().faultCount(id), 1u);
+  // The runtime still loads and serves other apps.
+  auto fine = std::make_shared<TestApp>("fine");
+  shield.loadApp(fine, parsePermissions("PERM visible_topology\n"));
+  EXPECT_TRUE(fine->context().api().readTopology().ok);
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, DelayedDeputySurfacesAsFailedApiResultNotAHang) {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(1);
+  ShieldOptions options;
+  options.ksdCallTimeout = 50ms;
+  ShieldRuntime shield(controller, options);
+  auto app = std::make_shared<TestApp>();
+  shield.loadApp(app, parsePermissions("PERM visible_topology\n"));
+
+  FaultInjector::instance().arm(sites::kKsdTask, FaultInjector::Fault::kDelay,
+                                1, /*delay=*/300ms);
+  auto before = std::chrono::steady_clock::now();
+  auto topology = app->context().api().readTopology();
+  EXPECT_LT(std::chrono::steady_clock::now() - before, 5s);
+  EXPECT_FALSE(topology.ok);
+  EXPECT_NE(topology.error.find("deputy unavailable"), std::string::npos);
+  // Once the deputy recovers, calls work again.
+  EXPECT_TRUE(waitFor([&] { return shield.ksd().processedCount() >= 1; }));
+  EXPECT_TRUE(app->context().api().readTopology().ok);
+  shield.shutdown();
+}
+
+TEST_F(SupervisionTest, DispatcherContainsThrowingInlineSubscriber) {
+  ctrl::Controller controller;
+  controller.addPacketInSubscriber(1, [](const ctrl::Event&) {
+    throw std::runtime_error("inline subscriber crash");
+  });
+  std::atomic<int> delivered{0};
+  controller.addPacketInSubscriber(2,
+                                   [&](const ctrl::Event&) { ++delivered; });
+  controller.onPacketIn(anyPacketIn());
+  controller.onPacketIn(anyPacketIn());
+  EXPECT_EQ(delivered.load(), 2);
+  EXPECT_EQ(controller.dispatchFaultCount(), 2u);
+  EXPECT_GE(controller.audit().faultCount(), 2u);
+}
+
+}  // namespace
+}  // namespace sdnshield::iso
