@@ -11,6 +11,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -19,6 +21,7 @@
 
 #include "core/lang/perm_parser.h"
 #include "isolation/api_proxy.h"
+#include "obs/metrics.h"
 #include "switchsim/sim_network.h"
 
 namespace {
@@ -26,7 +29,7 @@ namespace {
 using namespace sdnshield;
 using namespace std::chrono_literals;
 
-constexpr int kEvents = 20000;
+int g_events = 20000;  // Overridable with --events N (CI smoke uses ~200).
 
 /// Blocks forever until opened; keeps hung workers releasable at teardown.
 class Gate {
@@ -123,7 +126,7 @@ Result run(const std::string& scenario) {
   }
 
   auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < kEvents; ++i) {
+  for (int i = 0; i < g_events; ++i) {
     controller.onPacketIn(anyPacketIn());
     // Pace the generator against the healthy consumer (a window of half the
     // queue) so the offered load is sustainable for a well-behaved app; the
@@ -142,7 +145,7 @@ Result run(const std::string& scenario) {
   auto deadline = start + 120s;
   while (healthyCount.load() +
                  static_cast<int>(shield.supervisor().dropCount(healthyId)) <
-             kEvents &&
+             g_events &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(100us);
   }
@@ -179,7 +182,28 @@ Result run(const std::string& scenario) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --events N  events per scenario (CI smoke uses a tiny count);
+  // --obs=on|off / --obs / --no-obs  toggles metric recording (default on).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      g_events = std::atoi(argv[++i]);
+      if (g_events <= 0) {
+        std::fprintf(stderr, "bad --events value\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--obs=off") == 0 ||
+               std::strcmp(argv[i], "--no-obs") == 0) {
+      obs::Registry::setEnabled(false);
+    } else if (std::strcmp(argv[i], "--obs") == 0 ||
+               std::strcmp(argv[i], "--obs=on") == 0) {
+      obs::Registry::setEnabled(true);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--events N] [--obs=on|off]\n", argv[0]);
+      return 1;
+    }
+  }
   std::printf("=== Degraded mode: healthy-app throughput beside a faulty app "
               "===\n");
   std::printf("%-10s %14s %12s %12s %10s %10s %12s\n", "scenario", "events/s",
@@ -197,7 +221,7 @@ int main() {
         "\"dispatch_ms\":%.2f,\"drain_ms\":%.2f,\"healthy_drops\":%llu,"
         "\"faulty_faults\":%llu,"
         "\"faulty_drops\":%llu,\"faulty_health\":\"%s\"}\n",
-        scenario, kEvents, r.healthyEventsPerSec, r.dispatchMs, r.drainMs,
+        scenario, g_events, r.healthyEventsPerSec, r.dispatchMs, r.drainMs,
         static_cast<unsigned long long>(r.healthyDrops),
         static_cast<unsigned long long>(r.faultyFaults),
         static_cast<unsigned long long>(r.faultyDrops),

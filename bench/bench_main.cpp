@@ -1,0 +1,39 @@
+// Shared google-benchmark main for the sdns_gbench targets. Adds one flag
+// on top of the stock benchmark_main:
+//   --obs=on|off  (default on; --no-obs is an alias for --obs=off)
+// toggling the observability registry before any benchmark runs, so the
+// same binary prices the instrumented and uninstrumented hot paths.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  bool obsEnabled = true;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs=off") == 0 ||
+        std::strcmp(argv[i], "--no-obs") == 0) {
+      obsEnabled = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--obs") == 0 ||
+        std::strcmp(argv[i], "--obs=on") == 0) {
+      obsEnabled = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  sdnshield::obs::Registry::setEnabled(obsEnabled);
+  int filteredArgc = static_cast<int>(args.size());
+  benchmark::Initialize(&filteredArgc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filteredArgc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

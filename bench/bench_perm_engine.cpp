@@ -20,6 +20,7 @@
 
 #include "cbench/generator.h"
 #include "core/engine/permission_engine.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -123,8 +124,20 @@ void BM_EngineCheck_MemoCold(benchmark::State& state) {
   engineCheckThroughput(state, 0);  // Full mostly-distinct Figure-5 trace.
 }
 
+/// Same workload with metric recording globally disabled: the delta against
+/// BM_EngineCheck_MemoHot is the price of the observability instrumentation
+/// on the hot path (acceptance bound: within 3%). memo_hit_rate reads 0
+/// here — the memo still works, but its registry counters are off.
+void BM_EngineCheck_MemoHot_ObsOff(benchmark::State& state) {
+  bool wasEnabled = sdnshield::obs::Registry::enabled();
+  sdnshield::obs::Registry::setEnabled(false);
+  engineCheckThroughput(state, 256);
+  sdnshield::obs::Registry::setEnabled(wasEnabled);
+}
+
 BENCHMARK(BM_EngineCheck_MemoHot)->Arg(1)->Arg(5)->Arg(15);
 BENCHMARK(BM_EngineCheck_MemoCold)->Arg(1)->Arg(5)->Arg(15);
+BENCHMARK(BM_EngineCheck_MemoHot_ObsOff)->Arg(1)->Arg(5)->Arg(15);
 
 /// Compilation cost (manifest -> checking program), for context: the paper
 /// compiles at app load time, off the critical path.

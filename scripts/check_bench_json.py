@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate benchmark output against scripts/bench_schema.json.
+
+The CI bench-smoke stage exists to catch benchmarks that bitrot into
+emitting garbage (empty output, missing counters, renamed fields) while
+still exiting zero. This is a dependency-free validator for the JSON
+Schema subset the schemas use: type, required, properties, items,
+minItems, minimum, enum.
+
+Usage:
+  check_bench_json.py --schema scripts/bench_schema.json --key gbench FILE
+  check_bench_json.py --schema ... --key degraded_mode_row --jsonl FILE
+
+Plain mode parses FILE as one JSON document. --jsonl extracts the lines
+that start with '{' (the machine-readable rows the harness benches print
+beside their human tables), requires at least one, and validates each.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(instance, schema, path):
+    """Return a list of error strings for `instance` against `schema`."""
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        type_map = {
+            "object": dict,
+            "array": list,
+            "string": str,
+            "boolean": bool,
+        }
+        if expected == "number":
+            ok = isinstance(instance, (int, float)) and not isinstance(
+                instance, bool
+            )
+        else:
+            ok = isinstance(instance, type_map[expected])
+        if not ok:
+            errors.append(
+                f"{path}: expected {expected}, got "
+                f"{type(instance).__name__} ({instance!r})"
+            )
+            return errors
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']}")
+
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} below minimum {schema['minimum']}")
+
+    if isinstance(instance, dict):
+        for field in schema.get("required", []):
+            if field not in instance:
+                errors.append(f"{path}: missing required field '{field}'")
+        for field, sub in schema.get("properties", {}).items():
+            if field in instance:
+                errors.extend(validate(instance[field], sub, f"{path}.{field}"))
+
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(instance)} items, need >= {schema['minItems']}"
+            )
+        if "items" in schema:
+            for i, item in enumerate(instance):
+                errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", required=True, help="bench_schema.json path")
+    parser.add_argument("--key", required=True, help="schema key to apply")
+    parser.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="treat input as mixed output with one JSON object per '{' line",
+    )
+    parser.add_argument("file", help="benchmark output to validate")
+    args = parser.parse_args()
+
+    with open(args.schema, encoding="utf-8") as fh:
+        schemas = json.load(fh)
+    if args.key not in schemas:
+        sys.exit(f"check_bench_json: unknown schema key '{args.key}'")
+    schema = schemas[args.key]
+
+    with open(args.file, encoding="utf-8") as fh:
+        text = fh.read()
+    if not text.strip():
+        sys.exit(f"check_bench_json: {args.file} is empty")
+
+    instances = []
+    if args.jsonl:
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if not line.lstrip().startswith("{"):
+                continue
+            try:
+                instances.append((f"{args.file}:{lineno}", json.loads(line)))
+            except json.JSONDecodeError as exc:
+                sys.exit(f"check_bench_json: {args.file}:{lineno}: bad JSON: {exc}")
+        if not instances:
+            sys.exit(f"check_bench_json: {args.file} has no JSON rows")
+    else:
+        try:
+            instances.append((args.file, json.loads(text)))
+        except json.JSONDecodeError as exc:
+            sys.exit(f"check_bench_json: {args.file}: bad JSON: {exc}")
+
+    errors = []
+    for label, instance in instances:
+        errors.extend(validate(instance, schema, label))
+    if errors:
+        for error in errors:
+            print(f"check_bench_json: {error}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_bench_json: {args.file} OK "
+        f"({len(instances)} document(s) against '{args.key}')"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
-# CI driver: release tests, then the sanitizer matrix.
+# CI driver: lint, release tests, bench smoke, then the sanitizer matrix.
 #
+#   0. Lint gate: clang-format --check + clang-tidy (bugprone/performance/
+#      concurrency over src/obs and src/isolation). Skips cleanly when the
+#      clang tools are absent; REQUIRE_LINT=1 (set on CI runners) turns a
+#      missing tool into a failure.
 #   1. Release build, full ctest suite (tier-1 gate).
-#   2. ASan+UBSan build, full ctest suite — any finding fails the run
+#   2. Bench smoke: bench_perm_engine (google-benchmark JSON) and
+#      bench_degraded_mode (JSONL rows) with tiny iteration counts, output
+#      validated against scripts/bench_schema.json — a bench that bitrots
+#      into empty or malformed output fails here, not on report day.
+#   3. ASan+UBSan build, full ctest suite — any finding fails the run
 #      (UBSan is non-recoverable via SDNSHIELD_SANITIZE wiring).
-#   3. TSan build, the concurrency suites (engine_concurrency_test, the
-#      pre-existing threaded engine tests and the supervision suite — the
-#      watchdog, the fault handlers and the non-blocking dispatcher all
-#      cross threads) — data races fail the run.
-#   4. Fault-injection pass: the supervision suite re-run standalone under
-#      ASan, exercising every FaultInjector site (crash/hang/flood) with
-#      the allocator poisoned — a contained fault that corrupts memory
-#      fails here even if the counters look right.
+#   4. TSan build, `ctest -L concurrency` — the threaded engine suites, the
+#      supervision suite and the obs registry/tracer suites all carry the
+#      label; data races fail the run.
+#   5. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
+#      every FaultInjector site (crash/hang/flood) with the allocator
+#      poisoned — a contained fault that corrupts memory fails here even if
+#      the counters look right.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
+#   --skip-sanitizers runs stages 0-2 only (the <10 min quick job).
+#
+# Every ctest invocation uses --no-tests=error: a build or label change
+# that silently selects zero tests is a failure, not a green run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,30 +37,44 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
 }
 
-echo "=== [1/4] Release build + full test suite ==="
+echo "=== [0/5] Lint gate (clang-format, clang-tidy) ==="
+scripts/format.sh --check
+scripts/tidy.sh build
+
+echo "=== [1/5] Release build + full test suite ==="
 run_suite build
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
+
+echo "=== [2/5] Bench smoke (schema-validated output) ==="
+./build/bench/bench_perm_engine --benchmark_min_time=0.01 \
+    --benchmark_format=json > build/bench_smoke_perm.json
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key gbench build/bench_smoke_perm.json
+./build/bench/bench_degraded_mode --events 200 > build/bench_smoke_degraded.txt
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key degraded_mode_row --jsonl build/bench_smoke_degraded.txt
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== Sanitizer stages skipped ==="
   exit 0
 fi
 
-echo "=== [2/4] ASan+UBSan build + full test suite ==="
+echo "=== [3/5] ASan+UBSan build + full test suite ==="
 run_suite build-asan -DSDNSHIELD_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-(cd build-asan && ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure -j "$JOBS")
+(cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
+    ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [3/4] TSan build + concurrency suites ==="
+echo "=== [4/5] TSan build + concurrency suites (ctest -L concurrency) ==="
 run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # Suppressions: cross-thread exception propagation via std::promise is
 # synchronized inside the (uninstrumented) libstdc++ — see scripts/tsan.supp.
 (cd build-tsan && TSAN_OPTIONS="suppressions=$PWD/../scripts/tsan.supp" \
-    ctest --output-on-failure -j "$JOBS" \
-    -R 'EngineConcurrencyTest|ConcurrentChecksAreSafe|SupervisionTest')
+    ctest --output-on-failure --no-tests=error -j "$JOBS" -L concurrency)
 
-echo "=== [4/4] Fault-injection pass (supervision suite under ASan) ==="
-ASAN_OPTIONS=detect_leaks=0 ./build-asan/tests/supervision_test
+echo "=== [5/5] Fault-injection pass (ctest -L faultinject under ASan) ==="
+(cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
+    ctest --output-on-failure --no-tests=error -j "$JOBS" -L faultinject)
 
 echo "=== CI passed ==="

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# clang-tidy over the concurrency-heavy directories (src/obs, src/isolation)
+# with the bug-prone/performance/concurrency check families, warnings as
+# errors. Same tool-presence gate as format.sh: skip cleanly when clang-tidy
+# is absent unless REQUIRE_LINT=1.
+#
+# Usage: scripts/tidy.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ "${REQUIRE_LINT:-0}" == "1" ]]; then
+    echo "tidy.sh: clang-tidy not found and REQUIRE_LINT=1" >&2
+    exit 1
+  fi
+  echo "tidy.sh: clang-tidy not found; skipping (REQUIRE_LINT=1 to fail)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t files < <(git ls-files 'src/obs/*.cpp' 'src/isolation/*.cpp')
+clang-tidy -p "$BUILD_DIR" \
+    --checks='-*,bugprone-*,performance-*,concurrency-*' \
+    --warnings-as-errors='*' \
+    "${files[@]}"
+echo "tidy.sh: ${#files[@]} files clean"

@@ -16,10 +16,30 @@
 
 #include "controller/event.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "of/flow_mod.h"
 #include "of/messages.h"
 
 namespace sdnshield::ctrl {
+
+/// Controller-wide observability report — the /stats export surface. Carries
+/// a merged metrics snapshot, the recent span trail and audit-log totals.
+/// In the SDNShield deployment access is gated by the read_statistics token
+/// at switch granularity (controller-wide counters are switch-level data).
+struct StatsReport {
+  obs::Snapshot metrics;
+  std::vector<obs::SpanSnapshot> recentSpans;
+  std::uint64_t auditRecords = 0;
+  std::uint64_t auditDenied = 0;
+  std::uint64_t auditFaults = 0;
+  std::uint64_t dispatchFaults = 0;
+
+  /// Human-readable rendering (one line per metric, then span trail).
+  std::string toText() const;
+  /// Machine-readable rendering (single JSON object).
+  std::string toJson() const;
+};
 
 /// Outcome of a mutating API call.
 struct ApiResult {
@@ -69,6 +89,10 @@ class NorthboundApi {
   /// Publishes to the inter-app data bus (ALTO scenario).
   virtual ApiResult publishData(const std::string& topic,
                                 const std::string& payload) = 0;
+
+  /// Controller-wide observability report (metrics + spans + audit totals).
+  /// Unchecked in the baseline; permission-gated under SDNShield.
+  virtual ApiResponse<StatsReport> statsReport() = 0;
 };
 
 /// Host-system services (network/file/process) available to an app. In the

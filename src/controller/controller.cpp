@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sdnshield::ctrl {
 
 namespace {
@@ -18,19 +22,81 @@ std::string currentExceptionWhat() {
   }
 }
 
+struct DispatchMetrics {
+  obs::Histogram latency =
+      obs::Registry::global().histogram("controller.dispatch_ns");
+  obs::Counter delivered =
+      obs::Registry::global().counter("controller.dispatched");
+  obs::Counter faults =
+      obs::Registry::global().counter("controller.dispatch_faults");
+};
+
+const DispatchMetrics& dispatchMetrics() {
+  static const DispatchMetrics metrics;
+  return metrics;
+}
+
 }  // namespace
 
 void Controller::deliver(const Subscriber& subscriber, const Event& event) {
   // Fault containment on the dispatch path: a throwing handler (inline in
   // the baseline deployment, or a failing sink wrapper in the shielded one)
   // must not unwind into the controller or starve later subscribers.
+  std::int64_t startNs = obs::Tracer::nowNs();
   try {
     subscriber.sink(event);
   } catch (...) {
     dispatchFaults_.fetch_add(1, std::memory_order_relaxed);
+    dispatchMetrics().faults.increment();
     audit_.recordFault(subscriber.app,
                        "event handler threw: " + currentExceptionWhat());
   }
+  std::int64_t durationNs = obs::Tracer::nowNs() - startNs;
+  dispatchMetrics().delivered.increment();
+  dispatchMetrics().latency.record(durationNs);
+  obs::Tracer::global().record("controller.deliver", startNs, durationNs);
+}
+
+std::string StatsReport::toText() const {
+  std::string out = obs::renderText(metrics);
+  out += "audit records=" + std::to_string(auditRecords) +
+         " denied=" + std::to_string(auditDenied) +
+         " faults=" + std::to_string(auditFaults) +
+         " dispatch_faults=" + std::to_string(dispatchFaults) + "\n";
+  if (!recentSpans.empty()) {
+    out += "spans " + obs::Tracer::formatTrail(recentSpans) + "\n";
+  }
+  return out;
+}
+
+std::string StatsReport::toJson() const {
+  std::string metricsJson = obs::renderJson(metrics);
+  std::string out = "{\"metrics\":" + metricsJson;
+  out += ",\"audit\":{\"records\":" + std::to_string(auditRecords) +
+         ",\"denied\":" + std::to_string(auditDenied) +
+         ",\"faults\":" + std::to_string(auditFaults) +
+         ",\"dispatch_faults\":" + std::to_string(dispatchFaults) + "}";
+  out += ",\"recent_spans\":[";
+  for (std::size_t i = 0; i < recentSpans.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"name\":\"" + recentSpans[i].name +
+           "\",\"start_ns\":" + std::to_string(recentSpans[i].startNs) +
+           ",\"duration_ns\":" + std::to_string(recentSpans[i].durationNs) +
+           ",\"seq\":" + std::to_string(recentSpans[i].seq) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+StatsReport Controller::statsReport() const {
+  StatsReport report;
+  report.metrics = obs::Registry::global().snapshot();
+  report.recentSpans = obs::Tracer::global().recentSpans();
+  report.auditRecords = audit_.totalRecorded();
+  report.auditDenied = audit_.deniedCount();
+  report.auditFaults = audit_.faultCount();
+  report.dispatchFaults = dispatchFaults_.load(std::memory_order_relaxed);
+  return report;
 }
 
 void Controller::attachSwitch(std::shared_ptr<SwitchConn> conn) {

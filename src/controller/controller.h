@@ -85,6 +85,12 @@ class Controller {
                          EventSink sink);
   void removeSubscribers(of::AppId app);
 
+  // --- observability --------------------------------------------------------
+  /// Builds the controller-wide /stats export: merged metrics snapshot,
+  /// recent span trail and audit-log totals. Unprivileged kernel operation;
+  /// permission gating happens in the API wrappers above it.
+  StatsReport statsReport() const;
+
   // --- shared infrastructure ---------------------------------------------------
   engine::OwnershipTracker& ownership() { return ownership_; }
   engine::AuditLog& audit() { return audit_; }

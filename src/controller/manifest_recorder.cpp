@@ -58,6 +58,12 @@ class RecordingContext::RecordingApi final : public NorthboundApi {
     return inner_.publishData(topic, payload);
   }
 
+  ApiResponse<StatsReport> statsReport() override {
+    // The report is switch-granularity statistics data.
+    owner_.noteStats(of::StatsLevel::kSwitch);
+    return inner_.statsReport();
+  }
+
  private:
   RecordingContext& owner_;
   NorthboundApi& inner_;

@@ -63,6 +63,11 @@ ApiResult DirectApi::sendPacketOut(const of::PacketOut& packetOut) {
   return controller_.kernelSendPacketOut(packetOut);
 }
 
+ApiResponse<StatsReport> DirectApi::statsReport() {
+  // Baseline deployment: direct, unchecked access (like everything else).
+  return ApiResponse<StatsReport>::success(controller_.statsReport());
+}
+
 ApiResult DirectApi::publishData(const std::string& topic,
                                  const std::string& payload) {
   controller_.kernelPublishData(app_, topic, payload);

@@ -41,6 +41,7 @@ class DirectApi final : public NorthboundApi {
   ApiResult sendPacketOut(const of::PacketOut& packetOut) override;
   ApiResult publishData(const std::string& topic,
                         const std::string& payload) override;
+  ApiResponse<StatsReport> statsReport() override;
 
  private:
   Controller& controller_;

@@ -20,6 +20,7 @@ std::string AuditEntry::toString() const {
       break;
   }
   if (!summary.empty()) out << " " << summary;
+  if (!spanTrail.empty()) out << " trail=[" << spanTrail << "]";
   return out.str();
 }
 
@@ -51,12 +52,14 @@ void AuditLog::recordFault(of::AppId app, const std::string& what) {
   push(std::move(entry));
 }
 
-void AuditLog::recordSupervision(of::AppId app, const std::string& what) {
+void AuditLog::recordSupervision(of::AppId app, const std::string& what,
+                                 std::string spanTrail) {
   std::lock_guard lock(mutex_);
   AuditEntry entry;
   entry.kind = AuditKind::kSupervision;
   entry.app = app;
   entry.summary = what;
+  entry.spanTrail = std::move(spanTrail);
   push(std::move(entry));
 }
 

@@ -29,6 +29,10 @@ struct AuditEntry {
   perm::ApiCallType callType = perm::ApiCallType::kReadTopology;
   bool allowed = false;
   std::string summary;
+  /// Supervision entries only: the most recent spans observed at the time
+  /// of the action ("what was the controller doing when this app was
+  /// quarantined"), formatted oldest-first.
+  std::string spanTrail;
 
   std::string toString() const;
 };
@@ -41,8 +45,10 @@ class AuditLog {
               const std::string& reason = {});
   /// Records a contained app fault (never a permission decision).
   void recordFault(of::AppId app, const std::string& what);
-  /// Records a supervisor action taken against @p app.
-  void recordSupervision(of::AppId app, const std::string& what);
+  /// Records a supervisor action taken against @p app. The optional
+  /// @p spanTrail carries the recent-span context captured by the caller.
+  void recordSupervision(of::AppId app, const std::string& what,
+                         std::string spanTrail = {});
 
   std::vector<AuditEntry> entries() const;
   std::vector<AuditEntry> entriesFor(of::AppId app) const;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/perm/interner.h"
+#include "obs/metrics.h"
 
 namespace sdnshield::engine {
 
@@ -416,11 +417,27 @@ ThreadMemo& threadMemo() {
   return memo;
 }
 
-// Process-wide hit/miss counters (the caches stay thread-local; only the
-// statistics aggregate, so harnesses can report hit rates for checks that
-// ran on deputy threads).
-std::atomic<std::uint64_t> g_memoHits{0};
-std::atomic<std::uint64_t> g_memoMisses{0};
+// Registry-backed hot-path counters (the caches stay thread-local; the
+// registry aggregates across threads, so harnesses can report hit rates
+// for checks that ran on deputy threads). Namespace-scope handles: slot
+// resolution happens once at dynamic init, so the hot path pays only the
+// shard write — no function-local-static guard load.
+const obs::Counter g_memoHit =
+    obs::Registry::global().counter("engine.check.memo_hit");
+const obs::Counter g_memoMiss =
+    obs::Registry::global().counter("engine.check.memo_miss");
+const obs::Counter g_checkDenied =
+    obs::Registry::global().counter("engine.check.denied");
+const obs::Counter g_vmRuns =
+    obs::Registry::global().counter("engine.check.vm_runs");
+const obs::Counter g_vmSteps =
+    obs::Registry::global().counter("engine.check.vm_steps");
+
+// memoStats()/resetMemoStats() keep their pre-obs semantics (counts since
+// the last reset) by remembering baselines at reset time: the registry
+// counters themselves stay monotonic.
+std::atomic<std::uint64_t> g_memoHitBase{0};
+std::atomic<std::uint64_t> g_memoMissBase{0};
 
 }  // namespace
 
@@ -509,8 +526,10 @@ bool CompiledPermissions::run(const TokenProgram& program,
   bool reg = false;
   const Instr* code = program.code.data();
   std::size_t size = program.code.size();
+  std::uint64_t steps = 0;  // Executed instructions (obs; local until exit).
   for (std::size_t pc = 0; pc < size;) {
     const Instr& instr = code[pc];
+    ++steps;
     switch (instr.op) {
       case OpCode::kPush:
         reg = filters_[instr.arg]->evaluate(call);
@@ -532,6 +551,8 @@ bool CompiledPermissions::run(const TokenProgram& program,
         break;
     }
   }
+  g_vmRuns.add(1);
+  g_vmSteps.add(steps);
   return reg;
 }
 
@@ -638,12 +659,13 @@ Decision PermissionEngine::check(const perm::ApiCall& call) const {
     if (entry->compiledId == compiled.instanceId() && entry->hash == hash &&
         entry->key.size() == keyLen &&
         std::memcmp(entry->key.data(), key, keyLen) == 0) {
-      g_memoHits.fetch_add(1, std::memory_order_relaxed);
+      g_memoHit.add(1);
       return entry->decision;
     }
   }
-  g_memoMisses.fetch_add(1, std::memory_order_relaxed);
+  g_memoMiss.add(1);
   Decision decision = compiled.check(call);
+  if (!decision.allowed) g_checkDenied.add(1);
   // Displace an empty or stale slot when possible; otherwise the primary.
   MemoEntry& entry =
       first.compiledId == compiled.instanceId() &&
@@ -665,13 +687,17 @@ std::shared_ptr<const CompiledPermissions> PermissionEngine::compiled(
 }
 
 MemoStats PermissionEngine::memoStats() {
-  return MemoStats{g_memoHits.load(std::memory_order_relaxed),
-                   g_memoMisses.load(std::memory_order_relaxed)};
+  std::uint64_t hits = g_memoHit.value();
+  std::uint64_t misses = g_memoMiss.value();
+  std::uint64_t hitBase = g_memoHitBase.load(std::memory_order_relaxed);
+  std::uint64_t missBase = g_memoMissBase.load(std::memory_order_relaxed);
+  return MemoStats{hits > hitBase ? hits - hitBase : 0,
+                   misses > missBase ? misses - missBase : 0};
 }
 
 void PermissionEngine::resetMemoStats() {
-  g_memoHits.store(0, std::memory_order_relaxed);
-  g_memoMisses.store(0, std::memory_order_relaxed);
+  g_memoHitBase.store(g_memoHit.value(), std::memory_order_relaxed);
+  g_memoMissBase.store(g_memoMiss.value(), std::memory_order_relaxed);
 }
 
 }  // namespace sdnshield::engine

@@ -386,6 +386,29 @@ ctrl::ApiResult ShieldedApi::publishData(const std::string& topic,
   });
 }
 
+ctrl::ApiResponse<ctrl::StatsReport> ShieldedApi::statsReport() {
+  using Response = ctrl::ApiResponse<ctrl::StatsReport>;
+  return viaDeputy<Response>(runtime_, app_, [this]() -> Response {
+    auto compiled = runtime_.engine().compiled(app_);
+    // Controller-wide counters are switch-granularity data: the report is
+    // gated behind read_statistics at SWITCH level, so a flow- or
+    // port-scoped statistics grant does not expose the fleet view.
+    perm::ApiCall call;
+    call.type = perm::ApiCallType::kReadStatistics;
+    call.app = app_;
+    call.statsLevel = of::StatsLevel::kSwitch;
+    engine::Decision decision =
+        compiled ? compiled->check(call)
+                 : engine::Decision::deny("app not installed");
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) {
+      return Response::failure("permission denied: " + decision.reason);
+    }
+    return Response::success(runtime_.controller().statsReport());
+  });
+}
+
 // --- ShieldedContext --------------------------------------------------------------
 
 ShieldedContext::ShieldedContext(ShieldRuntime& runtime, of::AppId app,
@@ -728,7 +751,12 @@ void ShieldRuntime::quarantineApp(of::AppId app, const std::string& reason) {
   controller_.removeSubscribers(app);
   engine_.uninstall(app);
   container->quarantine();
-  controller_.audit().recordSupervision(app, "quarantined: " + reason);
+  // The supervision record carries the recent span trail: what the
+  // controller (deputies, containers, dispatch) was doing right before the
+  // quarantine, for post-mortem reconstruction.
+  controller_.audit().recordSupervision(
+      app, "quarantined: " + reason,
+      obs::Tracer::formatTrail(obs::Tracer::global().recentSpans()));
 }
 
 void ShieldRuntime::shutdown() {

@@ -77,6 +77,7 @@ class ShieldedApi final : public ctrl::NorthboundApi {
   ctrl::ApiResult sendPacketOut(const of::PacketOut& packetOut) override;
   ctrl::ApiResult publishData(const std::string& topic,
                               const std::string& payload) override;
+  ctrl::ApiResponse<ctrl::StatsReport> statsReport() override;
 
  private:
   friend class ShieldRuntime;

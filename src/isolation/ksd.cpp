@@ -1,8 +1,47 @@
 #include "isolation/ksd.h"
 
 #include "isolation/thread_container.h"
+#include "obs/metrics.h"
 
 namespace sdnshield::iso {
+
+namespace {
+
+/// Deputy-pool metrics. All KsdPool instances share these names — the pool
+/// is a process-level resource (one per runtime in production; tests that
+/// build several simply aggregate).
+struct KsdMetrics {
+  obs::Gauge queueDepth = obs::Registry::global().gauge("ksd.queue_depth");
+  obs::Histogram callLatency =
+      obs::Registry::global().histogram("ksd.call_ns");
+  obs::Counter calls = obs::Registry::global().counter("ksd.calls");
+  obs::Counter deadlineMisses =
+      obs::Registry::global().counter("ksd.deadline_miss");
+  obs::Counter queueRejects =
+      obs::Registry::global().counter("ksd.queue_reject");
+  obs::Counter faults = obs::Registry::global().counter("ksd.fault");
+  obs::Counter processed = obs::Registry::global().counter("ksd.processed");
+};
+
+const KsdMetrics& ksdMetrics() {
+  static const KsdMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+void recordKsdQueueDelta(std::int64_t delta) {
+  ksdMetrics().queueDepth.add(delta);
+}
+
+void recordKsdCall(std::int64_t latencyNs) {
+  ksdMetrics().calls.increment();
+  ksdMetrics().callLatency.record(latencyNs);
+}
+
+void recordKsdDeadlineMiss() { ksdMetrics().deadlineMisses.increment(); }
+
+void recordKsdQueueReject() { ksdMetrics().queueRejects.increment(); }
 
 void KsdPool::start() {
   if (started_) return;
@@ -25,6 +64,8 @@ void KsdPool::run() {
   // Deputies are trusted kernel threads: full privilege.
   ScopedIdentity identity(of::kKernelAppId);
   while (auto work = queue_.pop()) {
+    recordKsdQueueDelta(-1);
+    OBS_SPAN("ksd.task");
     try {
       FaultInjector::instance().inject(sites::kKsdTask);
       (*work)();
@@ -33,8 +74,10 @@ void KsdPool::run() {
       // tasks and injected faults land here. A deputy must survive them —
       // it serves every app.
       faults_.fetch_add(1, std::memory_order_relaxed);
+      ksdMetrics().faults.increment();
     }
     processed_.fetch_add(1, std::memory_order_relaxed);
+    ksdMetrics().processed.increment();
   }
 }
 

@@ -22,8 +22,18 @@
 
 #include "isolation/channel.h"
 #include "isolation/fault_injector.h"
+#include "obs/trace.h"
 
 namespace sdnshield::iso {
+
+/// Deputy-pool metric recorders (defined in ksd.cpp so the header-inline
+/// hot paths stay free of registry plumbing). Registry metrics:
+///   ksd.queue_depth (gauge), ksd.call_ns (histogram), ksd.calls,
+///   ksd.deadline_miss, ksd.queue_reject, ksd.fault, ksd.processed.
+void recordKsdQueueDelta(std::int64_t delta);
+void recordKsdCall(std::int64_t latencyNs);
+void recordKsdDeadlineMiss();
+void recordKsdQueueReject();
 
 /// Thrown to the calling app thread when a deputy misses the call deadline.
 struct DeadlineExceeded : std::runtime_error {
@@ -56,9 +66,15 @@ class KsdPool {
   /// channel stays saturated past the pool deadline.
   bool submit(std::function<void()> work) {
     if (FaultInjector::instance().injectQueueFull(sites::kKsdQueue)) {
+      recordKsdQueueReject();
       return false;
     }
-    return queue_.pushFor(std::move(work), callTimeout_);
+    if (!queue_.pushFor(std::move(work), callTimeout_)) {
+      recordKsdQueueReject();
+      return false;
+    }
+    recordKsdQueueDelta(1);
+    return true;
   }
 
   /// Enqueues work and blocks the calling (app) thread for the result —
@@ -69,6 +85,8 @@ class KsdPool {
   /// caller that gives up leaves no dangling reference behind.
   template <typename R>
   R call(std::function<R()> work, std::chrono::milliseconds timeout) {
+    OBS_SPAN("ksd.call");
+    std::int64_t startNs = obs::Tracer::nowNs();
     FaultInjector::instance().inject(sites::kKsdCall);
     auto result = std::make_shared<std::promise<R>>();
     std::future<R> future = result->get_future();
@@ -88,8 +106,10 @@ class KsdPool {
     // the wait instead of running out the deadline.
     result.reset();
     if (future.wait_for(timeout) != std::future_status::ready) {
+      recordKsdDeadlineMiss();
       throw DeadlineExceeded("KSD call missed its deadline");
     }
+    recordKsdCall(obs::Tracer::nowNs() - startNs);
     try {
       return future.get();
     } catch (const std::future_error&) {

@@ -3,8 +3,34 @@
 #include <utility>
 
 #include "isolation/thread_container.h"
+#include "obs/metrics.h"
 
 namespace sdnshield::iso {
+
+namespace {
+
+/// Registry-backed supervision telemetry (replaces the ad-hoc process-wide
+/// counters the first supervision cut carried): per-app thresholds still
+/// live in AppRecord under the supervisor lock, but every recorded fault,
+/// drop, overrun and health transition is also visible to statsReport().
+struct SupervisorMetrics {
+  obs::Counter faults = obs::Registry::global().counter("supervisor.faults");
+  obs::Counter eventDrops =
+      obs::Registry::global().counter("supervisor.event_drops");
+  obs::Counter overruns =
+      obs::Registry::global().counter("supervisor.deadline_overruns");
+  obs::Counter suspected =
+      obs::Registry::global().counter("supervisor.transitions.suspected");
+  obs::Counter quarantined =
+      obs::Registry::global().counter("supervisor.transitions.quarantined");
+};
+
+const SupervisorMetrics& supervisorMetrics() {
+  static const SupervisorMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::string toString(AppHealth health) {
   switch (health) {
@@ -66,11 +92,13 @@ bool Supervisor::transitionLocked(AppRecord& record, AppHealth target) {
   if (target == AppHealth::kQuarantined) {
     record.health = AppHealth::kQuarantined;
     ++quarantinedTotal_;
+    supervisorMetrics().quarantined.increment();
     return true;
   }
   if (target == AppHealth::kSuspected &&
       record.health == AppHealth::kHealthy) {
     record.health = AppHealth::kSuspected;
+    supervisorMetrics().suspected.increment();
   }
   return false;
 }
@@ -84,6 +112,7 @@ void Supervisor::recordFault(of::AppId app, const std::string& what) {
     if (it == apps_.end()) return;
     AppRecord& record = it->second;
     ++record.faults;
+    supervisorMetrics().faults.increment();
     if (record.faults >= options_.faultQuarantineThreshold) {
       quarantine = transitionLocked(record, AppHealth::kQuarantined);
     } else if (record.faults >= options_.faultSuspectThreshold) {
@@ -105,6 +134,7 @@ void Supervisor::recordEventDrop(of::AppId app) {
     if (it == apps_.end()) return;
     AppRecord& record = it->second;
     ++record.drops;
+    supervisorMetrics().eventDrops.increment();
     if (record.drops >= options_.dropQuarantineThreshold) {
       quarantine = transitionLocked(record, AppHealth::kQuarantined);
     } else {
@@ -172,6 +202,7 @@ void Supervisor::heartbeat() {
         if (running <= std::chrono::milliseconds::zero()) continue;
         if (running >= options_.taskHangDeadline) {
           ++record.overruns;
+          supervisorMetrics().overruns.increment();
           if (transitionLocked(record, AppHealth::kQuarantined)) {
             auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                           running)
@@ -181,6 +212,7 @@ void Supervisor::heartbeat() {
           }
         } else if (running >= options_.taskDeadline) {
           ++record.overruns;
+          supervisorMetrics().overruns.increment();
           transitionLocked(record, AppHealth::kSuspected);
         }
       }

@@ -3,12 +3,30 @@
 #include <future>
 
 #include "isolation/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdnshield::iso {
 
 namespace {
 
 thread_local of::AppId tlsAppId = of::kKernelAppId;
+
+/// Container metrics, shared across all app containers (per-app numbers
+/// stay on the container/supervisor; the registry carries the fleet view).
+struct ContainerMetrics {
+  obs::Histogram taskLatency =
+      obs::Registry::global().histogram("container.task_ns");
+  obs::Counter tasks = obs::Registry::global().counter("container.tasks");
+  obs::Counter faults = obs::Registry::global().counter("container.faults");
+  obs::Counter eventDrops =
+      obs::Registry::global().counter("container.event_drops");
+};
+
+const ContainerMetrics& containerMetrics() {
+  static const ContainerMetrics metrics;
+  return metrics;
+}
 
 std::int64_t nowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -92,6 +110,7 @@ bool ThreadContainer::tryPost(std::function<void()> task) {
   if (FaultInjector::instance().injectQueueFull(sites::kContainerPost) ||
       !state_->queue.tryPush(std::move(task))) {
     state_->dropped.fetch_add(1, std::memory_order_relaxed);
+    containerMetrics().eventDrops.increment();
     return false;
   }
   return true;
@@ -132,7 +151,8 @@ ThreadContainer::Clock::duration ThreadContainer::currentTaskRuntime() const {
 void ThreadContainer::runLoop(const std::shared_ptr<State>& state) {
   ScopedIdentity identity(state->app);
   while (auto task = state->queue.pop()) {
-    state->taskStartNs.store(nowNs(), std::memory_order_relaxed);
+    std::int64_t startNs = nowNs();
+    state->taskStartNs.store(startNs, std::memory_order_relaxed);
     try {
       FaultInjector::instance().inject(sites::kContainerTask);
       (*task)();
@@ -140,6 +160,7 @@ void ThreadContainer::runLoop(const std::shared_ptr<State>& state) {
       // Containment: an app fault must never escape the container thread
       // (it would std::terminate the whole controller).
       state->faults.fetch_add(1, std::memory_order_relaxed);
+      containerMetrics().faults.increment();
       if (state->onFault) {
         std::exception_ptr error = std::current_exception();
         try {
@@ -151,6 +172,13 @@ void ThreadContainer::runLoop(const std::shared_ptr<State>& state) {
     }
     state->taskStartNs.store(0, std::memory_order_relaxed);
     state->executed.fetch_add(1, std::memory_order_relaxed);
+    // Task latency: metric + a span in the post-mortem trail (timestamps
+    // reused from the watchdog bookkeeping — no extra clock read beyond
+    // the one closing measurement).
+    std::int64_t durationNs = nowNs() - startNs;
+    containerMetrics().tasks.increment();
+    containerMetrics().taskLatency.record(durationNs);
+    obs::Tracer::global().record("container.task", startNs, durationNs);
   }
   {
     std::lock_guard lock(state->exitMutex);

@@ -1,0 +1,111 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sdnshield::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                          sizeof(buf) - 1));
+  }
+}
+
+/// JSON string escaping for metric names (conservative: names are
+/// dot-separated identifiers, but stay correct for anything).
+std::string escaped(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::size_t lastNonZeroBucket(const HistogramSnapshot& hist) {
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (hist.buckets[b] != 0) last = b;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::string renderText(const Snapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    appendf(out, "counter %-32s %" PRIu64 "\n", c.name.c_str(), c.value);
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    appendf(out, "gauge   %-32s %" PRId64 "\n", g.name.c_str(), g.value);
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    appendf(out,
+            "hist    %-32s count=%" PRIu64 " mean=%.0fns p50<=%" PRIu64
+            "ns p99<=%" PRIu64 "ns\n",
+            h.name.c_str(), h.count, h.mean(), h.percentileNs(0.5),
+            h.percentileNs(0.99));
+  }
+  return out;
+}
+
+std::string renderJson(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    appendf(out, "%s\"%s\":%" PRIu64, first ? "" : ",",
+            escaped(c.name).c_str(), c.value);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    appendf(out, "%s\"%s\":%" PRId64, first ? "" : ",",
+            escaped(g.name).c_str(), g.value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    appendf(out,
+            "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+            ",\"mean\":%.1f,\"p50_ns\":%" PRIu64 ",\"p90_ns\":%" PRIu64
+            ",\"p99_ns\":%" PRIu64 ",\"buckets\":[",
+            first ? "" : ",", escaped(h.name).c_str(), h.count, h.sum,
+            h.mean(), h.percentileNs(0.5), h.percentileNs(0.9),
+            h.percentileNs(0.99));
+    first = false;
+    std::size_t last = lastNonZeroBucket(h);
+    for (std::size_t b = 0; b <= last; ++b) {
+      appendf(out, "%s%" PRIu64, b == 0 ? "" : ",", h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sdnshield::obs

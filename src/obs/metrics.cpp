@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdnshield::obs {
+
+namespace detail {
+std::atomic<bool> g_metricsEnabled{true};
+}  // namespace detail
+
+namespace {
+
+std::string kindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+// The friend declared in the header; defined here so the TLS bookkeeping
+// stays out of the inlined record path.
+std::atomic<std::uint64_t>* obsLocalSlotBase() {
+  struct Owner {
+    std::shared_ptr<Registry::Shard> shard;
+    Owner() : shard(Registry::global().claimShard()) {}
+    ~Owner() { Registry::global().retireShard(shard); }
+  };
+  thread_local Owner owner;
+  return owner.shard->slots.data();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: shards, spans and audit sinks may record during
+  // static destruction of other objects; a destructed registry would
+  // invalidate the cached slot pointers they hold.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+std::uint32_t Registry::registerMetric(std::string_view name, MetricKind kind,
+                                       std::uint32_t slotSpan) {
+  std::lock_guard lock(mutex_);
+  for (const MetricInfo& info : metrics_) {
+    if (info.name == name) {
+      if (info.kind != kind) {
+        throw std::logic_error("obs metric '" + std::string(name) +
+                               "' already registered as " +
+                               kindName(info.kind));
+      }
+      return info.slot;
+    }
+  }
+  if (nextSlot_ + slotSpan > kMaxSlots) {
+    throw std::logic_error("obs registry slot capacity exhausted");
+  }
+  std::uint32_t slot = nextSlot_;
+  nextSlot_ += slotSpan;
+  metrics_.push_back(MetricInfo{std::string(name), kind, slot});
+  return slot;
+}
+
+Counter Registry::counter(std::string_view name) {
+  return Counter(registerMetric(name, MetricKind::kCounter, 1));
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  return Gauge(registerMetric(name, MetricKind::kGauge, 1));
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  return Histogram(registerMetric(
+      name, MetricKind::kHistogram,
+      static_cast<std::uint32_t>(kHistogramBuckets) + 1));
+}
+
+std::shared_ptr<Registry::Shard> Registry::claimShard() {
+  std::lock_guard lock(mutex_);
+  std::shared_ptr<Shard> shard;
+  if (!free_.empty()) {
+    shard = std::move(free_.back());
+    free_.pop_back();
+  } else {
+    shard = std::make_shared<Shard>();
+  }
+  active_.push_back(shard);
+  return shard;
+}
+
+void Registry::retireShard(const std::shared_ptr<Shard>& shard) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    // exchange(0) captures any write that landed before the fold; a
+    // straggler arriving later stays in the pooled shard and is merged by
+    // the next snapshot (shards in free_ are summed too).
+    retired_[i] += shard->slots[i].exchange(0, std::memory_order_relaxed);
+  }
+  auto it = std::find(active_.begin(), active_.end(), shard);
+  if (it != active_.end()) active_.erase(it);
+  free_.push_back(shard);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::array<std::uint64_t, kMaxSlots> merged = retired_;
+  auto fold = [&merged](const std::vector<std::shared_ptr<Shard>>& shards) {
+    for (const auto& shard : shards) {
+      for (std::size_t i = 0; i < kMaxSlots; ++i) {
+        merged[i] += shard->slots[i].load(std::memory_order_relaxed);
+      }
+    }
+  };
+  fold(active_);
+  fold(free_);
+
+  Snapshot out;
+  for (const MetricInfo& info : metrics_) {
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        out.counters.push_back(CounterSnapshot{info.name, merged[info.slot]});
+        break;
+      case MetricKind::kGauge:
+        out.gauges.push_back(GaugeSnapshot{
+            info.name, static_cast<std::int64_t>(merged[info.slot])});
+        break;
+      case MetricKind::kHistogram: {
+        HistogramSnapshot hist;
+        hist.name = info.name;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          hist.buckets[b] = merged[info.slot + b];
+          hist.count += hist.buckets[b];
+        }
+        hist.sum = merged[info.slot + kHistogramBuckets];
+        out.histograms.push_back(std::move(hist));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::setEnabled(bool enabled) {
+  detail::g_metricsEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Registry::enabled() {
+  return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+std::size_t Registry::metricCount() const {
+  std::lock_guard lock(mutex_);
+  return metrics_.size();
+}
+
+// --- handle reader paths ----------------------------------------------------
+
+std::uint64_t Registry::mergedSlot(std::uint32_t slot) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = retired_[slot];
+  for (const auto& shard : active_) {
+    total += shard->slots[slot].load(std::memory_order_relaxed);
+  }
+  for (const auto& shard : free_) {
+    total += shard->slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Counter::value() const {
+  return slot_ == UINT32_MAX ? 0 : Registry::global().mergedSlot(slot_);
+}
+
+std::int64_t Gauge::value() const {
+  return slot_ == UINT32_MAX
+             ? 0
+             : static_cast<std::int64_t>(Registry::global().mergedSlot(slot_));
+}
+
+// --- snapshot helpers -------------------------------------------------------
+
+std::uint64_t HistogramSnapshot::bucketUpperNs(std::size_t index) {
+  if (index == 0) return 0;
+  if (index >= kHistogramBuckets - 1) return UINT64_MAX;
+  return (1ULL << index) - 1;
+}
+
+std::uint64_t HistogramSnapshot::percentileNs(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Ceiling rank: the p-quantile is the smallest value with at least
+  // ceil(p * count) observations at or below it (truncation would report
+  // p99 of 4 samples as the 3rd, not the 4th).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(count));
+  if (static_cast<double>(rank) < p * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return bucketUpperNs(b);
+  }
+  return bucketUpperNs(kHistogramBuckets - 1);
+}
+
+const CounterSnapshot* Snapshot::findCounter(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* Snapshot::findGauge(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::findHistogram(std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace sdnshield::obs

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace sdnshield::obs {
+
+namespace {
+
+std::string formatDuration(std::int64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SpanSnapshot::toString() const {
+  return name + "(" + formatDuration(durationNs) + ")";
+}
+
+Tracer& Tracer::global() {
+  // Leaked like the metric registry: spans may be recorded while other
+  // statics destruct.
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+std::int64_t Tracer::nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::Ring& Tracer::localRing() {
+  struct Owner {
+    Tracer& tracer;
+    std::shared_ptr<Ring> ring;
+    explicit Owner(Tracer& tracer) : tracer(tracer) {
+      std::lock_guard lock(tracer.mutex_);
+      if (!tracer.free_.empty()) {
+        ring = std::move(tracer.free_.back());
+        tracer.free_.pop_back();
+      } else {
+        ring = std::make_shared<Ring>();
+      }
+      tracer.active_.push_back(ring);
+    }
+    ~Owner() {
+      std::lock_guard lock(tracer.mutex_);
+      auto it = std::find(tracer.active_.begin(), tracer.active_.end(), ring);
+      if (it != tracer.active_.end()) tracer.active_.erase(it);
+      // Pool the ring with its spans intact: a post-mortem dump taken after
+      // the thread exited still sees its trailing spans.
+      tracer.free_.push_back(ring);
+    }
+  };
+  thread_local Owner owner(*this);
+  return *owner.ring;
+}
+
+void Tracer::record(const char* name, std::int64_t startNs,
+                    std::int64_t durationNs) {
+  Ring& ring = localRing();
+  std::uint32_t index =
+      ring.next.fetch_add(1, std::memory_order_relaxed) % kSpanRingSize;
+  Slot& slot = ring.slots[index];
+  std::uint64_t seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
+  // Publish seq last; a reader pairing a fresh seq with a stale name can
+  // only happen on the wrap boundary and is tolerated (post-mortem data).
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.startNs.store(startNs, std::memory_order_relaxed);
+  slot.durationNs.store(durationNs, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<SpanSnapshot> Tracer::recentSpans(std::size_t maxSpans) const {
+  std::vector<SpanSnapshot> spans;
+  {
+    std::lock_guard lock(mutex_);
+    auto collect = [&spans](const std::vector<std::shared_ptr<Ring>>& rings) {
+      for (const auto& ring : rings) {
+        for (const Slot& slot : ring->slots) {
+          std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+          const char* name = slot.name.load(std::memory_order_relaxed);
+          if (seq == 0 || name == nullptr) continue;
+          SpanSnapshot snap;
+          snap.name = name;
+          snap.startNs = slot.startNs.load(std::memory_order_relaxed);
+          snap.durationNs = slot.durationNs.load(std::memory_order_relaxed);
+          snap.seq = seq;
+          spans.push_back(std::move(snap));
+        }
+      }
+    };
+    collect(active_);
+    collect(free_);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanSnapshot& a, const SpanSnapshot& b) {
+              return a.seq < b.seq;
+            });
+  if (spans.size() > maxSpans) {
+    spans.erase(spans.begin(),
+                spans.end() - static_cast<std::ptrdiff_t>(maxSpans));
+  }
+  return spans;
+}
+
+std::string Tracer::formatTrail(const std::vector<SpanSnapshot>& spans,
+                                std::size_t maxSpans) {
+  std::string out;
+  std::size_t start = spans.size() > maxSpans ? spans.size() - maxSpans : 0;
+  for (std::size_t i = start; i < spans.size(); ++i) {
+    if (!out.empty()) out += " > ";
+    out += spans[i].toString();
+  }
+  return out;
+}
+
+}  // namespace sdnshield::obs

@@ -1,0 +1,111 @@
+// Span-style tracing (the observability layer's narrative half): named
+// timed sections recorded into per-thread ring buffers, cheap enough to
+// leave on in production and dumped post-mortem — e.g. the last spans
+// before a quarantine land in the audit log's kSupervision record.
+//
+// Recording model:
+//  * OBS_SPAN("ksd.call") opens an RAII span; destruction records
+//    {name, start, duration, thread, seq} into the calling thread's ring.
+//  * Rings are fixed-size; each slot's fields are relaxed atomics so a
+//    concurrent reader (recentSpans) never races the writer. A torn slot
+//    (rare: reader overlapping the writer on the exact wrap boundary) can
+//    mix fields of two spans — acceptable for post-mortem trails, and the
+//    seq field orders everything that wasn't torn.
+//  * Span names must be string literals (static storage duration): only
+//    the pointer is stored.
+//
+// Like metric shards, rings are pooled and never freed, so a straggling
+// write during thread teardown stays memory-safe.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdnshield::obs {
+
+/// Spans kept per thread ring.
+inline constexpr std::size_t kSpanRingSize = 256;
+
+/// A span copied out of a ring by Tracer::recentSpans().
+struct SpanSnapshot {
+  std::string name;
+  std::int64_t startNs = 0;     ///< steady_clock ns at open.
+  std::int64_t durationNs = 0;  ///< Close - open.
+  std::uint64_t seq = 0;        ///< Global record order (monotonic).
+
+  std::string toString() const;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records a completed span into the calling thread's ring. @p name must
+  /// have static storage duration (string literal).
+  void record(const char* name, std::int64_t startNs, std::int64_t durationNs);
+
+  /// The most recent spans across every thread, oldest first, capped at
+  /// @p maxSpans. Safe to call from any thread at any time.
+  std::vector<SpanSnapshot> recentSpans(std::size_t maxSpans = 64) const;
+
+  /// One-line rendering of a span trail ("name(12.3us) > name(4ms)"),
+  /// newest last. Empty string when @p spans is empty.
+  static std::string formatTrail(const std::vector<SpanSnapshot>& spans,
+                                 std::size_t maxSpans = 16);
+
+  /// Current steady-clock time in nanoseconds (the span clock).
+  static std::int64_t nowNs();
+
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::int64_t> startNs{0};
+    std::atomic<std::int64_t> durationNs{0};
+    std::atomic<std::uint64_t> seq{0};
+  };
+  struct Ring {
+    std::array<Slot, kSpanRingSize> slots;
+    std::atomic<std::uint32_t> next{0};
+  };
+
+ private:
+  Tracer() = default;
+
+  Ring& localRing();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> active_;
+  std::vector<std::shared_ptr<Ring>> free_;
+  std::atomic<std::uint64_t> nextSeq_{1};
+};
+
+/// RAII span: records on destruction. Use via OBS_SPAN.
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name), startNs_(Tracer::nowNs()) {}
+  ~Span() {
+    Tracer::global().record(name_, startNs_, Tracer::nowNs() - startNs_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t startNs_;
+};
+
+#define SDNSHIELD_OBS_CONCAT2(a, b) a##b
+#define SDNSHIELD_OBS_CONCAT(a, b) SDNSHIELD_OBS_CONCAT2(a, b)
+/// Opens a span covering the enclosing scope. @p name: string literal.
+#define OBS_SPAN(name) \
+  ::sdnshield::obs::Span SDNSHIELD_OBS_CONCAT(obsSpan_, __LINE__)(name)
+
+}  // namespace sdnshield::obs

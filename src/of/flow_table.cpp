@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace sdnshield::of {
+
+namespace {
+
+/// Fleet-wide flow-table telemetry (per-switch numbers stay in TableStats).
+struct FlowTableMetrics {
+  obs::Counter installs = obs::Registry::global().counter("flowtable.installs");
+  obs::Counter evictions =
+      obs::Registry::global().counter("flowtable.evictions");
+  obs::Counter rejects = obs::Registry::global().counter("flowtable.rejects");
+};
+
+const FlowTableMetrics& flowTableMetrics() {
+  static const FlowTableMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::string toString(FlowModCommand command) {
   switch (command) {
@@ -51,7 +70,10 @@ bool FlowTable::apply(const FlowMod& mod) {
         it->hardTimeout = mod.hardTimeout;
         return true;
       }
-      if (entries_.size() >= maxEntries_) return false;
+      if (entries_.size() >= maxEntries_) {
+        flowTableMetrics().rejects.increment();
+        return false;
+      }
       add(mod);
       return true;
     }
@@ -104,6 +126,7 @@ void FlowTable::add(const FlowMod& mod) {
                             return e.priority < entry.priority;
                           });
   entries_.insert(pos, std::move(entry));
+  flowTableMetrics().installs.increment();
 }
 
 const FlowEntry* FlowTable::lookup(const HeaderFields& pkt,
@@ -135,6 +158,7 @@ std::vector<FlowEntry> FlowTable::tick(std::uint32_t seconds) {
     if (isExpired(e)) expired.push_back(e);
   }
   std::erase_if(entries_, isExpired);
+  if (!expired.empty()) flowTableMetrics().evictions.add(expired.size());
   return expired;
 }
 
