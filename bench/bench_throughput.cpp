@@ -12,8 +12,16 @@
 //    raw thread-hand-off cost of the isolation architecture (quantified
 //    further in bench_isolation_ablation). On a single-core host this cost
 //    cannot be amortized and the gap is large by construction.
+//
+// --pressure compares the synchronous northbound (each packet-in blocks the
+// app thread for a deputy round-trip) against the async pipelined one
+// (insertFlowAsync/sendPacketOutAsync with a bounded in-flight window,
+// deputy-side batch draining, vectorized flow-mod application). One JSON
+// row per pipeline for EXPERIMENTS.md / CI schema validation.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "apps/l2_learning.h"
@@ -27,25 +35,35 @@ namespace {
 using namespace sdnshield;
 using namespace std::chrono_literals;
 
-constexpr auto kPressureDuration = 1200ms;
+std::chrono::milliseconds g_duration = 1200ms;
 
-cbench::ThroughputStats run(std::size_t switches, bool shielded,
-                            std::chrono::microseconds channelDelay) {
+struct RunConfig {
+  std::size_t switches = 8;
+  bool shielded = true;
+  std::chrono::microseconds channelDelay = 200us;
+  std::size_t ksdThreads = 4;
+  /// 0 = synchronous northbound; >0 = app pipeline depth AND generator
+  /// burst window (each switch keeps that many flow arrivals outstanding).
+  std::size_t window = 0;
+};
+
+cbench::ThroughputStats run(const RunConfig& config) {
   ctrl::Controller controller;
   sim::SimNetwork network(controller);
-  network.buildLinear(switches);
-  if (channelDelay.count() > 0) {
+  network.buildLinear(config.switches);
+  if (config.channelDelay.count() > 0) {
     for (const auto& sw : network.switches()) {
-      sw->setControlChannelDelay(channelDelay);
+      sw->setControlChannelDelay(config.channelDelay);
     }
   }
-  auto app = std::make_shared<apps::L2LearningSwitch>();
+  auto app = std::make_shared<apps::L2LearningSwitch>(
+      /*rulePriority=*/10, /*pipelineWindow=*/config.window);
 
   std::unique_ptr<iso::BaselineRuntime> baseline;
   std::unique_ptr<iso::ShieldRuntime> shield;
-  if (shielded) {
+  if (config.shielded) {
     iso::ShieldOptions options;
-    options.ksdThreads = 4;  // Deputies scale out (§VI-A).
+    options.ksdThreads = config.ksdThreads;  // Deputies scale out (§VI-A).
     shield = std::make_unique<iso::ShieldRuntime>(controller, options);
     shield->loadApp(app, lang::parsePermissions(app->requestedManifest()));
   } else {
@@ -54,7 +72,10 @@ cbench::ThroughputStats run(std::size_t switches, bool shielded,
   }
   cbench::Generator generator(network);
   generator.setup();
-  return generator.runThroughput(kPressureDuration);
+  cbench::ThroughputStats stats = generator.runThroughput(
+      g_duration, config.window > 0 ? config.window : 1);
+  app->drainPending();
+  return stats;
 }
 
 void table(const char* title, std::chrono::microseconds channelDelay) {
@@ -64,7 +85,11 @@ void table(const char* title, std::chrono::microseconds channelDelay) {
   for (std::size_t switches : {2u, 4u, 8u, 16u}) {
     double baselineRate = 0;
     for (bool shielded : {false, true}) {
-      cbench::ThroughputStats stats = run(switches, shielded, channelDelay);
+      RunConfig config;
+      config.switches = switches;
+      config.shielded = shielded;
+      config.channelDelay = channelDelay;
+      cbench::ThroughputStats stats = run(config);
       if (!shielded) baselineRate = stats.responsesPerSec;
       std::printf("%-10zu %-12s %16.0f %14llu", switches,
                   shielded ? "SDNShield" : "baseline", stats.responsesPerSec,
@@ -78,9 +103,66 @@ void table(const char* title, std::chrono::microseconds channelDelay) {
   }
 }
 
+int pressure() {
+  std::printf("=== Pressure mode: sync vs async pipelined northbound "
+              "(SDNShield, 200us channel) ===\n");
+  std::printf("%-10s %-8s %8s %16s %14s\n", "pipeline", "window",
+              "ksd", "responses/sec", "total");
+  double syncRate = 0;
+  for (std::size_t window : {std::size_t{0}, std::size_t{16}}) {
+    RunConfig config;
+    config.window = window;
+    cbench::ThroughputStats stats = run(config);
+    const char* pipeline = window > 0 ? "async" : "sync";
+    if (window == 0) syncRate = stats.responsesPerSec;
+    std::printf("%-10s %-8zu %8zu %16.0f %14llu", pipeline,
+                window > 0 ? window : 1, config.ksdThreads,
+                stats.responsesPerSec,
+                static_cast<unsigned long long>(stats.totalResponses));
+    if (window > 0 && syncRate > 0) {
+      std::printf("   (%.2fx sync)", stats.responsesPerSec / syncRate);
+    }
+    std::printf("\n");
+    std::printf(
+        "{\"bench\":\"bench_throughput\",\"mode\":\"pressure\","
+        "\"pipeline\":\"%s\",\"switches\":%zu,\"ksd_threads\":%zu,"
+        "\"window\":%zu,\"responses_per_sec\":%.0f,\"total_responses\":%llu,"
+        "\"duration_sec\":%.3f}\n",
+        pipeline, config.switches, config.ksdThreads,
+        window > 0 ? window : 1, stats.responsesPerSec,
+        static_cast<unsigned long long>(stats.totalResponses),
+        stats.durationSec);
+  }
+  std::printf(
+      "\nExpected shape: the async pipeline keeps the app thread admitting "
+      "packet-ins\nwhile the deputy pool works the backlog, so "
+      "responses/sec should be at least\n2x the synchronous northbound at "
+      "pool width >= 4.\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool pressureMode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pressure") == 0) {
+      pressureMode = true;
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      int ms = std::atoi(argv[++i]);
+      if (ms <= 0) {
+        std::fprintf(stderr, "bad --duration-ms value\n");
+        return 1;
+      }
+      g_duration = std::chrono::milliseconds(ms);
+    } else {
+      std::fprintf(stderr, "usage: %s [--pressure] [--duration-ms N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (pressureMode) return pressure();
+
   table(
       "=== Figure 7: L2 throughput, 200us emulated control channel "
       "(testbed-comparable) ===",

@@ -69,7 +69,7 @@ int main() {
       of::FlowMod blackhole;
       blackhole.priority = 200;
       blackhole.actions.push_back(of::DropAction{});
-      bool inserted = ctx.api().insertFlow(2, blackhole).ok;
+      bool inserted = ctx.api().insertFlow(2, blackhole).ok();
       std::printf("  blackhole rule insertion: %s\n",
                   inserted ? "INSTALLED" : "blocked");
       // Class 1: inject a packet into the data plane.
@@ -80,7 +80,7 @@ int main() {
           of::Ipv4Address(10, 0, 0, 99), of::Ipv4Address(10, 0, 0, 1), 1, 80,
           of::tcpflags::kRst);
       inject.actions.push_back(of::OutputAction{1});
-      bool sent = ctx.api().sendPacketOut(inject).ok;
+      bool sent = ctx.api().sendPacketOut(inject).ok();
       std::printf("  data-plane packet injection: %s\n",
                   sent ? "INJECTED" : "blocked");
     });

@@ -48,26 +48,26 @@ int main() {
   auto view = tenant->context().api().readTopology();
   std::printf("physical network : %s\n",
               controller.kernelReadTopology().toString().c_str());
-  std::printf("tenant's view    : %s\n", view.value.toString().c_str());
-  for (const net::Host& host : view.value.hosts()) {
+  std::printf("tenant's view    : %s\n", view.value().toString().c_str());
+  for (const net::Host& host : view.value().hosts()) {
     std::printf("  host %s at big-switch port %u\n", host.ip.toString().c_str(),
                 host.port);
   }
 
   // The tenant installs one rule on the big switch: traffic to host 4.
-  auto dst = view.value.hostByIp(of::Ipv4Address(10, 0, 0, 4));
+  auto dst = view.value().hostByIp(of::Ipv4Address(10, 0, 0, 4));
   of::FlowMod vmod;
   vmod.match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
   vmod.match.ipDst = of::MaskedIpv4{dst->ip};
   vmod.priority = 40;
   vmod.actions.push_back(of::OutputAction{dst->port});
-  bool ok = tenant->context().api().insertFlow(iso::kVirtualDpid, vmod).ok;
+  bool ok = tenant->context().api().insertFlow(iso::kVirtualDpid, vmod).ok();
   std::printf("\nvirtual rule installed: %s\n", ok ? "yes" : "no");
   for (of::DatapathId dpid : controller.switchIds()) {
     auto flows = controller.kernelReadFlowTable(dpid);
     std::printf("  s%llu realises %zu physical rule(s)\n",
-                static_cast<unsigned long long>(dpid), flows.value.size());
-    for (const of::FlowEntry& entry : flows.value) {
+                static_cast<unsigned long long>(dpid), flows.value().size());
+    for (const of::FlowEntry& entry : flows.value()) {
       std::printf("    %s\n", entry.toString().c_str());
     }
   }
@@ -88,8 +88,8 @@ int main() {
   request.dpid = iso::kVirtualDpid;
   auto stats = tenant->context().api().readStatistics(request);
   std::printf("big-switch stats: %zu active flows, %llu lookups\n",
-              stats.value.switchStats.activeFlows,
+              stats.value().switchStats.activeFlows,
               static_cast<unsigned long long>(
-                  stats.value.switchStats.lookupCount));
+                  stats.value().switchStats.lookupCount));
   return 0;
 }

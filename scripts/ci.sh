@@ -37,9 +37,22 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
 }
 
-echo "=== [0/5] Lint gate (clang-format, clang-tidy) ==="
+echo "=== [0/5] Lint gate (clang-format, clang-tidy, typed API errors) ==="
 scripts/format.sh --check
 scripts/tidy.sh build
+# Typed-error gate: ApiResult/ApiResponse failures carry an ApiErrc, never a
+# bare string, and callers branch on code() — never on error-message text.
+if grep -rn --include='*.cpp' --include='*.h' -E '::failure\(\s*"' \
+    src tests bench examples; then
+  echo "lint: string-literal API failure; use ApiErrc codes" >&2
+  exit 1
+fi
+if grep -rn --include='*.cpp' --include='*.h' -E \
+    '\.error\(\)\.detail\.find\(|\.error\(\)\.toString\(\)\.find\(' \
+    src tests; then
+  echo "lint: matching on API error text; compare ApiErrc codes instead" >&2
+  exit 1
+fi
 
 echo "=== [1/5] Release build + full test suite ==="
 run_suite build
@@ -53,6 +66,10 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
 ./build/bench/bench_degraded_mode --events 200 > build/bench_smoke_degraded.txt
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key degraded_mode_row --jsonl build/bench_smoke_degraded.txt
+./build/bench/bench_throughput --pressure --duration-ms 150 \
+    > build/bench_smoke_throughput.txt
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key throughput_row --jsonl build/bench_smoke_throughput.txt
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== Sanitizer stages skipped ==="

@@ -21,8 +21,8 @@ void AltoService::init(ctrl::AppContext& context) {
 
 bool AltoService::publishUpdate() {
   auto topologyResponse = context_->api().readTopology();
-  if (!topologyResponse.ok) return false;
-  const net::Topology& topology = topologyResponse.value;
+  if (!topologyResponse.ok()) return false;
+  const net::Topology& topology = topologyResponse.value();
 
   std::vector<std::tuple<of::Ipv4Address, of::Ipv4Address, int>> costMap;
   std::vector<net::Host> hosts = topology.hosts();
@@ -36,8 +36,8 @@ bool AltoService::publishUpdate() {
   }
   ctrl::ApiResult result =
       context_->api().publishData(kAltoCostMapTopic, encodeCostMap(costMap));
-  if (result.ok) published_.fetch_add(1);
-  return result.ok;
+  if (result.ok()) published_.fetch_add(1);
+  return result.ok();
 }
 
 std::string encodeCostMap(

@@ -25,7 +25,7 @@ bool FirewallApp::blockTcpDstPort(of::DatapathId dpid, std::uint16_t tcpPort) {
   mod.match = blockMatch(tcpPort);
   mod.priority = priority_;
   mod.actions.push_back(of::DropAction{});
-  bool ok = context_->api().insertFlow(dpid, mod).ok;
+  bool ok = context_->api().insertFlow(dpid, mod).ok();
   if (ok) installed_.fetch_add(1);
   return ok;
 }
@@ -34,7 +34,7 @@ bool FirewallApp::unblockTcpDstPort(of::DatapathId dpid,
                                     std::uint16_t tcpPort) {
   return context_->api()
       .deleteFlow(dpid, blockMatch(tcpPort), /*strict=*/true, priority_)
-      .ok;
+      .ok();
 }
 
 }  // namespace sdnshield::apps

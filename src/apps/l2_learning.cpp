@@ -39,17 +39,23 @@ void L2LearningSwitch::onPacketIn(const ctrl::PacketInEvent& event) {
     mod.priority = priority_;
     mod.idleTimeout = 300;
     mod.actions.push_back(of::OutputAction{*outPort});
-    if (context_->api().insertFlow(packetIn.dpid, mod).ok) {
-      std::lock_guard lock(mutex_);
-      ++rulesInstalled_;
-    }
     of::PacketOut out;
     out.dpid = packetIn.dpid;
     out.inPort = packetIn.inPort;
     out.packet = packetIn.packet;
     out.fromPacketIn = true;
     out.actions.push_back(of::OutputAction{*outPort});
-    context_->api().sendPacketOut(out);
+    if (pipelineWindow_ > 0) {
+      track(context_->api().insertFlowAsync(packetIn.dpid, mod),
+            /*countsRule=*/true);
+      track(context_->api().sendPacketOutAsync(out), /*countsRule=*/false);
+    } else {
+      if (context_->api().insertFlow(packetIn.dpid, mod).ok()) {
+        std::lock_guard lock(mutex_);
+        ++rulesInstalled_;
+      }
+      context_->api().sendPacketOut(out);
+    }
     return;
   }
 
@@ -60,7 +66,48 @@ void L2LearningSwitch::onPacketIn(const ctrl::PacketInEvent& event) {
   out.packet = packetIn.packet;
   out.fromPacketIn = true;
   out.actions.push_back(of::OutputAction{of::ports::kFlood});
-  context_->api().sendPacketOut(out);
+  if (pipelineWindow_ > 0) {
+    track(context_->api().sendPacketOutAsync(out), /*countsRule=*/false);
+  } else {
+    context_->api().sendPacketOut(out);
+  }
+}
+
+void L2LearningSwitch::track(ctrl::ApiFuture<ctrl::ApiResult> future,
+                             bool countsRule) {
+  std::optional<Pending> oldest;
+  {
+    std::lock_guard lock(mutex_);
+    pending_.push_back(Pending{std::move(future), countsRule});
+    if (pending_.size() > pipelineWindow_) {
+      oldest = std::move(pending_.front());
+      pending_.pop_front();
+    }
+  }
+  // get() may block on the deputy; never hold the mutex across it.
+  if (oldest) reap(std::move(*oldest));
+}
+
+void L2LearningSwitch::reap(Pending pending) {
+  if (!pending.future.valid()) return;
+  ctrl::ApiResult result = pending.future.get();
+  if (pending.countsRule && result.ok()) {
+    std::lock_guard lock(mutex_);
+    ++rulesInstalled_;
+  }
+}
+
+void L2LearningSwitch::drainPending() {
+  while (true) {
+    Pending next;
+    {
+      std::lock_guard lock(mutex_);
+      if (pending_.empty()) return;
+      next = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    reap(std::move(next));
+  }
 }
 
 std::uint64_t L2LearningSwitch::packetsSeen() const {

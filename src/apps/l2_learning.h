@@ -1,8 +1,20 @@
 // L2 learning switch (the paper's first evaluation scenario, §IX-A): learns
 // host positions from packet-in source MACs and installs exact-match
 // switching rules; unknown destinations are flooded.
+//
+// Two northbound styles, selected at construction:
+//  * pipelineWindow == 0 — classic synchronous calls: each packet-in blocks
+//    the app thread for a full deputy round-trip (insertFlow, then
+//    sendPacketOut).
+//  * pipelineWindow > 0 — asynchronous pipelining: the handler issues
+//    insertFlowAsync/sendPacketOutAsync and keeps up to pipelineWindow
+//    responses outstanding, reaping the oldest future once the window is
+//    full. The app thread stays busy admitting new packet-ins while the
+//    deputy pool works the backlog (§VI: choke points are not serialized
+//    points).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <mutex>
 
@@ -12,8 +24,9 @@ namespace sdnshield::apps {
 
 class L2LearningSwitch final : public ctrl::App {
  public:
-  explicit L2LearningSwitch(std::uint16_t rulePriority = 10)
-      : priority_(rulePriority) {}
+  explicit L2LearningSwitch(std::uint16_t rulePriority = 10,
+                            std::size_t pipelineWindow = 0)
+      : priority_(rulePriority), pipelineWindow_(pipelineWindow) {}
 
   std::string name() const override { return "l2_learning"; }
   std::string requestedManifest() const override;
@@ -22,14 +35,28 @@ class L2LearningSwitch final : public ctrl::App {
   std::uint64_t packetsSeen() const;
   std::uint64_t rulesInstalled() const;
 
+  /// Blocks until every outstanding async call has resolved (no-op in
+  /// synchronous mode). Call before reading rulesInstalled() in tests.
+  void drainPending();
+
  private:
+  struct Pending {
+    ctrl::ApiFuture<ctrl::ApiResult> future;
+    bool countsRule = false;
+  };
+
   void onPacketIn(const ctrl::PacketInEvent& event);
+  /// Enqueues an in-flight call, reaping the oldest when the window is full.
+  void track(ctrl::ApiFuture<ctrl::ApiResult> future, bool countsRule);
+  void reap(Pending pending);
 
   ctrl::AppContext* context_ = nullptr;
   std::uint16_t priority_;
+  std::size_t pipelineWindow_;
   mutable std::mutex mutex_;
   // Per-switch MAC -> port learning table.
   std::map<of::DatapathId, std::map<of::MacAddress, of::PortNo>> learned_;
+  std::deque<Pending> pending_;
   std::uint64_t packetsSeen_ = 0;
   std::uint64_t rulesInstalled_ = 0;
 };

@@ -13,8 +13,8 @@ void FlowTunnelerApp::init(ctrl::AppContext& context) { context_ = &context; }
 bool FlowTunnelerApp::establishTunnel(of::Ipv4Address srcIp,
                                       of::Ipv4Address dstIp) {
   auto topologyResponse = context_->api().readTopology();
-  if (!topologyResponse.ok) return false;
-  const net::Topology& topology = topologyResponse.value;
+  if (!topologyResponse.ok()) return false;
+  const net::Topology& topology = topologyResponse.value();
   auto src = topology.hostByIp(srcIp);
   auto dst = topology.hostByIp(dstIp);
   if (!src || !dst || src->dpid == dst->dpid) return false;
@@ -50,8 +50,8 @@ bool FlowTunnelerApp::establishTunnel(of::Ipv4Address srcIp,
   exit.actions.push_back(restorePort);
   exit.actions.push_back(of::OutputAction{dst->port});
 
-  bool entryOk = context_->api().insertFlow(src->dpid, entry).ok;
-  bool exitOk = context_->api().insertFlow(dst->dpid, exit).ok;
+  bool entryOk = context_->api().insertFlow(src->dpid, entry).ok();
+  bool exitOk = context_->api().insertFlow(dst->dpid, exit).ok();
   installed_.fetch_add((entryOk ? 1u : 0u) + (exitOk ? 1u : 0u));
   denied_.fetch_add((entryOk ? 0u : 1u) + (exitOk ? 0u : 1u));
   return entryOk && exitOk;

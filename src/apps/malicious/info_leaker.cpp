@@ -16,22 +16,22 @@ void InfoLeakerApp::init(ctrl::AppContext& context) { context_ = &context; }
 bool InfoLeakerApp::leak() {
   std::ostringstream stolen;
   auto topologyResponse = context_->api().readTopology();
-  if (topologyResponse.ok) {
-    stolen << "topology " << topologyResponse.value.toString() << "; links:";
-    for (const net::Link& link : topologyResponse.value.links()) {
+  if (topologyResponse.ok()) {
+    stolen << "topology " << topologyResponse.value().toString() << "; links:";
+    for (const net::Link& link : topologyResponse.value().links()) {
       stolen << " " << link.toString();
     }
     stolen << "; hosts:";
-    for (const net::Host& host : topologyResponse.value.hosts()) {
+    for (const net::Host& host : topologyResponse.value().hosts()) {
       stolen << " " << host.ip.toString() << "@" << host.dpid;
     }
-    for (of::DatapathId dpid : topologyResponse.value.switches()) {
+    for (of::DatapathId dpid : topologyResponse.value().switches()) {
       of::StatsRequest request;
       request.level = of::StatsLevel::kPort;
       request.dpid = dpid;
       auto statsResponse = context_->api().readStatistics(request);
-      if (statsResponse.ok) {
-        stolen << "; s" << dpid << " ports=" << statsResponse.value.ports.size();
+      if (statsResponse.ok()) {
+        stolen << "; s" << dpid << " ports=" << statsResponse.value().ports.size();
       }
     }
   } else {

@@ -15,8 +15,8 @@ void RouteHijackerApp::init(ctrl::AppContext& context) { context_ = &context; }
 
 bool RouteHijackerApp::hijack() {
   auto topologyResponse = context_->api().readTopology();
-  if (!topologyResponse.ok) return false;
-  const net::Topology& topology = topologyResponse.value;
+  if (!topologyResponse.ok()) return false;
+  const net::Topology& topology = topologyResponse.value();
   auto victim = topology.hostByIp(victimDstIp_);
   auto attacker = topology.hostByIp(attackerHostIp_);
   if (!victim || !attacker) return false;
@@ -40,7 +40,7 @@ bool RouteHijackerApp::hijack() {
       if (!port) continue;
       mod.actions.push_back(of::OutputAction{*port});
     }
-    if (context_->api().insertFlow(dpid, mod).ok) {
+    if (context_->api().insertFlow(dpid, mod).ok()) {
       installed_.fetch_add(1);
       any = true;
     } else {

@@ -35,7 +35,7 @@ void RstInjectorApp::onPacketIn(const ctrl::PacketInEvent& event) {
   out.packet = rst;
   out.fromPacketIn = false;  // Fabricated — the provenance check will agree.
   out.actions.push_back(of::OutputAction{packetIn.inPort});
-  if (context_->api().sendPacketOut(out).ok) {
+  if (context_->api().sendPacketOut(out).ok()) {
     rstsSent_.fetch_add(1);
   } else {
     denied_.fetch_add(1);

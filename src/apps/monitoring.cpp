@@ -16,19 +16,19 @@ void MonitoringApp::init(ctrl::AppContext& context) { context_ = &context; }
 
 bool MonitoringApp::collectAndReport() {
   auto topologyResponse = context_->api().readTopology();
-  if (!topologyResponse.ok) return false;
+  if (!topologyResponse.ok()) return false;
 
   std::ostringstream report;
-  report << "topology: " << topologyResponse.value.toString() << "\n";
-  for (of::DatapathId dpid : topologyResponse.value.switches()) {
+  report << "topology: " << topologyResponse.value().toString() << "\n";
+  for (of::DatapathId dpid : topologyResponse.value().switches()) {
     of::StatsRequest request;
     request.level = of::StatsLevel::kSwitch;
     request.dpid = dpid;
     auto statsResponse = context_->api().readStatistics(request);
-    if (!statsResponse.ok) continue;
+    if (!statsResponse.ok()) continue;
     report << "s" << dpid << ": flows="
-           << statsResponse.value.switchStats.activeFlows
-           << " lookups=" << statsResponse.value.switchStats.lookupCount
+           << statsResponse.value().switchStats.activeFlows
+           << " lookups=" << statsResponse.value().switchStats.lookupCount
            << "\n";
   }
   return context_->host().netSend(collectorIp_, collectorPort_, report.str());

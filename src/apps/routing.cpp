@@ -37,8 +37,8 @@ void ShortestPathRoutingApp::onPacketIn(const ctrl::PacketInEvent& event) {
   }
 
   auto topologyResponse = context_->api().readTopology();
-  if (!topologyResponse.ok) return;
-  const net::Topology& topology = topologyResponse.value;
+  if (!topologyResponse.ok()) return;
+  const net::Topology& topology = topologyResponse.value();
   std::optional<net::Host> dst = topology.hostByIp(*fields.ipDst);
   std::optional<net::Host> src;
   if (fields.ipSrc) src = topology.hostByIp(*fields.ipSrc);
@@ -60,7 +60,7 @@ void ShortestPathRoutingApp::onPacketIn(const ctrl::PacketInEvent& event) {
   match.ipDst = of::MaskedIpv4{*fields.ipDst};
   auto mods = ctrl::buildPathFlowMods(topology, *src, *dst, match, priority_);
   if (!mods) return;
-  if (context_->api().commitFlowTransaction(*mods).ok) {
+  if (context_->api().commitFlowTransaction(*mods).ok()) {
     paths_.fetch_add(1);
   }
 

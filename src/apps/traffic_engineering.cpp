@@ -25,11 +25,11 @@ void TrafficEngineeringApp::onCostMap(const ctrl::DataUpdateEvent& event) {
   // processed_ is bumped at the end: observers treat it as "update fully
   // reacted to, rules installed" (the Figure-6b measurement point).
   auto topologyResponse = context_->api().readTopology();
-  if (!topologyResponse.ok) {
+  if (!topologyResponse.ok()) {
     processed_.fetch_add(1);
     return;
   }
-  const net::Topology& topology = topologyResponse.value;
+  const net::Topology& topology = topologyResponse.value();
 
   // Refresh IP-pair routing rules along the (possibly changed) best paths.
   for (const auto& [srcIp, dstIp, hops] : decodeCostMap(event.payload)) {
@@ -44,7 +44,7 @@ void TrafficEngineeringApp::onCostMap(const ctrl::DataUpdateEvent& event) {
     auto mods = ctrl::buildPathFlowMods(topology, *src, *dst, match, priority_);
     if (!mods) continue;
     // Path rules are semantically one unit: install transactionally.
-    if (context_->api().commitFlowTransaction(*mods).ok) {
+    if (context_->api().commitFlowTransaction(*mods).ok()) {
       installed_.fetch_add(mods->size());
     }
   }

@@ -117,16 +117,54 @@ LatencyStats Generator::runLatency(std::size_t rounds,
   return stats;
 }
 
-ThroughputStats Generator::runThroughput(std::chrono::milliseconds duration) {
+std::size_t Generator::measureBurst(of::DatapathId dpid, std::size_t window,
+                                    std::chrono::milliseconds timeout) {
+  const Probe* probe = nullptr;
+  for (const Probe& candidate : probes_) {
+    if (candidate.dpid == dpid) {
+      probe = &candidate;
+      break;
+    }
+  }
+  if (probe == nullptr || window == 0) return 0;
+
+  auto sw = network_.switchAt(dpid);
+  of::FlowMatch expired;
+  expired.ethDst = probe->targetHost->mac();
+  std::size_t base = probe->targetHost->receivedCount();
+  of::Packet packet = of::Packet::makeTcp(
+      probe->probeHost->mac(), probe->targetHost->mac(),
+      probe->probeHost->ip(), probe->targetHost->ip(), 12345, 80,
+      of::tcpflags::kSyn);
+  // Each send is preceded by an expiry so every packet in the burst is a
+  // fresh flow arrival (miss -> packet-in -> flow-mod + packet-out), never
+  // a data-plane fast-path hit on the rule the previous round installed.
+  for (std::size_t i = 0; i < window; ++i) {
+    sw->expireFlows(expired);
+    probe->probeHost->send(packet);
+  }
+  if (probe->targetHost->waitForPackets(base + window, timeout)) return window;
+  std::size_t arrived = probe->targetHost->receivedCount();
+  return arrived > base ? arrived - base : 0;
+}
+
+ThroughputStats Generator::runThroughput(std::chrono::milliseconds duration,
+                                         std::size_t window) {
   std::atomic<std::uint64_t> responses{0};
   auto deadline = std::chrono::steady_clock::now() + duration;
   std::vector<std::thread> drivers;
   drivers.reserve(probes_.size());
   for (const Probe& probe : probes_) {
-    drivers.emplace_back([this, &probe, &responses, deadline] {
+    drivers.emplace_back([this, &probe, &responses, deadline, window] {
       while (std::chrono::steady_clock::now() < deadline) {
-        if (measureRound(probe.dpid, std::chrono::milliseconds(200))) {
-          responses.fetch_add(1, std::memory_order_relaxed);
+        if (window <= 1) {
+          if (measureRound(probe.dpid, std::chrono::milliseconds(200))) {
+            responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          responses.fetch_add(
+              measureBurst(probe.dpid, window, std::chrono::milliseconds(200)),
+              std::memory_order_relaxed);
         }
       }
     });

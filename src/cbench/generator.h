@@ -58,8 +58,17 @@ class Generator {
                               std::chrono::milliseconds(1000));
 
   /// Pressure mode: every switch runs rounds back-to-back in parallel for
-  /// the given duration.
-  ThroughputStats runThroughput(std::chrono::milliseconds duration);
+  /// the given duration. @p window > 1 sends that many flow arrivals
+  /// back-to-back before waiting for the responses, so a pipelined
+  /// controller (async northbound calls) can overlap the rounds; a
+  /// synchronous controller serves the burst one round-trip at a time.
+  ThroughputStats runThroughput(std::chrono::milliseconds duration,
+                                std::size_t window = 1);
+
+  /// One burst on one switch: @p window expire+send rounds back-to-back,
+  /// then one wait for all responses. Returns how many arrived in time.
+  std::size_t measureBurst(of::DatapathId dpid, std::size_t window,
+                           std::chrono::milliseconds timeout);
 
  private:
   struct Probe {

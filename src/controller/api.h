@@ -6,12 +6,20 @@
 //  * SDNShield: the isolation module's ApiProxy — calls marshal through the
 //    inter-thread channel to a Kernel Service Deputy which permission-checks
 //    and executes them.
+//
+// Failures are typed: every failure path carries an ApiErrc so callers (and
+// the audit log) can distinguish a permission denial from a transport
+// failure without matching on error strings.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "controller/event.h"
@@ -41,29 +49,182 @@ struct StatsReport {
   std::string toJson() const;
 };
 
-/// Outcome of a mutating API call.
-struct ApiResult {
-  bool ok = true;
-  std::string error;
+/// Why an API call failed. Each value names a distinct failure *source*:
+/// the permission engine, the transport (deputy channel), the switch, or
+/// the caller itself — audit records and supervision decisions key off the
+/// code, never off the human-readable detail text.
+enum class ApiErrc : std::uint8_t {
+  kOk = 0,
+  kPermissionDenied,    ///< The permission engine rejected the call.
+  kDeadlineExceeded,    ///< The deputy did not answer within the deadline.
+  kQueueFull,           ///< The deputy queue / in-flight window rejected it.
+  kTableFull,           ///< The switch flow table is at capacity.
+  kPoolStopped,         ///< The deputy pool has shut down.
+  kAppQuarantined,      ///< The calling app has been quarantined.
+  kInvalidArgument,     ///< Malformed request (unknown switch, bad node, ...).
+  kTransactionAborted,  ///< A flow transaction rolled back.
+};
 
-  static ApiResult success() { return {}; }
-  static ApiResult failure(std::string error) {
-    return ApiResult{false, std::move(error)};
+/// Stable identifier string for an ApiErrc (for logs and JSON exports).
+const char* toString(ApiErrc code);
+
+/// A typed API error: the machine-readable code plus free-form detail for
+/// humans. Only the code participates in control flow.
+struct ApiError {
+  ApiErrc code = ApiErrc::kInvalidArgument;
+  std::string detail;
+
+  std::string toString() const {
+    std::string out = sdnshield::ctrl::toString(code);
+    if (!detail.empty()) {
+      out += ": ";
+      out += detail;
+    }
+    return out;
   }
 };
 
-/// Outcome of a reading API call.
-template <typename T>
-struct ApiResponse {
-  bool ok = true;
-  std::string error;
-  T value{};
+/// Outcome of a mutating API call. Default-constructed == success; failures
+/// always carry an ApiErrc.
+class ApiResult {
+ public:
+  ApiResult() = default;
 
-  static ApiResponse success(T value) {
-    return ApiResponse{true, {}, std::move(value)};
+  static ApiResult success() { return {}; }
+  static ApiResult failure(ApiErrc code, std::string detail = {}) {
+    ApiResult r;
+    r.error_ = ApiError{code, std::move(detail)};
+    return r;
   }
-  static ApiResponse failure(std::string error) {
-    return ApiResponse{false, std::move(error), T{}};
+  static ApiResult failure(ApiError error) {
+    ApiResult r;
+    r.error_ = std::move(error);
+    return r;
+  }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// kOk when the call succeeded.
+  ApiErrc code() const { return error_ ? error_->code : ApiErrc::kOk; }
+
+  /// Precondition: !ok().
+  const ApiError& error() const { return *error_; }
+
+ private:
+  std::optional<ApiError> error_;
+};
+
+/// Outcome of a reading API call: expected-style — holds either a T or an
+/// ApiError, never a default-constructed T on failure.
+template <typename T>
+class ApiResponse {
+ public:
+  static ApiResponse success(T value) {
+    return ApiResponse(std::in_place_index<0>, std::move(value));
+  }
+  static ApiResponse failure(ApiErrc code, std::string detail = {}) {
+    return ApiResponse(std::in_place_index<1>,
+                       ApiError{code, std::move(detail)});
+  }
+  static ApiResponse failure(ApiError error) {
+    return ApiResponse(std::in_place_index<1>, std::move(error));
+  }
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  ApiErrc code() const {
+    return ok() ? ApiErrc::kOk : std::get<1>(state_).code;
+  }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<0>(state_); }
+  const T& value() const& { return std::get<0>(state_); }
+  T&& value() && { return std::get<0>(std::move(state_)); }
+
+  /// Precondition: !ok().
+  const ApiError& error() const { return std::get<1>(state_); }
+
+ private:
+  template <std::size_t I, typename U>
+  ApiResponse(std::in_place_index_t<I> tag, U&& v)
+      : state_(tag, std::forward<U>(v)) {}
+
+  std::variant<T, ApiError> state_;
+};
+
+/// A future-like handle to an asynchronous API call's eventual result.
+/// Returned by the *Async northbound calls so an app thread can keep several
+/// calls in flight (the §VI channel argument: choke points are not
+/// serialized points). One-shot: get() consumes the result. Abandoning the
+/// future (destroying it without get()) is safe — the in-flight slot it
+/// holds is released when the deputy-side task completes or is discarded.
+template <typename T>
+class ApiFuture {
+ public:
+  ApiFuture() = default;
+
+  /// An already-completed future (the synchronous baseline path).
+  static ApiFuture ready(T value) {
+    ApiFuture f;
+    f.ready_ = std::move(value);
+    f.valid_ = true;
+    return f;
+  }
+
+  /// A pending future: wait() blocks until the result is available (or the
+  /// call's deadline passes, in which case it yields a typed failure);
+  /// poll() reports readiness without blocking.
+  ApiFuture(std::function<T()> wait, std::function<bool()> poll)
+      : wait_(std::move(wait)), poll_(std::move(poll)), valid_(true) {}
+
+  /// False for default-constructed or already-consumed futures.
+  bool valid() const { return valid_; }
+
+  /// True once get() would not block.
+  bool isReady() const {
+    if (!valid_) return false;
+    if (ready_.has_value()) return true;
+    return poll_ ? poll_() : true;
+  }
+
+  /// Blocks until the result is available and consumes it. At the call's
+  /// deadline the deputy path resolves the future with kDeadlineExceeded
+  /// rather than blocking forever. Calling get() twice throws.
+  T get() {
+    if (!valid_) throw std::logic_error("ApiFuture::get on invalid future");
+    valid_ = false;
+    if (ready_.has_value()) {
+      T out = std::move(*ready_);
+      ready_.reset();
+      return out;
+    }
+    auto wait = std::move(wait_);
+    wait_ = nullptr;
+    poll_ = nullptr;
+    return wait();
+  }
+
+ private:
+  std::optional<T> ready_;
+  std::function<T()> wait_;
+  std::function<bool()> poll_;
+  bool valid_ = false;
+};
+
+/// Opaque handle to an event subscription; returned by every
+/// AppContext::subscribe* call and accepted by unsubscribe(). Value 0 is
+/// reserved as "no subscription".
+struct SubscriptionId {
+  std::uint64_t value = 0;
+
+  explicit operator bool() const { return value != 0; }
+  friend bool operator==(SubscriptionId a, SubscriptionId b) {
+    return a.value == b.value;
+  }
+  friend bool operator!=(SubscriptionId a, SubscriptionId b) {
+    return a.value != b.value;
   }
 };
 
@@ -73,11 +234,26 @@ class NorthboundApi {
   virtual ~NorthboundApi() = default;
 
   virtual ApiResult insertFlow(of::DatapathId dpid, const of::FlowMod& mod) = 0;
+  /// Vectorized insert: permission context is resolved once and the mods are
+  /// applied to the switch as one batch (single sorted merge in the flow
+  /// table). Not transactional — admitted mods are applied even if a later
+  /// mod in the batch fails; the result reports the first failure.
+  /// Semantically equivalent to calling insertFlow sequentially.
+  virtual ApiResult insertFlows(of::DatapathId dpid,
+                                const std::vector<of::FlowMod>& mods) = 0;
   virtual ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
                                bool strict, std::uint16_t priority) = 0;
   /// Atomically installs a group of rules (§VI-B.2); all-or-nothing.
   virtual ApiResult commitFlowTransaction(
       const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) = 0;
+
+  // Asynchronous variants: submit the call and return immediately with a
+  // future. Under SDNShield the call is queued to the deputy pool subject to
+  // the app's bounded in-flight window; the baseline completes inline.
+  virtual ApiFuture<ApiResult> insertFlowAsync(of::DatapathId dpid,
+                                               const of::FlowMod& mod) = 0;
+  virtual ApiFuture<ApiResult> sendPacketOutAsync(
+      const of::PacketOut& packetOut) = 0;
 
   virtual ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
       of::DatapathId dpid) = 0;
@@ -120,24 +296,30 @@ class AppContext {
 
   // Event subscriptions. In the SDNShield deployment the subscription call
   // itself is permission-checked (event tokens) and handlers run on the
-  // app's own thread.
-  virtual ApiResult subscribePacketIn(
+  // app's own thread. Each successful subscription yields a SubscriptionId
+  // usable with unsubscribe(); teardown paths (supervisor quarantine, app
+  // unload) no longer need to reach into subscription internals.
+  virtual ApiResponse<SubscriptionId> subscribePacketIn(
       std::function<void(const PacketInEvent&)> handler) = 0;
   /// Interceptor registration: the handler may consume the packet-in
   /// (return true) before plain observers see it. Requires the
   /// EVENT_INTERCEPTION callback capability under SDNShield; runs
   /// synchronously on the dispatch path under the app's identity.
-  virtual ApiResult subscribePacketInInterceptor(
+  virtual ApiResponse<SubscriptionId> subscribePacketInInterceptor(
       std::function<bool(const PacketInEvent&)> handler) = 0;
-  virtual ApiResult subscribeFlowEvents(
+  virtual ApiResponse<SubscriptionId> subscribeFlowEvents(
       std::function<void(const FlowEvent&)> handler) = 0;
-  virtual ApiResult subscribeTopologyEvents(
+  virtual ApiResponse<SubscriptionId> subscribeTopologyEvents(
       std::function<void(const TopologyEvent&)> handler) = 0;
-  virtual ApiResult subscribeErrorEvents(
+  virtual ApiResponse<SubscriptionId> subscribeErrorEvents(
       std::function<void(const ErrorEvent&)> handler) = 0;
-  virtual ApiResult subscribeData(
+  virtual ApiResponse<SubscriptionId> subscribeData(
       const std::string& topic,
       std::function<void(const DataUpdateEvent&)> handler) = 0;
+
+  /// Removes a previous subscription by this app. Fails with
+  /// kInvalidArgument if the id is unknown or owned by another app.
+  virtual ApiResult unsubscribe(SubscriptionId id) = 0;
 };
 
 /// A controller application. Apps carry their requested permission manifest

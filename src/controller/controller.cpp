@@ -38,6 +38,30 @@ const DispatchMetrics& dispatchMetrics() {
 
 }  // namespace
 
+const char* toString(ApiErrc code) {
+  switch (code) {
+    case ApiErrc::kOk:
+      return "ok";
+    case ApiErrc::kPermissionDenied:
+      return "permission_denied";
+    case ApiErrc::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ApiErrc::kQueueFull:
+      return "queue_full";
+    case ApiErrc::kTableFull:
+      return "table_full";
+    case ApiErrc::kPoolStopped:
+      return "pool_stopped";
+    case ApiErrc::kAppQuarantined:
+      return "app_quarantined";
+    case ApiErrc::kInvalidArgument:
+      return "invalid_argument";
+    case ApiErrc::kTransactionAborted:
+      return "transaction_aborted";
+  }
+  return "unknown";
+}
+
 void Controller::deliver(const Subscriber& subscriber, const Event& event) {
   // Fault containment on the dispatch path: a throwing handler (inline in
   // the baseline deployment, or a failing sink wrapper in the shielded one)
@@ -143,6 +167,26 @@ void Controller::onPacketIn(const of::PacketIn& packetIn) {
     interceptors = packetInInterceptors_;
     subscribers = packetInSubscribers_;
   }
+  dispatchPacketIn(packetIn, interceptors, subscribers);
+}
+
+void Controller::onPacketIns(const std::vector<of::PacketIn>& batch) {
+  if (batch.empty()) return;
+  std::vector<Interceptor> interceptors;
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    interceptors = packetInInterceptors_;
+    subscribers = packetInSubscribers_;
+  }
+  for (const of::PacketIn& packetIn : batch) {
+    dispatchPacketIn(packetIn, interceptors, subscribers);
+  }
+}
+
+void Controller::dispatchPacketIn(const of::PacketIn& packetIn,
+                                  const std::vector<Interceptor>& interceptors,
+                                  const std::vector<Subscriber>& subscribers) {
   Event event{PacketInEvent{packetIn}};
   for (const Interceptor& interceptor : interceptors) {
     try {
@@ -173,10 +217,12 @@ void Controller::onFlowRemoved(const of::FlowRemoved& removed) {
   for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
 }
 
-void Controller::addPacketInInterceptor(of::AppId app,
-                                        EventInterceptor interceptor) {
+SubscriptionId Controller::addPacketInInterceptor(of::AppId app,
+                                                  EventInterceptor interceptor) {
+  SubscriptionId id = nextSubscriptionId();
   std::lock_guard lock(mutex_);
-  packetInInterceptors_.push_back(Interceptor{app, std::move(interceptor)});
+  packetInInterceptors_.push_back(Interceptor{id, app, std::move(interceptor)});
+  return id;
 }
 
 void Controller::onSwitchError(const of::ErrorMsg& error) {
@@ -192,12 +238,14 @@ void Controller::onSwitchError(const of::ErrorMsg& error) {
 ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
                                        const of::FlowMod& mod) {
   std::shared_ptr<SwitchConn> conn = switchConn(dpid);
-  if (!conn) return ApiResult::failure("unknown switch");
+  if (!conn) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument, "unknown switch");
+  }
   of::FlowMod stamped = mod;
   stamped.cookie = issuer;
   if (!conn->applyFlowMod(stamped)) {
     onSwitchError(of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
-    return ApiResult::failure("flow table full");
+    return ApiResult::failure(ApiErrc::kTableFull, "flow table full");
   }
   bool modify = mod.command == of::FlowModCommand::kModify ||
                 mod.command == of::FlowModCommand::kModifyStrict;
@@ -214,11 +262,50 @@ ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
   return ApiResult::success();
 }
 
+ApiResult Controller::kernelInsertFlows(of::AppId issuer, of::DatapathId dpid,
+                                        const std::vector<of::FlowMod>& mods) {
+  if (mods.empty()) return ApiResult::success();
+  std::shared_ptr<SwitchConn> conn = switchConn(dpid);
+  if (!conn) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument, "unknown switch");
+  }
+  std::vector<of::FlowMod> stamped = mods;
+  for (of::FlowMod& mod : stamped) mod.cookie = issuer;
+  std::vector<bool> applied = conn->applyFlowMods(stamped);
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = flowSubscribers_;
+  }
+  ApiResult result = ApiResult::success();
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    if (i < applied.size() && !applied[i]) {
+      onSwitchError(
+          of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
+      if (result.ok()) {
+        result = ApiResult::failure(ApiErrc::kTableFull, "flow table full");
+      }
+      continue;
+    }
+    const of::FlowMod& mod = mods[i];
+    bool modify = mod.command == of::FlowModCommand::kModify ||
+                  mod.command == of::FlowModCommand::kModifyStrict;
+    if (!modify) ownership_.recordInsert(issuer, dpid, mod.match, mod.priority);
+    Event event{FlowEvent{
+        dpid, modify ? FlowChange::kModified : FlowChange::kInstalled,
+        mod.match, mod.priority, issuer}};
+    for (const Subscriber& subscriber : subscribers) deliver(subscriber, event);
+  }
+  return result;
+}
+
 ApiResult Controller::kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
                                        const of::FlowMatch& match, bool strict,
                                        std::uint16_t priority) {
   std::shared_ptr<SwitchConn> conn = switchConn(dpid);
-  if (!conn) return ApiResult::failure("unknown switch");
+  if (!conn) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument, "unknown switch");
+  }
   of::FlowMod mod;
   mod.command =
       strict ? of::FlowModCommand::kDeleteStrict : of::FlowModCommand::kDelete;
@@ -242,7 +329,8 @@ ApiResponse<std::vector<of::FlowEntry>> Controller::kernelReadFlowTable(
     of::DatapathId dpid) const {
   std::shared_ptr<SwitchConn> conn = switchConn(dpid);
   if (!conn) {
-    return ApiResponse<std::vector<of::FlowEntry>>::failure("unknown switch");
+    return ApiResponse<std::vector<of::FlowEntry>>::failure(
+        ApiErrc::kInvalidArgument, "unknown switch");
   }
   return ApiResponse<std::vector<of::FlowEntry>>::success(conn->dumpFlows());
 }
@@ -255,13 +343,18 @@ net::Topology Controller::kernelReadTopology() const {
 ApiResponse<of::StatsReply> Controller::kernelReadStatistics(
     const of::StatsRequest& request) const {
   std::shared_ptr<SwitchConn> conn = switchConn(request.dpid);
-  if (!conn) return ApiResponse<of::StatsReply>::failure("unknown switch");
+  if (!conn) {
+    return ApiResponse<of::StatsReply>::failure(ApiErrc::kInvalidArgument,
+                                                "unknown switch");
+  }
   return ApiResponse<of::StatsReply>::success(conn->queryStats(request));
 }
 
 ApiResult Controller::kernelSendPacketOut(const of::PacketOut& packetOut) {
   std::shared_ptr<SwitchConn> conn = switchConn(packetOut.dpid);
-  if (!conn) return ApiResult::failure("unknown switch");
+  if (!conn) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument, "unknown switch");
+  }
   conn->transmitPacket(packetOut);
   return ApiResult::success();
 }
@@ -280,30 +373,70 @@ void Controller::kernelPublishData(of::AppId publisher,
   }
 }
 
-void Controller::addPacketInSubscriber(of::AppId app, EventSink sink) {
-  std::lock_guard lock(mutex_);
-  packetInSubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+SubscriptionId Controller::nextSubscriptionId() {
+  return SubscriptionId{
+      subscriptionSeq_.fetch_add(1, std::memory_order_relaxed) + 1};
 }
 
-void Controller::addFlowSubscriber(of::AppId app, EventSink sink) {
+SubscriptionId Controller::addPacketInSubscriber(of::AppId app,
+                                                 EventSink sink) {
+  SubscriptionId id = nextSubscriptionId();
   std::lock_guard lock(mutex_);
-  flowSubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+  packetInSubscribers_.push_back(Subscriber{id, app, std::move(sink), {}});
+  return id;
 }
 
-void Controller::addTopologySubscriber(of::AppId app, EventSink sink) {
+SubscriptionId Controller::addFlowSubscriber(of::AppId app, EventSink sink) {
+  SubscriptionId id = nextSubscriptionId();
   std::lock_guard lock(mutex_);
-  topologySubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+  flowSubscribers_.push_back(Subscriber{id, app, std::move(sink), {}});
+  return id;
 }
 
-void Controller::addErrorSubscriber(of::AppId app, EventSink sink) {
+SubscriptionId Controller::addTopologySubscriber(of::AppId app,
+                                                 EventSink sink) {
+  SubscriptionId id = nextSubscriptionId();
   std::lock_guard lock(mutex_);
-  errorSubscribers_.push_back(Subscriber{app, std::move(sink), {}});
+  topologySubscribers_.push_back(Subscriber{id, app, std::move(sink), {}});
+  return id;
 }
 
-void Controller::addDataSubscriber(of::AppId app, const std::string& topic,
-                                   EventSink sink) {
+SubscriptionId Controller::addErrorSubscriber(of::AppId app, EventSink sink) {
+  SubscriptionId id = nextSubscriptionId();
   std::lock_guard lock(mutex_);
-  dataSubscribers_.push_back(Subscriber{app, std::move(sink), topic});
+  errorSubscribers_.push_back(Subscriber{id, app, std::move(sink), {}});
+  return id;
+}
+
+SubscriptionId Controller::addDataSubscriber(of::AppId app,
+                                             const std::string& topic,
+                                             EventSink sink) {
+  SubscriptionId id = nextSubscriptionId();
+  std::lock_guard lock(mutex_);
+  dataSubscribers_.push_back(Subscriber{id, app, std::move(sink), topic});
+  return id;
+}
+
+bool Controller::removeSubscription(SubscriptionId id,
+                                    std::optional<of::AppId> owner) {
+  if (!id) return false;
+  std::lock_guard lock(mutex_);
+  auto matches = [&](SubscriptionId subId, of::AppId subApp) {
+    return subId == id && (!owner.has_value() || *owner == subApp);
+  };
+  auto dropFrom = [&](std::vector<Subscriber>& list) {
+    return std::erase_if(list, [&](const Subscriber& sub) {
+             return matches(sub.id, sub.app);
+           }) > 0;
+  };
+  if (dropFrom(packetInSubscribers_) || dropFrom(flowSubscribers_) ||
+      dropFrom(topologySubscribers_) || dropFrom(errorSubscribers_) ||
+      dropFrom(dataSubscribers_)) {
+    return true;
+  }
+  return std::erase_if(packetInInterceptors_, [&](const Interceptor& i) {
+           return matches(i.id, i.app);
+         }) > 0;
 }
 
 void Controller::removeSubscribers(of::AppId app) {

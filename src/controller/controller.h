@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,16 @@ class SwitchConn {
 
   virtual of::DatapathId dpid() const = 0;
   virtual bool applyFlowMod(const of::FlowMod& mod) = 0;
+  /// Applies a batch of flow mods; element i of the result is the outcome of
+  /// mods[i]. Semantically equivalent to applying each mod in order — the
+  /// default does exactly that; implementations may override to take their
+  /// table lock once and merge sorted runs (SimSwitch does).
+  virtual std::vector<bool> applyFlowMods(const std::vector<of::FlowMod>& mods) {
+    std::vector<bool> out;
+    out.reserve(mods.size());
+    for (const of::FlowMod& mod : mods) out.push_back(applyFlowMod(mod));
+    return out;
+  }
   virtual void transmitPacket(const of::PacketOut& packetOut) = 0;
   virtual std::vector<of::FlowEntry> dumpFlows() const = 0;
   virtual of::StatsReply queryStats(const of::StatsRequest& request) const = 0;
@@ -49,6 +60,10 @@ class Controller {
   /// the EVENT_INTERCEPTION capability) run first, in registration order; a
   /// consumed packet-in is not delivered to plain observers.
   void onPacketIn(const of::PacketIn& packetIn);
+  /// Batched packet-in delivery: snapshots the interceptor/subscriber lists
+  /// once for the whole batch instead of once per packet. Semantics per
+  /// packet are identical to onPacketIn.
+  void onPacketIns(const std::vector<of::PacketIn>& batch);
   void onSwitchError(const of::ErrorMsg& error);
   /// Idle/hard timeout expiry notification from a switch.
   void onFlowRemoved(const of::FlowRemoved& removed);
@@ -56,6 +71,12 @@ class Controller {
   // --- kernel operations (no permission checks here) -----------------------
   ApiResult kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
                              const of::FlowMod& mod);
+  /// Batched insert: one southbound applyFlowMods call, one subscriber
+  /// snapshot for the whole batch. Not transactional — each mod lands or
+  /// fails independently; returns the first failure (or success). Equivalent
+  /// to calling kernelInsertFlow per mod in order.
+  ApiResult kernelInsertFlows(of::AppId issuer, of::DatapathId dpid,
+                              const std::vector<of::FlowMod>& mods);
   ApiResult kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
                              const of::FlowMatch& match, bool strict,
                              std::uint16_t priority);
@@ -71,18 +92,27 @@ class Controller {
   // --- event subscription ----------------------------------------------------
   // The sink decides the execution context: the baseline deployment invokes
   // the app handler inline; the SDNShield deployment posts to the app thread.
-  void addPacketInSubscriber(of::AppId app, EventSink sink);
+  // Every registration returns a SubscriptionId usable with
+  // removeSubscription; removeSubscribers(app) drops all of an app's
+  // registrations at once (quarantine / unload).
+  SubscriptionId addPacketInSubscriber(of::AppId app, EventSink sink);
   /// An interceptor sees packet-ins before observers and may consume them
   /// (return true). Requires the EVENT_INTERCEPTION callback capability in
   /// the SDNShield deployment; interceptors run synchronously on the
   /// dispatch path (interception is inherently a synchronous decision).
   using EventInterceptor = std::function<bool(const Event&)>;
-  void addPacketInInterceptor(of::AppId app, EventInterceptor interceptor);
-  void addFlowSubscriber(of::AppId app, EventSink sink);
-  void addTopologySubscriber(of::AppId app, EventSink sink);
-  void addErrorSubscriber(of::AppId app, EventSink sink);
-  void addDataSubscriber(of::AppId app, const std::string& topic,
-                         EventSink sink);
+  SubscriptionId addPacketInInterceptor(of::AppId app,
+                                        EventInterceptor interceptor);
+  SubscriptionId addFlowSubscriber(of::AppId app, EventSink sink);
+  SubscriptionId addTopologySubscriber(of::AppId app, EventSink sink);
+  SubscriptionId addErrorSubscriber(of::AppId app, EventSink sink);
+  SubscriptionId addDataSubscriber(of::AppId app, const std::string& topic,
+                                   EventSink sink);
+  /// Removes one registration by id. When `owner` is set, a mismatched owner
+  /// refuses the removal (an app cannot cancel another app's subscription).
+  /// Returns false if the id is unknown (or owned by someone else).
+  bool removeSubscription(SubscriptionId id,
+                          std::optional<of::AppId> owner = std::nullopt);
   void removeSubscribers(of::AppId app);
 
   // --- observability --------------------------------------------------------
@@ -106,6 +136,7 @@ class Controller {
 
  private:
   struct Subscriber {
+    SubscriptionId id;
     of::AppId app = 0;
     EventSink sink;
     std::string topic;  // Data subscribers only.
@@ -113,13 +144,19 @@ class Controller {
 
   std::vector<Subscriber> snapshot(const std::vector<Subscriber>& list) const;
   void emitTopologyEvent(const TopologyEvent& event);
+  struct Interceptor;
+  void dispatchPacketIn(const of::PacketIn& packetIn,
+                        const std::vector<Interceptor>& interceptors,
+                        const std::vector<Subscriber>& subscribers);
   /// Invokes a subscriber sink with fault containment.
   void deliver(const Subscriber& subscriber, const Event& event);
+  SubscriptionId nextSubscriptionId();
 
   mutable std::mutex mutex_;
   std::map<of::DatapathId, std::shared_ptr<SwitchConn>> switches_;
   net::Topology topology_;
   struct Interceptor {
+    SubscriptionId id;
     of::AppId app = 0;
     EventInterceptor intercept;
   };
@@ -130,6 +167,7 @@ class Controller {
   std::vector<Subscriber> topologySubscribers_;
   std::vector<Subscriber> errorSubscribers_;
   std::vector<Subscriber> dataSubscribers_;
+  std::atomic<std::uint64_t> subscriptionSeq_{0};
   engine::OwnershipTracker ownership_;
   engine::AuditLog audit_;
   std::atomic<std::uint64_t> dispatchFaults_{0};

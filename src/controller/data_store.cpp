@@ -96,7 +96,7 @@ ApiResult DataStore::write(of::AppId app, const std::string& path,
                            std::string value) {
   engine::Decision decision = check(app, path, /*forWrite=*/true);
   if (!decision.allowed) {
-    return ApiResult::failure("permission denied: " + decision.reason);
+    return ApiResult::failure(ApiErrc::kPermissionDenied, decision.reason);
   }
   std::vector<Subscription> toNotify;
   {
@@ -118,13 +118,14 @@ ApiResponse<std::string> DataStore::read(of::AppId app,
                                          const std::string& path) const {
   engine::Decision decision = check(app, path, /*forWrite=*/false);
   if (!decision.allowed) {
-    return ApiResponse<std::string>::failure("permission denied: " +
+    return ApiResponse<std::string>::failure(ApiErrc::kPermissionDenied,
                                              decision.reason);
   }
   std::lock_guard lock(mutex_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) {
-    return ApiResponse<std::string>::failure("no such data node: " + path);
+    return ApiResponse<std::string>::failure(ApiErrc::kInvalidArgument,
+                                             "no such data node: " + path);
   }
   return ApiResponse<std::string>::success(it->second);
 }
@@ -134,7 +135,7 @@ ApiResponse<std::vector<std::string>> DataStore::list(
   engine::Decision decision = check(app, prefix, /*forWrite=*/false);
   if (!decision.allowed) {
     return ApiResponse<std::vector<std::string>>::failure(
-        "permission denied: " + decision.reason);
+        ApiErrc::kPermissionDenied, decision.reason);
   }
   std::lock_guard lock(mutex_);
   std::vector<std::string> out;
@@ -148,7 +149,7 @@ ApiResult DataStore::subscribe(of::AppId app, std::string prefix,
                                ChangeHandler handler) {
   engine::Decision decision = check(app, prefix, /*forWrite=*/false);
   if (!decision.allowed) {
-    return ApiResult::failure("permission denied: " + decision.reason);
+    return ApiResult::failure(ApiErrc::kPermissionDenied, decision.reason);
   }
   std::lock_guard lock(mutex_);
   subscriptions_.push_back(

@@ -17,6 +17,24 @@ class RecordingContext::RecordingApi final : public NorthboundApi {
     return inner_.insertFlow(dpid, mod);
   }
 
+  ApiResult insertFlows(of::DatapathId dpid,
+                        const std::vector<of::FlowMod>& mods) override {
+    for (const of::FlowMod& mod : mods) owner_.noteFlowMod(mod);
+    return inner_.insertFlows(dpid, mods);
+  }
+
+  ApiFuture<ApiResult> insertFlowAsync(of::DatapathId dpid,
+                                       const of::FlowMod& mod) override {
+    owner_.noteFlowMod(mod);
+    return inner_.insertFlowAsync(dpid, mod);
+  }
+
+  ApiFuture<ApiResult> sendPacketOutAsync(
+      const of::PacketOut& packetOut) override {
+    owner_.notePacketOut(packetOut);
+    return inner_.sendPacketOutAsync(packetOut);
+  }
+
   ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
                        bool strict, std::uint16_t priority) override {
     owner_.note(Token::kDeleteFlow);
@@ -104,41 +122,45 @@ of::AppId RecordingContext::appId() const { return inner_.appId(); }
 NorthboundApi& RecordingContext::api() { return *api_; }
 HostServices& RecordingContext::host() { return *host_; }
 
-ApiResult RecordingContext::subscribePacketIn(
+ApiResponse<SubscriptionId> RecordingContext::subscribePacketIn(
     std::function<void(const PacketInEvent&)> handler) {
   note(Token::kPktInEvent);
   return inner_.subscribePacketIn(std::move(handler));
 }
 
-ApiResult RecordingContext::subscribePacketInInterceptor(
+ApiResponse<SubscriptionId> RecordingContext::subscribePacketInInterceptor(
     std::function<bool(const PacketInEvent&)> handler) {
   note(Token::kPktInEvent);
   return inner_.subscribePacketInInterceptor(std::move(handler));
 }
 
-ApiResult RecordingContext::subscribeFlowEvents(
+ApiResponse<SubscriptionId> RecordingContext::subscribeFlowEvents(
     std::function<void(const FlowEvent&)> handler) {
   note(Token::kFlowEvent);
   return inner_.subscribeFlowEvents(std::move(handler));
 }
 
-ApiResult RecordingContext::subscribeTopologyEvents(
+ApiResponse<SubscriptionId> RecordingContext::subscribeTopologyEvents(
     std::function<void(const TopologyEvent&)> handler) {
   note(Token::kTopologyEvent);
   return inner_.subscribeTopologyEvents(std::move(handler));
 }
 
-ApiResult RecordingContext::subscribeErrorEvents(
+ApiResponse<SubscriptionId> RecordingContext::subscribeErrorEvents(
     std::function<void(const ErrorEvent&)> handler) {
   note(Token::kErrorEvent);
   return inner_.subscribeErrorEvents(std::move(handler));
 }
 
-ApiResult RecordingContext::subscribeData(
+ApiResponse<SubscriptionId> RecordingContext::subscribeData(
     const std::string& topic,
     std::function<void(const DataUpdateEvent&)> handler) {
   note(Token::kTopologyEvent);
   return inner_.subscribeData(topic, std::move(handler));
+}
+
+ApiResult RecordingContext::unsubscribe(SubscriptionId id) {
+  return inner_.unsubscribe(id);
 }
 
 perm::PermissionSet RecordingContext::recordedPermissions() const {

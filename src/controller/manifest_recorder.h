@@ -27,19 +27,20 @@ class RecordingContext final : public AppContext {
   NorthboundApi& api() override;
   HostServices& host() override;
 
-  ApiResult subscribePacketIn(
+  ApiResponse<SubscriptionId> subscribePacketIn(
       std::function<void(const PacketInEvent&)> handler) override;
-  ApiResult subscribePacketInInterceptor(
+  ApiResponse<SubscriptionId> subscribePacketInInterceptor(
       std::function<bool(const PacketInEvent&)> handler) override;
-  ApiResult subscribeFlowEvents(
+  ApiResponse<SubscriptionId> subscribeFlowEvents(
       std::function<void(const FlowEvent&)> handler) override;
-  ApiResult subscribeTopologyEvents(
+  ApiResponse<SubscriptionId> subscribeTopologyEvents(
       std::function<void(const TopologyEvent&)> handler) override;
-  ApiResult subscribeErrorEvents(
+  ApiResponse<SubscriptionId> subscribeErrorEvents(
       std::function<void(const ErrorEvent&)> handler) override;
-  ApiResult subscribeData(
+  ApiResponse<SubscriptionId> subscribeData(
       const std::string& topic,
       std::function<void(const DataUpdateEvent&)> handler) override;
+  ApiResult unsubscribe(SubscriptionId id) override;
 
   /// The minimum permission set covering everything observed so far:
   ///  * only tokens that were actually exercised;

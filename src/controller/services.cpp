@@ -28,6 +28,11 @@ ApiResult DirectApi::insertFlow(of::DatapathId dpid, const of::FlowMod& mod) {
   return controller_.kernelInsertFlow(app_, dpid, mod);
 }
 
+ApiResult DirectApi::insertFlows(of::DatapathId dpid,
+                                 const std::vector<of::FlowMod>& mods) {
+  return controller_.kernelInsertFlows(app_, dpid, mods);
+}
+
 ApiResult DirectApi::deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
                                 bool strict, std::uint16_t priority) {
   return controller_.kernelDeleteFlow(app_, dpid, match, strict, priority);
@@ -40,9 +45,21 @@ ApiResult DirectApi::commitFlowTransaction(
   // exactly the intermediate-state hazard §VI-B.2 describes).
   for (const auto& [dpid, mod] : mods) {
     ApiResult result = controller_.kernelInsertFlow(app_, dpid, mod);
-    if (!result.ok) return result;
+    if (!result.ok()) return result;
   }
   return ApiResult::success();
+}
+
+ApiFuture<ApiResult> DirectApi::insertFlowAsync(of::DatapathId dpid,
+                                                const of::FlowMod& mod) {
+  // The monolithic baseline has no channel to pipeline over: the call
+  // completes inline and the future is born ready.
+  return ApiFuture<ApiResult>::ready(insertFlow(dpid, mod));
+}
+
+ApiFuture<ApiResult> DirectApi::sendPacketOutAsync(
+    const of::PacketOut& packetOut) {
+  return ApiFuture<ApiResult>::ready(sendPacketOut(packetOut));
 }
 
 ApiResponse<std::vector<of::FlowEntry>> DirectApi::readFlowTable(
@@ -85,49 +102,55 @@ Controller::EventSink makeSink(Handler handler) {
 
 }  // namespace
 
-ApiResult DirectContext::subscribePacketIn(
+ApiResponse<SubscriptionId> DirectContext::subscribePacketIn(
     std::function<void(const PacketInEvent&)> handler) {
-  controller_.addPacketInSubscriber(app_,
-                                    makeSink<PacketInEvent>(std::move(handler)));
-  return ApiResult::success();
+  SubscriptionId id = controller_.addPacketInSubscriber(
+      app_, makeSink<PacketInEvent>(std::move(handler)));
+  return ApiResponse<SubscriptionId>::success(id);
 }
 
-ApiResult DirectContext::subscribePacketInInterceptor(
+ApiResponse<SubscriptionId> DirectContext::subscribePacketInInterceptor(
     std::function<bool(const PacketInEvent&)> handler) {
-  controller_.addPacketInInterceptor(
+  SubscriptionId id = controller_.addPacketInInterceptor(
       app_, [handler = std::move(handler)](const Event& event) {
         const auto* typed = std::get_if<PacketInEvent>(&event);
         return typed != nullptr && handler(*typed);
       });
-  return ApiResult::success();
+  return ApiResponse<SubscriptionId>::success(id);
 }
 
-ApiResult DirectContext::subscribeFlowEvents(
+ApiResponse<SubscriptionId> DirectContext::subscribeFlowEvents(
     std::function<void(const FlowEvent&)> handler) {
-  controller_.addFlowSubscriber(app_, makeSink<FlowEvent>(std::move(handler)));
-  return ApiResult::success();
+  SubscriptionId id =
+      controller_.addFlowSubscriber(app_, makeSink<FlowEvent>(std::move(handler)));
+  return ApiResponse<SubscriptionId>::success(id);
 }
 
-ApiResult DirectContext::subscribeTopologyEvents(
+ApiResponse<SubscriptionId> DirectContext::subscribeTopologyEvents(
     std::function<void(const TopologyEvent&)> handler) {
-  controller_.addTopologySubscriber(
+  SubscriptionId id = controller_.addTopologySubscriber(
       app_, makeSink<TopologyEvent>(std::move(handler)));
-  return ApiResult::success();
+  return ApiResponse<SubscriptionId>::success(id);
 }
 
-ApiResult DirectContext::subscribeErrorEvents(
+ApiResponse<SubscriptionId> DirectContext::subscribeErrorEvents(
     std::function<void(const ErrorEvent&)> handler) {
-  controller_.addErrorSubscriber(app_,
-                                 makeSink<ErrorEvent>(std::move(handler)));
-  return ApiResult::success();
+  SubscriptionId id = controller_.addErrorSubscriber(
+      app_, makeSink<ErrorEvent>(std::move(handler)));
+  return ApiResponse<SubscriptionId>::success(id);
 }
 
-ApiResult DirectContext::subscribeData(
+ApiResponse<SubscriptionId> DirectContext::subscribeData(
     const std::string& topic,
     std::function<void(const DataUpdateEvent&)> handler) {
-  controller_.addDataSubscriber(app_, topic,
-                                makeSink<DataUpdateEvent>(std::move(handler)));
-  return ApiResult::success();
+  SubscriptionId id = controller_.addDataSubscriber(
+      app_, topic, makeSink<DataUpdateEvent>(std::move(handler)));
+  return ApiResponse<SubscriptionId>::success(id);
+}
+
+ApiResult DirectContext::unsubscribe(SubscriptionId id) {
+  if (controller_.removeSubscription(id, app_)) return ApiResult::success();
+  return ApiResult::failure(ApiErrc::kInvalidArgument, "unknown subscription");
 }
 
 }  // namespace sdnshield::ctrl

@@ -29,10 +29,16 @@ class DirectApi final : public NorthboundApi {
       : controller_(controller), app_(app) {}
 
   ApiResult insertFlow(of::DatapathId dpid, const of::FlowMod& mod) override;
+  ApiResult insertFlows(of::DatapathId dpid,
+                        const std::vector<of::FlowMod>& mods) override;
   ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
                        bool strict, std::uint16_t priority) override;
   ApiResult commitFlowTransaction(
       const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) override;
+  ApiFuture<ApiResult> insertFlowAsync(of::DatapathId dpid,
+                                       const of::FlowMod& mod) override;
+  ApiFuture<ApiResult> sendPacketOutAsync(
+      const of::PacketOut& packetOut) override;
   ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
       of::DatapathId dpid) override;
   ApiResponse<net::Topology> readTopology() override;
@@ -60,19 +66,20 @@ class DirectContext final : public AppContext {
   NorthboundApi& api() override { return api_; }
   HostServices& host() override { return host_; }
 
-  ApiResult subscribePacketIn(
+  ApiResponse<SubscriptionId> subscribePacketIn(
       std::function<void(const PacketInEvent&)> handler) override;
-  ApiResult subscribePacketInInterceptor(
+  ApiResponse<SubscriptionId> subscribePacketInInterceptor(
       std::function<bool(const PacketInEvent&)> handler) override;
-  ApiResult subscribeFlowEvents(
+  ApiResponse<SubscriptionId> subscribeFlowEvents(
       std::function<void(const FlowEvent&)> handler) override;
-  ApiResult subscribeTopologyEvents(
+  ApiResponse<SubscriptionId> subscribeTopologyEvents(
       std::function<void(const TopologyEvent&)> handler) override;
-  ApiResult subscribeErrorEvents(
+  ApiResponse<SubscriptionId> subscribeErrorEvents(
       std::function<void(const ErrorEvent&)> handler) override;
-  ApiResult subscribeData(
+  ApiResponse<SubscriptionId> subscribeData(
       const std::string& topic,
       std::function<void(const DataUpdateEvent&)> handler) override;
+  ApiResult unsubscribe(SubscriptionId id) override;
 
  private:
   Controller& controller_;

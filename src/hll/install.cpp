@@ -35,7 +35,7 @@ InstallReport installPolicy(engine::PermissionEngine& engine,
     // policy carries no ownership annotations at all).
     of::AppId issuer =
         rule.owners.empty() ? of::kKernelAppId : *rule.owners.begin();
-    if (controller.kernelInsertFlow(issuer, dpid, mods[i]).ok) {
+    if (controller.kernelInsertFlow(issuer, dpid, mods[i]).ok()) {
       ++report.installed;
     }
   }

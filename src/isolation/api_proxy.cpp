@@ -40,15 +40,23 @@ namespace {
 
 /// Shared deny shape for ApiResult-returning calls.
 ctrl::ApiResult denied(const engine::Decision& decision) {
-  return ctrl::ApiResult::failure("permission denied: " + decision.reason);
+  return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                  decision.reason);
 }
 
 /// Runs @p work on a deputy under the runtime's call deadline, converting
-/// channel failures (hung deputy, stopped or saturated pool, dropped call)
-/// into failed API responses instead of letting exceptions escape into app
-/// code. Deadline misses are audited as faults against the calling app.
+/// channel failures (hung deputy, saturated queue, dropped call) into typed
+/// failed API responses instead of letting exceptions escape into app code —
+/// each transport failure gets its own ApiErrc, so audit consumers can tell
+/// a deputy-side permission denial (kPermissionDenied, recorded by the
+/// deputy body) from a transport failure (kDeadlineExceeded / kQueueFull /
+/// kPoolStopped, recorded here as faults). Calls from a quarantined app
+/// fail fast with kAppQuarantined without touching the channel.
 template <typename R>
 R viaDeputy(ShieldRuntime& runtime, of::AppId app, std::function<R()> work) {
+  if (runtime.isQuarantined(app)) {
+    return R::failure(ctrl::ApiErrc::kAppQuarantined, "app is quarantined");
+  }
   try {
     return runtime.ksd().call<R>(std::move(work),
                                  runtime.options().ksdCallTimeout);
@@ -57,10 +65,89 @@ R viaDeputy(ShieldRuntime& runtime, of::AppId app, std::function<R()> work) {
   } catch (const DeadlineExceeded& error) {
     runtime.controller().audit().recordFault(
         app, std::string("api call: ") + error.what());
-    return R::failure(std::string("deputy unavailable: ") + error.what());
+    return R::failure(ctrl::ApiErrc::kDeadlineExceeded, error.what());
+  } catch (const QueueSaturated& error) {
+    runtime.controller().audit().recordFault(
+        app, std::string("api call: ") + error.what());
+    return R::failure(ctrl::ApiErrc::kQueueFull, error.what());
+  } catch (const CallDropped& error) {
+    return R::failure(ctrl::ApiErrc::kPoolStopped, error.what());
   } catch (const std::exception& error) {
-    return R::failure(std::string("deputy unavailable: ") + error.what());
+    // Anything else escaping the channel (e.g. an injected fault at the
+    // ksd.call site) means the deputy path is unavailable for this call.
+    return R::failure(ctrl::ApiErrc::kPoolStopped,
+                      std::string("deputy unavailable: ") + error.what());
   }
+}
+
+/// Asynchronous counterpart of viaDeputy: acquires a slot in the app's
+/// bounded in-flight window, queues @p work and returns an ApiFuture that
+/// resolves with the deputy's result — or a typed failure at the call's
+/// absolute deadline (captured at submission, so pipelined calls don't each
+/// restart the clock at get() time). The slot is released by an RAII guard
+/// owned by the queued task: completion, fault and discard paths all free
+/// it, including when the app abandons the future.
+template <typename R>
+ctrl::ApiFuture<R> submitViaDeputy(ShieldRuntime& runtime, of::AppId app,
+                                   std::function<R()> work) {
+  if (runtime.isQuarantined(app)) {
+    return ctrl::ApiFuture<R>::ready(
+        R::failure(ctrl::ApiErrc::kAppQuarantined, "app is quarantined"));
+  }
+  std::shared_ptr<InFlightWindow> window = runtime.inFlightWindow(app);
+  if (!window->acquireFor(runtime.options().ksdCallTimeout)) {
+    recordKsdQueueReject();
+    runtime.controller().audit().recordFault(
+        app, "api call: in-flight window full past the deadline");
+    return ctrl::ApiFuture<R>::ready(
+        R::failure(ctrl::ApiErrc::kQueueFull, "in-flight window full"));
+  }
+  std::shared_ptr<void> slot(static_cast<void*>(nullptr),
+                             [window](void*) { window->release(); });
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() + runtime.options().ksdCallTimeout;
+  std::int64_t startNs = obs::Tracer::nowNs();
+  std::shared_ptr<std::future<R>> future;
+  try {
+    future = std::make_shared<std::future<R>>(
+        runtime.ksd().template submitFuture<R>(std::move(work), slot));
+  } catch (const PoolStopped&) {
+    throw;  // Same post-shutdown contract as the synchronous path.
+  } catch (const QueueSaturated& error) {
+    runtime.controller().audit().recordFault(
+        app, std::string("api call: ") + error.what());
+    return ctrl::ApiFuture<R>::ready(
+        R::failure(ctrl::ApiErrc::kQueueFull, error.what()));
+  } catch (const std::exception& error) {
+    return ctrl::ApiFuture<R>::ready(
+        R::failure(ctrl::ApiErrc::kPoolStopped,
+                   std::string("deputy unavailable: ") + error.what()));
+  }
+  auto wait = [&runtime, app, future, deadline, startNs]() -> R {
+    if (future->wait_until(deadline) != std::future_status::ready) {
+      recordKsdDeadlineMiss();
+      runtime.controller().audit().recordFault(
+          app, "api call: async KSD call missed its deadline");
+      return R::failure(ctrl::ApiErrc::kDeadlineExceeded,
+                        "KSD call missed its deadline");
+    }
+    try {
+      R result = future->get();
+      recordKsdCall(obs::Tracer::nowNs() - startNs);
+      return result;
+    } catch (const std::future_error&) {
+      return R::failure(ctrl::ApiErrc::kPoolStopped,
+                        "deputy dropped the call");
+    } catch (const std::exception& error) {
+      return R::failure(ctrl::ApiErrc::kPoolStopped,
+                        std::string("deputy unavailable: ") + error.what());
+    }
+  };
+  auto poll = [future] {
+    return future->wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  return ctrl::ApiFuture<R>(std::move(wait), std::move(poll));
 }
 
 }  // namespace
@@ -69,7 +156,8 @@ ctrl::ApiResult ShieldedApi::doInsertFlow(of::DatapathId dpid,
                                           const of::FlowMod& mod) {
   auto compiled = runtime_.engine().compiled(app_);
   if (!compiled) {
-    return ctrl::ApiResult::failure("permission denied: app not installed");
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                    "app not installed");
   }
   engine::OwnershipTracker& ownership = runtime_.controller().ownership();
   perm::ApiCall call = perm::ApiCall::insertFlow(app_, dpid, mod);
@@ -92,28 +180,108 @@ ctrl::ApiResult ShieldedApi::doInsertFlow(of::DatapathId dpid,
   if (dpid == kVirtualDpid) {
     auto vtopo = runtime_.virtualTopologyFor(app_);
     if (!vtopo) {
-      return ctrl::ApiResult::failure("no virtual topology granted");
+      return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                      "no virtual topology granted");
     }
     std::vector<std::pair<of::DatapathId, of::FlowMod>> physical;
     try {
       physical = vtopo->translateFlowMod(mod);
     } catch (const std::invalid_argument& error) {
-      return ctrl::ApiResult::failure(error.what());
+      return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                      error.what());
     }
     for (const auto& [physDpid, physMod] : physical) {
       ctrl::ApiResult result =
           runtime_.controller().kernelInsertFlow(app_, physDpid, physMod);
-      if (!result.ok) return result;
+      if (!result.ok()) return result;
     }
     return ctrl::ApiResult::success();
   }
   return runtime_.controller().kernelInsertFlow(app_, dpid, mod);
 }
 
+ctrl::ApiResult ShieldedApi::doInsertFlows(of::DatapathId dpid,
+                                           const std::vector<of::FlowMod>& mods) {
+  if (mods.empty()) return ctrl::ApiResult::success();
+  // The permission context — compiled program and base rule count — is
+  // resolved once for the whole batch; per-mod checks reuse it with the
+  // running count of adds admitted so far (what the count would be had the
+  // mods been applied sequentially).
+  auto compiled = runtime_.engine().compiled(app_);
+  if (!compiled) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                    "app not installed");
+  }
+  if (dpid == kVirtualDpid) {
+    // Virtual-big-switch rules expand per mod; batching stops at the
+    // translation boundary.
+    ctrl::ApiResult result = ctrl::ApiResult::success();
+    for (const of::FlowMod& mod : mods) {
+      ctrl::ApiResult one = doInsertFlow(dpid, mod);
+      if (!one.ok() && result.ok()) result = one;
+    }
+    return result;
+  }
+  engine::OwnershipTracker& ownership = runtime_.controller().ownership();
+  std::size_t baseCount = ownership.countFor(app_, dpid);
+  std::size_t pendingAdds = 0;
+  std::vector<of::FlowMod> admitted;
+  admitted.reserve(mods.size());
+  ctrl::ApiResult result = ctrl::ApiResult::success();
+  for (const of::FlowMod& mod : mods) {
+    perm::ApiCall call = perm::ApiCall::insertFlow(app_, dpid, mod);
+    bool isModify = mod.command == of::FlowModCommand::kModify ||
+                    mod.command == of::FlowModCommand::kModifyStrict;
+    // Own-flow attributes against pre-batch state: earlier mods in the batch
+    // only add the caller's own rules, which cannot make a later add
+    // override a *foreign* flow.
+    call.ownFlow =
+        isModify
+            ? ownership.ownsAllMatching(app_, dpid, mod.match)
+            : !ownership.overridesForeignFlow(app_, dpid, mod.match,
+                                              mod.priority);
+    call.ruleCountAfter = baseCount + pendingAdds + (isModify ? 0 : 1);
+    engine::Decision decision = compiled->check(call);
+    runtime_.controller().audit().record(call, decision.allowed,
+                                         decision.reason);
+    if (!decision.allowed) {
+      if (result.ok()) result = denied(decision);
+      continue;
+    }
+    if (!isModify) ++pendingAdds;
+    admitted.push_back(mod);
+  }
+  if (!admitted.empty()) {
+    ctrl::ApiResult applied =
+        runtime_.controller().kernelInsertFlows(app_, dpid, admitted);
+    if (!applied.ok() && result.ok()) result = applied;
+  }
+  return result;
+}
+
 ctrl::ApiResult ShieldedApi::insertFlow(of::DatapathId dpid,
                                         const of::FlowMod& mod) {
   return viaDeputy<ctrl::ApiResult>(
       runtime_, app_, [this, dpid, mod] { return doInsertFlow(dpid, mod); });
+}
+
+ctrl::ApiResult ShieldedApi::insertFlows(of::DatapathId dpid,
+                                         const std::vector<of::FlowMod>& mods) {
+  return viaDeputy<ctrl::ApiResult>(
+      runtime_, app_, [this, dpid, mods] { return doInsertFlows(dpid, mods); });
+}
+
+ctrl::ApiFuture<ctrl::ApiResult> ShieldedApi::insertFlowAsync(
+    of::DatapathId dpid, const of::FlowMod& mod) {
+  return submitViaDeputy<ctrl::ApiResult>(
+      runtime_, app_, [this, dpid, mod] { return doInsertFlow(dpid, mod); });
+}
+
+ctrl::ApiFuture<ctrl::ApiResult> ShieldedApi::sendPacketOutAsync(
+    const of::PacketOut& packetOut) {
+  return submitViaDeputy<ctrl::ApiResult>(
+      runtime_, app_,
+      [this, packetOut] { return doSendPacketOut(packetOut); });
 }
 
 ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
@@ -123,7 +291,8 @@ ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
                                                      strict, priority] {
     auto compiled = runtime_.engine().compiled(app_);
     if (!compiled) {
-      return ctrl::ApiResult::failure("permission denied: app not installed");
+      return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                      "app not installed");
     }
     perm::ApiCall call = perm::ApiCall::deleteFlow(
         app_, dpid, match,
@@ -138,7 +307,8 @@ ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
     if (dpid == kVirtualDpid) {
       auto vtopo = runtime_.virtualTopologyFor(app_);
       if (!vtopo) {
-        return ctrl::ApiResult::failure("no virtual topology granted");
+        return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                        "no virtual topology granted");
       }
       of::FlowMod vdelete;
       vdelete.command = strict ? of::FlowModCommand::kDeleteStrict
@@ -149,7 +319,8 @@ ctrl::ApiResult ShieldedApi::deleteFlow(of::DatapathId dpid,
       try {
         shards = vtopo->translateFlowMod(vdelete);
       } catch (const std::invalid_argument& error) {
-        return ctrl::ApiResult::failure(error.what());
+        return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                        error.what());
       }
       for (const auto& [shardDpid, shardMod] : shards) {
         runtime_.controller().kernelDeleteFlow(app_, shardDpid, shardMod.match,
@@ -181,7 +352,7 @@ ctrl::ApiResult ShieldedApi::commitFlowTransaction(
           [this, capturedDpid, capturedMod] {
             return runtime_.controller()
                 .kernelInsertFlow(app_, capturedDpid, capturedMod)
-                .ok;
+                .ok();
           },
           [this, capturedDpid, capturedMod] {
             runtime_.controller().kernelDeleteFlow(
@@ -192,8 +363,9 @@ ctrl::ApiResult ShieldedApi::commitFlowTransaction(
     engine::TxResult result = transaction.commit(runtime_.engine());
     if (!result.committed) {
       return ctrl::ApiResult::failure(
-          "transaction aborted at operation " +
-          std::to_string(result.failedIndex) + ": " + result.failureReason);
+          ctrl::ApiErrc::kTransactionAborted,
+          "aborted at operation " + std::to_string(result.failedIndex) + ": " +
+              result.failureReason);
     }
     return ctrl::ApiResult::success();
   });
@@ -210,15 +382,16 @@ ctrl::ApiResponse<std::vector<of::FlowEntry>> ShieldedApi::readFlowTable(
     runtime_.controller().audit().record(call, tokenOk,
                                          tokenOk ? "" : "missing token");
     if (!tokenOk) {
-      return Response::failure("permission denied: read_flow_table");
+      return Response::failure(ctrl::ApiErrc::kPermissionDenied,
+                               "read_flow_table");
     }
     auto response = runtime_.controller().kernelReadFlowTable(dpid);
-    if (!response.ok) return response;
+    if (!response.ok()) return response;
     // Entry-level visibility filtering: each entry is labelled by the same
     // compiled filter program, with its own match/ownership attributes.
     engine::OwnershipTracker& ownership = runtime_.controller().ownership();
     std::vector<of::FlowEntry> visible;
-    for (of::FlowEntry& entry : response.value) {
+    for (of::FlowEntry& entry : response.value()) {
       perm::ApiCall entryCall = perm::ApiCall::readFlowTable(app_, dpid);
       entryCall.match = entry.match;
       entryCall.priority = entry.priority;
@@ -243,7 +416,8 @@ ctrl::ApiResponse<net::Topology> ShieldedApi::readTopology() {
     runtime_.controller().audit().record(call, decision.allowed,
                                          decision.reason);
     if (!decision.allowed) {
-      return Response::failure("permission denied: " + decision.reason);
+      return Response::failure(ctrl::ApiErrc::kPermissionDenied,
+                               decision.reason);
     }
     net::Topology topology = runtime_.controller().kernelReadTopology();
     // Virtual abstraction wins over plain projection when both are present.
@@ -282,13 +456,17 @@ ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
     runtime_.controller().audit().record(call, decision.allowed,
                                          decision.reason);
     if (!decision.allowed) {
-      return Response::failure("permission denied: " + decision.reason);
+      return Response::failure(ctrl::ApiErrc::kPermissionDenied,
+                               decision.reason);
     }
 
     // Virtual big switch: query members and aggregate (§VI-B.1).
     if (request.dpid == kVirtualDpid) {
       auto vtopo = runtime_.virtualTopologyFor(app_);
-      if (!vtopo) return Response::failure("no virtual topology granted");
+      if (!vtopo) {
+        return Response::failure(ctrl::ApiErrc::kPermissionDenied,
+                                 "no virtual topology granted");
+      }
       of::StatsReply aggregate;
       aggregate.level = request.level;
       aggregate.dpid = kVirtualDpid;
@@ -299,13 +477,13 @@ ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
         memberRequest.dpid = member;
         auto response =
             runtime_.controller().kernelReadStatistics(memberRequest);
-        if (!response.ok) continue;
-        memberStats.push_back(response.value.switchStats);
-        memberFlows.insert(memberFlows.end(), response.value.flows.begin(),
-                           response.value.flows.end());
+        if (!response.ok()) continue;
+        memberStats.push_back(response.value().switchStats);
+        memberFlows.insert(memberFlows.end(), response.value().flows.begin(),
+                           response.value().flows.end());
         aggregate.ports.insert(aggregate.ports.end(),
-                               response.value.ports.begin(),
-                               response.value.ports.end());
+                               response.value().ports.begin(),
+                               response.value().ports.end());
       }
       aggregate.switchStats = vtopo->aggregateSwitchStats(memberStats);
       aggregate.flows = vtopo->aggregateFlowStats(memberFlows);
@@ -313,13 +491,13 @@ ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
     }
 
     auto response = runtime_.controller().kernelReadStatistics(request);
-    if (!response.ok || request.level != of::StatsLevel::kFlow) {
+    if (!response.ok() || request.level != of::StatsLevel::kFlow) {
       return response;
     }
     // Flow-level: project the reply through the per-entry filter.
     engine::OwnershipTracker& ownership = runtime_.controller().ownership();
     std::vector<of::FlowStatsEntry> visible;
-    for (of::FlowStatsEntry& entry : response.value.flows) {
+    for (of::FlowStatsEntry& entry : response.value().flows) {
       perm::ApiCall entryCall = call;
       entryCall.match = entry.match;
       entryCall.priority = entry.priority;
@@ -329,41 +507,48 @@ ctrl::ApiResponse<of::StatsReply> ShieldedApi::readStatistics(
         visible.push_back(std::move(entry));
       }
     }
-    response.value.flows = std::move(visible);
+    response.value().flows = std::move(visible);
     return response;
   });
 }
 
+ctrl::ApiResult ShieldedApi::doSendPacketOut(const of::PacketOut& packetOut) {
+  auto compiled = runtime_.engine().compiled(app_);
+  if (!compiled) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                    "app not installed");
+  }
+  of::PacketOut verified = packetOut;
+  // Provenance is established by the deputy, not trusted from the app: the
+  // packet must byte-match one recently delivered to this app as a
+  // packet-in (FROM_PKT_IN filter input).
+  verified.fromPacketIn = recent_ && recent_->seen(packetOut.packet);
+  perm::ApiCall call = perm::ApiCall::sendPacketOut(app_, verified);
+  engine::Decision decision = compiled->check(call);
+  runtime_.controller().audit().record(call, decision.allowed,
+                                       decision.reason);
+  if (!decision.allowed) return denied(decision);
+  if (verified.dpid == kVirtualDpid) {
+    auto vtopo = runtime_.virtualTopologyFor(app_);
+    if (!vtopo) {
+      return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied,
+                                      "no virtual topology granted");
+    }
+    try {
+      auto [physDpid, physOut] = vtopo->translatePacketOut(verified);
+      return runtime_.controller().kernelSendPacketOut(physOut);
+    } catch (const std::invalid_argument& error) {
+      return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                      error.what());
+    }
+  }
+  return runtime_.controller().kernelSendPacketOut(verified);
+}
+
 ctrl::ApiResult ShieldedApi::sendPacketOut(const of::PacketOut& packetOut) {
-  return viaDeputy<ctrl::ApiResult>(runtime_, app_, [this, packetOut] {
-    auto compiled = runtime_.engine().compiled(app_);
-    if (!compiled) {
-      return ctrl::ApiResult::failure("permission denied: app not installed");
-    }
-    of::PacketOut verified = packetOut;
-    // Provenance is established by the deputy, not trusted from the app: the
-    // packet must byte-match one recently delivered to this app as a
-    // packet-in (FROM_PKT_IN filter input).
-    verified.fromPacketIn = recent_ && recent_->seen(packetOut.packet);
-    perm::ApiCall call = perm::ApiCall::sendPacketOut(app_, verified);
-    engine::Decision decision = compiled->check(call);
-    runtime_.controller().audit().record(call, decision.allowed,
-                                         decision.reason);
-    if (!decision.allowed) return denied(decision);
-    if (verified.dpid == kVirtualDpid) {
-      auto vtopo = runtime_.virtualTopologyFor(app_);
-      if (!vtopo) {
-        return ctrl::ApiResult::failure("no virtual topology granted");
-      }
-      try {
-        auto [physDpid, physOut] = vtopo->translatePacketOut(verified);
-        return runtime_.controller().kernelSendPacketOut(physOut);
-      } catch (const std::invalid_argument& error) {
-        return ctrl::ApiResult::failure(error.what());
-      }
-    }
-    return runtime_.controller().kernelSendPacketOut(verified);
-  });
+  return viaDeputy<ctrl::ApiResult>(
+      runtime_, app_,
+      [this, packetOut] { return doSendPacketOut(packetOut); });
 }
 
 ctrl::ApiResult ShieldedApi::publishData(const std::string& topic,
@@ -403,7 +588,8 @@ ctrl::ApiResponse<ctrl::StatsReport> ShieldedApi::statsReport() {
     runtime_.controller().audit().record(call, decision.allowed,
                                          decision.reason);
     if (!decision.allowed) {
-      return Response::failure("permission denied: " + decision.reason);
+      return Response::failure(ctrl::ApiErrc::kPermissionDenied,
+                               decision.reason);
     }
     return Response::success(runtime_.controller().statsReport());
   });
@@ -440,16 +626,17 @@ ctrl::ApiResult checkSubscribe(ShieldRuntime& runtime, of::AppId app,
 
 }  // namespace
 
-ctrl::ApiResult ShieldedContext::subscribePacketIn(
+ctrl::ApiResponse<ctrl::SubscriptionId> ShieldedContext::subscribePacketIn(
     std::function<void(const ctrl::PacketInEvent&)> handler) {
+  using Response = ctrl::ApiResponse<ctrl::SubscriptionId>;
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribePacketIn);
-  if (!checked.ok) return checked;
+  if (!checked.ok()) return Response::failure(checked.error());
   ShieldRuntime& runtime = runtime_;
   of::AppId app = app_;
   auto container = container_;
   auto recent = recent_;
-  runtime_.controller().addPacketInSubscriber(
+  ctrl::SubscriptionId id = runtime_.controller().addPacketInSubscriber(
       app_, [&runtime, app, container, recent,
              handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::PacketInEvent>(&event);
@@ -468,11 +655,13 @@ ctrl::ApiResult ShieldedContext::subscribePacketIn(
           runtime.supervisor().recordEventDrop(app);
         }
       });
-  return ctrl::ApiResult::success();
+  return Response::success(id);
 }
 
-ctrl::ApiResult ShieldedContext::subscribePacketInInterceptor(
+ctrl::ApiResponse<ctrl::SubscriptionId>
+ShieldedContext::subscribePacketInInterceptor(
     std::function<bool(const ctrl::PacketInEvent&)> handler) {
+  using Response = ctrl::ApiResponse<ctrl::SubscriptionId>;
   // Interception is a stronger privilege than observation: the subscribe
   // call carries CallbackOp::kIntercept, which the EVENT_INTERCEPTION
   // callback filter must admit.
@@ -487,7 +676,7 @@ ctrl::ApiResult ShieldedContext::subscribePacketInInterceptor(
         if (!decision.allowed) return denied(decision);
         return ctrl::ApiResult::success();
       });
-  if (!checked.ok) return checked;
+  if (!checked.ok()) return Response::failure(checked.error());
   ShieldRuntime& runtime = runtime_;
   of::AppId app = app_;
   auto recent = recent_;
@@ -495,7 +684,7 @@ ctrl::ApiResult ShieldedContext::subscribePacketInInterceptor(
   // gates delivery to other apps), so the handler runs on the dispatch
   // thread — under the app's ambient identity, so host calls made from it
   // are still attributed and mediated correctly.
-  runtime_.controller().addPacketInInterceptor(
+  ctrl::SubscriptionId id = runtime_.controller().addPacketInInterceptor(
       app_, [&runtime, app, recent,
              handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::PacketInEvent>(&event);
@@ -509,18 +698,19 @@ ctrl::ApiResult ShieldedContext::subscribePacketInInterceptor(
         ScopedIdentity identity(app);
         return handler(delivered);
       });
-  return ctrl::ApiResult::success();
+  return Response::success(id);
 }
 
-ctrl::ApiResult ShieldedContext::subscribeFlowEvents(
+ctrl::ApiResponse<ctrl::SubscriptionId> ShieldedContext::subscribeFlowEvents(
     std::function<void(const ctrl::FlowEvent&)> handler) {
+  using Response = ctrl::ApiResponse<ctrl::SubscriptionId>;
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribeFlowEvent);
-  if (!checked.ok) return checked;
+  if (!checked.ok()) return Response::failure(checked.error());
   ShieldRuntime& runtime = runtime_;
   of::AppId app = app_;
   auto container = container_;
-  runtime_.controller().addFlowSubscriber(
+  ctrl::SubscriptionId id = runtime_.controller().addFlowSubscriber(
       app_, [&runtime, app, container,
              handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::FlowEvent>(&event);
@@ -542,18 +732,20 @@ ctrl::ApiResult ShieldedContext::subscribeFlowEvents(
           runtime.supervisor().recordEventDrop(app);
         }
       });
-  return ctrl::ApiResult::success();
+  return Response::success(id);
 }
 
-ctrl::ApiResult ShieldedContext::subscribeTopologyEvents(
+ctrl::ApiResponse<ctrl::SubscriptionId>
+ShieldedContext::subscribeTopologyEvents(
     std::function<void(const ctrl::TopologyEvent&)> handler) {
+  using Response = ctrl::ApiResponse<ctrl::SubscriptionId>;
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribeTopologyEvent);
-  if (!checked.ok) return checked;
+  if (!checked.ok()) return Response::failure(checked.error());
   ShieldRuntime& runtime = runtime_;
   of::AppId app = app_;
   auto container = container_;
-  runtime_.controller().addTopologySubscriber(
+  ctrl::SubscriptionId id = runtime_.controller().addTopologySubscriber(
       app_, [&runtime, app, container,
              handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::TopologyEvent>(&event);
@@ -575,18 +767,19 @@ ctrl::ApiResult ShieldedContext::subscribeTopologyEvents(
           runtime.supervisor().recordEventDrop(app);
         }
       });
-  return ctrl::ApiResult::success();
+  return Response::success(id);
 }
 
-ctrl::ApiResult ShieldedContext::subscribeErrorEvents(
+ctrl::ApiResponse<ctrl::SubscriptionId> ShieldedContext::subscribeErrorEvents(
     std::function<void(const ctrl::ErrorEvent&)> handler) {
+  using Response = ctrl::ApiResponse<ctrl::SubscriptionId>;
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribeErrorEvent);
-  if (!checked.ok) return checked;
+  if (!checked.ok()) return Response::failure(checked.error());
   ShieldRuntime& runtime = runtime_;
   of::AppId app = app_;
   auto container = container_;
-  runtime_.controller().addErrorSubscriber(
+  ctrl::SubscriptionId id = runtime_.controller().addErrorSubscriber(
       app_, [&runtime, app, container,
              handler = std::move(handler)](const ctrl::Event& event) {
         const auto* typed = std::get_if<ctrl::ErrorEvent>(&event);
@@ -596,21 +789,22 @@ ctrl::ApiResult ShieldedContext::subscribeErrorEvents(
           runtime.supervisor().recordEventDrop(app);
         }
       });
-  return ctrl::ApiResult::success();
+  return Response::success(id);
 }
 
-ctrl::ApiResult ShieldedContext::subscribeData(
+ctrl::ApiResponse<ctrl::SubscriptionId> ShieldedContext::subscribeData(
     const std::string& topic,
     std::function<void(const ctrl::DataUpdateEvent&)> handler) {
+  using Response = ctrl::ApiResponse<ctrl::SubscriptionId>;
   // Data-model event notification is mediated under topology_event (the
   // published data is network-view data; see publishData).
   ctrl::ApiResult checked = checkSubscribe(
       runtime_, app_, perm::ApiCallType::kSubscribeTopologyEvent);
-  if (!checked.ok) return checked;
+  if (!checked.ok()) return Response::failure(checked.error());
   ShieldRuntime& runtime = runtime_;
   of::AppId app = app_;
   auto container = container_;
-  runtime_.controller().addDataSubscriber(
+  ctrl::SubscriptionId id = runtime_.controller().addDataSubscriber(
       app_, topic,
       [&runtime, app, container,
        handler = std::move(handler)](const ctrl::Event& event) {
@@ -621,6 +815,15 @@ ctrl::ApiResult ShieldedContext::subscribeData(
           runtime.supervisor().recordEventDrop(app);
         }
       });
+  return Response::success(id);
+}
+
+ctrl::ApiResult ShieldedContext::unsubscribe(ctrl::SubscriptionId id) {
+  // Ownership-checked: an app can only cancel its own subscriptions.
+  if (!runtime_.controller().removeSubscription(id, app_)) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                    "unknown subscription");
+  }
   return ctrl::ApiResult::success();
 }
 
@@ -630,7 +833,7 @@ ShieldRuntime::ShieldRuntime(ctrl::Controller& controller,
                              ShieldOptions options)
     : controller_(controller),
       options_(options),
-      ksd_(options.ksdThreads, options.ksdCallTimeout),
+      ksd_(options.ksdThreads, options.ksdCallTimeout, options.ksdBatchMax),
       supervisor_(options.supervisor),
       monitor_(host_, &engine_, &controller.audit()) {
   supervisor_.setQuarantineHook(
@@ -783,6 +986,21 @@ std::shared_ptr<ThreadContainer> ShieldRuntime::container(
   std::lock_guard lock(mutex_);
   auto it = apps_.find(app);
   return it == apps_.end() ? nullptr : it->second.container;
+}
+
+std::shared_ptr<InFlightWindow> ShieldRuntime::inFlightWindow(of::AppId app) {
+  std::lock_guard lock(mutex_);
+  std::shared_ptr<InFlightWindow>& window = windows_[app];
+  if (!window) {
+    window = std::make_shared<InFlightWindow>(
+        options_.asyncWindow == 0 ? 1 : options_.asyncWindow);
+  }
+  return window;
+}
+
+bool ShieldRuntime::isQuarantined(of::AppId app) const {
+  std::shared_ptr<ThreadContainer> appContainer = container(app);
+  return appContainer != nullptr && appContainer->quarantined();
 }
 
 std::optional<net::VirtualTopology> ShieldRuntime::virtualTopologyFor(

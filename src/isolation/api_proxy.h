@@ -65,10 +65,16 @@ class ShieldedApi final : public ctrl::NorthboundApi {
 
   ctrl::ApiResult insertFlow(of::DatapathId dpid,
                              const of::FlowMod& mod) override;
+  ctrl::ApiResult insertFlows(of::DatapathId dpid,
+                              const std::vector<of::FlowMod>& mods) override;
   ctrl::ApiResult deleteFlow(of::DatapathId dpid, const of::FlowMatch& match,
                              bool strict, std::uint16_t priority) override;
   ctrl::ApiResult commitFlowTransaction(
       const std::vector<std::pair<of::DatapathId, of::FlowMod>>& mods) override;
+  ctrl::ApiFuture<ctrl::ApiResult> insertFlowAsync(
+      of::DatapathId dpid, const of::FlowMod& mod) override;
+  ctrl::ApiFuture<ctrl::ApiResult> sendPacketOutAsync(
+      const of::PacketOut& packetOut) override;
   ctrl::ApiResponse<std::vector<of::FlowEntry>> readFlowTable(
       of::DatapathId dpid) override;
   ctrl::ApiResponse<net::Topology> readTopology() override;
@@ -84,6 +90,12 @@ class ShieldedApi final : public ctrl::NorthboundApi {
 
   /// Deputy-side bodies (run with kernel privilege on a KSD thread).
   ctrl::ApiResult doInsertFlow(of::DatapathId dpid, const of::FlowMod& mod);
+  /// Batched deputy body: the permission context (compiled program, base
+  /// rule count) is resolved once for the whole batch, then admitted mods
+  /// go to the kernel as one vectorized insert.
+  ctrl::ApiResult doInsertFlows(of::DatapathId dpid,
+                                const std::vector<of::FlowMod>& mods);
+  ctrl::ApiResult doSendPacketOut(const of::PacketOut& packetOut);
 
   ShieldRuntime& runtime_;
   of::AppId app_;
@@ -99,19 +111,20 @@ class ShieldedContext final : public ctrl::AppContext {
   ctrl::NorthboundApi& api() override { return api_; }
   ctrl::HostServices& host() override;
 
-  ctrl::ApiResult subscribePacketIn(
+  ctrl::ApiResponse<ctrl::SubscriptionId> subscribePacketIn(
       std::function<void(const ctrl::PacketInEvent&)> handler) override;
-  ctrl::ApiResult subscribePacketInInterceptor(
+  ctrl::ApiResponse<ctrl::SubscriptionId> subscribePacketInInterceptor(
       std::function<bool(const ctrl::PacketInEvent&)> handler) override;
-  ctrl::ApiResult subscribeFlowEvents(
+  ctrl::ApiResponse<ctrl::SubscriptionId> subscribeFlowEvents(
       std::function<void(const ctrl::FlowEvent&)> handler) override;
-  ctrl::ApiResult subscribeTopologyEvents(
+  ctrl::ApiResponse<ctrl::SubscriptionId> subscribeTopologyEvents(
       std::function<void(const ctrl::TopologyEvent&)> handler) override;
-  ctrl::ApiResult subscribeErrorEvents(
+  ctrl::ApiResponse<ctrl::SubscriptionId> subscribeErrorEvents(
       std::function<void(const ctrl::ErrorEvent&)> handler) override;
-  ctrl::ApiResult subscribeData(
+  ctrl::ApiResponse<ctrl::SubscriptionId> subscribeData(
       const std::string& topic,
       std::function<void(const ctrl::DataUpdateEvent&)> handler) override;
+  ctrl::ApiResult unsubscribe(ctrl::SubscriptionId id) override;
 
  private:
   ShieldRuntime& runtime_;
@@ -128,6 +141,12 @@ struct ShieldOptions {
   std::chrono::milliseconds ksdCallTimeout = KsdPool::kDefaultCallTimeout;
   /// Per-app event/task queue bound (backpressure horizon).
   std::size_t appQueueCapacity = 4096;
+  /// Max asynchronous API calls one app may keep in flight (the *Async
+  /// northbound calls); the next submission past the window blocks up to
+  /// ksdCallTimeout, then fails with kQueueFull.
+  std::size_t asyncWindow = 32;
+  /// Max queued requests a deputy drains per wakeup (KsdPool batching).
+  std::size_t ksdBatchMax = KsdPool::kDefaultBatchMax;
   /// Starts the supervision watchdog (health states + hang detection).
   bool supervise = true;
   SupervisorOptions supervisor;
@@ -188,6 +207,13 @@ class ShieldRuntime {
   ReferenceMonitor& referenceMonitor() { return monitor_; }
   std::shared_ptr<ThreadContainer> container(of::AppId app) const;
 
+  /// The app's bounded async-call window (created on first use; survives
+  /// quarantine so futures already in flight can still resolve).
+  std::shared_ptr<InFlightWindow> inFlightWindow(of::AppId app);
+
+  /// True once the app's container was sealed by quarantineApp.
+  bool isQuarantined(of::AppId app) const;
+
   /// Builds the virtual big switch for an app whose visible_topology grant
   /// carries a VIRTUAL filter (nullopt otherwise).
   std::optional<net::VirtualTopology> virtualTopologyFor(of::AppId app) const;
@@ -208,6 +234,7 @@ class ShieldRuntime {
   ReferenceMonitor monitor_;
   mutable std::mutex mutex_;
   std::map<of::AppId, LoadedApp> apps_;
+  std::map<of::AppId, std::shared_ptr<InFlightWindow>> windows_;
   /// Unloaded/shut-down apps are parked here instead of destroyed: app code
   /// holds raw AppContext pointers handed out at init, and calls through
   /// them after shutdown must throw (the KSD is stopped), not fault on a

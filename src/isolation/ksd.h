@@ -12,10 +12,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -29,11 +31,14 @@ namespace sdnshield::iso {
 /// Deputy-pool metric recorders (defined in ksd.cpp so the header-inline
 /// hot paths stay free of registry plumbing). Registry metrics:
 ///   ksd.queue_depth (gauge), ksd.call_ns (histogram), ksd.calls,
-///   ksd.deadline_miss, ksd.queue_reject, ksd.fault, ksd.processed.
+///   ksd.deadline_miss, ksd.queue_reject, ksd.fault, ksd.processed,
+///   ksd.batch_size (histogram), ksd.inflight (gauge).
 void recordKsdQueueDelta(std::int64_t delta);
 void recordKsdCall(std::int64_t latencyNs);
 void recordKsdDeadlineMiss();
 void recordKsdQueueReject();
+void recordKsdBatch(std::size_t size);
+void recordKsdInFlightDelta(std::int64_t delta);
 
 /// Thrown to the calling app thread when a deputy misses the call deadline.
 struct DeadlineExceeded : std::runtime_error {
@@ -47,13 +52,83 @@ struct PoolStopped : std::runtime_error {
   explicit PoolStopped(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when the deputy channel stays saturated past the pool deadline
+/// (transient back-pressure, distinct from PoolStopped).
+struct QueueSaturated : std::runtime_error {
+  explicit QueueSaturated(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when a queued call was discarded before a deputy ran it (the
+/// queue was torn down with work still pending — the broken-promise path).
+struct CallDropped : std::runtime_error {
+  explicit CallDropped(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Bounded per-app window of asynchronous calls in flight: an app may keep
+/// up to `capacity` deputy calls pending before the next submission blocks
+/// (up to a deadline) or is rejected. Slots are released by RAII guards
+/// owned by the queued deputy tasks, so a task that is discarded without
+/// running still frees its slot.
+class InFlightWindow {
+ public:
+  explicit InFlightWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until a slot frees up, at most @p timeout. False on timeout.
+  bool acquireFor(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return inFlight_ < capacity_; })) {
+      return false;
+    }
+    ++inFlight_;
+    recordKsdInFlightDelta(1);
+    return true;
+  }
+
+  bool tryAcquire() {
+    std::lock_guard lock(mutex_);
+    if (inFlight_ >= capacity_) return false;
+    ++inFlight_;
+    recordKsdInFlightDelta(1);
+    return true;
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      if (inFlight_ > 0) --inFlight_;
+    }
+    recordKsdInFlightDelta(-1);
+    cv_.notify_one();
+  }
+
+  std::size_t inFlight() const {
+    std::lock_guard lock(mutex_);
+    return inFlight_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t capacity_;
+  std::size_t inFlight_ = 0;
+};
+
 class KsdPool {
  public:
   static constexpr std::chrono::milliseconds kDefaultCallTimeout{10000};
+  /// Max queued requests a deputy drains per wakeup (one obs span, one
+  /// queue-depth update per batch).
+  static constexpr std::size_t kDefaultBatchMax = 16;
 
   explicit KsdPool(std::size_t threads = 2,
-                   std::chrono::milliseconds callTimeout = kDefaultCallTimeout)
-      : threadCount_(threads), callTimeout_(callTimeout) {}
+                   std::chrono::milliseconds callTimeout = kDefaultCallTimeout,
+                   std::size_t batchMax = kDefaultBatchMax)
+      : threadCount_(threads),
+        callTimeout_(callTimeout),
+        batchMax_(batchMax == 0 ? 1 : batchMax) {}
   ~KsdPool() { stop(); }
 
   KsdPool(const KsdPool&) = delete;
@@ -77,34 +152,48 @@ class KsdPool {
     return true;
   }
 
+  /// Enqueues work and returns a std::future for its result — the
+  /// asynchronous submission shape the in-flight pipeline builds on. Throws
+  /// PoolStopped after stop() and QueueSaturated when the channel stays full
+  /// past the pool deadline. The promise is shared with the queued task, so
+  /// a caller that abandons the future leaves nothing dangling, and a task
+  /// discarded without running breaks the promise (std::future_error) and
+  /// wakes any waiter. @p onDone, if set, runs when the task completes or
+  /// is destroyed unrun (in-flight slot release rides on it).
+  template <typename R>
+  std::future<R> submitFuture(std::function<R()> work,
+                              std::shared_ptr<void> onDone = nullptr) {
+    FaultInjector::instance().inject(sites::kKsdCall);
+    auto result = std::make_shared<std::promise<R>>();
+    std::future<R> future = result->get_future();
+    bool posted =
+        submit([work = std::move(work), result, onDone = std::move(onDone)] {
+          try {
+            result->set_value(work());
+          } catch (...) {
+            result->set_exception(std::current_exception());
+          }
+        });
+    if (!posted) {
+      if (queue_.closed()) throw PoolStopped("KSD pool is stopped");
+      throw QueueSaturated("KSD channel saturated past the deadline");
+    }
+    // The queued task is now the promise's only owner: a dropped task
+    // (queue torn down with work still queued) breaks the promise and wakes
+    // the wait instead of running out the deadline.
+    return future;
+  }
+
   /// Enqueues work and blocks the calling (app) thread for the result —
   /// the synchronous API-call shape apps see through the wrappers. Throws
-  /// DeadlineExceeded when the deputy misses @p timeout and
-  /// std::runtime_error when the pool is stopped/saturated or the deputy
-  /// dropped the call. The promise is shared with the queued task, so a
-  /// caller that gives up leaves no dangling reference behind.
+  /// DeadlineExceeded when the deputy misses @p timeout, PoolStopped /
+  /// QueueSaturated when the submission fails, and CallDropped when the
+  /// deputy discarded the queued call.
   template <typename R>
   R call(std::function<R()> work, std::chrono::milliseconds timeout) {
     OBS_SPAN("ksd.call");
     std::int64_t startNs = obs::Tracer::nowNs();
-    FaultInjector::instance().inject(sites::kKsdCall);
-    auto result = std::make_shared<std::promise<R>>();
-    std::future<R> future = result->get_future();
-    bool posted = submit([work = std::move(work), result] {
-      try {
-        result->set_value(work());
-      } catch (...) {
-        result->set_exception(std::current_exception());
-      }
-    });
-    if (!posted) {
-      if (queue_.closed()) throw PoolStopped("KSD pool is stopped");
-      throw std::runtime_error("KSD channel saturated past the deadline");
-    }
-    // Leave the queued task as the promise's only owner so a dropped task
-    // (queue torn down with work still queued) breaks the promise and wakes
-    // the wait instead of running out the deadline.
-    result.reset();
+    std::future<R> future = submitFuture<R>(std::move(work));
     if (future.wait_for(timeout) != std::future_status::ready) {
       recordKsdDeadlineMiss();
       throw DeadlineExceeded("KSD call missed its deadline");
@@ -113,7 +202,7 @@ class KsdPool {
     try {
       return future.get();
     } catch (const std::future_error&) {
-      throw std::runtime_error("KSD deputy dropped the call");
+      throw CallDropped("KSD deputy dropped the call");
     }
   }
 
@@ -124,6 +213,7 @@ class KsdPool {
 
   std::size_t threadCount() const { return threadCount_; }
   std::chrono::milliseconds callTimeout() const { return callTimeout_; }
+  std::size_t batchMax() const { return batchMax_; }
   std::uint64_t processedCount() const { return processed_.load(); }
   /// Deputy tasks that threw (contained, not fatal).
   std::uint64_t faultCount() const { return faults_.load(); }
@@ -134,6 +224,7 @@ class KsdPool {
 
   std::size_t threadCount_;
   std::chrono::milliseconds callTimeout_;
+  std::size_t batchMax_;
   BoundedMpmcQueue<std::function<void()>> queue_{65536};
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> processed_{0};

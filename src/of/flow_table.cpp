@@ -111,6 +111,91 @@ bool FlowTable::apply(const FlowMod& mod) {
   return false;
 }
 
+std::vector<bool> FlowTable::applyBatch(const std::vector<FlowMod>& mods) {
+  std::vector<bool> results(mods.size(), false);
+  std::size_t i = 0;
+  while (i < mods.size()) {
+    if (mods[i].command == FlowModCommand::kAdd) {
+      std::size_t runEnd = i + 1;
+      while (runEnd < mods.size() &&
+             mods[runEnd].command == FlowModCommand::kAdd) {
+        ++runEnd;
+      }
+      addRun(mods, i, runEnd, results);
+      i = runEnd;
+    } else {
+      results[i] = apply(mods[i]);
+      ++i;
+    }
+  }
+  return results;
+}
+
+void FlowTable::addRun(const std::vector<FlowMod>& mods, std::size_t first,
+                       std::size_t last, std::vector<bool>& results) {
+  auto sameRule = [](const FlowEntry& e, const FlowMod& mod) {
+    return e.priority == mod.priority && e.match == mod.match;
+  };
+  std::vector<FlowEntry> pending;  // Admitted new entries, in run order.
+  for (std::size_t i = first; i < last; ++i) {
+    const FlowMod& mod = mods[i];
+    // OF 1.0: add replaces an entry with identical match and priority —
+    // whether it was in the table before the batch or admitted earlier in
+    // this run (the entry keeps its position, the fields come from the
+    // latest add).
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const FlowEntry& e) { return sameRule(e, mod); });
+    if (it != entries_.end()) {
+      it->actions = mod.actions;
+      it->cookie = mod.cookie;
+      it->idleTimeout = mod.idleTimeout;
+      it->hardTimeout = mod.hardTimeout;
+      results[i] = true;
+      continue;
+    }
+    auto pit = std::find_if(pending.begin(), pending.end(),
+                            [&](const FlowEntry& e) { return sameRule(e, mod); });
+    if (pit != pending.end()) {
+      pit->actions = mod.actions;
+      pit->cookie = mod.cookie;
+      pit->idleTimeout = mod.idleTimeout;
+      pit->hardTimeout = mod.hardTimeout;
+      results[i] = true;
+      continue;
+    }
+    if (entries_.size() + pending.size() >= maxEntries_) {
+      flowTableMetrics().rejects.increment();
+      results[i] = false;
+      continue;
+    }
+    FlowEntry entry;
+    entry.match = mod.match;
+    entry.priority = mod.priority;
+    entry.actions = mod.actions;
+    entry.cookie = mod.cookie;
+    entry.idleTimeout = mod.idleTimeout;
+    entry.hardTimeout = mod.hardTimeout;
+    pending.push_back(std::move(entry));
+    results[i] = true;
+  }
+  if (pending.empty()) return;
+  flowTableMetrics().installs.add(pending.size());
+  auto higherPriority = [](const FlowEntry& a, const FlowEntry& b) {
+    return a.priority > b.priority;
+  };
+  // One sorted merge for the whole run instead of per-entry O(n) inserts.
+  // stable_sort keeps run order among equal priorities; inplace_merge puts
+  // existing entries before new ones at equal priority — both match the
+  // sequential add semantics (earlier-installed wins on lookup).
+  std::stable_sort(pending.begin(), pending.end(), higherPriority);
+  std::size_t oldSize = entries_.size();
+  entries_.reserve(oldSize + pending.size());
+  for (FlowEntry& e : pending) entries_.push_back(std::move(e));
+  std::inplace_merge(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(oldSize),
+                     entries_.end(), higherPriority);
+}
+
 void FlowTable::add(const FlowMod& mod) {
   FlowEntry entry;
   entry.match = mod.match;

@@ -26,6 +26,13 @@ class FlowTable {
   /// table is full; all other commands succeed (possibly as no-ops).
   bool apply(const FlowMod& mod);
 
+  /// Applies a batch of flow-mods; element i of the result is the outcome of
+  /// mods[i]. Semantically equivalent to calling apply() on each mod in
+  /// order, but runs of consecutive adds are inserted with one sorted merge
+  /// (O((n+k) + k log k) for k adds into n entries) instead of k O(n)
+  /// scans+inserts.
+  std::vector<bool> applyBatch(const std::vector<FlowMod>& mods);
+
   /// Looks up the highest-priority matching entry and updates its counters.
   /// Returns nullptr on table miss.
   const FlowEntry* lookup(const HeaderFields& pkt, std::size_t packetBytes);
@@ -53,6 +60,9 @@ class FlowTable {
 
  private:
   void add(const FlowMod& mod);
+  /// Batch-inserts a run of consecutive kAdd mods; fills results[first+i].
+  void addRun(const std::vector<FlowMod>& mods, std::size_t first,
+              std::size_t last, std::vector<bool>& results);
 
   std::vector<FlowEntry> entries_;  // Sorted by priority descending.
   std::size_t maxEntries_;

@@ -151,6 +151,21 @@ bool SimSwitch::applyFlowMod(const of::FlowMod& mod) {
   return table_.apply(mod);
 }
 
+std::vector<bool> SimSwitch::applyFlowMods(const std::vector<of::FlowMod>& mods) {
+  if (controlDelay_.count() > 0) {
+    // As with applyFlowMod: async over the emulated channel, optimistic.
+    channelSend([this, mods] {
+      std::lock_guard lock(mutex_);
+      flowMods_ += mods.size();
+      table_.applyBatch(mods);
+    });
+    return std::vector<bool>(mods.size(), true);
+  }
+  std::lock_guard lock(mutex_);
+  flowMods_ += mods.size();
+  return table_.applyBatch(mods);
+}
+
 void SimSwitch::transmitPacket(const of::PacketOut& packetOut) {
   if (controlDelay_.count() > 0) {
     channelSend([this, packetOut] {

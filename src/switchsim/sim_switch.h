@@ -68,6 +68,9 @@ class SimSwitch final : public ctrl::SwitchConn {
   // --- ctrl::SwitchConn ---------------------------------------------------------
   of::DatapathId dpid() const override { return dpid_; }
   bool applyFlowMod(const of::FlowMod& mod) override;
+  /// Batched flow-mods: one table-lock acquisition, sorted-merge insertion
+  /// (FlowTable::applyBatch) instead of per-mod lock+scan+insert.
+  std::vector<bool> applyFlowMods(const std::vector<of::FlowMod>& mods) override;
   void transmitPacket(const of::PacketOut& packetOut) override;
   std::vector<of::FlowEntry> dumpFlows() const override;
   of::StatsReply queryStats(const of::StatsRequest& request) const override;

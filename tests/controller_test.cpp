@@ -63,7 +63,7 @@ TEST(Controller, TopologyEventsFireOnChanges) {
 TEST(Controller, KernelInsertFlowStampsCookieAndTracksOwnership) {
   Controller controller;
   auto sw = makeSwitch(controller, 1);
-  ASSERT_TRUE(controller.kernelInsertFlow(7, 1, modTo("10.0.0.1")).ok);
+  ASSERT_TRUE(controller.kernelInsertFlow(7, 1, modTo("10.0.0.1")).ok());
   auto flows = sw->dumpFlows();
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].cookie, 7u);
@@ -73,8 +73,8 @@ TEST(Controller, KernelInsertFlowStampsCookieAndTracksOwnership) {
 TEST(Controller, KernelInsertToUnknownSwitchFails) {
   Controller controller;
   ApiResult result = controller.kernelInsertFlow(7, 99, modTo("10.0.0.1"));
-  EXPECT_FALSE(result.ok);
-  EXPECT_FALSE(result.error.empty());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ApiErrc::kInvalidArgument);
 }
 
 TEST(Controller, FlowEventsCarryIssuerAndChange) {
@@ -107,9 +107,9 @@ TEST(Controller, ReadFlowTableReturnsInstalledRules) {
   controller.kernelInsertFlow(7, 1, modTo("10.0.0.1"));
   controller.kernelInsertFlow(8, 1, modTo("10.0.0.2", 20));
   auto response = controller.kernelReadFlowTable(1);
-  ASSERT_TRUE(response.ok);
-  EXPECT_EQ(response.value.size(), 2u);
-  EXPECT_FALSE(controller.kernelReadFlowTable(42).ok);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().size(), 2u);
+  EXPECT_FALSE(controller.kernelReadFlowTable(42).ok());
 }
 
 TEST(Controller, ReadStatisticsRoutesToSwitch) {
@@ -120,8 +120,8 @@ TEST(Controller, ReadStatisticsRoutesToSwitch) {
   request.level = of::StatsLevel::kSwitch;
   request.dpid = 1;
   auto response = controller.kernelReadStatistics(request);
-  ASSERT_TRUE(response.ok);
-  EXPECT_EQ(response.value.switchStats.activeFlows, 1u);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().switchStats.activeFlows, 1u);
 }
 
 TEST(Controller, PacketInDispatchReachesAllSubscribers) {

@@ -38,30 +38,30 @@ class DataStoreTest : public ::testing::Test {
 
 TEST_F(DataStoreTest, ReadRequiresTheSubtreeReadToken) {
   auto allowed = store_.read(1, "topology/switches");
-  ASSERT_TRUE(allowed.ok);
-  EXPECT_EQ(allowed.value, "1,2,3");
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(allowed.value(), "1,2,3");
   auto deniedApp = store_.read(3, "topology/switches");  // No topo token.
-  EXPECT_FALSE(deniedApp.ok);
-  EXPECT_NE(deniedApp.error.find("permission denied"), std::string::npos);
+  EXPECT_FALSE(deniedApp.ok());
+  EXPECT_EQ(deniedApp.code(), ApiErrc::kPermissionDenied);
 }
 
 TEST_F(DataStoreTest, WriteRequiresTheSubtreeWriteToken) {
-  EXPECT_FALSE(store_.write(1, "topology/links", "x").ok);  // Read-only app.
-  EXPECT_TRUE(store_.write(2, "topology/links", "(1,2)").ok);
-  EXPECT_EQ(store_.read(2, "topology/links").value, "(1,2)");
+  EXPECT_FALSE(store_.write(1, "topology/links", "x").ok());  // Read-only app.
+  EXPECT_TRUE(store_.write(2, "topology/links", "(1,2)").ok());
+  EXPECT_EQ(store_.read(2, "topology/links").value(), "(1,2)");
 }
 
 TEST_F(DataStoreTest, NoWriteTokenMeansSubtreeIsAppWritable) {
   // statistics has no write token declared: any installed app may publish.
-  EXPECT_TRUE(store_.write(3, "statistics/s2", "lookups=0").ok);
+  EXPECT_TRUE(store_.write(3, "statistics/s2", "lookups=0").ok());
 }
 
 TEST_F(DataStoreTest, UndeclaredSubtreesFailClosedForApps) {
-  ASSERT_TRUE(store_.write(of::kKernelAppId, "secrets/key", "hunter2").ok);
-  EXPECT_FALSE(store_.read(1, "secrets/key").ok);
-  EXPECT_FALSE(store_.write(2, "secrets/key", "x").ok);
+  ASSERT_TRUE(store_.write(of::kKernelAppId, "secrets/key", "hunter2").ok());
+  EXPECT_FALSE(store_.read(1, "secrets/key").ok());
+  EXPECT_FALSE(store_.write(2, "secrets/key", "x").ok());
   // Kernel is unrestricted.
-  EXPECT_TRUE(store_.read(of::kKernelAppId, "secrets/key").ok);
+  EXPECT_TRUE(store_.read(of::kKernelAppId, "secrets/key").ok());
 }
 
 TEST_F(DataStoreTest, LongestPrefixAnnotationWins) {
@@ -69,29 +69,29 @@ TEST_F(DataStoreTest, LongestPrefixAnnotationWins) {
   store_.defineSensitivity("topology/secrets", Token::kProcessRuntime,
                            Token::kProcessRuntime);
   store_.write(of::kKernelAppId, "topology/secrets/inventory", "x");
-  EXPECT_TRUE(store_.read(1, "topology/switches").ok);
-  EXPECT_FALSE(store_.read(1, "topology/secrets/inventory").ok);
+  EXPECT_TRUE(store_.read(1, "topology/switches").ok());
+  EXPECT_FALSE(store_.read(1, "topology/secrets/inventory").ok());
 }
 
 TEST_F(DataStoreTest, PrefixMatchingRespectsSegmentBoundaries) {
   store_.defineSensitivity("stat", Token::kProcessRuntime,
                            Token::kProcessRuntime);
   // "statistics/s1" is NOT under the "stat" subtree.
-  EXPECT_TRUE(store_.read(1, "statistics/s1").ok);
+  EXPECT_TRUE(store_.read(1, "statistics/s1").ok());
 }
 
 TEST_F(DataStoreTest, ListIsMediatedAndScoped) {
   store_.write(of::kKernelAppId, "topology/hosts", "h1");
   auto listing = store_.list(1, "topology");
-  ASSERT_TRUE(listing.ok);
-  EXPECT_EQ(listing.value.size(), 2u);
-  EXPECT_FALSE(store_.list(3, "topology").ok);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.value().size(), 2u);
+  EXPECT_FALSE(store_.list(3, "topology").ok());
 }
 
 TEST_F(DataStoreTest, ReadOfMissingNodeFailsAfterPassingTheCheck) {
   auto missing = store_.read(1, "topology/nope");
-  EXPECT_FALSE(missing.ok);
-  EXPECT_NE(missing.error.find("no such data node"), std::string::npos);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), ApiErrc::kInvalidArgument);
 }
 
 TEST_F(DataStoreTest, SubscriptionsAreMediatedAndNotified) {
@@ -100,14 +100,14 @@ TEST_F(DataStoreTest, SubscriptionsAreMediatedAndNotified) {
   EXPECT_FALSE(store_
                    .subscribe(3, "topology",
                               [&](const std::string&, const std::string&) {})
-                   .ok);
+                   .ok());
   // App 1 may subscribe; it sees subsequent writes under the prefix.
   ASSERT_TRUE(store_
                   .subscribe(1, "topology",
                              [&](const std::string& path, const std::string&) {
                                seen.push_back(path);
                              })
-                  .ok);
+                  .ok());
   store_.write(2, "topology/links", "(1,2)");
   store_.write(of::kKernelAppId, "statistics/s1", "lookups=11");
   ASSERT_EQ(seen.size(), 1u);
@@ -125,8 +125,8 @@ TEST_F(DataStoreTest, DeniedAccessesAreAudited) {
 
 TEST(DataStoreBaseline, NullEngineIsPassThrough) {
   DataStore store;  // Monolithic: no mediation.
-  EXPECT_TRUE(store.write(42, "anything/goes", "x").ok);
-  EXPECT_TRUE(store.read(42, "anything/goes").ok);
+  EXPECT_TRUE(store.write(42, "anything/goes", "x").ok());
+  EXPECT_TRUE(store.read(42, "anything/goes").ok());
   EXPECT_EQ(store.nodeCount(), 1u);
 }
 

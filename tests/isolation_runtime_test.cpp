@@ -66,7 +66,7 @@ TEST_F(ShieldRuntimeTest, GrantedInsertFlowReachesSwitch) {
   auto app = std::make_shared<TestApp>();
   load(app, "PERM insert_flow\n");
   ctrl::ApiResult result = app->context().api().insertFlow(1, modTo("10.0.0.9"));
-  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.ok());
   EXPECT_EQ(network_.switchAt(1)->flowCount(), 1u);
 }
 
@@ -74,8 +74,8 @@ TEST_F(ShieldRuntimeTest, DeniedInsertFlowNeverReachesSwitch) {
   auto app = std::make_shared<TestApp>();
   load(app, "PERM read_statistics\n");
   ctrl::ApiResult result = app->context().api().insertFlow(1, modTo("10.0.0.9"));
-  EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.error.find("permission denied"), std::string::npos);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ctrl::ApiErrc::kPermissionDenied);
   EXPECT_EQ(network_.switchAt(1)->flowCount(), 0u);
   EXPECT_GE(controller_.audit().deniedCount(), 1u);
 }
@@ -85,9 +85,9 @@ TEST_F(ShieldRuntimeTest, FilterBoundInsertFlow) {
   load(app,
        "PERM insert_flow LIMITING IP_DST 10.0.0.0 MASK 255.255.255.0 AND "
        "MAX_PRIORITY 50\n");
-  EXPECT_TRUE(app->context().api().insertFlow(1, modTo("10.0.0.9", 20)).ok);
-  EXPECT_FALSE(app->context().api().insertFlow(1, modTo("10.9.0.9", 20)).ok);
-  EXPECT_FALSE(app->context().api().insertFlow(1, modTo("10.0.0.9", 90)).ok);
+  EXPECT_TRUE(app->context().api().insertFlow(1, modTo("10.0.0.9", 20)).ok());
+  EXPECT_FALSE(app->context().api().insertFlow(1, modTo("10.9.0.9", 20)).ok());
+  EXPECT_FALSE(app->context().api().insertFlow(1, modTo("10.0.0.9", 90)).ok());
 }
 
 TEST_F(ShieldRuntimeTest, OwnFlowsBlocksOverridingForeignRules) {
@@ -102,26 +102,26 @@ TEST_F(ShieldRuntimeTest, OwnFlowsBlocksOverridingForeignRules) {
   fwRule.match.tpDst = 23;
   fwRule.priority = 100;
   fwRule.actions.push_back(of::DropAction{});
-  ASSERT_TRUE(firewall->context().api().insertFlow(2, fwRule).ok);
+  ASSERT_TRUE(firewall->context().api().insertFlow(2, fwRule).ok());
 
   // The routing app may install non-overlapping rules...
-  EXPECT_TRUE(routing->context().api().insertFlow(2, modTo("10.0.0.9", 10)).ok);
+  EXPECT_TRUE(routing->context().api().insertFlow(2, modTo("10.0.0.9", 10)).ok());
   // ...but not shadow the firewall's rule with a higher-priority overlap.
   of::FlowMod shadow;
   shadow.match.tpDst = 23;
   shadow.priority = 120;
   shadow.actions.push_back(of::OutputAction{1});
-  EXPECT_FALSE(routing->context().api().insertFlow(2, shadow).ok);
+  EXPECT_FALSE(routing->context().api().insertFlow(2, shadow).ok());
 }
 
 TEST_F(ShieldRuntimeTest, TableSizeFilterCapsInstalledRules) {
   auto app = std::make_shared<TestApp>();
   load(app, "PERM insert_flow LIMITING MAX_RULE_COUNT 2\n");
-  EXPECT_TRUE(app->context().api().insertFlow(1, modTo("10.0.0.1")).ok);
-  EXPECT_TRUE(app->context().api().insertFlow(1, modTo("10.0.0.2")).ok);
-  EXPECT_FALSE(app->context().api().insertFlow(1, modTo("10.0.0.3")).ok);
+  EXPECT_TRUE(app->context().api().insertFlow(1, modTo("10.0.0.1")).ok());
+  EXPECT_TRUE(app->context().api().insertFlow(1, modTo("10.0.0.2")).ok());
+  EXPECT_FALSE(app->context().api().insertFlow(1, modTo("10.0.0.3")).ok());
   // Other switches have their own budget.
-  EXPECT_TRUE(app->context().api().insertFlow(2, modTo("10.0.0.3")).ok);
+  EXPECT_TRUE(app->context().api().insertFlow(2, modTo("10.0.0.3")).ok());
 }
 
 TEST_F(ShieldRuntimeTest, ModifyFlowRequiresOwnershipUnderOwnFlows) {
@@ -129,19 +129,19 @@ TEST_F(ShieldRuntimeTest, ModifyFlowRequiresOwnershipUnderOwnFlows) {
   load(owner, "PERM insert_flow\n");
   auto other = std::make_shared<TestApp>("other");
   load(other, "PERM insert_flow LIMITING OWN_FLOWS\n");
-  ASSERT_TRUE(owner->context().api().insertFlow(1, modTo("10.0.0.9")).ok);
+  ASSERT_TRUE(owner->context().api().insertFlow(1, modTo("10.0.0.9")).ok());
 
   of::FlowMod rewrite = modTo("10.0.0.9");
   rewrite.command = of::FlowModCommand::kModifyStrict;
   rewrite.actions = {of::OutputAction{3}};
   // `other` may not rewrite the owner's rule...
-  EXPECT_FALSE(other->context().api().insertFlow(1, rewrite).ok);
+  EXPECT_FALSE(other->context().api().insertFlow(1, rewrite).ok());
   // ...but may modify rules it owns itself.
-  ASSERT_TRUE(other->context().api().insertFlow(1, modTo("10.0.0.7", 20)).ok);
+  ASSERT_TRUE(other->context().api().insertFlow(1, modTo("10.0.0.7", 20)).ok());
   of::FlowMod own = modTo("10.0.0.7", 20);
   own.command = of::FlowModCommand::kModifyStrict;
   own.actions = {of::OutputAction{3}};
-  EXPECT_TRUE(other->context().api().insertFlow(1, own).ok);
+  EXPECT_TRUE(other->context().api().insertFlow(1, own).ok());
 }
 
 TEST_F(ShieldRuntimeTest, SubsetBigSwitchOnlySpansItsMembers) {
@@ -150,11 +150,11 @@ TEST_F(ShieldRuntimeTest, SubsetBigSwitchOnlySpansItsMembers) {
        "PERM visible_topology LIMITING VIRTUAL {1,2}\n"
        "PERM insert_flow\n");
   auto view = app->context().api().readTopology();
-  ASSERT_TRUE(view.ok);
-  EXPECT_EQ(view.value.switchCount(), 1u);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().switchCount(), 1u);
   // Only the hosts attached inside the member subset are visible.
-  EXPECT_EQ(view.value.hosts().size(), 2u);
-  EXPECT_FALSE(view.value.hostByIp(of::Ipv4Address(10, 0, 0, 3)).has_value());
+  EXPECT_EQ(view.value().hosts().size(), 2u);
+  EXPECT_FALSE(view.value().hostByIp(of::Ipv4Address(10, 0, 0, 3)).has_value());
 }
 
 TEST_F(ShieldRuntimeTest, DeleteFlowRequiresOwnershipUnderOwnFlows) {
@@ -162,33 +162,33 @@ TEST_F(ShieldRuntimeTest, DeleteFlowRequiresOwnershipUnderOwnFlows) {
   load(owner, "PERM insert_flow\nPERM delete_flow\n");
   auto other = std::make_shared<TestApp>("other");
   load(other, "PERM delete_flow LIMITING OWN_FLOWS\n");
-  ASSERT_TRUE(owner->context().api().insertFlow(1, modTo("10.0.0.9")).ok);
+  ASSERT_TRUE(owner->context().api().insertFlow(1, modTo("10.0.0.9")).ok());
   // `other` cannot delete the owner's rule...
   EXPECT_FALSE(
-      other->context().api().deleteFlow(1, modTo("10.0.0.9").match, true, 10).ok);
+      other->context().api().deleteFlow(1, modTo("10.0.0.9").match, true, 10).ok());
   // ...while the owner can.
   EXPECT_TRUE(
-      owner->context().api().deleteFlow(1, modTo("10.0.0.9").match, true, 10).ok);
+      owner->context().api().deleteFlow(1, modTo("10.0.0.9").match, true, 10).ok());
 }
 
 TEST_F(ShieldRuntimeTest, ReadFlowTableProjectsVisibleEntries) {
   auto writer = std::make_shared<TestApp>("writer");
   load(writer, "PERM insert_flow\n");
-  ASSERT_TRUE(writer->context().api().insertFlow(1, modTo("10.13.0.1")).ok);
-  ASSERT_TRUE(writer->context().api().insertFlow(1, modTo("10.14.0.1", 20)).ok);
+  ASSERT_TRUE(writer->context().api().insertFlow(1, modTo("10.13.0.1")).ok());
+  ASSERT_TRUE(writer->context().api().insertFlow(1, modTo("10.14.0.1", 20)).ok());
 
   auto reader = std::make_shared<TestApp>("reader");
   load(reader,
        "PERM read_flow_table LIMITING IP_DST 10.13.0.0 MASK 255.255.0.0\n");
   auto response = reader->context().api().readFlowTable(1);
-  ASSERT_TRUE(response.ok);
-  ASSERT_EQ(response.value.size(), 1u);  // Only the 10.13/16 entry visible.
-  EXPECT_TRUE(response.value[0].match.ipDst->matches(
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().size(), 1u);  // Only the 10.13/16 entry visible.
+  EXPECT_TRUE(response.value()[0].match.ipDst->matches(
       of::Ipv4Address(10, 13, 0, 1)));
 
   auto blind = std::make_shared<TestApp>("blind");
   load(blind, "PERM read_statistics\n");
-  EXPECT_FALSE(blind->context().api().readFlowTable(1).ok);
+  EXPECT_FALSE(blind->context().api().readFlowTable(1).ok());
 }
 
 TEST_F(ShieldRuntimeTest, OwnFlowsReadProjection) {
@@ -196,12 +196,12 @@ TEST_F(ShieldRuntimeTest, OwnFlowsReadProjection) {
   load(a, "PERM insert_flow\nPERM read_flow_table LIMITING OWN_FLOWS\n");
   auto b = std::make_shared<TestApp>("b");
   load(b, "PERM insert_flow\n");
-  ASSERT_TRUE(a->context().api().insertFlow(1, modTo("10.0.0.1")).ok);
-  ASSERT_TRUE(b->context().api().insertFlow(1, modTo("10.0.0.2", 20)).ok);
+  ASSERT_TRUE(a->context().api().insertFlow(1, modTo("10.0.0.1")).ok());
+  ASSERT_TRUE(b->context().api().insertFlow(1, modTo("10.0.0.2", 20)).ok());
   auto response = a->context().api().readFlowTable(1);
-  ASSERT_TRUE(response.ok);
-  ASSERT_EQ(response.value.size(), 1u);
-  EXPECT_EQ(response.value[0].priority, 10);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().size(), 1u);
+  EXPECT_EQ(response.value()[0].priority, 10);
 }
 
 TEST_F(ShieldRuntimeTest, TopologyProjectionRestrictsView) {
@@ -209,16 +209,16 @@ TEST_F(ShieldRuntimeTest, TopologyProjectionRestrictsView) {
   load(app,
        "PERM visible_topology LIMITING SWITCH {1,2} LINK {(1,2)}\n");
   auto response = app->context().api().readTopology();
-  ASSERT_TRUE(response.ok);
-  EXPECT_EQ(response.value.switchCount(), 2u);
-  EXPECT_TRUE(response.value.hasLink(1, 2));
-  EXPECT_FALSE(response.value.hasSwitch(3));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().switchCount(), 2u);
+  EXPECT_TRUE(response.value().hasLink(1, 2));
+  EXPECT_FALSE(response.value().hasSwitch(3));
 }
 
 TEST_F(ShieldRuntimeTest, MissingTopologyTokenDeniesRead) {
   auto app = std::make_shared<TestApp>();
   load(app, "PERM read_statistics\n");
-  EXPECT_FALSE(app->context().api().readTopology().ok);
+  EXPECT_FALSE(app->context().api().readTopology().ok());
 }
 
 TEST_F(ShieldRuntimeTest, VirtualTopologyPresentsSingleBigSwitch) {
@@ -227,20 +227,20 @@ TEST_F(ShieldRuntimeTest, VirtualTopologyPresentsSingleBigSwitch) {
        "PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH\n"
        "PERM insert_flow\n");
   auto response = app->context().api().readTopology();
-  ASSERT_TRUE(response.ok);
-  EXPECT_EQ(response.value.switchCount(), 1u);
-  EXPECT_TRUE(response.value.hasSwitch(kVirtualDpid));
-  EXPECT_EQ(response.value.hosts().size(), 3u);  // All hosts re-attached.
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().switchCount(), 1u);
+  EXPECT_TRUE(response.value().hasSwitch(kVirtualDpid));
+  EXPECT_EQ(response.value().hosts().size(), 3u);  // All hosts re-attached.
 
   // A rule addressed to the big switch expands along physical paths.
-  auto host3 = response.value.hostByIp(of::Ipv4Address(10, 0, 0, 3));
+  auto host3 = response.value().hostByIp(of::Ipv4Address(10, 0, 0, 3));
   ASSERT_TRUE(host3.has_value());
   of::FlowMod vmod;
   vmod.match.ethType = 0x0800;
   vmod.match.ipDst = of::MaskedIpv4{host3->ip};
   vmod.priority = 30;
   vmod.actions.push_back(of::OutputAction{host3->port});
-  ASSERT_TRUE(app->context().api().insertFlow(kVirtualDpid, vmod).ok);
+  ASSERT_TRUE(app->context().api().insertFlow(kVirtualDpid, vmod).ok());
   // Destination-based realisation: every physical switch got a shard.
   EXPECT_EQ(network_.switchAt(1)->flowCount(), 1u);
   EXPECT_EQ(network_.switchAt(2)->flowCount(), 1u);
@@ -253,18 +253,18 @@ TEST_F(ShieldRuntimeTest, StatsLevelFilterGatesGranularity) {
   of::StatsRequest port;
   port.level = of::StatsLevel::kPort;
   port.dpid = 1;
-  EXPECT_TRUE(app->context().api().readStatistics(port).ok);
+  EXPECT_TRUE(app->context().api().readStatistics(port).ok());
   of::StatsRequest flow;
   flow.level = of::StatsLevel::kFlow;
   flow.dpid = 1;
-  EXPECT_FALSE(app->context().api().readStatistics(flow).ok);
+  EXPECT_FALSE(app->context().api().readStatistics(flow).ok());
 }
 
 TEST_F(ShieldRuntimeTest, VirtualSwitchStatsAggregateMembers) {
   auto writer = std::make_shared<TestApp>("writer");
   load(writer, "PERM insert_flow\n");
-  ASSERT_TRUE(writer->context().api().insertFlow(1, modTo("10.0.0.1")).ok);
-  ASSERT_TRUE(writer->context().api().insertFlow(2, modTo("10.0.0.2")).ok);
+  ASSERT_TRUE(writer->context().api().insertFlow(1, modTo("10.0.0.1")).ok());
+  ASSERT_TRUE(writer->context().api().insertFlow(2, modTo("10.0.0.2")).ok());
 
   auto app = std::make_shared<TestApp>();
   load(app,
@@ -274,9 +274,9 @@ TEST_F(ShieldRuntimeTest, VirtualSwitchStatsAggregateMembers) {
   request.level = of::StatsLevel::kSwitch;
   request.dpid = kVirtualDpid;
   auto response = app->context().api().readStatistics(request);
-  ASSERT_TRUE(response.ok);
-  EXPECT_EQ(response.value.switchStats.dpid, kVirtualDpid);
-  EXPECT_EQ(response.value.switchStats.activeFlows, 2u);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().switchStats.dpid, kVirtualDpid);
+  EXPECT_EQ(response.value().switchStats.activeFlows, 2u);
 }
 
 TEST_F(ShieldRuntimeTest, PacketInPayloadStrippedWithoutReadPayload) {
@@ -309,9 +309,10 @@ TEST_F(ShieldRuntimeTest, PacketInPayloadStrippedWithoutReadPayload) {
 TEST_F(ShieldRuntimeTest, SubscriptionDeniedWithoutEventToken) {
   auto app = std::make_shared<TestApp>();
   load(app, "PERM read_statistics\n");
-  ctrl::ApiResult result =
+  ctrl::ApiResponse<ctrl::SubscriptionId> result =
       app->context().subscribePacketIn([](const ctrl::PacketInEvent&) {});
-  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ctrl::ApiErrc::kPermissionDenied);
   // No delivery happens either.
   controller_.onPacketIn(of::PacketIn{1, 1, of::PacketInReason::kNoMatch, 0, {}});
 }
@@ -339,7 +340,7 @@ TEST_F(ShieldRuntimeTest, PacketOutProvenanceIsEstablishedByDeputy) {
   echo.packet = received;
   echo.fromPacketIn = false;  // App-supplied flag is ignored.
   echo.actions.push_back(of::OutputAction{1});
-  EXPECT_TRUE(app->context().api().sendPacketOut(echo).ok);
+  EXPECT_TRUE(app->context().api().sendPacketOut(echo).ok());
 
   // ...but a fabricated packet is not, even if the app lies about it.
   of::PacketOut forged;
@@ -350,7 +351,7 @@ TEST_F(ShieldRuntimeTest, PacketOutProvenanceIsEstablishedByDeputy) {
       of::tcpflags::kRst);
   forged.fromPacketIn = true;  // Lie.
   forged.actions.push_back(of::OutputAction{1});
-  EXPECT_FALSE(app->context().api().sendPacketOut(forged).ok);
+  EXPECT_FALSE(app->context().api().sendPacketOut(forged).ok());
 }
 
 TEST_F(ShieldRuntimeTest, FlowEventsFilteredPerEvent) {
@@ -366,8 +367,8 @@ TEST_F(ShieldRuntimeTest, FlowEventsFilteredPerEvent) {
     std::lock_guard lock(mutex);
     issuers.push_back(event.issuer);
   });
-  ASSERT_TRUE(other->context().api().insertFlow(1, modTo("10.0.0.8", 20)).ok);
-  ASSERT_TRUE(watcher->context().api().insertFlow(1, modTo("10.0.0.9")).ok);
+  ASSERT_TRUE(other->context().api().insertFlow(1, modTo("10.0.0.8", 20)).ok());
+  ASSERT_TRUE(watcher->context().api().insertFlow(1, modTo("10.0.0.9")).ok());
   // Drain the watcher's event queue.
   shield_.container(watcher->context().appId())->postAndWait([] {});
   std::lock_guard lock(mutex);
@@ -384,12 +385,12 @@ TEST_F(ShieldRuntimeTest, TransactionsRollBackOnDenial) {
       {2, modTo("99.0.0.1")},  // Violates the filter.
   };
   ctrl::ApiResult result = app->context().api().commitFlowTransaction(mods);
-  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.ok());
   EXPECT_EQ(network_.switchAt(1)->flowCount(), 0u);
   EXPECT_EQ(network_.switchAt(2)->flowCount(), 0u);
 
   mods[1].second = modTo("10.0.0.2");
-  EXPECT_TRUE(app->context().api().commitFlowTransaction(mods).ok);
+  EXPECT_TRUE(app->context().api().commitFlowTransaction(mods).ok());
   EXPECT_EQ(network_.switchAt(1)->flowCount(), 1u);
   EXPECT_EQ(network_.switchAt(2)->flowCount(), 1u);
 }
@@ -399,8 +400,8 @@ TEST_F(ShieldRuntimeTest, PublishDataGatedByModifyTopology) {
   load(publisher, "PERM modify_topology\n");
   auto silenced = std::make_shared<TestApp>("nopub");
   load(silenced, "PERM read_statistics\n");
-  EXPECT_TRUE(publisher->context().api().publishData("t", "x").ok);
-  EXPECT_FALSE(silenced->context().api().publishData("t", "x").ok);
+  EXPECT_TRUE(publisher->context().api().publishData("t", "x").ok());
+  EXPECT_FALSE(silenced->context().api().publishData("t", "x").ok());
 }
 
 TEST_F(ShieldRuntimeTest, HostServicesRouteThroughReferenceMonitor) {
@@ -483,20 +484,20 @@ TEST_F(ShieldRuntimeTest, VirtualDeleteRemovesAllShards) {
        "PERM visible_topology LIMITING VIRTUAL SINGLE_BIG_SWITCH\n"
        "PERM insert_flow\nPERM delete_flow\n");
   auto view = app->context().api().readTopology();
-  auto host3 = view.value.hostByIp(of::Ipv4Address(10, 0, 0, 3));
+  auto host3 = view.value().hostByIp(of::Ipv4Address(10, 0, 0, 3));
   ASSERT_TRUE(host3.has_value());
   of::FlowMod vmod;
   vmod.match.ethType = 0x0800;
   vmod.match.ipDst = of::MaskedIpv4{host3->ip};
   vmod.priority = 30;
   vmod.actions.push_back(of::OutputAction{host3->port});
-  ASSERT_TRUE(app->context().api().insertFlow(kVirtualDpid, vmod).ok);
+  ASSERT_TRUE(app->context().api().insertFlow(kVirtualDpid, vmod).ok());
   ASSERT_EQ(network_.switchAt(2)->flowCount(), 1u);
 
   ASSERT_TRUE(app->context()
                   .api()
                   .deleteFlow(kVirtualDpid, vmod.match, /*strict=*/false, 30)
-                  .ok);
+                  .ok());
   EXPECT_EQ(network_.switchAt(1)->flowCount(), 0u);
   EXPECT_EQ(network_.switchAt(2)->flowCount(), 0u);
   EXPECT_EQ(network_.switchAt(3)->flowCount(), 0u);
@@ -513,7 +514,7 @@ TEST_F(ShieldRuntimeTest, InterceptionRequiresTheCapability) {
   EXPECT_FALSE(plain->context()
                    .subscribePacketInInterceptor(
                        [](const ctrl::PacketInEvent&) { return true; })
-                   .ok);
+                   .ok());
   // The privileged one can — and its consume decision gates observers.
   std::atomic<int> observed{0};
   std::promise<void> delivered;
@@ -525,7 +526,7 @@ TEST_F(ShieldRuntimeTest, InterceptionRequiresTheCapability) {
   ASSERT_TRUE(privileged->context()
                   .subscribePacketInInterceptor(
                       [&](const ctrl::PacketInEvent&) { return consume.load(); })
-                  .ok);
+                  .ok());
 
   of::PacketIn packetIn{1, 1, of::PacketInReason::kNoMatch, 0,
                         of::Packet::makeArpRequest(

@@ -60,11 +60,11 @@ TEST_F(ObsStatsTest, StatsReportGrantedAtSwitchLevel) {
   app->context().subscribePacketIn([](const ctrl::PacketInEvent&) {});
   controller_.onPacketIn(of::PacketIn{1, 1, of::PacketInReason::kNoMatch,
                                       0, {}});
-  ASSERT_TRUE(app->context().api().statsReport().ok);
+  ASSERT_TRUE(app->context().api().statsReport().ok());
   ctrl::ApiResponse<ctrl::StatsReport> response =
       app->context().api().statsReport();
-  ASSERT_TRUE(response.ok) << response.error;
-  const ctrl::StatsReport& report = response.value;
+  ASSERT_TRUE(response.ok()) << response.error().toString();
+  const ctrl::StatsReport& report = response.value();
   // The registry carries the KSD instrumentation at minimum: the statsReport
   // call itself went through a deputy.
   const obs::CounterSnapshot* ksdCalls =
@@ -84,8 +84,8 @@ TEST_F(ObsStatsTest, StatsReportDeniedWithoutStatisticsToken) {
   load(app, "PERM visible_topology\n");
   ctrl::ApiResponse<ctrl::StatsReport> response =
       app->context().api().statsReport();
-  EXPECT_FALSE(response.ok);
-  EXPECT_NE(response.error.find("permission denied"), std::string::npos);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.code(), ctrl::ApiErrc::kPermissionDenied);
   EXPECT_GE(controller_.audit().deniedCount(), 1u);
 }
 
@@ -96,8 +96,8 @@ TEST_F(ObsStatsTest, StatsReportDeniedForFlowScopedGrant) {
   load(app, "PERM read_statistics LIMITING FLOW_LEVEL\n");
   ctrl::ApiResponse<ctrl::StatsReport> response =
       app->context().api().statsReport();
-  EXPECT_FALSE(response.ok);
-  EXPECT_NE(response.error.find("permission denied"), std::string::npos);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.code(), ctrl::ApiErrc::kPermissionDenied);
 }
 
 TEST_F(ObsStatsTest, QuarantineAuditRecordCarriesSpanTrail) {

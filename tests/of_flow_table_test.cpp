@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "of/actions.h"
+
 namespace sdnshield::of {
 namespace {
 
@@ -214,6 +218,63 @@ TEST(FlowTable, ZeroTimeoutsNeverExpire) {
   table.apply(addRule(10, 80, 1));
   EXPECT_TRUE(table.tick(100000).empty());
   EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, ApplyBatchMatchesSequentialApply) {
+  // Differential: applyBatch must be observationally identical to applying
+  // each mod in order — same per-mod outcomes, same entry order, same
+  // lookup behaviour — across random add/duplicate/delete mixes.
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<FlowMod> mods;
+    std::size_t count = 1 + rng() % 24;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint16_t priority = static_cast<std::uint16_t>(rng() % 8);
+      std::uint16_t port = static_cast<std::uint16_t>(80 + rng() % 4);
+      FlowMod mod = addRule(priority, port, static_cast<PortNo>(1 + rng() % 4));
+      if (rng() % 8 == 0) mod.command = FlowModCommand::kDelete;
+      mods.push_back(mod);
+    }
+    FlowTable sequential(/*maxEntries=*/12);
+    FlowTable batched(/*maxEntries=*/12);
+    std::vector<bool> expected;
+    expected.reserve(mods.size());
+    for (const FlowMod& mod : mods) expected.push_back(sequential.apply(mod));
+    std::vector<bool> got = batched.applyBatch(mods);
+    ASSERT_EQ(got, expected) << "round " << round;
+    ASSERT_EQ(batched.size(), sequential.size()) << "round " << round;
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched.entries()[i].priority, sequential.entries()[i].priority)
+          << "round " << round << " entry " << i;
+      EXPECT_EQ(batched.entries()[i].match.toString(),
+                sequential.entries()[i].match.toString())
+          << "round " << round << " entry " << i;
+      EXPECT_EQ(toString(batched.entries()[i].actions),
+                toString(sequential.entries()[i].actions))
+          << "round " << round << " entry " << i;
+    }
+  }
+}
+
+TEST(FlowTable, ApplyBatchCountsPendingAgainstCapacity) {
+  FlowTable table(/*maxEntries=*/2);
+  std::vector<FlowMod> mods{addRule(10, 80, 1), addRule(10, 81, 1),
+                            addRule(10, 82, 1)};
+  std::vector<bool> results = table.applyBatch(mods);
+  EXPECT_EQ(results, (std::vector<bool>{true, true, false}));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTable, ApplyBatchDuplicateInRunUpdatesInPlace) {
+  FlowTable table;
+  FlowMod first = addRule(10, 80, 1);
+  FlowMod second = addRule(10, 80, 2);  // Same rule, new action.
+  std::vector<bool> results = table.applyBatch({first, second});
+  EXPECT_EQ(results, (std::vector<bool>{true, true}));
+  ASSERT_EQ(table.size(), 1u);
+  const FlowEntry* hit = table.lookup(tcpTo(80), 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<OutputAction>(hit->actions[0]).port, 2u);
 }
 
 TEST(FlowTable, EqualPrioritiesKeepInsertionOrderOnLookup) {

@@ -120,11 +120,11 @@ TEST(FailureInjection, CallsAgainstDetachedSwitchFailCleanly) {
                                              "PERM read_flow_table\n"));
   controller.detachSwitch(2);
   ctrl::ApiResult insert = app->context().api().insertFlow(2, anyMod(80));
-  EXPECT_FALSE(insert.ok);
-  EXPECT_NE(insert.error.find("unknown switch"), std::string::npos);
-  EXPECT_FALSE(app->context().api().readFlowTable(2).ok);
+  EXPECT_FALSE(insert.ok());
+  EXPECT_EQ(insert.code(), ctrl::ApiErrc::kInvalidArgument);
+  EXPECT_FALSE(app->context().api().readFlowTable(2).ok());
   // The surviving switch keeps working.
-  EXPECT_TRUE(app->context().api().insertFlow(1, anyMod(80)).ok);
+  EXPECT_TRUE(app->context().api().insertFlow(1, anyMod(80)).ok());
 }
 
 TEST(FailureInjection, TableFullSurfacesErrorAndEvent) {
@@ -139,10 +139,10 @@ TEST(FailureInjection, TableFullSurfacesErrorAndEvent) {
       ++errorEvents;
     }
   });
-  EXPECT_TRUE(controller.kernelInsertFlow(7, 1, anyMod(1)).ok);
-  EXPECT_TRUE(controller.kernelInsertFlow(7, 1, anyMod(2)).ok);
+  EXPECT_TRUE(controller.kernelInsertFlow(7, 1, anyMod(1)).ok());
+  EXPECT_TRUE(controller.kernelInsertFlow(7, 1, anyMod(2)).ok());
   ctrl::ApiResult full = controller.kernelInsertFlow(7, 1, anyMod(3));
-  EXPECT_FALSE(full.ok);
+  EXPECT_FALSE(full.ok());
   EXPECT_EQ(errorEvents, 1);
   // Ownership was not recorded for the failed insert... the tracker should
   // not have ghosts beyond what the switch holds.
@@ -210,7 +210,7 @@ TEST(FailureInjection, ReloadingAppIdsDoNotCollide) {
   of::AppId secondId =
       shield.loadApp(second, lang::parsePermissions("PERM insert_flow\n"));
   EXPECT_NE(firstId, secondId);
-  EXPECT_TRUE(second->context().api().insertFlow(1, anyMod(80)).ok);
+  EXPECT_TRUE(second->context().api().insertFlow(1, anyMod(80)).ok());
 }
 
 }  // namespace

@@ -466,7 +466,7 @@ TEST_F(SupervisionTest, ThrowingInitIsContainedAndAudited) {
   // The runtime still loads and serves other apps.
   auto fine = std::make_shared<TestApp>("fine");
   shield.loadApp(fine, parsePermissions("PERM visible_topology\n"));
-  EXPECT_TRUE(fine->context().api().readTopology().ok);
+  EXPECT_TRUE(fine->context().api().readTopology().ok());
   shield.shutdown();
 }
 
@@ -485,11 +485,11 @@ TEST_F(SupervisionTest, DelayedDeputySurfacesAsFailedApiResultNotAHang) {
   auto before = std::chrono::steady_clock::now();
   auto topology = app->context().api().readTopology();
   EXPECT_LT(std::chrono::steady_clock::now() - before, 5s);
-  EXPECT_FALSE(topology.ok);
-  EXPECT_NE(topology.error.find("deputy unavailable"), std::string::npos);
+  EXPECT_FALSE(topology.ok());
+  EXPECT_EQ(topology.code(), ctrl::ApiErrc::kDeadlineExceeded);
   // Once the deputy recovers, calls work again.
   EXPECT_TRUE(waitFor([&] { return shield.ksd().processedCount() >= 1; }));
-  EXPECT_TRUE(app->context().api().readTopology().ok);
+  EXPECT_TRUE(app->context().api().readTopology().ok());
   shield.shutdown();
 }
 

@@ -246,7 +246,7 @@ TEST(SimSwitch, AdvanceTimeExpiresAndNotifiesController) {
   mod.priority = 10;
   mod.idleTimeout = 30;
   mod.actions.push_back(of::OutputAction{1});
-  ASSERT_TRUE(controller.kernelInsertFlow(7, 1, mod).ok);
+  ASSERT_TRUE(controller.kernelInsertFlow(7, 1, mod).ok());
   ASSERT_EQ(controller.ownership().countFor(7, 1), 1u);
 
   sw->advanceTime(29);

@@ -73,7 +73,7 @@ TEST(WireConn, InstalledRuleSurvivesTheFlowModRoundTrip) {
   mod.priority = 33;
   mod.idleTimeout = 60;
   mod.actions.push_back(of::OutputAction{2});
-  ASSERT_TRUE(bed.controller.kernelInsertFlow(7, 1, mod).ok);
+  ASSERT_TRUE(bed.controller.kernelInsertFlow(7, 1, mod).ok());
   auto flows = bed.sw->dumpFlows();
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].match, mod.match);
@@ -96,16 +96,16 @@ TEST(WireConn, StatsTakeTheWireRoundTripBothWays) {
   request.level = of::StatsLevel::kFlow;
   request.dpid = 1;
   auto response = bed.controller.kernelReadStatistics(request);
-  ASSERT_TRUE(response.ok);
-  ASSERT_EQ(response.value.flows.size(), 1u);
-  EXPECT_EQ(response.value.flows[0].packetCount, 1u);
-  EXPECT_EQ(response.value.flows[0].cookie, 7u);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().flows.size(), 1u);
+  EXPECT_EQ(response.value().flows[0].packetCount, 1u);
+  EXPECT_EQ(response.value().flows[0].cookie, 7u);
 
   request.level = of::StatsLevel::kSwitch;
   response = bed.controller.kernelReadStatistics(request);
-  ASSERT_TRUE(response.ok);
-  EXPECT_EQ(response.value.switchStats.activeFlows, 1u);
-  EXPECT_EQ(response.value.switchStats.dpid, 1u);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().switchStats.activeFlows, 1u);
+  EXPECT_EQ(response.value().switchStats.dpid, 1u);
 }
 
 TEST(WireConn, NonPrefixMaskRuleIsRejectedAtTheWire) {
