@@ -3,10 +3,24 @@
 // exceeds one second during our pressure tests". This harness reconciles
 // increasingly large manifests against increasingly large policy programs
 // and reports wall-clock time per reconciliation.
+//
+// --live adds the app-market live-update rows: N installed apps are
+// re-reconciled against a new policy and their grants swapped in ONE atomic
+// permission epoch (PermissionEngine::installAll), while reader threads
+// hammer check() the whole time — the row reports the policy-update wall
+// time and the readers' p99 check latency DURING the swaps. Output is JSONL
+// (one live_update_row per N), schema-checked by CI.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "core/engine/permission_engine.h"
 #include "core/lang/perm_parser.h"
 #include "core/lang/policy_parser.h"
 #include "core/reconcile/reconciler.h"
@@ -54,9 +68,102 @@ std::string makePolicyText(int boundaryClauses) {
   return out.str();
 }
 
+/// One live-update measurement: N installed apps, alternating policy pushes,
+/// readers checking concurrently.
+void runLiveUpdate(int apps) {
+  using Clock = std::chrono::steady_clock;
+  engine::PermissionEngine engine;
+
+  // Every app ships the same pressure manifest; `APP pressure` in the
+  // policy resolves to the manifest under reconciliation, so one policy
+  // text re-reconciles all N apps.
+  auto manifest = sdnshield::lang::parseManifest(makeManifestText(4));
+  reconcile::Reconciler policyA(sdnshield::lang::parsePolicy(makePolicyText(4)));
+  reconcile::Reconciler policyB(sdnshield::lang::parsePolicy(makePolicyText(8)));
+
+  // Initial install under policy A (one atomic epoch).
+  std::vector<std::pair<of::AppId, perm::PermissionSet>> grants;
+  auto initial = policyA.reconcile(manifest);
+  for (int i = 0; i < apps; ++i) {
+    grants.emplace_back(static_cast<of::AppId>(i + 1),
+                        initial.finalPermissions);
+  }
+  engine.installAll(grants);
+
+  // Readers hammer check() across all apps for the whole run; each sample
+  // is one check's wall time.
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<std::int64_t>> samples(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        of::AppId app = static_cast<of::AppId>(1 + (n++ % apps));
+        perm::ApiCall call;
+        call.type = perm::ApiCallType::kReadStatistics;
+        call.app = app;
+        call.statsLevel = of::StatsLevel::kSwitch;
+        auto start = Clock::now();
+        (void)engine.check(call);
+        samples[r].push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start)
+                .count());
+      }
+    });
+  }
+
+  // Alternating live policy updates: each update re-reconciles every app
+  // and publishes all new grants with ONE installAll (one epoch bump).
+  constexpr int kUpdates = 6;
+  double totalUpdateMs = 0.0;
+  std::uint64_t epochBefore = engine.epoch();
+  for (int u = 0; u < kUpdates; ++u) {
+    const reconcile::Reconciler& policy = (u % 2 == 0) ? policyB : policyA;
+    auto start = Clock::now();
+    std::vector<std::pair<of::AppId, perm::PermissionSet>> next;
+    next.reserve(apps);
+    auto result = policy.reconcile(manifest);
+    for (int i = 0; i < apps; ++i) {
+      next.emplace_back(static_cast<of::AppId>(i + 1),
+                        result.finalPermissions);
+    }
+    engine.installAll(next);
+    totalUpdateMs +=
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+  }
+  std::uint64_t epochs = engine.epoch() - epochBefore;
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  std::vector<std::int64_t> all;
+  for (auto& perReader : samples) {
+    all.insert(all.end(), perReader.begin(), perReader.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::int64_t p99 =
+      all.empty() ? 0 : all[static_cast<std::size_t>(all.size() * 99 / 100)];
+
+  std::printf(
+      "{\"bench\":\"bench_reconciliation\",\"mode\":\"live_update\","
+      "\"apps\":%d,\"updates\":%d,\"update_ms\":%.3f,"
+      "\"reader_p99_ns\":%lld,\"reader_checks\":%zu,\"epochs\":%llu}\n",
+      apps, kUpdates, totalUpdateMs / kUpdates,
+      static_cast<long long>(p99), all.size(),
+      static_cast<unsigned long long>(epochs));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--live") == 0) {
+    for (int apps : {8, 64, 256}) runLiveUpdate(apps);
+    return 0;
+  }
   std::printf("=== Reconciliation engine pressure test (install-time) ===\n");
   std::printf("%-16s %-16s %14s %12s\n", "manifest-clauses",
               "boundary-clauses", "time(ms)", "violations");

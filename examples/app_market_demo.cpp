@@ -1,0 +1,136 @@
+// App-market lifecycle demo: the full live install / policy-update /
+// upgrade / revoke cycle on a running controller.
+//
+//  1. install monitoring + firewall through the market (manifest parsed,
+//     reconciled against the administrator's policy, granted, container
+//     spawned) — the firewall starts blocking TCP/80;
+//  2. the administrator pushes a STRICTER policy live: every installed app
+//     is re-reconciled and all grants swap in one atomic permission epoch —
+//     the firewall's flow-mod scope is truncated (MIN_PRIORITY 150) and its
+//     next low-priority insert is denied;
+//  3. l2_learning is upgraded v1 -> v2 with a wider manifest — the
+//     permission diff is computed and audited;
+//  4. a malicious flow-tunneler is installed and revoked mid-traffic —
+//     permissions uninstalled, subscriptions removed, container sealed;
+//  5. the audit trail of the whole lifecycle is printed.
+//
+// Build & run:  ./build/examples/app_market_demo
+#include <cstdio>
+#include <memory>
+
+#include "apps/firewall.h"
+#include "apps/l2_learning.h"
+#include "apps/malicious/flow_tunneler.h"
+#include "apps/monitoring.h"
+#include "core/lang/policy_parser.h"
+#include "isolation/api_proxy.h"
+#include "market/app_market.h"
+#include "switchsim/sim_network.h"
+
+using namespace sdnshield;
+
+namespace {
+
+/// l2_learning v2: same behaviour, wider manifest (adds read_statistics) —
+/// the release the market upgrades to.
+class L2LearningV2 final : public ctrl::App {
+ public:
+  std::string name() const override { return "l2_learning"; }
+  std::string requestedManifest() const override {
+    return inner_->requestedManifest() + "PERM read_statistics\n";
+  }
+  void init(ctrl::AppContext& context) override { inner_->init(context); }
+
+ private:
+  std::shared_ptr<apps::L2LearningSwitch> inner_ =
+      std::make_shared<apps::L2LearningSwitch>();
+};
+
+constexpr const char* kStubBindings =
+    "LET LocalTopo = {SWITCH 1,2,3 LINK {(1,2),(2,3)}}\n"
+    "LET AdminRange = {IP_DST 10.9.0.0 MASK 255.255.0.0}\n";
+
+void printLifecycleTrail(ctrl::Controller& controller) {
+  std::printf("\n== Audit trail (lifecycle + denials) ==\n");
+  for (const auto& entry : controller.audit().entries()) {
+    if (entry.kind == engine::AuditKind::kLifecycle ||
+        (entry.kind == engine::AuditKind::kApiCall && !entry.allowed)) {
+      std::printf("  %s\n", entry.toString().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  ctrl::Controller controller;
+  sim::SimNetwork network(controller);
+  network.buildLinear(3);
+  iso::ShieldRuntime shield(controller);
+
+  // --- 1. install monitoring + firewall through the market ----------------
+  market::AppMarket market(shield, lang::parsePolicy(kStubBindings));
+  auto monitoring =
+      std::make_shared<apps::MonitoringApp>(of::Ipv4Address(10, 9, 0, 1));
+  auto firewall = std::make_shared<apps::FirewallApp>(/*rulePriority=*/100);
+
+  auto monitoringId = market.installApp(monitoring);
+  auto firewallId = market.installApp(firewall);
+  std::printf("installed monitoring as app %llu, firewall as app %llu\n",
+              static_cast<unsigned long long>(monitoringId.value()),
+              static_cast<unsigned long long>(firewallId.value()));
+
+  bool blocked = firewall->blockTcpDstPort(2, 80);
+  std::printf("firewall blocks TCP/80 at switch 2: %s\n",
+              blocked ? "installed" : "denied");
+
+  // --- 2. live policy update: truncate the firewall's flow-mod scope ------
+  std::string stricter = std::string(kStubBindings) +
+                         "LET fwBound = {\n"
+                         "PERM insert_flow LIMITING MIN_PRIORITY 150\n"
+                         "PERM delete_flow\nPERM flow_event\n"
+                         "}\n"
+                         "LET fwPerm = APP firewall\n"
+                         "ASSERT fwPerm <= fwBound\n";
+  std::uint64_t epochBefore = shield.engine().epoch();
+  ctrl::ApiResult updated = market.updatePolicy(stricter);
+  std::printf(
+      "\npolicy update: %s (permission epoch %llu -> %llu, one swap)\n",
+      updated.ok() ? "applied" : updated.error().toString().c_str(),
+      static_cast<unsigned long long>(epochBefore),
+      static_cast<unsigned long long>(shield.engine().epoch()));
+  blocked = firewall->blockTcpDstPort(2, 443);
+  std::printf("firewall blocks TCP/443 at priority 100 now: %s\n",
+              blocked ? "installed (unexpected)" : "DENIED (scope truncated)");
+
+  // --- 3. upgrade l2_learning v1 -> v2 with a wider manifest ---------------
+  auto l2v1 = std::make_shared<apps::L2LearningSwitch>();
+  auto l2Id = market.installApp(l2v1, /*version=*/1);
+  ctrl::ApiResult upgraded =
+      market.upgradeApp(l2Id.value(), std::make_shared<L2LearningV2>(),
+                        /*version=*/2);
+  std::printf("\nupgrade l2_learning v1->v2: %s\n",
+              upgraded.ok() ? "ok" : upgraded.error().toString().c_str());
+
+  // --- 4. revoke a malicious app mid-traffic -------------------------------
+  auto tunneler = std::make_shared<apps::FlowTunnelerApp>(80, 8080);
+  auto tunnelId = market.installApp(tunneler);
+  auto h1 = network.hostByIp(of::Ipv4Address(10, 0, 0, 1));
+  auto h3 = network.hostByIp(of::Ipv4Address(10, 0, 0, 3));
+  h1->send(of::Packet::makeTcp(h1->mac(), h3->mac(), h1->ip(), h3->ip(), 40000,
+                               80, of::tcpflags::kSyn));
+  ctrl::ApiResult revoked =
+      market.revokeApp(tunnelId.value(), "tunneling around the firewall");
+  std::printf("\nrevoked flow_tunneler mid-traffic: %s\n",
+              revoked.ok() ? "ok" : revoked.error().toString().c_str());
+  bool tunnelAfter = tunneler->establishTunnel(of::Ipv4Address(10, 0, 0, 1),
+                                               of::Ipv4Address(10, 0, 0, 3));
+  std::printf("tunnel attempt after revoke: %s\n",
+              tunnelAfter ? "succeeded (unexpected)" : "blocked");
+
+  // --- 5. the lifecycle record ---------------------------------------------
+  std::printf("\n== Market report ==\n%s", market.report().c_str());
+  printLifecycleTrail(controller);
+  shield.shutdown();
+  return 0;
+}

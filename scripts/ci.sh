@@ -70,6 +70,9 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     > build/bench_smoke_throughput.txt
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key throughput_row --jsonl build/bench_smoke_throughput.txt
+./build/bench/bench_reconciliation --live > build/bench_smoke_live.txt
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key live_update_row --jsonl build/bench_smoke_live.txt
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== Sanitizer stages skipped ==="

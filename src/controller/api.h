@@ -42,6 +42,11 @@ struct StatsReport {
   std::uint64_t auditDenied = 0;
   std::uint64_t auditFaults = 0;
   std::uint64_t dispatchFaults = 0;
+  /// Canonical one-line digest of the app market's installed-app state
+  /// (empty when no market is attached). Two controllers whose markets hold
+  /// identical app/permission state produce identical digests — the
+  /// journal-replay equality surface.
+  std::string marketDigest;
 
   /// Human-readable rendering (one line per metric, then span trail).
   std::string toText() const;
@@ -62,7 +67,7 @@ enum class ApiErrc : std::uint8_t {
   kPoolStopped,         ///< The deputy pool has shut down.
   kAppQuarantined,      ///< The calling app has been quarantined.
   kInvalidArgument,     ///< Malformed request (unknown switch, bad node, ...).
-  kTransactionAborted,  ///< A flow transaction rolled back.
+  kTransactionAborted,  ///< A flow or lifecycle transaction rolled back.
 };
 
 /// Stable identifier string for an ApiErrc (for logs and JSON exports).
@@ -228,6 +233,29 @@ struct SubscriptionId {
   }
 };
 
+/// The app-market lifecycle control plane, implemented by market::AppMarket
+/// and attached to the controller. Defined here (not in src/market) so the
+/// northbound surface can route lifecycle calls without the controller
+/// depending on the market subsystem.
+class MarketControl {
+ public:
+  virtual ~MarketControl() = default;
+
+  /// Re-reconciles EVERY installed app against @p policyText and swaps all
+  /// grants in one atomic permission epoch. All-or-nothing: on any failure
+  /// (parse error, reconcile error, injected fault) no grant changes.
+  virtual ApiResult updatePolicy(const std::string& policyText) = 0;
+  /// Revokes a running app: uninstalls its permissions, removes its
+  /// subscriptions and seals its container (in-flight deputy calls complete
+  /// with typed errors). Safe to call from a deputy thread.
+  virtual ApiResult revokeApp(of::AppId app, const std::string& reason) = 0;
+  /// Human-readable market report (one line per app: id, name, version,
+  /// state, granted permissions).
+  virtual std::string report() const = 0;
+  /// Canonical one-line state digest (see StatsReport::marketDigest).
+  virtual std::string digest() const = 0;
+};
+
 /// The SDN northbound interface exposed to apps.
 class NorthboundApi {
  public:
@@ -269,6 +297,14 @@ class NorthboundApi {
   /// Controller-wide observability report (metrics + spans + audit totals).
   /// Unchecked in the baseline; permission-gated under SDNShield.
   virtual ApiResponse<StatsReport> statsReport() = 0;
+
+  // App-market lifecycle calls. Unchecked in the baseline; under SDNShield
+  // they require the market_admin token (operator-grade privilege granted
+  // only to management apps). All three fail with kInvalidArgument when no
+  // market is attached to the controller.
+  virtual ApiResult updatePolicy(const std::string& policyText) = 0;
+  virtual ApiResult revokeApp(of::AppId app, const std::string& reason) = 0;
+  virtual ApiResponse<std::string> marketReport() = 0;
 };
 
 /// Host-system services (network/file/process) available to an app. In the

@@ -87,6 +87,7 @@ std::string StatsReport::toText() const {
          " denied=" + std::to_string(auditDenied) +
          " faults=" + std::to_string(auditFaults) +
          " dispatch_faults=" + std::to_string(dispatchFaults) + "\n";
+  if (!marketDigest.empty()) out += "market " + marketDigest + "\n";
   if (!recentSpans.empty()) {
     out += "spans " + obs::Tracer::formatTrail(recentSpans) + "\n";
   }
@@ -100,6 +101,14 @@ std::string StatsReport::toJson() const {
          ",\"denied\":" + std::to_string(auditDenied) +
          ",\"faults\":" + std::to_string(auditFaults) +
          ",\"dispatch_faults\":" + std::to_string(dispatchFaults) + "}";
+  if (!marketDigest.empty()) {
+    out += ",\"market_digest\":\"";
+    for (char c : marketDigest) {  // Digest is single-line by construction.
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"";
+  }
   out += ",\"recent_spans\":[";
   for (std::size_t i = 0; i < recentSpans.size(); ++i) {
     if (i) out += ",";
@@ -120,7 +129,17 @@ StatsReport Controller::statsReport() const {
   report.auditDenied = audit_.deniedCount();
   report.auditFaults = audit_.faultCount();
   report.dispatchFaults = dispatchFaults_.load(std::memory_order_relaxed);
+  if (MarketControl* market = marketControl()) {
+    report.marketDigest = market->digest();
+  }
   return report;
+}
+
+std::size_t Controller::subscriptionCount() const {
+  std::lock_guard lock(mutex_);
+  return packetInSubscribers_.size() + packetInInterceptors_.size() +
+         flowSubscribers_.size() + topologySubscribers_.size() +
+         errorSubscribers_.size() + dataSubscribers_.size();
 }
 
 void Controller::attachSwitch(std::shared_ptr<SwitchConn> conn) {

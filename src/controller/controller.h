@@ -115,11 +115,26 @@ class Controller {
                           std::optional<of::AppId> owner = std::nullopt);
   void removeSubscribers(of::AppId app);
 
+  /// Registrations currently live across all event lists (leak-detection
+  /// surface for install/uninstall cycles).
+  std::size_t subscriptionCount() const;
+
   // --- observability --------------------------------------------------------
   /// Builds the controller-wide /stats export: merged metrics snapshot,
   /// recent span trail and audit-log totals. Unprivileged kernel operation;
   /// permission gating happens in the API wrappers above it.
   StatsReport statsReport() const;
+
+  // --- app market -----------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) the app-market control plane. The
+  /// market outlives nothing here: the caller must clear it before the
+  /// MarketControl is destroyed.
+  void setMarketControl(MarketControl* market) {
+    market_.store(market, std::memory_order_release);
+  }
+  MarketControl* marketControl() const {
+    return market_.load(std::memory_order_acquire);
+  }
 
   // --- shared infrastructure ---------------------------------------------------
   engine::OwnershipTracker& ownership() { return ownership_; }
@@ -171,6 +186,7 @@ class Controller {
   engine::OwnershipTracker ownership_;
   engine::AuditLog audit_;
   std::atomic<std::uint64_t> dispatchFaults_{0};
+  std::atomic<MarketControl*> market_{nullptr};
 };
 
 }  // namespace sdnshield::ctrl

@@ -82,6 +82,21 @@ class RecordingContext::RecordingApi final : public NorthboundApi {
     return inner_.statsReport();
   }
 
+  ApiResult updatePolicy(const std::string& policyText) override {
+    owner_.note(Token::kMarketAdmin);
+    return inner_.updatePolicy(policyText);
+  }
+
+  ApiResult revokeApp(of::AppId app, const std::string& reason) override {
+    owner_.note(Token::kMarketAdmin);
+    return inner_.revokeApp(app, reason);
+  }
+
+  ApiResponse<std::string> marketReport() override {
+    owner_.note(Token::kMarketAdmin);
+    return inner_.marketReport();
+  }
+
  private:
   RecordingContext& owner_;
   NorthboundApi& inner_;

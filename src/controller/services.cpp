@@ -91,6 +91,33 @@ ApiResult DirectApi::publishData(const std::string& topic,
   return ApiResult::success();
 }
 
+ApiResult DirectApi::updatePolicy(const std::string& policyText) {
+  MarketControl* market = controller_.marketControl();
+  if (!market) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument,
+                              "no app market attached");
+  }
+  return market->updatePolicy(policyText);
+}
+
+ApiResult DirectApi::revokeApp(of::AppId app, const std::string& reason) {
+  MarketControl* market = controller_.marketControl();
+  if (!market) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument,
+                              "no app market attached");
+  }
+  return market->revokeApp(app, reason);
+}
+
+ApiResponse<std::string> DirectApi::marketReport() {
+  MarketControl* market = controller_.marketControl();
+  if (!market) {
+    return ApiResponse<std::string>::failure(ApiErrc::kInvalidArgument,
+                                             "no app market attached");
+  }
+  return ApiResponse<std::string>::success(market->report());
+}
+
 namespace {
 
 template <typename EventT, typename Handler>

@@ -48,6 +48,9 @@ class DirectApi final : public NorthboundApi {
   ApiResult publishData(const std::string& topic,
                         const std::string& payload) override;
   ApiResponse<StatsReport> statsReport() override;
+  ApiResult updatePolicy(const std::string& policyText) override;
+  ApiResult revokeApp(of::AppId app, const std::string& reason) override;
+  ApiResponse<std::string> marketReport() override;
 
  private:
   Controller& controller_;

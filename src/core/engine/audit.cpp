@@ -18,6 +18,9 @@ std::string AuditEntry::toString() const {
     case AuditKind::kSupervision:
       out << "SUPERVISION";
       break;
+    case AuditKind::kLifecycle:
+      out << "LIFECYCLE";
+      break;
   }
   if (!summary.empty()) out << " " << summary;
   if (!spanTrail.empty()) out << " trail=[" << spanTrail << "]";
@@ -60,6 +63,15 @@ void AuditLog::recordSupervision(of::AppId app, const std::string& what,
   entry.app = app;
   entry.summary = what;
   entry.spanTrail = std::move(spanTrail);
+  push(std::move(entry));
+}
+
+void AuditLog::recordLifecycle(of::AppId app, const std::string& what) {
+  std::lock_guard lock(mutex_);
+  AuditEntry entry;
+  entry.kind = AuditKind::kLifecycle;
+  entry.app = app;
+  entry.summary = what;
   push(std::move(entry));
 }
 

@@ -20,6 +20,7 @@ enum class AuditKind {
   kApiCall,      ///< A mediated API call and its decision.
   kFault,        ///< A contained app fault (exception, dropped task...).
   kSupervision,  ///< A supervisor action (suspect, quarantine, drop batch).
+  kLifecycle,    ///< An app-market lifecycle event (install/upgrade/...).
 };
 
 struct AuditEntry {
@@ -49,6 +50,9 @@ class AuditLog {
   /// @p spanTrail carries the recent-span context captured by the caller.
   void recordSupervision(of::AppId app, const std::string& what,
                          std::string spanTrail = {});
+  /// Records an app-market lifecycle event (install, upgrade with its
+  /// permission diff, revoke, policy epoch swap) against @p app.
+  void recordLifecycle(of::AppId app, const std::string& what);
 
   std::vector<AuditEntry> entries() const;
   std::vector<AuditEntry> entriesFor(of::AppId app) const;

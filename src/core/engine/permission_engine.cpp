@@ -601,6 +601,29 @@ void PermissionEngine::install(of::AppId app,
   version_.fetch_add(1, std::memory_order_release);
 }
 
+void PermissionEngine::installAll(
+    const std::vector<std::pair<of::AppId, perm::PermissionSet>>& grants) {
+  // Compile every set before taking any lock: compilation can throw
+  // (depth bounds) and is the expensive part; a failure here leaves the
+  // table untouched, and readers never wait on a compiler.
+  std::vector<std::pair<of::AppId, std::shared_ptr<const CompiledPermissions>>>
+      compiled;
+  compiled.reserve(grants.size());
+  for (const auto& [app, permissions] : grants) {
+    compiled.emplace_back(
+        app, std::make_shared<const CompiledPermissions>(permissions));
+  }
+  std::lock_guard lock(writeMutex_);
+  auto next = std::make_shared<AppMap>(*snapshot());
+  for (auto& [app, set] : compiled) (*next)[app] = std::move(set);
+  {
+    std::lock_guard snapLock(snapshotMutex_);
+    apps_ = std::move(next);
+  }
+  // One bump for the whole batch: the new epoch carries every new grant.
+  version_.fetch_add(1, std::memory_order_release);
+}
+
 void PermissionEngine::uninstall(of::AppId app) {
   std::lock_guard lock(writeMutex_);
   auto next = std::make_shared<AppMap>(*snapshot());

@@ -133,7 +133,9 @@ class CompiledPermissions {
   bool run(const TokenProgram& program, const perm::ApiCall& call) const;
 
   perm::PermissionSet source_;
-  TokenProgram programs_[16];  // Indexed by Token enum value.
+  // Indexed by Token enum value; all 16 tokens (incl. market_admin) fit
+  // exactly — widen when perm::Token grows past 16 values.
+  TokenProgram programs_[16];
   std::vector<perm::FilterPtr> filters_;  // Interned + deduplicated.
   std::map<const perm::Filter*, std::uint32_t> filterSlots_;
   std::shared_ptr<const perm::PhysicalTopologyFilter> topologyProjection_;
@@ -161,6 +163,26 @@ class PermissionEngine {
   /// Compiles and installs the permissions of an app (at app load time).
   void install(of::AppId app, const perm::PermissionSet& permissions);
   void uninstall(of::AppId app);
+
+  /// Atomically replaces the grants of many apps in ONE permission epoch:
+  /// every set is compiled outside the locks, then a single table
+  /// copy-and-swap publishes all of them together with one version bump.
+  /// A concurrent check() observes either every pre-swap grant or every
+  /// post-swap grant — never a mixture — which is what makes a live
+  /// updatePolicy over the whole app market safe (the RCU-style epoch swap
+  /// the market subsystem builds on). Throws (std::length_error from
+  /// compilation) without touching the table.
+  void installAll(
+      const std::vector<std::pair<of::AppId, perm::PermissionSet>>& grants);
+
+  /// Current permission epoch: bumped once per install/uninstall/installAll
+  /// swap. Two equal reads bracket a window in which no grant changed.
+  std::uint64_t epoch() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Number of apps with installed permissions (leak-detection surface).
+  std::size_t installedCount() const { return snapshot()->size(); }
 
   /// Checks one API call. Unknown apps are denied everything.
   Decision check(const perm::ApiCall& call) const;

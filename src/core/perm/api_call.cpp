@@ -38,6 +38,8 @@ std::string toString(ApiCallType type) {
       return "file_system_access";
     case ApiCallType::kProcessRuntimeAccess:
       return "process_runtime_access";
+    case ApiCallType::kMarketAdmin:
+      return "market_admin";
   }
   return "unknown_call";
 }
@@ -75,6 +77,8 @@ Token requiredToken(ApiCallType type) {
       return Token::kFileSystem;
     case ApiCallType::kProcessRuntimeAccess:
       return Token::kProcessRuntime;
+    case ApiCallType::kMarketAdmin:
+      return Token::kMarketAdmin;
   }
   return Token::kProcessRuntime;
 }
@@ -177,6 +181,14 @@ ApiCall ApiCall::processRuntime(of::AppId app, std::string command) {
   call.type = ApiCallType::kProcessRuntimeAccess;
   call.app = app;
   call.path = std::move(command);
+  return call;
+}
+
+ApiCall ApiCall::marketAdmin(of::AppId app, std::string operation) {
+  ApiCall call;
+  call.type = ApiCallType::kMarketAdmin;
+  call.app = app;
+  call.path = std::move(operation);  // Reuses the free-form text attribute.
   return call;
 }
 

@@ -35,6 +35,7 @@ enum class ApiCallType {
   kHostNetworkAccess,
   kFileSystemAccess,
   kProcessRuntimeAccess,
+  kMarketAdmin,  ///< App-market lifecycle operation (policy push, revoke).
 };
 
 std::string toString(ApiCallType type);
@@ -98,6 +99,9 @@ struct ApiCall {
   static ApiCall processRuntime(of::AppId app, std::string command);
   static ApiCall subscribe(of::AppId app, ApiCallType eventType,
                            CallbackOp op = CallbackOp::kObserve);
+  /// An app-market lifecycle call; @p operation names it for the audit log
+  /// ("update_policy", "revoke 3", ...).
+  static ApiCall marketAdmin(of::AppId app, std::string operation);
 };
 
 }  // namespace sdnshield::perm

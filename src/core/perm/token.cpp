@@ -24,6 +24,8 @@ ResourceClass resourceOf(Token token) {
     case Token::kFileSystem:
     case Token::kProcessRuntime:
       return ResourceClass::kHostSystem;
+    case Token::kMarketAdmin:
+      return ResourceClass::kLifecycle;
   }
   return ResourceClass::kHostSystem;
 }
@@ -42,6 +44,7 @@ ActionClass actionOf(Token token) {
     case Token::kHostNetwork:
     case Token::kFileSystem:
     case Token::kProcessRuntime:
+    case Token::kMarketAdmin:
       return ActionClass::kWrite;
     case Token::kFlowEvent:
     case Token::kTopologyEvent:
@@ -84,6 +87,8 @@ std::string toString(Token token) {
       return "file_system";
     case Token::kProcessRuntime:
       return "process_runtime";
+    case Token::kMarketAdmin:
+      return "market_admin";
   }
   return "unknown_token";
 }

@@ -29,6 +29,9 @@ enum class Token {
   kHostNetwork,
   kFileSystem,
   kProcessRuntime,
+  // App-market lifecycle (live policy updates, revocation): operator-grade
+  // privilege, granted only to management apps.
+  kMarketAdmin,
 };
 
 inline constexpr Token kAllTokens[] = {
@@ -38,6 +41,7 @@ inline constexpr Token kAllTokens[] = {
     Token::kReadStatistics,  Token::kErrorEvent,   Token::kReadPayload,
     Token::kSendPktOut,      Token::kPktInEvent,   Token::kHostNetwork,
     Token::kFileSystem,      Token::kProcessRuntime,
+    Token::kMarketAdmin,
 };
 
 /// Which class of SDN resource a token guards.
@@ -47,6 +51,7 @@ enum class ResourceClass {
   kStatistics,
   kPacketIo,
   kHostSystem,
+  kLifecycle,  ///< The app market itself (install/upgrade/revoke/policy).
 };
 
 /// What the app does with the resource.

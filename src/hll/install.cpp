@@ -42,4 +42,24 @@ InstallReport installPolicy(engine::PermissionEngine& engine,
   return report;
 }
 
+InstallReport reinstallPolicy(engine::PermissionEngine& engine,
+                              ctrl::Controller& controller,
+                              of::DatapathId dpid, const PolicyPtr& policy,
+                              std::uint16_t topPriority) {
+  // Remove the classifier's previous incarnation first: strict deletes by
+  // (match, priority) target exactly the rules a prior installPolicy of the
+  // same policy laid down, attributed to the same issuer the install used.
+  std::vector<CompiledRule> rules = compile(policy);
+  std::vector<of::FlowMod> mods = toFlowMods(rules, topPriority);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    of::AppId issuer = rules[i].owners.empty() ? of::kKernelAppId
+                                               : *rules[i].owners.begin();
+    controller.kernelDeleteFlow(issuer, dpid, mods[i].match, /*strict=*/true,
+                                mods[i].priority);
+  }
+  // Then reinstall under the CURRENT grants — rules whose owners lost the
+  // needed permissions since the first install come back partially denied.
+  return installPolicy(engine, controller, dpid, policy, topPriority);
+}
+
 }  // namespace sdnshield::hll

@@ -38,4 +38,13 @@ InstallReport installPolicy(engine::PermissionEngine& engine,
                             const PolicyPtr& policy,
                             std::uint16_t topPriority);
 
+/// Live re-installation after a permission change (market policy update):
+/// strict-deletes the classifier's previous rules by (match, priority),
+/// then reinstalls under the owners' *current* grants — rules an owner may
+/// no longer install drop out as partial denials.
+InstallReport reinstallPolicy(engine::PermissionEngine& engine,
+                              ctrl::Controller& controller,
+                              of::DatapathId dpid, const PolicyPtr& policy,
+                              std::uint16_t topPriority);
+
 }  // namespace sdnshield::hll

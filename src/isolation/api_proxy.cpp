@@ -1,6 +1,8 @@
 #include "isolation/api_proxy.h"
 
+#include <algorithm>
 #include <sstream>
+#include <stdexcept>
 #include <string_view>
 
 #include "core/engine/transaction.h"
@@ -595,6 +597,74 @@ ctrl::ApiResponse<ctrl::StatsReport> ShieldedApi::statsReport() {
   });
 }
 
+namespace {
+
+/// Deputy-side market_admin gate shared by the three lifecycle calls.
+engine::Decision checkMarketAdmin(ShieldRuntime& runtime, of::AppId app,
+                                  const std::string& operation) {
+  auto compiled = runtime.engine().compiled(app);
+  perm::ApiCall call = perm::ApiCall::marketAdmin(app, operation);
+  engine::Decision decision = compiled
+                                  ? compiled->check(call)
+                                  : engine::Decision::deny("app not installed");
+  runtime.controller().audit().record(call, decision.allowed, decision.reason);
+  return decision;
+}
+
+}  // namespace
+
+ctrl::ApiResult ShieldedApi::updatePolicy(const std::string& policyText) {
+  return viaDeputy<ctrl::ApiResult>(
+      runtime_, app_, [this, policyText]() -> ctrl::ApiResult {
+        engine::Decision decision =
+            checkMarketAdmin(runtime_, app_, "update_policy");
+        if (!decision.allowed) return denied(decision);
+        ctrl::MarketControl* market = runtime_.controller().marketControl();
+        if (!market) {
+          return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                          "no app market attached");
+        }
+        // Deputy-thread safe: the market's policy swap never joins app
+        // containers (it only touches the permission engine + journal).
+        return market->updatePolicy(policyText);
+      });
+}
+
+ctrl::ApiResult ShieldedApi::revokeApp(of::AppId app,
+                                       const std::string& reason) {
+  return viaDeputy<ctrl::ApiResult>(
+      runtime_, app_, [this, app, reason]() -> ctrl::ApiResult {
+        engine::Decision decision = checkMarketAdmin(
+            runtime_, app_, "revoke " + std::to_string(app));
+        if (!decision.allowed) return denied(decision);
+        ctrl::MarketControl* market = runtime_.controller().marketControl();
+        if (!market) {
+          return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                          "no app market attached");
+        }
+        // Deputy-thread safe: revocation quarantines (seals, never joins)
+        // the target container.
+        return market->revokeApp(app, reason);
+      });
+}
+
+ctrl::ApiResponse<std::string> ShieldedApi::marketReport() {
+  using Response = ctrl::ApiResponse<std::string>;
+  return viaDeputy<Response>(runtime_, app_, [this]() -> Response {
+    engine::Decision decision = checkMarketAdmin(runtime_, app_, "report");
+    if (!decision.allowed) {
+      return Response::failure(ctrl::ApiErrc::kPermissionDenied,
+                               decision.reason);
+    }
+    ctrl::MarketControl* market = runtime_.controller().marketControl();
+    if (!market) {
+      return Response::failure(ctrl::ApiErrc::kInvalidArgument,
+                               "no app market attached");
+    }
+    return Response::success(market->report());
+  });
+}
+
 // --- ShieldedContext --------------------------------------------------------------
 
 ShieldedContext::ShieldedContext(ShieldRuntime& runtime, of::AppId app,
@@ -848,12 +918,35 @@ ShieldRuntime::~ShieldRuntime() { shutdown(); }
 
 of::AppId ShieldRuntime::loadApp(std::shared_ptr<ctrl::App> app,
                                  const perm::PermissionSet& granted) {
+  return loadAppImpl(std::nullopt, std::move(app), granted);
+}
+
+void ShieldRuntime::loadAppAs(of::AppId id, std::shared_ptr<ctrl::App> app,
+                              const perm::PermissionSet& granted) {
+  if (id == 0) throw std::invalid_argument("app id 0 is reserved");
+  loadAppImpl(id, std::move(app), granted);
+}
+
+of::AppId ShieldRuntime::loadAppImpl(std::optional<of::AppId> requestedId,
+                                     std::shared_ptr<ctrl::App> app,
+                                     const perm::PermissionSet& granted) {
   of::AppId id;
   std::shared_ptr<ThreadContainer> container;
   std::shared_ptr<ShieldedContext> context;
   {
     std::lock_guard lock(mutex_);
-    id = nextAppId_++;
+    if (requestedId) {
+      if (apps_.count(*requestedId)) {
+        throw std::invalid_argument("app id already loaded: " +
+                                    std::to_string(*requestedId));
+      }
+      id = *requestedId;
+      // Keep fresh assignments past any replayed id (journal recovery loads
+      // apps under their pre-crash ids).
+      nextAppId_ = std::max(nextAppId_, id + 1);
+    } else {
+      id = nextAppId_++;
+    }
     engine_.install(id, granted);
     container = std::make_shared<ThreadContainer>(id, app->name(),
                                                   options_.appQueueCapacity);
@@ -929,6 +1022,10 @@ void ShieldRuntime::unloadApp(of::AppId app) {
     if (it == apps_.end()) return;
     loaded = std::move(it->second);
     apps_.erase(it);
+    // Drop the async-window registry entry: in-flight futures keep the
+    // window itself alive through their RAII slot guards, so only the map
+    // slot (the would-be leak across install/uninstall cycles) goes away.
+    windows_.erase(app);
   }
   supervisor_.forget(app);
   controller_.removeSubscribers(app);
@@ -938,6 +1035,81 @@ void ShieldRuntime::unloadApp(of::AppId app) {
   retired_.push_back(std::move(loaded));
 }
 
+void ShieldRuntime::swapApp(of::AppId id, std::shared_ptr<ctrl::App> next,
+                            const perm::PermissionSet& granted) {
+  LoadedApp old;
+  std::shared_ptr<ThreadContainer> container;
+  std::shared_ptr<ShieldedContext> context;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = apps_.find(id);
+    if (it == apps_.end()) {
+      throw std::invalid_argument("swapApp: unknown app id " +
+                                  std::to_string(id));
+    }
+    old = std::move(it->second);
+    apps_.erase(it);
+  }
+  // Retire the old instance first (host-level call: stop() joins the
+  // container thread, so swapApp must never run on a deputy). Its grant
+  // stays installed while it drains — in-flight calls check against the old
+  // permissions until the single install below replaces them.
+  supervisor_.forget(id);
+  controller_.removeSubscribers(id);
+  old.container->stop();
+  {
+    std::lock_guard lock(mutex_);
+    // ONE engine install atomically replaces the old compiled set with the
+    // new one: a concurrent check() sees either v(old) or v(next), never a
+    // permission gap.
+    engine_.install(id, granted);
+    container = std::make_shared<ThreadContainer>(id, next->name(),
+                                                  options_.appQueueCapacity);
+    container->setFaultHandler(
+        [this, id](std::exception_ptr, const std::string& what) {
+          controller_.audit().recordFault(id, what);
+          supervisor_.recordFault(id, what);
+        });
+    container->start();
+    context = std::make_shared<ShieldedContext>(*this, id, container);
+    apps_[id] = LoadedApp{next, container, context};
+    retired_.push_back(std::move(old));
+  }
+  supervisor_.watch(id, container);
+  try {
+    container->postAndWait([next, context] { next->init(*context); });
+  } catch (...) {
+    std::string what = describeException(std::current_exception());
+    controller_.audit().recordFault(id, "init threw: " + what);
+    supervisor_.recordFault(id, "init threw: " + what);
+  }
+}
+
+void ShieldRuntime::reclaimRetired() {
+  std::vector<LoadedApp> drop;
+  {
+    std::lock_guard lock(mutex_);
+    drop.swap(retired_);
+  }
+  // Destroyed outside the lock: shells own containers whose destructors may
+  // join exited threads.
+}
+
+std::size_t ShieldRuntime::loadedAppCount() const {
+  std::lock_guard lock(mutex_);
+  return apps_.size();
+}
+
+std::size_t ShieldRuntime::windowCount() const {
+  std::lock_guard lock(mutex_);
+  return windows_.size();
+}
+
+std::size_t ShieldRuntime::retiredCount() const {
+  std::lock_guard lock(mutex_);
+  return retired_.size();
+}
+
 void ShieldRuntime::quarantineApp(of::AppId app, const std::string& reason) {
   std::shared_ptr<ThreadContainer> container;
   {
@@ -945,6 +1117,9 @@ void ShieldRuntime::quarantineApp(of::AppId app, const std::string& reason) {
     auto it = apps_.find(app);
     if (it == apps_.end()) return;
     container = it->second.container;
+    // Release the async-window registry slot; futures already in flight
+    // hold the window via their RAII slot guards and still resolve.
+    windows_.erase(app);
   }
   // Order matters: cut event delivery first, then revoke privileges, then
   // seal the container (pending tasks are discarded — their waiters see
@@ -978,7 +1153,10 @@ void ShieldRuntime::shutdown() {
   }
   ksd_.stop();
   std::lock_guard lock(mutex_);
-  for (auto& [id, loaded] : apps) retired_.push_back(std::move(loaded));
+  for (auto& [id, loaded] : apps) {
+    windows_.erase(id);
+    retired_.push_back(std::move(loaded));
+  }
 }
 
 std::shared_ptr<ThreadContainer> ShieldRuntime::container(

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -84,6 +85,9 @@ class ShieldedApi final : public ctrl::NorthboundApi {
   ctrl::ApiResult publishData(const std::string& topic,
                               const std::string& payload) override;
   ctrl::ApiResponse<ctrl::StatsReport> statsReport() override;
+  ctrl::ApiResult updatePolicy(const std::string& policyText) override;
+  ctrl::ApiResult revokeApp(of::AppId app, const std::string& reason) override;
+  ctrl::ApiResponse<std::string> marketReport() override;
 
  private:
   friend class ShieldRuntime;
@@ -192,6 +196,33 @@ class ShieldRuntime {
   void unloadApp(of::AppId app);
   void shutdown();
 
+  /// Loads an app under a caller-chosen id (journal replay: a recovered
+  /// market must reproduce the pre-crash id assignment). Throws
+  /// std::invalid_argument if the id is 0 or already loaded.
+  void loadAppAs(of::AppId id, std::shared_ptr<ctrl::App> app,
+                 const perm::PermissionSet& granted);
+
+  /// Live upgrade: replaces the app behind @p id with @p next under
+  /// @p granted, keeping the id (and thus flow ownership and audit
+  /// lineage). The old container is stopped (join — host-level call only,
+  /// never from a deputy thread), its subscriptions removed, and the new
+  /// grant is published in ONE engine install — readers observe either the
+  /// old or the new permission set, never neither. Throws
+  /// std::invalid_argument for unknown ids.
+  void swapApp(of::AppId id, std::shared_ptr<ctrl::App> next,
+               const perm::PermissionSet& granted);
+
+  /// Frees retired (unloaded/swapped-out) app shells. Only safe when no app
+  /// code still holds the AppContext pointers handed out at their init —
+  /// i.e. from tests and teardown paths, not mid-flight.
+  void reclaimRetired();
+
+  // Leak-detection surfaces (install/uninstall cycles must return these to
+  // baseline; see the market leak test).
+  std::size_t loadedAppCount() const;
+  std::size_t windowCount() const;
+  std::size_t retiredCount() const;
+
   /// Supervisor action (also callable by the administrator): removes the
   /// app's subscriptions, uninstalls its permissions and seals its thread
   /// container (pending tasks discarded). Sibling apps are untouched. Safe
@@ -207,8 +238,9 @@ class ShieldRuntime {
   ReferenceMonitor& referenceMonitor() { return monitor_; }
   std::shared_ptr<ThreadContainer> container(of::AppId app) const;
 
-  /// The app's bounded async-call window (created on first use; survives
-  /// quarantine so futures already in flight can still resolve).
+  /// The app's bounded async-call window (created on first use). Quarantine
+  /// and unload drop the registry slot, but futures already in flight keep
+  /// the window alive through their RAII slot guards and still resolve.
   std::shared_ptr<InFlightWindow> inFlightWindow(of::AppId app);
 
   /// True once the app's container was sealed by quarantineApp.
@@ -224,6 +256,10 @@ class ShieldRuntime {
     std::shared_ptr<ThreadContainer> container;
     std::shared_ptr<ShieldedContext> context;
   };
+
+  of::AppId loadAppImpl(std::optional<of::AppId> requestedId,
+                        std::shared_ptr<ctrl::App> app,
+                        const perm::PermissionSet& granted);
 
   ctrl::Controller& controller_;
   ShieldOptions options_;

@@ -34,6 +34,12 @@ inline constexpr std::string_view kContainerPost = "container.post";
 inline constexpr std::string_view kKsdCall = "ksd.call";
 inline constexpr std::string_view kKsdQueue = "ksd.queue";
 inline constexpr std::string_view kKsdTask = "ksd.task";
+// App-market lifecycle sites (src/market): fired before the named step so an
+// armed kThrow proves the step is transactional (no partial grants,
+// containers or journal records survive an abort).
+inline constexpr std::string_view kMarketReconcile = "market.reconcile";
+inline constexpr std::string_view kMarketSwap = "market.swap";
+inline constexpr std::string_view kMarketJournal = "market.journal";
 }  // namespace sites
 
 class FaultInjector {

@@ -1,0 +1,650 @@
+#include "market/app_market.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/lang/errors.h"
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_parser.h"
+#include "core/lang/printer.h"
+#include "isolation/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdnshield::market {
+
+namespace {
+
+struct MarketMetrics {
+  obs::Counter installs = obs::Registry::global().counter("market.installs");
+  obs::Counter upgrades = obs::Registry::global().counter("market.upgrades");
+  obs::Counter revokes = obs::Registry::global().counter("market.revokes");
+  obs::Counter uninstalls =
+      obs::Registry::global().counter("market.uninstalls");
+  obs::Counter policyUpdates =
+      obs::Registry::global().counter("market.policy_updates");
+  obs::Counter aborts = obs::Registry::global().counter("market.aborts");
+  obs::Gauge apps = obs::Registry::global().gauge("market.apps");
+  obs::Histogram policyUpdateNs =
+      obs::Registry::global().histogram("market.policy_update_ns");
+};
+
+const MarketMetrics& metrics() {
+  static const MarketMetrics m;
+  return m;
+}
+
+/// One-line permission-language rendering (newline-free) for journal records
+/// and digests.
+std::string formatGrantLine(const perm::PermissionSet& set) {
+  std::string text = lang::formatPermissions(set);
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\n') {
+      if (!out.empty() && out.back() != ';') out += ';';
+    } else {
+      out += c;
+    }
+  }
+  while (!out.empty() && out.back() == ';') out.pop_back();
+  return out;
+}
+
+perm::PermissionSet parseGrantLine(const std::string& line) {
+  std::string text;
+  text.reserve(line.size());
+  for (char c : line) text += (c == ';') ? '\n' : c;
+  return lang::parsePermissions(text);
+}
+
+}  // namespace
+
+const char* toString(AppState state) {
+  switch (state) {
+    case AppState::kRunning:
+      return "running";
+    case AppState::kRevoked:
+      return "revoked";
+  }
+  return "unknown";
+}
+
+std::string describePermissionDiff(const perm::PermissionSet& before,
+                                   const perm::PermissionSet& after) {
+  std::ostringstream out;
+  bool any = false;
+  for (const perm::Permission& grant : after.permissions()) {
+    if (!before.has(grant.token)) {
+      out << (any ? " " : "") << "+" << perm::toString(grant.token);
+      any = true;
+    }
+  }
+  for (const perm::Permission& grant : before.permissions()) {
+    if (!after.has(grant.token)) {
+      out << (any ? " " : "") << "-" << perm::toString(grant.token);
+      any = true;
+    }
+  }
+  // Tokens present on both sides whose filters changed (narrowed or
+  // widened): compare via mutual single-token inclusion.
+  for (const perm::Permission& grant : after.permissions()) {
+    if (!before.has(grant.token)) continue;
+    perm::PermissionSet lhs;
+    lhs.grant(grant.token, *before.filterFor(grant.token));
+    perm::PermissionSet rhs;
+    rhs.grant(grant.token, *after.filterFor(grant.token));
+    if (!lhs.equivalent(rhs)) {
+      out << (any ? " " : "") << "~" << perm::toString(grant.token);
+      any = true;
+    }
+  }
+  return any ? out.str() : "unchanged";
+}
+
+AppMarket::AppMarket(iso::ShieldRuntime& runtime, lang::PolicyProgram policy,
+                     std::shared_ptr<MarketJournal> journal)
+    : runtime_(runtime),
+      journal_(journal ? std::move(journal)
+                       : std::make_shared<MemoryJournal>()),
+      policy_(std::move(policy)) {
+  runtime_.controller().setMarketControl(this);
+}
+
+AppMarket::~AppMarket() {
+  if (runtime_.controller().marketControl() == this) {
+    runtime_.controller().setMarketControl(nullptr);
+  }
+}
+
+reconcile::ReconcileResult AppMarket::reconcileLocked(
+    const lang::PolicyProgram& policy,
+    const lang::PermissionManifest& manifest, of::AppId excludeApp) const {
+  iso::FaultInjector::instance().inject(iso::sites::kMarketReconcile);
+  std::map<std::string, perm::PermissionSet> otherApps;
+  for (const auto& [id, entry] : entries_) {
+    if (id == excludeApp || entry.state != AppState::kRunning) continue;
+    otherApps.emplace(entry.name, entry.granted);
+  }
+  return reconcile::Reconciler(policy).reconcile(manifest, otherApps);
+}
+
+void AppMarket::journalAbort(of::AppId app, const std::string& what) {
+  metrics().aborts.increment();
+  JournalRecord record;
+  record.op = JournalOp::kAbort;
+  record.app = app;
+  record.detail = what;
+  try {
+    journal_->append(std::move(record));
+  } catch (const std::exception&) {
+    // The abort record is diagnostic only; the rollback already happened.
+  }
+}
+
+ctrl::ApiResponse<of::AppId> AppMarket::installApp(
+    std::shared_ptr<ctrl::App> app, std::uint32_t version) {
+  using Response = ctrl::ApiResponse<of::AppId>;
+  std::lock_guard lock(mutex_);
+
+  lang::PermissionManifest manifest;
+  try {
+    manifest = lang::parseManifest(app->requestedManifest());
+  } catch (const lang::ParseError& error) {
+    return Response::failure(ctrl::ApiErrc::kInvalidArgument,
+                             std::string("manifest: ") + error.what());
+  }
+  std::string name = manifest.appName.empty() ? app->name() : manifest.appName;
+
+  JournalRecord intent;
+  intent.op = JournalOp::kInstallIntent;
+  intent.version = version;
+  intent.name = name;
+  intent.manifestText = app->requestedManifest();
+  try {
+    journal_->append(std::move(intent));
+  } catch (const std::exception& error) {
+    return Response::failure(ctrl::ApiErrc::kTransactionAborted,
+                             std::string("journal: ") + error.what());
+  }
+
+  perm::PermissionSet granted;
+  std::vector<reconcile::Violation> violations;
+  try {
+    reconcile::ReconcileResult result = reconcileLocked(policy_, manifest, 0);
+    granted = std::move(result.finalPermissions);
+    violations = std::move(result.violations);
+  } catch (const std::exception& error) {
+    journalAbort(0, std::string("install ") + name + ": " + error.what());
+    return Response::failure(ctrl::ApiErrc::kTransactionAborted,
+                             std::string("reconcile: ") + error.what());
+  }
+
+  of::AppId id = 0;
+  try {
+    iso::FaultInjector::instance().inject(iso::sites::kMarketSwap);
+    id = runtime_.loadApp(app, granted);
+  } catch (const std::exception& error) {
+    journalAbort(0, std::string("install ") + name + ": " + error.what());
+    return Response::failure(ctrl::ApiErrc::kTransactionAborted,
+                             std::string("load: ") + error.what());
+  }
+
+  JournalRecord commit;
+  commit.op = JournalOp::kInstallCommit;
+  commit.app = id;
+  commit.version = version;
+  commit.name = name;
+  commit.manifestText = app->requestedManifest();
+  commit.grantedText = formatGrantLine(granted);
+  try {
+    journal_->append(std::move(commit));
+  } catch (const std::exception& error) {
+    // The commit record is the durability point; without it the install
+    // must not survive — roll the live runtime back to the pre-op state.
+    runtime_.unloadApp(id);
+    journalAbort(id, std::string("install ") + name + ": " + error.what());
+    return Response::failure(ctrl::ApiErrc::kTransactionAborted,
+                             std::string("journal: ") + error.what());
+  }
+
+  AppEntry entry;
+  entry.id = id;
+  entry.name = name;
+  entry.version = version;
+  entry.manifest = std::move(manifest);
+  entry.granted = std::move(granted);
+  entries_[id] = std::move(entry);
+  instances_[id] = std::move(app);
+
+  std::ostringstream summary;
+  summary << "installed " << name << " v" << version << " ("
+          << entries_[id].granted.size() << " grants, " << violations.size()
+          << " reconcile repairs)";
+  runtime_.controller().audit().recordLifecycle(id, summary.str());
+  metrics().installs.increment();
+  metrics().apps.add(1);
+  return Response::success(id);
+}
+
+ctrl::ApiResult AppMarket::upgradeApp(of::AppId id,
+                                      std::shared_ptr<ctrl::App> next,
+                                      std::uint32_t version) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.state != AppState::kRunning) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                    "unknown or non-running app");
+  }
+
+  lang::PermissionManifest manifest;
+  try {
+    manifest = lang::parseManifest(next->requestedManifest());
+  } catch (const lang::ParseError& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                    std::string("manifest: ") + error.what());
+  }
+  std::string name =
+      manifest.appName.empty() ? next->name() : manifest.appName;
+
+  JournalRecord intent;
+  intent.op = JournalOp::kUpgradeIntent;
+  intent.app = id;
+  intent.version = version;
+  intent.name = name;
+  intent.manifestText = next->requestedManifest();
+  intent.detail = "from v" + std::to_string(it->second.version);
+  try {
+    journal_->append(std::move(intent));
+  } catch (const std::exception& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  perm::PermissionSet granted;
+  try {
+    reconcile::ReconcileResult result = reconcileLocked(policy_, manifest, id);
+    granted = std::move(result.finalPermissions);
+  } catch (const std::exception& error) {
+    journalAbort(id, std::string("upgrade ") + name + ": " + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("reconcile: ") + error.what());
+  }
+
+  try {
+    iso::FaultInjector::instance().inject(iso::sites::kMarketSwap);
+    runtime_.swapApp(id, next, granted);
+  } catch (const std::exception& error) {
+    journalAbort(id, std::string("upgrade ") + name + ": " + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("swap: ") + error.what());
+  }
+
+  JournalRecord commit;
+  commit.op = JournalOp::kUpgradeCommit;
+  commit.app = id;
+  commit.version = version;
+  commit.name = name;
+  commit.manifestText = next->requestedManifest();
+  commit.grantedText = formatGrantLine(granted);
+  try {
+    journal_->append(std::move(commit));
+  } catch (const std::exception& error) {
+    // Roll the runtime back to the previous release under the old grant.
+    runtime_.swapApp(id, instances_[id], it->second.granted);
+    journalAbort(id, std::string("upgrade ") + name + ": " + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  std::string diff = describePermissionDiff(it->second.granted, granted);
+  std::ostringstream summary;
+  summary << "upgraded " << name << " v" << it->second.version << "->v"
+          << version << " perms: " << diff;
+  runtime_.controller().audit().recordLifecycle(id, summary.str());
+
+  it->second.name = name;
+  it->second.version = version;
+  it->second.manifest = std::move(manifest);
+  it->second.granted = std::move(granted);
+  instances_[id] = std::move(next);
+  metrics().upgrades.increment();
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult AppMarket::revokeApp(of::AppId app, const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(app);
+  if (it == entries_.end() || it->second.state != AppState::kRunning) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                    "unknown or non-running app");
+  }
+
+  JournalRecord intent;
+  intent.op = JournalOp::kRevokeIntent;
+  intent.app = app;
+  intent.name = it->second.name;
+  intent.detail = reason;
+  try {
+    journal_->append(std::move(intent));
+  } catch (const std::exception& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  // The commit record goes in BEFORE the quarantine: quarantineApp cannot
+  // fail, so commit-then-apply keeps journal and runtime consistent, while
+  // an injected fault on either site below aborts with nothing applied.
+  try {
+    iso::FaultInjector::instance().inject(iso::sites::kMarketSwap);
+    JournalRecord commit;
+    commit.op = JournalOp::kRevokeCommit;
+    commit.app = app;
+    commit.name = it->second.name;
+    commit.detail = reason;
+    journal_->append(std::move(commit));
+  } catch (const std::exception& error) {
+    journalAbort(app, "revoke " + it->second.name + ": " + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    error.what());
+  }
+
+  // Deputy-safe teardown: subscriptions removed, grant uninstalled,
+  // container sealed (no join) — in-flight deputy calls complete with typed
+  // errors (kAppQuarantined / broken-promise mapping).
+  runtime_.quarantineApp(app, "market revoke: " + reason);
+  it->second.state = AppState::kRevoked;
+  runtime_.controller().audit().recordLifecycle(
+      app, "revoked " + it->second.name + ": " + reason);
+  metrics().revokes.increment();
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult AppMarket::uninstallApp(of::AppId id) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                    "unknown app");
+  }
+
+  JournalRecord intent;
+  intent.op = JournalOp::kUninstallIntent;
+  intent.app = id;
+  intent.name = it->second.name;
+  try {
+    journal_->append(std::move(intent));
+  } catch (const std::exception& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  try {
+    iso::FaultInjector::instance().inject(iso::sites::kMarketSwap);
+    JournalRecord commit;
+    commit.op = JournalOp::kUninstallCommit;
+    commit.app = id;
+    commit.name = it->second.name;
+    journal_->append(std::move(commit));
+  } catch (const std::exception& error) {
+    journalAbort(id, "uninstall " + it->second.name + ": " + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    error.what());
+  }
+
+  // Full unload (joins the container thread — host-level call only):
+  // permissions uninstalled, subscriptions removed, async-window slot
+  // released.
+  runtime_.unloadApp(id);
+  runtime_.controller().audit().recordLifecycle(
+      id, "uninstalled " + it->second.name);
+  entries_.erase(it);
+  instances_.erase(id);
+  metrics().uninstalls.increment();
+  metrics().apps.add(-1);
+  return ctrl::ApiResult::success();
+}
+
+ctrl::ApiResult AppMarket::updatePolicy(const std::string& policyText) {
+  OBS_SPAN("market.update_policy");
+  std::int64_t startNs = obs::Tracer::nowNs();
+
+  lang::PolicyProgram next;
+  try {
+    next = lang::parsePolicy(policyText);
+  } catch (const lang::ParseError& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kInvalidArgument,
+                                    std::string("policy: ") + error.what());
+  }
+
+  std::lock_guard lock(mutex_);
+
+  JournalRecord intent;
+  intent.op = JournalOp::kPolicyIntent;
+  intent.manifestText = policyText;
+  try {
+    journal_->append(std::move(intent));
+  } catch (const std::exception& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  // Re-reconcile every running app against the new policy. Nothing is
+  // published yet: a failure here aborts with every grant unchanged.
+  std::vector<std::pair<of::AppId, perm::PermissionSet>> newGrants;
+  try {
+    for (const auto& [id, entry] : entries_) {
+      if (entry.state != AppState::kRunning) continue;
+      reconcile::ReconcileResult result =
+          reconcileLocked(next, entry.manifest, id);
+      newGrants.emplace_back(id, std::move(result.finalPermissions));
+    }
+  } catch (const std::exception& error) {
+    journalAbort(0, std::string("policy update: ") + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("reconcile: ") + error.what());
+  }
+
+  try {
+    for (const auto& [id, granted] : newGrants) {
+      JournalRecord grant;
+      grant.op = JournalOp::kPolicyGrant;
+      grant.app = id;
+      grant.name = entries_[id].name;
+      grant.grantedText = formatGrantLine(granted);
+      journal_->append(std::move(grant));
+    }
+  } catch (const std::exception& error) {
+    journalAbort(0, std::string("policy update: ") + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  // The atomic epoch swap: ONE installAll publishes every new grant with a
+  // single version bump — concurrent checks see all-old or all-new.
+  try {
+    iso::FaultInjector::instance().inject(iso::sites::kMarketSwap);
+    runtime_.engine().installAll(newGrants);
+  } catch (const std::exception& error) {
+    journalAbort(0, std::string("policy update: ") + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("swap: ") + error.what());
+  }
+
+  JournalRecord commit;
+  commit.op = JournalOp::kPolicyCommit;
+  try {
+    journal_->append(std::move(commit));
+  } catch (const std::exception& error) {
+    // Restore the previous grants with a second (equally atomic) swap.
+    std::vector<std::pair<of::AppId, perm::PermissionSet>> oldGrants;
+    for (const auto& [id, granted] : newGrants) {
+      oldGrants.emplace_back(id, entries_[id].granted);
+    }
+    runtime_.engine().installAll(oldGrants);
+    journalAbort(0, std::string("policy update: ") + error.what());
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
+                                    std::string("journal: ") + error.what());
+  }
+
+  for (auto& [id, granted] : newGrants) {
+    AppEntry& entry = entries_[id];
+    std::string diff = describePermissionDiff(entry.granted, granted);
+    if (diff != "unchanged") {
+      runtime_.controller().audit().recordLifecycle(
+          id, "policy update regranted " + entry.name + ": " + diff);
+    }
+    entry.granted = std::move(granted);
+  }
+  policy_ = std::move(next);
+  runtime_.controller().audit().recordLifecycle(
+      0, "policy epoch swap over " + std::to_string(newGrants.size()) +
+             " apps (epoch " + std::to_string(runtime_.engine().epoch()) +
+             ")");
+  metrics().policyUpdates.increment();
+  metrics().policyUpdateNs.record(obs::Tracer::nowNs() - startNs);
+  return ctrl::ApiResult::success();
+}
+
+std::string AppMarket::report() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "app market: " << entries_.size() << " apps, journal "
+      << journal_->size() << " records, epoch " << runtime_.engine().epoch()
+      << "\n";
+  for (const auto& [id, entry] : entries_) {
+    out << "  app " << id << " " << entry.name << " v" << entry.version << " "
+        << market::toString(entry.state) << " grants=["
+        << formatGrantLine(entry.granted) << "]\n";
+  }
+  return out.str();
+}
+
+std::string AppMarket::digestLocked() const {
+  // Canonical, single-line, epoch-free (a recovered engine renumbers
+  // epochs): two markets with identical app/permission state — ids, names,
+  // versions, states, grants — produce identical digests.
+  std::ostringstream out;
+  out << "apps=" << entries_.size();
+  for (const auto& [id, entry] : entries_) {
+    out << "|" << id << ":" << entry.name << ":v" << entry.version << ":"
+        << market::toString(entry.state) << ":["
+        << formatGrantLine(entry.granted) << "]";
+  }
+  return out.str();
+}
+
+std::string AppMarket::digest() const {
+  std::lock_guard lock(mutex_);
+  return digestLocked();
+}
+
+std::optional<AppEntry> AppMarket::entry(of::AppId id) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t AppMarket::installedCount() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+lang::PolicyProgram AppMarket::policy() const {
+  std::lock_guard lock(mutex_);
+  return policy_;
+}
+
+std::unique_ptr<AppMarket> AppMarket::recover(
+    iso::ShieldRuntime& runtime, lang::PolicyProgram initialPolicy,
+    const AppFactory& factory, std::shared_ptr<MarketJournal> journal) {
+  std::vector<JournalRecord> records = journal->records();
+  auto market = std::unique_ptr<AppMarket>(
+      new AppMarket(runtime, std::move(initialPolicy), std::move(journal)));
+  std::lock_guard lock(market->mutex_);
+
+  // Replay only committed operations: intents without commits (and aborted
+  // ops) left no durable state behind by construction.
+  std::string pendingPolicyText;
+  std::map<of::AppId, perm::PermissionSet> pendingGrants;
+  for (const JournalRecord& record : records) {
+    switch (record.op) {
+      case JournalOp::kInstallCommit: {
+        std::shared_ptr<ctrl::App> app = factory(record.name, record.version);
+        if (!app) {
+          throw std::runtime_error("recover: no factory for " + record.name);
+        }
+        perm::PermissionSet granted = parseGrantLine(record.grantedText);
+        runtime.loadAppAs(record.app, app, granted);
+        AppEntry entry;
+        entry.id = record.app;
+        entry.name = record.name;
+        entry.version = record.version;
+        entry.manifest = lang::parseManifest(record.manifestText);
+        entry.granted = std::move(granted);
+        market->entries_[record.app] = std::move(entry);
+        market->instances_[record.app] = std::move(app);
+        break;
+      }
+      case JournalOp::kUpgradeCommit: {
+        std::shared_ptr<ctrl::App> app = factory(record.name, record.version);
+        if (!app) {
+          throw std::runtime_error("recover: no factory for " + record.name);
+        }
+        perm::PermissionSet granted = parseGrantLine(record.grantedText);
+        runtime.swapApp(record.app, app, granted);
+        AppEntry& entry = market->entries_.at(record.app);
+        entry.name = record.name;
+        entry.version = record.version;
+        entry.manifest = lang::parseManifest(record.manifestText);
+        entry.granted = std::move(granted);
+        market->instances_[record.app] = std::move(app);
+        break;
+      }
+      case JournalOp::kRevokeCommit: {
+        runtime.quarantineApp(record.app, "replayed revoke: " + record.detail);
+        market->entries_.at(record.app).state = AppState::kRevoked;
+        break;
+      }
+      case JournalOp::kUninstallCommit: {
+        runtime.unloadApp(record.app);
+        market->entries_.erase(record.app);
+        market->instances_.erase(record.app);
+        break;
+      }
+      case JournalOp::kPolicyIntent:
+        pendingPolicyText = record.manifestText;
+        pendingGrants.clear();
+        break;
+      case JournalOp::kPolicyGrant:
+        pendingGrants[record.app] = parseGrantLine(record.grantedText);
+        break;
+      case JournalOp::kPolicyCommit: {
+        std::vector<std::pair<of::AppId, perm::PermissionSet>> grants;
+        for (auto& [id, granted] : pendingGrants) {
+          auto it = market->entries_.find(id);
+          if (it == market->entries_.end()) continue;
+          it->second.granted = granted;
+          grants.emplace_back(id, std::move(granted));
+        }
+        if (!grants.empty()) runtime.engine().installAll(grants);
+        market->policy_ = lang::parsePolicy(pendingPolicyText);
+        pendingGrants.clear();
+        break;
+      }
+      case JournalOp::kInstallIntent:
+      case JournalOp::kUpgradeIntent:
+      case JournalOp::kRevokeIntent:
+      case JournalOp::kUninstallIntent:
+      case JournalOp::kAbort:
+        break;
+    }
+  }
+  metrics().apps.add(static_cast<std::int64_t>(market->entries_.size()));
+  return market;
+}
+
+}  // namespace sdnshield::market

@@ -1,0 +1,147 @@
+// The app-market lifecycle subsystem (paper §III applied live): an
+// AppMarket owns the install pipeline — parse the shipped manifest,
+// reconcile it against the administrator's policy, grant, spawn the
+// container — and keeps every installed app *re-reconcilable*:
+//
+//  * installApp / upgradeApp / revokeApp / uninstallApp mutate one app at a
+//    time, each as a journaled transaction (intent -> commit, abort on any
+//    failure) with nothing partially applied on the live runtime;
+//  * updatePolicy re-reconciles EVERY installed app against the new policy
+//    and publishes all new grants in ONE atomic permission epoch
+//    (engine::PermissionEngine::installAll): concurrent checks observe
+//    either every old grant or every new grant, never a mixture;
+//  * the write-ahead journal (market/journal.h) makes the whole lifecycle
+//    replayable — AppMarket::recover() drives a fresh runtime back to the
+//    exact pre-crash app/permission state.
+//
+// Deputy-thread safety: updatePolicy and revokeApp (the MarketControl
+// surface reachable from apps holding market_admin) never join app
+// container threads — revocation seals via quarantine; the policy swap only
+// touches the engine and the journal. upgradeApp/uninstallApp DO join (full
+// container stop) and are host-level calls only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controller/api.h"
+#include "core/lang/policy_ast.h"
+#include "core/reconcile/reconciler.h"
+#include "isolation/api_proxy.h"
+#include "market/journal.h"
+
+namespace sdnshield::market {
+
+/// Where an installed app is in its lifecycle.
+enum class AppState {
+  kRunning,
+  kRevoked,  ///< Quarantined by revokeApp; entry kept for the audit trail.
+};
+
+const char* toString(AppState state);
+
+/// The market's view of one installed app.
+struct AppEntry {
+  of::AppId id = 0;
+  std::string name;
+  std::uint32_t version = 1;
+  lang::PermissionManifest manifest;  ///< As requested (pre-reconciliation).
+  perm::PermissionSet granted;        ///< As granted (post-reconciliation).
+  AppState state = AppState::kRunning;
+};
+
+/// Recreates an app instance from its market identity (journal replay).
+using AppFactory = std::function<std::shared_ptr<ctrl::App>(
+    const std::string& name, std::uint32_t version)>;
+
+class AppMarket final : public ctrl::MarketControl {
+ public:
+  /// Attaches itself to the runtime's controller as the MarketControl; the
+  /// destructor detaches. @p journal defaults to a fresh MemoryJournal.
+  AppMarket(iso::ShieldRuntime& runtime, lang::PolicyProgram policy,
+            std::shared_ptr<MarketJournal> journal = nullptr);
+  ~AppMarket() override;
+
+  AppMarket(const AppMarket&) = delete;
+  AppMarket& operator=(const AppMarket&) = delete;
+
+  // --- lifecycle (host-level) ----------------------------------------------
+  /// Full install pipeline: parse the app's shipped manifest, reconcile it
+  /// against the current policy, grant, spawn the container. Journaled;
+  /// any failure (parse, reconcile, injected fault) leaves no partial
+  /// grants, containers or subscriptions.
+  ctrl::ApiResponse<of::AppId> installApp(std::shared_ptr<ctrl::App> app,
+                                          std::uint32_t version = 1);
+
+  /// Live upgrade to a new release: the new manifest is reconciled, the
+  /// permission diff audited, and the grant replaced atomically together
+  /// with the container swap (the app id is preserved). Joins the old
+  /// container — host-level call only.
+  ctrl::ApiResult upgradeApp(of::AppId id, std::shared_ptr<ctrl::App> next,
+                             std::uint32_t version);
+
+  /// Removes an app entirely: permissions uninstalled, subscriptions and
+  /// async-window slot released, container stopped (join — host-level call
+  /// only), entry erased.
+  ctrl::ApiResult uninstallApp(of::AppId id);
+
+  // --- MarketControl (deputy-safe) -----------------------------------------
+  ctrl::ApiResult updatePolicy(const std::string& policyText) override;
+  ctrl::ApiResult revokeApp(of::AppId app, const std::string& reason) override;
+  std::string report() const override;
+  std::string digest() const override;
+
+  // --- introspection -------------------------------------------------------
+  std::optional<AppEntry> entry(of::AppId id) const;
+  std::size_t installedCount() const;
+  lang::PolicyProgram policy() const;
+  const std::shared_ptr<MarketJournal>& journal() const { return journal_; }
+
+  /// Rebuilds a market (and its apps, on @p runtime) from a journal by
+  /// replaying the committed records in order: installs are re-loaded under
+  /// their original ids (ShieldRuntime::loadAppAs), upgrades re-swapped,
+  /// revocations re-quarantined, uninstalls re-removed and policy epochs
+  /// re-published. @p initialPolicy is the policy the market booted with;
+  /// replayed policy commits replace it. Throws on an unreplayable journal
+  /// (unknown app id, unparsable stored text).
+  static std::unique_ptr<AppMarket> recover(
+      iso::ShieldRuntime& runtime, lang::PolicyProgram initialPolicy,
+      const AppFactory& factory, std::shared_ptr<MarketJournal> journal);
+
+ private:
+  /// Reconciles @p manifest against the given policy with every *other*
+  /// running app's current grant visible to APP references.
+  reconcile::ReconcileResult reconcileLocked(
+      const lang::PolicyProgram& policy,
+      const lang::PermissionManifest& manifest,
+      of::AppId excludeApp) const;
+
+  /// Best-effort abort record (swallows journal faults: the abort record is
+  /// diagnostic; the rollback itself already happened).
+  void journalAbort(of::AppId app, const std::string& what);
+
+  std::string digestLocked() const;
+
+  iso::ShieldRuntime& runtime_;
+  std::shared_ptr<MarketJournal> journal_;
+  mutable std::mutex mutex_;  ///< Serializes lifecycle ops + entry table.
+  lang::PolicyProgram policy_;
+  std::map<of::AppId, AppEntry> entries_;
+  /// Kept so upgradeApp can roll back to the previous instance when the
+  /// commit record fails to append.
+  std::map<of::AppId, std::shared_ptr<ctrl::App>> instances_;
+};
+
+/// Token-level permission diff as one human-readable line ("+insert_flow
+/// -host_network ~read_statistics"; "unchanged" when equivalent). ~ marks
+/// tokens whose filter narrowed/widened.
+std::string describePermissionDiff(const perm::PermissionSet& before,
+                                   const perm::PermissionSet& after);
+
+}  // namespace sdnshield::market

@@ -1,0 +1,210 @@
+#include "market/journal.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "isolation/fault_injector.h"
+
+namespace sdnshield::market {
+
+namespace {
+
+constexpr struct {
+  JournalOp op;
+  const char* name;
+} kOpNames[] = {
+    {JournalOp::kInstallIntent, "install_intent"},
+    {JournalOp::kInstallCommit, "install_commit"},
+    {JournalOp::kUpgradeIntent, "upgrade_intent"},
+    {JournalOp::kUpgradeCommit, "upgrade_commit"},
+    {JournalOp::kRevokeIntent, "revoke_intent"},
+    {JournalOp::kRevokeCommit, "revoke_commit"},
+    {JournalOp::kUninstallIntent, "uninstall_intent"},
+    {JournalOp::kUninstallCommit, "uninstall_commit"},
+    {JournalOp::kPolicyIntent, "policy_intent"},
+    {JournalOp::kPolicyGrant, "policy_grant"},
+    {JournalOp::kPolicyCommit, "policy_commit"},
+    {JournalOp::kAbort, "abort"},
+};
+
+std::string escapeField(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescapeField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      out += field[i];
+      continue;
+    }
+    if (i + 1 >= field.size()) {
+      throw std::invalid_argument("journal field: dangling escape");
+    }
+    switch (field[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        throw std::invalid_argument("journal field: unknown escape");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::uint64_t parseU64(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(what);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("journal record: bad ") + what);
+  }
+}
+
+}  // namespace
+
+const char* toString(JournalOp op) {
+  for (const auto& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "unknown_op";
+}
+
+std::optional<JournalOp> parseJournalOp(const std::string& name) {
+  for (const auto& entry : kOpNames) {
+    if (name == entry.name) return entry.op;
+  }
+  return std::nullopt;
+}
+
+std::string JournalRecord::encode() const {
+  std::ostringstream out;
+  out << seq << '\t' << market::toString(op) << '\t' << app << '\t' << version
+      << '\t' << escapeField(name) << '\t' << escapeField(manifestText) << '\t'
+      << escapeField(grantedText) << '\t' << escapeField(detail);
+  return out.str();
+}
+
+JournalRecord JournalRecord::decode(const std::string& line) {
+  std::vector<std::string> fields = splitFields(line);
+  if (fields.size() != 8) {
+    throw std::invalid_argument("journal record: expected 8 fields, got " +
+                                std::to_string(fields.size()));
+  }
+  JournalRecord record;
+  record.seq = parseU64(fields[0], "seq");
+  std::optional<JournalOp> op = parseJournalOp(fields[1]);
+  if (!op) throw std::invalid_argument("journal record: unknown op");
+  record.op = *op;
+  record.app = parseU64(fields[2], "app");
+  record.version = static_cast<std::uint32_t>(parseU64(fields[3], "version"));
+  record.name = unescapeField(fields[4]);
+  record.manifestText = unescapeField(fields[5]);
+  record.grantedText = unescapeField(fields[6]);
+  record.detail = unescapeField(fields[7]);
+  return record;
+}
+
+MarketJournal::MarketJournal(std::vector<JournalRecord> existing)
+    : records_(std::move(existing)) {
+  for (const JournalRecord& record : records_) {
+    nextSeq_ = std::max(nextSeq_, record.seq + 1);
+  }
+}
+
+std::uint64_t MarketJournal::append(JournalRecord record) {
+  // Fault site fires before any mutation: an injected journal fault aborts
+  // the append with no record persisted or retained.
+  iso::FaultInjector::instance().inject(iso::sites::kMarketJournal);
+  std::lock_guard lock(mutex_);
+  record.seq = nextSeq_++;
+  persist(record);
+  records_.push_back(std::move(record));
+  return records_.back().seq;
+}
+
+std::vector<JournalRecord> MarketJournal::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::size_t MarketJournal::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::vector<JournalRecord> FileJournal::load(const std::string& path) {
+  std::vector<JournalRecord> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      records.push_back(JournalRecord::decode(line));
+    } catch (const std::invalid_argument&) {
+      // A torn trailing line from a crash mid-append decodes as garbage;
+      // dropping it is the abort semantics of the unfinished append.
+      break;
+    }
+  }
+  return records;
+}
+
+FileJournal::FileJournal(const std::string& path)
+    : MarketJournal(load(path)), out_(path, std::ios::app) {
+  if (!out_) {
+    throw std::runtime_error("FileJournal: cannot open " + path);
+  }
+}
+
+void FileJournal::persist(const JournalRecord& record) {
+  out_ << record.encode() << '\n';
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("FileJournal: append failed");
+  }
+}
+
+}  // namespace sdnshield::market

@@ -1,0 +1,120 @@
+// Write-ahead journal for app-market lifecycle operations (the durability
+// half of the market subsystem). Every lifecycle op is recorded as
+// intent -> commit (or intent -> abort); a restarted controller replays the
+// committed records to reach the exact pre-crash app/permission state
+// (market::AppMarket::recover).
+//
+// Records encode to single lines (tab-separated, with \t/\n/\\ escaped) so a
+// FileJournal is a plain append-only text file that survives crashes at any
+// point: a torn trailing line fails to decode and is ignored on load, which
+// is exactly the abort semantics of an unfinished append.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "of/messages.h"
+
+namespace sdnshield::market {
+
+/// What a journal record describes. Mutating ops come in intent/commit
+/// pairs; kAbort closes an intent whose operation rolled back.
+enum class JournalOp {
+  kInstallIntent,
+  kInstallCommit,
+  kUpgradeIntent,
+  kUpgradeCommit,
+  kRevokeIntent,
+  kRevokeCommit,
+  kUninstallIntent,
+  kUninstallCommit,
+  kPolicyIntent,  ///< Carries the new policy text.
+  kPolicyGrant,   ///< One app's reconciled grant under the new policy.
+  kPolicyCommit,  ///< The epoch swap was published.
+  kAbort,         ///< The in-flight operation rolled back.
+};
+
+const char* toString(JournalOp op);
+std::optional<JournalOp> parseJournalOp(const std::string& name);
+
+struct JournalRecord {
+  std::uint64_t seq = 0;  ///< Assigned by the journal on append.
+  JournalOp op = JournalOp::kAbort;
+  of::AppId app = 0;          ///< 0 for market-wide records (policy ops).
+  std::uint32_t version = 0;  ///< App release version (install/upgrade).
+  std::string name;           ///< App name.
+  std::string manifestText;   ///< Requested manifest (install/upgrade) or
+                              ///< policy text (kPolicyIntent).
+  std::string grantedText;    ///< Granted permission set, permission-language.
+  std::string detail;         ///< Reason / diagnostic text.
+
+  /// Single-line wire form (newline-free).
+  std::string encode() const;
+  /// Throws std::invalid_argument on a malformed line.
+  static JournalRecord decode(const std::string& line);
+};
+
+/// Append-only record log. append() fires the market.journal fault site
+/// *before* mutating anything, so an injected journal fault aborts the
+/// enclosing lifecycle operation without leaving a record behind.
+class MarketJournal {
+ public:
+  virtual ~MarketJournal() = default;
+
+  /// Assigns the next sequence number, persists and retains the record.
+  /// Returns the assigned sequence. Throws iso::FaultInjected when the
+  /// market.journal site is armed (nothing is recorded then).
+  std::uint64_t append(JournalRecord record);
+
+  std::vector<JournalRecord> records() const;
+  std::size_t size() const;
+
+ protected:
+  MarketJournal() = default;
+  /// Seeds the log with already-persisted records (recovery / file load).
+  explicit MarketJournal(std::vector<JournalRecord> existing);
+
+  /// Durability hook; called under the journal lock with the seq assigned.
+  virtual void persist(const JournalRecord& record) = 0;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t nextSeq_ = 1;
+  std::vector<JournalRecord> records_;
+};
+
+/// In-memory journal (tests, and the default when no path is configured).
+class MemoryJournal final : public MarketJournal {
+ public:
+  MemoryJournal() = default;
+  /// Recovery constructor: starts from a replayed record log.
+  explicit MemoryJournal(std::vector<JournalRecord> existing)
+      : MarketJournal(std::move(existing)) {}
+
+ protected:
+  void persist(const JournalRecord&) override {}
+};
+
+/// File-backed journal: one encoded record per line, appended and flushed
+/// per record. Loads any existing records on open (a torn trailing line is
+/// skipped). Throws std::runtime_error when the file cannot be opened.
+class FileJournal final : public MarketJournal {
+ public:
+  explicit FileJournal(const std::string& path);
+
+  /// Decodes the records currently stored at @p path (shared with the
+  /// constructor; exposed for recovery tooling).
+  static std::vector<JournalRecord> load(const std::string& path);
+
+ protected:
+  void persist(const JournalRecord& record) override;
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace sdnshield::market
