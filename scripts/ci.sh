@@ -10,18 +10,24 @@
 #      bench_degraded_mode (JSONL rows) with tiny iteration counts, output
 #      validated against scripts/bench_schema.json — a bench that bitrots
 #      into empty or malformed output fails here, not on report day.
-#   3. ASan+UBSan build, full ctest suite — any finding fails the run
+#   3. Interleaving exploration: `ctest -L mck` — the deterministic model
+#      checker suites (DESIGN.md §12), which exhaustively explore the
+#      market's concurrency scenarios and replay the pinned counterexample.
+#      Runs in the quick job too: it is the only gate that PROVES the
+#      epoch-swap atomicity claims instead of stress-sampling them, and
+#      --no-tests=error catches label bitrot selecting zero tests.
+#   4. ASan+UBSan build, full ctest suite — any finding fails the run
 #      (UBSan is non-recoverable via SDNSHIELD_SANITIZE wiring).
-#   4. TSan build, `ctest -L concurrency` — the threaded engine suites, the
+#   5. TSan build, `ctest -L concurrency` — the threaded engine suites, the
 #      supervision suite and the obs registry/tracer suites all carry the
 #      label; data races fail the run.
-#   5. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
+#   6. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
 #      every FaultInjector site (crash/hang/flood) with the allocator
 #      poisoned — a contained fault that corrupts memory fails here even if
 #      the counters look right.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
-#   --skip-sanitizers runs stages 0-2 only (the <10 min quick job).
+#   --skip-sanitizers runs stages 0-3 only (the <10 min quick job).
 #
 # Every ctest invocation uses --no-tests=error: a build or label change
 # that silently selects zero tests is a failure, not a green run.
@@ -37,7 +43,7 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
 }
 
-echo "=== [0/5] Lint gate (clang-format, clang-tidy, typed API errors) ==="
+echo "=== [0/6] Lint gate (clang-format, clang-tidy, typed API errors) ==="
 scripts/format.sh --check
 scripts/tidy.sh build
 # Typed-error gate: ApiResult/ApiResponse failures carry an ApiErrc, never a
@@ -54,11 +60,11 @@ if grep -rn --include='*.cpp' --include='*.h' -E \
   exit 1
 fi
 
-echo "=== [1/5] Release build + full test suite ==="
+echo "=== [1/6] Release build + full test suite ==="
 run_suite build
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [2/5] Bench smoke (schema-validated output) ==="
+echo "=== [2/6] Bench smoke (schema-validated output) ==="
 ./build/bench/bench_perm_engine --benchmark_min_time=0.01 \
     --benchmark_format=json > build/bench_smoke_perm.json
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
@@ -73,19 +79,26 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
 ./build/bench/bench_reconciliation --live > build/bench_smoke_live.txt
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key live_update_row --jsonl build/bench_smoke_live.txt
+# The checked-in pressure-run artifact is validated too: a schema change
+# that orphans the recorded numbers fails here, not on report day.
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key throughput_row --jsonl BENCH_throughput_pressure.json
+
+echo "=== [3/6] Interleaving exploration (ctest -L mck) ==="
+(cd build && ctest --output-on-failure --no-tests=error -j "$JOBS" -L mck)
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== Sanitizer stages skipped ==="
   exit 0
 fi
 
-echo "=== [3/5] ASan+UBSan build + full test suite ==="
+echo "=== [4/6] ASan+UBSan build + full test suite ==="
 run_suite build-asan -DSDNSHIELD_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
     ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [4/5] TSan build + concurrency suites (ctest -L concurrency) ==="
+echo "=== [5/6] TSan build + concurrency suites (ctest -L concurrency) ==="
 run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # Suppressions: cross-thread exception propagation via std::promise is
@@ -93,7 +106,7 @@ run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
 (cd build-tsan && TSAN_OPTIONS="suppressions=$PWD/../scripts/tsan.supp" \
     ctest --output-on-failure --no-tests=error -j "$JOBS" -L concurrency)
 
-echo "=== [5/5] Fault-injection pass (ctest -L faultinject under ASan) ==="
+echo "=== [6/6] Fault-injection pass (ctest -L faultinject under ASan) ==="
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
     ctest --output-on-failure --no-tests=error -j "$JOBS" -L faultinject)
 

@@ -8,6 +8,7 @@
 #include "core/engine/transaction.h"
 #include "core/lang/perm_parser.h"
 #include "core/perm/normal_form.h"
+#include "isolation/executor.h"
 
 namespace sdnshield::iso {
 
@@ -97,7 +98,23 @@ ctrl::ApiFuture<R> submitViaDeputy(ShieldRuntime& runtime, of::AppId app,
         R::failure(ctrl::ApiErrc::kAppQuarantined, "app is quarantined"));
   }
   std::shared_ptr<InFlightWindow> window = runtime.inFlightWindow(app);
-  if (!window->acquireFor(runtime.options().ksdCallTimeout)) {
+  bool acquired;
+  if (VirtualExecutor* executor = virtualExecutor()) {
+    // Model-checking mode: a full window parks the submitter as a
+    // scheduler step instead of a timed condvar wait.
+    acquired = window->tryAcquire();
+    if (!acquired) {
+      executor->await(
+          [&acquired, &window] {
+            if (!acquired) acquired = window->tryAcquire();
+            return acquired;
+          },
+          "ksd.window");
+    }
+  } else {
+    acquired = window->acquireFor(runtime.options().ksdCallTimeout);
+  }
+  if (!acquired) {
     recordKsdQueueReject();
     runtime.controller().audit().recordFault(
         app, "api call: in-flight window full past the deadline");
@@ -126,7 +143,20 @@ ctrl::ApiFuture<R> submitViaDeputy(ShieldRuntime& runtime, of::AppId app,
                    std::string("deputy unavailable: ") + error.what()));
   }
   auto wait = [&runtime, app, future, deadline, startNs]() -> R {
-    if (future->wait_until(deadline) != std::future_status::ready) {
+    bool ready;
+    if (VirtualExecutor* executor = virtualExecutor()) {
+      executor->await(
+          [future] {
+            return future->wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+          },
+          "ksd.async");
+      ready = future->wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready;
+    } else {
+      ready = future->wait_until(deadline) == std::future_status::ready;
+    }
+    if (!ready) {
       recordKsdDeadlineMiss();
       runtime.controller().audit().recordFault(
           app, "api call: async KSD call missed its deadline");

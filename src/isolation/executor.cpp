@@ -1,0 +1,17 @@
+#include "isolation/executor.h"
+
+namespace sdnshield::iso {
+
+namespace {
+std::atomic<VirtualExecutor*> gExecutor{nullptr};
+}  // namespace
+
+VirtualExecutor* virtualExecutor() {
+  return gExecutor.load(std::memory_order_acquire);
+}
+
+void setVirtualExecutor(VirtualExecutor* executor) {
+  gExecutor.store(executor, std::memory_order_release);
+}
+
+}  // namespace sdnshield::iso

@@ -1,0 +1,66 @@
+// The scheduler seam the deterministic interleaving explorer (src/mck)
+// hooks into. In production nothing is installed and every hook below is a
+// single relaxed atomic load returning nullptr — containers and deputies
+// run on real threads exactly as before.
+//
+// Under a model-checking run, mck installs a VirtualExecutor process-wide.
+// ThreadContainer and KsdPool then stop spawning threads: their task queues
+// are registered here and every posted task becomes a *step* the virtual
+// scheduler runs inline, one at a time. Blocking waits (postAndWait,
+// KsdPool::call, the async ApiFuture wait) become await() calls, and every
+// FaultInjector site doubles as a schedulePoint() where a scenario thread
+// is parked so the explorer can pick what runs next.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sdnshield::iso {
+
+class VirtualExecutor {
+ public:
+  virtual ~VirtualExecutor() = default;
+
+  /// Announces a task queue (one per ThreadContainer / KsdPool). @p tag is
+  /// the owner's identity for later enqueue/drain calls; @p label is the
+  /// human-readable actor name used in explorer traces.
+  virtual void registerQueue(const void* tag, std::string label) = 0;
+  /// Removes the queue; pending tasks are destroyed (waiters observe broken
+  /// promises, exactly like a discarded real queue).
+  virtual void unregisterQueue(const void* tag) = 0;
+
+  /// Appends a task to a registered queue. Running it later is one atomic
+  /// scheduler step. False if the queue is unknown or sealed.
+  virtual bool enqueue(const void* tag, std::function<void()> task) = 0;
+  /// Runs every pending task of the queue inline, in order (stop/join
+  /// semantics: the worker drains what is left, then exits).
+  virtual void drainQueue(const void* tag) = 0;
+  /// Destroys pending tasks without running them and seals the queue
+  /// (quarantine semantics: waiters see broken promises).
+  virtual void discardQueue(const void* tag) = 0;
+
+  /// Replacement for a timed blocking wait: parks the caller until @p ready
+  /// returns true. Best effort — may return with the predicate still false
+  /// during teardown, so callers must re-check and fall back to their
+  /// failure path. @p what names the wait in traces.
+  virtual void await(const std::function<bool()>& ready,
+                     std::string_view what) = 0;
+
+  /// A schedule point: a parked decision where the explorer picks the next
+  /// step. Called from every FaultInjector site and from mck::yield. No-op
+  /// for threads the scheduler does not own.
+  virtual void schedulePoint(std::string_view site) = 0;
+};
+
+/// The installed executor, or nullptr (production). The disarmed fast path
+/// is one relaxed load.
+VirtualExecutor* virtualExecutor();
+
+/// Installs / clears the process-wide executor. Test-only; not synchronized
+/// against concurrent runtime construction — install before building the
+/// rig under test and clear after tearing it down.
+void setVirtualExecutor(VirtualExecutor* executor);
+
+}  // namespace sdnshield::iso

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "isolation/executor.h"
+
 namespace sdnshield::iso {
 
 FaultInjector& FaultInjector::instance() {
@@ -64,6 +66,11 @@ bool FaultInjector::take(std::string_view site, bool matchQueueFull,
 }
 
 void FaultInjector::inject(std::string_view site) {
+  // Schedule point first: the explorer decides who runs (and whether this
+  // resume crashes) before the armed-fault fast path is consulted.
+  if (VirtualExecutor* executor = virtualExecutor()) {
+    executor->schedulePoint(site);
+  }
   if (armedCount_.load(std::memory_order_relaxed) == 0) return;
   Armed armed;
   if (!take(site, /*matchQueueFull=*/false, &armed)) return;
@@ -72,6 +79,9 @@ void FaultInjector::inject(std::string_view site) {
 }
 
 bool FaultInjector::injectQueueFull(std::string_view site) {
+  if (VirtualExecutor* executor = virtualExecutor()) {
+    executor->schedulePoint(site);
+  }
   if (armedCount_.load(std::memory_order_relaxed) == 0) return false;
   Armed armed;
   return take(site, /*matchQueueFull=*/true, &armed);

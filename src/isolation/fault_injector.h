@@ -65,10 +65,15 @@ class FaultInjector {
   /// How many times @p site has actually fired since the last reset().
   std::uint64_t fired(std::string_view site) const;
 
-  /// Site hook for kThrow / kDelay faults. No-op unless armed.
+  /// Site hook for kThrow / kDelay faults. No-op unless armed. Under a
+  /// model-checking run (isolation/executor.h) every site is also a
+  /// schedule point: the virtual scheduler parks the calling scenario
+  /// thread here *before* the armed-fault check, so the same sites drive
+  /// both fault injection and interleaving exploration.
   void inject(std::string_view site);
   /// Site hook for kQueueFull faults: true means "behave as if the queue
-  /// were full". No-op (false) unless armed.
+  /// were full". No-op (false) unless armed. Also a schedule point (see
+  /// inject()).
   bool injectQueueFull(std::string_view site);
 
  private:
@@ -88,6 +93,27 @@ class FaultInjector {
   mutable std::mutex mutex_;
   std::map<std::string, Armed, std::less<>> armed_;
   std::map<std::string, std::uint64_t, std::less<>> fired_;
+};
+
+/// RAII arming: arms @p site for the enclosing scope and disarms it on
+/// exit, so a test that throws (or an EXPECT that returns early) can never
+/// leak an armed fault into the next test case. Prefer this over bare
+/// arm()/disarm() pairs in tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(
+      std::string_view site, FaultInjector::Fault fault, int times = -1,
+      std::chrono::milliseconds delay = std::chrono::milliseconds{50})
+      : site_(site) {
+    FaultInjector::instance().arm(site_, fault, times, delay);
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
 };
 
 }  // namespace sdnshield::iso

@@ -57,6 +57,13 @@ void recordKsdInFlightDelta(std::int64_t delta) {
 void KsdPool::start() {
   if (started_) return;
   started_ = true;
+  if (VirtualExecutor* executor = virtualExecutor()) {
+    // Model-checking mode: no deputy threads. The channel lives in the
+    // virtual scheduler; each queued request is one explorable step.
+    virtualized_ = true;
+    executor->registerQueue(this, "ksd");
+    return;
+  }
   threads_.reserve(threadCount_);
   for (std::size_t i = 0; i < threadCount_; ++i) {
     threads_.emplace_back([this] { run(); });
@@ -65,10 +72,57 @@ void KsdPool::start() {
 
 void KsdPool::stop() {
   queue_.close();
+  if (virtualized_) {
+    if (VirtualExecutor* executor = virtualExecutor()) {
+      executor->drainQueue(this);
+      executor->unregisterQueue(this);
+    }
+    virtualized_ = false;
+    return;
+  }
   for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
   threads_.clear();
+}
+
+bool KsdPool::submit(std::function<void()> work) {
+  if (FaultInjector::instance().injectQueueFull(sites::kKsdQueue)) {
+    recordKsdQueueReject();
+    return false;
+  }
+  if (virtualized_) {
+    if (queue_.closed()) return false;
+    VirtualExecutor* executor = virtualExecutor();
+    if (!executor) return false;
+    return executor->enqueue(
+        this, [this, work = std::move(work)]() mutable {
+          runDeputyTask(work);
+        });
+  }
+  if (!queue_.pushFor(std::move(work), callTimeout_)) {
+    recordKsdQueueReject();
+    return false;
+  }
+  recordKsdQueueDelta(1);
+  return true;
+}
+
+void KsdPool::runDeputyTask(std::function<void()>& task) {
+  // Deputies are trusted kernel threads: full privilege.
+  ScopedIdentity identity(of::kKernelAppId);
+  try {
+    FaultInjector::instance().inject(sites::kKsdTask);
+    task();
+  } catch (...) {
+    // Contained: call() wraps its work in a promise, so only raw
+    // submit() tasks and injected faults land here. A deputy must
+    // survive them — it serves every app.
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    ksdMetrics().faults.increment();
+  }
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  ksdMetrics().processed.increment();
 }
 
 void KsdPool::run() {
@@ -93,18 +147,7 @@ void KsdPool::run() {
     recordKsdBatch(batch.size());
     OBS_SPAN("ksd.batch");
     for (std::function<void()>& task : batch) {
-      try {
-        FaultInjector::instance().inject(sites::kKsdTask);
-        task();
-      } catch (...) {
-        // Contained: call() wraps its work in a promise, so only raw
-        // submit() tasks and injected faults land here. A deputy must
-        // survive them — it serves every app.
-        faults_.fetch_add(1, std::memory_order_relaxed);
-        ksdMetrics().faults.increment();
-      }
-      processed_.fetch_add(1, std::memory_order_relaxed);
-      ksdMetrics().processed.increment();
+      runDeputyTask(task);
       // Release the task eagerly: its shared promise / slot guards must not
       // outlive the batch loop while later tasks run.
       task = nullptr;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "isolation/channel.h"
+#include "isolation/executor.h"
 #include "isolation/fault_injector.h"
 #include "obs/trace.h"
 
@@ -139,18 +140,7 @@ class KsdPool {
 
   /// Enqueues work for a deputy. Returns false after stop() or when the
   /// channel stays saturated past the pool deadline.
-  bool submit(std::function<void()> work) {
-    if (FaultInjector::instance().injectQueueFull(sites::kKsdQueue)) {
-      recordKsdQueueReject();
-      return false;
-    }
-    if (!queue_.pushFor(std::move(work), callTimeout_)) {
-      recordKsdQueueReject();
-      return false;
-    }
-    recordKsdQueueDelta(1);
-    return true;
-  }
+  bool submit(std::function<void()> work);
 
   /// Enqueues work and returns a std::future for its result — the
   /// asynchronous submission shape the in-flight pipeline builds on. Throws
@@ -194,7 +184,25 @@ class KsdPool {
     OBS_SPAN("ksd.call");
     std::int64_t startNs = obs::Tracer::nowNs();
     std::future<R> future = submitFuture<R>(std::move(work));
-    if (future.wait_for(timeout) != std::future_status::ready) {
+    bool ready;
+    if (virtualized_) {
+      // Model-checking mode: the deputy step runs when the virtual
+      // scheduler picks it; await() parks this (scenario) thread instead
+      // of burning the wall-clock deadline.
+      if (VirtualExecutor* executor = virtualExecutor()) {
+        executor->await(
+            [&future] {
+              return future.wait_for(std::chrono::seconds(0)) ==
+                     std::future_status::ready;
+            },
+            "ksd.call");
+      }
+      ready = future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready;
+    } else {
+      ready = future.wait_for(timeout) == std::future_status::ready;
+    }
+    if (!ready) {
       recordKsdDeadlineMiss();
       throw DeadlineExceeded("KSD call missed its deadline");
     }
@@ -221,6 +229,9 @@ class KsdPool {
 
  private:
   void run();
+  /// One containment-wrapped deputy task under kernel identity — shared
+  /// between the real deputy loop and the virtual scheduler's steps.
+  void runDeputyTask(std::function<void()>& task);
 
   std::size_t threadCount_;
   std::chrono::milliseconds callTimeout_;
@@ -230,6 +241,9 @@ class KsdPool {
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> faults_{0};
   bool started_ = false;
+  /// True when a VirtualExecutor owned the pool at start() — no deputy
+  /// threads; tasks run as virtual scheduler steps.
+  bool virtualized_ = false;
 };
 
 }  // namespace sdnshield::iso

@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "isolation/executor.h"
 #include "isolation/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,7 +68,14 @@ ThreadContainer::ThreadContainer(of::AppId app, std::string name,
                                  std::size_t queueCapacity)
     : state_(std::make_shared<State>(app, std::move(name), queueCapacity)) {}
 
-ThreadContainer::~ThreadContainer() { stop(); }
+ThreadContainer::~ThreadContainer() {
+  stop();
+  if (state_->virtualized) {
+    if (VirtualExecutor* executor = virtualExecutor()) {
+      executor->unregisterQueue(state_.get());
+    }
+  }
+}
 
 void ThreadContainer::setFaultHandler(FaultHandler handler) {
   state_->onFault = std::move(handler);
@@ -76,11 +84,27 @@ void ThreadContainer::setFaultHandler(FaultHandler handler) {
 void ThreadContainer::start() {
   if (started_) return;
   started_ = true;
+  if (VirtualExecutor* executor = virtualExecutor()) {
+    // Model-checking mode: no worker thread. The queue lives inside the
+    // virtual scheduler and every task becomes one explorable step.
+    state_->virtualized = true;
+    executor->registerQueue(state_.get(), "app:" + state_->name);
+    return;
+  }
   thread_ = std::thread([state = state_] { runLoop(state); });
 }
 
 void ThreadContainer::stop(std::chrono::milliseconds joinTimeout) {
   state_->queue.close();
+  if (state_->virtualized) {
+    // Join semantics without a thread: run whatever is still queued, in
+    // order, on the caller (the worker would have drained it before
+    // exiting).
+    if (VirtualExecutor* executor = virtualExecutor()) {
+      executor->drainQueue(state_.get());
+    }
+    return;
+  }
   if (!thread_.joinable()) return;
   std::unique_lock lock(state_->exitMutex);
   bool exited = state_->exitCv.wait_for(lock, joinTimeout,
@@ -100,15 +124,35 @@ void ThreadContainer::stop(std::chrono::milliseconds joinTimeout) {
 void ThreadContainer::quarantine() {
   state_->quarantined.store(true);
   state_->queue.closeAndDiscard();
+  if (state_->virtualized) {
+    // Pending virtual tasks are destroyed unrun — waiters observe broken
+    // promises, exactly like the discarded real queue.
+    if (VirtualExecutor* executor = virtualExecutor()) {
+      executor->discardQueue(state_.get());
+    }
+  }
+}
+
+bool ThreadContainer::postVirtual(const std::shared_ptr<State>& state,
+                                  std::function<void()> task) {
+  VirtualExecutor* executor = virtualExecutor();
+  if (!executor || state->queue.closed()) return false;
+  return executor->enqueue(
+      state.get(), [state, task = std::move(task)]() mutable {
+        ScopedIdentity identity(state->app);
+        runOneTask(*state, task);
+      });
 }
 
 bool ThreadContainer::post(std::function<void()> task) {
+  if (state_->virtualized) return postVirtual(state_, std::move(task));
   return state_->queue.push(std::move(task));
 }
 
 bool ThreadContainer::tryPost(std::function<void()> task) {
   if (FaultInjector::instance().injectQueueFull(sites::kContainerPost) ||
-      !state_->queue.tryPush(std::move(task))) {
+      !(state_->virtualized ? postVirtual(state_, std::move(task))
+                            : state_->queue.tryPush(std::move(task)))) {
     state_->dropped.fetch_add(1, std::memory_order_relaxed);
     containerMetrics().eventDrops.increment();
     return false;
@@ -133,7 +177,24 @@ bool ThreadContainer::postAndWait(std::function<void()> task,
   // discards it, destroying the promise is what wakes the wait below with
   // a broken_promise instead of letting it run out the full timeout.
   done.reset();
-  if (future.wait_for(timeout) != std::future_status::ready) return false;
+  if (state_->virtualized) {
+    if (VirtualExecutor* executor = virtualExecutor()) {
+      executor->await(
+          [&future] {
+            return future.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+          },
+          "container.join");
+    }
+    // await() is best effort during teardown; an unready future here takes
+    // the same failure path a timed-out real wait would.
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      return false;
+    }
+  } else if (future.wait_for(timeout) != std::future_status::ready) {
+    return false;
+  }
   try {
     future.get();  // Rethrows the task's exception to the waiter.
   } catch (const std::future_error&) {
@@ -148,37 +209,41 @@ ThreadContainer::Clock::duration ThreadContainer::currentTaskRuntime() const {
   return std::chrono::nanoseconds(nowNs() - start);
 }
 
+void ThreadContainer::runOneTask(State& state, std::function<void()>& task) {
+  std::int64_t startNs = nowNs();
+  state.taskStartNs.store(startNs, std::memory_order_relaxed);
+  try {
+    FaultInjector::instance().inject(sites::kContainerTask);
+    task();
+  } catch (...) {
+    // Containment: an app fault must never escape the container thread
+    // (it would std::terminate the whole controller).
+    state.faults.fetch_add(1, std::memory_order_relaxed);
+    containerMetrics().faults.increment();
+    if (state.onFault) {
+      std::exception_ptr error = std::current_exception();
+      try {
+        state.onFault(error, describeException(error));
+      } catch (...) {
+        // Fault handlers are trusted kernel code; swallow defensively.
+      }
+    }
+  }
+  state.taskStartNs.store(0, std::memory_order_relaxed);
+  state.executed.fetch_add(1, std::memory_order_relaxed);
+  // Task latency: metric + a span in the post-mortem trail (timestamps
+  // reused from the watchdog bookkeeping — no extra clock read beyond
+  // the one closing measurement).
+  std::int64_t durationNs = nowNs() - startNs;
+  containerMetrics().tasks.increment();
+  containerMetrics().taskLatency.record(durationNs);
+  obs::Tracer::global().record("container.task", startNs, durationNs);
+}
+
 void ThreadContainer::runLoop(const std::shared_ptr<State>& state) {
   ScopedIdentity identity(state->app);
   while (auto task = state->queue.pop()) {
-    std::int64_t startNs = nowNs();
-    state->taskStartNs.store(startNs, std::memory_order_relaxed);
-    try {
-      FaultInjector::instance().inject(sites::kContainerTask);
-      (*task)();
-    } catch (...) {
-      // Containment: an app fault must never escape the container thread
-      // (it would std::terminate the whole controller).
-      state->faults.fetch_add(1, std::memory_order_relaxed);
-      containerMetrics().faults.increment();
-      if (state->onFault) {
-        std::exception_ptr error = std::current_exception();
-        try {
-          state->onFault(error, describeException(error));
-        } catch (...) {
-          // Fault handlers are trusted kernel code; swallow defensively.
-        }
-      }
-    }
-    state->taskStartNs.store(0, std::memory_order_relaxed);
-    state->executed.fetch_add(1, std::memory_order_relaxed);
-    // Task latency: metric + a span in the post-mortem trail (timestamps
-    // reused from the watchdog bookkeeping — no extra clock read beyond
-    // the one closing measurement).
-    std::int64_t durationNs = nowNs() - startNs;
-    containerMetrics().tasks.increment();
-    containerMetrics().taskLatency.record(durationNs);
-    obs::Tracer::global().record("container.task", startNs, durationNs);
+    runOneTask(*state, *task);
   }
   {
     std::lock_guard lock(state->exitMutex);

@@ -124,12 +124,24 @@ class ThreadContainer {
     /// steady_clock nanos of the running task's start; 0 when idle.
     std::atomic<std::int64_t> taskStartNs{0};
     std::atomic<bool> quarantined{false};
+    /// True when a VirtualExecutor (isolation/executor.h) owns this
+    /// container's queue instead of a real worker thread. Decided at
+    /// start() and never changes afterwards.
+    bool virtualized = false;
     std::mutex exitMutex;
     std::condition_variable exitCv;
     bool exited = false;
   };
 
   static void runLoop(const std::shared_ptr<State>& state);
+  /// One containment-wrapped task execution (identity already established
+  /// by the caller) — shared between the real worker loop and the virtual
+  /// scheduler's inline steps.
+  static void runOneTask(State& state, std::function<void()>& task);
+  /// Enqueues into the virtual scheduler, wrapped to run under the app's
+  /// identity with full containment.
+  static bool postVirtual(const std::shared_ptr<State>& state,
+                          std::function<void()> task);
 
   std::shared_ptr<State> state_;
   std::thread thread_;

@@ -184,16 +184,34 @@ std::vector<JournalRecord> FileJournal::load(const std::string& path) {
     try {
       records.push_back(JournalRecord::decode(line));
     } catch (const std::invalid_argument&) {
-      // A torn trailing line from a crash mid-append decodes as garbage;
-      // dropping it is the abort semantics of the unfinished append.
-      break;
+      // An undecodable line is a torn append from a crash: the write was
+      // never acknowledged, so skipping it is the abort semantics of the
+      // unfinished transaction. Records appended AFTER a recovery from the
+      // torn file are real commits and must keep replaying, so skip — do
+      // not stop at — the remnant.
+      continue;
     }
   }
   return records;
 }
 
-FileJournal::FileJournal(const std::string& path)
-    : MarketJournal(load(path)), out_(path, std::ios::app) {
+FileJournal::FileJournal(const std::string& path) : MarketJournal(load(path)) {
+  // A crash mid-append can leave a torn final line with no terminating
+  // newline; appending straight after it would merge the next record into
+  // the remnant and corrupt it. Complete the line first so post-recovery
+  // appends start clean (load() skips the undecodable remnant itself).
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = 0;
+      if (probe.get(last) && last != '\n') {
+        std::ofstream guard(path, std::ios::app);
+        guard << '\n';
+      }
+    }
+  }
+  out_.open(path, std::ios::app);
   if (!out_) {
     throw std::runtime_error("FileJournal: cannot open " + path);
   }

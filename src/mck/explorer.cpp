@@ -1,0 +1,272 @@
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "mck/virtual_scheduler.h"
+
+namespace sdnshield::mck {
+
+void Run::thread(std::string name, std::function<void()> body) {
+  scheduler_.addThread(std::move(name), std::move(body));
+}
+
+void Run::finally(std::function<void()> check) {
+  scheduler_.addFinally(std::move(check));
+}
+
+void yield(std::string_view site) {
+  if (iso::VirtualExecutor* executor = iso::virtualExecutor()) {
+    executor->schedulePoint(site);
+  }
+}
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw Violation(message);
+}
+
+namespace {
+
+/// One decision point on the DFS stack. `done` holds option keys whose
+/// subtrees are fully explored; `sleep` the keys asleep on entry (DPOR:
+/// exploring them here would only produce traces Mazurkiewicz-equivalent
+/// to ones already covered).
+struct Node {
+  std::vector<SchedOption> options;
+  std::vector<std::string> keys;
+  std::size_t chosen = 0;
+  std::set<std::string> done;
+  std::set<std::string> sleep;
+};
+
+std::vector<std::string> keysOf(const std::vector<SchedOption>& options) {
+  std::vector<std::string> keys;
+  keys.reserve(options.size());
+  for (const SchedOption& option : options) keys.push_back(option.key());
+  return keys;
+}
+
+/// Steps commute iff both are plain thread resumes of *different* actors
+/// whose declared footprints touch different resources (or both only
+/// read). Crash resumes and queue tasks are conservatively dependent with
+/// everything, as are sites without a footprint.
+bool independent(const Options& options, const SchedOption& a,
+                 const SchedOption& b) {
+  if (a.actor == b.actor) return false;  // Program order is never reordered.
+  if (a.kind != SchedOption::Kind::kThread ||
+      b.kind != SchedOption::Kind::kThread) {
+    return false;
+  }
+  auto fa = options.footprint.find(a.site);
+  auto fb = options.footprint.find(b.site);
+  if (fa == options.footprint.end() || fb == options.footprint.end()) {
+    return false;
+  }
+  if (fa->second.resource != fb->second.resource) return true;
+  return !fa->second.write && !fb->second.write;
+}
+
+const SchedOption* findByKey(const Node& node, const std::string& key) {
+  for (std::size_t i = 0; i < node.keys.size(); ++i) {
+    if (node.keys[i] == key) return &node.options[i];
+  }
+  return nullptr;
+}
+
+struct ExecutionOutcome {
+  bool violated = false;
+  bool pruned = false;
+  std::string message;
+  std::vector<ScheduleStep> trace;
+};
+
+/// One full scenario execution under @p chooser: build the rig (setup runs
+/// inline on this thread), drive to quiescence, run the finally checks,
+/// tear the rig down — all with the scheduler installed as the process
+/// executor.
+ExecutionOutcome runExecution(const Options& options,
+                              const Scenario& scenario,
+                              const VirtualScheduler::Chooser& chooser) {
+  VirtualScheduler scheduler(options);
+  iso::setVirtualExecutor(&scheduler);
+  Run run(scheduler);
+  try {
+    scenario(run);
+  } catch (const Violation& violation) {
+    scheduler.recordViolation(violation.what());
+  } catch (const std::exception& error) {
+    scheduler.recordViolation(std::string("mck: scenario setup failed: ") +
+                              error.what());
+  }
+  if (!scheduler.violated()) scheduler.run(chooser);
+  if (!scheduler.violated() && !scheduler.pruned()) scheduler.runFinally();
+  scheduler.clearScenario();
+  iso::setVirtualExecutor(nullptr);
+  return {scheduler.violated(), scheduler.pruned(), scheduler.message(),
+          scheduler.trace()};
+}
+
+}  // namespace
+
+Explorer::Explorer(Options options) : options_(std::move(options)) {}
+
+Result Explorer::explore(const Scenario& scenario) {
+  Result result;
+
+  if (options_.randomSeed != 0) {
+    // Seeded-random fallback: uniform choice at every decision; never
+    // exhaustive, but reproducible for a given seed + budget.
+    for (std::size_t i = 0; i < options_.maxSchedules; ++i) {
+      auto rng = std::make_shared<std::mt19937_64>(options_.randomSeed + i);
+      ExecutionOutcome outcome = runExecution(
+          options_, scenario,
+          [rng](const std::vector<SchedOption>& options) -> std::size_t {
+            return (*rng)() % options.size();
+          });
+      ++result.schedules;
+      result.steps += outcome.trace.size();
+      if (outcome.violated) {
+        result.violated = true;
+        result.message = outcome.message;
+        result.trace = outcome.trace;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  // Exhaustive DFS: re-execute from scratch per schedule, replaying the
+  // decision prefix recorded on the stack, then extending at the frontier.
+  std::vector<Node> stack;
+  while (true) {
+    if (result.schedules + result.prunedSchedules >= options_.maxSchedules) {
+      return result;  // Budget spent; exhausted stays false.
+    }
+    auto depth = std::make_shared<std::size_t>(0);
+    std::string divergence;
+    auto chooser =
+        [this, &stack, depth,
+         &divergence](const std::vector<SchedOption>& options) -> std::size_t {
+      std::size_t d = (*depth)++;
+      if (d < stack.size()) {
+        Node& node = stack[d];
+        // Determinism check: the same prefix must enable the same options.
+        if (keysOf(options) != node.keys) {
+          divergence = "mck: nondeterministic replay at depth " +
+                       std::to_string(d) +
+                       " — scenario must be deterministic given a schedule";
+          throw PruneExecution{};
+        }
+        return node.chosen;
+      }
+      Node node;
+      node.options = options;
+      node.keys = keysOf(options);
+      if (options_.sleepSets && !stack.empty()) {
+        const Node& parent = stack.back();
+        const SchedOption& parentChoice = parent.options[parent.chosen];
+        std::set<std::string> inherited = parent.sleep;
+        inherited.insert(parent.done.begin(), parent.done.end());
+        inherited.erase(parent.keys[parent.chosen]);
+        for (const std::string& key : inherited) {
+          const SchedOption* option = findByKey(parent, key);
+          if (option && independent(options_, *option, parentChoice)) {
+            node.sleep.insert(key);
+          }
+        }
+      }
+      std::size_t pick = options.size();
+      for (std::size_t i = 0; i < options.size(); ++i) {
+        if (!node.sleep.count(node.keys[i])) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == options.size()) {
+        // Every enabled option is asleep: this execution only re-orders
+        // independent steps of an explored trace.
+        throw PruneExecution{};
+      }
+      node.chosen = pick;
+      stack.push_back(std::move(node));
+      return pick;
+    };
+
+    ExecutionOutcome outcome = runExecution(options_, scenario, chooser);
+    result.steps += outcome.trace.size();
+    if (!divergence.empty()) {
+      result.violated = true;
+      result.message = divergence;
+      result.trace = outcome.trace;
+      return result;
+    }
+    if (outcome.pruned) {
+      ++result.prunedSchedules;
+    } else {
+      ++result.schedules;
+    }
+    if (outcome.violated) {
+      result.violated = true;
+      result.message = outcome.message;
+      result.trace = outcome.trace;
+      return result;
+    }
+
+    // Backtrack: exhaust the deepest node that still has a fresh option.
+    while (!stack.empty()) {
+      Node& node = stack.back();
+      node.done.insert(node.keys[node.chosen]);
+      std::size_t next = node.options.size();
+      for (std::size_t i = 0; i < node.options.size(); ++i) {
+        if (!node.done.count(node.keys[i]) &&
+            !node.sleep.count(node.keys[i])) {
+          next = i;
+          break;
+        }
+      }
+      if (next != node.options.size()) {
+        node.chosen = next;
+        break;
+      }
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      result.exhausted = true;
+      return result;
+    }
+  }
+}
+
+Result Explorer::replay(const Scenario& scenario,
+                        const std::vector<ScheduleStep>& schedule) {
+  Result result;
+  auto depth = std::make_shared<std::size_t>(0);
+  ExecutionOutcome outcome = runExecution(
+      options_, scenario,
+      [&schedule, depth](const std::vector<SchedOption>& options)
+          -> std::size_t {
+        std::size_t d = (*depth)++;
+        if (d < schedule.size()) {
+          const ScheduleStep& step = schedule[d];
+          for (std::size_t i = 0; i < options.size(); ++i) {
+            bool isCrash = options[i].kind == SchedOption::Kind::kCrash;
+            if (options[i].actor == step.actor &&
+                options[i].site == step.site && isCrash == step.crash) {
+              return i;
+            }
+          }
+          // Drift fallback: prefer the same actor, else the first option.
+          for (std::size_t i = 0; i < options.size(); ++i) {
+            if (options[i].actor == step.actor) return i;
+          }
+        }
+        return 0;
+      });
+  result.schedules = 1;
+  result.steps = outcome.trace.size();
+  result.violated = outcome.violated;
+  result.message = outcome.message;
+  result.trace = outcome.trace;
+  return result;
+}
+
+}  // namespace sdnshield::mck

@@ -1,0 +1,150 @@
+// Deterministic interleaving explorer for small concurrency scenarios
+// (DESIGN.md §12). A scenario registers a handful of logical threads; the
+// explorer runs the scenario repeatedly, each time driving every thread
+// (and every container/deputy task queue, via the isolation/executor.h
+// seam) through a different interleaving chosen at the instrumented
+// schedule points — the FaultInjector sites plus explicit mck::yield()
+// calls. Exploration is a depth-first walk of the decision tree with
+// sleep-set partial-order reduction (DPOR), falling back to seeded-random
+// sampling for state spaces too large to exhaust.
+//
+// Crash-replay exploration: sites listed in Options::crashSites gain a
+// second resume choice — "this resume throws iso::FaultInjected" — so a
+// crash at *every* firing of every journal fault site is explored, not
+// just the first firing an armed fault would hit.
+//
+// Invariants are asserted with mck::require() inside scenario threads (or
+// post-quiescence checks registered with Run::finally); a failure stops
+// exploration and Result carries the violating schedule, replayable with
+// Explorer::replay and printable with Result::formatTrace.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdnshield::mck {
+
+/// Thrown by mck::require inside scenario code; the scheduler converts it
+/// into a violation (never let it escape into product code that would
+/// contain it).
+struct Violation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What a schedule-point site reads/writes, for DPOR independence: two
+/// steps commute when they touch different resources, or both only read
+/// the same one. Sites absent from Options::footprint are treated as
+/// dependent with everything (sound but unreduced).
+struct Footprint {
+  std::string resource;
+  bool write = true;
+};
+
+struct Options {
+  /// Exploration budget: completed + pruned executions before giving up
+  /// (Result::exhausted stays false when the budget ran out).
+  std::size_t maxSchedules = 20000;
+  /// Per-execution step bound; exceeding it is reported as a violation
+  /// (runaway scenario), not silently truncated.
+  std::size_t maxSteps = 400;
+  /// Sleep-set partial-order reduction (on by default). Turning it off
+  /// explores the full tree — useful to cross-check reduction soundness.
+  bool sleepSets = true;
+  /// Non-zero: seeded-random sampling instead of exhaustive DFS. Each of
+  /// the maxSchedules executions draws choices from mt19937_64(seed + i).
+  std::uint64_t randomSeed = 0;
+  /// Crash budget per execution (0 disables crash choices). With budget 1,
+  /// every single-crash schedule is explored — the crash-replay coverage
+  /// the market journal needs.
+  std::size_t maxCrashes = 0;
+  /// Sites whose resume may crash (throw iso::FaultInjected).
+  std::vector<std::string> crashSites;
+  /// Site -> read/write footprint for DPOR (see Footprint).
+  std::map<std::string, Footprint> footprint;
+  /// Wall-clock guard for one scheduler step: a resumed thread that fails
+  /// to yield within this window is reported instead of wedging the test.
+  std::chrono::milliseconds stepTimeout{10000};
+};
+
+/// One executed step of a schedule: which actor ran and where it parked.
+struct ScheduleStep {
+  std::string actor;  ///< "T:<thread name>" or "Q:<queue label>".
+  std::string site;   ///< Park site, or "task" for a queue step.
+  bool crash = false; ///< This resume threw iso::FaultInjected.
+};
+
+/// Text form of a schedule (one step per line, tab-separated), stable for
+/// checking counterexamples into tests/data/.
+std::string serializeSchedule(const std::vector<ScheduleStep>& steps);
+std::vector<ScheduleStep> parseSchedule(const std::string& text);
+
+struct Result {
+  std::size_t schedules = 0;       ///< Executions run to completion.
+  std::size_t prunedSchedules = 0; ///< Executions cut short by sleep sets.
+  std::size_t steps = 0;           ///< Total steps across all executions.
+  bool exhausted = false;          ///< DFS covered the whole tree.
+  bool violated = false;
+  std::string message;             ///< Violation (or scheduler error) text.
+  std::vector<ScheduleStep> trace; ///< The violating schedule.
+  /// Human-readable numbered step list of the violating schedule.
+  std::string formatTrace() const;
+};
+
+class VirtualScheduler;
+
+/// Scenario construction surface: the scenario callback receives a fresh
+/// Run per execution and registers its logical threads and final checks
+/// against a rig it builds itself (typically held in shared_ptrs captured
+/// by the closures).
+class Run {
+ public:
+  explicit Run(VirtualScheduler& scheduler) : scheduler_(scheduler) {}
+
+  /// Registers a logical thread the scheduler owns. Bodies run with every
+  /// instrumented site acting as a preemption point; everything between
+  /// two sites is one atomic step.
+  void thread(std::string name, std::function<void()> body);
+  /// Registers a check that runs once the scenario is quiescent (all
+  /// threads done, all queues empty). Runs inline; queue work it triggers
+  /// (e.g. journal recovery spinning up containers) executes eagerly.
+  void finally(std::function<void()> check);
+
+ private:
+  VirtualScheduler& scheduler_;
+};
+
+using Scenario = std::function<void(Run&)>;
+
+/// Voluntary schedule point for scenario threads, in addition to the
+/// FaultInjector sites. No-op outside a model-checking run.
+void yield(std::string_view site);
+
+/// Invariant assertion for scenario threads and finally checks.
+void require(bool ok, const std::string& message);
+
+class Explorer {
+ public:
+  explicit Explorer(Options options = {});
+
+  /// Systematically explores @p scenario until the decision tree is
+  /// exhausted, the budget is spent, or an invariant fails.
+  Result explore(const Scenario& scenario);
+
+  /// Re-executes @p scenario once under a pinned schedule. At each decision
+  /// the matching (actor, site, crash) option is chosen; if drift has made
+  /// it unavailable the first enabled option is taken, so a checked-in
+  /// counterexample keeps replaying something sensible as code evolves.
+  Result replay(const Scenario& scenario,
+                const std::vector<ScheduleStep>& schedule);
+
+ private:
+  Options options_;
+};
+
+}  // namespace sdnshield::mck

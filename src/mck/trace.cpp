@@ -1,0 +1,62 @@
+#include <sstream>
+
+#include "mck/mck.h"
+
+namespace sdnshield::mck {
+
+namespace {
+constexpr std::string_view kHeader = "# mck schedule v1";
+}  // namespace
+
+std::string serializeSchedule(const std::vector<ScheduleStep>& steps) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const ScheduleStep& step : steps) {
+    out << step.actor << "\t" << step.site << "\t"
+        << (step.crash ? "crash" : "run") << "\n";
+  }
+  return out.str();
+}
+
+std::vector<ScheduleStep> parseSchedule(const std::string& text) {
+  std::vector<ScheduleStep> steps;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t tab1 = line.find('\t');
+    std::size_t tab2 =
+        tab1 == std::string::npos ? std::string::npos
+                                  : line.find('\t', tab1 + 1);
+    if (tab1 == std::string::npos || tab2 == std::string::npos) {
+      throw std::invalid_argument("mck schedule: expected 3 tab-separated "
+                                  "fields, got: " +
+                                  line);
+    }
+    ScheduleStep step;
+    step.actor = line.substr(0, tab1);
+    step.site = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    std::string mode = line.substr(tab2 + 1);
+    if (mode != "run" && mode != "crash") {
+      throw std::invalid_argument("mck schedule: unknown step mode: " + mode);
+    }
+    step.crash = mode == "crash";
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+std::string Result::formatTrace() const {
+  std::ostringstream out;
+  out << (violated ? "VIOLATION: " + message : std::string("no violation"))
+      << "\n";
+  std::size_t n = 0;
+  for (const ScheduleStep& step : trace) {
+    out << "  " << ++n << ". " << step.actor << " @ " << step.site;
+    if (step.crash) out << " [crash]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sdnshield::mck

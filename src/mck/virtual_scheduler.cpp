@@ -1,0 +1,398 @@
+#include "mck/virtual_scheduler.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isolation/fault_injector.h"
+
+namespace sdnshield::mck {
+
+namespace {
+
+/// The logical thread the current OS thread embodies (nullptr on the
+/// explorer thread and on threads the scheduler does not own).
+thread_local void* tlsThread = nullptr;
+
+/// Depth of inline task execution on this thread. While positive, schedule
+/// points do not park: the running queue task (or drained stop/teardown
+/// work) is part of the enclosing step.
+thread_local int tlsInlineDepth = 0;
+
+struct InlineDepthGuard {
+  InlineDepthGuard() { ++tlsInlineDepth; }
+  ~InlineDepthGuard() { --tlsInlineDepth; }
+};
+
+}  // namespace
+
+VirtualScheduler::~VirtualScheduler() {
+  enterFreeRun();
+  for (auto& t : threads_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+}
+
+void VirtualScheduler::addThread(std::string name,
+                                 std::function<void()> body) {
+  auto t = std::make_unique<LThread>();
+  t->name = std::move(name);
+  t->body = std::move(body);
+  threads_.push_back(std::move(t));
+}
+
+void VirtualScheduler::addFinally(std::function<void()> check) {
+  finally_.push_back(std::move(check));
+}
+
+void VirtualScheduler::recordViolation(const std::string& message) {
+  std::lock_guard lock(mutex_);
+  if (violated_) return;  // First violation wins; later ones are fallout.
+  violated_ = true;
+  message_ = message;
+}
+
+void VirtualScheduler::threadMain(LThread* t) {
+  tlsThread = t;
+  {
+    std::unique_lock lock(mutex_);
+    parkLocked(lock, t, "spawn", nullptr);
+  }
+  try {
+    t->body();
+  } catch (const Violation& violation) {
+    recordViolation(violation.what());
+  } catch (const std::exception& error) {
+    recordViolation("mck: unhandled exception escaped thread " + t->name +
+                    ": " + error.what());
+  } catch (...) {
+    recordViolation("mck: unhandled exception escaped thread " + t->name);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    t->state = LThread::State::kDone;
+  }
+  schedCv_.notify_all();
+  tlsThread = nullptr;
+}
+
+bool VirtualScheduler::parkLocked(std::unique_lock<std::mutex>& lock,
+                                  LThread* t, std::string site,
+                                  std::function<bool()> ready) {
+  t->site = std::move(site);
+  t->blockedReady = std::move(ready);
+  t->state = t->blockedReady ? LThread::State::kBlocked
+                             : LThread::State::kParked;
+  t->go = false;
+  schedCv_.notify_all();
+  threadCv_.wait(lock, [&] { return t->go || mode_ == Mode::kFreeRun; });
+  t->go = false;
+  t->state = LThread::State::kRunning;
+  t->blockedReady = nullptr;
+  bool crash = t->crashOnResume;
+  t->crashOnResume = false;
+  return crash && mode_ == Mode::kControlled;
+}
+
+void VirtualScheduler::schedulePoint(std::string_view site) {
+  auto* t = static_cast<LThread*>(tlsThread);
+  if (!t || tlsInlineDepth > 0) return;
+  std::unique_lock lock(mutex_);
+  if (mode_ != Mode::kControlled) return;
+  bool crash = parkLocked(lock, t, std::string(site), nullptr);
+  if (crash) {
+    std::string at = t->site;
+    lock.unlock();
+    throw iso::FaultInjected(at);
+  }
+}
+
+void VirtualScheduler::await(const std::function<bool()>& ready,
+                             std::string_view what) {
+  auto* t = static_cast<LThread*>(tlsThread);
+  std::unique_lock lock(mutex_);
+  if (t && tlsInlineDepth == 0 && mode_ == Mode::kControlled) {
+    if (ready()) return;
+    parkLocked(lock, t, "await:" + std::string(what), ready);
+    if (mode_ == Mode::kControlled) return;  // Resumed: predicate held.
+    // Free-run woke us with the predicate possibly false; fall through to
+    // the self-draining loop below.
+  }
+  // Inline execution (setup, finally, teardown drains) or free-run: the
+  // caller itself drives queue tasks until the predicate holds.
+  std::size_t idleSpins = 0;
+  while (!ready()) {
+    if (runOneInlineTaskLocked(lock)) {
+      idleSpins = 0;
+      continue;
+    }
+    if (mode_ == Mode::kFreeRun) {
+      // Other (released) threads may still produce progress; poll politely
+      // and eventually bail — await is best effort and callers re-check.
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+      if (++idleSpins > 1000000) return;
+      continue;
+    }
+    throw Violation("mck: await(" + std::string(what) +
+                    ") cannot make progress during inline execution");
+  }
+}
+
+void VirtualScheduler::registerQueue(const void* tag, std::string label) {
+  std::lock_guard lock(mutex_);
+  TaskQueue queue;
+  // Uniquified label: re-created actors (a re-spawned container for the
+  // same app) must not collide in DPOR bookkeeping or traces.
+  queue.label = label + "#" + std::to_string(++queueSeq_);
+  queues_.emplace(tag, std::move(queue));
+  queueOrder_.push_back(tag);
+}
+
+void VirtualScheduler::unregisterQueue(const void* tag) {
+  std::deque<std::function<void()>> orphans;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = queues_.find(tag);
+    if (it == queues_.end()) return;
+    orphans.swap(it->second.tasks);
+    queues_.erase(it);
+    std::erase(queueOrder_, tag);
+  }
+  // Destroy outside the lock: task destructors break promises, which may
+  // run arbitrary waiter-side code.
+  orphans.clear();
+}
+
+bool VirtualScheduler::enqueue(const void* tag, std::function<void()> task) {
+  std::lock_guard lock(mutex_);
+  auto it = queues_.find(tag);
+  if (it == queues_.end() || it->second.sealed) return false;
+  it->second.tasks.push_back(std::move(task));
+  return true;
+}
+
+void VirtualScheduler::drainQueue(const void* tag) {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    auto it = queues_.find(tag);
+    if (it == queues_.end() || it->second.tasks.empty()) return;
+    std::function<void()> task = std::move(it->second.tasks.front());
+    it->second.tasks.pop_front();
+    lock.unlock();
+    {
+      InlineDepthGuard guard;
+      task();
+    }
+    lock.lock();
+  }
+}
+
+void VirtualScheduler::discardQueue(const void* tag) {
+  std::deque<std::function<void()>> discarded;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = queues_.find(tag);
+    if (it == queues_.end()) return;
+    discarded.swap(it->second.tasks);
+    it->second.sealed = true;
+  }
+  discarded.clear();  // Broken promises fire outside the lock.
+}
+
+bool VirtualScheduler::runOneInlineTaskLocked(
+    std::unique_lock<std::mutex>& lock) {
+  for (const void* tag : queueOrder_) {
+    auto it = queues_.find(tag);
+    if (it == queues_.end() || it->second.tasks.empty()) continue;
+    std::function<void()> task = std::move(it->second.tasks.front());
+    it->second.tasks.pop_front();
+    lock.unlock();
+    {
+      InlineDepthGuard guard;
+      task();
+    }
+    lock.lock();
+    return true;
+  }
+  return false;
+}
+
+void VirtualScheduler::promoteBlockedLocked() {
+  for (auto& t : threads_) {
+    if (t->state != LThread::State::kBlocked) continue;
+    if (t->blockedReady && t->blockedReady()) {
+      // The resume itself stays a scheduling choice; only the readiness is
+      // decided here.
+      t->state = LThread::State::kParked;
+      t->blockedReady = nullptr;
+    }
+  }
+}
+
+std::vector<SchedOption> VirtualScheduler::enabledOptionsLocked() {
+  std::vector<SchedOption> options;
+  bool crashBudget = crashesTaken_ < options_.maxCrashes;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    LThread& t = *threads_[i];
+    if (t.state != LThread::State::kParked) continue;
+    options.push_back(
+        {SchedOption::Kind::kThread, i, "T:" + t.name, t.site});
+    if (crashBudget &&
+        std::find(options_.crashSites.begin(), options_.crashSites.end(),
+                  t.site) != options_.crashSites.end()) {
+      options.push_back(
+          {SchedOption::Kind::kCrash, i, "T:" + t.name, t.site});
+    }
+  }
+  for (std::size_t i = 0; i < queueOrder_.size(); ++i) {
+    auto it = queues_.find(queueOrder_[i]);
+    if (it == queues_.end() || it->second.tasks.empty()) continue;
+    options.push_back(
+        {SchedOption::Kind::kQueue, i, "Q:" + it->second.label, "task"});
+  }
+  return options;
+}
+
+void VirtualScheduler::executeOption(const SchedOption& option) {
+  if (option.kind == SchedOption::Kind::kQueue) {
+    std::unique_lock lock(mutex_);
+    if (option.index >= queueOrder_.size()) return;
+    auto it = queues_.find(queueOrder_[option.index]);
+    if (it == queues_.end() || it->second.tasks.empty()) return;
+    std::function<void()> task = std::move(it->second.tasks.front());
+    it->second.tasks.pop_front();
+    lock.unlock();
+    try {
+      InlineDepthGuard guard;
+      task();
+    } catch (const Violation& violation) {
+      recordViolation(violation.what());
+    } catch (const std::exception& error) {
+      // Queue tasks are containment-wrapped by their owners; anything
+      // escaping is a harness-level failure worth surfacing.
+      recordViolation(std::string("mck: queue task threw: ") + error.what());
+    }
+    return;
+  }
+  LThread& t = *threads_[option.index];
+  std::unique_lock lock(mutex_);
+  t.state = LThread::State::kRunning;
+  t.go = true;
+  t.crashOnResume = option.kind == SchedOption::Kind::kCrash;
+  if (t.crashOnResume) ++crashesTaken_;
+  threadCv_.notify_all();
+  bool yielded = schedCv_.wait_for(lock, options_.stepTimeout, [&] {
+    return t.state != LThread::State::kRunning || mode_ == Mode::kFreeRun;
+  });
+  if (!yielded) {
+    violated_ = true;
+    if (message_.empty()) {
+      message_ = "mck: thread " + t.name +
+                 " did not yield within the step timeout (resumed at " +
+                 option.site + ")";
+    }
+  }
+}
+
+void VirtualScheduler::enterFreeRun() {
+  {
+    std::lock_guard lock(mutex_);
+    mode_ = Mode::kFreeRun;
+  }
+  threadCv_.notify_all();
+  schedCv_.notify_all();
+}
+
+void VirtualScheduler::run(const Chooser& chooser) {
+  if (started_) return;
+  started_ = true;
+  {
+    std::unique_lock lock(mutex_);
+    for (auto& t : threads_) {
+      LThread* raw = t.get();
+      t->thread = std::thread([this, raw] { threadMain(raw); });
+    }
+    schedCv_.wait(lock, [&] {
+      for (auto& t : threads_) {
+        if (t->state == LThread::State::kStarting) return false;
+      }
+      return true;
+    });
+  }
+  while (true) {
+    std::vector<SchedOption> options;
+    {
+      std::lock_guard lock(mutex_);
+      if (violated_) break;
+      promoteBlockedLocked();
+      options = enabledOptionsLocked();
+      if (options.empty()) {
+        bool allDone = true;
+        std::ostringstream stuck;
+        for (auto& t : threads_) {
+          if (t->state == LThread::State::kDone) continue;
+          allDone = false;
+          stuck << " " << t->name << "@" << t->site;
+        }
+        if (!allDone) {
+          violated_ = true;
+          message_ = "mck: model deadlock — blocked threads:" + stuck.str();
+        }
+        break;  // Quiescent (or deadlocked).
+      }
+      if (trace_.size() >= options_.maxSteps) {
+        violated_ = true;
+        message_ = "mck: step bound exceeded (" +
+                   std::to_string(options_.maxSteps) + ")";
+        break;
+      }
+    }
+    std::size_t pick;
+    try {
+      pick = chooser(options);
+    } catch (const PruneExecution&) {
+      pruned_ = true;
+      break;
+    } catch (const std::exception& error) {
+      recordViolation(std::string("mck: chooser failed: ") + error.what());
+      break;
+    }
+    const SchedOption& option = options[pick % options.size()];
+    executeOption(option);
+    {
+      std::lock_guard lock(mutex_);
+      trace_.push_back({option.actor, option.site,
+                        option.kind == SchedOption::Kind::kCrash});
+    }
+  }
+  enterFreeRun();
+  for (auto& t : threads_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+}
+
+void VirtualScheduler::runFinally() {
+  for (const auto& check : finally_) {
+    try {
+      check();
+    } catch (const Violation& violation) {
+      recordViolation(violation.what());
+      return;
+    } catch (const std::exception& error) {
+      recordViolation(std::string("mck: finally check threw: ") +
+                      error.what());
+      return;
+    }
+  }
+}
+
+void VirtualScheduler::clearScenario() {
+  // Closures own the scenario rig; destroying them tears it down while this
+  // executor is still installed (container/deputy shutdown drains through
+  // the seam above).
+  threads_.clear();
+  finally_.clear();
+}
+
+}  // namespace sdnshield::mck

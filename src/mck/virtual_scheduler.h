@@ -1,0 +1,142 @@
+// Internal to src/mck: the cooperative scheduler behind Explorer. One
+// execution = real std::threads for the scenario's logical threads, but
+// only ever ONE runnable at a time — every other thread is parked on a
+// condvar handshake at its last schedule point. Container/deputy task
+// queues (registered through the iso::VirtualExecutor seam) are additional
+// actors whose queued tasks run inline on the scheduler thread, one task
+// per step, in the actor-model style of the SDN model-checking literature.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "isolation/executor.h"
+#include "mck/mck.h"
+
+namespace sdnshield::mck {
+
+/// One enabled choice at a decision point.
+struct SchedOption {
+  enum class Kind {
+    kThread,  ///< Resume a parked logical thread.
+    kCrash,   ///< Resume it with an injected crash (throws FaultInjected).
+    kQueue,   ///< Run the front task of a registered queue.
+  };
+  Kind kind = Kind::kThread;
+  std::size_t index = 0;  ///< threads_ index (kThread/kCrash) or queue slot.
+  std::string actor;      ///< "T:<name>" or "Q:<label>".
+  std::string site;       ///< Park site; "task" for queue steps.
+
+  /// Canonical identity for DPOR done/sleep bookkeeping.
+  std::string key() const {
+    std::string k = actor + "@" + site;
+    if (kind == Kind::kCrash) k += "!crash";
+    return k;
+  }
+};
+
+/// Thrown by a chooser to abandon an execution whose every enabled option
+/// is asleep (the trace is equivalent to one already explored).
+struct PruneExecution {};
+
+class VirtualScheduler final : public iso::VirtualExecutor {
+ public:
+  /// Picks the index of the next option. May throw PruneExecution.
+  using Chooser = std::function<std::size_t(const std::vector<SchedOption>&)>;
+
+  explicit VirtualScheduler(const Options& options) : options_(options) {}
+  ~VirtualScheduler() override;
+
+  // --- scenario surface (via Run) ------------------------------------------
+  void addThread(std::string name, std::function<void()> body);
+  void addFinally(std::function<void()> check);
+
+  /// Drives the registered threads and queues to quiescence under
+  /// @p chooser, then releases every thread (free-run) and joins.
+  void run(const Chooser& chooser);
+  /// Runs the finally checks inline. Call after run().
+  void runFinally();
+  /// Destroys the scenario closures (and whatever rig they own) while this
+  /// executor is still installed, so teardown drains through the seam.
+  void clearScenario();
+
+  bool violated() const { return violated_; }
+  bool pruned() const { return pruned_; }
+  const std::string& message() const { return message_; }
+  const std::vector<ScheduleStep>& trace() const { return trace_; }
+
+  void recordViolation(const std::string& message);
+
+  // --- iso::VirtualExecutor -------------------------------------------------
+  void registerQueue(const void* tag, std::string label) override;
+  void unregisterQueue(const void* tag) override;
+  bool enqueue(const void* tag, std::function<void()> task) override;
+  void drainQueue(const void* tag) override;
+  void discardQueue(const void* tag) override;
+  void await(const std::function<bool()>& ready,
+             std::string_view what) override;
+  void schedulePoint(std::string_view site) override;
+
+ private:
+  struct LThread {
+    enum class State { kStarting, kRunning, kParked, kBlocked, kDone };
+
+    std::string name;
+    std::function<void()> body;
+    std::thread thread;
+    State state = State::kStarting;
+    std::string site = "spawn";
+    bool go = false;
+    bool crashOnResume = false;
+    /// Set while kBlocked: the await predicate the scheduler polls.
+    std::function<bool()> blockedReady;
+  };
+
+  struct TaskQueue {
+    std::string label;
+    std::deque<std::function<void()>> tasks;
+    bool sealed = false;  ///< discardQueue: no further enqueues.
+  };
+
+  enum class Mode { kControlled, kFreeRun };
+
+  void threadMain(LThread* t);
+  /// Parks the calling logical thread; returns true when this resume must
+  /// crash. Expects @p lock held on mutex_.
+  bool parkLocked(std::unique_lock<std::mutex>& lock, LThread* t,
+                  std::string site, std::function<bool()> ready);
+  /// kBlocked threads whose predicate turned true become kParked options.
+  void promoteBlockedLocked();
+  std::vector<SchedOption> enabledOptionsLocked();
+  void executeOption(const SchedOption& option);
+  /// Runs the front task of the first non-empty queue inline. False when
+  /// every queue is empty. Reacquires @p lock before returning.
+  bool runOneInlineTaskLocked(std::unique_lock<std::mutex>& lock);
+  void enterFreeRun();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable schedCv_;   ///< threads -> scheduler.
+  std::condition_variable threadCv_;  ///< scheduler -> threads.
+  Mode mode_ = Mode::kControlled;
+  std::vector<std::unique_ptr<LThread>> threads_;
+  std::vector<const void*> queueOrder_;  ///< Registration order (stable).
+  std::map<const void*, TaskQueue> queues_;
+  std::vector<std::function<void()>> finally_;
+  std::size_t queueSeq_ = 0;  ///< Uniquifies labels across registrations.
+  std::size_t crashesTaken_ = 0;
+  bool started_ = false;
+  bool pruned_ = false;
+  bool violated_ = false;
+  std::string message_;
+  std::vector<ScheduleStep> trace_;
+};
+
+}  // namespace sdnshield::mck

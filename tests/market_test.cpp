@@ -233,24 +233,30 @@ void runFaultCase(const FaultCase& fc) {
   Counts before = countsOf(rig);
   std::uint64_t epochBefore = rig.shield.engine().epoch();
 
-  FaultInjector::instance().arm(fc.site, FaultInjector::Fault::kThrow, 1);
-  ctrl::ApiErrc code = ctrl::ApiErrc::kOk;
-  std::string opName = fc.op;
-  if (opName == "install") {
-    code = rig.market.installApp(makeStub(true), 1).error().code;
-  } else if (opName == "upgrade") {
-    code = rig.market.upgradeApp(b.value(), makeStub(false, kSwapperManifestV2), 2)
-               .error()
-               .code;
-  } else if (opName == "revoke") {
-    code = rig.market.revokeApp(b.value(), "fault test").error().code;
-  } else if (opName == "uninstall") {
-    code = rig.market.uninstallApp(b.value()).error().code;
-  } else {
-    code = rig.market.updatePolicy(kOpenPolicy).error().code;
+  // fired() counts cumulatively across the per-op loop in each TEST_F, so
+  // assert the delta produced by this one armed window.
+  std::uint64_t firedBefore = FaultInjector::instance().fired(fc.site);
+  {
+    iso::ScopedFault fault(fc.site, FaultInjector::Fault::kThrow, 1);
+    ctrl::ApiErrc code = ctrl::ApiErrc::kOk;
+    std::string opName = fc.op;
+    if (opName == "install") {
+      code = rig.market.installApp(makeStub(true), 1).error().code;
+    } else if (opName == "upgrade") {
+      code = rig.market
+                 .upgradeApp(b.value(), makeStub(false, kSwapperManifestV2), 2)
+                 .error()
+                 .code;
+    } else if (opName == "revoke") {
+      code = rig.market.revokeApp(b.value(), "fault test").error().code;
+    } else if (opName == "uninstall") {
+      code = rig.market.uninstallApp(b.value()).error().code;
+    } else {
+      code = rig.market.updatePolicy(kOpenPolicy).error().code;
+    }
+    EXPECT_EQ(code, ctrl::ApiErrc::kTransactionAborted);
+    EXPECT_EQ(FaultInjector::instance().fired(fc.site), firedBefore + 1);
   }
-  EXPECT_EQ(code, ctrl::ApiErrc::kTransactionAborted);
-  EXPECT_EQ(FaultInjector::instance().fired(fc.site), 1u);
 
   // Nothing partial survived the abort: same digest, same engine grants,
   // same containers, same async windows, same subscriptions, same epoch.
@@ -259,8 +265,8 @@ void runFaultCase(const FaultCase& fc) {
   EXPECT_EQ(rig.shield.engine().epoch(), epochBefore);
 
   // The journal (intent and abort records included) replays to the exact
-  // live state.
-  FaultInjector::instance().reset();
+  // live state; the ScopedFault guard disarmed the site at scope exit, so
+  // the replay itself runs fault-free.
   EXPECT_EQ(recoveredDigest(rig), rig.market.digest());
   rig.shield.shutdown();
 }
@@ -377,6 +383,97 @@ TEST_F(MarketTest, FileJournalRoundTripsAndSkipsTornTrailingLine) {
   EXPECT_EQ(records[0].app, 7u);
   EXPECT_EQ(records[0].manifestText, "APP swapper\nPERM read_statistics\n");
   EXPECT_EQ(records[0].detail, "tab\ttext");
+  std::remove(path.c_str());
+}
+
+// recover() must be idempotent: replaying one journal onto two fresh
+// runtimes yields identical digests, replay never mutates the journal it
+// reads, and a market recovered from a recovered market's journal converges
+// to the same state again (second-generation recovery).
+TEST_F(MarketTest, RecoverTwiceFromSameJournalIsIdempotent) {
+  Rig rig;
+  auto a = rig.market.installApp(makeStub(true), 1);
+  auto b = rig.market.installApp(makeStub(), 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(
+      rig.market.upgradeApp(b.value(), makeStub(false, kSwapperManifestV2), 2)
+          .ok());
+  ASSERT_TRUE(rig.market.updatePolicy(kRestrictPolicy).ok());
+  ASSERT_TRUE(rig.market.revokeApp(a.value(), "idempotency").ok());
+
+  std::string live = rig.market.digest();
+  std::size_t journalSize = rig.market.journal()->size();
+  EXPECT_EQ(recoveredDigest(rig), live);
+  EXPECT_EQ(recoveredDigest(rig), live);
+  EXPECT_EQ(rig.market.journal()->size(), journalSize);
+
+  // Second generation: recover from a recovered market's own journal.
+  ctrl::Controller controller1;
+  iso::ShieldRuntime shield1(controller1);
+  auto copy1 =
+      std::make_shared<market::MemoryJournal>(rig.market.journal()->records());
+  auto gen1 = market::AppMarket::recover(
+      shield1, lang::parsePolicy(kOpenPolicy), stubFactory(), copy1);
+  EXPECT_EQ(gen1->digest(), live);
+  EXPECT_EQ(copy1->size(), journalSize);  // replay appended nothing
+
+  ctrl::Controller controller2;
+  iso::ShieldRuntime shield2(controller2);
+  auto copy2 =
+      std::make_shared<market::MemoryJournal>(gen1->journal()->records());
+  auto gen2 = market::AppMarket::recover(
+      shield2, lang::parsePolicy(kOpenPolicy), stubFactory(), copy2);
+  EXPECT_EQ(gen2->digest(), live);
+
+  gen2.reset();
+  shield2.shutdown();
+  gen1.reset();
+  shield1.shutdown();
+  rig.shield.shutdown();
+}
+
+// A torn trailing line must not poison the journal for FUTURE appends: after
+// recovering from the torn file the market keeps operating, and those new
+// appends must start on a fresh line (the FileJournal constructor completes
+// the newline-less remnant) instead of merging into the torn bytes. A third
+// generation then replays pre-crash AND post-recovery records to the same
+// digest.
+TEST_F(MarketTest, TornTrailingLineThenNewAppendsStaysReplayable) {
+  std::string path = ::testing::TempDir() + "market_journal_torn_append.log";
+  std::remove(path.c_str());
+  {
+    Rig rig(std::make_shared<market::FileJournal>(path));
+    ASSERT_TRUE(rig.market.installApp(makeStub(), 1).ok());
+    rig.shield.shutdown();
+  }
+  {
+    // Crash mid-append: torn, newline-less, undecodable trailing bytes.
+    std::ofstream torn(path, std::ios::app);
+    torn << "revoke_commit\t9\tgar";
+  }
+  std::string postDigest;
+  {
+    ctrl::Controller controller;
+    iso::ShieldRuntime shield(controller);
+    auto journal = std::make_shared<market::FileJournal>(path);
+    auto recovered = market::AppMarket::recover(
+        shield, lang::parsePolicy(kOpenPolicy), stubFactory(), journal);
+    ASSERT_TRUE(recovered->installApp(makeStub(), 1).ok());
+    ASSERT_TRUE(recovered->updatePolicy(kRestrictPolicy).ok());
+    postDigest = recovered->digest();
+    recovered.reset();
+    shield.shutdown();
+  }
+  {
+    ctrl::Controller controller;
+    iso::ShieldRuntime shield(controller);
+    auto journal = std::make_shared<market::FileJournal>(path);
+    auto recovered = market::AppMarket::recover(
+        shield, lang::parsePolicy(kOpenPolicy), stubFactory(), journal);
+    EXPECT_EQ(recovered->digest(), postDigest);
+    recovered.reset();
+    shield.shutdown();
+  }
   std::remove(path.c_str());
 }
 

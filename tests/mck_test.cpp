@@ -1,0 +1,576 @@
+// Deterministic interleaving exploration (src/mck, DESIGN.md §12) of the
+// permission-epoch and lifecycle invariants: upgrade-vs-check,
+// revoke-vs-in-flight-batch, updatePolicy-vs-concurrent-checks, and
+// crash/recover at every market fault site. Each scenario asserts that no
+// check observes a mixed grant set at a stable epoch, that a revoked app
+// never emits a flow-mod after revocation, and (for the crash scenarios)
+// that journal replay reproduces the live digest. The mutation-check pair
+// at the bottom demonstrates why the explorer exists: a torn per-app
+// publisher is caught deterministically here but is a statistical
+// needle-in-a-haystack for the real-thread stress discipline.
+#include "mck/mck.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/engine/permission_engine.h"
+#include "core/lang/perm_parser.h"
+#include "core/lang/policy_parser.h"
+#include "isolation/api_proxy.h"
+#include "market/app_market.h"
+#include "market/journal.h"
+#include "switchsim/sim_network.h"
+
+namespace sdnshield {
+namespace {
+
+constexpr const char* kOpenPolicy =
+    "LET Unused = {IP_DST 10.0.0.0 MASK 255.0.0.0}\n";
+
+constexpr const char* kSwapperV1 =
+    "APP swapper\n"
+    "PERM read_statistics\n"
+    "PERM insert_flow LIMITING MAX_PRIORITY 100\n"
+    "PERM pkt_in_event\n";
+
+constexpr const char* kSwapperV2 =
+    "APP swapper\n"
+    "PERM read_statistics\n"
+    "PERM insert_flow LIMITING MAX_PRIORITY 100\n"
+    "PERM pkt_in_event\n"
+    "PERM visible_topology\n";
+
+constexpr const char* kMonitorManifest =
+    "APP monitor\n"
+    "PERM read_statistics\n"
+    "PERM pkt_in_event\n";
+
+// Strips read_statistics from BOTH installed apps: the swap must land on
+// both in one epoch, which is exactly what the checker thread probes.
+constexpr const char* kRestrictBothPolicy =
+    "LET bound = {\nPERM insert_flow\nPERM pkt_in_event\n}\n"
+    "LET sw = APP swapper\n"
+    "LET mon = APP monitor\n"
+    "ASSERT sw <= bound\n"
+    "ASSERT mon <= bound\n";
+
+constexpr const char* kRestrictSwapperPolicy =
+    "LET bound = {\nPERM insert_flow\nPERM pkt_in_event\n}\n"
+    "LET sw = APP swapper\n"
+    "ASSERT sw <= bound\n";
+
+/// Market app with a configurable name/manifest that keeps its AppContext
+/// (for async API submission from scenario threads).
+class MckApp final : public ctrl::App {
+ public:
+  MckApp(std::string name, std::string manifest)
+      : name_(std::move(name)), manifest_(std::move(manifest)) {}
+
+  std::string name() const override { return name_; }
+  std::string requestedManifest() const override { return manifest_; }
+  void init(ctrl::AppContext& context) override { context_ = &context; }
+
+  ctrl::AppContext& context() { return *context_; }
+
+ private:
+  std::string name_;
+  std::string manifest_;
+  ctrl::AppContext* context_ = nullptr;
+};
+
+/// No watchdog: the supervisor owns a real thread the virtual scheduler
+/// cannot park, so model-checked rigs run with supervision off.
+iso::ShieldOptions mckOptions() {
+  iso::ShieldOptions options;
+  options.supervise = false;
+  return options;
+}
+
+struct MckRig {
+  explicit MckRig(std::shared_ptr<market::MarketJournal> journal = nullptr)
+      : shield(controller, mckOptions()),
+        market(shield, lang::parsePolicy(kOpenPolicy), std::move(journal)) {}
+
+  ctrl::Controller controller;
+  iso::ShieldRuntime shield;
+  market::AppMarket market;
+};
+
+/// Rig with one simulated switch so flow-mod emission is observable.
+struct NetRig {
+  NetRig()
+      : network(controller),
+        shield(controller, mckOptions()),
+        market(shield, lang::parsePolicy(kOpenPolicy)) {
+    network.buildLinear(1);
+  }
+
+  ctrl::Controller controller;
+  sim::SimNetwork network;
+  iso::ShieldRuntime shield;
+  market::AppMarket market;
+};
+
+perm::ApiCall statsCall(of::AppId app) {
+  perm::ApiCall call;
+  call.type = perm::ApiCallType::kReadStatistics;
+  call.app = app;
+  call.statsLevel = of::StatsLevel::kSwitch;
+  return call;
+}
+
+perm::ApiCall topoCall(of::AppId app) {
+  perm::ApiCall call;
+  call.type = perm::ApiCallType::kReadTopology;
+  call.app = app;
+  return call;
+}
+
+of::FlowMod modTo(const char* ipDst) {
+  of::FlowMod mod;
+  mod.match.ethType = 0x0800;
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address::parse(ipDst)};
+  mod.priority = 10;
+  mod.actions.push_back(of::OutputAction{1});
+  return mod;
+}
+
+/// Coverage line per scenario (EXPERIMENTS.md "Interleaving coverage"
+/// table is regenerated from these).
+void logCoverage(const char* name, const mck::Result& result) {
+  std::cout << "mck coverage: " << name << ": schedules=" << result.schedules
+            << " pruned=" << result.prunedSchedules
+            << " steps=" << result.steps
+            << " exhausted=" << (result.exhausted ? "yes" : "no") << "\n";
+  testing::Test::RecordProperty(std::string(name) + "_schedules",
+                                static_cast<int>(result.schedules));
+}
+
+market::AppFactory mckFactory() {
+  return [](const std::string& name, std::uint32_t version)
+             -> std::shared_ptr<ctrl::App> {
+    if (name != "swapper") return nullptr;
+    return std::make_shared<MckApp>("swapper",
+                                    version >= 2 ? kSwapperV2 : kSwapperV1);
+  };
+}
+
+// --- upgrade vs concurrent checks ------------------------------------------
+
+// A live upgrade (v1 -> v2 adds visible_topology) races a checker probing
+// the grant at epoch-stable brackets. The engine swap is one install: at any
+// stable epoch the checker must see a coherent set — read_statistics is in
+// BOTH versions, so losing it mid-upgrade would be a torn grant.
+TEST(Mck, UpgradeVsCheckIsAtomicAndExhaustivelyExplored) {
+  auto scenario = [](mck::Run& run) {
+    auto rig = std::make_shared<MckRig>();
+    auto id = rig->market.installApp(
+        std::make_shared<MckApp>("swapper", kSwapperV1), 1);
+    mck::require(id.ok(), "setup: installApp failed");
+    of::AppId app = id.value();
+
+    run.thread("upgrader", [rig, app] {
+      ctrl::ApiResult result = rig->market.upgradeApp(
+          app, std::make_shared<MckApp>("swapper", kSwapperV2), 2);
+      mck::require(result.ok(), "upgradeApp failed");
+    });
+    run.thread("checker", [rig, app] {
+      engine::PermissionEngine& engine = rig->shield.engine();
+      for (int i = 0; i < 2; ++i) {
+        std::uint64_t e1 = engine.epoch();
+        bool stats = engine.check(statsCall(app)).allowed;
+        mck::yield("checker.gap");
+        bool topo = engine.check(topoCall(app)).allowed;
+        if (engine.epoch() != e1) continue;  // Swap raced the probe pair.
+        mck::require(stats,
+                     "stable-epoch probe lost read_statistics mid-upgrade");
+        (void)topo;  // Either version is coherent; only tearing is not.
+      }
+    });
+    run.finally([rig, app] {
+      auto entry = rig->market.entry(app);
+      mck::require(entry.has_value() && entry->version == 2,
+                   "upgrade did not commit");
+      mck::require(rig->shield.engine().check(topoCall(app)).allowed,
+                   "v2 grant not active after quiescence");
+    });
+  };
+
+  mck::Result result = mck::Explorer().explore(scenario);
+  logCoverage("upgrade_vs_check", result);
+  EXPECT_FALSE(result.violated) << result.formatTrace();
+  EXPECT_TRUE(result.exhausted)
+      << "state space truncated at " << result.schedules << " schedules";
+  EXPECT_GT(result.schedules, 1u);
+}
+
+// --- revoke vs in-flight async batch ---------------------------------------
+
+// An app submits a batch of async flow insertions while the market revokes
+// it. Whatever order the deputy drains the batch in, no flow-mod may land
+// after revokeApp returned: revocation uninstalls the grant and quarantines
+// before returning, so still-queued calls must be denied at execution.
+TEST(Mck, RevokeVsInFlightBatchNeverLeaksFlowMods) {
+  struct Shared {
+    std::vector<ctrl::ApiFuture<ctrl::ApiResult>> futures;
+    std::size_t flowsAtRevoke = 0;
+    bool revoked = false;
+  };
+
+  auto scenario = [](mck::Run& run) {
+    auto rig = std::make_shared<NetRig>();
+    auto app = std::make_shared<MckApp>("swapper", kSwapperV1);
+    auto id = rig->market.installApp(app, 1);
+    mck::require(id.ok(), "setup: installApp failed");
+    of::AppId appId = id.value();
+    auto shared = std::make_shared<Shared>();
+
+    run.thread("submitter", [app, shared] {
+      shared->futures.push_back(
+          app->context().api().insertFlowAsync(1, modTo("10.0.0.1")));
+      shared->futures.push_back(
+          app->context().api().insertFlowAsync(1, modTo("10.0.0.2")));
+    });
+    run.thread("revoker", [rig, appId, shared] {
+      ctrl::ApiResult result = rig->market.revokeApp(appId, "mck revoke");
+      mck::require(result.ok(), "revokeApp failed");
+      // Atomic with the quarantine step: nothing may land past this count.
+      shared->flowsAtRevoke = rig->network.switchAt(1)->flowCount();
+      shared->revoked = true;
+    });
+    run.finally([rig, appId, shared] {
+      mck::require(shared->revoked, "revoker did not complete");
+      mck::require(
+          rig->network.switchAt(1)->flowCount() == shared->flowsAtRevoke,
+          "a revoked app emitted a flow-mod after revocation");
+      auto entry = rig->market.entry(appId);
+      mck::require(entry.has_value() &&
+                       entry->state == market::AppState::kRevoked,
+                   "revocation not recorded in the market entry");
+    });
+  };
+
+  mck::Result result = mck::Explorer().explore(scenario);
+  logCoverage("revoke_vs_inflight", result);
+  EXPECT_FALSE(result.violated) << result.formatTrace();
+  EXPECT_TRUE(result.exhausted)
+      << "state space truncated at " << result.schedules << " schedules";
+  EXPECT_GT(result.schedules, 1u);
+}
+
+// --- updatePolicy vs concurrent checks -------------------------------------
+
+// A policy push re-reconciles two apps and publishes both new grants via
+// one installAll. A checker probing both apps inside an epoch-stable
+// bracket must see the SAME verdict for both: all-old or all-new, never a
+// mixture (paper §VI-B, the atomic epoch swap).
+TEST(Mck, PolicySwapVsConcurrentChecksSeesOneGrantSet) {
+  auto scenario = [](mck::Run& run) {
+    auto rig = std::make_shared<MckRig>();
+    auto a = rig->market.installApp(
+        std::make_shared<MckApp>("swapper", kSwapperV1), 1);
+    auto b = rig->market.installApp(
+        std::make_shared<MckApp>("monitor", kMonitorManifest), 1);
+    mck::require(a.ok() && b.ok(), "setup: installApp failed");
+    of::AppId idA = a.value();
+    of::AppId idB = b.value();
+
+    run.thread("policy", [rig] {
+      ctrl::ApiResult result = rig->market.updatePolicy(kRestrictBothPolicy);
+      mck::require(result.ok(), "updatePolicy failed");
+    });
+    run.thread("checker", [rig, idA, idB] {
+      engine::PermissionEngine& engine = rig->shield.engine();
+      for (int i = 0; i < 2; ++i) {
+        std::uint64_t e1 = engine.epoch();
+        bool statsA = engine.check(statsCall(idA)).allowed;
+        mck::yield("checker.gap");
+        bool statsB = engine.check(statsCall(idB)).allowed;
+        if (engine.epoch() != e1) continue;
+        mck::require(statsA == statsB,
+                     "mixed grant set observed at a stable permission epoch");
+      }
+    });
+    run.finally([rig, idA, idB] {
+      engine::PermissionEngine& engine = rig->shield.engine();
+      mck::require(!engine.check(statsCall(idA)).allowed &&
+                       !engine.check(statsCall(idB)).allowed,
+                   "restricting policy did not land on both apps");
+    });
+  };
+
+  mck::Result result = mck::Explorer().explore(scenario);
+  logCoverage("policy_swap_vs_checks", result);
+  EXPECT_FALSE(result.violated) << result.formatTrace();
+  EXPECT_TRUE(result.exhausted)
+      << "state space truncated at " << result.schedules << " schedules";
+}
+
+// --- crash/recover at every market fault site ------------------------------
+
+// One driver runs upgrade -> policy push -> revoke with a crash budget of
+// one and every market fault site crash-enabled: the explorer injects a
+// FaultInjected at EVERY firing of market.reconcile/swap/journal (not just
+// the first, as an armed fault would). After quiescence the journal is
+// replayed onto a fresh runtime and the digests must match — aborted
+// transactions must leave both the live state and the journal consistent.
+TEST(Mck, CrashRecoverAtEveryMarketFaultSitePreservesDigest) {
+  auto scenario = [](mck::Run& run) {
+    auto journal = std::make_shared<market::MemoryJournal>();
+    auto rig = std::make_shared<MckRig>(journal);
+    auto id = rig->market.installApp(
+        std::make_shared<MckApp>("swapper", kSwapperV1), 1);
+    mck::require(id.ok(), "setup: installApp failed");
+    of::AppId app = id.value();
+
+    run.thread("driver", [rig, app] {
+      // Any op may abort on the injected crash; the journal must stay
+      // replayable either way, so results are deliberately not asserted.
+      (void)rig->market.upgradeApp(
+          app, std::make_shared<MckApp>("swapper", kSwapperV2), 2);
+      (void)rig->market.updatePolicy(kRestrictSwapperPolicy);
+      (void)rig->market.revokeApp(app, "mck revoke");
+    });
+    run.finally([rig] {
+      ctrl::Controller controller;
+      iso::ShieldRuntime shield(controller, mckOptions());
+      auto copy = std::make_shared<market::MemoryJournal>(
+          rig->market.journal()->records());
+      auto recovered = market::AppMarket::recover(
+          shield, lang::parsePolicy(kOpenPolicy), mckFactory(), copy);
+      mck::require(recovered->digest() == rig->market.digest(),
+                   "journal replay diverged from the live market digest");
+    });
+  };
+
+  mck::Options options;
+  options.maxCrashes = 1;
+  options.crashSites = {"market.reconcile", "market.swap", "market.journal"};
+  mck::Result result = mck::Explorer(options).explore(scenario);
+  logCoverage("crash_recover_market", result);
+  EXPECT_FALSE(result.violated) << result.formatTrace();
+  EXPECT_TRUE(result.exhausted)
+      << "state space truncated at " << result.schedules << " schedules";
+  // The crash-free schedule plus at least one crash schedule per site.
+  EXPECT_GT(result.schedules, 3u);
+}
+
+// --- sleep-set reduction ---------------------------------------------------
+
+// Two threads stepping over disjoint resources: with footprints declared,
+// sleep sets prune the redundant reorderings of independent steps; without
+// them the full tree is explored. Both walks must exhaust with the same
+// verdict (reduction soundness), and the reduced walk must be strictly
+// smaller with a non-zero prune count.
+TEST(Mck, SleepSetsPruneIndependentInterleavings) {
+  auto scenario = [](mck::Run& run) {
+    auto counters = std::make_shared<std::pair<int, int>>(0, 0);
+    run.thread("left", [counters] {
+      for (int i = 0; i < 2; ++i) {
+        ++counters->first;
+        mck::yield("left.step");
+      }
+    });
+    run.thread("right", [counters] {
+      for (int i = 0; i < 2; ++i) {
+        ++counters->second;
+        mck::yield("right.step");
+      }
+    });
+    run.finally([counters] {
+      mck::require(counters->first == 2 && counters->second == 2,
+                   "steps were lost");
+    });
+  };
+
+  mck::Options reducedOptions;
+  reducedOptions.footprint["left.step"] = {"left-cell", true};
+  reducedOptions.footprint["right.step"] = {"right-cell", true};
+  mck::Result reduced = mck::Explorer(reducedOptions).explore(scenario);
+
+  mck::Options fullOptions = reducedOptions;
+  fullOptions.sleepSets = false;
+  mck::Result full = mck::Explorer(fullOptions).explore(scenario);
+
+  EXPECT_TRUE(reduced.exhausted);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_FALSE(reduced.violated) << reduced.formatTrace();
+  EXPECT_FALSE(full.violated) << full.formatTrace();
+  EXPECT_GT(reduced.prunedSchedules, 0u);
+  EXPECT_LT(reduced.schedules, full.schedules);
+  std::cout << "mck coverage: dpor_commute: reduced=" << reduced.schedules
+            << "+" << reduced.prunedSchedules << " pruned, full="
+            << full.schedules << "\n";
+}
+
+// --- mutation check: torn publisher ----------------------------------------
+
+// The seeded bug of the PR's mutation check, reproduced at engine level: a
+// publisher that installs each app's new grant separately (one epoch per
+// app) instead of installAll's single swap. mck::yield marks the torn
+// window; on real threads it is a no-op and the window is a few hundred
+// nanoseconds wide.
+mck::Scenario tornPublisherScenario(bool buggy) {
+  return [buggy](mck::Run& run) {
+    auto engine = std::make_shared<engine::PermissionEngine>();
+    const std::vector<of::AppId> ids = {1, 2};
+    perm::PermissionSet granted =
+        lang::parsePermissions("PERM read_statistics\n");
+    perm::PermissionSet revoked = lang::parsePermissions("PERM pkt_in_event\n");
+    for (of::AppId id : ids) engine->install(id, granted);
+
+    run.thread("publisher", [engine, ids, revoked, buggy] {
+      if (buggy) {
+        for (of::AppId id : ids) {
+          engine->install(id, revoked);  // One epoch per app: torn.
+          mck::yield("torn.publish");
+        }
+      } else {
+        std::vector<std::pair<of::AppId, perm::PermissionSet>> grants;
+        for (of::AppId id : ids) grants.emplace_back(id, revoked);
+        engine->installAll(grants);  // One epoch for the batch.
+        mck::yield("atomic.publish");
+      }
+    });
+    run.thread("checker", [engine, ids] {
+      std::uint64_t e1 = engine->epoch();
+      bool first = engine->check(statsCall(ids.front())).allowed;
+      mck::yield("checker.gap");
+      bool last = engine->check(statsCall(ids.back())).allowed;
+      if (engine->epoch() == e1) {
+        mck::require(first == last,
+                     "mixed grant set observed at a stable permission epoch");
+      }
+    });
+  };
+}
+
+TEST(MckMutation, TornPublisherIsCaughtByExplorer) {
+  mck::Result result = mck::Explorer().explore(tornPublisherScenario(true));
+  ASSERT_TRUE(result.violated)
+      << "explorer failed to find the torn-publish interleaving after "
+      << result.schedules << " schedules";
+  EXPECT_NE(result.message.find("mixed grant set"), std::string::npos)
+      << result.message;
+  // The counterexample checked into tests/data/ was produced by this very
+  // serialization; printing it keeps regeneration a copy-paste away.
+  std::cout << "torn-publisher counterexample:\n"
+            << mck::serializeSchedule(result.trace);
+}
+
+TEST(MckMutation, AtomicPublisherIsExhaustivelyVerified) {
+  mck::Result result = mck::Explorer().explore(tornPublisherScenario(false));
+  EXPECT_FALSE(result.violated) << result.formatTrace();
+  EXPECT_TRUE(result.exhausted);
+}
+
+// The shrunk counterexample is pinned as data: replaying it against the
+// buggy publisher must still reach the violation (the schedule, not luck,
+// finds the bug), and the same schedule against the correct publisher is
+// clean. parseSchedule round-trips the serialized form.
+TEST(MckMutation, PinnedCounterexampleReplays) {
+  std::ifstream in(std::string(MCK_DATA_DIR) +
+                   "/mck_torn_publisher_schedule.txt");
+  ASSERT_TRUE(in.good()) << "missing tests/data/mck_torn_publisher_schedule.txt";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<mck::ScheduleStep> schedule = mck::parseSchedule(buffer.str());
+  ASSERT_FALSE(schedule.empty());
+
+  mck::Explorer explorer;
+  mck::Result buggy = explorer.replay(tornPublisherScenario(true), schedule);
+  EXPECT_TRUE(buggy.violated)
+      << "pinned schedule no longer reproduces the torn-grant violation:\n"
+      << buggy.formatTrace();
+
+  mck::Result correct = explorer.replay(tornPublisherScenario(false), schedule);
+  EXPECT_FALSE(correct.violated) << correct.formatTrace();
+}
+
+// The comparison arm of the mutation check: the market stress discipline
+// (epoch-gated scan + same-epoch confirming rescan, as in market_test's
+// PolicySwapIsAtomicUnderConcurrentCheckers) run 100 times against the same
+// torn publisher on real threads. A catch needs TWO full 64-app scans
+// inside one inter-install gap with zero epoch movement — the gap is one
+// compile-and-swap wide while each scan is 64 checks plus epoch reads, so
+// detection requires the OS to preempt the publisher mid-loop for the whole
+// double-scan. The explorer catches the same bug on its first session,
+// every time (the test above); this one documents the stress blind spot.
+TEST(MckMutation, RealThreadStressDisciplineMissesTornPublisher) {
+  constexpr int kApps = 64;
+  constexpr int kRuns = 100;
+  perm::PermissionSet granted =
+      lang::parsePermissions("PERM read_statistics\n");
+  perm::PermissionSet revoked = lang::parsePermissions("PERM pkt_in_event\n");
+
+  std::atomic<int> caught{0};
+  for (int runIndex = 0; runIndex < kRuns; ++runIndex) {
+    engine::PermissionEngine engine;
+    std::vector<of::AppId> ids;
+    for (int i = 0; i < kApps; ++i) {
+      ids.push_back(static_cast<of::AppId>(i + 1));
+      engine.install(ids.back(), granted);
+    }
+
+    auto scan = [&](bool* mixedOut) -> std::uint64_t {
+      std::uint64_t epochBefore = engine.epoch();
+      bool first = true;
+      bool expected = false;
+      bool mixed = false;
+      for (of::AppId id : ids) {
+        bool allowed = engine.check(statsCall(id)).allowed;
+        if (first) {
+          expected = allowed;
+          first = false;
+        } else if (allowed != expected) {
+          mixed = true;
+        }
+      }
+      if (engine.epoch() != epochBefore) return 0;
+      *mixedOut = mixed;
+      return epochBefore;
+    };
+
+    std::atomic<bool> stop{false};
+    std::thread checker([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        bool mixed = false;
+        std::uint64_t epoch = scan(&mixed);
+        if (epoch == 0 || !mixed) continue;
+        bool mixedAgain = false;
+        if (scan(&mixedAgain) == epoch && mixedAgain) {
+          caught.fetch_add(1);
+          return;
+        }
+      }
+    });
+    for (of::AppId id : ids) engine.install(id, revoked);  // Torn publish.
+    stop.store(true);
+    checker.join();
+  }
+
+  // Not a hard zero: a pathological preemption (the OS descheduling the
+  // publisher mid-loop for an entire double-scan, more likely on a loaded
+  // single-vCPU box) can hand the stress loop a catch. The contrast under
+  // test is reliability — the explorer is 1/1 deterministic, the stress
+  // discipline ~0/100 on an idle box — so the bound only asserts "misses
+  // the overwhelming majority", with wide headroom against CI load spikes.
+  EXPECT_LE(caught.load(), kRuns / 4)
+      << "stress discipline caught the torn publisher " << caught.load()
+      << "/" << kRuns << " times — the mck blind-spot argument needs review";
+  RecordProperty("stress_catches", caught.load());
+}
+
+}  // namespace
+}  // namespace sdnshield

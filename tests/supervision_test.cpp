@@ -116,6 +116,17 @@ TEST_F(SupervisionTest, InjectorQueueFullSiteOnlyAffectsQueuePushes) {
   EXPECT_FALSE(injector.injectQueueFull(sites::kContainerPost));
 }
 
+TEST_F(SupervisionTest, ScopedFaultDisarmsAtScopeExit) {
+  auto& injector = FaultInjector::instance();
+  {
+    ScopedFault fault(sites::kContainerTask, FaultInjector::Fault::kThrow);
+    EXPECT_THROW(injector.inject(sites::kContainerTask), FaultInjected);
+  }
+  // The guard disarmed the site on destruction; no reset() needed.
+  EXPECT_NO_THROW(injector.inject(sites::kContainerTask));
+  EXPECT_EQ(injector.fired(sites::kContainerTask), 1u);
+}
+
 // --- channel deadlines ---------------------------------------------------------
 
 TEST_F(SupervisionTest, PushForTimesOutOnAFullQueue) {
@@ -200,8 +211,7 @@ TEST_F(SupervisionTest, ContainerFaultHandlerSeesInjectedFaults) {
   container.setFaultHandler(
       [&](std::exception_ptr, const std::string&) { ++reported; });
   container.start();
-  FaultInjector::instance().arm(sites::kContainerTask,
-                                FaultInjector::Fault::kThrow, 3);
+  ScopedFault fault(sites::kContainerTask, FaultInjector::Fault::kThrow, 3);
   for (int i = 0; i < 5; ++i) container.post([] {});
   ASSERT_TRUE(waitFor([&] { return container.executedTasks() >= 5; }));
   EXPECT_EQ(container.faultCount(), 3u);
@@ -214,8 +224,8 @@ TEST_F(SupervisionTest, ContainerFaultHandlerSeesInjectedFaults) {
 TEST_F(SupervisionTest, KsdCallMissesDeadlineWhenDeputyIsDelayed) {
   KsdPool pool(1, /*callTimeout=*/50ms);
   pool.start();
-  FaultInjector::instance().arm(sites::kKsdTask, FaultInjector::Fault::kDelay,
-                                1, /*delay=*/300ms);
+  ScopedFault fault(sites::kKsdTask, FaultInjector::Fault::kDelay, 1,
+                    /*delay=*/300ms);
   EXPECT_THROW(pool.call<int>([] { return 1; }), DeadlineExceeded);
   // The deputy thread survived the abandoned call; later calls succeed.
   ASSERT_TRUE(waitFor([&] { return pool.processedCount() >= 1; }));
@@ -229,8 +239,7 @@ TEST_F(SupervisionTest, DeputyThrowIsContainedAndCounted) {
   // The injected throw fires before the queued work runs; the dropped task
   // breaks its promise, so the caller learns immediately (no deadline wait)
   // while the deputy survives.
-  FaultInjector::instance().arm(sites::kKsdTask, FaultInjector::Fault::kThrow,
-                                1);
+  ScopedFault fault(sites::kKsdTask, FaultInjector::Fault::kThrow, 1);
   EXPECT_THROW(pool.call<int>([] { return 1; }), std::runtime_error);
   EXPECT_EQ(pool.faultCount(), 1u);
   EXPECT_EQ(pool.call<int>([] { return 7; }, 2000ms), 7);
@@ -240,8 +249,7 @@ TEST_F(SupervisionTest, DeputyThrowIsContainedAndCounted) {
 TEST_F(SupervisionTest, SaturatedKsdQueueFailsTheSubmit) {
   KsdPool pool(1, /*callTimeout=*/30ms);
   pool.start();
-  FaultInjector::instance().arm(sites::kKsdQueue,
-                                FaultInjector::Fault::kQueueFull, 1);
+  ScopedFault fault(sites::kKsdQueue, FaultInjector::Fault::kQueueFull, 1);
   EXPECT_FALSE(pool.submit([] {}));
   EXPECT_TRUE(pool.submit([] {}));
   pool.stop();
@@ -480,8 +488,8 @@ TEST_F(SupervisionTest, DelayedDeputySurfacesAsFailedApiResultNotAHang) {
   auto app = std::make_shared<TestApp>();
   shield.loadApp(app, parsePermissions("PERM visible_topology\n"));
 
-  FaultInjector::instance().arm(sites::kKsdTask, FaultInjector::Fault::kDelay,
-                                1, /*delay=*/300ms);
+  ScopedFault fault(sites::kKsdTask, FaultInjector::Fault::kDelay, 1,
+                    /*delay=*/300ms);
   auto before = std::chrono::steady_clock::now();
   auto topology = app->context().api().readTopology();
   EXPECT_LT(std::chrono::steady_clock::now() - before, 5s);
