@@ -1,0 +1,92 @@
+// The `campaign` binary: runs one seed-driven chaos campaign (DESIGN.md
+// §13) and prints the JSON scorecard. The default scorecard is byte-
+// identical for a given --seed; --measured appends a wall-clock section
+// (throughput, retry/fault/audit counters) that naturally varies run to
+// run. Exit status is 0 only when every invariant oracle passes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/campaign.h"
+
+namespace {
+
+using sdnshield::campaign::Campaign;
+using sdnshield::campaign::CampaignConfig;
+using sdnshield::campaign::Scorecard;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--steps N] [--step-ms N] [--tenants N]\n"
+               "          [--extra-tenants N] [--mutants N] [--no-attackers]\n"
+               "          [--fault-ppm N] [--audit-capacity N]\n"
+               "          [--measure-ms N] [--mega-k N] [--mega-spines N]\n"
+               "          [--mega-leaves N] [--mega-steps N]\n"
+               "          [--measured] [--out FILE]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig config;
+  std::string outPath;
+  for (int i = 1; i < argc; ++i) {
+    auto intArg = [&](const char* flag, auto& slot) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      slot = static_cast<std::remove_reference_t<decltype(slot)>>(
+          std::strtoull(argv[++i], nullptr, 10));
+      return true;
+    };
+    if (intArg("--seed", config.seed) || intArg("--steps", config.steps) ||
+        intArg("--step-ms", config.stepMs) ||
+        intArg("--tenants", config.tenants) ||
+        intArg("--extra-tenants", config.extraTenants) ||
+        intArg("--mutants", config.mutants) ||
+        intArg("--audit-capacity", config.auditCapacity) ||
+        intArg("--measure-ms", config.measureMs) ||
+        intArg("--mega-k", config.megaFatTreeK) ||
+        intArg("--mega-spines", config.megaSpines) ||
+        intArg("--mega-leaves", config.megaLeaves) ||
+        intArg("--mega-steps", config.megaSteps)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--fault-ppm") == 0 && i + 1 < argc) {
+      config.faultProbability =
+          static_cast<double>(std::strtoull(argv[++i], nullptr, 10)) / 1e6;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-attackers") == 0) {
+      config.attackers = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--measured") == 0) {
+      config.measured = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+      continue;
+    }
+    usage(argv[0]);
+    return 2;
+  }
+
+  Campaign campaign(config);
+  Scorecard card = campaign.run();
+  std::string json = card.toJson();
+  if (outPath.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(outPath, std::ios::trunc);
+    out << json;
+  }
+  return card.allInvariantsPass() ? 0 : 1;
+}

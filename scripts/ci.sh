@@ -10,24 +10,29 @@
 #      bench_degraded_mode (JSONL rows) with tiny iteration counts, output
 #      validated against scripts/bench_schema.json — a bench that bitrots
 #      into empty or malformed output fails here, not on report day.
-#   3. Interleaving exploration: `ctest -L mck` — the deterministic model
+#   3. Chaos-campaign smoke (DESIGN.md §13): the campaign binary runs twice
+#      with a fixed seed; the two scorecards must be byte-identical (the
+#      determinism contract), schema-valid, and exit 0 (every invariant
+#      held and every attacker was contained). The checked-in
+#      BENCH_campaign.json is schema-validated too.
+#   4. Interleaving exploration: `ctest -L mck` — the deterministic model
 #      checker suites (DESIGN.md §12), which exhaustively explore the
 #      market's concurrency scenarios and replay the pinned counterexample.
 #      Runs in the quick job too: it is the only gate that PROVES the
 #      epoch-swap atomicity claims instead of stress-sampling them, and
 #      --no-tests=error catches label bitrot selecting zero tests.
-#   4. ASan+UBSan build, full ctest suite — any finding fails the run
+#   5. ASan+UBSan build, full ctest suite — any finding fails the run
 #      (UBSan is non-recoverable via SDNSHIELD_SANITIZE wiring).
-#   5. TSan build, `ctest -L concurrency` — the threaded engine suites, the
+#   6. TSan build, `ctest -L concurrency` — the threaded engine suites, the
 #      supervision suite and the obs registry/tracer suites all carry the
 #      label; data races fail the run.
-#   6. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
+#   7. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
 #      every FaultInjector site (crash/hang/flood) with the allocator
 #      poisoned — a contained fault that corrupts memory fails here even if
 #      the counters look right.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
-#   --skip-sanitizers runs stages 0-3 only (the <10 min quick job).
+#   --skip-sanitizers runs stages 0-4 only (the <10 min quick job).
 #
 # Every ctest invocation uses --no-tests=error: a build or label change
 # that silently selects zero tests is a failure, not a green run.
@@ -43,7 +48,7 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
 }
 
-echo "=== [0/6] Lint gate (clang-format, clang-tidy, typed API errors) ==="
+echo "=== [0/7] Lint gate (clang-format, clang-tidy, typed API errors) ==="
 scripts/format.sh --check
 scripts/tidy.sh build
 # Typed-error gate: ApiResult/ApiResponse failures carry an ApiErrc, never a
@@ -60,11 +65,11 @@ if grep -rn --include='*.cpp' --include='*.h' -E \
   exit 1
 fi
 
-echo "=== [1/6] Release build + full test suite ==="
+echo "=== [1/7] Release build + full test suite ==="
 run_suite build
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [2/6] Bench smoke (schema-validated output) ==="
+echo "=== [2/7] Bench smoke (schema-validated output) ==="
 ./build/bench/bench_perm_engine --benchmark_min_time=0.01 \
     --benchmark_format=json > build/bench_smoke_perm.json
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
@@ -84,7 +89,18 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key throughput_row --jsonl BENCH_throughput_pressure.json
 
-echo "=== [3/6] Interleaving exploration (ctest -L mck) ==="
+echo "=== [3/7] Chaos-campaign smoke (fixed seed, determinism + invariants) ==="
+./build/bench/campaign --seed 7 --out build/campaign_smoke_a.json
+./build/bench/campaign --seed 7 --out build/campaign_smoke_b.json
+# Same seed => byte-identical scorecard; any drift is a determinism bug.
+cmp build/campaign_smoke_a.json build/campaign_smoke_b.json
+python3 scripts/check_bench_json.py --schema scripts/campaign_schema.json \
+    --key campaign_scorecard build/campaign_smoke_a.json
+# The checked-in scorecard must stay schema-valid as well.
+python3 scripts/check_bench_json.py --schema scripts/campaign_schema.json \
+    --key campaign_scorecard BENCH_campaign.json
+
+echo "=== [4/7] Interleaving exploration (ctest -L mck) ==="
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS" -L mck)
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
@@ -92,13 +108,13 @@ if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   exit 0
 fi
 
-echo "=== [4/6] ASan+UBSan build + full test suite ==="
+echo "=== [5/7] ASan+UBSan build + full test suite ==="
 run_suite build-asan -DSDNSHIELD_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
     ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [5/6] TSan build + concurrency suites (ctest -L concurrency) ==="
+echo "=== [6/7] TSan build + concurrency suites (ctest -L concurrency) ==="
 run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # Suppressions: cross-thread exception propagation via std::promise is
@@ -106,7 +122,7 @@ run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
 (cd build-tsan && TSAN_OPTIONS="suppressions=$PWD/../scripts/tsan.supp" \
     ctest --output-on-failure --no-tests=error -j "$JOBS" -L concurrency)
 
-echo "=== [6/6] Fault-injection pass (ctest -L faultinject under ASan) ==="
+echo "=== [7/7] Fault-injection pass (ctest -L faultinject under ASan) ==="
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
     ctest --output-on-failure --no-tests=error -j "$JOBS" -L faultinject)
 

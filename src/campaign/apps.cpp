@@ -1,0 +1,200 @@
+#include "campaign/apps.h"
+
+#include <sstream>
+
+#include "campaign/topo_gen.h"
+#include "controller/services.h"
+
+namespace sdnshield::campaign {
+
+// --- DcRoutingApp -----------------------------------------------------------------
+
+std::string DcRoutingApp::requestedManifest() const {
+  return "APP dc_routing\n"
+         "PERM visible_topology\n"
+         "PERM pkt_in_event\n"
+         "PERM send_pkt_out LIMITING FROM_PKT_IN\n"
+         "PERM insert_flow\n";
+}
+
+void DcRoutingApp::init(ctrl::AppContext& context) {
+  context_ = &context;
+  context.subscribePacketIn(
+      [this](const ctrl::PacketInEvent& event) { onPacketIn(event); });
+}
+
+void DcRoutingApp::onPacketIn(const ctrl::PacketInEvent& event) {
+  const of::PacketIn& packetIn = event.packetIn;
+  of::HeaderFields fields = packetIn.packet.fields(packetIn.inPort);
+  if (!fields.ipDst || !fields.ipSrc) {
+    dropped_.fetch_add(1);
+    return;
+  }
+  auto topologyResponse = context_->api().readTopology();
+  if (!topologyResponse.ok()) return;
+  const net::Topology& topology = topologyResponse.value();
+  std::optional<net::Host> dst = topology.hostByIp(*fields.ipDst);
+  std::optional<net::Host> src = topology.hostByIp(*fields.ipSrc);
+  if (!dst || !src) {
+    dropped_.fetch_add(1);
+    return;
+  }
+
+  of::FlowMatch match;
+  match.ethType = fields.ethType;
+  match.ethDst = packetIn.packet.eth.dst;
+  match.ipDst = of::MaskedIpv4{*fields.ipDst};
+  auto mods = ctrl::buildPathFlowMods(topology, *src, *dst, match, 10);
+  if (!mods || mods->empty()) {
+    dropped_.fetch_add(1);
+    return;
+  }
+  if (context_->api().commitFlowTransaction(*mods).ok()) {
+    paths_.fetch_add(1);
+  }
+
+  of::PortNo releasePort = dst->dpid == packetIn.dpid ? dst->port
+                                                      : of::ports::kNone;
+  if (releasePort == of::ports::kNone) {
+    if (const auto* firstOut = std::get_if<of::OutputAction>(
+            &(*mods)[0].second.actions.front())) {
+      releasePort = firstOut->port;
+    } else {
+      return;
+    }
+  }
+  of::PacketOut out;
+  out.dpid = packetIn.dpid;
+  out.inPort = packetIn.inPort;
+  out.packet = packetIn.packet;
+  out.fromPacketIn = true;
+  out.actions.push_back(of::OutputAction{releasePort});
+  context_->api().sendPacketOut(out);
+}
+
+// --- TenantApp --------------------------------------------------------------------
+
+TenantApp::TenantApp(std::string name, std::vector<of::DatapathId> scope,
+                     std::uint8_t subnet)
+    : name_(std::move(name)), scope_(std::move(scope)), subnet_(subnet) {}
+
+std::string TenantApp::requestedManifest() const {
+  std::ostringstream out;
+  out << "APP " << name_ << "\nPERM insert_flow LIMITING SWITCH {";
+  for (std::size_t i = 0; i < scope_.size(); ++i) {
+    if (i != 0) out << ",";
+    out << scope_[i];
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void TenantApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+void TenantApp::tick() {
+  if (context_ == nullptr || scope_.empty()) return;
+  std::uint64_t round = round_.fetch_add(1);
+  of::DatapathId dpid = scope_[round % scope_.size()];
+  of::FlowMod mod;
+  mod.command = of::FlowModCommand::kAdd;
+  mod.match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+  // A rotating window of 16 distinct destinations: re-inserting an existing
+  // match is an update, so per-tenant table growth is bounded.
+  mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address(
+      172, static_cast<std::uint8_t>(16 + subnet_),
+      static_cast<std::uint8_t>(round % 16), 1)};
+  mod.priority = 5;
+  mod.actions.push_back(of::OutputAction{1});
+  ctrl::ApiResult result = context_->api().insertFlow(dpid, mod);
+  if (result.ok()) {
+    installed_.fetch_add(1);
+  } else if (result.code() == ctrl::ApiErrc::kPermissionDenied) {
+    denied_.fetch_add(1);
+  } else {
+    shed_.fetch_add(1);
+  }
+}
+
+// --- MutantApp --------------------------------------------------------------------
+
+MutantApp::MutantApp(std::string name, std::uint64_t seed,
+                     std::vector<of::DatapathId> targets)
+    : name_(std::move(name)), seed_(seed), targets_(std::move(targets)) {}
+
+std::string MutantApp::requestedManifest() const {
+  // Over-privileged on purpose, like the Table I attackers: the market's
+  // policy bound truncates this to read-mostly permissions.
+  return "APP " + name_ +
+         "\n"
+         "PERM visible_topology\n"
+         "PERM insert_flow\n"
+         "PERM delete_flow\n"
+         "PERM send_pkt_out LIMITING ARBITRARY\n"
+         "PERM read_statistics\n"
+         "PERM network_access\n";
+}
+
+void MutantApp::init(ctrl::AppContext& context) { context_ = &context; }
+
+void MutantApp::tick() {
+  if (context_ == nullptr || targets_.empty()) return;
+  // Each tick derives its own stream from (seed, tick index) so the call
+  // mix is deterministic per tick even when ticks interleave across
+  // threads.
+  std::uint64_t stream = seed_ ^ (ticks_.fetch_add(1) * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t r = nextRandom(stream);
+  of::DatapathId dpid = targets_[nextRandom(stream) % targets_.size()];
+  attempts_.fetch_add(1);
+  ctrl::ApiResult result;
+  switch (r % 4) {
+    case 0: {  // Out-of-grant insert with a randomized predicate.
+      of::FlowMod mod;
+      mod.command = of::FlowModCommand::kAdd;
+      mod.match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+      mod.match.ipDst = of::MaskedIpv4{
+          of::Ipv4Address(static_cast<std::uint8_t>(nextRandom(stream)),
+                          static_cast<std::uint8_t>(nextRandom(stream)), 0, 0),
+          of::Ipv4Address::prefixMask(16)};
+      mod.priority = static_cast<std::uint16_t>(nextRandom(stream) % 4096);
+      mod.actions.push_back(of::OutputAction{
+          static_cast<of::PortNo>(1 + nextRandom(stream) % 4)});
+      result = context_->api().insertFlow(dpid, mod);
+      break;
+    }
+    case 1: {  // Foreign-flow delete.
+      of::FlowMatch match;
+      match.ethType = static_cast<std::uint16_t>(of::EtherType::kIpv4);
+      result = context_->api().deleteFlow(dpid, match, /*strict=*/false, 0);
+      break;
+    }
+    case 2: {  // Arbitrary (not packet-in-derived) packet-out.
+      of::PacketOut out;
+      out.dpid = dpid;
+      out.packet = of::Packet::makeTcp(
+          of::MacAddress::fromUint64(0x666 + (nextRandom(stream) & 0xff)),
+          of::MacAddress::fromUint64(0x1),
+          of::Ipv4Address(10, 66, 6, static_cast<std::uint8_t>(r)),
+          of::Ipv4Address(10, 0, 0, 1), 1337, 80, of::tcpflags::kRst);
+      out.fromPacketIn = false;
+      out.actions.push_back(of::OutputAction{1});
+      result = context_->api().sendPacketOut(out);
+      break;
+    }
+    default: {  // Statistics read (often allowed — a realistic mixed diet).
+      of::StatsRequest request;
+      request.level = of::StatsLevel::kSwitch;
+      request.dpid = dpid;
+      auto response = context_->api().readStatistics(request);
+      result = response.ok() ? ctrl::ApiResult::success()
+                             : ctrl::ApiResult::failure(response.error());
+      break;
+    }
+  }
+  if (result.ok()) {
+    allowed_.fetch_add(1);
+  } else if (result.code() == ctrl::ApiErrc::kPermissionDenied) {
+    denied_.fetch_add(1);
+  }
+}
+
+}  // namespace sdnshield::campaign

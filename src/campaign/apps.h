@@ -1,0 +1,117 @@
+// The campaign's app population (DESIGN.md §13): one trusted service app
+// that serves cbench load without ever flooding (fat-trees have loops; the
+// stock routing app's flood-on-unknown would storm), benign tenant apps
+// whose manifests scope them to their own switches, seed-mutated attacker
+// variants with randomized flow predicates and API-call mixes, and an inert
+// epoch sentinel whose grants the epoch-consistency oracle probes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "controller/api.h"
+
+namespace sdnshield::campaign {
+
+/// Datacenter routing service: installs shortest-path rules for known host
+/// pairs on packet-in and releases the triggering packet. Unknown or non-IP
+/// traffic is DROPPED, never flooded — on a loopy fabric a re-flooding
+/// service app is a broadcast storm.
+class DcRoutingApp final : public ctrl::App {
+ public:
+  std::string name() const override { return "dc_routing"; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  std::uint64_t pathsInstalled() const { return paths_.load(); }
+  std::uint64_t dropped() const { return dropped_.load(); }
+
+ private:
+  void onPacketIn(const ctrl::PacketInEvent& event);
+
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> paths_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// A benign tenant: requests insert_flow scoped (by its own manifest) to
+/// its assigned switches, and on every tick installs one of a small rotating
+/// set of /32 rules on one of them. A correct engine never denies it; a
+/// revoked tenant's rule count never grows again (the revoked-app-silence
+/// oracle watches exactly that).
+class TenantApp final : public ctrl::App {
+ public:
+  TenantApp(std::string name, std::vector<of::DatapathId> scope,
+            std::uint8_t subnet);
+
+  std::string name() const override { return name_; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// One benign flow installation; safe from any thread.
+  void tick();
+
+  const std::vector<of::DatapathId>& scope() const { return scope_; }
+  std::uint64_t installed() const { return installed_.load(); }
+  std::uint64_t denied() const { return denied_.load(); }
+  std::uint64_t shed() const { return shed_.load(); }
+
+ private:
+  std::string name_;
+  std::vector<of::DatapathId> scope_;
+  std::uint8_t subnet_;
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> round_{0};
+  std::atomic<std::uint64_t> installed_{0};
+  std::atomic<std::uint64_t> denied_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+/// A seed-mutated attacker variant: ships an over-privileged manifest (the
+/// market's policy truncates it) and each tick fires one call from a
+/// seed-randomized mix — out-of-scope flow inserts with random predicates,
+/// foreign-flow deletes, arbitrary packet-outs, statistics reads. The
+/// denials it accrues are what the campaign operator revokes on.
+class MutantApp final : public ctrl::App {
+ public:
+  MutantApp(std::string name, std::uint64_t seed,
+            std::vector<of::DatapathId> targets);
+
+  std::string name() const override { return name_; }
+  std::string requestedManifest() const override;
+  void init(ctrl::AppContext& context) override;
+
+  /// One seeded API call; safe from any thread (the mix stream is advanced
+  /// under an internal counter, deterministically per tick index).
+  void tick();
+
+  std::uint64_t attempts() const { return attempts_.load(); }
+  std::uint64_t denied() const { return denied_.load(); }
+  std::uint64_t allowed() const { return allowed_.load(); }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<of::DatapathId> targets_;
+  ctrl::AppContext* context_ = nullptr;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> denied_{0};
+  std::atomic<std::uint64_t> allowed_{0};
+};
+
+/// Does nothing; exists so the epoch-consistency prober has an app whose
+/// grant set the alternating policies reshape (MAX_PRIORITY 100 vs
+/// MIN_PRIORITY 200 on insert_flow).
+class EpochSentinelApp final : public ctrl::App {
+ public:
+  std::string name() const override { return "epoch_sentinel"; }
+  std::string requestedManifest() const override {
+    return "APP epoch_sentinel\nPERM insert_flow\n";
+  }
+  void init(ctrl::AppContext& context) override { (void)context; }
+};
+
+}  // namespace sdnshield::campaign

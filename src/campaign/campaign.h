@@ -1,0 +1,71 @@
+// Seed-driven chaos campaign (DESIGN.md §13): datacenter-scale topology
+// churn, a mixed benign/attacker app population under market churn and
+// cbench load, a probabilistic fault storm at the container.*/ksd.*/market.*
+// sites, and continuously evaluated end-to-end invariant oracles. The
+// scorecard is deterministic by default (same --seed, byte-identical JSON);
+// wall-clock measurements are an opt-in section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/plan.h"
+
+namespace sdnshield::campaign {
+
+/// One invariant oracle's verdict. `violations` is an event count that is 0
+/// on pass, so the deterministic scorecard stays byte-identical on clean
+/// runs and carries the evidence when an invariant breaks.
+struct InvariantResult {
+  std::string name;
+  bool pass = false;
+  std::uint64_t violations = 0;
+  std::string detail;
+};
+
+struct AttackerOutcome {
+  std::string name;
+  bool contained = false;  ///< Revoked/quarantined (or never admitted).
+};
+
+struct Scorecard {
+  CampaignConfig config;
+  std::string planDigest;  ///< FNV-1a hex over the derived plan + schedules.
+
+  // Mega-topology phase counts — pure computation, always deterministic.
+  std::uint64_t fatTreeSwitches = 0;
+  std::uint64_t leafSpineSwitches = 0;
+  std::uint64_t flapEvents = 0;
+  std::uint64_t pathQueries = 0;
+  std::uint64_t disconnectedPaths = 0;
+  std::uint64_t translations = 0;
+  std::uint64_t rejectedTranslations = 0;
+
+  std::vector<InvariantResult> invariants;
+  std::vector<AttackerOutcome> attackers;
+
+  /// Wall-clock-dependent extras (throughput numbers, retry/fault/audit
+  /// counters, supervisor health, obs histograms). Empty unless
+  /// config.measured.
+  std::string measuredJson;
+
+  bool allInvariantsPass() const;
+  /// Canonical JSON rendering: fixed field order, integers only in the
+  /// deterministic sections.
+  std::string toJson() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  /// Runs both phases and evaluates every oracle. Reentrant per instance is
+  /// NOT supported; build a fresh Campaign per run.
+  Scorecard run();
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace sdnshield::campaign

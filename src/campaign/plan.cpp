@@ -1,0 +1,100 @@
+#include "campaign/plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/topo_gen.h"
+
+namespace sdnshield::campaign {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& text) {
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string MarketOp::toString() const {
+  std::ostringstream out;
+  out << "step " << step << " ";
+  switch (kind) {
+    case Kind::kInstallTenant:
+      out << "install extra_tenant_" << index;
+      break;
+    case Kind::kUpgradeTenant:
+      out << "upgrade tenant_" << index;
+      break;
+    case Kind::kUninstallTenant:
+      out << "uninstall tenant_" << index;
+      break;
+    case Kind::kRevokeTenant:
+      out << "revoke tenant_" << index;
+      break;
+    case Kind::kUpdatePolicy:
+      out << "update_policy variant_" << index;
+      break;
+  }
+  return out.str();
+}
+
+std::string CampaignPlan::toString() const {
+  std::ostringstream out;
+  for (const MarketOp& op : ops) out << op.toString() << "\n";
+  for (std::uint64_t seed : mutantSeeds) out << "mutant_seed " << seed << "\n";
+  out << "revoked_tenant " << revokedTenant << "\n";
+  return out.str();
+}
+
+CampaignPlan buildPlan(const CampaignConfig& config) {
+  if (config.tenants < 4) {
+    throw std::invalid_argument("buildPlan: need at least 4 initial tenants");
+  }
+  if (config.steps < 10) {
+    throw std::invalid_argument("buildPlan: need at least 10 steps");
+  }
+  CampaignPlan plan;
+  std::uint64_t rng = config.seed ^ 0x7d3c1f2e9ab54068ULL;
+
+  // Policy alternation: every ~5 steps, toggling between the two variants
+  // (the epoch-consistency prober exploits exactly this churn).
+  std::size_t variant = 1;
+  for (std::size_t step = 2; step + 1 < config.steps; step += 5) {
+    plan.ops.push_back(
+        {MarketOp::Kind::kUpdatePolicy, step, variant});
+    variant ^= 1;
+  }
+
+  // Extra tenants arrive spread over the middle of the run.
+  for (std::size_t i = 0; i < config.extraTenants; ++i) {
+    std::size_t step = 2 + nextRandom(rng) % (config.steps - 4);
+    plan.ops.push_back({MarketOp::Kind::kInstallTenant, step, i});
+  }
+
+  // One upgrade, one uninstall, one revocation, on three distinct initial
+  // tenants. The revocation lands by mid-run so the silence oracle gets a
+  // long observation window.
+  plan.ops.push_back(
+      {MarketOp::Kind::kUpgradeTenant, 3 + nextRandom(rng) % (config.steps / 2),
+       0});
+  plan.ops.push_back({MarketOp::Kind::kUninstallTenant,
+                      config.steps / 2 + nextRandom(rng) % (config.steps / 3),
+                      1});
+  plan.revokedTenant = 2;
+  plan.ops.push_back({MarketOp::Kind::kRevokeTenant,
+                      2 + nextRandom(rng) % (config.steps / 3),
+                      plan.revokedTenant});
+
+  std::stable_sort(plan.ops.begin(), plan.ops.end(),
+                   [](const MarketOp& a, const MarketOp& b) {
+                     return a.step < b.step;
+                   });
+
+  for (std::size_t i = 0; i < config.mutants; ++i) {
+    plan.mutantSeeds.push_back(nextRandom(rng));
+  }
+  return plan;
+}
+
+}  // namespace sdnshield::campaign

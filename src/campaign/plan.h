@@ -1,0 +1,97 @@
+// The seeded campaign plan: a pure function of CampaignConfig. Everything
+// the campaign will do — which apps exist, which market operations fire at
+// which step, which policies alternate — is decided here before any thread
+// starts, so two runs with one seed execute the same plan and the scorecard
+// digest is a replayable bug-report identifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "of/types.h"
+
+namespace sdnshield::campaign {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+
+  // --- live market phase ---------------------------------------------------
+  /// k for the live (simulated, packet-carrying) fat-tree. Kept modest by
+  /// default: every switch gets a cbench probe thread and every app a
+  /// container thread.
+  std::size_t liveFatTreeK = 4;
+  std::size_t tenants = 6;       ///< Installed before the storm starts.
+  std::size_t extraTenants = 2;  ///< Installed live, mid-churn.
+  std::size_t mutants = 3;
+  bool attackers = true;  ///< Install the four Table I attackers.
+  std::size_t steps = 30;
+  std::size_t stepMs = 15;
+  /// Probability per eligible visit for the probabilistic fault storm at
+  /// the container.*/ksd.*/market.* sites (0 disables the storm).
+  double faultProbability = 0.01;
+  std::size_t auditCapacity = 8192;
+  /// Audited permission denials after which the campaign operator revokes
+  /// an app. The benign population is in-scope by construction, so a single
+  /// denial is already conclusive evidence of misbehaviour.
+  std::uint64_t denialThreshold = 1;
+  /// Healthy-app throughput under attack+storm must stay above
+  /// degradationFloor * attacker-free baseline.
+  double degradationFloor = 0.15;
+  /// Wall-clock length of each throughput measurement window.
+  std::size_t measureMs = 400;
+
+  // --- mega topology phase (pure net::Topology, no threads) ---------------
+  /// k=32 = 1,280 switches: the datacenter-scale fabric the flap/translation
+  /// oracles run against (the live phase stays small because every switch
+  /// there carries a probe thread).
+  std::size_t megaFatTreeK = 32;
+  std::size_t megaSpines = 24;
+  std::size_t megaLeaves = 1000;
+  std::size_t megaSteps = 12;
+  std::size_t megaFlaps = 10;
+  std::size_t megaDisconnects = 2;
+  /// Seeded shortest-path queries and per-tenant virtual translations
+  /// evaluated per flap step.
+  std::size_t megaQueriesPerStep = 32;
+
+  /// Include wall-clock-dependent measurements in the scorecard. Off by
+  /// default: the default scorecard is byte-identical across runs.
+  bool measured = false;
+};
+
+/// One scheduled market operation.
+struct MarketOp {
+  enum class Kind {
+    kInstallTenant,    ///< Install extra tenant #index.
+    kUpgradeTenant,    ///< Upgrade initial tenant #index to version 2.
+    kUninstallTenant,  ///< Uninstall initial tenant #index.
+    kRevokeTenant,     ///< Revoke initial tenant #index (silence oracle).
+    kUpdatePolicy,     ///< Swap to policy variant #index (0/1 alternating).
+  };
+  Kind kind = Kind::kUpdatePolicy;
+  std::size_t step = 0;
+  std::size_t index = 0;
+
+  std::string toString() const;
+};
+
+struct CampaignPlan {
+  std::vector<MarketOp> ops;
+  std::vector<std::uint64_t> mutantSeeds;
+  /// Initial tenant singled out for the scheduled revocation (the
+  /// revoked-app-silence oracle watches its rule count afterwards).
+  std::size_t revokedTenant = 0;
+
+  std::string toString() const;
+};
+
+/// Deterministic plan derivation. Requires config.tenants >= 4 (the churn
+/// schedule upgrades, uninstalls and revokes three distinct tenants).
+CampaignPlan buildPlan(const CampaignConfig& config);
+
+/// FNV-1a over a string — the scorecard's plan_digest accumulator.
+std::uint64_t fnv1a(std::uint64_t h, const std::string& text);
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+}  // namespace sdnshield::campaign

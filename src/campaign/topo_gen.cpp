@@ -1,0 +1,253 @@
+#include "campaign/topo_gen.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdnshield::campaign {
+
+std::uint64_t nextRandom(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// Host-facing ports are 1..16; fabric wiring allocates upward from 17 so a
+// generated link never collides with an attachHosts() port.
+constexpr net::PortNo kFirstFabricPort = 17;
+
+class PortAllocator {
+ public:
+  explicit PortAllocator(const std::vector<net::DatapathId>& all) {
+    for (net::DatapathId dpid : all) next_[dpid] = kFirstFabricPort;
+  }
+  net::PortNo next(net::DatapathId dpid) { return next_[dpid]++; }
+
+ private:
+  std::map<net::DatapathId, net::PortNo> next_;
+};
+
+void wire(Fabric& fabric, PortAllocator& ports, net::DatapathId a,
+          net::DatapathId b) {
+  fabric.topology.addLink(a, ports.next(a), b, ports.next(b));
+}
+
+}  // namespace
+
+Fabric buildFatTree(std::size_t k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("buildFatTree: k must be even and >= 2");
+  }
+  Fabric fabric;
+  const std::size_t half = k / 2;
+
+  // Dpid layout: core 1..(k/2)^2, aggregation 10000+pod*100+i,
+  // edge 20000+pod*100+i (i < k/2 <= 50, so per-pod blocks never collide).
+  std::vector<net::DatapathId> all;
+  for (std::size_t c = 0; c < half * half; ++c) {
+    net::DatapathId dpid = 1 + c;
+    fabric.core.push_back(dpid);
+    all.push_back(dpid);
+  }
+  fabric.pods.resize(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < half; ++i) {
+      net::DatapathId agg = 10000 + p * 100 + i;
+      net::DatapathId edge = 20000 + p * 100 + i;
+      fabric.aggregation.push_back(agg);
+      fabric.edge.push_back(edge);
+      fabric.pods[p].push_back(edge);
+      all.push_back(agg);
+      all.push_back(edge);
+    }
+  }
+  for (net::DatapathId dpid : all) fabric.topology.addSwitch(dpid);
+
+  PortAllocator ports(all);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < half; ++i) {
+      net::DatapathId agg = 10000 + p * 100 + i;
+      // Full bipartite agg<->edge inside the pod.
+      for (std::size_t e = 0; e < half; ++e) {
+        wire(fabric, ports, agg, 20000 + p * 100 + e);
+      }
+      // Aggregation switch i uplinks to core group i (the canonical k-ary
+      // fat-tree core striping).
+      for (std::size_t c = 0; c < half; ++c) {
+        wire(fabric, ports, agg, 1 + i * half + c);
+      }
+    }
+  }
+  return fabric;
+}
+
+Fabric buildLeafSpine(std::size_t spines, std::size_t leaves) {
+  if (spines == 0 || leaves == 0) {
+    throw std::invalid_argument("buildLeafSpine: empty tier");
+  }
+  Fabric fabric;
+  std::vector<net::DatapathId> all;
+  for (std::size_t s = 0; s < spines; ++s) {
+    net::DatapathId dpid = 100 + s;
+    fabric.aggregation.push_back(dpid);
+    all.push_back(dpid);
+  }
+  for (std::size_t l = 0; l < leaves; ++l) {
+    net::DatapathId dpid = 10000 + l;
+    fabric.edge.push_back(dpid);
+    all.push_back(dpid);
+  }
+  for (net::DatapathId dpid : all) fabric.topology.addSwitch(dpid);
+  PortAllocator ports(all);
+  for (net::DatapathId leaf : fabric.edge) {
+    for (net::DatapathId spine : fabric.aggregation) {
+      wire(fabric, ports, leaf, spine);
+    }
+  }
+  return fabric;
+}
+
+void attachHosts(Fabric& fabric, std::size_t perEdge) {
+  if (perEdge > 16) {
+    throw std::invalid_argument("attachHosts: at most 16 hosts per edge");
+  }
+  for (net::DatapathId dpid : fabric.edge) {
+    for (std::size_t p = 1; p <= perEdge; ++p) {
+      net::Host host;
+      host.dpid = dpid;
+      host.port = static_cast<net::PortNo>(p);
+      host.mac = of::MacAddress::fromUint64(((dpid & 0xffffffULL) << 8) | p);
+      host.ip = of::Ipv4Address(10, static_cast<std::uint8_t>(dpid >> 8),
+                                static_cast<std::uint8_t>(dpid & 0xff),
+                                static_cast<std::uint8_t>(p));
+      fabric.topology.attachHost(host);
+    }
+  }
+}
+
+std::string FlapEvent::toString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kLinkDown:
+      out << "step " << step << " link-down " << a.dpid << "<->" << b.dpid;
+      break;
+    case Kind::kLinkUp:
+      out << "step " << step << " link-up " << a.dpid << "<->" << b.dpid;
+      break;
+    case Kind::kSwitchDown:
+      out << "step " << step << " switch-down " << a.dpid;
+      break;
+    case Kind::kSwitchUp:
+      out << "step " << step << " switch-up " << a.dpid;
+      break;
+  }
+  return out.str();
+}
+
+std::vector<FlapEvent> buildFlapSchedule(const Fabric& fabric,
+                                         std::uint64_t seed,
+                                         std::size_t steps, std::size_t flaps,
+                                         std::size_t disconnects) {
+  if (steps < 2) throw std::invalid_argument("buildFlapSchedule: steps < 2");
+  std::uint64_t rng = seed ^ 0xc4757a6ed5d4f2a1ULL;
+  std::vector<FlapEvent> schedule;
+
+  // Disconnect candidates: core switches (fat-tree) or spines (leaf-spine)
+  // — never edge switches, so hosts stay attached.
+  std::vector<net::DatapathId> pool =
+      fabric.core.empty() ? fabric.aggregation : fabric.core;
+  disconnects = std::min(disconnects, pool.size());
+  std::set<net::DatapathId> down;
+  for (std::size_t i = 0; i < disconnects; ++i) {
+    net::DatapathId pick;
+    do {
+      pick = pool[nextRandom(rng) % pool.size()];
+    } while (down.count(pick) != 0);
+    down.insert(pick);
+    std::size_t at = nextRandom(rng) % (steps - 1);
+    std::size_t back = at + 1 + nextRandom(rng) % (steps - 1 - at);
+    FlapEvent downEvent;
+    downEvent.kind = FlapEvent::Kind::kSwitchDown;
+    downEvent.step = at;
+    downEvent.a.dpid = pick;
+    FlapEvent upEvent = downEvent;
+    upEvent.kind = FlapEvent::Kind::kSwitchUp;
+    upEvent.step = back;
+    // Record the pristine wiring so kSwitchUp restores it exactly.
+    for (const net::Link& link : fabric.topology.links()) {
+      if (link.a.dpid == pick || link.b.dpid == pick) {
+        upEvent.links.push_back(link);
+      }
+    }
+    schedule.push_back(downEvent);
+    schedule.push_back(upEvent);
+  }
+
+  // Flap candidates: links not touching a disconnect victim (so a link-up
+  // never races a removed switch) and with at least one non-edge endpoint
+  // (trivially true in both fabrics, kept as a guard).
+  std::vector<net::Link> candidates;
+  for (const net::Link& link : fabric.topology.links()) {
+    if (down.count(link.a.dpid) != 0 || down.count(link.b.dpid) != 0) continue;
+    candidates.push_back(link);
+  }
+  flaps = std::min(flaps, candidates.size());
+  std::set<std::size_t> used;
+  for (std::size_t i = 0; i < flaps; ++i) {
+    std::size_t pick;
+    do {
+      pick = nextRandom(rng) % candidates.size();
+    } while (used.count(pick) != 0);
+    used.insert(pick);
+    const net::Link& link = candidates[pick];
+    std::size_t at = nextRandom(rng) % (steps - 1);
+    std::size_t back = at + 1 + nextRandom(rng) % (steps - 1 - at);
+    FlapEvent downEvent;
+    downEvent.kind = FlapEvent::Kind::kLinkDown;
+    downEvent.step = at;
+    downEvent.a = link.a;
+    downEvent.b = link.b;
+    FlapEvent upEvent = downEvent;
+    upEvent.kind = FlapEvent::Kind::kLinkUp;
+    upEvent.step = back;
+    schedule.push_back(downEvent);
+    schedule.push_back(upEvent);
+  }
+
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FlapEvent& x, const FlapEvent& y) {
+                     return x.step < y.step;
+                   });
+  return schedule;
+}
+
+void applyFlapStep(Fabric& fabric, const std::vector<FlapEvent>& schedule,
+                   std::size_t step) {
+  for (const FlapEvent& event : schedule) {
+    if (event.step != step) continue;
+    switch (event.kind) {
+      case FlapEvent::Kind::kLinkDown:
+        fabric.topology.removeLink(event.a.dpid, event.b.dpid);
+        break;
+      case FlapEvent::Kind::kLinkUp:
+        fabric.topology.addLink(event.a.dpid, event.a.port, event.b.dpid,
+                                event.b.port);
+        break;
+      case FlapEvent::Kind::kSwitchDown:
+        fabric.topology.removeSwitch(event.a.dpid);
+        break;
+      case FlapEvent::Kind::kSwitchUp:
+        fabric.topology.addSwitch(event.a.dpid);
+        for (const net::Link& link : event.links) {
+          fabric.topology.addLink(link.a.dpid, link.a.port, link.b.dpid,
+                                  link.b.port);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace sdnshield::campaign

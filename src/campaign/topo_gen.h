@@ -1,0 +1,78 @@
+// Datacenter-scale topology generation for chaos campaigns: canonical
+// fat-tree and leaf-spine fabrics built on net::Topology, plus a seeded
+// schedule of link flaps and switch disconnects (the churn the flap
+// scheduler replays against the fabric). Everything here is a pure function
+// of its inputs — same spec/seed, same fabric and schedule — which is what
+// makes a campaign scorecard byte-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace sdnshield::campaign {
+
+/// A generated fabric plus the structural roles the oracles need (which
+/// switches are edge, which pods exist) — recoverable from dpids alone, but
+/// kept explicit so oracle code never re-derives layout arithmetic.
+struct Fabric {
+  net::Topology topology;
+  std::vector<net::DatapathId> core;
+  std::vector<net::DatapathId> aggregation;  ///< Spines, for leaf-spine.
+  std::vector<net::DatapathId> edge;         ///< Leaves, for leaf-spine.
+  /// Fat-tree only: edge switches grouped by pod (empty for leaf-spine).
+  std::vector<std::vector<net::DatapathId>> pods;
+};
+
+/// Canonical k-ary fat-tree (k even): (k/2)^2 core switches, k pods of k/2
+/// aggregation + k/2 edge switches — 5k^2/4 switches total (k=30 -> 1125).
+/// Hosts are NOT attached; attachHosts() below adds them where a campaign
+/// needs endpoints.
+Fabric buildFatTree(std::size_t k);
+
+/// Two-tier leaf-spine: every leaf links to every spine (spines=16,
+/// leaves=1024 -> 1040 switches).
+Fabric buildLeafSpine(std::size_t spines, std::size_t leaves);
+
+/// Attaches @p perEdge hosts to every edge/leaf switch starting at port 1.
+/// MAC/IP are derived from (dpid, port) so the assignment is deterministic.
+void attachHosts(Fabric& fabric, std::size_t perEdge);
+
+/// One scheduled churn event against a fabric.
+struct FlapEvent {
+  enum class Kind { kLinkDown, kLinkUp, kSwitchDown, kSwitchUp };
+  Kind kind = Kind::kLinkDown;
+  std::size_t step = 0;  ///< Campaign step at which the event applies.
+  // kLinkDown/kLinkUp: the link's endpoints (with their ports, so kLinkUp
+  // can restore the exact wiring). kSwitchDown/kSwitchUp: `a.dpid` names
+  // the switch and `links` holds its wiring for restoration.
+  net::LinkEnd a;
+  net::LinkEnd b;
+  std::vector<net::Link> links;
+
+  std::string toString() const;
+};
+
+/// Builds a seeded flap schedule over @p fabric: @p flaps link down/up pairs
+/// and @p disconnects switch down/up pairs, spread over @p steps campaign
+/// steps. Every down event has a matching up event at a later step, so the
+/// fabric heals by the end of the schedule. Core/aggregation links and
+/// switches only — edge switches keep their hosts reachable through
+/// redundant paths, which is what makes "path exists unless partitioned" a
+/// checkable oracle.
+std::vector<FlapEvent> buildFlapSchedule(const Fabric& fabric,
+                                         std::uint64_t seed,
+                                         std::size_t steps, std::size_t flaps,
+                                         std::size_t disconnects);
+
+/// Applies every event scheduled at @p step to the fabric's topology.
+void applyFlapStep(Fabric& fabric, const std::vector<FlapEvent>& schedule,
+                   std::size_t step);
+
+/// splitmix64 — the campaign-wide seeded stream primitive.
+std::uint64_t nextRandom(std::uint64_t& state);
+
+}  // namespace sdnshield::campaign

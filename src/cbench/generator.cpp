@@ -5,9 +5,14 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace sdnshield::cbench {
 
 namespace {
+
+const obs::Counter g_roundRetries =
+    obs::Registry::global().counter("cbench.retry.rounds");
 
 of::Packet broadcastArp(const sim::SimHost& host) {
   return of::Packet::makeArpRequest(host.mac(), host.ip(),
@@ -85,6 +90,22 @@ std::optional<std::chrono::nanoseconds> Generator::measureRound(
   return std::chrono::steady_clock::now() - start;
 }
 
+std::optional<std::chrono::nanoseconds> Generator::measureRoundRetrying(
+    of::DatapathId dpid, std::chrono::milliseconds timeout) {
+  auto sample = measureRound(dpid, timeout);
+  if (sample) return sample;
+  auto backoff = std::chrono::duration<double, std::milli>(
+      roundRetry_.initialBackoff.count());
+  for (std::size_t attempt = 0; attempt < roundRetry_.maxRetries; ++attempt) {
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= roundRetry_.backoffMultiplier;
+    g_roundRetries.increment();
+    sample = measureRound(dpid, timeout);
+    if (sample) return sample;
+  }
+  return std::nullopt;
+}
+
 LatencyStats Generator::runLatency(std::size_t rounds,
                                    std::chrono::milliseconds timeout) {
   std::vector<double> samplesUs;
@@ -92,7 +113,7 @@ LatencyStats Generator::runLatency(std::size_t rounds,
   LatencyStats stats;
   for (std::size_t i = 0; i < rounds; ++i) {
     const Probe& probe = probes_[i % probes_.size()];
-    auto sample = measureRound(probe.dpid, timeout);
+    auto sample = measureRoundRetrying(probe.dpid, timeout);
     if (!sample) {
       ++stats.timeouts;
       continue;
@@ -158,13 +179,12 @@ ThroughputStats Generator::runThroughput(std::chrono::milliseconds duration,
     drivers.emplace_back([this, &probe, &responses, deadline, window] {
       while (std::chrono::steady_clock::now() < deadline) {
         if (window <= 1) {
-          if (measureRound(probe.dpid, std::chrono::milliseconds(200))) {
+          if (measureRoundRetrying(probe.dpid, roundTimeout_)) {
             responses.fetch_add(1, std::memory_order_relaxed);
           }
         } else {
-          responses.fetch_add(
-              measureBurst(probe.dpid, window, std::chrono::milliseconds(200)),
-              std::memory_order_relaxed);
+          responses.fetch_add(measureBurst(probe.dpid, window, roundTimeout_),
+                              std::memory_order_relaxed);
         }
       }
     });

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cbench/retry.h"
 #include "core/perm/api_call.h"
 #include "core/perm/permission.h"
 #include "switchsim/sim_network.h"
@@ -70,6 +71,25 @@ class Generator {
   std::size_t measureBurst(of::DatapathId dpid, std::size_t window,
                            std::chrono::milliseconds timeout);
 
+  /// Opt-in round retry: a timed-out round (shed under pressure —
+  /// kQueueFull/kDeadlineExceeded surface as missing responses here) is
+  /// retried up to options.maxRetries times with exponential backoff before
+  /// counting as a timeout. Default (maxRetries=0 via setRoundRetry never
+  /// being called) keeps the historical one-shot behaviour; retries are
+  /// counted under the "cbench.retry.rounds" obs counter.
+  void setRoundRetry(const RetryOptions& options) { roundRetry_ = options; }
+
+  /// Per-round response deadline used by runThroughput. The 200ms default
+  /// suits a healthy controller; chaos campaigns shrink it so a round lost
+  /// to an injected fault costs one deadline, not a fifth of a second.
+  void setRoundTimeout(std::chrono::milliseconds timeout) {
+    roundTimeout_ = timeout;
+  }
+
+  /// measureRound plus the configured round-retry policy.
+  std::optional<std::chrono::nanoseconds> measureRoundRetrying(
+      of::DatapathId dpid, std::chrono::milliseconds timeout);
+
  private:
   struct Probe {
     of::DatapathId dpid = 0;
@@ -80,6 +100,8 @@ class Generator {
 
   sim::SimNetwork& network_;
   std::vector<Probe> probes_;
+  RetryOptions roundRetry_{.maxRetries = 0};
+  std::chrono::milliseconds roundTimeout_{200};
 };
 
 // --- Figure 5 workload ----------------------------------------------------------

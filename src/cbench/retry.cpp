@@ -1,0 +1,44 @@
+#include "cbench/retry.h"
+
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace sdnshield::cbench {
+
+namespace {
+const obs::Counter g_retryAttempts =
+    obs::Registry::global().counter("cbench.retry.attempts");
+const obs::Counter g_retryRecovered =
+    obs::Registry::global().counter("cbench.retry.recovered");
+const obs::Counter g_retryExhausted =
+    obs::Registry::global().counter("cbench.retry.exhausted");
+}  // namespace
+
+bool isTransient(ctrl::ApiErrc code) {
+  return code == ctrl::ApiErrc::kQueueFull ||
+         code == ctrl::ApiErrc::kDeadlineExceeded;
+}
+
+ctrl::ApiResult callWithRetry(const std::function<ctrl::ApiResult()>& call,
+                              const RetryOptions& options) {
+  ctrl::ApiResult result = call();
+  if (result.ok() || !isTransient(result.code())) return result;
+  auto backoff = std::chrono::duration<double, std::milli>(
+      options.initialBackoff.count());
+  for (std::size_t attempt = 0; attempt < options.maxRetries; ++attempt) {
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= options.backoffMultiplier;
+    g_retryAttempts.increment();
+    result = call();
+    if (result.ok()) {
+      g_retryRecovered.increment();
+      return result;
+    }
+    if (!isTransient(result.code())) return result;
+  }
+  g_retryExhausted.increment();
+  return result;
+}
+
+}  // namespace sdnshield::cbench

@@ -1,0 +1,41 @@
+// Bounded retry-with-backoff for transient northbound failures. Under
+// campaign load the controller legitimately sheds work (ApiErrc::kQueueFull
+// when an app's in-flight window or the deputy queue saturates,
+// kDeadlineExceeded when a deputy misses its deadline); a load generator
+// that treats shed work like a denial can't distinguish "backpressure
+// working as designed" from "wrongly denied". callWithRetry() retries only
+// the transient codes — permission denials, quarantines and hard errors are
+// returned immediately — and counts every retry in obs so a campaign
+// scorecard can report how much shedding occurred.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "controller/api.h"
+
+namespace sdnshield::cbench {
+
+struct RetryOptions {
+  /// Additional attempts after the first (0 = plain single call).
+  std::size_t maxRetries = 3;
+  /// Sleep before the first retry; doubles (multiplier) per further retry.
+  std::chrono::milliseconds initialBackoff{1};
+  double backoffMultiplier = 2.0;
+};
+
+/// True for the transient codes worth retrying: kQueueFull and
+/// kDeadlineExceeded. Everything else (denials, quarantine, pool stopped,
+/// bad arguments) is a definitive answer.
+bool isTransient(ctrl::ApiErrc code);
+
+/// Invokes @p call, retrying transient failures up to
+/// options.maxRetries times with exponential backoff. Returns the first
+/// success or the last failure. obs counters:
+///   cbench.retry.attempts   — retries performed (not first attempts)
+///   cbench.retry.recovered  — calls that succeeded after >=1 retry
+///   cbench.retry.exhausted  — calls still transient after the budget
+ctrl::ApiResult callWithRetry(const std::function<ctrl::ApiResult()>& call,
+                              const RetryOptions& options = {});
+
+}  // namespace sdnshield::cbench

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace sdnshield::engine {
+
+namespace {
+// Eviction is the signal a multi-minute campaign watches for ("is the audit
+// window still wide enough to catch the attack"), so it is surfaced
+// process-wide, not just per-log.
+const obs::Counter g_auditDropped =
+    obs::Registry::global().counter("audit.dropped");
+}  // namespace
 
 std::string AuditEntry::toString() const {
   std::ostringstream out;
@@ -30,7 +40,26 @@ std::string AuditEntry::toString() const {
 void AuditLog::push(AuditEntry entry) {
   entry.sequence = nextSequence_++;
   ring_.push_back(std::move(entry));
-  if (ring_.size() > capacity_) ring_.pop_front();
+  evictOverflowLocked();
+}
+
+void AuditLog::evictOverflowLocked() {
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+    g_auditDropped.increment();
+  }
+}
+
+void AuditLog::setCapacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity;
+  evictOverflowLocked();
+}
+
+std::size_t AuditLog::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
 }
 
 void AuditLog::record(const perm::ApiCall& call, bool allowed,
@@ -103,12 +132,18 @@ std::uint64_t AuditLog::faultCount() const {
   return faults_;
 }
 
+std::uint64_t AuditLog::droppedCount() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
 void AuditLog::clear() {
   std::lock_guard lock(mutex_);
   ring_.clear();
   nextSequence_ = 0;
   denied_ = 0;
   faults_ = 0;
+  dropped_ = 0;
 }
 
 }  // namespace sdnshield::engine

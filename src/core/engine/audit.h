@@ -42,6 +42,13 @@ class AuditLog {
  public:
   explicit AuditLog(std::size_t capacity = 65536) : capacity_(capacity) {}
 
+  /// Ring-buffer retention: when the log holds @p capacity entries the next
+  /// record evicts the oldest (counted in droppedCount() and the
+  /// "audit.dropped" obs counter). Shrinking below the current size evicts
+  /// (and counts) the overflow immediately.
+  void setCapacity(std::size_t capacity);
+  std::size_t capacity() const;
+
   void record(const perm::ApiCall& call, bool allowed,
               const std::string& reason = {});
   /// Records a contained app fault (never a permission decision).
@@ -60,16 +67,22 @@ class AuditLog {
   std::uint64_t deniedCount() const;
   /// Contained-fault entries recorded (not counted as denials).
   std::uint64_t faultCount() const;
+  /// Entries evicted by ring-buffer retention since construction/clear().
+  /// totalRecorded() still counts every record ever made, so
+  /// totalRecorded() - droppedCount() == entries().size().
+  std::uint64_t droppedCount() const;
   void clear();
 
  private:
   void push(AuditEntry entry);
+  void evictOverflowLocked();
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::uint64_t nextSequence_ = 0;
   std::uint64_t denied_ = 0;
   std::uint64_t faults_ = 0;
+  std::uint64_t dropped_ = 0;
   std::deque<AuditEntry> ring_;
 };
 

@@ -6,6 +6,30 @@
 
 namespace sdnshield::iso {
 
+namespace {
+
+// splitmix64 (Vigna): tiny, statistically solid, and trivially seedable —
+// the per-site fault streams only need reproducibility, not crypto.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over the site name: mixes the campaign seed into a per-site stream
+// so "container.task" and "ksd.call" armed with one seed fire independently.
+std::uint64_t hashSite(std::string_view site) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 FaultInjector& FaultInjector::instance() {
   // Leaked: detached (abandoned) container threads may consult the injector
   // arbitrarily late; a static-storage instance could be destroyed first.
@@ -18,6 +42,32 @@ void FaultInjector::arm(std::string_view site, Fault fault, int times,
   if (times == 0) return;
   std::lock_guard lock(mutex_);
   armed_.insert_or_assign(std::string(site), Armed{fault, times, delay});
+  armedCount_.store(static_cast<int>(armed_.size()),
+                    std::memory_order_relaxed);
+}
+
+void FaultInjector::armProbabilistic(std::string_view site, Fault fault,
+                                     double p, std::uint64_t seed, int times,
+                                     std::chrono::milliseconds delay) {
+  if (times == 0 || p <= 0.0) return;
+  Armed armed{fault, times, delay};
+  armed.probabilistic = true;
+  armed.probability = p;
+  armed.rng = seed ^ hashSite(site);
+  std::lock_guard lock(mutex_);
+  armed_.insert_or_assign(std::string(site), armed);
+  armedCount_.store(static_cast<int>(armed_.size()),
+                    std::memory_order_relaxed);
+}
+
+void FaultInjector::armWindow(std::string_view site, Fault fault,
+                              std::uint64_t skip, int times,
+                              std::chrono::milliseconds delay) {
+  if (times == 0) return;
+  Armed armed{fault, times, delay};
+  armed.skip = skip;
+  std::lock_guard lock(mutex_);
+  armed_.insert_or_assign(std::string(site), armed);
   armedCount_.store(static_cast<int>(armed_.size()),
                     std::memory_order_relaxed);
 }
@@ -50,6 +100,18 @@ bool FaultInjector::take(std::string_view site, bool matchQueueFull,
   auto it = armed_.find(site);
   if (it == armed_.end()) return false;
   if ((it->second.fault == Fault::kQueueFull) != matchQueueFull) return false;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return false;
+  }
+  if (it->second.probabilistic) {
+    // Advance the stream on EVERY eligible visit so the firing pattern is a
+    // pure function of (seed, visit index), independent of which visits
+    // happened to fire before.
+    std::uint64_t draw = splitmix64(it->second.rng);
+    double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u >= it->second.probability) return false;
+  }
   *out = it->second;
   auto firedIt = fired_.find(site);
   if (firedIt == fired_.end()) {

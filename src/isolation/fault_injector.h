@@ -58,6 +58,22 @@ class FaultInjector {
   /// disarmed); an exhausted site disarms itself.
   void arm(std::string_view site, Fault fault, int times = -1,
            std::chrono::milliseconds delay = std::chrono::milliseconds{50});
+  /// Arms @p site probabilistically: each eligible visit draws from a
+  /// per-site splitmix64 stream (seeded by @p seed mixed with the site name,
+  /// so distinct sites sharing one campaign seed see independent streams)
+  /// and fires with probability @p p. Fully deterministic: the same seed
+  /// and the same visit sequence produce the same firing pattern. @p times
+  /// still bounds total firings (-1 = until disarmed).
+  void armProbabilistic(
+      std::string_view site, Fault fault, double p, std::uint64_t seed,
+      int times = -1,
+      std::chrono::milliseconds delay = std::chrono::milliseconds{50});
+  /// Arms @p site for a fire-count window: the first @p skip eligible visits
+  /// pass through unharmed, then the next @p times visits fire (-1 = every
+  /// visit after the window opens, until disarmed).
+  void armWindow(std::string_view site, Fault fault, std::uint64_t skip,
+                 int times = -1,
+                 std::chrono::milliseconds delay = std::chrono::milliseconds{50});
   void disarm(std::string_view site);
   /// Disarms every site and clears the fired counters.
   void reset();
@@ -81,6 +97,15 @@ class FaultInjector {
     Fault fault = Fault::kThrow;
     int remaining = -1;
     std::chrono::milliseconds delay{50};
+    // Fire-count window: eligible visits still to skip before firing starts.
+    std::uint64_t skip = 0;
+    // Probabilistic mode: fire when the next splitmix64 draw lands below
+    // probability; rng advances on every eligible visit (fired or not) so
+    // the stream position — and thus the firing pattern — is a pure
+    // function of (seed, visit index).
+    bool probabilistic = false;
+    double probability = 1.0;
+    std::uint64_t rng = 0;
   };
 
   FaultInjector() = default;
@@ -95,6 +120,18 @@ class FaultInjector {
   std::map<std::string, std::uint64_t, std::less<>> fired_;
 };
 
+/// Tag argument selecting probabilistic arming in ScopedFault.
+struct FireProbability {
+  double p = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// Tag argument selecting fire-count-window arming in ScopedFault.
+struct FireWindow {
+  std::uint64_t skip = 0;
+  int times = -1;
+};
+
 /// RAII arming: arms @p site for the enclosing scope and disarms it on
 /// exit, so a test that throws (or an EXPECT that returns early) can never
 /// leak an armed fault into the next test case. Prefer this over bare
@@ -106,6 +143,20 @@ class ScopedFault {
       std::chrono::milliseconds delay = std::chrono::milliseconds{50})
       : site_(site) {
     FaultInjector::instance().arm(site_, fault, times, delay);
+  }
+  ScopedFault(std::string_view site, FaultInjector::Fault fault,
+              FireProbability prob, int times = -1,
+              std::chrono::milliseconds delay = std::chrono::milliseconds{50})
+      : site_(site) {
+    FaultInjector::instance().armProbabilistic(site_, fault, prob.p, prob.seed,
+                                               times, delay);
+  }
+  ScopedFault(std::string_view site, FaultInjector::Fault fault,
+              FireWindow window,
+              std::chrono::milliseconds delay = std::chrono::milliseconds{50})
+      : site_(site) {
+    FaultInjector::instance().armWindow(site_, fault, window.skip,
+                                        window.times, delay);
   }
   ~ScopedFault() { FaultInjector::instance().disarm(site_); }
 

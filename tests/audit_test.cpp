@@ -68,6 +68,53 @@ TEST(AuditLog, ClearResetsCounters) {
   EXPECT_TRUE(log.entries().empty());
 }
 
+TEST(AuditLog, DroppedCountTracksEviction) {
+  AuditLog log(10);
+  EXPECT_EQ(log.droppedCount(), 0u);
+  for (int i = 0; i < 25; ++i) log.record(ApiCall::readTopology(1), true);
+  EXPECT_EQ(log.droppedCount(), 15u);
+  // The retention identity the forensics story depends on.
+  EXPECT_EQ(log.totalRecorded() - log.droppedCount(), log.entries().size());
+}
+
+TEST(AuditLog, SetCapacityShrinksAndEvictsOldest) {
+  AuditLog log;
+  for (int i = 0; i < 20; ++i) log.record(ApiCall::readTopology(1), true);
+  log.setCapacity(5);
+  EXPECT_EQ(log.capacity(), 5u);
+  auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries.front().sequence, 15u);
+  EXPECT_EQ(log.droppedCount(), 15u);
+}
+
+TEST(AuditLog, QueriesAtCapacityStaySound) {
+  AuditLog log(8);
+  for (int i = 0; i < 40; ++i) {
+    log.record(ApiCall::readTopology(i % 2 == 0 ? 1 : 2), i % 4 != 0);
+  }
+  // Per-app queries only see surviving entries, and those stay in sequence
+  // order with no gaps beyond eviction.
+  auto survivors = log.entries();
+  ASSERT_EQ(survivors.size(), 8u);
+  for (std::size_t i = 1; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i].sequence, survivors[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(log.entriesFor(1).size() + log.entriesFor(2).size(), 8u);
+  // All-time counters are immune to eviction.
+  EXPECT_EQ(log.totalRecorded(), 40u);
+  EXPECT_EQ(log.deniedCount(), 10u);
+  EXPECT_EQ(log.droppedCount(), 32u);
+}
+
+TEST(AuditLog, ClearResetsDroppedCount) {
+  AuditLog log(2);
+  for (int i = 0; i < 6; ++i) log.record(ApiCall::readTopology(1), true);
+  EXPECT_EQ(log.droppedCount(), 4u);
+  log.clear();
+  EXPECT_EQ(log.droppedCount(), 0u);
+}
+
 TEST(AuditLog, ConcurrentRecordingIsSafe) {
   AuditLog log;
   std::vector<std::thread> threads;

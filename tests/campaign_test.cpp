@@ -1,0 +1,198 @@
+// Chaos-campaign subsystem (DESIGN.md §13): generated fabrics have the
+// textbook shapes (including the 1000+-switch scale the campaign's mega
+// phase runs at), flap schedules and market plans are pure functions of the
+// seed, and a smoke-sized campaign holds every invariant with a
+// byte-identical scorecard across runs.
+#include "campaign/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "campaign/apps.h"
+#include "campaign/topo_gen.h"
+
+namespace sdnshield::campaign {
+namespace {
+
+// --- fabric generators ------------------------------------------------------------
+
+TEST(TopoGen, FatTreeHasTextbookShape) {
+  Fabric fabric = buildFatTree(4);
+  // k=4: (k/2)^2 = 4 cores, 4 pods of 2 agg + 2 edge.
+  EXPECT_EQ(fabric.core.size(), 4u);
+  EXPECT_EQ(fabric.aggregation.size(), 8u);
+  EXPECT_EQ(fabric.edge.size(), 8u);
+  EXPECT_EQ(fabric.pods.size(), 4u);
+  EXPECT_EQ(fabric.topology.switchCount(), 20u);
+  // Every edge switch reaches every other edge switch.
+  for (net::DatapathId a : fabric.edge) {
+    for (net::DatapathId b : fabric.edge) {
+      EXPECT_TRUE(fabric.topology.shortestPath(a, b).has_value())
+          << a << " -> " << b;
+    }
+  }
+}
+
+TEST(TopoGen, FatTreeScalesPastAThousandSwitches) {
+  Fabric fabric = buildFatTree(32);
+  // k=32: 256 cores + 32 pods * (16 agg + 16 edge) = 1280 switches.
+  EXPECT_EQ(fabric.topology.switchCount(), 1280u);
+  EXPECT_EQ(fabric.edge.size(), 512u);
+  EXPECT_TRUE(fabric.topology
+                  .shortestPath(fabric.edge.front(), fabric.edge.back())
+                  .has_value());
+}
+
+TEST(TopoGen, LeafSpineScalesPastAThousandSwitches) {
+  Fabric fabric = buildLeafSpine(24, 1000);
+  EXPECT_EQ(fabric.topology.switchCount(), 1024u);
+  // Full bipartite: every leaf sees every other leaf in two hops.
+  auto path = fabric.topology.shortestPath(fabric.edge.front(),
+                                           fabric.edge.back());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+}
+
+TEST(TopoGen, AttachHostsPlacesOnePerEdgePort) {
+  Fabric fabric = buildLeafSpine(2, 4);
+  attachHosts(fabric, 3);
+  EXPECT_EQ(fabric.topology.hosts().size(), 12u);
+  std::set<std::pair<net::DatapathId, net::PortNo>> seen;
+  for (const net::Host& host : fabric.topology.hosts()) {
+    EXPECT_TRUE(seen.insert({host.dpid, host.port}).second);
+    EXPECT_GE(host.port, 1u);
+    EXPECT_LE(host.port, 3u);
+  }
+}
+
+// --- flap schedules ---------------------------------------------------------------
+
+TEST(FlapSchedule, IsSeedDeterministic) {
+  Fabric a = buildFatTree(8);
+  Fabric b = buildFatTree(8);
+  auto sa = buildFlapSchedule(a, 99, 10, 8, 2);
+  auto sb = buildFlapSchedule(b, 99, 10, 8, 2);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].toString(), sb[i].toString());
+  }
+  auto sc = buildFlapSchedule(a, 100, 10, 8, 2);
+  std::string joinedA, joinedC;
+  for (const FlapEvent& e : sa) joinedA += e.toString() + "\n";
+  for (const FlapEvent& e : sc) joinedC += e.toString() + "\n";
+  EXPECT_NE(joinedA, joinedC);
+}
+
+TEST(FlapSchedule, EveryDownHasALaterUpAndStepsAreSorted) {
+  Fabric fabric = buildFatTree(8);
+  auto schedule = buildFlapSchedule(fabric, 7, 12, 10, 2);
+  EXPECT_FALSE(schedule.empty());
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i - 1].step, schedule[i].step);
+  }
+  int downs = 0;
+  int ups = 0;
+  for (const FlapEvent& event : schedule) {
+    if (event.kind == FlapEvent::Kind::kLinkDown ||
+        event.kind == FlapEvent::Kind::kSwitchDown) {
+      ++downs;
+    } else {
+      ++ups;
+    }
+  }
+  EXPECT_EQ(downs, ups);
+}
+
+TEST(FlapSchedule, ApplyingAllStepsRestoresPristineWiring) {
+  Fabric fabric = buildFatTree(8);
+  std::size_t pristineSwitches = fabric.topology.switchCount();
+  std::size_t pristineLinks = fabric.topology.links().size();
+  auto schedule = buildFlapSchedule(fabric, 3, 10, 8, 2);
+  for (std::size_t step = 0; step < 10; ++step) {
+    applyFlapStep(fabric, schedule, step);
+  }
+  EXPECT_EQ(fabric.topology.switchCount(), pristineSwitches);
+  EXPECT_EQ(fabric.topology.links().size(), pristineLinks);
+}
+
+// --- campaign plan ----------------------------------------------------------------
+
+TEST(Plan, IsSeedDeterministicAndSorted) {
+  CampaignConfig config;
+  config.seed = 1234;
+  CampaignPlan a = buildPlan(config);
+  CampaignPlan b = buildPlan(config);
+  EXPECT_EQ(a.toString(), b.toString());
+  config.seed = 1235;
+  EXPECT_NE(buildPlan(config).toString(), a.toString());
+  for (std::size_t i = 1; i < a.ops.size(); ++i) {
+    EXPECT_LE(a.ops[i - 1].step, a.ops[i].step);
+  }
+  EXPECT_EQ(a.mutantSeeds.size(), config.mutants);
+}
+
+TEST(Plan, RejectsDegenerateConfigs) {
+  CampaignConfig config;
+  config.tenants = 2;
+  EXPECT_THROW(buildPlan(config), std::invalid_argument);
+  config.tenants = 6;
+  config.steps = 4;
+  EXPECT_THROW(buildPlan(config), std::invalid_argument);
+}
+
+// --- end-to-end smoke campaign ----------------------------------------------------
+
+CampaignConfig smokeConfig() {
+  CampaignConfig config;
+  config.seed = 11;
+  config.tenants = 4;
+  config.extraTenants = 1;
+  config.mutants = 2;
+  config.steps = 12;
+  config.stepMs = 8;
+  config.measureMs = 120;
+  config.megaFatTreeK = 4;
+  config.megaSpines = 2;
+  config.megaLeaves = 6;
+  config.megaSteps = 4;
+  config.megaFlaps = 4;
+  config.megaDisconnects = 1;
+  config.megaQueriesPerStep = 8;
+  return config;
+}
+
+TEST(CampaignRun, SmokeHoldsEveryInvariantAndContainsAllAttackers) {
+  Campaign campaign(smokeConfig());
+  Scorecard card = campaign.run();
+  for (const InvariantResult& inv : card.invariants) {
+    EXPECT_TRUE(inv.pass) << inv.name << ": " << inv.violations
+                          << " violation(s)";
+  }
+  EXPECT_TRUE(card.allInvariantsPass());
+  ASSERT_EQ(card.attackers.size(), 6u);  // 4 Table I attackers + 2 mutants.
+  for (const AttackerOutcome& outcome : card.attackers) {
+    EXPECT_TRUE(outcome.contained) << outcome.name;
+  }
+}
+
+TEST(CampaignRun, ScorecardIsByteIdenticalAcrossRuns) {
+  Scorecard first = Campaign(smokeConfig()).run();
+  Scorecard second = Campaign(smokeConfig()).run();
+  EXPECT_EQ(first.toJson(), second.toJson());
+  EXPECT_FALSE(first.toJson().empty());
+  // The measured section stays out of the deterministic scorecard.
+  EXPECT_TRUE(first.measuredJson.empty());
+}
+
+TEST(CampaignRun, NoAttackerVariantStillPassesCleanly) {
+  CampaignConfig config = smokeConfig();
+  config.attackers = false;
+  config.mutants = 0;
+  Scorecard card = Campaign(config).run();
+  EXPECT_TRUE(card.allInvariantsPass());
+  EXPECT_TRUE(card.attackers.empty());
+}
+
+}  // namespace
+}  // namespace sdnshield::campaign

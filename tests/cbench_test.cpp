@@ -10,6 +10,7 @@
 #include "core/engine/permission_engine.h"
 #include "core/lang/perm_parser.h"
 #include "isolation/api_proxy.h"
+#include "isolation/fault_injector.h"
 
 namespace sdnshield::cbench {
 namespace {
@@ -118,6 +119,94 @@ TEST(Fig5Workload, InRangeCallsPassAllManifestSizes) {
       }
     }
   }
+}
+
+// --- bounded retry-with-backoff ---------------------------------------------------
+
+TEST(Retry, ClassifiesTransientCodes) {
+  EXPECT_TRUE(isTransient(ctrl::ApiErrc::kQueueFull));
+  EXPECT_TRUE(isTransient(ctrl::ApiErrc::kDeadlineExceeded));
+  EXPECT_FALSE(isTransient(ctrl::ApiErrc::kPermissionDenied));
+  EXPECT_FALSE(isTransient(ctrl::ApiErrc::kAppQuarantined));
+  EXPECT_FALSE(isTransient(ctrl::ApiErrc::kOk));
+}
+
+TEST(Retry, RecoversAfterTransientFailures) {
+  int calls = 0;
+  auto result = callWithRetry(
+      [&]() -> ctrl::ApiResult {
+        ++calls;
+        if (calls < 3) {
+          return ctrl::ApiResult::failure(ctrl::ApiErrc::kQueueFull);
+        }
+        return ctrl::ApiResult::success();
+      },
+      {.maxRetries = 3, .initialBackoff = 1ms, .backoffMultiplier = 2.0});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, DoesNotRetryPermanentFailures) {
+  int calls = 0;
+  auto result = callWithRetry(
+      [&]() -> ctrl::ApiResult {
+        ++calls;
+        return ctrl::ApiResult::failure(ctrl::ApiErrc::kPermissionDenied);
+      },
+      {.maxRetries = 5, .initialBackoff = 1ms, .backoffMultiplier = 2.0});
+  EXPECT_EQ(result.code(), ctrl::ApiErrc::kPermissionDenied);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, ExhaustsBudgetAndReportsLastTransientError) {
+  int calls = 0;
+  auto result = callWithRetry(
+      [&]() -> ctrl::ApiResult {
+        ++calls;
+        return ctrl::ApiResult::failure(ctrl::ApiErrc::kDeadlineExceeded);
+      },
+      {.maxRetries = 2, .initialBackoff = 1ms, .backoffMultiplier = 2.0});
+  EXPECT_EQ(result.code(), ctrl::ApiErrc::kDeadlineExceeded);
+  EXPECT_EQ(calls, 3);  // First attempt + maxRetries.
+}
+
+TEST(Retry, ZeroRetriesMeansOneShot) {
+  int calls = 0;
+  auto result = callWithRetry([&]() -> ctrl::ApiResult {
+    ++calls;
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kQueueFull);
+  });
+  // Default options allow retries; explicit zero must not.
+  calls = 0;
+  result = callWithRetry(
+      [&]() -> ctrl::ApiResult {
+        ++calls;
+        return ctrl::ApiResult::failure(ctrl::ApiErrc::kQueueFull);
+      },
+      {.maxRetries = 0});
+  EXPECT_EQ(result.code(), ctrl::ApiErrc::kQueueFull);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, ThroughputRoundsSurviveInjectedQueuePressure) {
+  // End-to-end: a shielded deployment under a short kQueueFull window still
+  // completes its measurement because timed-out rounds are retried.
+  ctrl::Controller controller;
+  sim::SimNetwork net(controller);
+  net.buildLinear(2);
+  iso::ShieldRuntime shield(controller);
+  auto app = std::make_shared<apps::L2LearningSwitch>();
+  shield.loadApp(app, lang::parsePermissions(app->requestedManifest()));
+
+  Generator generator(net);
+  generator.setup();
+  generator.setRoundRetry(
+      {.maxRetries = 3, .initialBackoff = 1ms, .backoffMultiplier = 2.0});
+  generator.setRoundTimeout(50ms);
+  iso::ScopedFault fault(iso::sites::kKsdQueue, iso::FaultInjector::Fault::kQueueFull,
+                         iso::FireWindow{4, 2});
+  auto stats = generator.runThroughput(300ms);
+  EXPECT_GT(stats.totalResponses, 0u);
 }
 
 }  // namespace

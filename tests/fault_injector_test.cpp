@@ -1,0 +1,131 @@
+// Seeded probabilistic arming and fire-count windows (the chaos campaign's
+// storm primitives): the firing pattern must be a pure function of the seed
+// and the visit sequence — a campaign scorecard is only replayable if its
+// storm is.
+#include "isolation/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sdnshield::iso {
+namespace {
+
+using Fault = FaultInjector::Fault;
+
+/// Runs @p visits eligible visits against @p site and records which fired.
+std::vector<bool> firingPattern(std::string_view site, int visits) {
+  std::vector<bool> pattern;
+  pattern.reserve(visits);
+  for (int i = 0; i < visits; ++i) {
+    bool fired = false;
+    try {
+      FaultInjector::instance().inject(site);
+    } catch (const FaultInjected&) {
+      fired = true;
+    }
+    pattern.push_back(fired);
+  }
+  return pattern;
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectorTest, ProbabilisticPatternIsSeedDeterministic) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armProbabilistic("t.prob", Fault::kThrow, 0.5, 42);
+  std::vector<bool> first = firingPattern("t.prob", 200);
+
+  injector.reset();
+  injector.armProbabilistic("t.prob", Fault::kThrow, 0.5, 42);
+  std::vector<bool> second = firingPattern("t.prob", 200);
+  EXPECT_EQ(first, second);
+
+  // The pattern actually mixes fired and unfired visits at p=0.5.
+  std::size_t fires = 0;
+  for (bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 50u);
+  EXPECT_LT(fires, 150u);
+}
+
+TEST_F(FaultInjectorTest, DistinctSeedsProduceDistinctPatterns) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armProbabilistic("t.prob", Fault::kThrow, 0.5, 1);
+  std::vector<bool> a = firingPattern("t.prob", 200);
+  injector.reset();
+  injector.armProbabilistic("t.prob", Fault::kThrow, 0.5, 2);
+  std::vector<bool> b = firingPattern("t.prob", 200);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultInjectorTest, SitesSharingOneSeedSeeIndependentStreams) {
+  // One campaign seed arms many sites; the site name is mixed into the
+  // stream so they must not fire in lockstep.
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armProbabilistic("t.site_a", Fault::kThrow, 0.5, 7);
+  injector.armProbabilistic("t.site_b", Fault::kThrow, 0.5, 7);
+  EXPECT_NE(firingPattern("t.site_a", 200), firingPattern("t.site_b", 200));
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroNeverFiresAndOneAlwaysFires) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armProbabilistic("t.never", Fault::kThrow, 0.0, 9);
+  for (bool fired : firingPattern("t.never", 50)) EXPECT_FALSE(fired);
+  injector.armProbabilistic("t.always", Fault::kThrow, 1.0, 9);
+  for (bool fired : firingPattern("t.always", 50)) EXPECT_TRUE(fired);
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticRespectsTimesBudget) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armProbabilistic("t.budget", Fault::kThrow, 1.0, 3, /*times=*/4);
+  std::size_t fires = 0;
+  for (bool fired : firingPattern("t.budget", 50)) fires += fired ? 1 : 0;
+  EXPECT_EQ(fires, 4u);
+  EXPECT_EQ(injector.fired("t.budget"), 4u);
+}
+
+TEST_F(FaultInjectorTest, WindowSkipsThenFiresThenExhausts) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armWindow("t.window", Fault::kThrow, /*skip=*/5, /*times=*/3);
+  std::vector<bool> pattern = firingPattern("t.window", 12);
+  std::vector<bool> expected = {false, false, false, false, false, true,
+                                true,  true,  false, false, false, false};
+  EXPECT_EQ(pattern, expected);
+}
+
+TEST_F(FaultInjectorTest, WindowQueueFullVariant) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.armWindow("t.qf", Fault::kQueueFull, /*skip=*/2, /*times=*/2);
+  std::vector<bool> pattern;
+  for (int i = 0; i < 6; ++i) {
+    pattern.push_back(FaultInjector::instance().injectQueueFull("t.qf"));
+  }
+  EXPECT_EQ(pattern, (std::vector<bool>{false, false, true, true, false,
+                                        false}));
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultProbabilisticDisarmsOnExit) {
+  {
+    ScopedFault scoped("t.scoped", Fault::kThrow, FireProbability{1.0, 11});
+    EXPECT_THROW(FaultInjector::instance().inject("t.scoped"), FaultInjected);
+  }
+  EXPECT_NO_THROW(FaultInjector::instance().inject("t.scoped"));
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultWindowDisarmsOnExit) {
+  {
+    ScopedFault scoped("t.scoped_w", Fault::kThrow, FireWindow{1, -1});
+    EXPECT_NO_THROW(FaultInjector::instance().inject("t.scoped_w"));
+    EXPECT_THROW(FaultInjector::instance().inject("t.scoped_w"),
+                 FaultInjected);
+  }
+  EXPECT_NO_THROW(FaultInjector::instance().inject("t.scoped_w"));
+}
+
+}  // namespace
+}  // namespace sdnshield::iso

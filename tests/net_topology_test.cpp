@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/virtual_topology.h"
+
 namespace sdnshield::net {
 namespace {
 
@@ -144,6 +146,67 @@ TEST(Topology, EqualityIsStructural) {
   Topology modified = linear3();
   modified.removeLink(1, 2);
   EXPECT_NE(modified, linear3());
+}
+
+// --- churn: flapping links, partitions, translation under partition ---------------
+
+TEST(TopologyChurn, LinkRemovalAndReaddRestoresPaths) {
+  Topology topo = linear3();
+  ASSERT_TRUE(topo.shortestPath(1, 3).has_value());
+  topo.removeLink(2, 3);
+  EXPECT_FALSE(topo.shortestPath(1, 3).has_value());
+  EXPECT_FALSE(topo.nextHopPort(1, 3).has_value());
+  // Re-add with the original ports: full service restored.
+  topo.addLink(2, 2, 3, 3);
+  auto path = topo.shortestPath(1, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(topo, linear3());
+}
+
+TEST(TopologyChurn, DisconnectedQueriesAreEmptyNotFatal) {
+  Topology topo = linear3();
+  topo.removeSwitch(2);  // Partitions 1 from 3 and drops 2's links.
+  EXPECT_FALSE(topo.shortestPath(1, 3).has_value());
+  EXPECT_FALSE(topo.nextHopPort(3, 1).has_value());
+  // Same-switch queries still answer on both sides of the partition.
+  EXPECT_TRUE(topo.shortestPath(1, 1).has_value());
+  EXPECT_TRUE(topo.shortestPath(3, 3).has_value());
+}
+
+TEST(TopologyChurn, RepeatedFlapCyclesAreIdempotent) {
+  Topology topo = linear3();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    topo.removeLink(1, 2);
+    topo.removeLink(2, 3);
+    EXPECT_FALSE(topo.shortestPath(1, 3).has_value());
+    topo.addLink(1, 2, 2, 3);
+    topo.addLink(2, 2, 3, 3);
+  }
+  EXPECT_EQ(topo, linear3());
+}
+
+TEST(TopologyChurn, PartitionedSliceRefusesVirtualTranslation) {
+  // A tenant's big switch built over a slice that churn has partitioned:
+  // translation between virtual ports on different islands must throw (the
+  // campaign counts these as rejected translations), never emit a rule that
+  // routes around through foreign switches.
+  Topology topo;
+  for (DatapathId dpid : {1, 2, 3, 4}) topo.addSwitch(dpid);
+  topo.addLink(1, 2, 2, 2);
+  topo.addLink(3, 2, 4, 2);  // Two islands: {1,2} and {3,4}.
+  topo.attachHost(Host{of::MacAddress::fromUint64(0xa), of::Ipv4Address(10, 0, 0, 1), 1, 1});
+  topo.attachHost(Host{of::MacAddress::fromUint64(0xb), of::Ipv4Address(10, 0, 0, 2), 4, 1});
+
+  VirtualTopology vtopo = VirtualTopology::bigSwitch(topo, {1, 2, 3, 4});
+  const auto& ports = vtopo.virtualSwitch().ports;
+  ASSERT_GE(ports.size(), 2u);
+
+  of::FlowMod mod;
+  mod.command = of::FlowModCommand::kAdd;
+  mod.match.inPort = ports.front().virtualPort;
+  mod.actions.push_back(of::OutputAction{ports.back().virtualPort});
+  EXPECT_THROW(vtopo.translateFlowMod(mod), std::invalid_argument);
 }
 
 }  // namespace
