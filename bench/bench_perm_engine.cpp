@@ -152,4 +152,22 @@ void BM_ManifestCompilation(benchmark::State& state) {
 
 BENCHMARK(BM_ManifestCompilation)->Arg(1)->Arg(5)->Arg(15);
 
+/// The same compilation routed through the process-wide compiled-program
+/// cache (DESIGN.md §14): after the first obtain() every iteration is a
+/// lookup keyed on the set's canonical text — the cost a policy push pays
+/// per already-seen grant shape.
+void BM_ManifestCompilation_Cached(benchmark::State& state) {
+  auto manifest =
+      makeSyntheticManifest(static_cast<std::size_t>(state.range(0)), 42);
+  auto& cache = sdnshield::engine::CompiledProgramCache::global();
+  cache.clear();
+  for (auto _ : state) {
+    auto compiled = cache.obtain(manifest);
+    benchmark::DoNotOptimize(compiled);
+  }
+  cache.clear();
+}
+
+BENCHMARK(BM_ManifestCompilation_Cached)->Arg(1)->Arg(5)->Arg(15);
+
 }  // namespace

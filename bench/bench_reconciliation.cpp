@@ -8,12 +8,20 @@
 // re-reconciled against a new policy and their grants swapped in ONE atomic
 // permission epoch (PermissionEngine::installAll), while reader threads
 // hammer check() the whole time — the row reports the policy-update wall
-// time and the readers' p99 check latency DURING the swaps. Output is JSONL
-// (one live_update_row per N), schema-checked by CI.
+// time and the readers' p99 check latency DURING the swaps. Each N runs
+// twice: path "cold" re-reconciles every app and recompiles every grant on
+// every push (the PR 5 updatePolicy loop, emulated by disabling the
+// compiled-program cache), path "cached" groups apps into reconcile units
+// keyed by (policy, manifest, context) hashes — the market's
+// ReconcileCache — and lets the CompiledProgramCache dedupe compilation,
+// so a repeated push touches no reconciler at all (DESIGN.md §14). Output
+// is JSONL (one live_update_row per N×path), schema-checked by CI.
+// `--apps 8,64,4096` overrides the default population list.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -24,6 +32,7 @@
 #include "core/lang/perm_parser.h"
 #include "core/lang/policy_parser.h"
 #include "core/reconcile/reconciler.h"
+#include "market/reconcile_cache.h"
 
 namespace {
 
@@ -52,7 +61,11 @@ std::string makeManifestText(int filterClauses) {
 std::string makePolicyText(int boundaryClauses) {
   std::ostringstream out;
   out << "LET LocalTopo = {SWITCH 1,2,3,4 LINK {(1,2),(2,3),(3,4)}}\n";
-  out << "LET AdminRange = {IP_DST 10.1.0.0 MASK 255.255.0.0}\n";
+  // The admin range tracks the boundary width so differently-sized policy
+  // texts also grant differently: a push from one to the other really
+  // changes every app's network_access filter (and its compiled program).
+  out << "LET AdminRange = {IP_DST 10." << boundaryClauses
+      << ".0.0 MASK 255.255.0.0}\n";
   out << "LET bound = {\n";
   out << "PERM visible_topology\nPERM network_access\n"
          "PERM read_statistics\nPERM send_pkt_out\nPERM delete_flow\n";
@@ -69,26 +82,52 @@ std::string makePolicyText(int boundaryClauses) {
 }
 
 /// One live-update measurement: N installed apps, alternating policy pushes,
-/// readers checking concurrently.
-void runLiveUpdate(int apps) {
+/// readers checking concurrently. @p cached selects the incremental path
+/// (reconcile-unit memo + compiled-program cache) vs the PR 5 full-recompile
+/// loop. The process-wide inclusion memo stays warm in both paths, so the
+/// cold row is a conservative (faster-than-PR-5) baseline.
+void runLiveUpdate(int apps, bool cached) {
   using Clock = std::chrono::steady_clock;
   engine::PermissionEngine engine;
+  auto& programCache = engine::CompiledProgramCache::global();
+  programCache.clear();
+  programCache.setEnabled(cached);
 
-  // Every app ships the same pressure manifest; `APP pressure` in the
-  // policy resolves to the manifest under reconciliation, so one policy
-  // text re-reconciles all N apps.
-  auto manifest = sdnshield::lang::parseManifest(makeManifestText(4));
-  reconcile::Reconciler policyA(sdnshield::lang::parsePolicy(makePolicyText(4)));
-  reconcile::Reconciler policyB(sdnshield::lang::parsePolicy(makePolicyText(8)));
+  // Apps ship one of kGroups distinct pressure manifests (real markets
+  // cluster on a handful of manifest shapes); `APP pressure` in the policy
+  // resolves to the manifest under reconciliation, so the reconcile result
+  // is a pure function of (policy, manifest) and the unit key needs no
+  // foreign-grant context.
+  const int kGroups = std::min(apps, 16);
+  std::vector<lang::PermissionManifest> manifests;
+  std::vector<std::uint64_t> manifestHashes;
+  for (int g = 0; g < kGroups; ++g) {
+    std::string text = makeManifestText(3 + g % 4);
+    text += "# group " + std::to_string(g) + "\n";
+    manifests.push_back(sdnshield::lang::parseManifest(text));
+    manifestHashes.push_back(market::fnv1aHash(text));
+  }
+  const std::string policyTextA = makePolicyText(4);
+  const std::string policyTextB = makePolicyText(8);
+  reconcile::Reconciler policyA(sdnshield::lang::parsePolicy(policyTextA));
+  reconcile::Reconciler policyB(sdnshield::lang::parsePolicy(policyTextB));
+  const std::uint64_t policyHashA = market::fnv1aHash(policyTextA);
+  const std::uint64_t policyHashB = market::fnv1aHash(policyTextB);
+  const std::uint64_t selfContext = market::fnv1aHash("self");
 
-  // Initial install under policy A (one atomic epoch).
+  // Initial install under policy A (one atomic epoch; setup, not measured —
+  // reconciled once per group either way).
+  std::vector<perm::PermissionSet> initialGrants;
+  for (int g = 0; g < kGroups; ++g) {
+    initialGrants.push_back(policyA.reconcile(manifests[g]).finalPermissions);
+  }
   std::vector<std::pair<of::AppId, perm::PermissionSet>> grants;
-  auto initial = policyA.reconcile(manifest);
   for (int i = 0; i < apps; ++i) {
     grants.emplace_back(static_cast<of::AppId>(i + 1),
-                        initial.finalPermissions);
+                        initialGrants[i % kGroups]);
   }
   engine.installAll(grants);
+  const auto compilesBefore = programCache.stats().misses;
 
   // Readers hammer check() across all apps for the whole run; each sample
   // is one check's wall time.
@@ -116,22 +155,62 @@ void runLiveUpdate(int apps) {
     });
   }
 
-  // Alternating live policy updates: each update re-reconciles every app
-  // and publishes all new grants with ONE installAll (one epoch bump).
+  // Alternating live policy updates, each published with ONE installAll
+  // (one epoch bump). Cold path: every app is re-reconciled and recompiled
+  // on every push (the PR 5 loop). Cached path: apps collapse into
+  // reconcile units keyed by (policy, manifest, context) — at most kGroups
+  // reconciles on a first-seen policy, zero on a repeat — and installAll
+  // reuses compiled programs through the enabled CompiledProgramCache.
   constexpr int kUpdates = 6;
+  market::ReconcileCache unitCache;
+  std::uint64_t reconciles = 0;
   double totalUpdateMs = 0.0;
   std::uint64_t epochBefore = engine.epoch();
   for (int u = 0; u < kUpdates; ++u) {
     const reconcile::Reconciler& policy = (u % 2 == 0) ? policyB : policyA;
+    const std::uint64_t policyHash = (u % 2 == 0) ? policyHashB : policyHashA;
     auto start = Clock::now();
-    std::vector<std::pair<of::AppId, perm::PermissionSet>> next;
-    next.reserve(apps);
-    auto result = policy.reconcile(manifest);
-    for (int i = 0; i < apps; ++i) {
-      next.emplace_back(static_cast<of::AppId>(i + 1),
-                        result.finalPermissions);
+    if (cached) {
+      // The market's updatePolicy shape: reconcile per unit (memo first),
+      // compile once per unit, publish shared programs — per-app cost is
+      // one map insert in the epoch swap.
+      std::vector<
+          std::shared_ptr<const sdnshield::engine::CompiledPermissions>>
+          unitPrograms(kGroups);
+      for (int g = 0; g < kGroups; ++g) {
+        market::ReconcileKey key{policyHash, manifestHashes[g], selfContext};
+        perm::PermissionSet grant;
+        if (auto hit = unitCache.lookup(key)) {
+          grant = std::move(*hit);
+        } else {
+          grant = policy.reconcile(manifests[g]).finalPermissions;
+          ++reconciles;
+          unitCache.insert(key, grant);
+        }
+        unitPrograms[g] = programCache.obtain(grant);
+      }
+      std::vector<std::pair<
+          of::AppId, std::shared_ptr<const sdnshield::engine::CompiledPermissions>>>
+          next;
+      next.reserve(apps);
+      for (int i = 0; i < apps; ++i) {
+        next.emplace_back(static_cast<of::AppId>(i + 1),
+                          unitPrograms[i % kGroups]);
+      }
+      engine.installAll(std::move(next));
+    } else {
+      // The PR 5 loop: every app re-reconciled, every grant recompiled
+      // (the program cache is disabled on this path).
+      std::vector<std::pair<of::AppId, perm::PermissionSet>> next;
+      next.reserve(apps);
+      for (int i = 0; i < apps; ++i) {
+        auto result = policy.reconcile(manifests[i % kGroups]);
+        ++reconciles;
+        next.emplace_back(static_cast<of::AppId>(i + 1),
+                          std::move(result.finalPermissions));
+      }
+      engine.installAll(next);
     }
-    engine.installAll(next);
     totalUpdateMs +=
         std::chrono::duration<double, std::milli>(Clock::now() - start)
             .count();
@@ -139,6 +218,9 @@ void runLiveUpdate(int apps) {
   std::uint64_t epochs = engine.epoch() - epochBefore;
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& reader : readers) reader.join();
+  const std::uint64_t compiles = programCache.stats().misses - compilesBefore;
+  programCache.setEnabled(true);
+  programCache.clear();
 
   std::vector<std::int64_t> all;
   for (auto& perReader : samples) {
@@ -150,9 +232,12 @@ void runLiveUpdate(int apps) {
 
   std::printf(
       "{\"bench\":\"bench_reconciliation\",\"mode\":\"live_update\","
-      "\"apps\":%d,\"updates\":%d,\"update_ms\":%.3f,"
+      "\"path\":\"%s\",\"apps\":%d,\"manifest_groups\":%d,\"updates\":%d,"
+      "\"update_ms\":%.3f,\"reconciles\":%llu,\"compiles\":%llu,"
       "\"reader_p99_ns\":%lld,\"reader_checks\":%zu,\"epochs\":%llu}\n",
-      apps, kUpdates, totalUpdateMs / kUpdates,
+      cached ? "cached" : "cold", apps, kGroups, kUpdates,
+      totalUpdateMs / kUpdates, static_cast<unsigned long long>(reconciles),
+      static_cast<unsigned long long>(compiles),
       static_cast<long long>(p99), all.size(),
       static_cast<unsigned long long>(epochs));
 }
@@ -161,7 +246,26 @@ void runLiveUpdate(int apps) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--live") == 0) {
-    for (int apps : {8, 64, 256}) runLiveUpdate(apps);
+    // CI smoke keeps the default list small; artifact generation passes
+    // --apps 8,64,256,1024,4096,10240 (BENCH_reconciliation_live.json).
+    std::vector<int> populations{8, 64, 256};
+    if (argc > 3 && std::strcmp(argv[2], "--apps") == 0) {
+      populations.clear();
+      for (const char* cursor = argv[3]; *cursor != '\0';) {
+        char* end = nullptr;
+        long value = std::strtol(cursor, &end, 10);
+        if (end == cursor || value <= 0) {
+          std::fprintf(stderr, "bad --apps list: %s\n", argv[3]);
+          return 2;
+        }
+        populations.push_back(static_cast<int>(value));
+        cursor = (*end == ',') ? end + 1 : end;
+      }
+    }
+    for (int apps : populations) {
+      runLiveUpdate(apps, /*cached=*/false);
+      runLiveUpdate(apps, /*cached=*/true);
+    }
     return 0;
   }
   std::printf("=== Reconciliation engine pressure test (install-time) ===\n");

@@ -9,7 +9,11 @@
 #   2. Bench smoke: bench_perm_engine (google-benchmark JSON) and
 #      bench_degraded_mode (JSONL rows) with tiny iteration counts, output
 #      validated against scripts/bench_schema.json — a bench that bitrots
-#      into empty or malformed output fails here, not on report day.
+#      into empty or malformed output fails here, not on report day. The
+#      checked-in artifacts (BENCH_perm_engine.json,
+#      BENCH_reconciliation_live.json, BENCH_throughput_pressure.json) are
+#      schema-validated too, and check_bench_regress.py gates the smoke
+#      NUMBERS against scripts/bench_baselines.json tolerance bands.
 #   3. Chaos-campaign smoke (DESIGN.md §13): the campaign binary runs twice
 #      with a fixed seed; the two scorecards must be byte-identical (the
 #      determinism contract), schema-valid, and exit 0 (every invariant
@@ -84,10 +88,21 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
 ./build/bench/bench_reconciliation --live > build/bench_smoke_live.txt
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key live_update_row --jsonl build/bench_smoke_live.txt
-# The checked-in pressure-run artifact is validated too: a schema change
-# that orphans the recorded numbers fails here, not on report day.
+# The checked-in artifacts are validated too: a schema change that orphans
+# the recorded numbers fails here, not on report day.
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key throughput_row --jsonl BENCH_throughput_pressure.json
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key live_update_row --jsonl BENCH_reconciliation_live.json
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key perm_engine_summary BENCH_perm_engine.json
+# Perf-regression gate: the smoke numbers must stay inside the per-metric
+# tolerance bands of scripts/bench_baselines.json (wide enough for smoke
+# noise, narrow enough that an order-of-magnitude regression fails here).
+python3 scripts/check_bench_regress.py --baselines scripts/bench_baselines.json \
+    --perm build/bench_smoke_perm.json \
+    --live build/bench_smoke_live.txt \
+    --throughput build/bench_smoke_throughput.txt
 
 echo "=== [3/7] Chaos-campaign smoke (fixed seed, determinism + invariants) ==="
 ./build/bench/campaign --seed 7 --out build/campaign_smoke_a.json

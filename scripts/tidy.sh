@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# clang-tidy over the concurrency-heavy directories (src/obs, src/isolation)
-# with the bug-prone/performance/concurrency check families, warnings as
-# errors. Same tool-presence gate as format.sh: skip cleanly when clang-tidy
-# is absent unless REQUIRE_LINT=1.
+# clang-tidy over the concurrency-heavy directories (src/obs, src/isolation,
+# src/market, src/core/engine, src/campaign — the subsystems that share
+# state across threads or sit on the check/reconcile hot paths) with the
+# bug-prone/performance/concurrency check families, warnings as errors.
+# Same tool-presence gate as format.sh: skip cleanly when clang-tidy is
+# absent unless REQUIRE_LINT=1.
 #
 # Usage: scripts/tidy.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -22,7 +24,8 @@ if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-mapfile -t files < <(git ls-files 'src/obs/*.cpp' 'src/isolation/*.cpp')
+mapfile -t files < <(git ls-files 'src/obs/*.cpp' 'src/isolation/*.cpp' \
+    'src/market/*.cpp' 'src/core/engine/*.cpp' 'src/campaign/*.cpp')
 clang-tidy -p "$BUILD_DIR" \
     --checks='-*,bugprone-*,performance-*,concurrency-*' \
     --warnings-as-errors='*' \

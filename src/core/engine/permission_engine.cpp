@@ -167,10 +167,15 @@ bool gatherOperands(const perm::FilterExprPtr& expr, perm::FilterExpr::Op op,
   return true;
 }
 
-/// Structural identity key of an optimized subtree. Interned leaves make
-/// toString canonical per filter object; this only runs at compile time.
-std::string structuralKey(const perm::FilterExprPtr& expr) {
-  return expr->toString();
+/// Structural identity key of an optimized subtree: its canonical
+/// (hash-consed) pointer. Structurally equal subtrees intern to the same
+/// node, so dedup and complement detection are pointer-map lookups — the
+/// previous toString-keyed map dominated compile time (20–60× regression on
+/// BM_ManifestCompilation). Only runs at compile time.
+const perm::FilterExpr* structuralKey(const perm::FilterExprPtr& expr) {
+  // The interner keeps the canonical node alive forever; the raw pointer
+  // outlives this map.
+  return perm::internExpr(expr).get();
 }
 
 OptExpr optimizeChain(const perm::FilterExprPtr& expr,
@@ -186,14 +191,14 @@ OptExpr optimizeChain(const perm::FilterExprPtr& expr,
 
   // Duplicate-operand elimination and complement detection: `x OP x == x`,
   // and `x AND NOT x` / `x OR NOT x` collapse to the absorbing constant.
-  std::unordered_map<std::string, bool> seen;  // key -> via-kNot polarity
+  std::unordered_map<const perm::FilterExpr*, bool> seen;  // -> kNot polarity
   std::vector<perm::FilterExprPtr> unique;
   unique.reserve(operands.size());
   for (perm::FilterExprPtr& operand : operands) {
     bool negatedForm = operand->op() == Op::kNot;
-    std::string key =
+    const perm::FilterExpr* key =
         structuralKey(negatedForm ? operand->lhs() : operand);
-    auto [it, inserted] = seen.emplace(std::move(key), negatedForm);
+    auto [it, inserted] = seen.emplace(key, negatedForm);
     if (inserted) {
       unique.push_back(std::move(operand));
       continue;
@@ -432,6 +437,10 @@ const obs::Counter g_vmRuns =
     obs::Registry::global().counter("engine.check.vm_runs");
 const obs::Counter g_vmSteps =
     obs::Registry::global().counter("engine.check.vm_steps");
+const obs::Counter g_compileCacheHit =
+    obs::Registry::global().counter("engine.compile.cache_hit");
+const obs::Counter g_compileCacheMiss =
+    obs::Registry::global().counter("engine.compile.cache_miss");
 
 // memoStats()/resetMemoStats() keep their pre-obs semantics (counts since
 // the last reset) by remembering baselines at reset time: the registry
@@ -578,6 +587,63 @@ std::size_t CompiledPermissions::programLength(perm::Token token) const {
   return programs_[tokenIndex(token)].code.size();
 }
 
+// --- CompiledProgramCache ---------------------------------------------------
+
+CompiledProgramCache& CompiledProgramCache::global() {
+  static CompiledProgramCache* cache =
+      new CompiledProgramCache();  // Never destroyed.
+  return *cache;
+}
+
+std::shared_ptr<const CompiledPermissions> CompiledProgramCache::obtain(
+    const perm::PermissionSet& permissions) {
+  // toString is the canonical identity: PermissionSet keeps tokens in a
+  // std::map, so equal sets print identically regardless of build order.
+  std::string key = permissions.toString();
+  {
+    std::lock_guard lock(mutex_);
+    if (enabled_) {
+      if (auto it = entries_.find(key); it != entries_.end()) {
+        ++hits_;
+        g_compileCacheHit.add(1);
+        return it->second;
+      }
+    }
+  }
+  // Compile outside the lock — the expensive part, and it can throw.
+  auto compiled = std::make_shared<const CompiledPermissions>(permissions);
+  std::lock_guard lock(mutex_);
+  ++misses_;
+  g_compileCacheMiss.add(1);
+  if (!enabled_) return compiled;
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  auto [it, inserted] = entries_.emplace(std::move(key), std::move(compiled));
+  // Lost a compile race: prefer the incumbent so every caller shares one
+  // instanceId (keeps thread memos hot).
+  return it->second;
+}
+
+CompiledProgramCache::Stats CompiledProgramCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void CompiledProgramCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+void CompiledProgramCache::setEnabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  enabled_ = enabled;
+  if (!enabled) entries_.clear();
+}
+
+bool CompiledProgramCache::enabled() const {
+  std::lock_guard lock(mutex_);
+  return enabled_;
+}
+
 // --- PermissionEngine -------------------------------------------------------
 
 std::uint64_t nextEngineId() {
@@ -590,7 +656,7 @@ PermissionEngine::PermissionEngine()
 
 void PermissionEngine::install(of::AppId app,
                                const perm::PermissionSet& permissions) {
-  auto compiled = std::make_shared<const CompiledPermissions>(permissions);
+  auto compiled = CompiledProgramCache::global().obtain(permissions);
   std::lock_guard lock(writeMutex_);
   auto next = std::make_shared<AppMap>(*snapshot());
   (*next)[app] = std::move(compiled);
@@ -610,12 +676,20 @@ void PermissionEngine::installAll(
       compiled;
   compiled.reserve(grants.size());
   for (const auto& [app, permissions] : grants) {
-    compiled.emplace_back(
-        app, std::make_shared<const CompiledPermissions>(permissions));
+    // Shared compiled-program cache: apps with identical grants (the common
+    // case after a market-wide policy push) compile once and share the
+    // program — and re-pushing an unchanged set is a pure lookup.
+    compiled.emplace_back(app, CompiledProgramCache::global().obtain(permissions));
   }
+  installAll(std::move(compiled));
+}
+
+void PermissionEngine::installAll(
+    std::vector<std::pair<of::AppId, std::shared_ptr<const CompiledPermissions>>>
+        programs) {
   std::lock_guard lock(writeMutex_);
   auto next = std::make_shared<AppMap>(*snapshot());
-  for (auto& [app, set] : compiled) (*next)[app] = std::move(set);
+  for (auto& [app, set] : programs) (*next)[app] = std::move(set);
   {
     std::lock_guard snapLock(snapshotMutex_);
     apps_ = std::move(next);

@@ -27,6 +27,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/perm/api_call.h"
@@ -143,6 +144,58 @@ class CompiledPermissions {
   std::uint64_t instanceId_ = 0;
 };
 
+/// Process-wide cache of compiled permission programs, keyed on the
+/// canonical text of the source permission set (PermissionSet::toString is
+/// deterministic — tokens live in a std::map). CompiledPermissions is
+/// app-agnostic and immutable, so one compiled object is safely shared
+/// across apps, engines, and permission epochs; a market-wide updatePolicy
+/// where most apps keep their grants compiles each distinct set once
+/// instead of once per app. Entries hold strong references and are only
+/// dropped wholesale (clear(), or the kMaxEntries overflow guard), so an
+/// obtained program — and the thread-memo entries keyed on its
+/// instanceId() — stays valid as long as any holder keeps it.
+class CompiledProgramCache {
+ public:
+  /// Overflow guard: at this many distinct sets the table is cleared
+  /// wholesale (outstanding shared_ptrs stay valid). Far above any real
+  /// market (10k apps share a handful of policy-shaped sets).
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  /// The process-wide cache used by PermissionEngine::install/installAll.
+  static CompiledProgramCache& global();
+
+  /// The compiled program for @p permissions: an existing entry when one
+  /// matches, else a fresh compilation (outside the lock; concurrent
+  /// compilers of the same set race benignly — first insert wins, both
+  /// callers get the winner). Compilation errors (std::length_error)
+  /// propagate and cache nothing. When disabled, always compiles fresh.
+  std::shared_ptr<const CompiledPermissions> obtain(
+      const perm::PermissionSet& permissions);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< Fresh compilations (incl. disabled mode).
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Drops every entry (outstanding programs stay valid). Test hook.
+  void clear();
+
+  /// Bench/test hook: disabled, obtain() compiles fresh every call —
+  /// the PR 5 behaviour — so before/after comparisons run in one binary.
+  void setEnabled(bool enabled);
+  bool enabled() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledPermissions>>
+      entries_;
+  bool enabled_ = true;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Registry of compiled permissions per app, the controller-wide mediator.
 /// The kernel app (id 0) is always fully privileged.
 ///
@@ -174,6 +227,18 @@ class PermissionEngine {
   /// compilation) without touching the table.
   void installAll(
       const std::vector<std::pair<of::AppId, perm::PermissionSet>>& grants);
+
+  /// installAll for callers that already hold compiled programs (the
+  /// market's incremental updatePolicy: one CompiledProgramCache::obtain
+  /// per reconcile unit, every member app sharing the program). Skips the
+  /// per-app compile/lookup entirely — the swap cost is one map insert per
+  /// app — and bumps the epoch once, exactly like the compiling overload.
+  /// Sharing one program across apps is decision-safe: the thread-local
+  /// memo keys on (program instance, serialized call incl. call.app).
+  void installAll(
+      std::vector<std::pair<of::AppId,
+                            std::shared_ptr<const CompiledPermissions>>>
+          programs);
 
   /// Current permission epoch: bumped once per install/uninstall/installAll
   /// swap. Two equal reads bracket a window in which no grant changed.

@@ -64,6 +64,77 @@ FilterInterner::Stats FilterInterner::stats() const {
   return Stats{count_, hits_, misses_};
 }
 
+ExprInterner& ExprInterner::global() {
+  static ExprInterner* interner = new ExprInterner();  // Never destroyed.
+  return *interner;
+}
+
+std::size_t ExprInterner::NodeKeyHash::operator()(const NodeKey& key) const {
+  std::size_t seed = static_cast<std::size_t>(key.op) * 0x100000001b3ULL;
+  seed = hashCombine(seed, reinterpret_cast<std::uintptr_t>(key.filter));
+  seed = hashCombine(seed, reinterpret_cast<std::uintptr_t>(key.lhs));
+  seed = hashCombine(seed, reinterpret_cast<std::uintptr_t>(key.rhs));
+  return seed;
+}
+
+FilterExprPtr ExprInterner::intern(const FilterExprPtr& expr) {
+  if (!expr) return expr;
+  std::lock_guard lock(mutex_);
+  return internLocked(expr);
+}
+
+FilterExprPtr ExprInterner::internLocked(const FilterExprPtr& expr) {
+  if (canonical_.contains(expr.get())) {
+    ++hits_;
+    return expr;
+  }
+  // Children first (recursion depth = tree depth, the same bound the
+  // normal-form conversions already recurse to).
+  using Op = FilterExpr::Op;
+  FilterExprPtr lhs = expr->lhs() ? internLocked(expr->lhs()) : nullptr;
+  FilterExprPtr rhs = expr->rhs() ? internLocked(expr->rhs()) : nullptr;
+  FilterPtr filter = expr->op() == Op::kSingleton
+                         ? FilterInterner::global().intern(expr->filter())
+                         : nullptr;
+  NodeKey key{expr->op(), filter.get(), lhs.get(), rhs.get()};
+  if (auto it = nodes_.find(key); it != nodes_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  FilterExprPtr node;
+  if (lhs == expr->lhs() && rhs == expr->rhs() && filter == expr->filter()) {
+    node = expr;  // Already built from canonical parts: adopt as-is.
+  } else {
+    switch (expr->op()) {
+      case Op::kSingleton:
+        node = FilterExpr::singleton(std::move(filter));
+        break;
+      case Op::kAnd:
+        node = FilterExpr::conj(std::move(lhs), std::move(rhs));
+        break;
+      case Op::kOr:
+        node = FilterExpr::disj(std::move(lhs), std::move(rhs));
+        break;
+      case Op::kNot:
+        node = FilterExpr::negate(std::move(lhs));
+        break;
+    }
+  }
+  nodes_.emplace(key, node);
+  canonical_.insert(node.get());
+  return node;
+}
+
+ExprInterner::Stats ExprInterner::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{nodes_.size(), hits_, misses_};
+}
+
+FilterExprPtr internExpr(const FilterExprPtr& expr) {
+  return ExprInterner::global().intern(expr);
+}
+
 FilterExprPtr internFilters(const FilterExprPtr& expr) {
   if (!expr) return expr;
   using Op = FilterExpr::Op;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/perm/filter_expr.h"
@@ -53,5 +54,59 @@ class FilterInterner {
 /// Rebuilds @p expr with every singleton leaf replaced by its interned
 /// representative. Untouched subtrees are shared, as in substituteStubs.
 FilterExprPtr internFilters(const FilterExprPtr& expr);
+
+/// Hash-consing table for whole filter-expression trees. Leaves are interned
+/// through FilterInterner; interior nodes are deduplicated bottom-up by
+/// (op, canonical children), so after interning, structural equality of two
+/// trees degrades to pointer equality. Canonical pointers are stable for the
+/// life of the process (the table never evicts — like FilterInterner), which
+/// is what lets the normal-form inclusion memo and the engine optimizer key
+/// on raw expression pointers.
+class ExprInterner {
+ public:
+  /// The process-wide tree interner. Never torn down.
+  static ExprInterner& global();
+
+  /// Canonical representative of @p expr (null stays null). Runs at
+  /// manifest-compile / reconcile time, never on the enforcement hot path.
+  FilterExprPtr intern(const FilterExprPtr& expr);
+
+  struct Stats {
+    std::size_t uniqueExprs = 0;
+    std::uint64_t hits = 0;    ///< Nodes answered by an existing entry.
+    std::uint64_t misses = 0;  ///< Nodes that inserted a new entry.
+  };
+  Stats stats() const;
+
+ private:
+  /// Node identity once children are canonical: the op plus the canonical
+  /// child/filter pointers. No structural comparison needed — children were
+  /// canonicalized first, so pointer equality IS structural equality.
+  struct NodeKey {
+    FilterExpr::Op op = FilterExpr::Op::kSingleton;
+    const Filter* filter = nullptr;
+    const FilterExpr* lhs = nullptr;
+    const FilterExpr* rhs = nullptr;
+
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& key) const;
+  };
+
+  FilterExprPtr internLocked(const FilterExprPtr& expr);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<NodeKey, FilterExprPtr, NodeKeyHash> nodes_;
+  /// Fast path: trees already canonical are recognized by their root
+  /// pointer without re-walking (members are only inserted once every
+  /// descendant is canonical too).
+  std::unordered_set<const FilterExpr*> canonical_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Canonical (hash-consed) form of @p expr via ExprInterner::global().
+FilterExprPtr internExpr(const FilterExprPtr& expr);
 
 }  // namespace sdnshield::perm

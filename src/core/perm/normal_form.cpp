@@ -1,7 +1,10 @@
 #include "core/perm/normal_form.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -151,6 +154,84 @@ std::vector<Clause> cnfClauses(const FilterExprPtr& expr, bool negated) {
   return {};
 }
 
+// --- inclusion memo ---------------------------------------------------------
+
+/// Process-wide caches keyed on canonical (ExprInterner) pointers, which are
+/// stable for the life of the process — entries never dangle and never go
+/// stale. Bounded by wholesale flush at a generous cap: the memo is a pure
+/// accelerator, so dropping it only costs recomputation.
+/// The exact operand pair of a filterIncludes call; keys compare exactly,
+/// so a hash collision can never flip a cached answer.
+struct PtrPair {
+  const FilterExpr* a;
+  const FilterExpr* b;
+  bool operator==(const PtrPair&) const = default;
+};
+struct PtrPairHash {
+  std::size_t operator()(const PtrPair& pair) const {
+    std::uintptr_t a = reinterpret_cast<std::uintptr_t>(pair.a);
+    std::uintptr_t b = reinterpret_cast<std::uintptr_t>(pair.b);
+    std::size_t seed = a * 0x9e3779b97f4a7c15ULL;
+    return seed ^ (b + 0x100000001b3ULL + (seed << 6) + (seed >> 2));
+  }
+};
+
+struct InclusionCache {
+  static constexpr std::size_t kMaxInclusionEntries = 1u << 20;
+  static constexpr std::size_t kMaxFormEntries = 1u << 16;
+
+  std::mutex mutex;
+  std::unordered_map<PtrPair, bool, PtrPairHash> results;
+  std::unordered_map<const FilterExpr*, std::shared_ptr<const Cnf>> cnf;
+  std::unordered_map<const FilterExpr*, std::shared_ptr<const Dnf>> dnf;
+  std::atomic<std::uint64_t> inclusionHits{0};
+  std::atomic<std::uint64_t> inclusionMisses{0};
+  std::atomic<std::uint64_t> formHits{0};
+  std::atomic<std::uint64_t> formMisses{0};
+};
+
+InclusionCache& inclusionCache() {
+  static InclusionCache* cache = new InclusionCache();  // Never destroyed.
+  return *cache;
+}
+
+/// CNF of a canonical expression, computed at most once per pointer.
+/// Conversion runs outside the lock (it can be exponential); concurrent
+/// first converters may duplicate work, never results.
+std::shared_ptr<const Cnf> cachedCnf(const FilterExprPtr& canonical) {
+  InclusionCache& cache = inclusionCache();
+  {
+    std::lock_guard lock(cache.mutex);
+    if (auto it = cache.cnf.find(canonical.get()); it != cache.cnf.end()) {
+      cache.formHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.formMisses.fetch_add(1, std::memory_order_relaxed);
+  auto converted = std::make_shared<const Cnf>(toCnf(canonical));
+  std::lock_guard lock(cache.mutex);
+  if (cache.cnf.size() >= InclusionCache::kMaxFormEntries) cache.cnf.clear();
+  auto [it, inserted] = cache.cnf.emplace(canonical.get(), converted);
+  return it->second;
+}
+
+std::shared_ptr<const Dnf> cachedDnf(const FilterExprPtr& canonical) {
+  InclusionCache& cache = inclusionCache();
+  {
+    std::lock_guard lock(cache.mutex);
+    if (auto it = cache.dnf.find(canonical.get()); it != cache.dnf.end()) {
+      cache.formHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.formMisses.fetch_add(1, std::memory_order_relaxed);
+  auto converted = std::make_shared<const Dnf>(toDnf(canonical));
+  std::lock_guard lock(cache.mutex);
+  if (cache.dnf.size() >= InclusionCache::kMaxFormEntries) cache.dnf.clear();
+  auto [it, inserted] = cache.dnf.emplace(canonical.get(), converted);
+  return it->second;
+}
+
 std::string clauseToString(const Clause& clause, const char* joiner) {
   std::ostringstream out;
   out << "(";
@@ -230,21 +311,14 @@ bool literalIncludes(const Literal& a, const Literal& b) {
   return false;  // Mixed polarity: conservatively unknown.
 }
 
-bool filterIncludes(const FilterExprPtr& superset,
-                    const FilterExprPtr& subset) {
-  if (!superset) return true;  // Unrestricted includes everything.
-  if (!subset) {
-    // subset is allow-all; only an (effectively) allow-all expression
-    // includes it — undecidable in general, so answer conservatively.
-    return false;
-  }
-  // Step 1 of Algorithm 1: superset -> CNF, subset -> DNF.
-  Cnf a = toCnf(superset);
-  Dnf b = toDnf(subset);
+namespace {
+
+/// Step 2 of Algorithm 1: every conjunctive clause of B must be included in
+/// every disjunctive clause of A; a disjunctive clause includes a
+/// conjunctive clause when some literal pair (same dimension) is in
+/// inclusion relation.
+bool cnfIncludesDnf(const Cnf& a, const Dnf& b) {
   if (b.clauses.empty()) return true;  // Subset is unsatisfiable.
-  // Step 2: every conjunctive clause of B must be included in every
-  // disjunctive clause of A; a disjunctive clause includes a conjunctive
-  // clause when some literal pair (same dimension) is in inclusion relation.
   for (const Clause& ca : a.clauses) {
     for (const Clause& cb : b.clauses) {
       bool included = false;
@@ -261,6 +335,66 @@ bool filterIncludes(const FilterExprPtr& superset,
     }
   }
   return true;
+}
+
+}  // namespace
+
+bool filterIncludes(const FilterExprPtr& superset,
+                    const FilterExprPtr& subset) {
+  if (!superset) return true;  // Unrestricted includes everything.
+  if (!subset) {
+    // subset is allow-all; only an (effectively) allow-all expression
+    // includes it — undecidable in general, so answer conservatively.
+    return false;
+  }
+  // Canonicalize both operands: structurally equal trees (the common case
+  // across apps sharing a manifest, and across repeated policy probes of
+  // the same boundary) collapse to the same pointers, making the memo key
+  // exact and the CNF/DNF conversions shareable.
+  FilterExprPtr super = internExpr(superset);
+  FilterExprPtr sub = internExpr(subset);
+  InclusionCache& cache = inclusionCache();
+  PtrPair key{super.get(), sub.get()};
+  {
+    std::lock_guard lock(cache.mutex);
+    if (auto it = cache.results.find(key); it != cache.results.end()) {
+      cache.inclusionHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.inclusionMisses.fetch_add(1, std::memory_order_relaxed);
+  // Step 1 of Algorithm 1: superset -> CNF, subset -> DNF (each conversion
+  // itself memoized per canonical pointer).
+  std::shared_ptr<const Cnf> a = cachedCnf(super);
+  std::shared_ptr<const Dnf> b = cachedDnf(sub);
+  bool included = cnfIncludesDnf(*a, *b);
+  std::lock_guard lock(cache.mutex);
+  if (cache.results.size() >= InclusionCache::kMaxInclusionEntries) {
+    cache.results.clear();
+  }
+  cache.results.emplace(key, included);
+  return included;
+}
+
+InclusionCacheStats inclusionCacheStats() {
+  InclusionCache& cache = inclusionCache();
+  InclusionCacheStats stats;
+  stats.inclusionHits = cache.inclusionHits.load(std::memory_order_relaxed);
+  stats.inclusionMisses =
+      cache.inclusionMisses.load(std::memory_order_relaxed);
+  stats.formHits = cache.formHits.load(std::memory_order_relaxed);
+  stats.formMisses = cache.formMisses.load(std::memory_order_relaxed);
+  std::lock_guard lock(cache.mutex);
+  stats.inclusionEntries = cache.results.size();
+  return stats;
+}
+
+void clearInclusionCache() {
+  InclusionCache& cache = inclusionCache();
+  std::lock_guard lock(cache.mutex);
+  cache.results.clear();
+  cache.cnf.clear();
+  cache.dnf.clear();
 }
 
 bool filterEquivalent(const FilterExprPtr& a, const FilterExprPtr& b) {

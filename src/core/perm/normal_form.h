@@ -63,4 +63,24 @@ bool filterIncludes(const FilterExprPtr& superset, const FilterExprPtr& subset);
 /// Semantic equality via mutual inclusion.
 bool filterEquivalent(const FilterExprPtr& a, const FilterExprPtr& b);
 
+/// Counters of the process-wide memo behind filterIncludes: inclusion
+/// results are cached by canonical (hash-consed) operand pointer pair, and
+/// the CNF/DNF conversions feeding Algorithm 1 are cached per canonical
+/// pointer. Within one market reconcile pass every app re-asks the same
+/// policy-bound inclusions, so the memo turns the O(apps × constraints)
+/// clause-pair scans into hashed lookups.
+struct InclusionCacheStats {
+  std::uint64_t inclusionHits = 0;
+  std::uint64_t inclusionMisses = 0;
+  std::uint64_t formHits = 0;    ///< CNF/DNF conversions served from cache.
+  std::uint64_t formMisses = 0;  ///< CNF/DNF conversions computed.
+  std::size_t inclusionEntries = 0;
+};
+InclusionCacheStats inclusionCacheStats();
+
+/// Drops every memoized inclusion result and cached normal form (counters
+/// keep counting). Test hook; never required for correctness — canonical
+/// pointers are process-stable, so entries cannot dangle or go stale.
+void clearInclusionCache();
+
 }  // namespace sdnshield::perm

@@ -125,6 +125,49 @@ void KsdPool::runDeputyTask(std::function<void()>& task) {
   ksdMetrics().processed.increment();
 }
 
+void KsdPool::invokeAll(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  struct BatchState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+    std::size_t completed = 0;
+    std::exception_ptr firstError;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->pending = jobs.size();
+
+  for (std::function<void()>& job : jobs) {
+    // The guard's destructor is the barrier signal: it fires whether the
+    // job ran, threw, or was destroyed unrun (injected deputy fault, queue
+    // teardown) — the wait below can never hang on a dropped task.
+    auto guard = std::shared_ptr<void>(nullptr, [state](void*) {
+      std::lock_guard lock(state->mutex);
+      if (--state->pending == 0) state->cv.notify_all();
+    });
+    auto wrapped = [state, guard = std::move(guard),
+                    job = std::move(job)]() mutable {
+      try {
+        job();
+        std::lock_guard lock(state->mutex);
+        ++state->completed;
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        ++state->completed;
+        if (!state->firstError) state->firstError = std::current_exception();
+      }
+    };
+    if (!submit(wrapped)) wrapped();  // Saturated/stopped: run inline.
+  }
+
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->pending == 0; });
+  if (state->firstError) std::rethrow_exception(state->firstError);
+  if (state->completed != jobs.size()) {
+    throw std::runtime_error("KSD batch job dropped before running");
+  }
+}
+
 void KsdPool::run() {
   // Deputies are trusted kernel threads: full privilege.
   ScopedIdentity identity(of::kKernelAppId);

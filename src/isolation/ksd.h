@@ -219,6 +219,19 @@ class KsdPool {
     return call<R>(std::move(work), callTimeout_);
   }
 
+  /// Fans a batch of independent CPU-bound jobs across the deputies and
+  /// blocks until every job finished (or was dropped). The submitting
+  /// thread participates: jobs the channel rejects run inline, so the batch
+  /// always makes progress even under saturation or after stop(). Job
+  /// exceptions are captured (never contained-and-lost by the deputy loop);
+  /// after the barrier the first one is rethrown. A job dropped unrun (an
+  /// injected deputy fault destroyed the queued task) surfaces as
+  /// std::runtime_error — callers treat the whole batch as failed.
+  /// Not for virtualized pools: the caller would park forever waiting on
+  /// steps the scheduler has not been asked to run — gate on
+  /// iso::virtualExecutor() and fall back to running jobs inline.
+  void invokeAll(std::vector<std::function<void()>> jobs);
+
   std::size_t threadCount() const { return threadCount_; }
   std::chrono::milliseconds callTimeout() const { return callTimeout_; }
   std::size_t batchMax() const { return batchMax_; }

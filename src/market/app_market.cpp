@@ -1,14 +1,19 @@
 #include "market/app_market.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "core/engine/permission_engine.h"
 #include "core/lang/errors.h"
 #include "core/lang/perm_parser.h"
 #include "core/lang/policy_parser.h"
 #include "core/lang/printer.h"
+#include "isolation/executor.h"
 #include "isolation/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -29,6 +34,14 @@ struct MarketMetrics {
   obs::Gauge apps = obs::Registry::global().gauge("market.apps");
   obs::Histogram policyUpdateNs =
       obs::Registry::global().histogram("market.policy_update_ns");
+  /// Incremental-reconcile visibility: units a policy push decomposed into,
+  /// how many were answered by the memo, and how many ran fresh.
+  obs::Counter reconcileUnits =
+      obs::Registry::global().counter("market.reconcile_units");
+  obs::Counter reconcileCacheHits =
+      obs::Registry::global().counter("market.reconcile_cache_hits");
+  obs::Counter reconcileFresh =
+      obs::Registry::global().counter("market.reconcile_fresh");
 };
 
 const MarketMetrics& metrics() {
@@ -214,6 +227,7 @@ ctrl::ApiResponse<of::AppId> AppMarket::installApp(
   entry.id = id;
   entry.name = name;
   entry.version = version;
+  entry.manifestHash = fnv1aHash(app->requestedManifest());
   entry.manifest = std::move(manifest);
   entry.granted = std::move(granted);
   entries_[id] = std::move(entry);
@@ -307,6 +321,7 @@ ctrl::ApiResult AppMarket::upgradeApp(of::AppId id,
 
   it->second.name = name;
   it->second.version = version;
+  it->second.manifestHash = fnv1aHash(next->requestedManifest());
   it->second.manifest = std::move(manifest);
   it->second.granted = std::move(granted);
   instances_[id] = std::move(next);
@@ -431,16 +446,80 @@ ctrl::ApiResult AppMarket::updatePolicy(const std::string& policyText) {
                                     std::string("journal: ") + error.what());
   }
 
-  // Re-reconcile every running app against the new policy. Nothing is
-  // published yet: a failure here aborts with every grant unchanged.
+  // Re-reconcile every running app against the new policy — incrementally:
+  // apps sharing a (manifest, observed-context) identity form one unit,
+  // units answered by the memo skip reconciliation entirely, and the
+  // remaining units fan across the reconcile deputy pool. Nothing is
+  // published yet: a failure anywhere aborts with every grant unchanged.
   std::vector<std::pair<of::AppId, perm::PermissionSet>> newGrants;
+  std::vector<
+      std::pair<of::AppId, std::shared_ptr<const engine::CompiledPermissions>>>
+      newPrograms;
   try {
-    for (const auto& [id, entry] : entries_) {
-      if (entry.state != AppState::kRunning) continue;
-      reconcile::ReconcileResult result =
-          reconcileLocked(next, entry.manifest, id);
-      newGrants.emplace_back(id, std::move(result.finalPermissions));
+    const std::uint64_t policyHash = fnv1aHash(policyText);
+    const std::vector<std::string> refs = collectAppRefs(next);
+    std::vector<ReconcileUnit> units =
+        groupReconcileUnitsLocked(policyHash, refs);
+    metrics().reconcileUnits.add(static_cast<std::int64_t>(units.size()));
+
+    std::vector<perm::PermissionSet> unitGrants(units.size());
+    std::vector<std::size_t> fresh;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (auto hit = reconcileCache_.lookup(units[i].key)) {
+        unitGrants[i] = std::move(*hit);
+        metrics().reconcileCacheHits.increment();
+      } else {
+        fresh.push_back(i);
+      }
     }
+    metrics().reconcileFresh.add(static_cast<std::int64_t>(fresh.size()));
+
+    if (!fresh.empty()) {
+      // One shared reconciler: reconcile() is const and self-contained, so
+      // concurrent units are safe; the shared inclusion memo and interner
+      // it leans on are process-wide and internally synchronized.
+      const reconcile::Reconciler reconciler(next);
+      auto reconcileUnit = [&](std::size_t index) {
+        const ReconcileUnit& unit = units[index];
+        unitGrants[index] =
+            reconciler
+                .reconcile(unit.representative->manifest,
+                           unitContextLocked(*unit.representative, refs))
+                .finalPermissions;
+      };
+      iso::KsdPool* pool =
+          fresh.size() >= 2 ? reconcilePoolLocked() : nullptr;
+      if (pool) {
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(fresh.size());
+        for (std::size_t index : fresh) {
+          jobs.emplace_back([&reconcileUnit, index] { reconcileUnit(index); });
+        }
+        pool->invokeAll(std::move(jobs));
+      } else {
+        for (std::size_t index : fresh) reconcileUnit(index);
+      }
+      for (std::size_t index : fresh) {
+        reconcileCache_.insert(units[index].key, unitGrants[index]);
+      }
+    }
+
+    // Compile once per unit (a cache lookup when the grant shape was seen
+    // before); every member shares the program, so the epoch swap below is
+    // one map insert per app with no per-app compile or cache-key work.
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      auto program = engine::CompiledProgramCache::global().obtain(unitGrants[i]);
+      for (of::AppId id : units[i].members) {
+        newGrants.emplace_back(id, unitGrants[i]);
+        newPrograms.emplace_back(id, program);
+      }
+    }
+    // Journal/publish in app-id order, exactly like the per-app loop this
+    // replaces (units interleave ids, so sort).
+    std::sort(newGrants.begin(), newGrants.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::sort(newPrograms.begin(), newPrograms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   } catch (const std::exception& error) {
     journalAbort(0, std::string("policy update: ") + error.what());
     return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
@@ -466,7 +545,7 @@ ctrl::ApiResult AppMarket::updatePolicy(const std::string& policyText) {
   // single version bump — concurrent checks see all-old or all-new.
   try {
     iso::FaultInjector::instance().inject(iso::sites::kMarketSwap);
-    runtime_.engine().installAll(newGrants);
+    runtime_.engine().installAll(std::move(newPrograms));
   } catch (const std::exception& error) {
     journalAbort(0, std::string("policy update: ") + error.what());
     return ctrl::ApiResult::failure(ctrl::ApiErrc::kTransactionAborted,
@@ -558,6 +637,110 @@ lang::PolicyProgram AppMarket::policy() const {
   return policy_;
 }
 
+std::vector<AppMarket::ReconcileUnit> AppMarket::groupReconcileUnitsLocked(
+    std::uint64_t policyHash, const std::vector<std::string>& refs) const {
+  // Grant-line hashes of the running apps the policy can reference, by
+  // name, in app-id order — the same first-by-id shadowing the full
+  // otherApps map's emplace gives reconcileLocked.
+  std::map<std::string, std::vector<std::pair<of::AppId, std::uint64_t>>>
+      byName;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state != AppState::kRunning) continue;
+    if (!std::binary_search(refs.begin(), refs.end(), entry.name)) continue;
+    byName[entry.name].emplace_back(id,
+                                    fnv1aHash(formatGrantLine(entry.granted)));
+  }
+
+  std::vector<ReconcileUnit> units;
+  std::unordered_map<ReconcileKey, std::size_t, ReconcileKeyHash> index;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state != AppState::kRunning) continue;
+    // Fire the reconcile fault site once per app — the per-app firing
+    // count (and campaign/mck schedule-point count) of the serial loop
+    // this grouping replaces.
+    iso::FaultInjector::instance().inject(iso::sites::kMarketReconcile);
+    std::uint64_t contextHash = 0;
+    for (const std::string& ref : refs) {
+      // `APP <self>` resolves to the manifest under reconciliation; the
+      // manifest hash already covers it.
+      if (ref == entry.manifest.appName) continue;
+      contextHash = hashMix(contextHash, fnv1aHash(ref));
+      std::uint64_t observed = 0x5eed;  // No app by that name.
+      if (auto it = byName.find(ref); it != byName.end()) {
+        for (const auto& [otherId, grantHash] : it->second) {
+          if (otherId == id) continue;
+          observed = grantHash;
+          break;
+        }
+      }
+      contextHash = hashMix(contextHash, observed);
+    }
+    ReconcileKey key{policyHash, entry.manifestHash, contextHash};
+    auto [slot, inserted] = index.emplace(key, units.size());
+    if (inserted) {
+      units.push_back(ReconcileUnit{key, &entry, {id}});
+    } else {
+      units[slot->second].members.push_back(id);
+    }
+  }
+  return units;
+}
+
+std::map<std::string, perm::PermissionSet> AppMarket::unitContextLocked(
+    const AppEntry& representative,
+    const std::vector<std::string>& refs) const {
+  // The reconciler only ever reads `APP name` entries, so the full
+  // otherApps map restricted to the policy's referenced names is
+  // observationally identical — and O(refs) instead of O(apps) to copy.
+  std::map<std::string, perm::PermissionSet> context;
+  if (refs.empty()) return context;
+  for (const auto& [id, entry] : entries_) {
+    if (id == representative.id || entry.state != AppState::kRunning) continue;
+    if (!std::binary_search(refs.begin(), refs.end(), entry.name)) continue;
+    context.emplace(entry.name, entry.granted);
+  }
+  return context;
+}
+
+iso::KsdPool* AppMarket::reconcilePoolLocked() {
+  if (!parallelReconcile_) return nullptr;
+  // Virtualized (mck) runs stay serial: real fan-out threads would take
+  // scheduling out of the explorer's hands.
+  if (iso::virtualExecutor() != nullptr) return nullptr;
+  if (!reconcilePool_) {
+    unsigned hw = std::thread::hardware_concurrency();
+    std::size_t threads = std::min<std::size_t>(8, std::max(2u, hw));
+    reconcilePool_ = std::make_unique<iso::KsdPool>(threads);
+    reconcilePool_->start();
+  }
+  return reconcilePool_.get();
+}
+
+ReconcileCache::Stats AppMarket::reconcileCacheStats() const {
+  std::lock_guard lock(mutex_);
+  return reconcileCache_.stats();
+}
+
+void AppMarket::setReconcileCacheEnabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  reconcileCache_.setEnabled(enabled);
+}
+
+void AppMarket::clearReconcileCache() {
+  std::lock_guard lock(mutex_);
+  reconcileCache_.clear();
+}
+
+void AppMarket::setParallelReconcile(bool enabled) {
+  std::lock_guard lock(mutex_);
+  parallelReconcile_ = enabled;
+}
+
+bool AppMarket::parallelReconcile() const {
+  std::lock_guard lock(mutex_);
+  return parallelReconcile_;
+}
+
 std::unique_ptr<AppMarket> AppMarket::recover(
     iso::ShieldRuntime& runtime, lang::PolicyProgram initialPolicy,
     const AppFactory& factory, std::shared_ptr<MarketJournal> journal) {
@@ -583,6 +766,7 @@ std::unique_ptr<AppMarket> AppMarket::recover(
         entry.id = record.app;
         entry.name = record.name;
         entry.version = record.version;
+        entry.manifestHash = fnv1aHash(record.manifestText);
         entry.manifest = lang::parseManifest(record.manifestText);
         entry.granted = std::move(granted);
         market->entries_[record.app] = std::move(entry);
@@ -599,6 +783,7 @@ std::unique_ptr<AppMarket> AppMarket::recover(
         AppEntry& entry = market->entries_.at(record.app);
         entry.name = record.name;
         entry.version = record.version;
+        entry.manifestHash = fnv1aHash(record.manifestText);
         entry.manifest = lang::parseManifest(record.manifestText);
         entry.granted = std::move(granted);
         market->instances_[record.app] = std::move(app);

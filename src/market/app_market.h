@@ -34,7 +34,9 @@
 #include "core/lang/policy_ast.h"
 #include "core/reconcile/reconciler.h"
 #include "isolation/api_proxy.h"
+#include "isolation/ksd.h"
 #include "market/journal.h"
+#include "market/reconcile_cache.h"
 
 namespace sdnshield::market {
 
@@ -54,6 +56,9 @@ struct AppEntry {
   lang::PermissionManifest manifest;  ///< As requested (pre-reconciliation).
   perm::PermissionSet granted;        ///< As granted (post-reconciliation).
   AppState state = AppState::kRunning;
+  /// FNV-1a of the raw manifest text, half of the incremental-reconcile
+  /// cache key (DESIGN.md §14); updated on install/upgrade/recover.
+  std::uint64_t manifestHash = 0;
 };
 
 /// Recreates an app instance from its market identity (journal replay).
@@ -103,6 +108,19 @@ class AppMarket final : public ctrl::MarketControl {
   lang::PolicyProgram policy() const;
   const std::shared_ptr<MarketJournal>& journal() const { return journal_; }
 
+  // --- incremental / parallel reconcile knobs (DESIGN.md §14) --------------
+  /// Counters of the per-market reconcile memo consulted by updatePolicy.
+  ReconcileCache::Stats reconcileCacheStats() const;
+  /// Disabled, every policy push re-reconciles every unit (the PR 5
+  /// behaviour); for before/after comparisons and differential tests.
+  void setReconcileCacheEnabled(bool enabled);
+  void clearReconcileCache();
+  /// Disabled, updatePolicy reconciles its units serially on the calling
+  /// thread instead of fanning them across the reconcile deputy pool.
+  /// Virtualized (mck) runs are always serial regardless of this knob.
+  void setParallelReconcile(bool enabled);
+  bool parallelReconcile() const;
+
   /// Rebuilds a market (and its apps, on @p runtime) from a journal by
   /// replaying the committed records in order: installs are re-loaded under
   /// their original ids (ShieldRuntime::loadAppAs), upgrades re-swapped,
@@ -128,6 +146,33 @@ class AppMarket final : public ctrl::MarketControl {
 
   std::string digestLocked() const;
 
+  /// One reconcile unit of a policy push: the apps whose (manifest,
+  /// observed-context) identity coincides, reconciled once for all members.
+  struct ReconcileUnit {
+    ReconcileKey key;
+    const AppEntry* representative = nullptr;
+    std::vector<of::AppId> members;
+  };
+
+  /// Groups the running apps of entries_ into reconcile units under
+  /// @p policyHash / @p refs, firing the kMarketReconcile fault site once
+  /// per app (the same per-app firing count as the PR 5 serial loop).
+  std::vector<ReconcileUnit> groupReconcileUnitsLocked(
+      std::uint64_t policyHash, const std::vector<std::string>& refs) const;
+
+  /// The referenced-apps grant map one unit's reconcile observes — exactly
+  /// what reconcileLocked's full otherApps map would surface to the
+  /// representative, restricted to the names the policy can actually read.
+  std::map<std::string, perm::PermissionSet> unitContextLocked(
+      const AppEntry& representative,
+      const std::vector<std::string>& refs) const;
+
+  /// The market-owned deputy pool for reconcile fan-out, created and
+  /// started on first use; nullptr when parallelism is off or a virtual
+  /// executor owns the process (mck — serial keeps exploration
+  /// deterministic).
+  iso::KsdPool* reconcilePoolLocked();
+
   iso::ShieldRuntime& runtime_;
   std::shared_ptr<MarketJournal> journal_;
   mutable std::mutex mutex_;  ///< Serializes lifecycle ops + entry table.
@@ -136,6 +181,11 @@ class AppMarket final : public ctrl::MarketControl {
   /// Kept so upgradeApp can roll back to the previous instance when the
   /// commit record fails to append.
   std::map<of::AppId, std::shared_ptr<ctrl::App>> instances_;
+  /// Incremental-reconcile memo + its fan-out pool (both guarded by
+  /// mutex_; the pool's deputies only touch per-unit local state).
+  ReconcileCache reconcileCache_;
+  std::unique_ptr<iso::KsdPool> reconcilePool_;
+  bool parallelReconcile_ = true;
 };
 
 /// Token-level permission diff as one human-readable line ("+insert_flow

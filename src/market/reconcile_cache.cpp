@@ -1,0 +1,91 @@
+#include "market/reconcile_cache.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sdnshield::market {
+
+std::uint64_t fnv1aHash(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t hashMix(std::uint64_t seed, std::uint64_t next) {
+  // splitmix-style finalizer keeps the mix order-sensitive and avalanching.
+  std::uint64_t mixed = seed ^ (next + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                                (seed >> 2));
+  mixed ^= mixed >> 30;
+  mixed *= 0xbf58476d1ce4e5b9ULL;
+  mixed ^= mixed >> 27;
+  return mixed;
+}
+
+namespace {
+
+void collectFromSetExpr(const lang::PermSetExprPtr& expr,
+                        std::set<std::string>& out) {
+  if (!expr) return;
+  if (expr->kind == lang::PermSetExpr::Kind::kApp) out.insert(expr->name);
+  collectFromSetExpr(expr->lhs, out);
+  collectFromSetExpr(expr->rhs, out);
+}
+
+void collectFromBoolExpr(const lang::BoolExprPtr& expr,
+                         std::set<std::string>& out) {
+  if (!expr) return;
+  collectFromSetExpr(expr->lhs, out);
+  collectFromSetExpr(expr->rhs, out);
+  collectFromBoolExpr(expr->a, out);
+  collectFromBoolExpr(expr->b, out);
+}
+
+}  // namespace
+
+std::vector<std::string> collectAppRefs(const lang::PolicyProgram& policy) {
+  // LET bindings are walked too: a constraint can reach `APP x` through a
+  // named set, and the binding map is small — over-approximating (a binding
+  // no constraint uses) only widens the key, never unsounds it.
+  std::set<std::string> names;
+  for (const auto& [name, expr] : policy.setBindings) {
+    collectFromSetExpr(expr, names);
+  }
+  for (const lang::Constraint& constraint : policy.constraints) {
+    collectFromSetExpr(constraint.exclusiveA, names);
+    collectFromSetExpr(constraint.exclusiveB, names);
+    collectFromBoolExpr(constraint.assertion, names);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::optional<perm::PermissionSet> ReconcileCache::lookup(
+    const ReconcileKey& key) {
+  if (!enabled_) {
+    ++misses_;
+    return std::nullopt;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ReconcileCache::insert(const ReconcileKey& key,
+                            perm::PermissionSet granted) {
+  if (!enabled_) return;
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  entries_.insert_or_assign(key, std::move(granted));
+}
+
+void ReconcileCache::setEnabled(bool enabled) {
+  enabled_ = enabled;
+  if (!enabled) entries_.clear();
+}
+
+}  // namespace sdnshield::market

@@ -1,0 +1,97 @@
+// Incremental reconciliation for market-scale policy churn (DESIGN.md §14).
+//
+// A reconcile result is a pure function of (policy, manifest, the grants of
+// the apps the policy references via `APP name`): the reconciler reads
+// nothing else. The market exploits that by grouping its installed apps
+// into *units* sharing one ReconcileKey — a policy push over 10k apps that
+// ship M distinct manifests reconciles M units, not 10k apps — and by
+// memoizing unit results across pushes, so an operator alternating between
+// two policies (or re-pushing an unchanged one) pays hashed lookups only.
+//
+// Soundness of the key: policyHash covers the policy text, manifestHash the
+// raw manifest text (which includes the `APP <name>` header feeding the
+// reconciler's self-reference rule), and contextHash folds in, for every
+// app name the policy references, the referenced app's current grant line
+// as this app would observe it. Any input that could change the reconcile
+// output changes the key, so entries never go stale — a changed manifest,
+// policy, or referenced grant simply misses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lang/policy_ast.h"
+#include "core/perm/permission.h"
+
+namespace sdnshield::market {
+
+/// FNV-1a over @p text — the repo's convention for deterministic digests
+/// (campaign plan digests use the same construction).
+std::uint64_t fnv1aHash(std::string_view text);
+
+/// Order-sensitive 64-bit mix of @p next into @p seed.
+std::uint64_t hashMix(std::uint64_t seed, std::uint64_t next);
+
+/// Every app name the policy references via `APP name`, sorted and
+/// deduplicated. These are the only foreign inputs a reconcile can read, so
+/// they are exactly what the cache key's context must cover.
+std::vector<std::string> collectAppRefs(const lang::PolicyProgram& policy);
+
+/// Identity of one reconcile unit. Exact-match key (all three hashes);
+/// FNV-1a collisions are the accepted residual risk, the same trade the
+/// journal digests make.
+struct ReconcileKey {
+  std::uint64_t policyHash = 0;    ///< Raw policy text.
+  std::uint64_t manifestHash = 0;  ///< Raw manifest text (incl. APP header).
+  std::uint64_t contextHash = 0;   ///< Referenced apps' grants, as observed.
+
+  bool operator==(const ReconcileKey&) const = default;
+};
+
+struct ReconcileKeyHash {
+  std::size_t operator()(const ReconcileKey& key) const {
+    return static_cast<std::size_t>(
+        hashMix(hashMix(key.policyHash, key.manifestHash), key.contextHash));
+  }
+};
+
+/// Bounded memo of reconcile results, owned per AppMarket. Not internally
+/// synchronized: the market calls it under its lifecycle mutex.
+class ReconcileCache {
+ public:
+  /// Wholesale-flush bound; far above any real market's distinct
+  /// (policy, manifest, context) population between policy pushes.
+  static constexpr std::size_t kMaxEntries = 65536;
+
+  /// The memoized granted set, or nullopt on miss.
+  std::optional<perm::PermissionSet> lookup(const ReconcileKey& key);
+
+  void insert(const ReconcileKey& key, perm::PermissionSet granted);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const { return Stats{hits_, misses_, entries_.size()}; }
+
+  void clear() { entries_.clear(); }
+
+  /// Disabled, lookup always misses and insert is a no-op — the PR 5
+  /// reconcile-every-app behaviour, for before/after comparisons.
+  void setEnabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+ private:
+  std::unordered_map<ReconcileKey, perm::PermissionSet, ReconcileKeyHash>
+      entries_;
+  bool enabled_ = true;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sdnshield::market

@@ -1,0 +1,292 @@
+// Incremental compilation + reconcile memo correctness (DESIGN.md §14):
+//
+//  * differential — programs served by the CompiledProgramCache decide
+//    EXACTLY like a cold, from-scratch compilation across randomized
+//    manifests and behaviour traces;
+//  * invalidation — a changed policy text, manifest text, or referenced
+//    grant changes the reconcile-unit key, so the market can never serve a
+//    stale memoized grant (proven by step-for-step digest equality against
+//    a market running the PR 5 full-recompile path);
+//  * the parallel reconcile fan-out and the serial loop produce identical
+//    markets.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cbench/generator.h"
+#include "controller/controller.h"
+#include "core/engine/permission_engine.h"
+#include "core/lang/policy_parser.h"
+#include "isolation/api_proxy.h"
+#include "market/app_market.h"
+#include "market/reconcile_cache.h"
+
+namespace sdnshield {
+namespace {
+
+using engine::CompiledPermissions;
+using engine::CompiledProgramCache;
+
+// --- engine-level differential: cached vs cold compilation -----------------
+
+TEST(CompileCacheDifferential, CachedProgramsDecideLikeColdCompilation) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    auto manifest = cbench::makeSyntheticManifest(1 + seed % 15, seed);
+    CompiledPermissions cold(manifest);
+    auto cached = cache.obtain(manifest);
+    ASSERT_NE(cached, nullptr);
+    auto trace = cbench::makeSyntheticTrace(manifest, 512, 0.3, seed + 1);
+    for (const auto& call : trace) {
+      EXPECT_EQ(cold.check(call).allowed, cached->check(call).allowed)
+          << "seed " << seed;
+    }
+  }
+  cache.clear();
+}
+
+TEST(CompileCacheDifferential, RepeatObtainSharesOneProgram) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  auto manifest = cbench::makeSyntheticManifest(5, 7);
+  auto first = cache.obtain(manifest);
+  auto hitsBefore = cache.stats().hits;
+  auto second = cache.obtain(manifest);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().hits, hitsBefore + 1);
+  cache.clear();
+}
+
+TEST(CompileCacheDifferential, DistinctSetsNeverShareAProgram) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  auto a = cbench::makeSyntheticManifest(5, 11);
+  auto b = cbench::makeSyntheticManifest(5, 12);  // Same shape, new filters.
+  ASSERT_NE(a.toString(), b.toString());
+  EXPECT_NE(cache.obtain(a).get(), cache.obtain(b).get());
+  cache.clear();
+}
+
+TEST(CompileCacheDifferential, DisabledCacheCompilesFreshEveryCall) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  cache.setEnabled(false);
+  auto manifest = cbench::makeSyntheticManifest(3, 21);
+  auto first = cache.obtain(manifest);
+  auto second = cache.obtain(manifest);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  cache.setEnabled(true);
+  // Decisions still agree, of course.
+  for (const auto& call :
+       cbench::makeSyntheticTrace(manifest, 128, 0.3, 22)) {
+    EXPECT_EQ(first->check(call).allowed, second->check(call).allowed);
+  }
+  cache.clear();
+}
+
+// --- reconcile-unit key: what invalidates -----------------------------------
+
+TEST(ReconcileKeyTest, CollectAppRefsWalksBindingsAndConstraints) {
+  auto policy = lang::parsePolicy(
+      "LET a = APP alpha\n"
+      "LET bound = {\nPERM insert_flow\n}\n"
+      "ASSERT a <= bound\n"
+      "ASSERT APP beta <= APP gamma\n");
+  EXPECT_EQ(market::collectAppRefs(policy),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(ReconcileKeyTest, PolicyWithoutAppRefsCollectsNothing) {
+  auto policy = lang::parsePolicy(
+      "LET bound = {\nPERM insert_flow\n}\n"
+      "ASSERT EITHER { PERM network_access } OR { PERM insert_flow }\n");
+  EXPECT_TRUE(market::collectAppRefs(policy).empty());
+}
+
+TEST(ReconcileKeyTest, EveryKeyComponentChangesTheKey) {
+  market::ReconcileKey base{1, 2, 3};
+  EXPECT_EQ(base, (market::ReconcileKey{1, 2, 3}));
+  EXPECT_FALSE(base == (market::ReconcileKey{9, 2, 3}));  // policy changed
+  EXPECT_FALSE(base == (market::ReconcileKey{1, 9, 3}));  // manifest changed
+  EXPECT_FALSE(base == (market::ReconcileKey{1, 2, 9}));  // context changed
+}
+
+TEST(ReconcileCacheTest, LookupInsertAndDisable) {
+  market::ReconcileCache cache;
+  market::ReconcileKey key{market::fnv1aHash("p"), market::fnv1aHash("m"), 0};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, perm::PermissionSet{});
+  EXPECT_TRUE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.setEnabled(false);
+  EXPECT_FALSE(cache.lookup(key).has_value());  // Disabled = always miss.
+  cache.insert(key, perm::PermissionSet{});
+  cache.setEnabled(true);
+  EXPECT_FALSE(cache.lookup(key).has_value());  // Disable flushed the table.
+}
+
+// --- market-level differential: incremental vs PR 5 full recompile ----------
+
+/// Market app with a configurable name + manifest (the grouping and the
+/// APP-reference context both key on names).
+class NamedApp final : public ctrl::App {
+ public:
+  NamedApp(std::string name, std::string manifest)
+      : name_(std::move(name)), manifest_(std::move(manifest)) {}
+  std::string name() const override { return name_; }
+  std::string requestedManifest() const override { return manifest_; }
+  void init(ctrl::AppContext&) override {}
+
+ private:
+  std::string name_;
+  std::string manifest_;
+};
+
+std::string manifestFor(const std::string& name, int flavor) {
+  std::string text = "APP " + name + "\nPERM insert_flow LIMITING MAX_PRIORITY " +
+                     std::to_string(100 + flavor) + "\nPERM pkt_in_event\n";
+  if (flavor % 2 == 0) text += "PERM read_statistics\n";
+  return text;
+}
+
+constexpr const char* kBootPolicy =
+    "LET Unused = {IP_DST 10.0.0.0 MASK 255.0.0.0}\n";
+
+/// A policy that both trims (bound omits read_statistics) and reads another
+/// app's grant (alpha's), so reconcile results depend on policy text,
+/// manifest text AND referenced grants.
+constexpr const char* kCrossAppPolicy =
+    "LET bound = {\nPERM insert_flow\nPERM pkt_in_event\n}\n"
+    "ASSERT APP beta <= bound\n"
+    "ASSERT APP gamma <= APP alpha\n";
+
+constexpr const char* kTrimOnlyPolicy =
+    "LET bound = {\nPERM insert_flow\nPERM pkt_in_event\n"
+    "PERM read_statistics\n}\n"
+    "ASSERT APP beta <= bound\n"
+    "ASSERT APP gamma <= bound\n";
+
+struct MarketRig {
+  explicit MarketRig(bool incremental) {
+    market = std::make_unique<market::AppMarket>(
+        shield, lang::parsePolicy(kBootPolicy));
+    market->setReconcileCacheEnabled(incremental);
+    market->setParallelReconcile(incremental);
+  }
+
+  of::AppId install(const std::string& name, int flavor) {
+    auto result = market->installApp(
+        std::make_shared<NamedApp>(name, manifestFor(name, flavor)), 1);
+    EXPECT_TRUE(result.ok()) << name;
+    return result.ok() ? result.value() : 0;
+  }
+
+  ctrl::Controller controller;
+  iso::ShieldRuntime shield{controller};
+  std::unique_ptr<market::AppMarket> market;
+};
+
+/// Runs one lifecycle scenario on an incremental market and a PR 5-style
+/// market (memo off, serial) in lockstep, asserting digest equality after
+/// every step — a stale memoized grant or a parallel-ordering difference
+/// would diverge the digests immediately.
+TEST(MarketIncrementalDifferential, LockstepDigestEqualityAcrossMutations) {
+  MarketRig fast(true);
+  MarketRig slow(false);
+
+  auto step = [&](const char* what) {
+    ASSERT_EQ(fast.market->digest(), slow.market->digest()) << what;
+  };
+
+  for (const std::string name : {"alpha", "beta", "gamma", "delta"}) {
+    int flavor = static_cast<int>(name.size());
+    fast.install(name, flavor);
+    slow.install(name, flavor);
+  }
+  step("after installs");
+
+  ASSERT_TRUE(fast.market->updatePolicy(kCrossAppPolicy).ok());
+  ASSERT_TRUE(slow.market->updatePolicy(kCrossAppPolicy).ok());
+  step("after cross-app policy");
+
+  // Same policy text again: the incremental market answers every unit from
+  // the memo; grants must not drift.
+  ASSERT_TRUE(fast.market->updatePolicy(kCrossAppPolicy).ok());
+  ASSERT_TRUE(slow.market->updatePolicy(kCrossAppPolicy).ok());
+  step("after re-push");
+  EXPECT_GT(fast.market->reconcileCacheStats().hits, 0u);
+
+  // Manifest change: upgrading alpha changes its manifest hash (its own
+  // unit) and its grant line (the context of gamma, which references APP
+  // alpha). A re-push of the SAME policy text must re-reconcile both, not
+  // serve the pre-upgrade memo entries.
+  auto fastAlpha = fast.market->entry(1);
+  ASSERT_TRUE(fastAlpha.has_value());
+  ASSERT_TRUE(fast.market
+                  ->upgradeApp(fastAlpha->id,
+                               std::make_shared<NamedApp>(
+                                   "alpha", manifestFor("alpha", 4)),
+                               2)
+                  .ok());
+  ASSERT_TRUE(slow.market
+                  ->upgradeApp(fastAlpha->id,
+                               std::make_shared<NamedApp>(
+                                   "alpha", manifestFor("alpha", 4)),
+                               2)
+                  .ok());
+  ASSERT_TRUE(fast.market->updatePolicy(kCrossAppPolicy).ok());
+  ASSERT_TRUE(slow.market->updatePolicy(kCrossAppPolicy).ok());
+  step("after upgrade + re-push");
+
+  // Policy text change: a different program with the same referenced apps.
+  ASSERT_TRUE(fast.market->updatePolicy(kTrimOnlyPolicy).ok());
+  ASSERT_TRUE(slow.market->updatePolicy(kTrimOnlyPolicy).ok());
+  step("after policy change");
+
+  // And back: the first cross-app push's entries are stale for alpha (it
+  // was upgraded) but fresh for the rest — mixed hit/miss must still land
+  // exactly where full recompilation does.
+  ASSERT_TRUE(fast.market->updatePolicy(kCrossAppPolicy).ok());
+  ASSERT_TRUE(slow.market->updatePolicy(kCrossAppPolicy).ok());
+  step("after flip back");
+}
+
+TEST(MarketIncrementalDifferential, ParallelAndSerialReconcileAgree) {
+  MarketRig parallel(true);
+  MarketRig serial(true);
+  serial.market->setParallelReconcile(false);
+  for (const std::string name : {"alpha", "beta", "gamma", "delta", "eps"}) {
+    int flavor = static_cast<int>(name.size()) % 3;
+    parallel.install(name, flavor);
+    serial.install(name, flavor);
+  }
+  ASSERT_TRUE(parallel.market->updatePolicy(kCrossAppPolicy).ok());
+  ASSERT_TRUE(serial.market->updatePolicy(kCrossAppPolicy).ok());
+  EXPECT_EQ(parallel.market->digest(), serial.market->digest());
+  ASSERT_TRUE(parallel.market->updatePolicy(kTrimOnlyPolicy).ok());
+  ASSERT_TRUE(serial.market->updatePolicy(kTrimOnlyPolicy).ok());
+  EXPECT_EQ(parallel.market->digest(), serial.market->digest());
+}
+
+TEST(MarketIncrementalDifferential, RePushServesUnitsFromMemo) {
+  MarketRig rig(true);
+  for (const std::string name : {"alpha", "beta", "gamma"}) {
+    rig.install(name, 2);
+  }
+  ASSERT_TRUE(rig.market->updatePolicy(kTrimOnlyPolicy).ok());
+  auto cold = rig.market->reconcileCacheStats();
+  ASSERT_TRUE(rig.market->updatePolicy(kTrimOnlyPolicy).ok());
+  auto warm = rig.market->reconcileCacheStats();
+  // Second push: every unit is a memo hit, nothing fresh.
+  EXPECT_GT(warm.hits, cold.hits);
+  EXPECT_EQ(warm.misses, cold.misses);
+}
+
+}  // namespace
+}  // namespace sdnshield
