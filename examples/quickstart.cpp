@@ -53,6 +53,14 @@ int main() {
   ctrl::Controller controller;
   sim::SimNetwork network(controller);
   network.buildLinear(2);
+  // Every transport (sim, wire, tcp) registers through the one seam,
+  // Controller::attachSwitch(conn, ConnectionInfo); the descriptor is
+  // queryable afterwards. A real deployment would show transport "tcp"
+  // and the peer's address here (see `sdnshield serve`).
+  if (auto info = controller.connectionInfo(1)) {
+    std::printf("switch 1 attached via transport '%s' (peer %s)\n",
+                info->transport.c_str(), info->peer.c_str());
+  }
   iso::ShieldRuntime shield(controller);
   shield.loadApp(app, result.finalPermissions);
 

@@ -30,7 +30,8 @@ Usage:
   check_bench_regress.py --baselines scripts/bench_baselines.json \
       --perm build/bench_smoke_perm.json \
       --live build/bench_smoke_live.txt \
-      --throughput build/bench_smoke_throughput.txt
+      --throughput build/bench_smoke_throughput.txt \
+      --wire build/bench_smoke_wire.txt
 """
 
 import argparse
@@ -69,12 +70,18 @@ def main():
     parser.add_argument("--perm", help="gbench JSON from bench_perm_engine")
     parser.add_argument("--live", help="JSONL from bench_reconciliation --live")
     parser.add_argument("--throughput", help="JSONL from bench_throughput")
+    parser.add_argument("--wire", help="JSONL from bench_wire / sdnshield cbench")
     args = parser.parse_args()
 
     with open(args.baselines, encoding="utf-8") as fh:
         baselines = json.load(fh)
 
-    files = {"perm": args.perm, "live": args.live, "throughput": args.throughput}
+    files = {
+        "perm": args.perm,
+        "live": args.live,
+        "throughput": args.throughput,
+        "wire": args.wire,
+    }
     cache = {}
     failures = []
     checked = 0

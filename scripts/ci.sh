@@ -14,29 +14,35 @@
 #      BENCH_reconciliation_live.json, BENCH_throughput_pressure.json) are
 #      schema-validated too, and check_bench_regress.py gates the smoke
 #      NUMBERS against scripts/bench_baselines.json tolerance bands.
-#   3. Chaos-campaign smoke (DESIGN.md §13): the campaign binary runs twice
+#   3. Wire loopback TCP smoke (DESIGN.md §15): bench_wire's framing row,
+#      then a real `sdnshield serve` process driven by `sdnshield cbench`
+#      over 127.0.0.1 — the full epoll frontend, handshake, and closed-loop
+#      flow-mod path in separate processes. Rows are schema-validated
+#      (wire_row) and regression-gated; the checked-in BENCH_wire.json is
+#      schema-validated too.
+#   4. Chaos-campaign smoke (DESIGN.md §13): the campaign binary runs twice
 #      with a fixed seed; the two scorecards must be byte-identical (the
 #      determinism contract), schema-valid, and exit 0 (every invariant
 #      held and every attacker was contained). The checked-in
 #      BENCH_campaign.json is schema-validated too.
-#   4. Interleaving exploration: `ctest -L mck` — the deterministic model
+#   5. Interleaving exploration: `ctest -L mck` — the deterministic model
 #      checker suites (DESIGN.md §12), which exhaustively explore the
 #      market's concurrency scenarios and replay the pinned counterexample.
 #      Runs in the quick job too: it is the only gate that PROVES the
 #      epoch-swap atomicity claims instead of stress-sampling them, and
 #      --no-tests=error catches label bitrot selecting zero tests.
-#   5. ASan+UBSan build, full ctest suite — any finding fails the run
+#   6. ASan+UBSan build, full ctest suite — any finding fails the run
 #      (UBSan is non-recoverable via SDNSHIELD_SANITIZE wiring).
-#   6. TSan build, `ctest -L concurrency` — the threaded engine suites, the
-#      supervision suite and the obs registry/tracer suites all carry the
-#      label; data races fail the run.
-#   7. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
+#   7. TSan build, `ctest -L concurrency` — the threaded engine suites, the
+#      supervision suite, the wire reactor/differential suites and the obs
+#      registry/tracer suites all carry the label; data races fail the run.
+#   8. Fault-injection pass: `ctest -L faultinject` under ASan, exercising
 #      every FaultInjector site (crash/hang/flood) with the allocator
 #      poisoned — a contained fault that corrupts memory fails here even if
 #      the counters look right.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
-#   --skip-sanitizers runs stages 0-4 only (the <10 min quick job).
+#   --skip-sanitizers runs stages 0-5 only (the <10 min quick job).
 #
 # Every ctest invocation uses --no-tests=error: a build or label change
 # that silently selects zero tests is a failure, not a green run.
@@ -52,7 +58,7 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
 }
 
-echo "=== [0/7] Lint gate (clang-format, clang-tidy, typed API errors) ==="
+echo "=== [0/8] Lint gate (clang-format, clang-tidy, typed API errors) ==="
 scripts/format.sh --check
 scripts/tidy.sh build
 # Typed-error gate: ApiResult/ApiResponse failures carry an ApiErrc, never a
@@ -69,11 +75,11 @@ if grep -rn --include='*.cpp' --include='*.h' -E \
   exit 1
 fi
 
-echo "=== [1/7] Release build + full test suite ==="
+echo "=== [1/8] Release build + full test suite ==="
 run_suite build
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [2/7] Bench smoke (schema-validated output) ==="
+echo "=== [2/8] Bench smoke (schema-validated output) ==="
 ./build/bench/bench_perm_engine --benchmark_min_time=0.01 \
     --benchmark_format=json > build/bench_smoke_perm.json
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
@@ -96,15 +102,39 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key live_update_row --jsonl BENCH_reconciliation_live.json
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key perm_engine_summary BENCH_perm_engine.json
-# Perf-regression gate: the smoke numbers must stay inside the per-metric
-# tolerance bands of scripts/bench_baselines.json (wide enough for smoke
-# noise, narrow enough that an order-of-magnitude regression fails here).
+
+echo "=== [3/8] Wire loopback TCP smoke (serve + cbench over 127.0.0.1) ==="
+# Framing throughput row (pure CPU, no sockets) starts the smoke file.
+./build/bench/bench_wire --framing --duration-ms 200 > build/bench_smoke_wire.txt
+# Then the real thing: `sdnshield serve` in its own process, driven by
+# `sdnshield cbench` over loopback TCP. --max-seconds bounds a wedged server;
+# the port file hands the ephemeral port to the client.
+rm -f build/wire_port
+./build/src/sdnshield serve --port 0 --port-file build/wire_port \
+    --max-seconds 60 >/dev/null &
+WIRE_SERVE_PID=$!
+for _ in $(seq 100); do [[ -s build/wire_port ]] && break; sleep 0.1; done
+[[ -s build/wire_port ]] || { echo "wire smoke: serve never bound" >&2; exit 1; }
+./build/src/sdnshield cbench --port "$(cat build/wire_port)" \
+    --connections 8 --rounds 5 --json build/bench_smoke_wire.txt
+kill "$WIRE_SERVE_PID" 2>/dev/null || true
+wait "$WIRE_SERVE_PID" 2>/dev/null || true
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key wire_row --jsonl build/bench_smoke_wire.txt
+# The checked-in wire numbers stay schema-valid too.
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key wire_row --jsonl BENCH_wire.json
+# Perf-regression gate (stages 2+3 smoke numbers): every metric must stay
+# inside the per-metric tolerance bands of scripts/bench_baselines.json
+# (wide enough for smoke noise, narrow enough that an order-of-magnitude
+# regression fails here).
 python3 scripts/check_bench_regress.py --baselines scripts/bench_baselines.json \
     --perm build/bench_smoke_perm.json \
     --live build/bench_smoke_live.txt \
-    --throughput build/bench_smoke_throughput.txt
+    --throughput build/bench_smoke_throughput.txt \
+    --wire build/bench_smoke_wire.txt
 
-echo "=== [3/7] Chaos-campaign smoke (fixed seed, determinism + invariants) ==="
+echo "=== [4/8] Chaos-campaign smoke (fixed seed, determinism + invariants) ==="
 ./build/bench/campaign --seed 7 --out build/campaign_smoke_a.json
 ./build/bench/campaign --seed 7 --out build/campaign_smoke_b.json
 # Same seed => byte-identical scorecard; any drift is a determinism bug.
@@ -115,7 +145,7 @@ python3 scripts/check_bench_json.py --schema scripts/campaign_schema.json \
 python3 scripts/check_bench_json.py --schema scripts/campaign_schema.json \
     --key campaign_scorecard BENCH_campaign.json
 
-echo "=== [4/7] Interleaving exploration (ctest -L mck) ==="
+echo "=== [5/8] Interleaving exploration (ctest -L mck) ==="
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS" -L mck)
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
@@ -123,13 +153,13 @@ if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   exit 0
 fi
 
-echo "=== [5/7] ASan+UBSan build + full test suite ==="
+echo "=== [6/8] ASan+UBSan build + full test suite ==="
 run_suite build-asan -DSDNSHIELD_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
     ctest --output-on-failure --no-tests=error -j "$JOBS")
 
-echo "=== [6/7] TSan build + concurrency suites (ctest -L concurrency) ==="
+echo "=== [7/8] TSan build + concurrency suites (ctest -L concurrency) ==="
 run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # Suppressions: cross-thread exception propagation via std::promise is
@@ -137,7 +167,7 @@ run_suite build-tsan -DSDNSHIELD_SANITIZE=thread \
 (cd build-tsan && TSAN_OPTIONS="suppressions=$PWD/../scripts/tsan.supp" \
     ctest --output-on-failure --no-tests=error -j "$JOBS" -L concurrency)
 
-echo "=== [7/7] Fault-injection pass (ctest -L faultinject under ASan) ==="
+echo "=== [8/8] Fault-injection pass (ctest -L faultinject under ASan) ==="
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
     ctest --output-on-failure --no-tests=error -j "$JOBS" -L faultinject)
 

@@ -299,7 +299,15 @@ LiveOutcome runLivePhase(const CampaignConfig& config, const CampaignPlan& plan,
   ctrl::Controller controller;
   controller.audit().setCapacity(config.auditCapacity);
   sim::SimNetwork net(controller);
-  for (net::DatapathId dpid : live.topology.switches()) net.addSwitch(dpid);
+  for (net::DatapathId dpid : live.topology.switches()) {
+    net.addSwitch(dpid);
+    // Registration goes through the canonical attachSwitch seam; the
+    // descriptor must be queryable and name the in-process transport.
+    auto info = controller.connectionInfo(dpid);
+    if (!info || info->transport != "sim") {
+      throw std::logic_error("campaign: switch attached without sim descriptor");
+    }
+  }
   for (const net::Link& link : live.topology.links()) {
     net.link(link.a.dpid, link.a.port, link.b.dpid, link.b.port);
   }

@@ -68,6 +68,8 @@ enum class ApiErrc : std::uint8_t {
   kAppQuarantined,      ///< The calling app has been quarantined.
   kInvalidArgument,     ///< Malformed request (unknown switch, bad node, ...).
   kTransactionAborted,  ///< A flow or lifecycle transaction rolled back.
+  kConnClosed,          ///< The southbound connection is gone (peer hung up).
+  kFramingError,        ///< The southbound wire codec rejected the message.
 };
 
 /// Stable identifier string for an ApiErrc (for logs and JSON exports).

@@ -58,6 +58,10 @@ const char* toString(ApiErrc code) {
       return "invalid_argument";
     case ApiErrc::kTransactionAborted:
       return "transaction_aborted";
+    case ApiErrc::kConnClosed:
+      return "conn_closed";
+    case ApiErrc::kFramingError:
+      return "framing_error";
   }
   return "unknown";
 }
@@ -142,14 +146,30 @@ std::size_t Controller::subscriptionCount() const {
          errorSubscribers_.size() + dataSubscribers_.size();
 }
 
-void Controller::attachSwitch(std::shared_ptr<SwitchConn> conn) {
-  of::DatapathId dpid = conn->dpid();
+ApiResult Controller::attachSwitch(std::shared_ptr<SwitchConn> conn,
+                                   const ConnectionInfo& info) {
+  if (!conn) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument, "null connection");
+  }
+  if (info.dpid == 0) {
+    return ApiResult::failure(ApiErrc::kInvalidArgument, "zero dpid");
+  }
   {
     std::lock_guard lock(mutex_);
-    switches_[dpid] = std::move(conn);
-    topology_.addSwitch(dpid);
+    switches_[info.dpid] = Attachment{std::move(conn), info};
+    topology_.addSwitch(info.dpid);
   }
-  emitTopologyEvent(TopologyEvent{TopologyChange::kSwitchUp, dpid, 0});
+  obs::Registry::global().counter("controller.switch_attached").increment();
+  emitTopologyEvent(TopologyEvent{TopologyChange::kSwitchUp, info.dpid, 0});
+  return ApiResult::success();
+}
+
+std::optional<ConnectionInfo> Controller::connectionInfo(
+    of::DatapathId dpid) const {
+  std::lock_guard lock(mutex_);
+  auto it = switches_.find(dpid);
+  if (it == switches_.end()) return std::nullopt;
+  return it->second.info;
 }
 
 void Controller::detachSwitch(of::DatapathId dpid) {
@@ -262,9 +282,12 @@ ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
   }
   of::FlowMod stamped = mod;
   stamped.cookie = issuer;
-  if (!conn->applyFlowMod(stamped)) {
-    onSwitchError(of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
-    return ApiResult::failure(ApiErrc::kTableFull, "flow table full");
+  if (ApiResult applied = conn->applyFlowMod(stamped); !applied.ok()) {
+    if (applied.code() == ApiErrc::kTableFull) {
+      onSwitchError(
+          of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
+    }
+    return applied;
   }
   bool modify = mod.command == of::FlowModCommand::kModify ||
                 mod.command == of::FlowModCommand::kModifyStrict;
@@ -290,7 +313,7 @@ ApiResult Controller::kernelInsertFlows(of::AppId issuer, of::DatapathId dpid,
   }
   std::vector<of::FlowMod> stamped = mods;
   for (of::FlowMod& mod : stamped) mod.cookie = issuer;
-  std::vector<bool> applied = conn->applyFlowMods(stamped);
+  std::vector<ApiResult> applied = conn->applyFlowMods(stamped);
   std::vector<Subscriber> subscribers;
   {
     std::lock_guard lock(mutex_);
@@ -298,12 +321,12 @@ ApiResult Controller::kernelInsertFlows(of::AppId issuer, of::DatapathId dpid,
   }
   ApiResult result = ApiResult::success();
   for (std::size_t i = 0; i < mods.size(); ++i) {
-    if (i < applied.size() && !applied[i]) {
-      onSwitchError(
-          of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
-      if (result.ok()) {
-        result = ApiResult::failure(ApiErrc::kTableFull, "flow table full");
+    if (i < applied.size() && !applied[i].ok()) {
+      if (applied[i].code() == ApiErrc::kTableFull) {
+        onSwitchError(
+            of::ErrorMsg{dpid, of::ErrorType::kTableFull, "table full"});
       }
+      if (result.ok()) result = applied[i];
       continue;
     }
     const of::FlowMod& mod = mods[i];
@@ -331,7 +354,9 @@ ApiResult Controller::kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
   mod.match = match;
   mod.priority = priority;
   mod.cookie = issuer;
-  conn->applyFlowMod(mod);
+  if (ApiResult applied = conn->applyFlowMod(mod); !applied.ok()) {
+    return applied;
+  }
   ownership_.recordDelete(dpid, match, priority, strict);
   std::vector<Subscriber> subscribers;
   {
@@ -351,7 +376,7 @@ ApiResponse<std::vector<of::FlowEntry>> Controller::kernelReadFlowTable(
     return ApiResponse<std::vector<of::FlowEntry>>::failure(
         ApiErrc::kInvalidArgument, "unknown switch");
   }
-  return ApiResponse<std::vector<of::FlowEntry>>::success(conn->dumpFlows());
+  return conn->dumpFlows();
 }
 
 net::Topology Controller::kernelReadTopology() const {
@@ -366,7 +391,7 @@ ApiResponse<of::StatsReply> Controller::kernelReadStatistics(
     return ApiResponse<of::StatsReply>::failure(ApiErrc::kInvalidArgument,
                                                 "unknown switch");
   }
-  return ApiResponse<of::StatsReply>::success(conn->queryStats(request));
+  return conn->queryStats(request);
 }
 
 ApiResult Controller::kernelSendPacketOut(const of::PacketOut& packetOut) {
@@ -374,8 +399,7 @@ ApiResult Controller::kernelSendPacketOut(const of::PacketOut& packetOut) {
   if (!conn) {
     return ApiResult::failure(ApiErrc::kInvalidArgument, "unknown switch");
   }
-  conn->transmitPacket(packetOut);
-  return ApiResult::success();
+  return conn->transmitPacket(packetOut);
 }
 
 void Controller::kernelPublishData(of::AppId publisher,
@@ -476,7 +500,7 @@ void Controller::removeSubscribers(of::AppId app) {
 std::shared_ptr<SwitchConn> Controller::switchConn(of::DatapathId dpid) const {
   std::lock_guard lock(mutex_);
   auto it = switches_.find(dpid);
-  return it == switches_.end() ? nullptr : it->second;
+  return it == switches_.end() ? nullptr : it->second.conn;
 }
 
 std::vector<of::DatapathId> Controller::switchIds() const {

@@ -23,26 +23,53 @@
 
 namespace sdnshield::ctrl {
 
-/// Southbound connection to one switch (implemented by the simulator).
+/// Southbound connection to one switch: the narrow *datapath* interface.
+/// Identity and transport metadata live in ConnectionInfo, supplied to
+/// Controller::attachSwitch at registration time — the kernel, supervisor
+/// and obs instrumentation never care whether the far end is an in-process
+/// SimSwitch, a codec-interposing WireSwitchConn or a real TCP peer behind
+/// the epoll reactor.
+///
+/// Every send is typed: failures carry an ApiErrc (kTableFull from the
+/// switch, kConnClosed when the peer is gone, kFramingError when the wire
+/// codec rejects the message) so callers branch on code(), never on
+/// exceptions or bare bools.
 class SwitchConn {
  public:
   virtual ~SwitchConn() = default;
 
-  virtual of::DatapathId dpid() const = 0;
-  virtual bool applyFlowMod(const of::FlowMod& mod) = 0;
+  virtual ApiResult applyFlowMod(const of::FlowMod& mod) = 0;
   /// Applies a batch of flow mods; element i of the result is the outcome of
   /// mods[i]. Semantically equivalent to applying each mod in order — the
   /// default does exactly that; implementations may override to take their
   /// table lock once and merge sorted runs (SimSwitch does).
-  virtual std::vector<bool> applyFlowMods(const std::vector<of::FlowMod>& mods) {
-    std::vector<bool> out;
+  virtual std::vector<ApiResult> applyFlowMods(
+      const std::vector<of::FlowMod>& mods) {
+    std::vector<ApiResult> out;
     out.reserve(mods.size());
     for (const of::FlowMod& mod : mods) out.push_back(applyFlowMod(mod));
     return out;
   }
-  virtual void transmitPacket(const of::PacketOut& packetOut) = 0;
-  virtual std::vector<of::FlowEntry> dumpFlows() const = 0;
-  virtual of::StatsReply queryStats(const of::StatsRequest& request) const = 0;
+  virtual ApiResult transmitPacket(const of::PacketOut& packetOut) = 0;
+  virtual ApiResponse<std::vector<of::FlowEntry>> dumpFlows() const = 0;
+  virtual ApiResponse<of::StatsReply> queryStats(
+      const of::StatsRequest& request) const = 0;
+};
+
+/// Registration-time descriptor for a southbound connection: who the peer
+/// is and how it is reached. The dpid is carried here (not on SwitchConn)
+/// exactly as in real OpenFlow, where datapath identity is learned from the
+/// features handshake, not from the socket.
+struct ConnectionInfo {
+  of::DatapathId dpid = 0;
+  /// Transport tag: "sim" (in-process), "wire" (codec-interposed
+  /// in-process), "tcp" (epoll reactor frontend).
+  std::string transport = "sim";
+  /// Human-readable peer description ("in-process", "127.0.0.1:49152").
+  std::string peer = "in-process";
+  /// Negotiated OF wire version; 0 for in-process transports that skip the
+  /// hello exchange.
+  std::uint8_t ofVersion = 0;
 };
 
 class Controller {
@@ -50,8 +77,18 @@ class Controller {
   using EventSink = std::function<void(const Event&)>;
 
   // --- southbound / topology learning -------------------------------------
-  void attachSwitch(std::shared_ptr<SwitchConn> conn);
+  /// The single registration entry point for every transport: SimNetwork's
+  /// in-process switches, WireSwitchConn adapters and the epoll frontend's
+  /// TcpSwitchConn all land here. (The old attachSwitch(conn) overload that
+  /// pulled the dpid out of the connection is gone — identity is descriptor
+  /// state, not datapath interface.) A re-attach for a live dpid replaces
+  /// the previous connection (reconnect semantics). Fails with
+  /// kInvalidArgument on a null conn or a zero dpid.
+  ApiResult attachSwitch(std::shared_ptr<SwitchConn> conn,
+                         const ConnectionInfo& info);
   void detachSwitch(of::DatapathId dpid);
+  /// Descriptor supplied at attach time; empty for unknown dpids.
+  std::optional<ConnectionInfo> connectionInfo(of::DatapathId dpid) const;
   void addLink(of::DatapathId a, of::PortNo aPort, of::DatapathId b,
                of::PortNo bPort);
   void learnHost(const net::Host& host);
@@ -168,7 +205,11 @@ class Controller {
   SubscriptionId nextSubscriptionId();
 
   mutable std::mutex mutex_;
-  std::map<of::DatapathId, std::shared_ptr<SwitchConn>> switches_;
+  struct Attachment {
+    std::shared_ptr<SwitchConn> conn;
+    ConnectionInfo info;
+  };
+  std::map<of::DatapathId, Attachment> switches_;
   net::Topology topology_;
   struct Interceptor {
     SubscriptionId id;

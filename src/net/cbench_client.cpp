@@ -1,0 +1,442 @@
+#include "net/cbench_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "net/framer.h"
+#include "net/reactor.h"
+#include "obs/metrics.h"
+#include "of/packet.h"
+
+namespace sdnshield::net {
+
+namespace wire = of::wire;
+
+namespace {
+
+const obs::Counter g_roundsRun =
+    obs::Registry::global().counter("net.cbench.rounds");
+const obs::Counter g_roundTimeouts =
+    obs::Registry::global().counter("net.cbench.timeouts");
+const obs::Histogram g_roundNs =
+    obs::Registry::global().histogram("net.cbench.round_ns");
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t idx = static_cast<std::size_t>(q * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+struct Conn {
+  int fd = -1;
+  std::size_t index = 0;
+  of::DatapathId dpid = 0;
+  Framer framer;
+  of::Bytes txBuffer;
+  bool txArmed = false;
+
+  enum class Phase { kConnecting, kHandshake, kRounds, kDone, kFailed };
+  Phase phase = Phase::kConnecting;
+  std::size_t roundsDone = 0;
+  std::chrono::steady_clock::time_point sentAt{};
+
+  of::MacAddress probeMac;
+  of::MacAddress targetMac;
+  of::Ipv4Address probeIp;
+  of::Ipv4Address targetIp;
+
+  std::vector<double> latenciesUs;
+  std::size_t timeouts = 0;
+  std::uint64_t flowMods = 0;
+  std::uint64_t packetOuts = 0;
+  std::vector<of::Bytes> capturedFlowMods;
+};
+
+/// Whole-campaign state shared between the reactor thread (I/O handlers)
+/// and the supervising thread (timeout scans). One mutex guards it all:
+/// the scanner holds it for microseconds every 20ms.
+struct Campaign {
+  CbenchClientConfig config;
+  Reactor reactor;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::size_t settled = 0;  ///< kDone + kFailed.
+  std::size_t connected = 0;
+  std::size_t handshaked = 0;
+
+  void settle(Conn& conn, Conn::Phase terminal) {
+    if (conn.phase == Conn::Phase::kDone ||
+        conn.phase == Conn::Phase::kFailed) {
+      return;
+    }
+    conn.phase = terminal;
+    ++settled;
+    cv.notify_all();
+  }
+
+  // All the following run with mutex held.
+  void sendBytes(Conn& conn, const of::Bytes& bytes);
+  void startRound(Conn& conn);
+  void onEvent(Conn& conn, std::uint32_t events);
+  void handleMessage(Conn& conn, const wire::Message& message,
+                     const Framer::Frame& frame);
+  void failConn(Conn& conn);
+};
+
+void Campaign::failConn(Conn& conn) {
+  if (conn.fd >= 0) {
+    reactor.remove(conn.fd);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  settle(conn, Conn::Phase::kFailed);
+}
+
+void Campaign::sendBytes(Conn& conn, const of::Bytes& bytes) {
+  if (conn.fd < 0) return;
+  std::size_t offset = 0;
+  if (conn.txBuffer.empty()) {
+    while (offset < bytes.size()) {
+      ssize_t n = ::send(conn.fd, bytes.data() + offset,
+                         bytes.size() - offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      failConn(conn);
+      return;
+    }
+    if (offset == bytes.size()) return;
+  }
+  conn.txBuffer.insert(conn.txBuffer.end(), bytes.begin() + offset,
+                       bytes.end());
+  if (!conn.txArmed) {
+    conn.txArmed = true;
+    reactor.rearm(conn.fd, EPOLLIN | EPOLLOUT);
+  }
+}
+
+void Campaign::startRound(Conn& conn) {
+  of::PacketIn probe;
+  probe.inPort = 4;
+  probe.reason = of::PacketInReason::kNoMatch;
+  probe.packet =
+      of::Packet::makeTcp(conn.probeMac, conn.targetMac, conn.probeIp,
+                          conn.targetIp, 12345, 80, of::tcpflags::kSyn);
+  conn.sentAt = std::chrono::steady_clock::now();
+  g_roundsRun.increment();
+  sendBytes(conn, wire::encodePacketIn(probe));
+}
+
+void Campaign::handleMessage(Conn& conn, const wire::Message& message,
+                             const Framer::Frame& frame) {
+  if (const auto* features = std::get_if<wire::FeaturesRequest>(&message)) {
+    wire::FeaturesReply reply;
+    reply.xid = features->xid;
+    reply.dpid = conn.dpid;
+    sendBytes(conn, wire::encodeFeaturesReply(reply));
+    if (conn.phase == Conn::Phase::kHandshake) {
+      ++handshaked;
+      // Host announcements: the L2 app learns target@port1 and probe@port4
+      // from the packet-ins themselves, exactly like ARP warm-up in the
+      // in-process Generator.
+      of::PacketIn announceTarget;
+      announceTarget.inPort = 1;
+      announceTarget.packet = of::Packet::makeArpRequest(
+          conn.targetMac, conn.targetIp,
+          of::Ipv4Address(10, 255, 255, 254));
+      sendBytes(conn, wire::encodePacketIn(announceTarget));
+      of::PacketIn announceProbe;
+      announceProbe.inPort = 4;
+      announceProbe.packet = of::Packet::makeArpRequest(
+          conn.probeMac, conn.probeIp, of::Ipv4Address(10, 255, 255, 254));
+      sendBytes(conn, wire::encodePacketIn(announceProbe));
+      if (config.handshakeOnly || config.rounds == 0) {
+        settle(conn, Conn::Phase::kDone);
+      } else {
+        conn.phase = Conn::Phase::kRounds;
+        startRound(conn);
+      }
+    }
+    return;
+  }
+  if (std::holds_alternative<of::FlowMod>(message)) {
+    ++conn.flowMods;
+    if (config.captureFlowModFrames) {
+      conn.capturedFlowMods.emplace_back(frame.data, frame.data + frame.size);
+    }
+    if (conn.phase == Conn::Phase::kRounds) {
+      auto elapsed = std::chrono::steady_clock::now() - conn.sentAt;
+      auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count();
+      g_roundNs.record(ns);
+      conn.latenciesUs.push_back(static_cast<double>(ns) / 1000.0);
+      ++conn.roundsDone;
+      if (conn.roundsDone >= config.rounds) {
+        settle(conn, Conn::Phase::kDone);
+      } else {
+        startRound(conn);
+      }
+    }
+    return;
+  }
+  if (std::holds_alternative<of::PacketOut>(message)) {
+    ++conn.packetOuts;
+    return;
+  }
+  if (const auto* echo = std::get_if<wire::Echo>(&message)) {
+    if (!echo->isReply) {
+      sendBytes(conn, wire::encodeEcho({true, echo->xid, echo->payload}));
+    }
+    return;
+  }
+  if (const auto* statsRequest = std::get_if<of::StatsRequest>(&message)) {
+    // Minimal emulation: an empty reply at the requested level.
+    of::StatsReply reply;
+    reply.level = statsRequest->level;
+    sendBytes(conn,
+              wire::encodeStatsReply(
+                  reply, wire::transactionId(frame.data, frame.size)));
+    return;
+  }
+  // Hello and anything else: ignore.
+}
+
+void Campaign::onEvent(Conn& conn, std::uint32_t events) {
+  if (conn.fd < 0) return;
+  if (conn.phase == Conn::Phase::kConnecting) {
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &soError, &len);
+    if (soError != 0 || (events & (EPOLLHUP | EPOLLERR))) {
+      failConn(conn);
+      return;
+    }
+    ++connected;
+    conn.phase = Conn::Phase::kHandshake;
+    reactor.rearm(conn.fd, EPOLLIN);
+    sendBytes(conn, wire::encodeHello(1));
+    // Fall through: the server's hello/features may already be readable.
+  }
+  if (events & EPOLLOUT) {
+    std::size_t offset = 0;
+    while (offset < conn.txBuffer.size()) {
+      ssize_t n = ::send(conn.fd, conn.txBuffer.data() + offset,
+                         conn.txBuffer.size() - offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      failConn(conn);
+      return;
+    }
+    conn.txBuffer.erase(
+        conn.txBuffer.begin(),
+        conn.txBuffer.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (conn.txBuffer.empty() && conn.txArmed) {
+      conn.txArmed = false;
+      reactor.rearm(conn.fd, EPOLLIN);
+    }
+  }
+  if (!(events & EPOLLIN)) {
+    if (events & (EPOLLHUP | EPOLLERR)) failConn(conn);
+    return;
+  }
+
+  std::uint8_t chunk[64 * 1024];
+  while (true) {
+    ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.framer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      failConn(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    failConn(conn);
+    return;
+  }
+  Framer::Frame frame;
+  while (true) {
+    Framer::Status status = conn.framer.next(frame);
+    if (status == Framer::Status::kNeedMore) break;
+    if (status == Framer::Status::kCorrupt) {
+      failConn(conn);
+      return;
+    }
+    wire::Message message;
+    try {
+      message = wire::decode(frame.data, frame.size);
+    } catch (const wire::DecodeError&) {
+      failConn(conn);
+      return;
+    }
+    handleMessage(conn, message, frame);
+    if (conn.fd < 0) return;
+  }
+}
+
+}  // namespace
+
+double CbenchClientResult::medianUs() const {
+  return percentile(latenciesUs, 0.5);
+}
+double CbenchClientResult::p90Us() const { return percentile(latenciesUs, 0.9); }
+double CbenchClientResult::meanUs() const {
+  if (latenciesUs.empty()) return 0;
+  double sum = 0;
+  for (double v : latenciesUs) sum += v;
+  return sum / static_cast<double>(latenciesUs.size());
+}
+
+CbenchClientResult runCbenchClient(const CbenchClientConfig& config) {
+  CbenchClientResult result;
+  Campaign campaign;
+  campaign.config = config;
+  campaign.reactor.start();
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    result.error = "bad host: " + config.host;
+    campaign.reactor.stop();
+    return result;
+  }
+
+  {
+    std::lock_guard lock(campaign.mutex);
+    for (std::size_t i = 0; i < config.connections; ++i) {
+      auto conn = std::make_unique<Conn>();
+      conn->index = i;
+      conn->dpid = config.firstDpid + i;
+      std::uint64_t serial = i + 1;
+      conn->targetMac = of::MacAddress::fromUint64(0x020000000000ULL + serial);
+      conn->probeMac = of::MacAddress::fromUint64(0x040000000000ULL + serial);
+      conn->targetIp =
+          of::Ipv4Address(10, 0, static_cast<std::uint8_t>(serial >> 8),
+                          static_cast<std::uint8_t>(serial & 0xff));
+      conn->probeIp =
+          of::Ipv4Address(10, 9, static_cast<std::uint8_t>(serial >> 8),
+                          static_cast<std::uint8_t>(serial & 0xff));
+      conn->fd =
+          ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (conn->fd < 0) {
+        conn->phase = Conn::Phase::kFailed;
+        ++campaign.settled;
+        campaign.conns.push_back(std::move(conn));
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      int rc = ::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr));
+      if (rc < 0 && errno != EINPROGRESS) {
+        ::close(conn->fd);
+        conn->fd = -1;
+        conn->phase = Conn::Phase::kFailed;
+        ++campaign.settled;
+        campaign.conns.push_back(std::move(conn));
+        continue;
+      }
+      Conn* raw = conn.get();
+      campaign.conns.push_back(std::move(conn));
+      if (!campaign.reactor.add(raw->fd, EPOLLOUT | EPOLLIN,
+                                [&campaign, raw](std::uint32_t events) {
+                                  std::lock_guard cbLock(campaign.mutex);
+                                  campaign.onEvent(*raw, events);
+                                })) {
+        ::close(raw->fd);
+        raw->fd = -1;
+        raw->phase = Conn::Phase::kFailed;
+        ++campaign.settled;
+      }
+    }
+  }
+
+  // Supervise: wake every 20ms to sweep round timeouts; finish when every
+  // connection settles or the global deadline passes.
+  auto deadline = std::chrono::steady_clock::now() + config.connectTimeout +
+                  config.roundTimeout * (config.rounds + 2);
+  {
+    std::unique_lock lock(campaign.mutex);
+    while (campaign.settled < campaign.conns.size() &&
+           std::chrono::steady_clock::now() < deadline) {
+      campaign.cv.wait_for(lock, std::chrono::milliseconds(20));
+      auto now = std::chrono::steady_clock::now();
+      for (auto& conn : campaign.conns) {
+        if (conn->phase != Conn::Phase::kRounds) continue;
+        if (now - conn->sentAt < config.roundTimeout) continue;
+        ++conn->timeouts;
+        g_roundTimeouts.increment();
+        ++conn->roundsDone;  // A timed-out round still consumes its slot.
+        if (conn->roundsDone >= config.rounds) {
+          campaign.settle(*conn, Conn::Phase::kDone);
+        } else {
+          campaign.startRound(*conn);
+        }
+      }
+    }
+  }
+
+  campaign.reactor.stop();
+  {
+    std::lock_guard lock(campaign.mutex);
+    result.flowModFrames.resize(config.captureFlowModFrames
+                                    ? campaign.conns.size()
+                                    : 0);
+    for (auto& conn : campaign.conns) {
+      if (conn->phase == Conn::Phase::kRounds ||
+          conn->phase == Conn::Phase::kHandshake ||
+          conn->phase == Conn::Phase::kConnecting) {
+        // Deadline expired mid-flight.
+        ++result.timeouts;
+      }
+      result.roundsCompleted += conn->latenciesUs.size();
+      result.timeouts += conn->timeouts;
+      result.flowModsReceived += conn->flowMods;
+      result.packetOutsReceived += conn->packetOuts;
+      result.latenciesUs.insert(result.latenciesUs.end(),
+                                conn->latenciesUs.begin(),
+                                conn->latenciesUs.end());
+      if (config.captureFlowModFrames) {
+        result.flowModFrames[conn->index] = std::move(conn->capturedFlowMods);
+      }
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    result.connected = campaign.connected;
+    result.handshaked = campaign.handshaked;
+  }
+  result.ok = result.handshaked == config.connections;
+  if (!result.ok && result.error.empty()) {
+    result.error = "handshaked " + std::to_string(result.handshaked) + "/" +
+                   std::to_string(config.connections) + " connections";
+  }
+  return result;
+}
+
+}  // namespace sdnshield::net

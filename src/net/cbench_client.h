@@ -1,0 +1,62 @@
+// CBench-over-TCP client: emulates a fleet of OpenFlow 1.0 switches on the
+// controller's wire frontend, the way the original cbench drove hardware
+// controllers (paper §IX-A) — here over loopback against net::OfServer.
+//
+// Each emulated switch completes the Hello/FeaturesReply handshake (its
+// FeaturesReply carries a unique datapath-id), announces two hosts via
+// packet-ins so the controller's L2 learning app knows the target MAC, and
+// then runs closed-loop rounds: send a probe packet-in, clock the
+// controller's flow-mod answer. All connections multiplex over one
+// net::Reactor — the client scales to the same connection counts as the
+// server it measures.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "of/wire.h"
+
+namespace sdnshield::net {
+
+struct CbenchClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 16;
+  /// Closed-loop rounds per connection (after warm-up).
+  std::size_t rounds = 10;
+  std::chrono::milliseconds roundTimeout{1000};
+  std::chrono::milliseconds connectTimeout{5000};
+  of::DatapathId firstDpid = 1;
+  /// Keep the raw flow-mod frames each connection received (differential
+  /// tests compare them byte-for-byte with the in-process wire path).
+  bool captureFlowModFrames = false;
+  /// Handshake + host announcements only; no measurement rounds. For
+  /// concurrency-scale tests that only need attached switches.
+  bool handshakeOnly = false;
+};
+
+struct CbenchClientResult {
+  bool ok = false;
+  std::string error;
+  std::size_t connected = 0;   ///< TCP connects that succeeded.
+  std::size_t handshaked = 0;  ///< Switches that answered FeaturesRequest.
+  std::size_t roundsCompleted = 0;
+  std::size_t timeouts = 0;
+  std::uint64_t flowModsReceived = 0;
+  std::uint64_t packetOutsReceived = 0;
+  std::vector<double> latenciesUs;  ///< One sample per completed round.
+  /// Per connection (by index), the raw flow-mod frames received, in
+  /// arrival order. Filled only when captureFlowModFrames is set.
+  std::vector<std::vector<of::Bytes>> flowModFrames;
+
+  double medianUs() const;
+  double p90Us() const;
+  double meanUs() const;
+};
+
+/// Runs the full campaign synchronously: connect, handshake, warm, rounds.
+CbenchClientResult runCbenchClient(const CbenchClientConfig& config);
+
+}  // namespace sdnshield::net

@@ -1,0 +1,62 @@
+#include "net/framer.h"
+
+#include "of/wire.h"
+
+namespace sdnshield::net {
+
+namespace {
+// Compact when the dead prefix crosses this threshold; below it, the
+// memmove costs more than the memory it reclaims.
+constexpr std::size_t kCompactThreshold = 16 * 1024;
+}  // namespace
+
+void Framer::append(const std::uint8_t* data, std::size_t size) {
+  if (corrupt_ || size == 0) return;
+  compact();
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Framer::Status Framer::next(Frame& frame) {
+  head_ += pending_;  // Consume the frame handed out last call.
+  pending_ = 0;
+  if (corrupt_) return Status::kCorrupt;
+  std::size_t length = 0;
+  try {
+    length = of::wire::frameLength(buffer_.data() + head_,
+                                   buffer_.size() - head_);
+  } catch (const of::wire::DecodeError& decodeError) {
+    corrupt_ = true;
+    error_ = decodeError.what();
+    return Status::kCorrupt;
+  }
+  if (length == 0) return Status::kNeedMore;
+  frame.data = buffer_.data() + head_;
+  frame.size = length;
+  pending_ = length;
+  ++frames_;
+  return Status::kFrame;
+}
+
+void Framer::reset() {
+  buffer_.clear();
+  head_ = 0;
+  pending_ = 0;
+  frames_ = 0;
+  corrupt_ = false;
+  error_.clear();
+}
+
+void Framer::compact() {
+  // Never slide bytes a handed-out frame still points into.
+  if (pending_ != 0) return;
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ >= kCompactThreshold) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+}  // namespace sdnshield::net

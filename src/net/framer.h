@@ -1,0 +1,66 @@
+// Incremental OpenFlow 1.0 frame splitter for a byte-stream transport.
+//
+// A connection appends whatever the socket produced — any slicing, down to
+// one byte at a time — and drains complete frames as borrowed views into
+// the receive buffer. Decoding (of::wire::decode's span overload) reads
+// straight out of that buffer: no per-frame copy on the hot path. Consumed
+// prefixes are compacted lazily, so a drain of N back-to-back frames costs
+// one memmove, not N.
+//
+// Errors are status-based, never exceptions: a malformed header (bad
+// version, length below the 8-byte minimum) poisons this framer only —
+// the owning connection is torn down without disturbing its neighbours on
+// the reactor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdnshield::net {
+
+class Framer {
+ public:
+  enum class Status : std::uint8_t {
+    kFrame,     ///< A complete frame is available.
+    kNeedMore,  ///< The buffer holds only a partial frame (or nothing).
+    kCorrupt,   ///< Malformed header; the stream cannot be re-synchronised.
+  };
+
+  /// Borrowed view of one complete wire message. Valid until the next
+  /// append(), next() or reset() on this framer.
+  struct Frame {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  /// Feeds bytes read off the transport. No-op once corrupt.
+  void append(const std::uint8_t* data, std::size_t size);
+
+  /// Tries to split the next complete frame off the front of the buffer.
+  /// The previously returned frame (if any) is consumed by this call.
+  Status next(Frame& frame);
+
+  /// Human-readable reason once Status::kCorrupt has been returned.
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (partial frame tail).
+  std::size_t buffered() const { return buffer_.size() - head_; }
+
+  /// Total frames split off since construction/reset.
+  std::uint64_t frameCount() const { return frames_; }
+
+  void reset();
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;     ///< Start of un-consumed bytes.
+  std::size_t pending_ = 0;  ///< Size of the frame handed out by last next().
+  std::uint64_t frames_ = 0;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+}  // namespace sdnshield::net

@@ -72,10 +72,13 @@ class Writer {
   Bytes out_;
 };
 
+// Cursor over borrowed memory: the decode path reads straight out of the
+// caller's buffer (for the socket frontend, the connection's rx window) and
+// only copies when a field materialises into a Message.
 class Reader {
  public:
-  explicit Reader(const Bytes& data, std::size_t offset = 0)
-      : data_(data), pos_(offset) {}
+  Reader(const std::uint8_t* data, std::size_t size, std::size_t offset = 0)
+      : data_(data), size_(size), pos_(offset) {}
 
   std::uint8_t u8() {
     need(1);
@@ -107,25 +110,25 @@ class Reader {
     pos_ += n;
   }
   Bytes rest() {
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
-    pos_ = data_.size();
+    Bytes out(data_ + pos_, data_ + size_);
+    pos_ = size_;
     return out;
   }
   Bytes take(std::size_t n) {
     need(n);
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    Bytes out(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return out;
   }
-  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
   std::size_t position() const { return pos_; }
 
  private:
   void need(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw DecodeError("truncated message");
+    if (pos_ + n > size_) throw DecodeError("truncated message");
   }
-  const Bytes& data_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_;
 };
 
@@ -386,6 +389,27 @@ Bytes encodeEcho(const Echo& echo) {
   return finish(writer, lengthOffset);
 }
 
+Bytes encodeFeaturesRequest(std::uint32_t xid) {
+  Writer writer;
+  std::size_t lengthOffset =
+      writeHeader(writer, MsgType::kFeaturesRequest, xid);
+  return finish(writer, lengthOffset);
+}
+
+Bytes encodeFeaturesReply(const FeaturesReply& reply) {
+  Writer writer;
+  std::size_t lengthOffset =
+      writeHeader(writer, MsgType::kFeaturesReply, reply.xid);
+  writer.u64(reply.dpid);
+  writer.u32(reply.bufferCount);
+  writer.u8(reply.tableCount);
+  writer.pad(3);
+  writer.u32(0);  // capabilities (not modelled).
+  writer.u32(0);  // actions bitmap (not modelled).
+  // Zero ofp_phy_port entries: identity, not port inventory.
+  return finish(writer, lengthOffset);
+}
+
 Bytes encodeFlowMod(const FlowMod& mod, std::uint32_t xid) {
   Writer writer;
   std::size_t lengthOffset = writeHeader(writer, MsgType::kFlowMod, xid);
@@ -548,6 +572,12 @@ Bytes encode(const Message& message, std::uint32_t xid) {
       return encodeHello(hello.xid != 0 ? hello.xid : xid);
     }
     Bytes operator()(const Echo& echo) const { return encodeEcho(echo); }
+    Bytes operator()(const FeaturesRequest& request) const {
+      return encodeFeaturesRequest(request.xid != 0 ? request.xid : xid);
+    }
+    Bytes operator()(const FeaturesReply& reply) const {
+      return encodeFeaturesReply(reply);
+    }
     Bytes operator()(const FlowMod& mod) const {
       return encodeFlowMod(mod, xid);
     }
@@ -573,34 +603,33 @@ Bytes encode(const Message& message, std::uint32_t xid) {
   return std::visit(Visitor{xid}, message);
 }
 
-std::size_t frameLength(const Bytes& buffer) {
-  if (buffer.size() < 8) return 0;
-  if (buffer[0] != kVersion) throw DecodeError("unsupported OF version");
-  std::size_t length = (std::size_t{buffer[2]} << 8) | buffer[3];
+std::size_t frameLength(const std::uint8_t* data, std::size_t size) {
+  if (size < 8) return 0;
+  if (data[0] != kVersion) throw DecodeError("unsupported OF version");
+  std::size_t length = (std::size_t{data[2]} << 8) | data[3];
   if (length < 8) throw DecodeError("bad header length");
-  return buffer.size() >= length ? length : 0;
+  return size >= length ? length : 0;
 }
 
-MsgType messageType(const Bytes& wireBytes) {
-  if (wireBytes.size() < 8) throw DecodeError("truncated header");
-  return static_cast<MsgType>(wireBytes[1]);
+MsgType messageType(const std::uint8_t* data, std::size_t size) {
+  if (size < 8) throw DecodeError("truncated header");
+  return static_cast<MsgType>(data[1]);
 }
 
-std::uint32_t transactionId(const Bytes& wireBytes) {
-  if (wireBytes.size() < 8) throw DecodeError("truncated header");
-  return (std::uint32_t{wireBytes[4]} << 24) |
-         (std::uint32_t{wireBytes[5]} << 16) |
-         (std::uint32_t{wireBytes[6]} << 8) | wireBytes[7];
+std::uint32_t transactionId(const std::uint8_t* data, std::size_t size) {
+  if (size < 8) throw DecodeError("truncated header");
+  return (std::uint32_t{data[4]} << 24) | (std::uint32_t{data[5]} << 16) |
+         (std::uint32_t{data[6]} << 8) | data[7];
 }
 
-Message decode(const Bytes& wireBytes) {
-  Reader reader(wireBytes);
+Message decode(const std::uint8_t* data, std::size_t size) {
+  Reader reader(data, size);
   std::uint8_t version = reader.u8();
   if (version != kVersion) throw DecodeError("unsupported OF version");
   MsgType type = static_cast<MsgType>(reader.u8());
   std::uint16_t length = reader.u16();
   std::uint32_t xid = reader.u32();
-  if (length != wireBytes.size()) {
+  if (length != size) {
     throw DecodeError("header length does not match buffer");
   }
   switch (type) {
@@ -609,6 +638,20 @@ Message decode(const Bytes& wireBytes) {
     case MsgType::kEchoRequest:
     case MsgType::kEchoReply:
       return Echo{type == MsgType::kEchoReply, xid, reader.rest()};
+    case MsgType::kFeaturesRequest:
+      return FeaturesRequest{xid};
+    case MsgType::kFeaturesReply: {
+      FeaturesReply reply;
+      reply.xid = xid;
+      reply.dpid = reader.u64();
+      reply.bufferCount = reader.u32();
+      reply.tableCount = reader.u8();
+      reader.skip(3);
+      reader.u32();  // capabilities.
+      reader.u32();  // actions bitmap.
+      // Any trailing ofp_phy_port entries are identity-irrelevant: skip.
+      return reply;
+    }
     case MsgType::kFlowMod: {
       FlowMod mod;
       mod.match = readMatch(reader);

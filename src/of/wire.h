@@ -29,6 +29,8 @@ enum class MsgType : std::uint8_t {
   kError = 1,
   kEchoRequest = 2,
   kEchoReply = 3,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
   kPacketIn = 10,
   kFlowRemoved = 11,
   kPacketOut = 13,
@@ -59,15 +61,36 @@ struct Echo {
   Bytes payload;
 };
 
-/// Any message this codec understands. DatapathId is carried out-of-band by
-/// the connection (as in real OF), so dpid fields of decoded messages are 0.
-using Message = std::variant<Hello, Echo, FlowMod, PacketIn, PacketOut,
-                             FlowRemoved, ErrorMsg, StatsRequest, StatsReply>;
+/// OFPT_FEATURES_REQUEST: header-only probe for switch identity.
+struct FeaturesRequest {
+  std::uint32_t xid = 0;
+};
+
+/// OFPT_FEATURES_REPLY (ofp_switch_features): the in-band datapath-id
+/// announcement — how a TCP transport learns which switch just connected.
+/// Port descriptions are not modelled; replies encode zero ports and
+/// decoding skips any present.
+struct FeaturesReply {
+  std::uint32_t xid = 0;
+  DatapathId dpid = 0;
+  std::uint32_t bufferCount = 0;
+  std::uint8_t tableCount = 1;
+};
+
+/// Any message this codec understands. Except for FeaturesReply (whose whole
+/// point is identity), DatapathId is carried out-of-band by the connection
+/// (as in real OF), so dpid fields of decoded messages are 0.
+using Message =
+    std::variant<Hello, Echo, FeaturesRequest, FeaturesReply, FlowMod,
+                 PacketIn, PacketOut, FlowRemoved, ErrorMsg, StatsRequest,
+                 StatsReply>;
 
 // --- encoding ------------------------------------------------------------------
 
 Bytes encodeHello(std::uint32_t xid = 0);
 Bytes encodeEcho(const Echo& echo);
+Bytes encodeFeaturesRequest(std::uint32_t xid = 0);
+Bytes encodeFeaturesReply(const FeaturesReply& reply);
 Bytes encodeFlowMod(const FlowMod& mod, std::uint32_t xid = 0);
 Bytes encodePacketIn(const PacketIn& packetIn, std::uint32_t xid = 0);
 Bytes encodePacketOut(const PacketOut& packetOut, std::uint32_t xid = 0);
@@ -82,17 +105,33 @@ Bytes encode(const Message& message, std::uint32_t xid = 0);
 // --- decoding -------------------------------------------------------------------
 
 /// Decodes exactly one message. Throws DecodeError on truncation, bad
-/// version, unknown type, or malformed bodies.
-Message decode(const Bytes& wireBytes);
+/// version, unknown type, or malformed bodies. The span overload is the
+/// primitive: it reads borrowed memory (e.g. a window into a connection's
+/// receive buffer) and copies nothing until a field needs materialising —
+/// the zero-copy path the epoll frontend frames from.
+Message decode(const std::uint8_t* data, std::size_t size);
+inline Message decode(const Bytes& wireBytes) {
+  return decode(wireBytes.data(), wireBytes.size());
+}
 
 /// Frame splitter for a byte stream: returns the length of the first
-/// complete message in @p buffer, or 0 when more bytes are needed.
-/// Throws DecodeError when the header is malformed.
-std::size_t frameLength(const Bytes& buffer);
+/// complete message in the buffer, or 0 when more bytes are needed.
+/// Throws DecodeError when the header is malformed (bad version, or a
+/// header length below the 8-byte minimum).
+std::size_t frameLength(const std::uint8_t* data, std::size_t size);
+inline std::size_t frameLength(const Bytes& buffer) {
+  return frameLength(buffer.data(), buffer.size());
+}
 
 /// Introspection helpers.
-MsgType messageType(const Bytes& wireBytes);
-std::uint32_t transactionId(const Bytes& wireBytes);
+MsgType messageType(const std::uint8_t* data, std::size_t size);
+inline MsgType messageType(const Bytes& wireBytes) {
+  return messageType(wireBytes.data(), wireBytes.size());
+}
+std::uint32_t transactionId(const std::uint8_t* data, std::size_t size);
+inline std::uint32_t transactionId(const Bytes& wireBytes) {
+  return transactionId(wireBytes.data(), wireBytes.size());
+}
 
 // --- ofp_match <-> FlowMatch -----------------------------------------------------
 

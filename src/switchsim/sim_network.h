@@ -60,8 +60,17 @@ class SimNetwork {
     for (auto& [_, sw] : switches_) sw->shutdownControlChannel();
   }
 
-  /// Adds a switch and attaches it to the controller.
+  /// Adds a switch and registers it with the controller through the
+  /// canonical Controller::attachSwitch(conn, ConnectionInfo) entry point
+  /// (transport "sim"). Direct wiring — handing the controller a connection
+  /// without a ConnectionInfo — is deprecated; every transport registers
+  /// through that one seam.
   std::shared_ptr<SimSwitch> addSwitch(of::DatapathId dpid);
+
+  /// Builds and data-plane-wires a switch WITHOUT attaching it: the caller
+  /// owns registration via Controller::attachSwitch — used by adapters that
+  /// interpose their own SwitchConn (WireSwitchConn, tests).
+  std::shared_ptr<SimSwitch> createSwitch(of::DatapathId dpid);
 
   /// Wires a bidirectional link and registers it in the controller topology.
   void link(of::DatapathId a, of::PortNo aPort, of::DatapathId b,

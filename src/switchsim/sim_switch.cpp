@@ -134,24 +134,29 @@ void SimSwitch::receivePacket(of::PortNo inPort, const of::Packet& packet) {
   executeActions(actions, inPort, packet);
 }
 
-bool SimSwitch::applyFlowMod(const of::FlowMod& mod) {
+ctrl::ApiResult SimSwitch::applyFlowMod(const of::FlowMod& mod) {
   if (controlDelay_.count() > 0) {
     // Asynchronous send, as over a real control channel: the caller does
     // not wait for the rule to be applied. Errors would come back as error
-    // messages; the optimistic true mirrors that.
+    // messages; the optimistic success mirrors that.
     channelSend([this, mod] {
       std::lock_guard lock(mutex_);
       ++flowMods_;
       table_.apply(mod);
     });
-    return true;
+    return ctrl::ApiResult::success();
   }
   std::lock_guard lock(mutex_);
   ++flowMods_;
-  return table_.apply(mod);
+  if (!table_.apply(mod)) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kTableFull,
+                                    "flow table full");
+  }
+  return ctrl::ApiResult::success();
 }
 
-std::vector<bool> SimSwitch::applyFlowMods(const std::vector<of::FlowMod>& mods) {
+std::vector<ctrl::ApiResult> SimSwitch::applyFlowMods(
+    const std::vector<of::FlowMod>& mods) {
   if (controlDelay_.count() > 0) {
     // As with applyFlowMod: async over the emulated channel, optimistic.
     channelSend([this, mods] {
@@ -159,29 +164,42 @@ std::vector<bool> SimSwitch::applyFlowMods(const std::vector<of::FlowMod>& mods)
       flowMods_ += mods.size();
       table_.applyBatch(mods);
     });
-    return std::vector<bool>(mods.size(), true);
+    return std::vector<ctrl::ApiResult>(mods.size());
   }
-  std::lock_guard lock(mutex_);
-  flowMods_ += mods.size();
-  return table_.applyBatch(mods);
+  std::vector<bool> applied;
+  {
+    std::lock_guard lock(mutex_);
+    flowMods_ += mods.size();
+    applied = table_.applyBatch(mods);
+  }
+  std::vector<ctrl::ApiResult> out;
+  out.reserve(applied.size());
+  for (bool ok : applied) {
+    out.push_back(ok ? ctrl::ApiResult::success()
+                     : ctrl::ApiResult::failure(ctrl::ApiErrc::kTableFull,
+                                                "flow table full"));
+  }
+  return out;
 }
 
-void SimSwitch::transmitPacket(const of::PacketOut& packetOut) {
+ctrl::ApiResult SimSwitch::transmitPacket(const of::PacketOut& packetOut) {
   if (controlDelay_.count() > 0) {
     channelSend([this, packetOut] {
       executeActions(packetOut.actions, packetOut.inPort, packetOut.packet);
     });
-    return;
+    return ctrl::ApiResult::success();
   }
   executeActions(packetOut.actions, packetOut.inPort, packetOut.packet);
+  return ctrl::ApiResult::success();
 }
 
-std::vector<of::FlowEntry> SimSwitch::dumpFlows() const {
+ctrl::ApiResponse<std::vector<of::FlowEntry>> SimSwitch::dumpFlows() const {
   std::lock_guard lock(mutex_);
-  return table_.entries();
+  return ctrl::ApiResponse<std::vector<of::FlowEntry>>::success(
+      table_.entries());
 }
 
-of::StatsReply SimSwitch::queryStats(const of::StatsRequest& request) const {
+of::StatsReply SimSwitch::localStats(const of::StatsRequest& request) const {
   of::StatsReply reply;
   reply.level = request.level;
   reply.dpid = dpid_;
@@ -206,6 +224,11 @@ of::StatsReply SimSwitch::queryStats(const of::StatsRequest& request) const {
     }
   }
   return reply;
+}
+
+ctrl::ApiResponse<of::StatsReply> SimSwitch::queryStats(
+    const of::StatsRequest& request) const {
+  return ctrl::ApiResponse<of::StatsReply>::success(localStats(request));
 }
 
 std::size_t SimSwitch::flowCount() const {

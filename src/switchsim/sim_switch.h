@@ -66,14 +66,22 @@ class SimSwitch final : public ctrl::SwitchConn {
   void receivePacket(of::PortNo inPort, const of::Packet& packet);
 
   // --- ctrl::SwitchConn ---------------------------------------------------------
-  of::DatapathId dpid() const override { return dpid_; }
-  bool applyFlowMod(const of::FlowMod& mod) override;
+  // (dpid() is SimSwitch state, not interface: datapath identity reaches
+  // the controller through the ConnectionInfo passed to attachSwitch.)
+  of::DatapathId dpid() const { return dpid_; }
+  ctrl::ApiResult applyFlowMod(const of::FlowMod& mod) override;
   /// Batched flow-mods: one table-lock acquisition, sorted-merge insertion
   /// (FlowTable::applyBatch) instead of per-mod lock+scan+insert.
-  std::vector<bool> applyFlowMods(const std::vector<of::FlowMod>& mods) override;
-  void transmitPacket(const of::PacketOut& packetOut) override;
-  std::vector<of::FlowEntry> dumpFlows() const override;
-  of::StatsReply queryStats(const of::StatsRequest& request) const override;
+  std::vector<ctrl::ApiResult> applyFlowMods(
+      const std::vector<of::FlowMod>& mods) override;
+  ctrl::ApiResult transmitPacket(const of::PacketOut& packetOut) override;
+  ctrl::ApiResponse<std::vector<of::FlowEntry>> dumpFlows() const override;
+  ctrl::ApiResponse<of::StatsReply> queryStats(
+      const of::StatsRequest& request) const override;
+
+  /// queryStats without the ApiResponse wrapper (an in-process switch
+  /// cannot fail a local table read) — convenience for tests and tools.
+  of::StatsReply localStats(const of::StatsRequest& request) const;
 
   std::size_t flowCount() const;
   std::uint64_t packetInCount() const { return packetIns_; }

@@ -18,37 +18,56 @@ WireSwitchConn::WireSwitchConn(std::shared_ptr<SimSwitch> sw,
   });
 }
 
-bool WireSwitchConn::applyFlowMod(const of::FlowMod& mod) {
-  of::Bytes frame = wire::encodeFlowMod(mod);
+ctrl::ApiResult WireSwitchConn::applyFlowMod(const of::FlowMod& mod) {
+  of::Bytes frame;
+  try {
+    frame = wire::encodeFlowMod(mod);
+  } catch (const wire::EncodeError& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kFramingError,
+                                    error.what());
+  }
   bytesToSwitch_.fetch_add(frame.size(), std::memory_order_relaxed);
   return sw_->applyFlowMod(std::get<of::FlowMod>(wire::decode(frame)));
 }
 
-void WireSwitchConn::transmitPacket(const of::PacketOut& packetOut) {
-  of::Bytes frame = wire::encodePacketOut(packetOut);
+ctrl::ApiResult WireSwitchConn::transmitPacket(const of::PacketOut& packetOut) {
+  of::Bytes frame;
+  try {
+    frame = wire::encodePacketOut(packetOut);
+  } catch (const wire::EncodeError& error) {
+    return ctrl::ApiResult::failure(ctrl::ApiErrc::kFramingError,
+                                    error.what());
+  }
   bytesToSwitch_.fetch_add(frame.size(), std::memory_order_relaxed);
-  sw_->transmitPacket(std::get<of::PacketOut>(wire::decode(frame)));
+  return sw_->transmitPacket(std::get<of::PacketOut>(wire::decode(frame)));
 }
 
-std::vector<of::FlowEntry> WireSwitchConn::dumpFlows() const {
+ctrl::ApiResponse<std::vector<of::FlowEntry>> WireSwitchConn::dumpFlows()
+    const {
   return sw_->dumpFlows();
 }
 
-of::StatsReply WireSwitchConn::queryStats(
+ctrl::ApiResponse<of::StatsReply> WireSwitchConn::queryStats(
     const of::StatsRequest& request) const {
-  of::Bytes requestFrame = wire::encodeStatsRequest(request);
+  of::Bytes requestFrame;
+  try {
+    requestFrame = wire::encodeStatsRequest(request);
+  } catch (const wire::EncodeError& error) {
+    return ctrl::ApiResponse<of::StatsReply>::failure(
+        ctrl::ApiErrc::kFramingError, error.what());
+  }
   bytesToSwitch_.fetch_add(requestFrame.size(), std::memory_order_relaxed);
   auto decodedRequest =
       std::get<of::StatsRequest>(wire::decode(requestFrame));
   decodedRequest.dpid = sw_->dpid();
-  of::StatsReply reply = sw_->queryStats(decodedRequest);
+  of::StatsReply reply = sw_->localStats(decodedRequest);
   of::Bytes replyFrame = wire::encodeStatsReply(reply);
   bytesFromSwitch_.fetch_add(replyFrame.size(), std::memory_order_relaxed);
   auto decodedReply = std::get<of::StatsReply>(wire::decode(replyFrame));
   // Datapath identity is connection state, not wire payload (real OF too).
   decodedReply.dpid = sw_->dpid();
   decodedReply.switchStats.dpid = sw_->dpid();
-  return decodedReply;
+  return ctrl::ApiResponse<of::StatsReply>::success(std::move(decodedReply));
 }
 
 }  // namespace sdnshield::sim

@@ -19,13 +19,17 @@ class WireSwitchConn final : public ctrl::SwitchConn {
   /// @p controller (the switch's own controller pointer is bypassed).
   WireSwitchConn(std::shared_ptr<SimSwitch> sw, ctrl::Controller* controller);
 
-  of::DatapathId dpid() const override { return sw_->dpid(); }
-  bool applyFlowMod(const of::FlowMod& mod) override;
-  void transmitPacket(const of::PacketOut& packetOut) override;
+  of::DatapathId dpid() const { return sw_->dpid(); }
+  /// Codec rejections (e.g. a non-prefix IPv4 mask, unencodable in OF 1.0)
+  /// surface as typed kFramingError failures, never as exceptions — the
+  /// same contract the TCP transport honours.
+  ctrl::ApiResult applyFlowMod(const of::FlowMod& mod) override;
+  ctrl::ApiResult transmitPacket(const of::PacketOut& packetOut) override;
   /// Flow dumps pass through directly: OF 1.0 carries them as flow-stats
   /// with action lists, which this codec's reply does not model.
-  std::vector<of::FlowEntry> dumpFlows() const override;
-  of::StatsReply queryStats(const of::StatsRequest& request) const override;
+  ctrl::ApiResponse<std::vector<of::FlowEntry>> dumpFlows() const override;
+  ctrl::ApiResponse<of::StatsReply> queryStats(
+      const of::StatsRequest& request) const override;
 
   std::uint64_t bytesToSwitch() const { return bytesToSwitch_.load(); }
   std::uint64_t bytesFromSwitch() const { return bytesFromSwitch_.load(); }

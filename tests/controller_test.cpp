@@ -14,7 +14,7 @@ std::shared_ptr<sim::SimSwitch> makeSwitch(Controller& controller,
                                            of::DatapathId dpid) {
   auto sw = std::make_shared<sim::SimSwitch>(dpid);
   sw->setController(&controller);
-  controller.attachSwitch(sw);
+  controller.attachSwitch(sw, ConnectionInfo{dpid, "sim", "in-process", 0});
   return sw;
 }
 
@@ -64,7 +64,7 @@ TEST(Controller, KernelInsertFlowStampsCookieAndTracksOwnership) {
   Controller controller;
   auto sw = makeSwitch(controller, 1);
   ASSERT_TRUE(controller.kernelInsertFlow(7, 1, modTo("10.0.0.1")).ok());
-  auto flows = sw->dumpFlows();
+  auto flows = sw->dumpFlows().value();
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].cookie, 7u);
   EXPECT_EQ(controller.ownership().countFor(7, 1), 1u);
@@ -97,7 +97,7 @@ TEST(Controller, KernelDeleteRemovesFromSwitchAndTracker) {
   auto sw = makeSwitch(controller, 1);
   controller.kernelInsertFlow(7, 1, modTo("10.0.0.1"));
   controller.kernelDeleteFlow(7, 1, modTo("10.0.0.1").match, true, 10);
-  EXPECT_TRUE(sw->dumpFlows().empty());
+  EXPECT_TRUE(sw->dumpFlows().value().empty());
   EXPECT_EQ(controller.ownership().countFor(7, 1), 0u);
 }
 

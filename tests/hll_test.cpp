@@ -290,7 +290,7 @@ TEST_F(HllInstallTest, PartialDenialSkipsOnlyTheBlockedRules) {
   ASSERT_FALSE(report.denied.empty());
   EXPECT_EQ(report.denied[0].owner, 7u);
   // The installed rules contain no header rewrites.
-  for (const of::FlowEntry& entry : network_.switchAt(1)->dumpFlows()) {
+  for (const of::FlowEntry& entry : network_.switchAt(1)->dumpFlows().value()) {
     EXPECT_FALSE(of::modifiesHeaders(entry.actions)) << entry.toString();
   }
 }
@@ -313,7 +313,7 @@ TEST_F(HllInstallTest, OwnerlessPolicyInstallsAsKernel) {
   InstallReport report = installPolicy(
       engine_, controller_, 1, seq(match(tcpDst(80)), fwd(1)), 200);
   EXPECT_TRUE(report.fullyInstalled());
-  auto flows = network_.switchAt(1)->dumpFlows();
+  auto flows = network_.switchAt(1)->dumpFlows().value();
   ASSERT_FALSE(flows.empty());
   EXPECT_EQ(flows[0].cookie, of::kKernelAppId);
 }

@@ -260,8 +260,8 @@ TEST(IsolationAsync, InsertFlowsMatchesSequentialInsertFlow) {
   }
 
   EXPECT_EQ(vResult.code(), sResult.code());
-  auto vFlows = vectored.network.switchAt(1)->dumpFlows();
-  auto sFlows = sequential.network.switchAt(1)->dumpFlows();
+  auto vFlows = vectored.network.switchAt(1)->dumpFlows().value();
+  auto sFlows = sequential.network.switchAt(1)->dumpFlows().value();
   ASSERT_EQ(vFlows.size(), sFlows.size());
   for (std::size_t i = 0; i < vFlows.size(); ++i) {
     EXPECT_EQ(vFlows[i].priority, sFlows[i].priority) << "entry " << i;

@@ -1,0 +1,188 @@
+// Incremental-framing differential fuzz (ISSUE: satellite 3): captured wire
+// bytes fed to the Framer in randomized 1..N-byte slices must yield exactly
+// the frame sequence a whole-buffer split yields, and malformed
+// length/version headers must poison only their own framer — the adjacent
+// connection's framer keeps streaming.
+#include "net/framer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "of/wire.h"
+
+namespace sdnshield::net {
+namespace {
+
+namespace wire = of::wire;
+
+/// A representative captured stream: the handshake plus the southbound
+/// vocabulary the cbench loop exercises.
+of::Bytes capturedStream() {
+  of::Bytes stream;
+  auto push = [&stream](const of::Bytes& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  push(wire::encodeHello(1));
+  push(wire::encodeFeaturesRequest(2));
+  push(wire::encodeFeaturesReply(wire::FeaturesReply{2, 7, 256, 1}));
+  of::PacketIn packetIn;
+  packetIn.inPort = 4;
+  packetIn.packet = of::Packet::makeTcp(
+      of::MacAddress::fromUint64(0x0401), of::MacAddress::fromUint64(0x0201),
+      of::Ipv4Address(10, 9, 0, 1), of::Ipv4Address(10, 0, 0, 1), 12345, 80,
+      of::tcpflags::kSyn);
+  push(wire::encodePacketIn(packetIn));
+  of::FlowMod mod;
+  mod.match.ethDst = of::MacAddress::fromUint64(0x0201);
+  mod.priority = 10;
+  mod.idleTimeout = 300;
+  mod.actions.push_back(of::OutputAction{1});
+  push(wire::encodeFlowMod(mod));
+  of::PacketOut packetOut;
+  packetOut.inPort = 4;
+  packetOut.packet = packetIn.packet;
+  packetOut.actions.push_back(of::OutputAction{1});
+  push(wire::encodePacketOut(packetOut));
+  push(wire::encodeEcho({false, 9, {0xde, 0xad}}));
+  push(wire::encodeEcho({true, 9, {0xde, 0xad}}));
+  of::StatsRequest statsRequest;
+  statsRequest.level = of::StatsLevel::kFlow;
+  push(wire::encodeStatsRequest(statsRequest, 0x200));
+  of::ErrorMsg error{0, of::ErrorType::kTableFull, "full"};
+  push(wire::encodeError(error));
+  return stream;
+}
+
+/// Reference: split the whole buffer in one pass.
+std::vector<of::Bytes> wholeBufferFrames(const of::Bytes& stream) {
+  std::vector<of::Bytes> frames;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    std::size_t length =
+        wire::frameLength(stream.data() + offset, stream.size() - offset);
+    if (length == 0) break;
+    frames.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                        stream.begin() +
+                            static_cast<std::ptrdiff_t>(offset + length));
+    offset += length;
+  }
+  return frames;
+}
+
+std::vector<of::Bytes> slicedFrames(const of::Bytes& stream,
+                                    std::mt19937& rng,
+                                    std::size_t maxSlice) {
+  Framer framer;
+  std::vector<of::Bytes> frames;
+  std::uniform_int_distribution<std::size_t> sliceDist(1, maxSlice);
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    std::size_t n = std::min(sliceDist(rng), stream.size() - offset);
+    framer.append(stream.data() + offset, n);
+    offset += n;
+    Framer::Frame frame;
+    while (framer.next(frame) == Framer::Status::kFrame) {
+      frames.emplace_back(frame.data, frame.data + frame.size);
+    }
+    EXPECT_TRUE(framer.error().empty());
+  }
+  return frames;
+}
+
+TEST(NetFraming, RandomSlicingIsIdenticalToWholeBufferParse) {
+  of::Bytes stream = capturedStream();
+  std::vector<of::Bytes> expected = wholeBufferFrames(stream);
+  ASSERT_EQ(expected.size(), 10u);
+
+  std::mt19937 rng(0xf4a3);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Mix byte-at-a-time with jumbo slices across trials.
+    std::size_t maxSlice = 1 + static_cast<std::size_t>(trial) % 97;
+    std::vector<of::Bytes> got = slicedFrames(stream, rng, maxSlice);
+    ASSERT_EQ(got.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "trial " << trial << " frame " << i;
+    }
+  }
+}
+
+TEST(NetFraming, EveryFrameDecodesIdenticallyAfterSlicing) {
+  of::Bytes stream = capturedStream();
+  std::mt19937 rng(0x5eed);
+  std::vector<of::Bytes> frames = slicedFrames(stream, rng, 3);
+  for (const of::Bytes& frame : frames) {
+    // The sliced frame must decode exactly like the original encoding
+    // (same variant alternative, re-encodes to the same bytes).
+    wire::Message message = wire::decode(frame);
+    EXPECT_EQ(wire::encode(message, wire::transactionId(frame)), frame);
+  }
+}
+
+TEST(NetFraming, BadVersionHeaderPoisonsOnlyThatFramer) {
+  Framer bad;
+  Framer neighbour;
+
+  of::Bytes good = wire::encodeHello(1);
+  of::Bytes corrupt = good;
+  corrupt[0] = 0x04;  // OF 1.3 version: unsupported.
+
+  bad.append(corrupt.data(), corrupt.size());
+  neighbour.append(good.data(), good.size());
+
+  Framer::Frame frame;
+  EXPECT_EQ(bad.next(frame), Framer::Status::kCorrupt);
+  EXPECT_FALSE(bad.error().empty());
+  // Once corrupt, stays corrupt: the stream cannot re-synchronise.
+  bad.append(good.data(), good.size());
+  EXPECT_EQ(bad.next(frame), Framer::Status::kCorrupt);
+
+  // The neighbouring connection's framer is untouched.
+  ASSERT_EQ(neighbour.next(frame), Framer::Status::kFrame);
+  EXPECT_EQ(of::Bytes(frame.data, frame.data + frame.size), good);
+}
+
+TEST(NetFraming, UndersizedLengthHeaderIsCorrupt) {
+  of::Bytes frame = wire::encodeHello(1);
+  frame[2] = 0;
+  frame[3] = 4;  // Length 4 < the 8-byte header minimum.
+  Framer framer;
+  framer.append(frame.data(), frame.size());
+  Framer::Frame out;
+  EXPECT_EQ(framer.next(out), Framer::Status::kCorrupt);
+}
+
+TEST(NetFraming, PartialHeaderNeedsMoreWithoutError) {
+  Framer framer;
+  of::Bytes frame = wire::encodeEcho({false, 1, {1, 2, 3}});
+  Framer::Frame out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    framer.append(&frame[i], 1);
+    EXPECT_EQ(framer.next(out), Framer::Status::kNeedMore) << "byte " << i;
+  }
+  framer.append(&frame[frame.size() - 1], 1);
+  ASSERT_EQ(framer.next(out), Framer::Status::kFrame);
+  EXPECT_EQ(out.size, frame.size());
+  EXPECT_EQ(framer.buffered(), frame.size());  // Consumed on the NEXT call.
+  EXPECT_EQ(framer.next(out), Framer::Status::kNeedMore);
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(NetFraming, CompactionSurvivesLongStreams) {
+  // Push well past the compaction threshold and verify frame accounting.
+  Framer framer;
+  of::Bytes frame = wire::encodeEcho({false, 7, of::Bytes(100, 0xab)});
+  constexpr std::size_t kCount = 2000;  // ~216KB through a 16KB threshold.
+  Framer::Frame out;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    framer.append(frame.data(), frame.size());
+    ASSERT_EQ(framer.next(out), Framer::Status::kFrame);
+    ASSERT_EQ(out.size, frame.size());
+  }
+  EXPECT_EQ(framer.frameCount(), kCount);
+  EXPECT_EQ(framer.next(out), Framer::Status::kNeedMore);
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace sdnshield::net

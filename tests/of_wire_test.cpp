@@ -277,6 +277,8 @@ TEST(WireEncode, GenericEncodeDispatches) {
   Message messages[] = {
       Hello{1},
       Echo{false, 2, {}},
+      FeaturesRequest{3},
+      FeaturesReply{4, 0x1122334455667788ULL, 256, 1},
       FlowMod{},
       ErrorMsg{0, ErrorType::kPermError, "no"},
   };
@@ -285,6 +287,72 @@ TEST(WireEncode, GenericEncodeDispatches) {
     EXPECT_GE(wireBytes.size(), 8u);
     EXPECT_NO_THROW(decode(wireBytes));
   }
+}
+
+TEST(WireFeatures, RequestIsHeaderOnly) {
+  Bytes wireBytes = encodeFeaturesRequest(0x31337);
+  ASSERT_EQ(wireBytes.size(), 8u);
+  EXPECT_EQ(messageType(wireBytes), MsgType::kFeaturesRequest);
+  EXPECT_EQ(transactionId(wireBytes), 0x31337u);
+  auto request = std::get<FeaturesRequest>(decode(wireBytes));
+  EXPECT_EQ(request.xid, 0x31337u);
+}
+
+TEST(WireFeatures, ReplyCarriesDatapathIdentity) {
+  FeaturesReply reply;
+  reply.xid = 7;
+  reply.dpid = 0x00a0b0c0d0e0f001ULL;
+  reply.bufferCount = 64;
+  reply.tableCount = 2;
+  Bytes wireBytes = encodeFeaturesReply(reply);
+  // ofp_switch_features with zero ports: 8 header + 24 body.
+  ASSERT_EQ(wireBytes.size(), 32u);
+  auto decoded = std::get<FeaturesReply>(decode(wireBytes));
+  EXPECT_EQ(decoded.xid, 7u);
+  EXPECT_EQ(decoded.dpid, reply.dpid);
+  EXPECT_EQ(decoded.bufferCount, 64u);
+  EXPECT_EQ(decoded.tableCount, 2);
+}
+
+TEST(WireFeatures, TruncatedReplyBodyIsRejected) {
+  Bytes wireBytes = encodeFeaturesReply(FeaturesReply{1, 42, 0, 1});
+  wireBytes.resize(16);
+  wireBytes[2] = 0;
+  wireBytes[3] = 16;  // Header length matches the truncated buffer.
+  EXPECT_THROW(decode(wireBytes), DecodeError);
+}
+
+TEST(WireSpan, SpanDecodeMatchesBytesDecode) {
+  // The span overload must read a message embedded mid-buffer without
+  // copying it out first — exactly what the socket frontend does against
+  // its receive window.
+  FlowMod mod;
+  mod.match = richMatch();
+  mod.priority = 99;
+  mod.cookie = 0xc001;
+  mod.actions.push_back(OutputAction{4});
+  Bytes frame = encodeFlowMod(mod, 0x55);
+  Bytes padded;
+  padded.insert(padded.end(), 3, 0xee);  // Garbage prefix.
+  padded.insert(padded.end(), frame.begin(), frame.end());
+  padded.insert(padded.end(), 5, 0xdd);  // Garbage suffix.
+
+  ASSERT_EQ(frameLength(padded.data() + 3, padded.size() - 3), frame.size());
+  EXPECT_EQ(messageType(padded.data() + 3, frame.size()), MsgType::kFlowMod);
+  EXPECT_EQ(transactionId(padded.data() + 3, frame.size()), 0x55u);
+  auto fromSpan = std::get<FlowMod>(decode(padded.data() + 3, frame.size()));
+  auto fromBytes = std::get<FlowMod>(decode(frame));
+  EXPECT_EQ(fromSpan.toString(), fromBytes.toString());
+  EXPECT_EQ(fromSpan.priority, 99u);
+  EXPECT_EQ(fromSpan.cookie, 0xc001u);
+}
+
+TEST(WireSpan, FrameLengthReportsIncompleteForShortSpan) {
+  Bytes frame = encodeHello(1);
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_EQ(frameLength(frame.data(), n), 0u) << "prefix " << n;
+  }
+  EXPECT_EQ(frameLength(frame.data(), frame.size()), 8u);
 }
 
 }  // namespace

@@ -131,7 +131,7 @@ TEST(FailureInjection, TableFullSurfacesErrorAndEvent) {
   ctrl::Controller controller;
   auto tiny = std::make_shared<sim::SimSwitch>(1, /*tableCapacity=*/2);
   tiny->setController(&controller);
-  controller.attachSwitch(tiny);
+  controller.attachSwitch(tiny, ctrl::ConnectionInfo{1, "sim", "in-process", 0});
   int errorEvents = 0;
   controller.addErrorSubscriber(1, [&](const ctrl::Event& event) {
     if (std::get<ctrl::ErrorEvent>(event).error.type ==

@@ -151,7 +151,7 @@ TEST(SimSwitch, PortStatsCountRxAndTx) {
   of::StatsRequest request;
   request.level = of::StatsLevel::kPort;
   request.dpid = 1;
-  of::StatsReply reply = sw->queryStats(request);
+  of::StatsReply reply = sw->localStats(request);
   std::uint64_t rx = 0;
   std::uint64_t tx = 0;
   for (const of::PortStats& port : reply.ports) {
@@ -180,9 +180,9 @@ TEST(SimSwitch, FlowStatsRespectMatchSelector) {
   request.level = of::StatsLevel::kFlow;
   request.dpid = 1;
   request.match.tpDst = 80;
-  EXPECT_EQ(sw->queryStats(request).flows.size(), 1u);
+  EXPECT_EQ(sw->localStats(request).flows.size(), 1u);
   request.match = of::FlowMatch::any();
-  EXPECT_EQ(sw->queryStats(request).flows.size(), 2u);
+  EXPECT_EQ(sw->localStats(request).flows.size(), 2u);
 }
 
 TEST(SimNetwork, LinkDeliversBetweenSwitches) {

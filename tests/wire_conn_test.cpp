@@ -18,7 +18,7 @@ struct WireBed {
     // wire adapter instead of the plain SwitchConn.
     sw = std::make_shared<SimSwitch>(1);
     conn = std::make_shared<WireSwitchConn>(sw, &controller);
-    controller.attachSwitch(conn);
+    controller.attachSwitch(conn, ctrl::ConnectionInfo{1, "wire", "in-process", 0});
     // Hosts still hang off the raw switch (the data plane has no framing).
     h1 = std::make_shared<SimHost>(
         net::Host{of::MacAddress::fromUint64(1), of::Ipv4Address(10, 0, 0, 1),
@@ -74,7 +74,7 @@ TEST(WireConn, InstalledRuleSurvivesTheFlowModRoundTrip) {
   mod.idleTimeout = 60;
   mod.actions.push_back(of::OutputAction{2});
   ASSERT_TRUE(bed.controller.kernelInsertFlow(7, 1, mod).ok());
-  auto flows = bed.sw->dumpFlows();
+  auto flows = bed.sw->dumpFlows().value();
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].match, mod.match);
   EXPECT_EQ(flows[0].priority, 33);
@@ -114,10 +114,13 @@ TEST(WireConn, NonPrefixMaskRuleIsRejectedAtTheWire) {
   mod.match.ipDst = of::MaskedIpv4{of::Ipv4Address(10, 0, 0, 0),
                                    of::Ipv4Address::parse("255.0.255.0")};
   mod.actions.push_back(of::OutputAction{2});
-  // The codec cannot express the mask: the encode error surfaces rather
-  // than silently widening the rule.
-  EXPECT_THROW(bed.controller.kernelInsertFlow(7, 1, mod),
-               of::wire::EncodeError);
+  // The codec cannot express the mask: the rejection surfaces as a typed
+  // kFramingError result rather than silently widening the rule (and never
+  // as an exception — the same contract the TCP transport honours).
+  ctrl::ApiResult result = bed.controller.kernelInsertFlow(7, 1, mod);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ctrl::ApiErrc::kFramingError);
+  EXPECT_TRUE(bed.sw->dumpFlows().value().empty());
 }
 
 TEST(WireConn, ShieldedDeploymentWorksOverTheWire) {
