@@ -24,7 +24,7 @@ void usage(const char* argv0) {
                "          [--extra-tenants N] [--mutants N] [--no-attackers]\n"
                "          [--fault-ppm N] [--audit-capacity N]\n"
                "          [--measure-ms N] [--mega-k N] [--mega-spines N]\n"
-               "          [--mega-leaves N] [--mega-steps N]\n"
+               "          [--mega-leaves N] [--mega-steps N] [--shards N]\n"
                "          [--measured] [--out FILE]\n",
                argv0);
 }
@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
         intArg("--mega-k", config.megaFatTreeK) ||
         intArg("--mega-spines", config.megaSpines) ||
         intArg("--mega-leaves", config.megaLeaves) ||
-        intArg("--mega-steps", config.megaSteps)) {
+        intArg("--mega-steps", config.megaSteps) ||
+        intArg("--shards", config.shards)) {
       continue;
     }
     if (std::strcmp(argv[i], "--fault-ppm") == 0 && i + 1 < argc) {

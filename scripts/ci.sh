@@ -17,14 +17,17 @@
 #   3. Wire loopback TCP smoke (DESIGN.md §15): bench_wire's framing row,
 #      then a real `sdnshield serve` process driven by `sdnshield cbench`
 #      over 127.0.0.1 — the full epoll frontend, handshake, and closed-loop
-#      flow-mod path in separate processes. Rows are schema-validated
-#      (wire_row) and regression-gated; the checked-in BENCH_wire.json is
-#      schema-validated too.
+#      flow-mod path in separate processes — once unsharded and once with
+#      --shards 2 (two shard loops + two io reactors, DESIGN.md §16). Rows
+#      are schema-validated (wire_row) and regression-gated; the checked-in
+#      BENCH_wire.json is schema-validated too.
 #   4. Chaos-campaign smoke (DESIGN.md §13): the campaign binary runs twice
 #      with a fixed seed; the two scorecards must be byte-identical (the
 #      determinism contract), schema-valid, and exit 0 (every invariant
-#      held and every attacker was contained). The checked-in
-#      BENCH_campaign.json is schema-validated too.
+#      held and every attacker was contained). A third run on --shards 4
+#      must reproduce the same bytes (the shard count is an execution
+#      detail, not an outcome). The checked-in BENCH_campaign.json is
+#      schema-validated too.
 #   5. Interleaving exploration: `ctest -L mck` — the deterministic model
 #      checker suites (DESIGN.md §12), which exhaustively explore the
 #      market's concurrency scenarios and replay the pinned counterexample.
@@ -89,6 +92,10 @@ python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key degraded_mode_row --jsonl build/bench_smoke_degraded.txt
 ./build/bench/bench_throughput --pressure --duration-ms 150 \
     > build/bench_smoke_throughput.txt
+# Shards mode rides the same smoke file: its rows share the throughput_row
+# schema, and the regress gate below pins the shards=1 rate.
+./build/bench/bench_throughput --shards --duration-ms 150 \
+    >> build/bench_smoke_throughput.txt
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key throughput_row --jsonl build/bench_smoke_throughput.txt
 ./build/bench/bench_reconciliation --live > build/bench_smoke_live.txt
@@ -119,8 +126,24 @@ for _ in $(seq 100); do [[ -s build/wire_port ]] && break; sleep 0.1; done
     --connections 8 --rounds 5 --json build/bench_smoke_wire.txt
 kill "$WIRE_SERVE_PID" 2>/dev/null || true
 wait "$WIRE_SERVE_PID" 2>/dev/null || true
+# Same smoke against a sharded server: two shard loops, two io reactors,
+# sessions round-robined across them. Rows go to their own file so the
+# regress gate keeps reading exactly one unsharded wire row.
+rm -f build/wire_port_shards
+./build/src/sdnshield serve --port 0 --port-file build/wire_port_shards \
+    --shards 2 --max-seconds 60 >/dev/null &
+WIRE_SHARDS_PID=$!
+for _ in $(seq 100); do [[ -s build/wire_port_shards ]] && break; sleep 0.1; done
+[[ -s build/wire_port_shards ]] || {
+  echo "wire smoke: sharded serve never bound" >&2; exit 1; }
+./build/src/sdnshield cbench --port "$(cat build/wire_port_shards)" \
+    --connections 8 --rounds 5 --json build/bench_smoke_wire_shards.txt
+kill "$WIRE_SHARDS_PID" 2>/dev/null || true
+wait "$WIRE_SHARDS_PID" 2>/dev/null || true
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key wire_row --jsonl build/bench_smoke_wire.txt
+python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
+    --key wire_row --jsonl build/bench_smoke_wire_shards.txt
 # The checked-in wire numbers stay schema-valid too.
 python3 scripts/check_bench_json.py --schema scripts/bench_schema.json \
     --key wire_row --jsonl BENCH_wire.json
@@ -139,6 +162,11 @@ echo "=== [4/8] Chaos-campaign smoke (fixed seed, determinism + invariants) ==="
 ./build/bench/campaign --seed 7 --out build/campaign_smoke_b.json
 # Same seed => byte-identical scorecard; any drift is a determinism bug.
 cmp build/campaign_smoke_a.json build/campaign_smoke_b.json
+# The shard count is an execution detail, not an outcome: the same seed on
+# four shard loops must reproduce the single-loop scorecard byte-for-byte.
+./build/bench/campaign --seed 7 --shards 4 \
+    --out build/campaign_smoke_shards.json
+cmp build/campaign_smoke_a.json build/campaign_smoke_shards.json
 python3 scripts/check_bench_json.py --schema scripts/campaign_schema.json \
     --key campaign_scorecard build/campaign_smoke_a.json
 # The checked-in scorecard must stay schema-valid as well.

@@ -24,6 +24,7 @@
 #include "market/app_market.h"
 #include "net/virtual_topology.h"
 #include "obs/metrics.h"
+#include "shard/shard_runtime.h"
 #include "switchsim/sim_network.h"
 
 namespace sdnshield::campaign {
@@ -298,6 +299,17 @@ LiveOutcome runLivePhase(const CampaignConfig& config, const CampaignPlan& plan,
   Fabric live = buildFatTree(config.liveFatTreeK);
   ctrl::Controller controller;
   controller.audit().setCapacity(config.auditCapacity);
+  // The sharded substrate, when asked for: dispatch + FlowTable mirrors +
+  // memo domains split across config.shards loops. The scorecard carries no
+  // shard field on purpose — any shard count must reproduce it byte for
+  // byte (CI cmp's shards=1 against shards=4).
+  shard::ShardRuntime shardRuntime([&] {
+    shard::ShardOptions shardOptions;
+    shardOptions.shards = config.shards;
+    return shardOptions;
+  }());
+  shardRuntime.start();
+  shardRuntime.attach(controller);
   sim::SimNetwork net(controller);
   for (net::DatapathId dpid : live.topology.switches()) {
     net.addSwitch(dpid);
@@ -334,6 +346,7 @@ LiveOutcome runLivePhase(const CampaignConfig& config, const CampaignPlan& plan,
   options.supervisor.taskDeadline = std::chrono::milliseconds(60000);
   options.supervisor.taskHangDeadline = std::chrono::milliseconds(120000);
   iso::ShieldRuntime shield(controller, options);
+  shardRuntime.attachEngine(shield.engine());
 
   lang::PolicyProgram initialPolicy =
       lang::parsePolicy(policyText(config.mutants, 0));
@@ -778,6 +791,12 @@ LiveOutcome runLivePhase(const CampaignConfig& config, const CampaignPlan& plan,
     }
     outcome.healthTimeline = health.str();
   }
+  // Detach before the shield/market destructors run so their teardown
+  // traffic takes the inline path and nothing references the runtime after
+  // it stops.
+  shardRuntime.detachEngine(shield.engine());
+  shardRuntime.detach(controller);
+  shardRuntime.stop();
   return outcome;
 }
 

@@ -58,6 +58,12 @@ struct CampaignConfig {
   /// Include wall-clock-dependent measurements in the scorecard. Off by
   /// default: the default scorecard is byte-identical across runs.
   bool measured = false;
+
+  /// Controller shard count for the live phase (shard::ShardRuntime loops).
+  /// Deliberately NOT part of the scorecard: any shard count must produce
+  /// the same scorecard for one seed — the campaign-level determinism
+  /// differential that CI enforces (shards=1 vs shards=4, cmp byte-equal).
+  std::size_t shards = 1;
 };
 
 /// One scheduled market operation.

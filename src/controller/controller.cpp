@@ -29,6 +29,12 @@ struct DispatchMetrics {
       obs::Registry::global().counter("controller.dispatched");
   obs::Counter faults =
       obs::Registry::global().counter("controller.dispatch_faults");
+  /// Packet-in dispatches routed to a shard event loop vs. run inline on
+  /// the calling thread (no dispatch attached == the pre-shard pipeline).
+  obs::Counter sharded =
+      obs::Registry::global().counter("controller.dispatch_sharded");
+  obs::Counter inline_ =
+      obs::Registry::global().counter("controller.dispatch_inline");
 };
 
 const DispatchMetrics& dispatchMetrics() {
@@ -127,6 +133,12 @@ std::string StatsReport::toJson() const {
 
 StatsReport Controller::statsReport() const {
   StatsReport report;
+  if (ShardDispatch* shards = shardDispatch()) {
+    // Merge fence: every shard loop finishes its in-flight work (pending
+    // mirror updates, posted deliveries) before the snapshot is taken, so
+    // the per-shard counters in the merged view are mutually consistent.
+    shards->fenceShards();
+  }
   report.metrics = obs::Registry::global().snapshot();
   report.recentSpans = obs::Tracer::global().recentSpans();
   report.auditRecords = audit_.totalRecorded();
@@ -160,6 +172,11 @@ ApiResult Controller::attachSwitch(std::shared_ptr<SwitchConn> conn,
     topology_.addSwitch(info.dpid);
   }
   obs::Registry::global().counter("controller.switch_attached").increment();
+  if (ShardDispatch* shards = shardDispatch()) {
+    // Home-shard assignment: the owning event loop materializes this
+    // switch's FlowTable mirror before any packet-in can race it there.
+    shards->noteSwitchAttached(info.dpid);
+  }
   emitTopologyEvent(TopologyEvent{TopologyChange::kSwitchUp, info.dpid, 0});
   return ApiResult::success();
 }
@@ -178,6 +195,7 @@ void Controller::detachSwitch(of::DatapathId dpid) {
     switches_.erase(dpid);
     topology_.removeSwitch(dpid);
   }
+  if (ShardDispatch* shards = shardDispatch()) shards->dropSwitchState(dpid);
   emitTopologyEvent(TopologyEvent{TopologyChange::kSwitchDown, dpid, 0});
 }
 
@@ -206,6 +224,17 @@ void Controller::onPacketIn(const of::PacketIn& packetIn) {
     interceptors = packetInInterceptors_;
     subscribers = packetInSubscribers_;
   }
+  if (ShardDispatch* shards = shardDispatch()) {
+    // Hop to the event loop owning this switch; the caller (a wire reactor,
+    // a cbench generator, a sim switch) blocks until delivery completes, so
+    // per-switch packet-in order is preserved exactly as in the inline path.
+    dispatchMetrics().sharded.increment();
+    shards->runOnShard(shards->shardOf(packetIn.dpid), [&] {
+      dispatchPacketIn(packetIn, interceptors, subscribers);
+    });
+    return;
+  }
+  dispatchMetrics().inline_.increment();
   dispatchPacketIn(packetIn, interceptors, subscribers);
 }
 
@@ -218,6 +247,27 @@ void Controller::onPacketIns(const std::vector<of::PacketIn>& batch) {
     interceptors = packetInInterceptors_;
     subscribers = packetInSubscribers_;
   }
+  if (ShardDispatch* shards = shardDispatch()) {
+    // Split the batch by home shard, preserving arrival order within each
+    // shard (and therefore per-switch order). With shards=1 this is one
+    // group in original order — bit-identical to the inline loop below.
+    dispatchMetrics().sharded.increment();
+    std::size_t shardCount = shards->shardCount();
+    std::vector<std::vector<const of::PacketIn*>> groups(shardCount);
+    for (const of::PacketIn& packetIn : batch) {
+      groups[shards->shardOf(packetIn.dpid)].push_back(&packetIn);
+    }
+    for (std::size_t s = 0; s < shardCount; ++s) {
+      if (groups[s].empty()) continue;
+      shards->runOnShard(s, [&, s] {
+        for (const of::PacketIn* packetIn : groups[s]) {
+          dispatchPacketIn(*packetIn, interceptors, subscribers);
+        }
+      });
+    }
+    return;
+  }
+  dispatchMetrics().inline_.increment();
   for (const of::PacketIn& packetIn : batch) {
     dispatchPacketIn(packetIn, interceptors, subscribers);
   }
@@ -245,6 +295,14 @@ void Controller::onFlowRemoved(const of::FlowRemoved& removed) {
   // The cookie carries the issuing app id (stamped at insert time).
   ownership_.recordDelete(removed.dpid, removed.match, removed.priority,
                           /*strict=*/true);
+  if (ShardDispatch* shards = shardDispatch()) {
+    of::FlowMod expire;
+    expire.command = of::FlowModCommand::kDeleteStrict;
+    expire.match = removed.match;
+    expire.priority = removed.priority;
+    expire.cookie = removed.cookie;
+    shards->noteFlowMods(removed.dpid, {expire});
+  }
   std::vector<Subscriber> subscribers;
   {
     std::lock_guard lock(mutex_);
@@ -292,6 +350,9 @@ ApiResult Controller::kernelInsertFlow(of::AppId issuer, of::DatapathId dpid,
   bool modify = mod.command == of::FlowModCommand::kModify ||
                 mod.command == of::FlowModCommand::kModifyStrict;
   if (!modify) ownership_.recordInsert(issuer, dpid, mod.match, mod.priority);
+  if (ShardDispatch* shards = shardDispatch()) {
+    shards->noteFlowMods(dpid, {stamped});
+  }
   std::vector<Subscriber> subscribers;
   {
     std::lock_guard lock(mutex_);
@@ -314,6 +375,18 @@ ApiResult Controller::kernelInsertFlows(of::AppId issuer, of::DatapathId dpid,
   std::vector<of::FlowMod> stamped = mods;
   for (of::FlowMod& mod : stamped) mod.cookie = issuer;
   std::vector<ApiResult> applied = conn->applyFlowMods(stamped);
+  if (ShardDispatch* shards = shardDispatch()) {
+    // Only the mods the switch accepted reach the mirror, so the shard view
+    // tracks the real table, not the request stream.
+    std::vector<of::FlowMod> accepted;
+    accepted.reserve(stamped.size());
+    for (std::size_t i = 0; i < stamped.size(); ++i) {
+      if (i < applied.size() && applied[i].ok()) {
+        accepted.push_back(stamped[i]);
+      }
+    }
+    if (!accepted.empty()) shards->noteFlowMods(dpid, accepted);
+  }
   std::vector<Subscriber> subscribers;
   {
     std::lock_guard lock(mutex_);
@@ -358,6 +431,7 @@ ApiResult Controller::kernelDeleteFlow(of::AppId issuer, of::DatapathId dpid,
     return applied;
   }
   ownership_.recordDelete(dpid, match, priority, strict);
+  if (ShardDispatch* shards = shardDispatch()) shards->noteFlowMods(dpid, {mod});
   std::vector<Subscriber> subscribers;
   {
     std::lock_guard lock(mutex_);
@@ -483,18 +557,27 @@ bool Controller::removeSubscription(SubscriptionId id,
 }
 
 void Controller::removeSubscribers(of::AppId app) {
-  std::lock_guard lock(mutex_);
-  auto drop = [&](std::vector<Subscriber>& list) {
-    std::erase_if(list,
-                  [&](const Subscriber& sub) { return sub.app == app; });
-  };
-  drop(packetInSubscribers_);
-  std::erase_if(packetInInterceptors_,
-                [&](const Interceptor& i) { return i.app == app; });
-  drop(flowSubscribers_);
-  drop(topologySubscribers_);
-  drop(errorSubscribers_);
-  drop(dataSubscribers_);
+  {
+    std::lock_guard lock(mutex_);
+    auto drop = [&](std::vector<Subscriber>& list) {
+      std::erase_if(list,
+                    [&](const Subscriber& sub) { return sub.app == app; });
+    };
+    drop(packetInSubscribers_);
+    std::erase_if(packetInInterceptors_,
+                  [&](const Interceptor& i) { return i.app == app; });
+    drop(flowSubscribers_);
+    drop(topologySubscribers_);
+    drop(errorSubscribers_);
+    drop(dataSubscribers_);
+  }
+  if (ShardDispatch* shards = shardDispatch()) {
+    // Quarantine barrier: dispatch snapshots taken before the erase may
+    // still reference this app's sinks; fencing every shard loop bounds
+    // that window — once removeSubscribers returns, no shard will start a
+    // new delivery to the removed app.
+    shards->fenceShards();
+  }
 }
 
 std::shared_ptr<SwitchConn> Controller::switchConn(of::DatapathId dpid) const {

@@ -72,6 +72,39 @@ struct ConnectionInfo {
   std::uint8_t ofVersion = 0;
 };
 
+/// Seam for the sharding subsystem (src/shard, DESIGN.md §16). When a
+/// dispatch is attached, packet-in delivery hops to the event loop owning
+/// the punting switch, kernel flow operations feed the owning shard's
+/// FlowTable mirror, and topology-wide operations (quarantine, stats
+/// merges) fence every shard loop. Implemented by shard::ShardRuntime; the
+/// controller only sees this narrow interface so the dependency points
+/// shard -> controller, never back. With no dispatch attached (the
+/// default), every path below is a single relaxed load and the controller
+/// behaves exactly as the pre-shard single pipeline.
+class ShardDispatch {
+ public:
+  virtual ~ShardDispatch() = default;
+
+  virtual std::size_t shardCount() const = 0;
+  /// Home shard of a switch (deterministic; see shard::Router).
+  virtual std::size_t shardOf(of::DatapathId dpid) const = 0;
+  /// Runs @p fn to completion on the given shard's event loop (inline when
+  /// the caller already is that loop). Exceptions propagate to the caller.
+  virtual void runOnShard(std::size_t shard,
+                          const std::function<void()>& fn) = 0;
+  /// Barrier: a task runs on every shard loop and the caller waits for all
+  /// of them — the cross-shard mailbox path for topology-wide operations.
+  /// Returns false (and does nothing) when called from a shard loop itself,
+  /// where blocking on sibling loops could deadlock.
+  virtual bool fenceShards() = 0;
+  /// Mirror maintenance: a switch registration creates its (empty) view on
+  /// the home shard; applied flow-mods update it; detach drops it.
+  virtual void noteSwitchAttached(of::DatapathId dpid) = 0;
+  virtual void noteFlowMods(of::DatapathId dpid,
+                            const std::vector<of::FlowMod>& mods) = 0;
+  virtual void dropSwitchState(of::DatapathId dpid) = 0;
+};
+
 class Controller {
  public:
   using EventSink = std::function<void(const Event&)>;
@@ -173,6 +206,21 @@ class Controller {
     return market_.load(std::memory_order_acquire);
   }
 
+  // --- sharding -------------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) the shard runtime. Same lifetime
+  /// contract as setMarketControl: the caller clears it (and fences) before
+  /// the ShardDispatch is destroyed. With a dispatch attached, onPacketIn /
+  /// onPacketIns run their delivery on the owning shard's event loop,
+  /// kernel flow ops feed the shard FlowTable mirrors, removeSubscribers
+  /// fences every loop (quarantine barrier) and statsReport fences before
+  /// snapshotting so per-shard counters are merged consistently.
+  void setShardDispatch(ShardDispatch* dispatch) {
+    shardDispatch_.store(dispatch, std::memory_order_release);
+  }
+  ShardDispatch* shardDispatch() const {
+    return shardDispatch_.load(std::memory_order_acquire);
+  }
+
   // --- shared infrastructure ---------------------------------------------------
   engine::OwnershipTracker& ownership() { return ownership_; }
   engine::AuditLog& audit() { return audit_; }
@@ -228,6 +276,7 @@ class Controller {
   engine::AuditLog audit_;
   std::atomic<std::uint64_t> dispatchFaults_{0};
   std::atomic<MarketControl*> market_{nullptr};
+  std::atomic<ShardDispatch*> shardDispatch_{nullptr};
 };
 
 }  // namespace sdnshield::ctrl

@@ -441,6 +441,8 @@ const obs::Counter g_compileCacheHit =
     obs::Registry::global().counter("engine.compile.cache_hit");
 const obs::Counter g_compileCacheMiss =
     obs::Registry::global().counter("engine.compile.cache_miss");
+const obs::Counter g_compileCacheEvict =
+    obs::Registry::global().counter("engine.compile.cache_evict");
 
 // memoStats()/resetMemoStats() keep their pre-obs semantics (counts since
 // the last reset) by remembering baselines at reset time: the registry
@@ -606,7 +608,10 @@ std::shared_ptr<const CompiledPermissions> CompiledProgramCache::obtain(
       if (auto it = entries_.find(key); it != entries_.end()) {
         ++hits_;
         g_compileCacheHit.add(1);
-        return it->second;
+        // LRU touch: an obtained program is hot and must survive an insert
+        // storm of cold sets.
+        lru_.splice(lru_.begin(), lru_, it->second.recency);
+        return it->second.program;
       }
     }
   }
@@ -616,32 +621,61 @@ std::shared_ptr<const CompiledPermissions> CompiledProgramCache::obtain(
   ++misses_;
   g_compileCacheMiss.add(1);
   if (!enabled_) return compiled;
-  if (entries_.size() >= kMaxEntries) entries_.clear();
-  auto [it, inserted] = entries_.emplace(std::move(key), std::move(compiled));
-  // Lost a compile race: prefer the incumbent so every caller shares one
-  // instanceId (keeps thread memos hot).
-  return it->second;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    // Lost a compile race: prefer the incumbent so every caller shares one
+    // instanceId (keeps thread memos hot).
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    return it->second.program;
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Entry{compiled, lru_.begin()});
+  evictToCapacityLocked();
+  return compiled;
+}
+
+void CompiledProgramCache::evictToCapacityLocked() {
+  while (entries_.size() > maxEntries_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+    g_compileCacheEvict.add(1);
+  }
 }
 
 CompiledProgramCache::Stats CompiledProgramCache::stats() const {
   std::lock_guard lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_, evictions_, entries_.size()};
 }
 
 void CompiledProgramCache::clear() {
   std::lock_guard lock(mutex_);
   entries_.clear();
+  lru_.clear();
 }
 
 void CompiledProgramCache::setEnabled(bool enabled) {
   std::lock_guard lock(mutex_);
   enabled_ = enabled;
-  if (!enabled) entries_.clear();
+  if (!enabled) {
+    entries_.clear();
+    lru_.clear();
+  }
 }
 
 bool CompiledProgramCache::enabled() const {
   std::lock_guard lock(mutex_);
   return enabled_;
+}
+
+void CompiledProgramCache::setMaxEntries(std::size_t maxEntries) {
+  std::lock_guard lock(mutex_);
+  maxEntries_ = maxEntries == 0 ? 1 : maxEntries;
+  evictToCapacityLocked();
+}
+
+std::size_t CompiledProgramCache::maxEntries() const {
+  std::lock_guard lock(mutex_);
+  return maxEntries_;
 }
 
 // --- PermissionEngine -------------------------------------------------------
@@ -687,15 +721,32 @@ void PermissionEngine::installAll(
 void PermissionEngine::installAll(
     std::vector<std::pair<of::AppId, std::shared_ptr<const CompiledPermissions>>>
         programs) {
-  std::lock_guard lock(writeMutex_);
-  auto next = std::make_shared<AppMap>(*snapshot());
-  for (auto& [app, set] : programs) (*next)[app] = std::move(set);
   {
-    std::lock_guard snapLock(snapshotMutex_);
-    apps_ = std::move(next);
+    std::lock_guard lock(writeMutex_);
+    auto next = std::make_shared<AppMap>(*snapshot());
+    for (auto& [app, set] : programs) (*next)[app] = std::move(set);
+    {
+      std::lock_guard snapLock(snapshotMutex_);
+      apps_ = std::move(next);
+    }
+    // One bump for the whole batch: the new epoch carries every new grant.
+    version_.fetch_add(1, std::memory_order_release);
   }
-  // One bump for the whole batch: the new epoch carries every new grant.
-  version_.fetch_add(1, std::memory_order_release);
+  // Publish fence, outside the write lock: the shard runtime barriers every
+  // shard loop here so the epoch handover is ordered against all shard-local
+  // checks (DESIGN.md §16). Concurrent installAll callers may interleave
+  // fences, which is fine — each fence is ordered after its own bump.
+  std::function<void()> fence;
+  {
+    std::lock_guard lock(fenceMutex_);
+    fence = publishFence_;
+  }
+  if (fence) fence();
+}
+
+void PermissionEngine::setPublishFence(std::function<void()> fence) {
+  std::lock_guard lock(fenceMutex_);
+  publishFence_ = std::move(fence);
 }
 
 void PermissionEngine::uninstall(of::AppId app) {
@@ -795,6 +846,15 @@ MemoStats PermissionEngine::memoStats() {
 void PermissionEngine::resetMemoStats() {
   g_memoHitBase.store(g_memoHit.value(), std::memory_order_relaxed);
   g_memoMissBase.store(g_memoMiss.value(), std::memory_order_relaxed);
+}
+
+void PermissionEngine::resetThreadMemo() {
+  ThreadMemo& memo = threadMemo();
+  for (MemoEntry& entry : memo.slots) entry = MemoEntry{};
+  memo.engineId = 0;
+  memo.engineVersion = 0;
+  memo.appId = 0;
+  memo.compiled.reset();
 }
 
 }  // namespace sdnshield::engine

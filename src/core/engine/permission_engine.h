@@ -21,6 +21,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -150,14 +152,15 @@ class CompiledPermissions {
 /// app-agnostic and immutable, so one compiled object is safely shared
 /// across apps, engines, and permission epochs; a market-wide updatePolicy
 /// where most apps keep their grants compiles each distinct set once
-/// instead of once per app. Entries hold strong references and are only
-/// dropped wholesale (clear(), or the kMaxEntries overflow guard), so an
-/// obtained program — and the thread-memo entries keyed on its
-/// instanceId() — stays valid as long as any holder keeps it.
+/// instead of once per app. Entries hold strong references; at capacity the
+/// least-recently-obtained entry is evicted (outstanding shared_ptrs — and
+/// the thread-memo entries keyed on their instanceId() — stay valid as long
+/// as any holder keeps them), so a market whose distinct-set population
+/// exceeds the capacity keeps its hot programs cached instead of losing the
+/// whole table to a wholesale clear.
 class CompiledProgramCache {
  public:
-  /// Overflow guard: at this many distinct sets the table is cleared
-  /// wholesale (outstanding shared_ptrs stay valid). Far above any real
+  /// Default capacity: the LRU eviction threshold. Far above any real
   /// market (10k apps share a handful of policy-shaped sets).
   static constexpr std::size_t kMaxEntries = 4096;
 
@@ -175,6 +178,7 @@ class CompiledProgramCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;  ///< Fresh compilations (incl. disabled mode).
+    std::uint64_t evictions = 0;  ///< LRU evictions at capacity.
     std::size_t entries = 0;
   };
   Stats stats() const;
@@ -187,13 +191,29 @@ class CompiledProgramCache {
   void setEnabled(bool enabled);
   bool enabled() const;
 
+  /// Test hook: shrinks the LRU capacity (evicting cold entries as needed)
+  /// so eviction behaviour is testable without 4k compilations.
+  void setMaxEntries(std::size_t maxEntries);
+  std::size_t maxEntries() const;
+
  private:
+  struct Entry {
+    std::shared_ptr<const CompiledPermissions> program;
+    /// Position in lru_; spliced to the front on every hit.
+    std::list<std::string>::iterator recency;
+  };
+
+  /// Evicts from the LRU tail until size < maxEntries_. Caller holds mutex_.
+  void evictToCapacityLocked();
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledPermissions>>
-      entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< Front = most recently obtained.
+  std::size_t maxEntries_ = kMaxEntries;
   bool enabled_ = true;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Registry of compiled permissions per app, the controller-wide mediator.
@@ -260,6 +280,19 @@ class PermissionEngine {
   static MemoStats memoStats();
   static void resetMemoStats();
 
+  /// Clears the CALLING thread's decision memo and cached app resolution.
+  /// The shard runtime runs this on every loop inside the publish fence so
+  /// each shard's memo domain hands over explicitly at an epoch boundary
+  /// (the epoch-validated memo would lazily converge anyway; the fence
+  /// makes the handover a barrier the cross-shard protocol can order on).
+  static void resetThreadMemo();
+
+  /// Hook invoked after every installAll epoch publish, outside the engine
+  /// locks. The shard runtime installs a cross-shard fence here (DESIGN.md
+  /// §16); empty (the default) is a no-op. The hook must not call back into
+  /// install/installAll/uninstall on the same engine.
+  void setPublishFence(std::function<void()> fence);
+
  private:
   using AppMap = std::map<of::AppId, std::shared_ptr<const CompiledPermissions>>;
 
@@ -273,6 +306,8 @@ class PermissionEngine {
   mutable std::mutex snapshotMutex_;
   std::shared_ptr<const AppMap> apps_;
   std::mutex writeMutex_;  // Serializes install/uninstall copy-and-swap.
+  mutable std::mutex fenceMutex_;  // Guards publishFence_ (set vs. invoke).
+  std::function<void()> publishFence_;
 
   /// Process-unique engine identity + monotonic table version. check()
   /// threads cache their last (app -> compiled) resolution keyed on

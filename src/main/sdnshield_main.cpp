@@ -1,11 +1,14 @@
 // The `sdnshield` binary: the library's wire-facing entry points.
 //
 //   sdnshield serve  [--port P] [--port-file F] [--max-seconds S]
+//                    [--shards N]
 //       Controller + ShieldRuntime + L2 learning app behind the epoll
 //       OpenFlow 1.0 frontend (net::OfServer). Binds 127.0.0.1 (port 0 =
 //       ephemeral; the bound port is printed and optionally written to
 //       --port-file so scripts can coordinate). Runs until SIGINT/SIGTERM
-//       or --max-seconds.
+//       or --max-seconds. --shards N > 1 runs the sharded controller
+//       substrate (shard::ShardRuntime) with one server reactor per shard;
+//       N = 1 (the default) is the single-pipeline compatibility mode.
 //
 //   sdnshield cbench --port P [--connections N] [--rounds R] [--json F]
 //       CBench-over-TCP loopback client (net::runCbenchClient): N emulated
@@ -23,6 +26,7 @@
 #include "isolation/api_proxy.h"
 #include "net/cbench_client.h"
 #include "net/of_server.h"
+#include "shard/shard_runtime.h"
 
 namespace {
 
@@ -33,7 +37,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  sdnshield serve  [--port P] [--port-file F] "
-               "[--max-seconds S]\n"
+               "[--max-seconds S] [--shards N]\n"
                "  sdnshield cbench --port P [--connections N] [--rounds R] "
                "[--timeout-ms T] [--json F]\n");
   return 2;
@@ -55,20 +59,31 @@ const char* argString(int argc, char** argv, const char* name) {
 
 int runServe(int argc, char** argv) {
   using namespace sdnshield;
+  long shardsArg = argValue(argc, argv, "--shards", 1);
+  std::size_t shards = shardsArg < 1 ? 1 : static_cast<std::size_t>(shardsArg);
+
   ctrl::Controller controller;
+  shard::ShardOptions shardOptions;
+  shardOptions.shards = shards;
+  shard::ShardRuntime runtime(shardOptions);
+  runtime.start();
+  runtime.attach(controller);
   iso::ShieldRuntime shield(controller);
+  runtime.attachEngine(shield.engine());
   auto app = std::make_shared<apps::L2LearningSwitch>();
   shield.loadApp(app, lang::parsePermissions(app->requestedManifest()));
 
   net::OfServerConfig config;
   config.port = static_cast<std::uint16_t>(argValue(argc, argv, "--port", 0));
+  config.ioThreads = shards;
   net::OfServer server(controller, config);
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "sdnshield serve: %s\n", error.c_str());
     return 1;
   }
-  std::printf("sdnshield serve: listening on 127.0.0.1:%u\n", server.port());
+  std::printf("sdnshield serve: listening on 127.0.0.1:%u (%zu shard%s)\n",
+              server.port(), shards, shards == 1 ? "" : "s");
   std::fflush(stdout);
   if (const char* portFile = argString(argc, argv, "--port-file")) {
     if (std::FILE* f = std::fopen(portFile, "w")) {
@@ -91,6 +106,9 @@ int runServe(int argc, char** argv) {
               server.attachedCount());
   server.stop();
   shield.shutdown();
+  runtime.detachEngine(shield.engine());
+  runtime.detach(controller);
+  runtime.stop();
   return 0;
 }
 

@@ -252,7 +252,13 @@ void TcpSwitchConn::closeConn(const std::string& reason) {
 // --- OfServer ---------------------------------------------------------------
 
 OfServer::OfServer(ctrl::Controller& controller, OfServerConfig config)
-    : controller_(controller), config_(std::move(config)) {}
+    : controller_(controller), config_(std::move(config)) {
+  std::size_t ioThreads = config_.ioThreads == 0 ? 1 : config_.ioThreads;
+  ioShards_.reserve(ioThreads);
+  for (std::size_t i = 0; i < ioThreads; ++i) {
+    ioShards_.push_back(std::make_unique<IoShard>());
+  }
+}
 
 OfServer::~OfServer() { stop(); }
 
@@ -286,38 +292,45 @@ bool OfServer::start(std::string* error) {
   socklen_t boundLen = sizeof(bound);
   ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &boundLen);
   boundPort_ = ntohs(bound.sin_port);
-  if (!reactor_.add(listenFd_, EPOLLIN,
-                    [this](std::uint32_t events) { onAccept(events); })) {
+  if (!ioShards_.front()->reactor.add(
+          listenFd_, EPOLLIN,
+          [this](std::uint32_t events) { onAccept(events); })) {
     return fail("epoll add(listener) failed");
   }
-  reactor_.start();
+  for (auto& shard : ioShards_) shard->reactor.start();
   started_ = true;
   return true;
 }
 
 void OfServer::stop() {
   if (!started_) return;
-  // Tear sessions down on the reactor thread, then stop the loop.
+  // Tear sessions down on their owning reactor threads, then stop the
+  // loops. Each shard's sweep is posted to its own reactor (the only
+  // thread allowed to touch its sessions map).
   std::mutex doneMutex;
   std::condition_variable doneCv;
-  bool done = false;
-  reactor_.post([&] {
-    for (auto& [fd, session] : sessions_) {
-      (void)fd;
-      session.conn->closeConn("server stopping");
-    }
-    sessions_.clear();
-    std::lock_guard lock(doneMutex);
-    done = true;
-    doneCv.notify_all();
-  });
+  std::size_t pending = ioShards_.size();
+  for (auto& shardPtr : ioShards_) {
+    IoShard* shard = shardPtr.get();
+    shard->reactor.post([this, shard, &doneMutex, &doneCv, &pending] {
+      for (auto& [fd, session] : shard->sessions) {
+        (void)fd;
+        session.conn->closeConn("server stopping");
+      }
+      shard->sessions.clear();
+      std::lock_guard lock(doneMutex);
+      --pending;
+      doneCv.notify_all();
+    });
+  }
   {
     std::unique_lock lock(doneMutex);
-    doneCv.wait_for(lock, std::chrono::seconds(5), [&] { return done; });
+    doneCv.wait_for(lock, std::chrono::seconds(5),
+                    [&] { return pending == 0; });
   }
-  reactor_.stop();
+  for (auto& shard : ioShards_) shard->reactor.stop();
   if (listenFd_ >= 0) {
-    reactor_.remove(listenFd_);
+    ioShards_.front()->reactor.remove(listenFd_);
     ::close(listenFd_);
     listenFd_ = -1;
   }
@@ -344,38 +357,57 @@ void OfServer::onAccept(std::uint32_t) {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Round-robin across reactors; the cursor lives on the accept thread
+    // only. With one reactor this always picks shard 0 — today's path.
+    IoShard& target = *ioShards_[nextIoShard_];
+    nextIoShard_ = (nextIoShard_ + 1) % ioShards_.size();
     Session session;
     session.conn = std::make_shared<TcpSwitchConn>(
-        reactor_, fd, peerName(addr), config_.maxTxBuffer);
-    auto [it, inserted] = sessions_.emplace(fd, std::move(session));
-    (void)inserted;
-    if (!reactor_.add(fd, EPOLLIN, [this, fd](std::uint32_t events) {
-          onSession(fd, events);
-        })) {
-      sessions_.erase(it);
-      ::close(fd);
-      continue;
+        target.reactor, fd, peerName(addr), config_.maxTxBuffer);
+    if (&target == ioShards_.front().get()) {
+      // Accept thread IS the owning reactor thread: register in place.
+      adoptSession(target, fd, std::move(session));
+    } else {
+      // Hand the session to its owning reactor; that thread registers the
+      // fd and runs the handshake so the sessions map stays thread-local.
+      auto handoff = std::make_shared<Session>(std::move(session));
+      target.reactor.post([this, &target, fd, handoff] {
+        adoptSession(target, fd, std::move(*handoff));
+      });
     }
-    g_accepted.increment();
-    g_connections.add();
-    connections_.fetch_add(1);
-    // Server-side handshake: identify yourself.
-    it->second.conn->sendFrame(wire::encodeHello(1));
-    it->second.conn->sendFrame(wire::encodeFeaturesRequest(2));
   }
 }
 
-void OfServer::onSession(int fd, std::uint32_t events) {
-  auto it = sessions_.find(fd);
-  if (it == sessions_.end()) return;
+void OfServer::adoptSession(IoShard& shard, int fd, Session session) {
+  auto [it, inserted] = shard.sessions.emplace(fd, std::move(session));
+  (void)inserted;
+  if (!shard.reactor.add(fd, EPOLLIN,
+                         [this, &shard, fd](std::uint32_t events) {
+                           onSession(shard, fd, events);
+                         })) {
+    shard.sessions.erase(it);
+    ::close(fd);
+    return;
+  }
+  g_accepted.increment();
+  g_connections.add();
+  connections_.fetch_add(1);
+  // Server-side handshake: identify yourself.
+  it->second.conn->sendFrame(wire::encodeHello(1));
+  it->second.conn->sendFrame(wire::encodeFeaturesRequest(2));
+}
+
+void OfServer::onSession(IoShard& shard, int fd, std::uint32_t events) {
+  auto it = shard.sessions.find(fd);
+  if (it == shard.sessions.end()) return;
   Session& session = it->second;
   if (events & EPOLLOUT) session.conn->onWritable();
   if (session.conn->closed()) {
-    dropSession(fd, "send error");
+    dropSession(shard, fd, "send error");
     return;
   }
   if ((events & (EPOLLHUP | EPOLLERR)) && !(events & EPOLLIN)) {
-    dropSession(fd, "hangup");
+    dropSession(shard, fd, "hangup");
     return;
   }
   if (!(events & EPOLLIN)) return;
@@ -388,12 +420,12 @@ void OfServer::onSession(int fd, std::uint32_t events) {
       continue;
     }
     if (n == 0) {
-      dropSession(fd, "eof");
+      dropSession(shard, fd, "eof");
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    dropSession(fd, "read error");
+    dropSession(shard, fd, "read error");
     return;
   }
 
@@ -404,21 +436,21 @@ void OfServer::onSession(int fd, std::uint32_t events) {
     if (status == Framer::Status::kCorrupt) {
       framingErrors_.fetch_add(1);
       g_framingErrors.increment();
-      dropSession(fd, "framing error");
+      dropSession(shard, fd, "framing error");
       return;
     }
     auto frameStart = std::chrono::steady_clock::now();
     if (!handleFrame(session, frame)) {
       framingErrors_.fetch_add(1);
       g_framingErrors.increment();
-      dropSession(fd, "bad message");
+      dropSession(shard, fd, "bad message");
       return;
     }
     g_frameNs.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
                          std::chrono::steady_clock::now() - frameStart)
                          .count());
     // dropSession may have run via handleFrame side effects.
-    if (sessions_.find(fd) == sessions_.end()) return;
+    if (shard.sessions.find(fd) == shard.sessions.end()) return;
   }
 }
 
@@ -489,12 +521,12 @@ bool OfServer::handleFrame(Session& session, const Framer::Frame& frame) {
   return false;
 }
 
-void OfServer::dropSession(int fd, const char* reason) {
-  auto it = sessions_.find(fd);
-  if (it == sessions_.end()) return;
+void OfServer::dropSession(IoShard& shard, int fd, const char* reason) {
+  auto it = shard.sessions.find(fd);
+  if (it == shard.sessions.end()) return;
   bool wasAttached = it->second.attached;
   it->second.conn->closeConn(reason);
-  sessions_.erase(it);
+  shard.sessions.erase(it);
   connections_.fetch_sub(1);
   if (wasAttached) attached_.fetch_sub(1);
 }

@@ -115,6 +115,12 @@ struct OfServerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port().
   int backlog = 1024;
   std::size_t maxTxBuffer = 4u << 20;  ///< Per-connection transmit cap.
+  /// Reactor (epoll loop) count — one per controller shard when serving a
+  /// sharded runtime. The listener lives on reactor 0; accepted sessions
+  /// round-robin across reactors, and all per-session state stays on its
+  /// owning reactor thread. 1 (the default) is byte-identical to the
+  /// pre-shard single-reactor server.
+  std::size_t ioThreads = 1;
 };
 
 class OfServer {
@@ -140,7 +146,10 @@ class OfServer {
 
   bool waitForSwitches(std::size_t n, std::chrono::milliseconds timeout);
 
-  Reactor& reactor() { return reactor_; }
+  /// Reactor 0 — the accept loop's reactor (and, with ioThreads=1, the only
+  /// one).
+  Reactor& reactor() { return ioShards_.front()->reactor; }
+  std::size_t ioThreadCount() const { return ioShards_.size(); }
 
  private:
   struct Session {
@@ -149,21 +158,30 @@ class OfServer {
     bool attached = false;
   };
 
+  /// One epoll loop plus the sessions it owns. The sessions map is touched
+  /// only from its own reactor thread (registration is posted there), so it
+  /// needs no locking — the single-reactor invariant, per shard.
+  struct IoShard {
+    Reactor reactor;
+    std::map<int, Session> sessions;
+  };
+
   void onAccept(std::uint32_t events);
-  void onSession(int fd, std::uint32_t events);
+  /// Registers an accepted fd on @p shard (runs on that shard's reactor
+  /// thread) and kicks off the server-side handshake.
+  void adoptSession(IoShard& shard, int fd, Session session);
+  void onSession(IoShard& shard, int fd, std::uint32_t events);
   /// False = session must be torn down (framing error, protocol breach).
   bool handleFrame(Session& session, const Framer::Frame& frame);
-  void dropSession(int fd, const char* reason);
+  void dropSession(IoShard& shard, int fd, const char* reason);
 
   ctrl::Controller& controller_;
   OfServerConfig config_;
-  Reactor reactor_;
+  std::vector<std::unique_ptr<IoShard>> ioShards_;
+  std::size_t nextIoShard_ = 0;  ///< Accept-thread-only round-robin cursor.
   int listenFd_ = -1;
   std::uint16_t boundPort_ = 0;
   bool started_ = false;
-
-  // Reactor-thread-only state.
-  std::map<int, Session> sessions_;
 
   // Cross-thread observability.
   std::atomic<std::size_t> connections_{0};

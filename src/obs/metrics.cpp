@@ -159,6 +159,14 @@ std::size_t Registry::metricCount() const {
   return metrics_.size();
 }
 
+std::string shardMetricName(std::string_view leaf, std::size_t index) {
+  std::string name = "shard.s";
+  name += std::to_string(index);
+  name += '.';
+  name += leaf;
+  return name;
+}
+
 // --- handle reader paths ----------------------------------------------------
 
 std::uint64_t Registry::mergedSlot(std::uint32_t slot) const {

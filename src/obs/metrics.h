@@ -214,6 +214,12 @@ extern std::atomic<bool> g_metricsEnabled;
 /// through a function-local thread_local below.
 std::atomic<std::uint64_t>* obsLocalSlotBase();
 
+/// Canonical per-shard metric name: "shard.s<index>.<leaf>". The shard
+/// runtime registers one counter per (shard, leaf) under this scheme, so a
+/// snapshot merges naturally: global totals stay in unprefixed names while
+/// the per-loop breakdown is greppable as "shard.s*".
+std::string shardMetricName(std::string_view leaf, std::size_t index);
+
 namespace detail {
 inline std::atomic<std::uint64_t>* slotPtr(std::uint32_t slot) {
   if (slot == UINT32_MAX ||

@@ -1,0 +1,169 @@
+// Cross-core plumbing for the shard runtime (DESIGN.md §16): a bounded
+// lock-free MPSC ring and an eventfd doorbell for cheap cross-core
+// notification — the Xen event-channel idiom (ROADMAP item 1): producers on
+// any core publish into the consumer core's ring and kick its doorbell; the
+// consumer drains in a tight loop and only touches the kernel when idle.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#endif
+
+namespace sdnshield::shard {
+
+/// Edge-style wakeup doorbell. On Linux this is a real eventfd (one word of
+/// kernel state, no pipe buffer to fill); elsewhere it degrades to a pure
+/// timed poll, which is correct (the consumer re-scans its ring on every
+/// wakeup) just less prompt. ring() is async-signal-cheap and callable from
+/// any thread; wait() is single-consumer.
+class Doorbell {
+ public:
+  Doorbell() {
+#if defined(__linux__)
+    fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+#endif
+  }
+  ~Doorbell() {
+#if defined(__linux__)
+    if (fd_ >= 0) ::close(fd_);
+#endif
+  }
+  Doorbell(const Doorbell&) = delete;
+  Doorbell& operator=(const Doorbell&) = delete;
+
+  /// Kicks the consumer. Coalescing is inherent: the eventfd counter
+  /// saturates instead of queueing, so N rings cost one wakeup.
+  void ring() {
+#if defined(__linux__)
+    if (fd_ >= 0) {
+      std::uint64_t one = 1;
+      // A full counter (EAGAIN) already guarantees a pending wakeup.
+      [[maybe_unused]] ssize_t n = ::write(fd_, &one, sizeof(one));
+      return;
+    }
+#endif
+    pending_.store(true, std::memory_order_release);
+  }
+
+  /// Blocks until rung or @p timeout elapses; drains the pending state.
+  /// Returns true when a ring was observed.
+  bool wait(std::chrono::milliseconds timeout) {
+#if defined(__linux__)
+    if (fd_ >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      if (ready <= 0) return false;
+      std::uint64_t count = 0;
+      [[maybe_unused]] ssize_t n = ::read(fd_, &count, sizeof(count));
+      return true;
+    }
+#endif
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pending_.exchange(false, std::memory_order_acq_rel)) return true;
+      std::this_thread::yield();
+    }
+    return pending_.exchange(false, std::memory_order_acq_rel);
+  }
+
+  /// The underlying eventfd (-1 when the fallback is active) — pollable by
+  /// an external reactor if a shard loop is ever fused with an epoll loop.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::atomic<bool> pending_{false};  ///< Fallback path only.
+};
+
+/// Bounded lock-free multi-producer ring (Vyukov bounded queue). Producers
+/// on any thread tryPush concurrently; the owning shard loop is the single
+/// consumer in practice, though the algorithm is safe for many. Capacity is
+/// rounded up to a power of two; a full ring fails the push (callers spin or
+/// overflow elsewhere — the ring itself never blocks).
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Moves from @p value only on success, so callers can retry the same
+  /// object when the ring is momentarily full.
+  bool tryPush(T& value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                           static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Full.
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool tryPop(T& out) {
+    Cell* cell = &cells_[tail_ & mask_];
+    std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+    std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                         static_cast<std::intptr_t>(tail_ + 1);
+    if (diff < 0) return false;  // Empty (or the producer is mid-publish).
+    out = std::move(cell->value);
+    cell->value = T{};
+    cell->sequence.store(tail_ + mask_ + 1, std::memory_order_release);
+    ++tail_;
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy occupancy estimate (monitoring only).
+  std::size_t sizeApprox() const {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    return head > tail_ ? head - tail_ : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Producers.
+  alignas(64) std::size_t tail_ = 0;              ///< Single consumer.
+};
+
+}  // namespace sdnshield::shard

@@ -185,6 +185,19 @@ TEST(CampaignRun, ScorecardIsByteIdenticalAcrossRuns) {
   EXPECT_TRUE(first.measuredJson.empty());
 }
 
+TEST(CampaignRun, ScorecardIsIdenticalAcrossShardCounts) {
+  // The controller shard count is an execution detail, not an outcome: one
+  // seed must yield the same scorecard whether the live phase dispatches on
+  // one loop or four. A routing bug that reordered per-switch traffic or
+  // leaked shard identity into an oracle would diverge the JSON here.
+  CampaignConfig sharded = smokeConfig();
+  sharded.shards = 4;
+  Scorecard one = Campaign(smokeConfig()).run();
+  Scorecard four = Campaign(sharded).run();
+  EXPECT_EQ(one.toJson(), four.toJson());
+  EXPECT_TRUE(four.allInvariantsPass());
+}
+
 TEST(CampaignRun, NoAttackerVariantStillPassesCleanly) {
   CampaignConfig config = smokeConfig();
   config.attackers = false;

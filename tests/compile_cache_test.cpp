@@ -89,6 +89,92 @@ TEST(CompileCacheDifferential, DisabledCacheCompilesFreshEveryCall) {
   cache.clear();
 }
 
+// --- LRU eviction: hot programs survive insert storms ------------------------
+
+TEST(CompileCacheLru, HotProgramSurvivesAnInsertStorm) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  const std::size_t restore = cache.maxEntries();
+  cache.setMaxEntries(8);
+
+  auto hot = cbench::makeSyntheticManifest(5, 1000);
+  auto hotProgram = cache.obtain(hot);
+  ASSERT_NE(hotProgram, nullptr);
+
+  // Storm of distinct one-shot programs, far past capacity in total — but
+  // the hot program is re-touched every 7 inserts (within the 8-entry
+  // window), so the LRU must keep it while the cold storm entries cycle
+  // out. The pre-LRU wholesale clear would have dropped it on overflow.
+  for (std::uint64_t wave = 0; wave < 8; ++wave) {
+    for (std::uint64_t i = 0; i < 7; ++i) {
+      cache.obtain(cbench::makeSyntheticManifest(3, 2000 + wave * 7 + i));
+    }
+    auto hitsBefore = cache.stats().hits;
+    EXPECT_EQ(cache.obtain(hot).get(), hotProgram.get())
+        << "wave " << wave << ": the hot program was evicted";
+    EXPECT_EQ(cache.stats().hits, hitsBefore + 1);
+  }
+  EXPECT_LE(cache.stats().entries, 8u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  cache.setMaxEntries(restore);
+  cache.clear();
+}
+
+TEST(CompileCacheLru, EvictsTheColdestEntryOnly) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  const std::size_t restore = cache.maxEntries();
+  cache.setMaxEntries(3);
+
+  auto a = cbench::makeSyntheticManifest(4, 3001);
+  auto b = cbench::makeSyntheticManifest(4, 3002);
+  auto c = cbench::makeSyntheticManifest(4, 3003);
+  auto pa = cache.obtain(a);
+  auto pb = cache.obtain(b);
+  auto pc = cache.obtain(c);
+  // Recency is now c > b > a; touching `a` moves it to the front.
+  ASSERT_EQ(cache.obtain(a).get(), pa.get());
+
+  auto evictionsBefore = cache.stats().evictions;
+  auto d = cbench::makeSyntheticManifest(4, 3004);
+  auto pd = cache.obtain(d);
+  ASSERT_NE(pd, nullptr);
+  EXPECT_EQ(cache.stats().evictions, evictionsBefore + 1);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // `b` was coldest, so only it recompiles; a/c/d are still cache hits.
+  EXPECT_EQ(cache.obtain(a).get(), pa.get());
+  EXPECT_EQ(cache.obtain(c).get(), pc.get());
+  EXPECT_EQ(cache.obtain(d).get(), pd.get());
+  auto pb2 = cache.obtain(b);
+  EXPECT_NE(pb2.get(), pb.get());
+  // The outstanding shared_ptr to the evicted program stays valid and
+  // decides exactly like its recompilation.
+  for (const auto& call : cbench::makeSyntheticTrace(b, 64, 0.3, 3005)) {
+    EXPECT_EQ(pb->check(call).allowed, pb2->check(call).allowed);
+  }
+
+  cache.setMaxEntries(restore);
+  cache.clear();
+}
+
+TEST(CompileCacheLru, ShrinkingCapacityEvictsDownToTheNewBound) {
+  auto& cache = CompiledProgramCache::global();
+  cache.clear();
+  const std::size_t restore = cache.maxEntries();
+  cache.setMaxEntries(8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    cache.obtain(cbench::makeSyntheticManifest(3, 4000 + i));
+  }
+  EXPECT_EQ(cache.stats().entries, 8u);
+  cache.setMaxEntries(2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_GE(cache.stats().evictions, 6u);
+  cache.setMaxEntries(restore);
+  cache.clear();
+}
+
 // --- reconcile-unit key: what invalidates -----------------------------------
 
 TEST(ReconcileKeyTest, CollectAppRefsWalksBindingsAndConstraints) {

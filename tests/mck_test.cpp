@@ -30,6 +30,7 @@
 #include "isolation/api_proxy.h"
 #include "market/app_market.h"
 #include "market/journal.h"
+#include "shard/shard_runtime.h"
 #include "switchsim/sim_network.h"
 
 namespace sdnshield {
@@ -384,6 +385,98 @@ TEST(Mck, ParallelReconcileVsCheckStaysAtomicAndServesFromMemo) {
 
   mck::Result result = mck::Explorer().explore(scenario);
   logCoverage("parallel_reconcile_vs_checks", result);
+  EXPECT_FALSE(result.violated) << result.formatTrace();
+  EXPECT_TRUE(result.exhausted)
+      << "state space truncated at " << result.schedules << " schedules";
+  EXPECT_GT(result.schedules, 1u);
+}
+
+// --- cross-shard epoch publish vs shard-local checks ------------------------
+
+// The sharded substrate (DESIGN.md §16) under the explorer: a 2-shard
+// ShardRuntime registers virtual queues instead of loop threads, and a
+// publisher swaps BOTH apps' grants in one installAll — table swap, one
+// epoch bump, then the publish fence that runs a memo-reset task on every
+// shard queue. The checker's bracket deliberately spans BOTH memo domains:
+// app A is probed on shard 0 and app B on shard 1, so whatever order the
+// swap, the bump, the two fence tasks and the shard-local checks interleave
+// in, two different shards' views at one stable epoch must still be a
+// coherent grant set — and once installAll has returned (fence complete)
+// every shard's next check must resolve the post-publish grants.
+TEST(Mck, CrossShardEpochPublishVsShardLocalChecks) {
+  struct ShardMckRig {
+    engine::PermissionEngine engine;
+    shard::ShardRuntime runtime{[] {
+      shard::ShardOptions options;
+      options.shards = 2;
+      return options;
+    }()};
+    bool published = false;
+  };
+
+  auto scenario = [](mck::Run& run) {
+    auto rig = std::make_shared<ShardMckRig>();
+    rig->runtime.start();  // Virtual executor installed: queues, no threads.
+    rig->runtime.attachEngine(rig->engine);
+    const of::AppId idA = 1;
+    const of::AppId idB = 2;
+    perm::PermissionSet granted =
+        lang::parsePermissions("PERM read_statistics\nPERM pkt_in_event\n");
+    rig->engine.install(idA, granted);
+    rig->engine.install(idB, granted);
+
+    run.thread("publisher", [rig, idA, idB] {
+      perm::PermissionSet restricted =
+          lang::parsePermissions("PERM pkt_in_event\n");
+      rig->engine.installAll({{idA, restricted}, {idB, restricted}});
+      rig->published = true;  // installAll returned: every shard was fenced.
+    });
+    run.thread("checker", [rig, idA, idB] {
+      // Round 0 warms each shard's memo against the pre-publish grants;
+      // round 1 is the probe that can race the swap, bump and fence tasks.
+      for (int round = 0; round < 2; ++round) {
+        bool publishedBefore = rig->published;
+        std::uint64_t e1 = 0;
+        std::uint64_t e2 = 0;
+        bool statsA = false;
+        bool statsB = false;
+        rig->runtime.call(0, [rig, idA, &e1, &statsA] {
+          e1 = rig->engine.epoch();
+          statsA = rig->engine.check(statsCall(idA)).allowed;
+        });
+        rig->runtime.call(1, [rig, idB, &e2, &statsB] {
+          statsB = rig->engine.check(statsCall(idB)).allowed;
+          e2 = rig->engine.epoch();
+        });
+        if (e1 == e2) {
+          mck::require(statsA == statsB,
+                       "two shards' views mixed grant sets at a stable epoch");
+        }
+        if (publishedBefore) {
+          mck::require(!statsA && !statsB,
+                       "a shard served a pre-publish grant after the fence");
+        }
+      }
+    });
+    run.finally([rig, idA, idB] {
+      for (std::size_t s = 0; s < 2; ++s) {
+        rig->runtime.call(s, [rig, idA, idB] {
+          mck::require(!rig->engine.check(statsCall(idA)).allowed &&
+                           !rig->engine.check(statsCall(idB)).allowed,
+                       "post-quiescence shard check missed the new epoch");
+        });
+      }
+      mck::require(rig->runtime.stats().fences >= 1,
+                   "installAll did not fence the shard loops");
+      // Teardown inside the run, while the virtual executor is still
+      // installed, so the queues drain and unregister deterministically.
+      rig->runtime.detachEngine(rig->engine);
+      rig->runtime.stop();
+    });
+  };
+
+  mck::Result result = mck::Explorer().explore(scenario);
+  logCoverage("cross_shard_epoch_publish", result);
   EXPECT_FALSE(result.violated) << result.formatTrace();
   EXPECT_TRUE(result.exhausted)
       << "state space truncated at " << result.schedules << " schedules";
